@@ -1,0 +1,176 @@
+//! Per-chunk access-temperature tracking.
+//!
+//! Both Hibernator and PDC need "how hot is each chunk lately". [`HeatMap`]
+//! keeps one exponentially decaying counter per chunk (time constant `tau`),
+//! so temperature reflects recent traffic and forgets ancient history. The
+//! decay is applied lazily, making `touch` O(1).
+
+use crate::types::ChunkId;
+use simkit::{SimDuration, SimTime};
+
+/// One decaying counter per chunk.
+#[derive(Debug, Clone)]
+pub struct HeatMap {
+    tau_s: f64,
+    mass: Vec<f64>,
+    last: Vec<SimTime>,
+}
+
+impl HeatMap {
+    /// Creates a map over `chunks` chunks with decay time constant `tau`.
+    ///
+    /// # Panics
+    /// Panics if `tau` is zero or `chunks == 0`.
+    pub fn new(chunks: u32, tau: SimDuration) -> HeatMap {
+        assert!(!tau.is_zero(), "HeatMap: zero tau");
+        assert!(chunks > 0, "HeatMap: no chunks");
+        HeatMap {
+            tau_s: tau.as_secs(),
+            mass: vec![0.0; chunks as usize],
+            last: vec![SimTime::ZERO; chunks as usize],
+        }
+    }
+
+    /// Number of chunks tracked.
+    pub fn chunks(&self) -> u32 {
+        self.mass.len() as u32
+    }
+
+    /// Registers `weight` accesses to `chunk` at `now` (weight 1.0 = one
+    /// request; callers may weight by sectors).
+    pub fn touch(&mut self, now: SimTime, chunk: ChunkId, weight: f64) {
+        let i = chunk.index();
+        let dt = now.saturating_since(self.last[i]).as_secs();
+        if dt > 0.0 {
+            self.mass[i] *= (-dt / self.tau_s).exp();
+            self.last[i] = now;
+        }
+        self.mass[i] += weight;
+    }
+
+    /// The decayed temperature of `chunk` as of `now`.
+    pub fn temperature(&self, now: SimTime, chunk: ChunkId) -> f64 {
+        let i = chunk.index();
+        let dt = now.saturating_since(self.last[i]).as_secs();
+        self.mass[i] * (-dt / self.tau_s).exp()
+    }
+
+    /// Estimated recent access rate of `chunk` (accesses/sec).
+    pub fn rate(&self, now: SimTime, chunk: ChunkId) -> f64 {
+        self.temperature(now, chunk) / self.tau_s
+    }
+
+    /// All chunk ids ordered hottest → coldest as of `now`. Ties broken by
+    /// chunk id for determinism.
+    pub fn ranking(&self, now: SimTime) -> Vec<ChunkId> {
+        let mut idx: Vec<u32> = (0..self.chunks()).collect();
+        let temps: Vec<f64> = (0..self.chunks())
+            .map(|c| self.temperature(now, ChunkId(c)))
+            .collect();
+        idx.sort_by(|&a, &b| {
+            temps[b as usize]
+                .partial_cmp(&temps[a as usize])
+                .expect("temperatures are finite")
+                .then(a.cmp(&b))
+        });
+        idx.into_iter().map(ChunkId).collect()
+    }
+
+    /// Sum of all temperatures as of `now` (total recent traffic mass).
+    pub fn total(&self, now: SimTime) -> f64 {
+        (0..self.chunks())
+            .map(|c| self.temperature(now, ChunkId(c)))
+            .sum()
+    }
+
+    /// Resets every counter to zero.
+    pub fn reset(&mut self) {
+        self.mass.iter_mut().for_each(|m| *m = 0.0);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(s: f64) -> SimTime {
+        SimTime::from_secs(s)
+    }
+
+    #[test]
+    fn untouched_chunks_are_cold() {
+        let h = HeatMap::new(8, SimDuration::from_secs(100.0));
+        for c in 0..8 {
+            assert_eq!(h.temperature(t(50.0), ChunkId(c)), 0.0);
+        }
+        assert_eq!(h.total(t(0.0)), 0.0);
+    }
+
+    #[test]
+    fn touches_accumulate_and_decay() {
+        let mut h = HeatMap::new(4, SimDuration::from_secs(10.0));
+        h.touch(t(0.0), ChunkId(1), 1.0);
+        h.touch(t(0.0), ChunkId(1), 1.0);
+        assert!((h.temperature(t(0.0), ChunkId(1)) - 2.0).abs() < 1e-12);
+        // One time constant later: e^{-1} of the mass remains.
+        let later = h.temperature(t(10.0), ChunkId(1));
+        assert!((later - 2.0 * (-1.0f64).exp()).abs() < 1e-9);
+        // Ten time constants later: effectively cold.
+        assert!(h.temperature(t(100.0), ChunkId(1)) < 1e-3);
+    }
+
+    #[test]
+    fn ranking_orders_by_recent_traffic() {
+        let mut h = HeatMap::new(4, SimDuration::from_secs(100.0));
+        for _ in 0..10 {
+            h.touch(t(1.0), ChunkId(2), 1.0);
+        }
+        for _ in 0..5 {
+            h.touch(t(1.0), ChunkId(0), 1.0);
+        }
+        h.touch(t(1.0), ChunkId(3), 1.0);
+        let r = h.ranking(t(1.0));
+        assert_eq!(r[0], ChunkId(2));
+        assert_eq!(r[1], ChunkId(0));
+        assert_eq!(r[2], ChunkId(3));
+        assert_eq!(r[3], ChunkId(1));
+    }
+
+    #[test]
+    fn ranking_ties_break_by_id() {
+        let h = HeatMap::new(3, SimDuration::from_secs(10.0));
+        assert_eq!(h.ranking(t(0.0)), vec![ChunkId(0), ChunkId(1), ChunkId(2)]);
+    }
+
+    #[test]
+    fn recency_beats_stale_volume() {
+        let mut h = HeatMap::new(2, SimDuration::from_secs(60.0));
+        // Chunk 0: heavy traffic long ago. Chunk 1: light traffic now.
+        for _ in 0..100 {
+            h.touch(t(0.0), ChunkId(0), 1.0);
+        }
+        for _ in 0..5 {
+            h.touch(t(600.0), ChunkId(1), 1.0);
+        }
+        let r = h.ranking(t(600.0));
+        assert_eq!(r[0], ChunkId(1), "recent traffic should dominate");
+    }
+
+    #[test]
+    fn rate_estimates_frequency() {
+        let mut h = HeatMap::new(1, SimDuration::from_secs(50.0));
+        for i in 0..2500 {
+            h.touch(t(i as f64 * 0.2), ChunkId(0), 1.0); // 5/sec
+        }
+        let r = h.rate(t(500.0), ChunkId(0));
+        assert!((r - 5.0).abs() < 0.5, "rate {r}");
+    }
+
+    #[test]
+    fn reset_clears() {
+        let mut h = HeatMap::new(2, SimDuration::from_secs(10.0));
+        h.touch(t(0.0), ChunkId(0), 3.0);
+        h.reset();
+        assert_eq!(h.temperature(t(0.0), ChunkId(0)), 0.0);
+    }
+}

@@ -1,0 +1,37 @@
+//! # array — the disk-array substrate
+//!
+//! Glues [`diskmodel`] spindles into a logical volume and drives the whole
+//! thing through a deterministic discrete-event simulation:
+//!
+//! * [`ArrayConfig`] / [`DiskId`] / [`ChunkId`] — configuration and ids;
+//! * [`RemapTable`] — the chunk → (disk, slot) placement bijection,
+//!   initially striped, reshaped by migration;
+//! * [`HeatMap`] — per-chunk decaying access temperatures (shared by every
+//!   placement-aware policy);
+//! * [`MigrationEngine`] / [`MigrationJob`] — background copies that yield
+//!   to foreground I/O and commit (or abort, on concurrent writes) the
+//!   remap update atomically;
+//! * [`PowerPolicy`] / [`ArrayState`] — the interface every
+//!   energy-management scheme implements, with [`BasePolicy`] as the
+//!   no-management reference;
+//! * [`Simulation`] / [`run_policy`] — the event-driven driver producing a
+//!   [`RunReport`] (energy ledger, response-time statistics, time series).
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+mod heat;
+mod migration;
+mod policy;
+mod remap;
+mod sim;
+mod stats;
+mod types;
+
+pub use heat::HeatMap;
+pub use migration::{MigrationEngine, MigrationJob, MigrationStats};
+pub use policy::{ArrayState, BasePolicy, PowerPolicy};
+pub use remap::{Placement, RemapTable};
+pub use sim::{run_policy, RunOptions, RunReport, Simulation};
+pub use stats::ArrayStats;
+pub use types::{ArrayConfig, ChunkId, DiskId, Redundancy};

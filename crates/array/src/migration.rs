@@ -1,0 +1,674 @@
+//! Background data migration.
+//!
+//! Power policies reshape the data layout by enqueueing [`MigrationJob`]s;
+//! the engine turns each job into migration-class disk I/O (which yields to
+//! all foreground traffic at the disks) and commits the remap-table update
+//! only when every copy has finished. Consistency rule: a foreground *write*
+//! to a chunk while its copy is in flight marks the job dirty, and a dirty
+//! job **aborts** instead of committing — the stale copy is discarded and
+//! the planner simply re-plans next epoch. Reads are always served from the
+//! current (pre-commit) placement, so they need no special handling.
+//!
+//! Copies are issued in small *pieces* (default 128 KiB) rather than one
+//! chunk-sized I/O, so a foreground request never waits behind more than
+//! one piece of migration service — the mechanism that keeps background
+//! reorganisation unobtrusive.
+//!
+//! The engine is deliberately passive: it never touches disks itself.
+//! Methods return the disk requests to submit, and the simulation driver
+//! performs the submission — keeping all disk mutation in one place.
+
+use crate::remap::RemapTable;
+use crate::types::{ChunkId, DiskId};
+use diskmodel::{Completion, DiskRequest, IoKind, RequestClass};
+use simkit::SimTime;
+use std::collections::{HashMap, VecDeque};
+
+/// A requested layout change.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MigrationJob {
+    /// Move `chunk` to a free slot on `dst`.
+    Relocate {
+        /// Chunk to move.
+        chunk: ChunkId,
+        /// Destination disk.
+        dst: DiskId,
+    },
+    /// Exchange the placements of two chunks on different disks (used when
+    /// the destination tier is full).
+    Swap {
+        /// First chunk.
+        a: ChunkId,
+        /// Second chunk.
+        b: ChunkId,
+    },
+    /// A bare background write with no remap effect — used by policies that
+    /// maintain redundant copies (MAID cache promotion/refresh). The data is
+    /// assumed to be in controller RAM already (it was just read by the
+    /// foreground request), so no read I/O is issued.
+    RawWrite {
+        /// Target disk.
+        disk: DiskId,
+        /// First physical sector.
+        sector: u64,
+        /// Length in sectors.
+        sectors: u32,
+    },
+}
+
+/// Counters describing migration activity so far.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct MigrationStats {
+    /// Jobs committed successfully.
+    pub committed: u64,
+    /// Jobs aborted because a foreground write dirtied a chunk mid-copy.
+    pub aborted: u64,
+    /// Jobs dropped before starting (queue cleared, or destination full).
+    pub dropped: u64,
+    /// Raw background writes completed (no remap effect).
+    pub raw_writes: u64,
+    /// Total sectors read + written by migration I/O.
+    pub sectors_moved: u64,
+}
+
+/// Phase of an active job.
+#[derive(Debug)]
+enum Phase {
+    /// Waiting for `remaining` read-piece completions.
+    Reading { remaining: u32 },
+    /// Waiting for `remaining` write-piece completions.
+    Writing { remaining: u32 },
+}
+
+#[derive(Debug)]
+struct ActiveJob {
+    job: MigrationJob,
+    phase: Phase,
+    dirty: bool,
+    /// For `Relocate`: the reserved destination slot.
+    reserved_slot: Option<u32>,
+}
+
+/// The migration engine.
+pub struct MigrationEngine {
+    pending: VecDeque<MigrationJob>,
+    active: HashMap<u64, ActiveJob>,
+    /// disk-request id → job id, for routing completions.
+    request_to_job: HashMap<u64, u64>,
+    next_job_id: u64,
+    next_req_id: u64,
+    max_inflight: usize,
+    piece_sectors: u32,
+    paused: bool,
+    stats: MigrationStats,
+}
+
+/// Migration-request ids live in their own namespace (top bit set) so they
+/// can never collide with foreground ids handed out by the driver.
+const MIG_ID_BASE: u64 = 1 << 63;
+
+impl MigrationEngine {
+    /// Creates an engine allowing `max_inflight` concurrent jobs.
+    ///
+    /// # Panics
+    /// Panics if `max_inflight == 0`.
+    pub fn new(max_inflight: usize) -> Self {
+        assert!(max_inflight > 0, "need at least one inflight slot");
+        MigrationEngine {
+            pending: VecDeque::new(),
+            active: HashMap::new(),
+            request_to_job: HashMap::new(),
+            next_job_id: 0,
+            next_req_id: MIG_ID_BASE,
+            max_inflight,
+            piece_sectors: 256, // 128 KiB pieces keep foreground stalls short
+            paused: false,
+            stats: MigrationStats::default(),
+        }
+    }
+
+    /// Overrides the copy piece size (sectors). Smaller pieces reduce the
+    /// worst-case foreground stall behind migration service at the cost of
+    /// more per-piece overhead.
+    ///
+    /// # Panics
+    /// Panics if `sectors == 0`.
+    pub fn set_piece_sectors(&mut self, sectors: u32) {
+        assert!(sectors > 0, "piece size must be positive");
+        self.piece_sectors = sectors;
+    }
+
+    /// Emits piece requests covering `[sector, sector + sectors)`.
+    #[allow(clippy::too_many_arguments)]
+    fn make_pieces(
+        &mut self,
+        now: SimTime,
+        disk: DiskId,
+        sector: u64,
+        sectors: u32,
+        kind: IoKind,
+        job_id: u64,
+        out: &mut Vec<(DiskId, DiskRequest)>,
+    ) -> u32 {
+        let mut off = 0;
+        let mut pieces = 0;
+        while off < sectors {
+            let take = (sectors - off).min(self.piece_sectors);
+            let req = self.make_req(now, sector + u64::from(off), take, kind, job_id);
+            out.push((disk, req));
+            off += take;
+            pieces += 1;
+        }
+        pieces
+    }
+
+    /// Adds jobs to the pending queue (executed FIFO).
+    pub fn enqueue(&mut self, jobs: impl IntoIterator<Item = MigrationJob>) {
+        self.pending.extend(jobs);
+    }
+
+    /// Drops all not-yet-started jobs. In-flight jobs run to completion
+    /// (their I/O is already queued at the disks).
+    pub fn clear_pending(&mut self) {
+        self.stats.dropped += self.pending.len() as u64;
+        self.pending.clear();
+    }
+
+    /// Pauses starting new jobs (used during performance boosts). In-flight
+    /// jobs finish normally.
+    pub fn set_paused(&mut self, paused: bool) {
+        self.paused = paused;
+    }
+
+    /// The concurrency limit this engine was built with.
+    pub fn max_inflight(&self) -> usize {
+        self.max_inflight
+    }
+
+    /// Jobs waiting to start.
+    pub fn pending_len(&self) -> usize {
+        self.pending.len()
+    }
+
+    /// Jobs currently copying.
+    pub fn active_len(&self) -> usize {
+        self.active.len()
+    }
+
+    /// True if no work is queued or in flight.
+    pub fn is_quiescent(&self) -> bool {
+        self.pending.is_empty() && self.active.is_empty()
+    }
+
+    /// Activity counters.
+    pub fn stats(&self) -> MigrationStats {
+        self.stats
+    }
+
+    /// Marks any in-flight job touching `chunk` dirty (called by the driver
+    /// for every foreground **write**).
+    pub fn note_foreground_write(&mut self, chunk: ChunkId) {
+        for job in self.active.values_mut() {
+            let touches = match job.job {
+                MigrationJob::Relocate { chunk: c, .. } => c == chunk,
+                MigrationJob::Swap { a, b } => a == chunk || b == chunk,
+                MigrationJob::RawWrite { .. } => false,
+            };
+            if touches {
+                job.dirty = true;
+            }
+        }
+    }
+
+    /// Starts queued jobs while below the concurrency limit. Returns the
+    /// read requests to submit, as `(disk, request)` pairs.
+    pub fn pump(&mut self, now: SimTime, remap: &mut RemapTable) -> Vec<(DiskId, DiskRequest)> {
+        let mut out = Vec::new();
+        if self.paused {
+            return out;
+        }
+        while self.active.len() < self.max_inflight {
+            let Some(job) = self.pending.pop_front() else {
+                break;
+            };
+            match self.try_start(now, remap, job) {
+                Some(reqs) => out.extend(reqs),
+                None => self.stats.dropped += 1,
+            }
+        }
+        out
+    }
+
+    /// True if `chunk` participates in any in-flight job. Two concurrent
+    /// jobs over one chunk would race on its placement, so overlapping jobs
+    /// are dropped at start (the planner re-plans next epoch anyway).
+    fn chunk_busy(&self, chunk: ChunkId) -> bool {
+        self.active.values().any(|j| match j.job {
+            MigrationJob::Relocate { chunk: c, .. } => c == chunk,
+            MigrationJob::Swap { a, b } => a == chunk || b == chunk,
+            MigrationJob::RawWrite { .. } => false,
+        })
+    }
+
+    fn try_start(
+        &mut self,
+        now: SimTime,
+        remap: &mut RemapTable,
+        job: MigrationJob,
+    ) -> Option<Vec<(DiskId, DiskRequest)>> {
+        match job {
+            MigrationJob::Relocate { chunk, .. } if self.chunk_busy(chunk) => return None,
+            MigrationJob::Swap { a, b } if self.chunk_busy(a) || self.chunk_busy(b) => {
+                return None
+            }
+            _ => {}
+        }
+        let chunk_sectors = remap.chunk_sectors() as u32;
+        let job_id = self.next_job_id;
+        match job {
+            MigrationJob::Relocate { chunk, dst } => {
+                let src = remap.placement(chunk);
+                if src.disk == dst {
+                    return None; // already there — planner noise
+                }
+                let slot = remap.reserve_slot(dst)?;
+                let mut reads = Vec::new();
+                let pieces = self.make_pieces(
+                    now,
+                    src.disk,
+                    remap.physical_sector(chunk),
+                    chunk_sectors,
+                    IoKind::Read,
+                    job_id,
+                    &mut reads,
+                );
+                self.active.insert(
+                    job_id,
+                    ActiveJob {
+                        job,
+                        phase: Phase::Reading { remaining: pieces },
+                        dirty: false,
+                        reserved_slot: Some(slot),
+                    },
+                );
+                self.next_job_id += 1;
+                Some(reads)
+            }
+            MigrationJob::RawWrite {
+                disk,
+                sector,
+                sectors,
+            } => {
+                let mut writes = Vec::new();
+                let pieces =
+                    self.make_pieces(now, disk, sector, sectors, IoKind::Write, job_id, &mut writes);
+                self.active.insert(
+                    job_id,
+                    ActiveJob {
+                        job,
+                        phase: Phase::Writing { remaining: pieces },
+                        dirty: false,
+                        reserved_slot: None,
+                    },
+                );
+                self.next_job_id += 1;
+                Some(writes)
+            }
+            MigrationJob::Swap { a, b } => {
+                let pa = remap.placement(a);
+                let pb = remap.placement(b);
+                if pa.disk == pb.disk {
+                    return None;
+                }
+                let mut reads = Vec::new();
+                let p1 = self.make_pieces(
+                    now,
+                    pa.disk,
+                    remap.physical_sector(a),
+                    chunk_sectors,
+                    IoKind::Read,
+                    job_id,
+                    &mut reads,
+                );
+                let p2 = self.make_pieces(
+                    now,
+                    pb.disk,
+                    remap.physical_sector(b),
+                    chunk_sectors,
+                    IoKind::Read,
+                    job_id,
+                    &mut reads,
+                );
+                self.active.insert(
+                    job_id,
+                    ActiveJob {
+                        job,
+                        phase: Phase::Reading {
+                            remaining: p1 + p2,
+                        },
+                        dirty: false,
+                        reserved_slot: None,
+                    },
+                );
+                self.next_job_id += 1;
+                Some(reads)
+            }
+        }
+    }
+
+    fn make_req(
+        &mut self,
+        now: SimTime,
+        sector: u64,
+        sectors: u32,
+        kind: IoKind,
+        job_id: u64,
+    ) -> DiskRequest {
+        let id = self.next_req_id;
+        self.next_req_id += 1;
+        self.request_to_job.insert(id, job_id);
+        DiskRequest {
+            id,
+            sector,
+            sectors,
+            kind,
+            class: RequestClass::Migration,
+            issue_time: now,
+        }
+    }
+
+    /// Routes a migration-class completion. Returns follow-on write requests
+    /// to submit; commits or aborts the job when its last write lands.
+    ///
+    /// # Panics
+    /// Panics if the completion does not belong to this engine (driver bug).
+    pub fn on_completion(
+        &mut self,
+        now: SimTime,
+        comp: &Completion,
+        remap: &mut RemapTable,
+    ) -> Vec<(DiskId, DiskRequest)> {
+        let req_id = comp.request.id;
+        let job_id = *self
+            .request_to_job
+            .get(&req_id)
+            .expect("unknown migration completion");
+        self.request_to_job.remove(&req_id);
+        self.stats.sectors_moved += u64::from(comp.request.sectors);
+
+        let job = self.active.get_mut(&job_id).expect("job state missing");
+        match &mut job.phase {
+            Phase::Reading { remaining } => {
+                *remaining -= 1;
+                if *remaining > 0 {
+                    return Vec::new();
+                }
+                // All reads done → issue writes.
+                let chunk_sectors = remap.chunk_sectors() as u32;
+                let targets: Vec<(DiskId, u64)> = match job.job {
+                    MigrationJob::RawWrite { .. } => {
+                        unreachable!("raw writes never enter the read phase")
+                    }
+                    MigrationJob::Relocate { dst, .. } => {
+                        let slot = job.reserved_slot.expect("relocate reserved a slot");
+                        vec![(dst, u64::from(slot) * remap.chunk_sectors())]
+                    }
+                    MigrationJob::Swap { a, b } => {
+                        // Each chunk is written into the other's current slot.
+                        let pa = remap.placement(a);
+                        let pb = remap.placement(b);
+                        vec![
+                            (pb.disk, u64::from(pb.slot) * remap.chunk_sectors()),
+                            (pa.disk, u64::from(pa.slot) * remap.chunk_sectors()),
+                        ]
+                    }
+                };
+                let mut out = Vec::new();
+                let mut count = 0;
+                for (disk, sector) in targets {
+                    count += self.make_pieces(
+                        now,
+                        disk,
+                        sector,
+                        chunk_sectors,
+                        IoKind::Write,
+                        job_id,
+                        &mut out,
+                    );
+                }
+                // Reborrow the job (make_pieces needed &mut self).
+                let job = self.active.get_mut(&job_id).expect("job still active");
+                job.phase = Phase::Writing { remaining: count };
+                out
+            }
+            Phase::Writing { remaining } => {
+                *remaining -= 1;
+                if *remaining > 0 {
+                    return Vec::new();
+                }
+                // Job complete: commit unless dirtied.
+                let job = self.active.remove(&job_id).expect("job vanished");
+                if job.dirty {
+                    self.stats.aborted += 1;
+                    if let (MigrationJob::Relocate { dst, .. }, Some(slot)) =
+                        (job.job, job.reserved_slot)
+                    {
+                        remap.release_slot(dst, slot);
+                    }
+                } else {
+                    match job.job {
+                        MigrationJob::Relocate { chunk, dst } => {
+                            let slot = job.reserved_slot.expect("slot reserved");
+                            remap.relocate(chunk, dst, slot);
+                            self.stats.committed += 1;
+                        }
+                        MigrationJob::Swap { a, b } => {
+                            // Placements may have degenerated (e.g. a
+                            // foreground-triggered abort path elsewhere);
+                            // a same-disk pair is a no-op, not a panic.
+                            if remap.disk_of(a) != remap.disk_of(b) {
+                                remap.swap(a, b);
+                                self.stats.committed += 1;
+                            } else {
+                                self.stats.aborted += 1;
+                            }
+                        }
+                        MigrationJob::RawWrite { .. } => {
+                            self.stats.raw_writes += 1;
+                        }
+                    }
+                }
+                Vec::new()
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::types::ArrayConfig;
+    use diskmodel::Completion;
+
+    fn remap(disks: usize, chunks: u32) -> RemapTable {
+        let mut c = ArrayConfig::default_for_volume(1 << 30);
+        c.disks = disks;
+        c.volume_chunks = chunks;
+        RemapTable::striped(&c)
+    }
+
+    fn complete(req: DiskRequest, at: f64) -> Completion {
+        Completion {
+            request: req,
+            disk: 0,
+            finish_time: SimTime::from_secs(at),
+            queue_delay_s: 0.0,
+            service_s: 0.005,
+        }
+    }
+
+    /// Runs a single job to completion, feeding completions back manually.
+    fn run_job(engine: &mut MigrationEngine, remap: &mut RemapTable, dirty_after_read: bool) {
+        let reads = engine.pump(SimTime::ZERO, remap);
+        assert!(!reads.is_empty());
+        let mut writes = Vec::new();
+        for (i, (_, r)) in reads.iter().enumerate() {
+            writes.extend(engine.on_completion(
+                SimTime::from_secs(0.1 * (i + 1) as f64),
+                &complete(*r, 0.1),
+                remap,
+            ));
+        }
+        if dirty_after_read {
+            match engine.active.values().next().unwrap().job {
+                MigrationJob::Relocate { chunk, .. } => engine.note_foreground_write(chunk),
+                MigrationJob::Swap { a, .. } => engine.note_foreground_write(a),
+                MigrationJob::RawWrite { .. } => {}
+            }
+        }
+        assert!(!writes.is_empty(), "reads must trigger writes");
+        for (i, (_, w)) in writes.iter().enumerate() {
+            let _ = engine.on_completion(
+                SimTime::from_secs(1.0 + i as f64),
+                &complete(*w, 1.0),
+                remap,
+            );
+        }
+    }
+
+    #[test]
+    fn relocate_commits_and_updates_remap() {
+        let mut t = remap(4, 16);
+        let mut e = MigrationEngine::new(2);
+        assert_eq!(t.disk_of(ChunkId(0)), DiskId(0));
+        e.enqueue([MigrationJob::Relocate {
+            chunk: ChunkId(0),
+            dst: DiskId(3),
+        }]);
+        run_job(&mut e, &mut t, false);
+        assert_eq!(t.disk_of(ChunkId(0)), DiskId(3));
+        assert_eq!(e.stats().committed, 1);
+        assert!(e.is_quiescent());
+        t.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn swap_commits_both_sides() {
+        let mut t = remap(4, 16);
+        let mut e = MigrationEngine::new(2);
+        let a = ChunkId(0); // disk 0
+        let b = ChunkId(1); // disk 1
+        e.enqueue([MigrationJob::Swap { a, b }]);
+        run_job(&mut e, &mut t, false);
+        assert_eq!(t.disk_of(a), DiskId(1));
+        assert_eq!(t.disk_of(b), DiskId(0));
+        assert_eq!(e.stats().committed, 1);
+        t.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn dirty_job_aborts_without_commit() {
+        let mut t = remap(4, 16);
+        let mut e = MigrationEngine::new(2);
+        e.enqueue([MigrationJob::Relocate {
+            chunk: ChunkId(0),
+            dst: DiskId(2),
+        }]);
+        run_job(&mut e, &mut t, true);
+        assert_eq!(t.disk_of(ChunkId(0)), DiskId(0), "abort must not move data");
+        assert_eq!(e.stats().aborted, 1);
+        assert_eq!(e.stats().committed, 0);
+        t.check_invariants().unwrap();
+        // The reserved slot was released.
+        assert_eq!(t.occupancy(DiskId(2)), 4);
+    }
+
+    #[test]
+    fn relocate_to_same_disk_is_dropped() {
+        let mut t = remap(4, 16);
+        let mut e = MigrationEngine::new(2);
+        e.enqueue([MigrationJob::Relocate {
+            chunk: ChunkId(0),
+            dst: DiskId(0),
+        }]);
+        let reads = e.pump(SimTime::ZERO, &mut t);
+        assert!(reads.is_empty());
+        assert_eq!(e.stats().dropped, 1);
+        assert!(e.is_quiescent());
+    }
+
+    #[test]
+    fn inflight_limit_respected() {
+        let mut t = remap(8, 64);
+        let mut e = MigrationEngine::new(2);
+        e.enqueue((0..8).map(|i| MigrationJob::Relocate {
+            chunk: ChunkId(i),
+            dst: DiskId((i as usize + 1) % 8),
+        }));
+        let reads = e.pump(SimTime::ZERO, &mut t);
+        assert_eq!(e.active_len(), 2);
+        // Each chunk copy is split into 128 KiB pieces (2048/256 = 8 per
+        // chunk), so two active jobs issue 16 read pieces.
+        assert_eq!(reads.len(), 16);
+        assert_eq!(e.pending_len(), 6);
+    }
+
+    #[test]
+    fn paused_engine_starts_nothing() {
+        let mut t = remap(4, 16);
+        let mut e = MigrationEngine::new(2);
+        e.enqueue([MigrationJob::Relocate {
+            chunk: ChunkId(0),
+            dst: DiskId(1),
+        }]);
+        e.set_paused(true);
+        assert!(e.pump(SimTime::ZERO, &mut t).is_empty());
+        e.set_paused(false);
+        assert_eq!(e.pump(SimTime::ZERO, &mut t).len(), 8); // 8 read pieces
+
+    }
+
+    #[test]
+    fn clear_pending_counts_drops() {
+        let mut e = MigrationEngine::new(1);
+        e.enqueue([
+            MigrationJob::Swap {
+                a: ChunkId(0),
+                b: ChunkId(1),
+            },
+            MigrationJob::Swap {
+                a: ChunkId(2),
+                b: ChunkId(3),
+            },
+        ]);
+        e.clear_pending();
+        assert_eq!(e.stats().dropped, 2);
+        assert!(e.is_quiescent());
+    }
+
+    #[test]
+    fn migration_requests_use_reserved_id_space() {
+        let mut t = remap(4, 16);
+        let mut e = MigrationEngine::new(2);
+        e.enqueue([MigrationJob::Relocate {
+            chunk: ChunkId(0),
+            dst: DiskId(1),
+        }]);
+        let reads = e.pump(SimTime::ZERO, &mut t);
+        assert!(reads[0].1.id >= MIG_ID_BASE);
+        assert_eq!(reads[0].1.class, RequestClass::Migration);
+    }
+
+    #[test]
+    fn sectors_moved_accumulates() {
+        let mut t = remap(4, 16);
+        let mut e = MigrationEngine::new(2);
+        e.enqueue([MigrationJob::Relocate {
+            chunk: ChunkId(0),
+            dst: DiskId(1),
+        }]);
+        run_job(&mut e, &mut t, false);
+        // One read + one write of a whole chunk each.
+        assert_eq!(e.stats().sectors_moved, 2 * t.chunk_sectors());
+    }
+}

@@ -1,0 +1,194 @@
+//! The power-policy interface.
+//!
+//! Every energy-management scheme in the suite — the Hibernator core and
+//! all five baselines — implements [`PowerPolicy`]. The simulation driver
+//! calls the hooks with the current time and mutable access to the shared
+//! [`ArrayState`]; policies act by calling
+//! [`diskmodel::Disk::request_speed`] on disks and enqueueing
+//! [`crate::MigrationJob`]s on the migration engine.
+//!
+//! The driver guarantees:
+//! * `init` runs once at t = 0 before any request;
+//! * `on_tick` fires every `tick_interval` of simulated time (if `Some`);
+//! * `on_volume_arrival` fires before the request's sub-I/Os are submitted;
+//! * `on_completion` fires for every *foreground* disk-level completion
+//!   (migration completions are routed to the engine instead);
+//! * after every hook the driver re-synchronises disk event schedules, so
+//!   hooks may freely change disk states.
+
+use crate::migration::MigrationEngine;
+use crate::remap::RemapTable;
+use crate::stats::ArrayStats;
+use crate::types::{ArrayConfig, ChunkId};
+use diskmodel::{Completion, Disk, IoKind};
+use simkit::{SimDuration, SimTime};
+use workload::VolumeRequest;
+
+/// Everything a policy may observe and mutate.
+pub struct ArrayState {
+    /// Static configuration.
+    pub config: ArrayConfig,
+    /// The spindles.
+    pub disks: Vec<Disk>,
+    /// Chunk placement.
+    pub remap: RemapTable,
+    /// Background copier.
+    pub migrator: MigrationEngine,
+    /// Measurements.
+    pub stats: ArrayStats,
+}
+
+impl ArrayState {
+    /// Counts disks per spindle state: one slot per level, then standby,
+    /// then transitioning — the layout [`ArrayStats::record_power_sample`]
+    /// expects.
+    pub fn level_counts(&self) -> Vec<u32> {
+        let n = self.config.spec.num_levels();
+        let mut counts = vec![0u32; n + 2];
+        for d in &self.disks {
+            if d.is_standby() {
+                counts[n] += 1;
+            } else if d.is_transitioning() {
+                counts[n + 1] += 1;
+            } else if let Some(l) = d.current_level() {
+                counts[l.index()] += 1;
+            }
+        }
+        counts
+    }
+
+    /// Total energy across all disks accrued to `now`, in joules.
+    pub fn total_energy(&mut self, now: SimTime) -> simkit::EnergyLedger {
+        let mut total = simkit::EnergyLedger::new();
+        for d in &mut self.disks {
+            total.merge(&d.energy(now));
+        }
+        total
+    }
+}
+
+/// A disk-array energy-management policy.
+pub trait PowerPolicy {
+    /// Short name for tables ("Base", "TPM", "Hibernator", …).
+    fn name(&self) -> &str;
+
+    /// Runs once before the first event; set initial speeds here.
+    fn init(&mut self, now: SimTime, state: &mut ArrayState) {
+        let _ = (now, state);
+    }
+
+    /// Cadence of [`PowerPolicy::on_tick`], or `None` for no ticks.
+    fn tick_interval(&self) -> Option<SimDuration> {
+        None
+    }
+
+    /// Periodic hook.
+    fn on_tick(&mut self, now: SimTime, state: &mut ArrayState) {
+        let _ = (now, state);
+    }
+
+    /// Optional routing override for one piece of a foreground request:
+    /// return `Some((disk, physical_sector))` to serve the piece from an
+    /// alternative location (MAID serves cached chunks from its cache
+    /// disks). `offset` is the sector offset of the piece within the chunk.
+    /// The default routes through the remap table (`None`).
+    fn route(
+        &mut self,
+        now: SimTime,
+        chunk: ChunkId,
+        offset: u64,
+        kind: IoKind,
+        state: &mut ArrayState,
+    ) -> Option<(crate::types::DiskId, u64)> {
+        let _ = (now, chunk, offset, kind, state);
+        None
+    }
+
+    /// A volume request has arrived; `chunks` are the chunks it touches.
+    fn on_volume_arrival(
+        &mut self,
+        now: SimTime,
+        req: &VolumeRequest,
+        chunks: &[ChunkId],
+        state: &mut ArrayState,
+    ) {
+        let _ = (now, req, chunks, state);
+    }
+
+    /// A foreground disk-level completion. `volume_response_s` is `Some`
+    /// with the end-to-end response time when this completion finished an
+    /// entire volume request.
+    fn on_completion(
+        &mut self,
+        now: SimTime,
+        comp: &Completion,
+        volume_response_s: Option<f64>,
+        state: &mut ArrayState,
+    ) {
+        let _ = (now, comp, volume_response_s, state);
+    }
+}
+
+/// The trivial policy: all disks at full speed, forever. Both the
+/// no-energy-management baseline and the reference for savings percentages.
+#[derive(Debug, Default)]
+pub struct BasePolicy;
+
+impl PowerPolicy for BasePolicy {
+    fn name(&self) -> &str {
+        "Base"
+    }
+    // Disks start at top speed; nothing to do.
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use diskmodel::SpeedLevel;
+
+    fn mk_state() -> ArrayState {
+        let mut config = ArrayConfig::default_for_volume(1 << 30);
+        config.disks = 4;
+        let remap = RemapTable::striped(&config);
+        let disks = (0..config.disks)
+            .map(|i| Disk::new(i, &config.spec, config.seed, config.spec.top_level()))
+            .collect();
+        let stats = ArrayStats::new(config.spec.num_levels(), SimDuration::from_secs(60.0));
+        ArrayState {
+            config,
+            disks,
+            remap,
+            migrator: MigrationEngine::new(2),
+            stats,
+        }
+    }
+
+    #[test]
+    fn level_counts_reflect_disk_states() {
+        let mut s = mk_state();
+        let n = s.config.spec.num_levels();
+        assert_eq!(s.level_counts()[n - 1], 4);
+        s.disks[0].request_speed(SimTime::ZERO, diskmodel::SpinTarget::Standby);
+        let counts = s.level_counts();
+        assert_eq!(counts[n - 1], 3);
+        assert_eq!(counts[n + 1], 1, "one disk is now transitioning");
+    }
+
+    #[test]
+    fn total_energy_sums_disks() {
+        let mut s = mk_state();
+        let t = SimTime::from_secs(10.0);
+        let total = s.total_energy(t).total_joules();
+        let single = Disk::new(0, &s.config.spec, s.config.seed, SpeedLevel(5))
+            .energy(t)
+            .total_joules();
+        assert!((total - 4.0 * single).abs() < 1e-6);
+    }
+
+    #[test]
+    fn base_policy_defaults() {
+        let p = BasePolicy;
+        assert_eq!(p.name(), "Base");
+        assert!(p.tick_interval().is_none());
+    }
+}

@@ -1,0 +1,338 @@
+//! The chunk remap table: where every volume chunk physically lives.
+//!
+//! [`RemapTable`] maintains the bijection between volume chunks and
+//! `(disk, slot)` placements. The initial layout stripes chunks round-robin
+//! across disks (chunk *c* → disk *c mod N*, slot *c div N*), exactly the
+//! balanced layout a conventional array would use. Power policies then
+//! reshape it through [`RemapTable::relocate`] and [`RemapTable::swap`].
+//!
+//! Invariants enforced (and property-tested):
+//! * every chunk has exactly one placement;
+//! * no two chunks share a placement;
+//! * per-disk occupancy never exceeds the slot capacity.
+
+use crate::types::{ArrayConfig, ChunkId, DiskId};
+use serde::{Deserialize, Serialize};
+
+/// Physical placement of one chunk.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Placement {
+    /// Which disk.
+    pub disk: DiskId,
+    /// Chunk slot on that disk; physical sector = `slot × chunk_sectors`.
+    pub slot: u32,
+}
+
+/// The chunk → placement table with free-slot management.
+#[derive(Debug, Clone)]
+pub struct RemapTable {
+    placements: Vec<Placement>,
+    /// Recycled free slots per disk (from chunks that moved away).
+    free: Vec<Vec<u32>>,
+    /// Next never-used slot per disk.
+    fresh: Vec<u32>,
+    slots_per_disk: u32,
+    chunk_sectors: u64,
+    occupancy: Vec<u32>,
+}
+
+impl RemapTable {
+    /// Builds the initial striped layout for `config`.
+    ///
+    /// # Panics
+    /// Panics if the config does not validate.
+    pub fn striped(config: &ArrayConfig) -> RemapTable {
+        config.validate().expect("invalid array config");
+        let n = config.effective_stripe_width();
+        let mut placements = Vec::with_capacity(config.volume_chunks as usize);
+        let mut fresh = vec![0u32; n];
+        let mut occupancy = vec![0u32; n];
+        for c in 0..config.volume_chunks {
+            let disk = (c as usize) % n;
+            let slot = fresh[disk];
+            fresh[disk] += 1;
+            occupancy[disk] += 1;
+            placements.push(Placement {
+                disk: DiskId(disk),
+                slot,
+            });
+        }
+        // Slot bookkeeping covers every disk, even those outside the
+        // initial stripe (migration may move chunks onto them later).
+        let total = config.disks;
+        fresh.resize(total, 0);
+        occupancy.resize(total, 0);
+        RemapTable {
+            placements,
+            free: vec![Vec::new(); total],
+            fresh,
+            slots_per_disk: config.slots_per_disk(),
+            chunk_sectors: config.chunk_sectors,
+            occupancy,
+        }
+    }
+
+    /// Number of chunks.
+    pub fn chunks(&self) -> u32 {
+        self.placements.len() as u32
+    }
+
+    /// Number of disks.
+    pub fn disks(&self) -> usize {
+        self.fresh.len()
+    }
+
+    /// Sectors per chunk.
+    pub fn chunk_sectors(&self) -> u64 {
+        self.chunk_sectors
+    }
+
+    /// Where `chunk` lives.
+    ///
+    /// # Panics
+    /// Panics if `chunk` is out of range.
+    pub fn placement(&self, chunk: ChunkId) -> Placement {
+        self.placements[chunk.index()]
+    }
+
+    /// The disk holding `chunk`.
+    pub fn disk_of(&self, chunk: ChunkId) -> DiskId {
+        self.placement(chunk).disk
+    }
+
+    /// The first physical sector of `chunk` on its disk.
+    pub fn physical_sector(&self, chunk: ChunkId) -> u64 {
+        u64::from(self.placement(chunk).slot) * self.chunk_sectors
+    }
+
+    /// Chunks currently resident on `disk` (O(chunks); for planners, which
+    /// run once per epoch, not per request).
+    pub fn chunks_on(&self, disk: DiskId) -> Vec<ChunkId> {
+        self.placements
+            .iter()
+            .enumerate()
+            .filter(|(_, p)| p.disk == disk)
+            .map(|(c, _)| ChunkId(c as u32))
+            .collect()
+    }
+
+    /// Current number of chunks on `disk`.
+    pub fn occupancy(&self, disk: DiskId) -> u32 {
+        self.occupancy[disk.index()]
+    }
+
+    /// True if `disk` has at least one free slot.
+    pub fn has_free_slot(&self, disk: DiskId) -> bool {
+        self.occupancy[disk.index()] < self.slots_per_disk
+    }
+
+    /// Allocates a free slot on `disk` without assigning it (the migration
+    /// engine reserves the destination before the copy starts). Returns
+    /// `None` if the disk is full.
+    pub fn reserve_slot(&mut self, disk: DiskId) -> Option<u32> {
+        let d = disk.index();
+        if self.occupancy[d] >= self.slots_per_disk {
+            return None;
+        }
+        self.occupancy[d] += 1;
+        if let Some(s) = self.free[d].pop() {
+            Some(s)
+        } else {
+            let s = self.fresh[d];
+            // occupancy < slots_per_disk guarantees fresh slots remain or
+            // the free list was non-empty.
+            debug_assert!(s < self.slots_per_disk);
+            self.fresh[d] += 1;
+            Some(s)
+        }
+    }
+
+    /// Returns a previously reserved (but now unneeded) slot to the pool.
+    pub fn release_slot(&mut self, disk: DiskId, slot: u32) {
+        let d = disk.index();
+        debug_assert!(self.occupancy[d] > 0);
+        self.occupancy[d] -= 1;
+        self.free[d].push(slot);
+    }
+
+    /// Commits a relocation: `chunk` now lives at (`dst`, `dst_slot`), and
+    /// its old slot is freed. `dst_slot` must have been obtained from
+    /// [`RemapTable::reserve_slot`].
+    pub fn relocate(&mut self, chunk: ChunkId, dst: DiskId, dst_slot: u32) {
+        let old = self.placements[chunk.index()];
+        self.placements[chunk.index()] = Placement {
+            disk: dst,
+            slot: dst_slot,
+        };
+        let od = old.disk.index();
+        debug_assert!(self.occupancy[od] > 0);
+        self.occupancy[od] -= 1;
+        self.free[od].push(old.slot);
+    }
+
+    /// Commits a swap: the two chunks exchange placements. They must live
+    /// on different disks (swapping within a disk is a no-op for power
+    /// purposes and is rejected to catch planner bugs).
+    ///
+    /// # Panics
+    /// Panics if the chunks share a disk.
+    pub fn swap(&mut self, a: ChunkId, b: ChunkId) {
+        let pa = self.placements[a.index()];
+        let pb = self.placements[b.index()];
+        assert_ne!(pa.disk, pb.disk, "swap within one disk");
+        self.placements[a.index()] = pb;
+        self.placements[b.index()] = pa;
+    }
+
+    /// Checks the bijection invariant: every placement unique, occupancy
+    /// counters consistent. O(chunks); used by tests and debug assertions.
+    pub fn check_invariants(&self) -> Result<(), String> {
+        let mut seen = std::collections::HashSet::with_capacity(self.placements.len());
+        let mut occ = vec![0u32; self.fresh.len()];
+        for (c, p) in self.placements.iter().enumerate() {
+            if p.slot >= self.slots_per_disk {
+                return Err(format!("chunk {c} slot {} out of range", p.slot));
+            }
+            if !seen.insert((p.disk, p.slot)) {
+                return Err(format!("duplicate placement for chunk {c}: {p:?}"));
+            }
+            occ[p.disk.index()] += 1;
+        }
+        for (d, (&have, &counted)) in self.occupancy.iter().zip(&occ).enumerate() {
+            // `occupancy` includes reserved-but-uncommitted slots, so it may
+            // exceed the placed count but never undercount it.
+            if have < counted {
+                return Err(format!(
+                    "disk {d} occupancy {have} below placed count {counted}"
+                ));
+            }
+            if have > self.slots_per_disk {
+                return Err(format!("disk {d} over capacity: {have}"));
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn config(disks: usize, chunks: u32) -> ArrayConfig {
+        let mut c = ArrayConfig::default_for_volume(1 << 30);
+        c.disks = disks;
+        c.volume_chunks = chunks;
+        c
+    }
+
+    #[test]
+    fn striped_layout_round_robins() {
+        let t = RemapTable::striped(&config(4, 10));
+        for c in 0..10u32 {
+            let p = t.placement(ChunkId(c));
+            assert_eq!(p.disk.index(), (c as usize) % 4);
+            assert_eq!(p.slot, c / 4);
+        }
+        t.check_invariants().unwrap();
+        assert_eq!(t.occupancy(DiskId(0)), 3);
+        assert_eq!(t.occupancy(DiskId(3)), 2);
+    }
+
+    #[test]
+    fn physical_sector_uses_slot() {
+        let t = RemapTable::striped(&config(4, 10));
+        assert_eq!(t.physical_sector(ChunkId(0)), 0);
+        assert_eq!(t.physical_sector(ChunkId(4)), t.chunk_sectors());
+    }
+
+    #[test]
+    fn chunks_on_lists_residents() {
+        let t = RemapTable::striped(&config(4, 10));
+        let on0 = t.chunks_on(DiskId(0));
+        assert_eq!(on0, vec![ChunkId(0), ChunkId(4), ChunkId(8)]);
+    }
+
+    #[test]
+    fn relocate_moves_and_frees() {
+        let mut t = RemapTable::striped(&config(4, 8));
+        let slot = t.reserve_slot(DiskId(3)).unwrap();
+        t.relocate(ChunkId(0), DiskId(3), slot);
+        assert_eq!(t.disk_of(ChunkId(0)), DiskId(3));
+        assert_eq!(t.occupancy(DiskId(0)), 1);
+        assert_eq!(t.occupancy(DiskId(3)), 3);
+        t.check_invariants().unwrap();
+        // The freed slot on disk 0 is reusable.
+        let s = t.reserve_slot(DiskId(0)).unwrap();
+        assert_eq!(s, 0, "recycled slot should be handed out");
+    }
+
+    #[test]
+    fn swap_exchanges_placements() {
+        let mut t = RemapTable::striped(&config(4, 8));
+        let pa = t.placement(ChunkId(0));
+        let pb = t.placement(ChunkId(1));
+        t.swap(ChunkId(0), ChunkId(1));
+        assert_eq!(t.placement(ChunkId(0)), pb);
+        assert_eq!(t.placement(ChunkId(1)), pa);
+        t.check_invariants().unwrap();
+    }
+
+    #[test]
+    #[should_panic(expected = "swap within one disk")]
+    fn swap_same_disk_rejected() {
+        let mut t = RemapTable::striped(&config(4, 8));
+        t.swap(ChunkId(0), ChunkId(4)); // both on disk 0
+    }
+
+    #[test]
+    fn reserve_exhausts_at_capacity() {
+        let mut cfg = config(2, 4);
+        cfg.volume_chunks = 4;
+        let mut t = RemapTable::striped(&cfg);
+        let cap = cfg.slots_per_disk();
+        // Fill disk 0 to the brim.
+        let mut got = 0;
+        while t.reserve_slot(DiskId(0)).is_some() {
+            got += 1;
+        }
+        assert_eq!(got, cap - 2, "2 slots were taken by initial striping");
+        assert!(!t.has_free_slot(DiskId(0)));
+    }
+
+    #[test]
+    fn release_returns_capacity() {
+        let mut t = RemapTable::striped(&config(2, 4));
+        let s = t.reserve_slot(DiskId(0)).unwrap();
+        let occ = t.occupancy(DiskId(0));
+        t.release_slot(DiskId(0), s);
+        assert_eq!(t.occupancy(DiskId(0)), occ - 1);
+    }
+
+    proptest! {
+        /// Any interleaving of relocations and swaps preserves the
+        /// bijection invariant.
+        #[test]
+        fn random_migrations_keep_bijection(ops in proptest::collection::vec((0u8..2, 0u32..64, 0u32..64, 0usize..8), 0..200)) {
+            let mut t = RemapTable::striped(&config(8, 64));
+            for (kind, a, b, d) in ops {
+                let a = ChunkId(a % 64);
+                let b = ChunkId(b % 64);
+                let dst = DiskId(d);
+                match kind {
+                    0 => {
+                        if let Some(slot) = t.reserve_slot(dst) {
+                            t.relocate(a, dst, slot);
+                        }
+                    }
+                    _ => {
+                        if t.disk_of(a) != t.disk_of(b) {
+                            t.swap(a, b);
+                        }
+                    }
+                }
+            }
+            prop_assert!(t.check_invariants().is_ok());
+        }
+    }
+}

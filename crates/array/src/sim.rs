@@ -1,0 +1,757 @@
+//! The discrete-event simulation driver.
+//!
+//! [`Simulation`] owns the [`ArrayState`] and a [`PowerPolicy`], replays a
+//! [`workload::Trace`] against the array, and produces a [`RunReport`].
+//!
+//! # Event flow
+//!
+//! * **Arrival** — the next trace request is split at chunk boundaries,
+//!   routed through the remap table into per-disk sub-requests (plus a
+//!   parity write under [`Redundancy::Raid5Like`]), shown to the policy,
+//!   and submitted. Arrivals are scheduled one ahead, keeping the event
+//!   heap small.
+//! * **DiskWake(disk, gen)** — a disk's next internal event (service
+//!   completion or ramp end) is due. Generation counters invalidate stale
+//!   wakes: whenever a disk's `next_event_time` changes, the old scheduled
+//!   wake is superseded rather than removed.
+//! * **Tick** — the policy's periodic hook.
+//! * **Sample** — the driver records array power (energy delta over the
+//!   sampling interval) and per-level disk counts.
+//!
+//! After *every* mutation source (arrival, completion batch, policy hook,
+//! migration pump) the driver re-synchronises each disk's scheduled wake —
+//! the one invariant that keeps the event queue honest.
+
+use crate::migration::MigrationStats;
+use crate::policy::{ArrayState, PowerPolicy};
+use crate::remap::RemapTable;
+use crate::stats::ArrayStats;
+use crate::types::{ArrayConfig, ChunkId, Redundancy};
+#[cfg(test)]
+use crate::types::DiskId;
+use crate::MigrationEngine;
+use diskmodel::{Disk, DiskRequest, IoKind, RequestClass};
+use simkit::{
+    EnergyLedger, EventQueue, LatencyHistogram, Moments, SimDuration, SimTime, TimeSeries,
+};
+use std::collections::HashMap;
+use workload::{Trace, VolumeIoKind, VolumeRequest};
+
+/// Tunables of a single simulation run.
+#[derive(Debug, Clone)]
+pub struct RunOptions {
+    /// Simulated duration; events beyond it are not processed and energy is
+    /// accrued exactly to this instant.
+    pub horizon: SimTime,
+    /// Bucket width of all recorded time series.
+    pub series_bucket: SimDuration,
+    /// Cadence of power/level sampling.
+    pub sample_interval: SimDuration,
+    /// Maximum concurrently executing migration jobs.
+    pub migration_inflight: usize,
+}
+
+impl RunOptions {
+    /// Sensible defaults for a run of `horizon_s` simulated seconds:
+    /// 60 s series buckets and sampling, 2 concurrent migrations.
+    pub fn for_horizon(horizon_s: f64) -> RunOptions {
+        RunOptions {
+            horizon: SimTime::from_secs(horizon_s),
+            series_bucket: SimDuration::from_secs(60.0),
+            sample_interval: SimDuration::from_secs(60.0),
+            migration_inflight: 2,
+        }
+    }
+}
+
+/// Everything a run produces.
+#[derive(Debug)]
+pub struct RunReport {
+    /// Policy name.
+    pub policy: String,
+    /// Aggregate energy across all disks, accrued to the horizon.
+    pub energy: EnergyLedger,
+    /// Per-disk energy ledgers.
+    pub per_disk_energy: Vec<EnergyLedger>,
+    /// Foreground volume-request response-time moments (seconds).
+    pub response: Moments,
+    /// Foreground disk-level service-time moments (seconds).
+    pub service: Moments,
+    /// Foreground response-time histogram.
+    pub response_hist: LatencyHistogram,
+    /// Mean response per bucket over time.
+    pub response_series: TimeSeries,
+    /// Array power (W) per bucket over time.
+    pub power_series: TimeSeries,
+    /// Disks per level (then standby, then transitioning) over time.
+    pub level_series: Vec<TimeSeries>,
+    /// Volume requests completed.
+    pub completed: u64,
+    /// Volume requests still incomplete at the horizon.
+    pub incomplete: u64,
+    /// Foreground sectors transferred.
+    pub fg_sectors: u64,
+    /// Migration activity counters.
+    pub migration: MigrationStats,
+    /// Total spindle transitions across all disks.
+    pub transitions: u64,
+    /// The simulated horizon.
+    pub horizon: SimTime,
+}
+
+impl RunReport {
+    /// Mean response time in milliseconds.
+    pub fn mean_response_ms(&self) -> f64 {
+        self.response.mean() * 1e3
+    }
+
+    /// Total energy in kilojoules.
+    pub fn energy_kj(&self) -> f64 {
+        self.energy.total_kilojoules()
+    }
+
+    /// Energy savings vs a baseline report (fraction of baseline energy).
+    pub fn savings_vs(&self, base: &RunReport) -> f64 {
+        self.energy.savings_vs(&base.energy)
+    }
+}
+
+#[derive(Debug, Clone, Copy)]
+enum Event {
+    Arrival(usize),
+    DiskWake(usize, u64),
+    Tick,
+    Sample,
+}
+
+struct PendingVolume {
+    remaining: u32,
+    arrival: SimTime,
+    sectors: u64,
+}
+
+/// The simulation driver. Construct with [`Simulation::new`], then call
+/// [`Simulation::run`].
+pub struct Simulation<'a, P: PowerPolicy> {
+    state: ArrayState,
+    policy: P,
+    trace: &'a Trace,
+    opts: RunOptions,
+    events: EventQueue<Event>,
+    scheduled: Vec<Option<SimTime>>,
+    gens: Vec<u64>,
+    next_id: u64,
+    gather: HashMap<u64, u64>,
+    pending: HashMap<u64, PendingVolume>,
+    next_parent: u64,
+    last_sample_energy: f64,
+    chunk_scratch: Vec<ChunkId>,
+}
+
+impl<'a, P: PowerPolicy> Simulation<'a, P> {
+    /// Builds a simulation of `trace` against an array described by
+    /// `config`, managed by `policy`.
+    ///
+    /// # Panics
+    /// Panics if the config is invalid or the trace touches sectors beyond
+    /// the configured volume.
+    pub fn new(config: ArrayConfig, policy: P, trace: &'a Trace, opts: RunOptions) -> Self {
+        config.validate().expect("invalid array config");
+        assert!(
+            trace.max_sector() <= config.volume_sectors(),
+            "trace touches sector {} beyond volume of {} sectors",
+            trace.max_sector(),
+            config.volume_sectors()
+        );
+        let disks: Vec<Disk> = (0..config.disks)
+            .map(|i| {
+                Disk::new(
+                    i,
+                    &config.spec,
+                    config.seed.wrapping_add(i as u64),
+                    config.spec.top_level(),
+                )
+            })
+            .collect();
+        let remap = RemapTable::striped(&config);
+        let stats = ArrayStats::new(config.spec.num_levels(), opts.series_bucket);
+        let n = config.disks;
+        Simulation {
+            state: ArrayState {
+                config,
+                disks,
+                remap,
+                migrator: MigrationEngine::new(opts.migration_inflight),
+                stats,
+            },
+            policy,
+            trace,
+            opts,
+            events: EventQueue::with_capacity(1024),
+            scheduled: vec![None; n],
+            gens: vec![0; n],
+            next_id: 0,
+            gather: HashMap::new(),
+            pending: HashMap::new(),
+            next_parent: 0,
+            last_sample_energy: 0.0,
+            chunk_scratch: Vec::new(),
+        }
+    }
+
+    /// Runs the simulation to the horizon and returns the report.
+    pub fn run(self) -> RunReport {
+        self.run_returning_policy().0
+    }
+
+    /// Like [`Simulation::run`], but also hands the policy back so callers
+    /// can inspect policy-internal state (hit ratios, boost counters, …).
+    pub fn run_returning_policy(mut self) -> (RunReport, P) {
+        let t0 = SimTime::ZERO;
+        self.policy.init(t0, &mut self.state);
+        self.resync(t0);
+
+        if !self.trace.is_empty() {
+            self.events.push(self.trace.requests[0].time, Event::Arrival(0));
+        }
+        if let Some(int) = self.policy.tick_interval() {
+            self.events.push(t0 + int, Event::Tick);
+        }
+        self.events
+            .push(t0 + self.opts.sample_interval, Event::Sample);
+
+        while let Some((now, ev)) = self.events.pop() {
+            if now > self.opts.horizon {
+                break;
+            }
+            match ev {
+                Event::Arrival(idx) => self.handle_arrival(now, idx),
+                Event::DiskWake(d, gen) => self.handle_disk_wake(now, d, gen),
+                Event::Tick => {
+                    self.policy.on_tick(now, &mut self.state);
+                    self.pump_migration(now);
+                    if let Some(int) = self.policy.tick_interval() {
+                        self.events.push(now + int, Event::Tick);
+                    }
+                    self.resync(now);
+                }
+                Event::Sample => {
+                    self.take_sample(now);
+                    self.events.push(now + self.opts.sample_interval, Event::Sample);
+                }
+            }
+        }
+
+        self.finish()
+    }
+
+    // ------------------------------------------------------------------
+
+    fn handle_arrival(&mut self, now: SimTime, idx: usize) {
+        // Schedule the next arrival first.
+        if idx + 1 < self.trace.len() {
+            let t = self.trace.requests[idx + 1].time;
+            if t <= self.opts.horizon {
+                self.events.push(t, Event::Arrival(idx + 1));
+            }
+        }
+        let req = self.trace.requests[idx];
+        self.route_volume_request(now, &req);
+        self.pump_migration(now);
+        self.resync(now);
+    }
+
+    /// Splits `req` at chunk boundaries and submits the per-disk pieces.
+    fn route_volume_request(&mut self, now: SimTime, req: &VolumeRequest) {
+        let cs = self.state.config.chunk_sectors;
+        let mut pieces: Vec<(ChunkId, u64, u32)> = Vec::with_capacity(2);
+        let mut sector = req.sector;
+        let mut left = u64::from(req.sectors);
+        while left > 0 {
+            let chunk = ChunkId((sector / cs) as u32);
+            let off = sector % cs;
+            let take = left.min(cs - off);
+            pieces.push((chunk, off, take as u32));
+            sector += take;
+            left -= take;
+        }
+
+        self.chunk_scratch.clear();
+        self.chunk_scratch.extend(pieces.iter().map(|p| p.0));
+        let chunks = std::mem::take(&mut self.chunk_scratch);
+        self.policy
+            .on_volume_arrival(now, req, &chunks, &mut self.state);
+        self.chunk_scratch = chunks;
+
+        let parent = self.next_parent;
+        self.next_parent += 1;
+        self.pending.insert(
+            parent,
+            PendingVolume {
+                remaining: pieces.len() as u32,
+                arrival: req.time,
+                sectors: u64::from(req.sectors),
+            },
+        );
+
+        let kind = match req.kind {
+            VolumeIoKind::Read => IoKind::Read,
+            VolumeIoKind::Write => IoKind::Write,
+        };
+        let n = self.state.config.disks;
+        for (chunk, off, sectors) in pieces {
+            let place = self.state.remap.placement(chunk);
+            let (target_disk, phys) = match self
+                .policy
+                .route(now, chunk, off, kind, &mut self.state)
+            {
+                Some((disk, base)) => (disk, base + off),
+                None => (place.disk, u64::from(place.slot) * cs + off),
+            };
+            let id = self.alloc_id();
+            self.gather.insert(id, parent);
+            let sub = DiskRequest {
+                id,
+                sector: phys,
+                sectors,
+                kind,
+                class: RequestClass::Foreground,
+                issue_time: now,
+            };
+            self.state.disks[target_disk.index()].submit(now, sub);
+
+            if kind == IoKind::Write {
+                self.state.migrator.note_foreground_write(chunk);
+                if self.state.config.redundancy == Redundancy::Raid5Like && n > 1 {
+                    // Parity partner: deterministic, never the data disk.
+                    let p = (place.disk.index() + 1 + chunk.index() % (n - 1)) % n;
+                    let pid = self.alloc_id();
+                    let parity = DiskRequest {
+                        id: pid,
+                        sector: phys,
+                        sectors,
+                        kind: IoKind::Write,
+                        class: RequestClass::Foreground,
+                        issue_time: now,
+                    };
+                    // Not in the gather map: parity does not gate response
+                    // (write-back parity), but it does consume disk time and
+                    // energy.
+                    self.state.disks[p].submit(now, parity);
+                }
+            }
+        }
+    }
+
+    fn handle_disk_wake(&mut self, now: SimTime, d: usize, gen: u64) {
+        if self.gens[d] != gen {
+            return; // superseded
+        }
+        let completions = self.state.disks[d].on_event(now);
+        for comp in completions {
+            match comp.request.class {
+                RequestClass::Migration => {
+                    let follow =
+                        self.state
+                            .migrator
+                            .on_completion(now, &comp, &mut self.state.remap);
+                    for (disk, req) in follow {
+                        self.state.disks[disk.index()].submit(now, req);
+                    }
+                }
+                RequestClass::Foreground => {
+                    self.state.stats.service.record(comp.service_s);
+                    let volume_response = self.gather.remove(&comp.request.id).and_then(|parent| {
+                        let done = {
+                            let p = self.pending.get_mut(&parent).expect("parent missing");
+                            p.remaining -= 1;
+                            p.remaining == 0
+                        };
+                        if done {
+                            let p = self.pending.remove(&parent).expect("parent vanished");
+                            let resp = now.saturating_since(p.arrival).as_secs();
+                            self.state.stats.record_response(now, resp, p.sectors);
+                            Some(resp)
+                        } else {
+                            None
+                        }
+                    });
+                    self.policy
+                        .on_completion(now, &comp, volume_response, &mut self.state);
+                }
+            }
+        }
+        self.pump_migration(now);
+        self.resync(now);
+    }
+
+    fn pump_migration(&mut self, now: SimTime) {
+        let reqs = self.state.migrator.pump(now, &mut self.state.remap);
+        for (disk, req) in reqs {
+            self.state.disks[disk.index()].submit(now, req);
+        }
+    }
+
+    fn take_sample(&mut self, now: SimTime) {
+        let total = self.state.total_energy(now).total_joules();
+        let dt = self.opts.sample_interval.as_secs();
+        let watts = (total - self.last_sample_energy) / dt;
+        self.last_sample_energy = total;
+        let counts = self.state.level_counts();
+        self.state.stats.record_power_sample(now, watts, &counts);
+    }
+
+    fn alloc_id(&mut self) -> u64 {
+        let id = self.next_id;
+        self.next_id += 1;
+        debug_assert!(id < (1 << 63), "foreground id overflow");
+        id
+    }
+
+    /// Re-synchronises the scheduled wake of every disk.
+    fn resync(&mut self, now: SimTime) {
+        for d in 0..self.state.disks.len() {
+            let t = self.state.disks[d].next_event_time();
+            if t != self.scheduled[d] {
+                self.scheduled[d] = t;
+                self.gens[d] += 1;
+                if let Some(t) = t {
+                    self.events.push(t.max(now), Event::DiskWake(d, self.gens[d]));
+                }
+            }
+        }
+    }
+
+    fn finish(mut self) -> (RunReport, P) {
+        let horizon = self.opts.horizon;
+        let per_disk_energy: Vec<EnergyLedger> = self
+            .state
+            .disks
+            .iter_mut()
+            .map(|d| d.energy(horizon))
+            .collect();
+        let mut energy = EnergyLedger::new();
+        for e in &per_disk_energy {
+            energy.merge(e);
+        }
+        let transitions = self.state.disks.iter().map(|d| d.stats().transitions).sum();
+        let stats = self.state.stats;
+        let policy = self.policy;
+        let report = RunReport {
+            policy: policy.name().to_string(),
+            energy,
+            per_disk_energy,
+            response: stats.response,
+            service: stats.service,
+            response_hist: stats.response_hist,
+            response_series: stats.response_series,
+            power_series: stats.power_series,
+            level_series: stats.level_series,
+            completed: stats.fg_completed,
+            incomplete: self.pending.len() as u64,
+            fg_sectors: stats.fg_sectors,
+            migration: self.state.migrator.stats(),
+            transitions,
+            horizon,
+        };
+        (report, policy)
+    }
+}
+
+/// Convenience wrapper: build and run in one call.
+///
+/// # Examples
+/// ```
+/// use array::{run_policy, ArrayConfig, BasePolicy, RunOptions};
+/// use workload::WorkloadSpec;
+///
+/// let trace = WorkloadSpec::oltp(30.0, 10.0).generate(1);
+/// let config = ArrayConfig::default_for_volume(16 << 30);
+/// let report = run_policy(config, BasePolicy, &trace, RunOptions::for_horizon(60.0));
+/// assert_eq!(report.completed as usize, trace.len());
+/// assert!(report.energy.total_joules() > 0.0);
+/// ```
+pub fn run_policy<P: PowerPolicy>(
+    config: ArrayConfig,
+    policy: P,
+    trace: &Trace,
+    opts: RunOptions,
+) -> RunReport {
+    Simulation::new(config, policy, trace, opts).run()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::policy::BasePolicy;
+    use crate::MigrationJob;
+    use diskmodel::{PowerModel, SpeedLevel, SpinTarget};
+    use workload::WorkloadSpec;
+
+    fn small_config() -> ArrayConfig {
+        let mut c = ArrayConfig::default_for_volume(1 << 30); // 1 GiB volume
+        c.disks = 4;
+        c
+    }
+
+    fn small_trace(duration: f64, rate: f64) -> Trace {
+        let mut spec = WorkloadSpec::oltp(duration, rate);
+        spec.extents = 1000;
+        spec.extent_sectors = 2048; // ~1 GiB footprint
+        spec.generate(1)
+    }
+
+    #[test]
+    fn base_policy_completes_everything() {
+        let trace = small_trace(60.0, 20.0);
+        let n = trace.len() as u64;
+        let report = run_policy(
+            small_config(),
+            BasePolicy,
+            &trace,
+            RunOptions::for_horizon(120.0),
+        );
+        assert_eq!(report.completed, n);
+        assert_eq!(report.incomplete, 0);
+        assert!(report.response.mean() > 0.0);
+        assert!(report.response.mean() < 0.1, "mean {} s", report.response.mean());
+    }
+
+    #[test]
+    fn energy_close_to_idle_analytic_at_light_load() {
+        let trace = small_trace(60.0, 1.0);
+        let report = run_policy(
+            small_config(),
+            BasePolicy,
+            &trace,
+            RunOptions::for_horizon(600.0),
+        );
+        let pm = PowerModel::new(&small_config().spec);
+        let idle = pm.idle_w(SpeedLevel(5)) * 600.0 * 4.0;
+        let total = report.energy.total_joules();
+        assert!(total >= idle, "must include service energy");
+        assert!(total < idle * 1.05, "total {total} idle {idle}");
+    }
+
+    #[test]
+    fn deterministic_runs() {
+        let trace = small_trace(30.0, 50.0);
+        let run = || {
+            let r = run_policy(
+                small_config(),
+                BasePolicy,
+                &trace,
+                RunOptions::for_horizon(60.0),
+            );
+            (
+                r.completed,
+                r.energy.total_joules(),
+                r.response.mean(),
+                r.response.raw_second_moment(),
+            )
+        };
+        assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn chunk_spanning_requests_touch_two_disks() {
+        let mut config = small_config();
+        config.volume_chunks = 8;
+        // One request straddling the chunk 0 / chunk 1 boundary.
+        let trace = Trace::from_requests(vec![workload::VolumeRequest {
+            time: SimTime::from_secs(1.0),
+            sector: config.chunk_sectors - 8,
+            sectors: 16,
+            kind: VolumeIoKind::Read,
+        }]);
+        let report = run_policy(config, BasePolicy, &trace, RunOptions::for_horizon(10.0));
+        assert_eq!(report.completed, 1);
+        assert_eq!(report.fg_sectors, 16);
+    }
+
+    #[test]
+    fn raid5_writes_add_parity_load() {
+        let mk_trace = || {
+            Trace::from_requests(
+                (0..100)
+                    .map(|i| workload::VolumeRequest {
+                        time: SimTime::from_secs(0.1 * i as f64),
+                        sector: (i * 4096) % 2_000_000,
+                        sectors: 16,
+                        kind: VolumeIoKind::Write,
+                    })
+                    .collect(),
+            )
+        };
+        let mut plain_cfg = small_config();
+        plain_cfg.redundancy = Redundancy::None;
+        let plain = run_policy(
+            plain_cfg,
+            BasePolicy,
+            &mk_trace(),
+            RunOptions::for_horizon(30.0),
+        );
+        let mut raid_cfg = small_config();
+        raid_cfg.redundancy = Redundancy::Raid5Like;
+        let raid = run_policy(
+            raid_cfg,
+            BasePolicy,
+            &mk_trace(),
+            RunOptions::for_horizon(30.0),
+        );
+        // Parity doubles the write traffic's energy footprint at the disks.
+        let seek_xfer = |r: &RunReport| {
+            r.energy.joules(simkit::EnergyComponent::Seek)
+                + r.energy.joules(simkit::EnergyComponent::Transfer)
+        };
+        assert!(
+            seek_xfer(&raid) > seek_xfer(&plain) * 1.6,
+            "raid {} plain {}",
+            seek_xfer(&raid),
+            seek_xfer(&plain)
+        );
+        // But response time (write-back parity) is not doubled.
+        assert!(raid.response.mean() < plain.response.mean() * 2.0);
+    }
+
+    #[test]
+    fn sample_series_cover_horizon() {
+        let trace = small_trace(120.0, 10.0);
+        let report = run_policy(
+            small_config(),
+            BasePolicy,
+            &trace,
+            RunOptions::for_horizon(300.0),
+        );
+        let pts = report.power_series.mean_points();
+        assert!(pts.len() >= 4, "power series too sparse: {}", pts.len());
+        // All disks at top level throughout.
+        let top = &report.level_series[5];
+        for (_, v) in top.mean_points() {
+            assert_eq!(v, 4.0);
+        }
+    }
+
+    /// A throwaway policy that spins half the array down at init and
+    /// requests one migration.
+    struct HalfDown;
+    impl PowerPolicy for HalfDown {
+        fn name(&self) -> &str {
+            "HalfDown"
+        }
+        fn init(&mut self, now: SimTime, state: &mut ArrayState) {
+            let n = state.disks.len();
+            for d in 0..n / 2 {
+                state.disks[d].request_speed(now, SpinTarget::Level(SpeedLevel(0)));
+            }
+            state.migrator.enqueue([MigrationJob::Relocate {
+                chunk: ChunkId(0),
+                dst: DiskId(n - 1),
+            }]);
+        }
+        fn tick_interval(&self) -> Option<SimDuration> {
+            Some(SimDuration::from_secs(10.0))
+        }
+    }
+
+    #[test]
+    fn policy_speed_changes_and_migration_execute() {
+        let trace = small_trace(60.0, 5.0);
+        let config = small_config();
+        let mut sim = Simulation::new(
+            config,
+            HalfDown,
+            &trace,
+            RunOptions::for_horizon(120.0),
+        );
+        sim.policy.init(SimTime::ZERO, &mut sim.state); // warm check only
+        let report = run_policy(
+            small_config(),
+            HalfDown,
+            &trace,
+            RunOptions::for_horizon(120.0),
+        );
+        assert!(report.migration.committed >= 1, "migration must commit");
+        assert!(
+            report.energy.joules(simkit::EnergyComponent::Migration) > 0.0,
+            "migration energy must be attributed"
+        );
+        assert!(report.transitions >= 2);
+        // Energy lower than all-full-speed baseline.
+        let base = run_policy(
+            small_config(),
+            BasePolicy,
+            &trace,
+            RunOptions::for_horizon(120.0),
+        );
+        assert!(report.energy.total_joules() < base.energy.total_joules());
+        assert_eq!(report.completed, base.completed);
+    }
+
+    #[test]
+    fn response_degrades_at_lower_speed() {
+        struct AllSlow;
+        impl PowerPolicy for AllSlow {
+            fn name(&self) -> &str {
+                "AllSlow"
+            }
+            fn init(&mut self, now: SimTime, state: &mut ArrayState) {
+                for d in &mut state.disks {
+                    d.request_speed(now, SpinTarget::Level(SpeedLevel(0)));
+                }
+            }
+        }
+        let trace = small_trace(120.0, 20.0);
+        let slow = run_policy(
+            small_config(),
+            AllSlow,
+            &trace,
+            RunOptions::for_horizon(240.0),
+        );
+        let fast = run_policy(
+            small_config(),
+            BasePolicy,
+            &trace,
+            RunOptions::for_horizon(240.0),
+        );
+        assert!(
+            slow.response.mean() > fast.response.mean() * 1.3,
+            "slow {} fast {}",
+            slow.response.mean(),
+            fast.response.mean()
+        );
+        assert!(slow.energy.total_joules() < fast.energy.total_joules());
+    }
+
+    #[test]
+    fn horizon_truncates_cleanly() {
+        let trace = small_trace(600.0, 20.0);
+        let report = run_policy(
+            small_config(),
+            BasePolicy,
+            &trace,
+            RunOptions::for_horizon(60.0),
+        );
+        let expected: u64 = trace
+            .requests
+            .iter()
+            .filter(|r| r.time.as_secs() < 59.0)
+            .count() as u64;
+        assert!(report.completed >= expected.saturating_sub(5));
+        assert!(report.horizon == SimTime::from_secs(60.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "beyond volume")]
+    fn oversized_trace_rejected() {
+        let mut config = small_config();
+        config.volume_chunks = 4;
+        let trace = Trace::from_requests(vec![workload::VolumeRequest {
+            time: SimTime::ZERO,
+            sector: config.volume_sectors() + 10,
+            sectors: 8,
+            kind: VolumeIoKind::Read,
+        }]);
+        let _ = Simulation::new(config, BasePolicy, &trace, RunOptions::for_horizon(1.0));
+    }
+}

@@ -1,0 +1,118 @@
+//! Array-level measurement.
+//!
+//! [`ArrayStats`] aggregates what every experiment reports: foreground
+//! response times (moments, percentile histogram, and a windowed time
+//! series), throughput counters, and — sampled on a fixed cadence by the
+//! driver — the array power draw and the number of disks at each spindle
+//! state (the inputs to the "energy over time" and "tier adaptation"
+//! figures).
+
+use simkit::{LatencyHistogram, Moments, SimDuration, SimTime, TimeSeries};
+
+/// Live measurement state, owned by the simulation driver.
+#[derive(Debug)]
+pub struct ArrayStats {
+    /// Foreground response-time moments (seconds).
+    pub response: Moments,
+    /// Foreground disk-level service-time moments (seconds) — the inputs
+    /// queueing-model validation compares against.
+    pub service: Moments,
+    /// Foreground response-time percentile histogram.
+    pub response_hist: LatencyHistogram,
+    /// Mean response time per time bucket (the F2 series).
+    pub response_series: TimeSeries,
+    /// Total array power (W) per time bucket, sampled by the driver
+    /// (the F1 series: multiply by the bucket width for joules).
+    pub power_series: TimeSeries,
+    /// One series per spindle level, counting disks at that level; index
+    /// `num_levels` counts disks in standby, `num_levels + 1` disks in
+    /// transition (the F10 series).
+    pub level_series: Vec<TimeSeries>,
+    /// Foreground requests completed.
+    pub fg_completed: u64,
+    /// Foreground sectors transferred.
+    pub fg_sectors: u64,
+}
+
+impl ArrayStats {
+    /// Creates stats for an array with `num_levels` spindle levels,
+    /// recording series at `bucket` granularity.
+    pub fn new(num_levels: usize, bucket: SimDuration) -> ArrayStats {
+        ArrayStats {
+            response: Moments::new(),
+            service: Moments::new(),
+            response_hist: LatencyHistogram::new_latency(),
+            response_series: TimeSeries::new(bucket),
+            power_series: TimeSeries::new(bucket),
+            level_series: (0..num_levels + 2).map(|_| TimeSeries::new(bucket)).collect(),
+            fg_completed: 0,
+            fg_sectors: 0,
+        }
+    }
+
+    /// Records one completed foreground volume request.
+    pub fn record_response(&mut self, now: SimTime, response_s: f64, sectors: u64) {
+        self.response.record(response_s);
+        self.response_hist.record(response_s);
+        self.response_series.record(now, response_s);
+        self.fg_completed += 1;
+        self.fg_sectors += sectors;
+    }
+
+    /// Records one power/level sample taken by the driver.
+    ///
+    /// `level_counts` must have `num_levels + 2` entries (levels, standby,
+    /// transitioning).
+    ///
+    /// # Panics
+    /// Panics if the slice length does not match.
+    pub fn record_power_sample(&mut self, now: SimTime, watts: f64, level_counts: &[u32]) {
+        assert_eq!(
+            level_counts.len(),
+            self.level_series.len(),
+            "level count arity mismatch"
+        );
+        self.power_series.record(now, watts);
+        for (series, &c) in self.level_series.iter_mut().zip(level_counts) {
+            series.record(now, f64::from(c));
+        }
+    }
+
+    /// Mean foreground response time (s), 0 when nothing completed.
+    pub fn mean_response_s(&self) -> f64 {
+        self.response.mean()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn records_and_reports() {
+        let mut s = ArrayStats::new(6, SimDuration::from_secs(60.0));
+        s.record_response(SimTime::from_secs(1.0), 0.010, 16);
+        s.record_response(SimTime::from_secs(2.0), 0.030, 16);
+        assert_eq!(s.fg_completed, 2);
+        assert_eq!(s.fg_sectors, 32);
+        assert!((s.mean_response_s() - 0.020).abs() < 1e-12);
+        assert_eq!(s.response_hist.count(), 2);
+        assert_eq!(s.response_series.mean_points().len(), 1);
+    }
+
+    #[test]
+    fn power_samples_feed_all_series() {
+        let mut s = ArrayStats::new(2, SimDuration::from_secs(10.0));
+        s.record_power_sample(SimTime::from_secs(5.0), 100.0, &[1, 2, 3, 0]);
+        assert_eq!(s.power_series.mean_points(), vec![(5.0, 100.0)]);
+        assert_eq!(s.level_series[2].mean_points(), vec![(5.0, 3.0)]);
+        assert_eq!(s.level_series[3].mean_points(), vec![(5.0, 0.0)]);
+    }
+
+    #[test]
+    #[should_panic(expected = "arity mismatch")]
+    fn wrong_level_arity_panics() {
+        let mut s = ArrayStats::new(2, SimDuration::from_secs(10.0));
+        s.record_power_sample(SimTime::ZERO, 1.0, &[1, 2]);
+    }
+}

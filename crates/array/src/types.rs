@@ -1,0 +1,169 @@
+//! Core identifiers and array configuration.
+
+use diskmodel::DiskSpec;
+use serde::{Deserialize, Serialize};
+
+/// Index of a disk within the array.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct DiskId(pub usize);
+
+impl DiskId {
+    /// The numeric index.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0
+    }
+}
+
+/// Index of a logical-volume chunk (the unit of placement and migration).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct ChunkId(pub u32);
+
+impl ChunkId {
+    /// The numeric index.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// Redundancy scheme of the array.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize, Default)]
+pub enum Redundancy {
+    /// Pure striping (RAID-0-like): reads and writes touch only the data
+    /// disk. The energy experiments default to this, isolating the policy
+    /// comparison from parity effects.
+    #[default]
+    None,
+    /// RAID-5-like write penalty: every foreground write also writes a
+    /// parity block of equal size to a neighbouring disk (the disk holding
+    /// the chunk's parity partner). Reads are unaffected (parity is only
+    /// read on reconstruction, which this suite does not simulate).
+    Raid5Like,
+}
+
+/// Static configuration of a simulated array.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ArrayConfig {
+    /// Number of disks.
+    pub disks: usize,
+    /// Disk model shared by all spindles.
+    pub spec: DiskSpec,
+    /// Sectors per chunk (placement/migration granularity).
+    pub chunk_sectors: u64,
+    /// Number of volume chunks (the exported volume size is
+    /// `volume_chunks × chunk_sectors` sectors).
+    pub volume_chunks: u32,
+    /// Redundancy scheme.
+    pub redundancy: Redundancy,
+    /// Seed for all stochastic elements (rotational latencies etc.).
+    pub seed: u64,
+    /// If set, the initial striped layout uses only disks `0..stripe_width`
+    /// (MAID keeps its cache disks data-free this way). `None` stripes over
+    /// every disk.
+    pub stripe_width: Option<usize>,
+}
+
+impl ArrayConfig {
+    /// A 16-disk array with 1 MiB chunks sized to hold `volume_bytes`,
+    /// using the 6-level multi-speed preset.
+    pub fn default_for_volume(volume_bytes: u64) -> ArrayConfig {
+        let spec = DiskSpec::ultrastar_multispeed(6);
+        let chunk_sectors = 2048; // 1 MiB
+        let chunk_bytes = chunk_sectors * 512;
+        let volume_chunks = volume_bytes.div_ceil(chunk_bytes) as u32;
+        ArrayConfig {
+            disks: 16,
+            spec,
+            chunk_sectors,
+            volume_chunks,
+            redundancy: Redundancy::None,
+            seed: 0xD15C,
+            stripe_width: None,
+        }
+    }
+
+    /// The number of disks the initial layout stripes over.
+    pub fn effective_stripe_width(&self) -> usize {
+        self.stripe_width.unwrap_or(self.disks).min(self.disks)
+    }
+
+    /// Volume size in sectors.
+    pub fn volume_sectors(&self) -> u64 {
+        u64::from(self.volume_chunks) * self.chunk_sectors
+    }
+
+    /// Chunk slots available on each disk.
+    pub fn slots_per_disk(&self) -> u32 {
+        (self.spec.capacity_sectors() / self.chunk_sectors) as u32
+    }
+
+    /// Validates the configuration.
+    pub fn validate(&self) -> Result<(), String> {
+        self.spec.validate()?;
+        if self.disks == 0 {
+            return Err("array needs at least one disk".into());
+        }
+        if self.chunk_sectors == 0 {
+            return Err("chunk_sectors must be positive".into());
+        }
+        if self.volume_chunks == 0 {
+            return Err("volume must be non-empty".into());
+        }
+        if let Some(w) = self.stripe_width {
+            if w == 0 || w > self.disks {
+                return Err(format!("stripe_width {w} outside 1..={}", self.disks));
+            }
+        }
+        let capacity =
+            u64::from(self.slots_per_disk()) * self.effective_stripe_width() as u64;
+        if u64::from(self.volume_chunks) > capacity {
+            return Err(format!(
+                "volume of {} chunks exceeds stripe capacity of {capacity} chunk slots",
+                self.volume_chunks
+            ));
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_config_is_valid() {
+        let c = ArrayConfig::default_for_volume(16 << 30);
+        c.validate().unwrap();
+        assert_eq!(c.disks, 16);
+        assert!(c.volume_sectors() >= (16u64 << 30) / 512);
+    }
+
+    #[test]
+    fn slots_cover_volume_easily() {
+        let c = ArrayConfig::default_for_volume(16 << 30);
+        let slots = u64::from(c.slots_per_disk()) * c.disks as u64;
+        assert!(slots > u64::from(c.volume_chunks) * 4);
+    }
+
+    #[test]
+    fn validate_rejects_oversized_volume() {
+        let mut c = ArrayConfig::default_for_volume(16 << 30);
+        c.volume_chunks = u32::MAX;
+        assert!(c.validate().is_err());
+    }
+
+    #[test]
+    fn validate_rejects_zero_disks() {
+        let mut c = ArrayConfig::default_for_volume(1 << 30);
+        c.disks = 0;
+        assert!(c.validate().is_err());
+    }
+
+    #[test]
+    fn ids_order_and_index() {
+        assert!(ChunkId(1) < ChunkId(2));
+        assert_eq!(ChunkId(7).index(), 7);
+        assert_eq!(DiskId(3).index(), 3);
+    }
+}

@@ -1,0 +1,360 @@
+//! One Criterion benchmark per reproduced table and figure.
+//!
+//! Each bench runs a scaled-down version of the corresponding experiment
+//! (see DESIGN.md §6): same code paths, shorter horizons and smaller
+//! arrays, so `cargo bench` doubles as a performance regression harness
+//! for the whole pipeline. The authoritative, full-scale numbers come from
+//! the `repro` binary; these benches measure *simulator* cost, not the
+//! policies' energy results.
+
+use array::{run_policy, ArrayConfig, BasePolicy, RunOptions};
+use criterion::{criterion_group, criterion_main, Criterion};
+use diskmodel::{DiskSpec, PowerModel, ServiceModel};
+use hibernator::{Hibernator, HibernatorConfig};
+use policies::{maid_array_config, DrpmPolicy, MaidConfig, MaidPolicy, PdcPolicy, TpmPolicy};
+use simkit::SimDuration;
+use std::hint::black_box;
+use workload::{TraceStats, WorkloadSpec};
+
+const BENCH_HORIZON_S: f64 = 300.0;
+
+fn bench_config() -> ArrayConfig {
+    let mut c = ArrayConfig::default_for_volume(1 << 30);
+    c.disks = 8;
+    c
+}
+
+fn bench_trace() -> workload::Trace {
+    let mut spec = WorkloadSpec::oltp(BENCH_HORIZON_S, 40.0);
+    spec.extents = 1024;
+    spec.generate(1)
+}
+
+fn cello_trace() -> workload::Trace {
+    let mut spec = WorkloadSpec::cello_like(BENCH_HORIZON_S, 40.0);
+    spec.extents = 1024;
+    spec.generate(1)
+}
+
+fn hib(goal_s: f64) -> Hibernator {
+    let mut cfg = HibernatorConfig::for_goal(goal_s);
+    cfg.epoch = SimDuration::from_secs(60.0);
+    cfg.heat_tau = SimDuration::from_secs(60.0);
+    cfg.guard_window = SimDuration::from_secs(30.0);
+    cfg.guard_hysteresis = SimDuration::from_secs(60.0);
+    Hibernator::new(cfg)
+}
+
+/// T1 — evaluating the disk model tables (spec → power/service figures).
+fn t1_disk_model(c: &mut Criterion) {
+    c.bench_function("t1_disk_model_tables", |b| {
+        b.iter(|| {
+            let spec = DiskSpec::ultrastar_multispeed(black_box(6));
+            let pm = PowerModel::new(&spec);
+            let sm = ServiceModel::new(&spec);
+            let mut acc = 0.0;
+            for l in spec.levels() {
+                acc += pm.idle_w(l) + sm.expected_random_service_s(l, 16);
+            }
+            acc += sm.seek_model().average_seek_time();
+            black_box(acc)
+        })
+    });
+}
+
+/// T2 — workload generation + characterisation.
+fn t2_workload_stats(c: &mut Criterion) {
+    c.bench_function("t2_workload_generation_and_stats", |b| {
+        b.iter(|| {
+            let trace = WorkloadSpec::oltp(60.0, 50.0).generate(black_box(3));
+            black_box(TraceStats::compute(&trace))
+        })
+    });
+}
+
+/// T3/T5 — the headline policy-comparison runs (energy + breakdown come
+/// from the same simulations).
+fn t3_policy_energy(c: &mut Criterion) {
+    let trace = bench_trace();
+    let mut g = c.benchmark_group("t3_policy_energy");
+    g.sample_size(10);
+    g.bench_function("base", |b| {
+        b.iter(|| {
+            run_policy(
+                bench_config(),
+                BasePolicy,
+                &trace,
+                RunOptions::for_horizon(BENCH_HORIZON_S),
+            )
+        })
+    });
+    g.bench_function("tpm", |b| {
+        b.iter(|| {
+            run_policy(
+                bench_config(),
+                TpmPolicy::competitive(),
+                &trace,
+                RunOptions::for_horizon(BENCH_HORIZON_S),
+            )
+        })
+    });
+    g.bench_function("drpm", |b| {
+        b.iter(|| {
+            run_policy(
+                bench_config(),
+                DrpmPolicy::default(),
+                &trace,
+                RunOptions::for_horizon(BENCH_HORIZON_S),
+            )
+        })
+    });
+    g.bench_function("pdc", |b| {
+        b.iter(|| {
+            run_policy(
+                bench_config(),
+                PdcPolicy::default(),
+                &trace,
+                RunOptions::for_horizon(BENCH_HORIZON_S),
+            )
+        })
+    });
+    g.bench_function("maid", |b| {
+        b.iter(|| {
+            let cfg = maid_array_config(bench_config(), 2);
+            run_policy(
+                cfg,
+                MaidPolicy::new(MaidConfig {
+                    cache_disks: 2,
+                    cache_chunks_per_disk: 128,
+                    tpm_threshold_s: None,
+                }),
+                &trace,
+                RunOptions::for_horizon(BENCH_HORIZON_S),
+            )
+        })
+    });
+    g.bench_function("hibernator", |b| {
+        b.iter(|| {
+            run_policy(
+                bench_config(),
+                hib(0.010),
+                &trace,
+                RunOptions::for_horizon(BENCH_HORIZON_S),
+            )
+        })
+    });
+    g.finish();
+}
+
+/// T4 — response-time statistics extraction from a finished run.
+fn t4_response_stats(c: &mut Criterion) {
+    let trace = bench_trace();
+    let report = run_policy(
+        bench_config(),
+        BasePolicy,
+        &trace,
+        RunOptions::for_horizon(BENCH_HORIZON_S),
+    );
+    c.bench_function("t4_response_percentiles", |b| {
+        b.iter(|| {
+            let p50 = report.response_hist.quantile(black_box(0.5));
+            let p95 = report.response_hist.quantile(black_box(0.95));
+            let p99 = report.response_hist.quantile(black_box(0.99));
+            black_box((p50, p95, p99))
+        })
+    });
+}
+
+/// F1/F2/F10 — time-series recording cost (one managed run with series).
+fn f1_series_run(c: &mut Criterion) {
+    let trace = bench_trace();
+    let mut g = c.benchmark_group("f1_f2_f10_series");
+    g.sample_size(10);
+    g.bench_function("hibernator_with_series", |b| {
+        b.iter(|| {
+            let mut opts = RunOptions::for_horizon(BENCH_HORIZON_S);
+            opts.series_bucket = SimDuration::from_secs(10.0);
+            opts.sample_interval = opts.series_bucket;
+            run_policy(bench_config(), hib(0.010), &trace, opts)
+        })
+    });
+    g.finish();
+}
+
+/// F3 — the goal sweep (three points at bench scale).
+fn f3_goal_sweep(c: &mut Criterion) {
+    let trace = bench_trace();
+    let mut g = c.benchmark_group("f3_goal_sweep");
+    g.sample_size(10);
+    g.bench_function("three_goals", |b| {
+        b.iter(|| {
+            for goal in [0.006, 0.010, 0.020] {
+                black_box(run_policy(
+                    bench_config(),
+                    hib(goal),
+                    &trace,
+                    RunOptions::for_horizon(BENCH_HORIZON_S),
+                ));
+            }
+        })
+    });
+    g.finish();
+}
+
+/// F4 — epoch-length sensitivity (two epochs at bench scale).
+fn f4_epoch_sweep(c: &mut Criterion) {
+    let trace = bench_trace();
+    let mut g = c.benchmark_group("f4_epoch_sweep");
+    g.sample_size(10);
+    g.bench_function("short_vs_long_epoch", |b| {
+        b.iter(|| {
+            for epoch_s in [30.0, 120.0] {
+                let mut cfg = HibernatorConfig::for_goal(0.010);
+                cfg.epoch = SimDuration::from_secs(epoch_s);
+                cfg.heat_tau = cfg.epoch;
+                black_box(run_policy(
+                    bench_config(),
+                    Hibernator::new(cfg),
+                    &trace,
+                    RunOptions::for_horizon(BENCH_HORIZON_S),
+                ));
+            }
+        })
+    });
+    g.finish();
+}
+
+/// F5 — speed-level-count sensitivity (2 vs 6 levels).
+fn f5_levels_sweep(c: &mut Criterion) {
+    let trace = bench_trace();
+    let mut g = c.benchmark_group("f5_levels_sweep");
+    g.sample_size(10);
+    g.bench_function("two_vs_six_levels", |b| {
+        b.iter(|| {
+            for levels in [2usize, 6] {
+                let mut config = bench_config();
+                config.spec = DiskSpec::ultrastar_multispeed(levels);
+                black_box(run_policy(
+                    config,
+                    hib(0.010),
+                    &trace,
+                    RunOptions::for_horizon(BENCH_HORIZON_S),
+                ));
+            }
+        })
+    });
+    g.finish();
+}
+
+/// F6 — load-scaling behaviour (0.5x vs 2x).
+fn f6_load_sweep(c: &mut Criterion) {
+    let mut g = c.benchmark_group("f6_load_sweep");
+    g.sample_size(10);
+    for (label, rate) in [("half_load", 20.0), ("double_load", 80.0)] {
+        let mut spec = WorkloadSpec::oltp(BENCH_HORIZON_S, rate);
+        spec.extents = 1024;
+        let trace = spec.generate(1);
+        g.bench_function(label, |b| {
+            b.iter(|| {
+                black_box(run_policy(
+                    bench_config(),
+                    hib(0.010),
+                    &trace,
+                    RunOptions::for_horizon(BENCH_HORIZON_S),
+                ))
+            })
+        });
+    }
+    g.finish();
+}
+
+/// F7 — migration-mode ablation.
+fn f7_migration_ablation(c: &mut Criterion) {
+    let trace = bench_trace();
+    let mut g = c.benchmark_group("f7_migration_ablation");
+    g.sample_size(10);
+    g.bench_function("none_vs_temperature", |b| {
+        b.iter(|| {
+            let with = run_policy(
+                bench_config(),
+                hib(0.010),
+                &trace,
+                RunOptions::for_horizon(BENCH_HORIZON_S),
+            );
+            let without = run_policy(
+                bench_config(),
+                hib(0.010).without_migration(),
+                &trace,
+                RunOptions::for_horizon(BENCH_HORIZON_S),
+            );
+            black_box((with, without))
+        })
+    });
+    g.finish();
+}
+
+/// F8 — guard ablation on the bursty workload.
+fn f8_guard_ablation(c: &mut Criterion) {
+    let trace = cello_trace();
+    let mut g = c.benchmark_group("f8_guard_ablation");
+    g.sample_size(10);
+    g.bench_function("guard_on_vs_off", |b| {
+        b.iter(|| {
+            let on = run_policy(
+                bench_config(),
+                hib(0.010),
+                &trace,
+                RunOptions::for_horizon(BENCH_HORIZON_S),
+            );
+            let off = run_policy(
+                bench_config(),
+                hib(0.010).without_guard(),
+                &trace,
+                RunOptions::for_horizon(BENCH_HORIZON_S),
+            );
+            black_box((on, off))
+        })
+    });
+    g.finish();
+}
+
+/// F9 — array-size scaling: simulator cost vs disk count.
+fn f9_array_size(c: &mut Criterion) {
+    let mut g = c.benchmark_group("f9_array_size");
+    g.sample_size(10);
+    for disks in [4usize, 16] {
+        let mut spec = WorkloadSpec::oltp(BENCH_HORIZON_S, 5.0 * disks as f64);
+        spec.extents = 1024;
+        let trace = spec.generate(1);
+        g.bench_function(format!("{disks}_disks"), |b| {
+            b.iter(|| {
+                let mut config = bench_config();
+                config.disks = disks;
+                black_box(run_policy(
+                    config,
+                    hib(0.010),
+                    &trace,
+                    RunOptions::for_horizon(BENCH_HORIZON_S),
+                ))
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(
+    experiments,
+    t1_disk_model,
+    t2_workload_stats,
+    t3_policy_energy,
+    t4_response_stats,
+    f1_series_run,
+    f3_goal_sweep,
+    f4_epoch_sweep,
+    f5_levels_sweep,
+    f6_load_sweep,
+    f7_migration_ablation,
+    f8_guard_ablation,
+    f9_array_size,
+);
+criterion_main!(experiments);

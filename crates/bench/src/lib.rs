@@ -1,0 +1,1 @@
+//! Bench crate: all content lives in benches/.

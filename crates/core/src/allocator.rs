@@ -1,0 +1,503 @@
+//! The coarse-grained speed allocator.
+//!
+//! Once per epoch Hibernator chooses *how many disks spin at each speed*.
+//! The inputs are the temperature-sorted per-chunk arrival rates, the
+//! per-level service moments, and the response-time goal; the output is a
+//! disk count per level minimizing predicted power subject to the goal.
+//!
+//! # Model
+//!
+//! Capacity stays balanced: every disk holds `⌈C/N⌉` chunks. Tiers are
+//! filled hottest-first — the fastest tier's disks take the hottest chunk
+//! prefix, and so on down. For an assignment `(n_{K-1}, …, n_0)`:
+//!
+//! * tier load `λ_k` = summed rates of its chunk range, split evenly over
+//!   its `n_k` disks;
+//! * per-disk response `R_k` from the M/G/1 predictor;
+//! * array response `R̄ = Σ λ_k·R_k / λ` (request-weighted);
+//! * power `P = Σ n_k·(P_idle(k) + ρ_k·P_active_extra)`.
+//!
+//! # Search
+//!
+//! Exact dynamic programming over (level, disks assigned), with the
+//! accumulated weighted-response budget discretised into buckets. The
+//! discretisation is conservative (budgets round *up*), so a returned
+//! assignment always satisfies the goal under the model. For small arrays
+//! the exhaustive enumeration in the tests cross-checks optimality.
+
+use crate::predictor::ServiceEstimator;
+use diskmodel::{PowerModel, SpeedLevel};
+
+/// Inputs that change every epoch.
+#[derive(Debug, Clone)]
+pub struct AllocationInput<'a> {
+    /// Per-chunk arrival rates (req/s), sorted descending (hottest first).
+    pub chunk_rates: &'a [f64],
+    /// Number of disks to distribute.
+    pub disks: usize,
+    /// Mean response-time goal, seconds.
+    pub goal_s: f64,
+}
+
+/// The allocator's decision.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Allocation {
+    /// Disks per level (index = level, 0 = slowest).
+    pub per_level: Vec<usize>,
+    /// Predicted request-weighted mean response time (s); 0 when idle.
+    pub predicted_response_s: f64,
+    /// Predicted array power (W).
+    pub predicted_power_w: f64,
+    /// False when no assignment met the goal and the all-fast fallback was
+    /// returned.
+    pub feasible: bool,
+}
+
+impl Allocation {
+    /// All disks at the fastest level (the fallback / Base layout).
+    pub fn all_fast(disks: usize, levels: usize) -> Allocation {
+        let mut per_level = vec![0; levels];
+        per_level[levels - 1] = disks;
+        Allocation {
+            per_level,
+            predicted_response_s: 0.0,
+            predicted_power_w: 0.0,
+            feasible: false,
+        }
+    }
+}
+
+/// The allocator: owns the per-level power figures, borrows fresh service
+/// moments per call.
+pub struct SpeedAllocator {
+    idle_w: Vec<f64>,
+    active_extra_w: f64,
+    /// Response-budget discretisation buckets.
+    buckets: usize,
+}
+
+impl SpeedAllocator {
+    /// Builds the allocator from the disk power model.
+    pub fn new(power: &PowerModel, levels: usize) -> SpeedAllocator {
+        SpeedAllocator {
+            idle_w: (0..levels).map(|l| power.idle_w(SpeedLevel(l))).collect(),
+            // Seek and transfer extras are close; use their midpoint for the
+            // load-dependent term.
+            active_extra_w: 3.15,
+            buckets: 160,
+        }
+    }
+
+    /// Number of levels.
+    pub fn levels(&self) -> usize {
+        self.idle_w.len()
+    }
+
+    /// Evaluates one concrete assignment. Returns `None` if infeasible
+    /// (some tier saturated or goal exceeded).
+    pub fn evaluate(
+        &self,
+        input: &AllocationInput<'_>,
+        est: &ServiceEstimator,
+        per_level: &[usize],
+    ) -> Option<(f64, f64)> {
+        self.evaluate_inner(input, est, per_level, true)
+    }
+
+    /// Evaluates ignoring the goal (used for the all-fast fallback, whose
+    /// predictions still feed the model-calibration loop). Returns `None`
+    /// only on saturation.
+    pub fn evaluate_unconstrained(
+        &self,
+        input: &AllocationInput<'_>,
+        est: &ServiceEstimator,
+        per_level: &[usize],
+    ) -> Option<(f64, f64)> {
+        self.evaluate_inner(input, est, per_level, false)
+    }
+
+    fn evaluate_inner(
+        &self,
+        input: &AllocationInput<'_>,
+        est: &ServiceEstimator,
+        per_level: &[usize],
+        enforce_goal: bool,
+    ) -> Option<(f64, f64)> {
+        assert_eq!(per_level.len(), self.levels(), "arity mismatch");
+        assert_eq!(
+            per_level.iter().sum::<usize>(),
+            input.disks,
+            "must assign every disk"
+        );
+        let cum = cumulative_rates(input.chunk_rates, input.disks);
+        let total_rate: f64 = *cum.last().expect("cum non-empty");
+
+        let mut used = 0usize;
+        let mut weighted = 0.0;
+        let mut power = 0.0;
+        // Fastest level first consumes the hottest prefix.
+        for level in (0..self.levels()).rev() {
+            let n = per_level[level];
+            if n == 0 {
+                continue;
+            }
+            let lam_tier = cum[used + n] - cum[used];
+            let lam_disk = lam_tier / n as f64;
+            let r = est.response(SpeedLevel(level), lam_disk);
+            if !r.is_finite() {
+                return None;
+            }
+            weighted += lam_tier * r;
+            let (es, _) = est.moments(SpeedLevel(level));
+            let rho = (lam_disk * es).min(1.0);
+            power += n as f64 * (self.idle_w[level] + rho * self.active_extra_w);
+            used += n;
+        }
+        let mean_resp = if total_rate > 0.0 {
+            weighted / total_rate
+        } else {
+            0.0
+        };
+        if enforce_goal && mean_resp > input.goal_s {
+            return None;
+        }
+        Some((mean_resp, power))
+    }
+
+    /// Finds the minimum-power assignment meeting the goal. Falls back to
+    /// all-fast (flagged `feasible: false`) if nothing meets it.
+    #[allow(clippy::needless_range_loop)] // dp tables are indexed by design
+    pub fn allocate(&self, input: &AllocationInput<'_>, est: &ServiceEstimator) -> Allocation {
+        assert!(input.disks > 0, "no disks");
+        assert!(input.goal_s > 0.0, "goal must be positive");
+        let levels = self.levels();
+        let n = input.disks;
+        let cum = cumulative_rates(input.chunk_rates, n);
+        let total_rate = *cum.last().expect("non-empty");
+        let budget = input.goal_s * total_rate.max(1e-12);
+        let b = self.buckets;
+
+        // dp[disks_used][bucket] = min power, processed fastest level first.
+        const INF: f64 = f64::INFINITY;
+        let mut dp = vec![vec![INF; b + 1]; n + 1];
+        let mut choice: Vec<Vec<Vec<(usize, usize, usize)>>> = Vec::new(); // per level: (from_used, from_bucket, n)
+        dp[0][0] = 0.0;
+
+        for level in (0..levels).rev() {
+            let mut ndp = vec![vec![INF; b + 1]; n + 1];
+            let mut nchoice = vec![vec![(usize::MAX, 0, 0); b + 1]; n + 1];
+            let (es, _es2) = est.moments(SpeedLevel(level));
+            for used in 0..=n {
+                for bk in 0..=b {
+                    let cur = dp[used][bk];
+                    if !cur.is_finite() {
+                        continue;
+                    }
+                    let max_take = n - used;
+                    for take in 0..=max_take {
+                        // Levels below this one must be able to absorb the
+                        // rest; always possible (they can also take 0 only at
+                        // the end). Enforce full assignment at the last level.
+                        if level == 0 && take != max_take {
+                            continue;
+                        }
+                        let (add_w, add_p) = if take == 0 {
+                            (0.0, 0.0)
+                        } else {
+                            let lam_tier = cum[used + take] - cum[used];
+                            let lam_disk = lam_tier / take as f64;
+                            let r = est.response(SpeedLevel(level), lam_disk);
+                            if !r.is_finite() {
+                                continue;
+                            }
+                            let rho = (lam_disk * es).min(1.0);
+                            (
+                                lam_tier * r,
+                                take as f64 * (self.idle_w[level] + rho * self.active_extra_w),
+                            )
+                        };
+                        // Conservative: round the consumed budget up.
+                        let spent = bk as f64 / b as f64 * budget + add_w;
+                        if spent > budget * (1.0 + 1e-9) {
+                            continue;
+                        }
+                        let nbk = ((spent / budget * b as f64).ceil() as usize).min(b);
+                        let np = cur + add_p;
+                        if np < ndp[used + take][nbk] {
+                            ndp[used + take][nbk] = np;
+                            nchoice[used + take][nbk] = (used, bk, take);
+                        }
+                    }
+                }
+            }
+            dp = ndp;
+            choice.push(nchoice);
+        }
+
+        // Best terminal state.
+        let mut best: Option<(usize, f64)> = None; // (bucket, power)
+        for bk in 0..=b {
+            let p = dp[n][bk];
+            if p.is_finite() && best.is_none_or(|(_, bp)| p < bp) {
+                best = Some((bk, p));
+            }
+        }
+        let Some((mut bk, power)) = best else {
+            // No feasible assignment: fall back to all-fast, but carry its
+            // *real* predicted response/power so the calibration loop keeps
+            // comparing model to measurement.
+            let mut fallback = Allocation::all_fast(n, levels);
+            if let Some((resp, pw)) =
+                self.evaluate_unconstrained(input, est, &fallback.per_level)
+            {
+                fallback.predicted_response_s = resp;
+                fallback.predicted_power_w = pw;
+            }
+            return fallback;
+        };
+
+        // Reconstruct.
+        let mut per_level = vec![0usize; levels];
+        let mut used = n;
+        for (i, level) in (0..levels).rev().enumerate().rev() {
+            // `choice` was pushed fastest-level-first; index i corresponds to
+            // the i-th processed level. Walk backwards.
+            let (pu, pb, take) = choice[i][used][bk];
+            debug_assert_ne!(pu, usize::MAX, "broken DP chain");
+            per_level[level] = take;
+            used = pu;
+            bk = pb;
+        }
+        debug_assert_eq!(used, 0);
+
+        let (resp, pw) = self
+            .evaluate(input, est, &per_level)
+            .expect("DP result must evaluate feasible");
+        debug_assert!((pw - power).abs() < 1e-6);
+        Allocation {
+            per_level,
+            predicted_response_s: resp,
+            predicted_power_w: pw,
+            feasible: true,
+        }
+    }
+}
+
+/// Prefix sums of tier loads: `cum[i]` = total rate of the hottest
+/// `i × chunks_per_disk` chunks, for i = 0..=disks.
+fn cumulative_rates(chunk_rates: &[f64], disks: usize) -> Vec<f64> {
+    let cpd = chunk_rates.len().div_ceil(disks.max(1)).max(1);
+    let mut cum = Vec::with_capacity(disks + 1);
+    cum.push(0.0);
+    let mut acc = 0.0;
+    for d in 0..disks {
+        let lo = (d * cpd).min(chunk_rates.len());
+        let hi = ((d + 1) * cpd).min(chunk_rates.len());
+        acc += chunk_rates[lo..hi].iter().sum::<f64>();
+        cum.push(acc);
+    }
+    cum
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use diskmodel::{DiskSpec, ServiceModel};
+
+    fn setup() -> (SpeedAllocator, ServiceEstimator) {
+        let spec = DiskSpec::ultrastar_multispeed(6);
+        let alloc = SpeedAllocator::new(&PowerModel::new(&spec), 6);
+        let est = ServiceEstimator::new(&ServiceModel::new(&spec), 6, 16);
+        (alloc, est)
+    }
+
+    /// Zipf-ish synthetic chunk rates summing to `total`, sorted descending.
+    fn rates(chunks: usize, total: f64) -> Vec<f64> {
+        let raw: Vec<f64> = (0..chunks).map(|i| 1.0 / (i as f64 + 1.0)).collect();
+        let sum: f64 = raw.iter().sum();
+        raw.into_iter().map(|r| r / sum * total).collect()
+    }
+
+    /// Exhaustive reference: enumerate all compositions.
+    fn exhaustive(
+        alloc: &SpeedAllocator,
+        input: &AllocationInput<'_>,
+        est: &ServiceEstimator,
+    ) -> Option<(Vec<usize>, f64)> {
+        fn rec(
+            alloc: &SpeedAllocator,
+            input: &AllocationInput<'_>,
+            est: &ServiceEstimator,
+            level: usize,
+            left: usize,
+            cur: &mut Vec<usize>,
+            best: &mut Option<(Vec<usize>, f64)>,
+        ) {
+            if level == alloc.levels() {
+                if left == 0 {
+                    if let Some((_, p)) = alloc.evaluate(input, est, cur) {
+                        if best.as_ref().is_none_or(|(_, bp)| p < *bp) {
+                            *best = Some((cur.clone(), p));
+                        }
+                    }
+                }
+                return;
+            }
+            for take in 0..=left {
+                cur.push(take);
+                rec(alloc, input, est, level + 1, left - take, cur, best);
+                cur.pop();
+            }
+        }
+        let mut best = None;
+        rec(alloc, input, est, 0, input.disks, &mut Vec::new(), &mut best);
+        best
+    }
+
+    #[test]
+    fn idle_array_goes_all_slow() {
+        let (alloc, est) = setup();
+        let r = rates(64, 0.001); // essentially no load
+        let input = AllocationInput {
+            chunk_rates: &r,
+            disks: 8,
+            goal_s: 0.050,
+        };
+        let a = alloc.allocate(&input, &est);
+        assert!(a.feasible);
+        assert_eq!(a.per_level[0], 8, "all disks should crawl: {:?}", a.per_level);
+    }
+
+    #[test]
+    fn heavy_load_goes_all_fast() {
+        let (alloc, est) = setup();
+        // ~150 req/s per disk at 8 disks ≈ ρ≈0.9 even at full speed.
+        let r = rates(64, 1100.0);
+        let input = AllocationInput {
+            chunk_rates: &r,
+            disks: 8,
+            goal_s: 0.040,
+        };
+        let a = alloc.allocate(&input, &est);
+        let fast: usize = a.per_level[4..].iter().sum();
+        assert!(
+            fast >= 7,
+            "heavy load must keep disks fast: {:?}",
+            a.per_level
+        );
+    }
+
+    #[test]
+    fn moderate_skewed_load_mixes_tiers() {
+        let (alloc, est) = setup();
+        // Very steep skew (∝ 1/i²): the hot head needs fast disks, the cold
+        // tail does not, and the goal is loose enough that slow disks are
+        // admissible for the tail but too slow for the head.
+        let raw: Vec<f64> = (0..64).map(|i| 1.0 / ((i + 1) as f64).powi(2)).collect();
+        let sum: f64 = raw.iter().sum();
+        let r: Vec<f64> = raw.into_iter().map(|x| x / sum * 250.0).collect();
+        let input = AllocationInput {
+            chunk_rates: &r,
+            disks: 8,
+            goal_s: 0.008,
+        };
+        let a = alloc.allocate(&input, &est);
+        assert!(a.feasible, "{:?}", a.per_level);
+        let slow_side: usize = a.per_level[..2].iter().sum();
+        let fast_side: usize = a.per_level[3..].iter().sum();
+        assert!(slow_side > 0, "cold tail should crawl: {:?}", a.per_level);
+        assert!(fast_side > 0, "hot head needs fast disks: {:?}", a.per_level);
+        assert!(a.predicted_response_s <= 0.008);
+    }
+
+    #[test]
+    fn dp_matches_exhaustive_power() {
+        let (alloc, est) = setup();
+        for (total, goal) in [(30.0, 0.030), (120.0, 0.025), (400.0, 0.020), (5.0, 0.1)] {
+            let r = rates(40, total);
+            let input = AllocationInput {
+                chunk_rates: &r,
+                disks: 5,
+                goal_s: goal,
+            };
+            let dp = alloc.allocate(&input, &est);
+            let ex = exhaustive(&alloc, &input, &est);
+            match ex {
+                Some((_, best_p)) => {
+                    assert!(dp.feasible, "DP missed feasible at total={total}");
+                    // Discretisation may cost a little; never more than 10%.
+                    assert!(
+                        dp.predicted_power_w <= best_p * 1.10 + 1e-9,
+                        "total={total}: dp {} vs exhaustive {best_p}",
+                        dp.predicted_power_w
+                    );
+                }
+                None => assert!(!dp.feasible, "DP found infeasible-only case feasible"),
+            }
+        }
+    }
+
+    #[test]
+    fn returned_assignment_meets_goal_under_model() {
+        let (alloc, est) = setup();
+        let r = rates(64, 200.0);
+        let input = AllocationInput {
+            chunk_rates: &r,
+            disks: 8,
+            goal_s: 0.022,
+        };
+        let a = alloc.allocate(&input, &est);
+        if a.feasible {
+            let (resp, _) = alloc.evaluate(&input, &est, &a.per_level).unwrap();
+            assert!(resp <= input.goal_s + 1e-12);
+        }
+    }
+
+    #[test]
+    fn tighter_goal_means_more_power() {
+        let (alloc, est) = setup();
+        let r = rates(64, 150.0);
+        let mut prev_power = 0.0;
+        for goal in [0.100, 0.040, 0.020, 0.012] {
+            let input = AllocationInput {
+                chunk_rates: &r,
+                disks: 8,
+                goal_s: goal,
+            };
+            let a = alloc.allocate(&input, &est);
+            assert!(a.feasible, "goal {goal} should be feasible");
+            assert!(
+                a.predicted_power_w >= prev_power - 1e-9,
+                "power must not drop as the goal tightens: {} then {}",
+                prev_power,
+                a.predicted_power_w
+            );
+            prev_power = a.predicted_power_w;
+        }
+    }
+
+    #[test]
+    fn impossible_goal_falls_back_to_all_fast() {
+        let (alloc, est) = setup();
+        let r = rates(64, 2500.0); // saturates even all-fast
+        let input = AllocationInput {
+            chunk_rates: &r,
+            disks: 4,
+            goal_s: 0.001,
+        };
+        let a = alloc.allocate(&input, &est);
+        assert!(!a.feasible);
+        assert_eq!(*a.per_level.last().unwrap(), 4);
+    }
+
+    #[test]
+    fn cumulative_rates_cover_everything() {
+        let r = vec![4.0, 3.0, 2.0, 1.0];
+        let cum = cumulative_rates(&r, 2);
+        assert_eq!(cum, vec![0.0, 7.0, 10.0]);
+        // More disks than chunks: later disks take empty ranges.
+        let cum = cumulative_rates(&r, 8);
+        assert_eq!(cum.len(), 9);
+        assert_eq!(*cum.last().unwrap(), 10.0);
+    }
+}

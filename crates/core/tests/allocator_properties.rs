@@ -1,0 +1,162 @@
+//! Property tests on the speed allocator: for arbitrary skews, loads, and
+//! goals, the DP must be feasible-correct (never returns a goal-violating
+//! assignment while claiming feasibility), near-optimal vs exhaustive
+//! search, and monotone in the goal.
+
+use diskmodel::{DiskSpec, PowerModel, ServiceModel};
+use hibernator::{AllocationInput, ServiceEstimator, SpeedAllocator};
+use proptest::prelude::*;
+
+fn setup() -> (SpeedAllocator, ServiceEstimator) {
+    let spec = DiskSpec::ultrastar_multispeed(6);
+    (
+        SpeedAllocator::new(&PowerModel::new(&spec), 6),
+        ServiceEstimator::new(&ServiceModel::new(&spec), 6, 16),
+    )
+}
+
+/// Synthetic sorted chunk rates with a controllable skew exponent.
+fn rates(chunks: usize, total: f64, skew: f64) -> Vec<f64> {
+    let raw: Vec<f64> = (0..chunks)
+        .map(|i| 1.0 / (i as f64 + 1.0).powf(skew))
+        .collect();
+    let sum: f64 = raw.iter().sum();
+    raw.into_iter().map(|r| r / sum * total).collect()
+}
+
+/// Exhaustive minimum-power search (small instances only).
+fn exhaustive_best(
+    alloc: &SpeedAllocator,
+    input: &AllocationInput<'_>,
+    est: &ServiceEstimator,
+) -> Option<f64> {
+    fn rec(
+        alloc: &SpeedAllocator,
+        input: &AllocationInput<'_>,
+        est: &ServiceEstimator,
+        level: usize,
+        left: usize,
+        cur: &mut Vec<usize>,
+        best: &mut Option<f64>,
+    ) {
+        if level == alloc.levels() {
+            if left == 0 {
+                if let Some((_, p)) = alloc.evaluate(input, est, cur) {
+                    if best.map_or(true, |b| p < b) {
+                        *best = Some(p);
+                    }
+                }
+            }
+            return;
+        }
+        for take in 0..=left {
+            cur.push(take);
+            rec(alloc, input, est, level + 1, left - take, cur, best);
+            cur.pop();
+        }
+    }
+    let mut best = None;
+    rec(alloc, input, est, 0, input.disks, &mut Vec::new(), &mut best);
+    best
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// The DP never claims feasibility for an assignment that evaluates
+    /// above the goal, and every disk is assigned exactly once.
+    #[test]
+    fn feasible_claims_are_honest(
+        total in 1.0f64..800.0,
+        skew in 0.0f64..2.0,
+        goal_ms in 4.0f64..80.0,
+        disks in 2usize..10,
+    ) {
+        let (alloc, est) = setup();
+        let r = rates(64, total, skew);
+        let input = AllocationInput {
+            chunk_rates: &r,
+            disks,
+            goal_s: goal_ms / 1e3,
+        };
+        let a = alloc.allocate(&input, &est);
+        prop_assert_eq!(a.per_level.iter().sum::<usize>(), disks);
+        if a.feasible {
+            let eval = alloc.evaluate(&input, &est, &a.per_level);
+            prop_assert!(eval.is_some(), "claimed-feasible assignment fails evaluation");
+            let (resp, power) = eval.unwrap();
+            prop_assert!(resp <= input.goal_s + 1e-12);
+            prop_assert!((power - a.predicted_power_w).abs() < 1e-6);
+        }
+    }
+
+    /// The DP is within 10% of the exhaustive optimum (discretisation
+    /// bound) and never reports feasible when exhaustive finds nothing.
+    #[test]
+    fn near_optimal_vs_exhaustive(
+        total in 1.0f64..500.0,
+        skew in 0.0f64..1.8,
+        goal_ms in 5.0f64..60.0,
+    ) {
+        let (alloc, est) = setup();
+        let r = rates(40, total, skew);
+        let input = AllocationInput {
+            chunk_rates: &r,
+            disks: 4,
+            goal_s: goal_ms / 1e3,
+        };
+        let dp = alloc.allocate(&input, &est);
+        match exhaustive_best(&alloc, &input, &est) {
+            Some(best) => {
+                prop_assert!(dp.feasible, "DP missed a feasible case");
+                prop_assert!(
+                    dp.predicted_power_w <= best * 1.10 + 1e-9,
+                    "DP {} vs best {}", dp.predicted_power_w, best
+                );
+            }
+            None => prop_assert!(!dp.feasible),
+        }
+    }
+
+    /// Loosening the goal never increases the optimal power.
+    #[test]
+    fn power_monotone_in_goal(
+        total in 5.0f64..400.0,
+        skew in 0.0f64..1.5,
+    ) {
+        let (alloc, est) = setup();
+        let r = rates(48, total, skew);
+        let mut prev = f64::INFINITY;
+        for goal_ms in [6.0, 10.0, 20.0, 50.0, 200.0] {
+            let input = AllocationInput {
+                chunk_rates: &r,
+                disks: 6,
+                goal_s: goal_ms / 1e3,
+            };
+            let a = alloc.allocate(&input, &est);
+            if a.feasible {
+                prop_assert!(
+                    a.predicted_power_w <= prev + 1e-6,
+                    "power rose as goal loosened: {} after {}",
+                    a.predicted_power_w, prev
+                );
+                prev = a.predicted_power_w;
+            }
+        }
+    }
+
+    /// With effectively no load, the optimum is everything at the bottom.
+    #[test]
+    fn idle_always_goes_all_slow(disks in 1usize..12) {
+        let (alloc, est) = setup();
+        let r = rates(32, 1e-6, 1.0);
+        let input = AllocationInput {
+            chunk_rates: &r,
+            disks,
+            goal_s: 0.050,
+        };
+        let a = alloc.allocate(&input, &est);
+        prop_assert!(a.feasible);
+        prop_assert_eq!(a.per_level[0], disks);
+    }
+}

@@ -1,0 +1,212 @@
+//! Logical-block to physical-location mapping over a zoned disk.
+//!
+//! The disk records more sectors per track on the outer (longer) cylinders
+//! than the inner ones — "zoned bit recording". [`Geometry`] precomputes the
+//! zone table from a [`DiskSpec`] and answers two questions the service-time
+//! model needs:
+//!
+//! * which **cylinder** a logical sector lives on (seek distance), and
+//! * how many **sectors per track** that cylinder has (transfer time and
+//!   rotational position granularity).
+//!
+//! Sector numbering is cylinder-major: all sectors of cylinder 0 (across all
+//! surfaces), then cylinder 1, and so on — the conventional serpentine
+//! layout abstracted to what a coarse-grained simulator needs.
+
+use crate::spec::DiskSpec;
+use serde::{Deserialize, Serialize};
+
+/// Physical location of a logical sector.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Location {
+    /// Cylinder index (0 = outermost).
+    pub cylinder: u32,
+    /// Surface (head) index.
+    pub surface: u32,
+    /// Sector index within the track.
+    pub sector: u32,
+    /// Sectors per track at this cylinder.
+    pub sectors_per_track: u32,
+}
+
+/// Precomputed zone table for sector→location mapping.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Geometry {
+    /// `(first_cylinder, first_sector, sectors_per_track)` per zone,
+    /// plus a sentinel with the totals.
+    zone_start_cyl: Vec<u32>,
+    zone_start_sector: Vec<u64>,
+    zone_spt: Vec<u32>,
+    surfaces: u32,
+    total_sectors: u64,
+}
+
+impl Geometry {
+    /// Builds the zone table for `spec`.
+    pub fn new(spec: &DiskSpec) -> Self {
+        let mut zone_start_cyl = Vec::with_capacity(spec.zones as usize + 1);
+        let mut zone_start_sector = Vec::with_capacity(spec.zones as usize + 1);
+        let mut zone_spt = Vec::with_capacity(spec.zones as usize);
+        let mut cyl = 0u32;
+        let mut sector = 0u64;
+        for z in 0..spec.zones {
+            zone_start_cyl.push(cyl);
+            zone_start_sector.push(sector);
+            let spt = spec.sectors_per_track_in_zone(z);
+            zone_spt.push(spt);
+            let cyls = spec.cylinders_in_zone(z);
+            cyl += cyls;
+            sector += u64::from(cyls) * u64::from(spec.surfaces) * u64::from(spt);
+        }
+        zone_start_cyl.push(cyl);
+        zone_start_sector.push(sector);
+        Geometry {
+            zone_start_cyl,
+            zone_start_sector,
+            zone_spt,
+            surfaces: spec.surfaces,
+            total_sectors: sector,
+        }
+    }
+
+    /// Total sectors on the disk.
+    pub fn total_sectors(&self) -> u64 {
+        self.total_sectors
+    }
+
+    /// Maps a logical sector number to its physical location.
+    ///
+    /// # Panics
+    /// Panics if `sector` is beyond the end of the disk.
+    pub fn locate(&self, sector: u64) -> Location {
+        assert!(
+            sector < self.total_sectors,
+            "sector {sector} beyond capacity {}",
+            self.total_sectors
+        );
+        // Binary search for the zone containing this sector.
+        let zi = match self.zone_start_sector.binary_search(&sector) {
+            Ok(i) => i.min(self.zone_spt.len() - 1),
+            Err(i) => i - 1,
+        };
+        let spt = self.zone_spt[zi];
+        let within = sector - self.zone_start_sector[zi];
+        let per_cylinder = u64::from(self.surfaces) * u64::from(spt);
+        let cyl_off = (within / per_cylinder) as u32;
+        let rem = within % per_cylinder;
+        let surface = (rem / u64::from(spt)) as u32;
+        let track_sector = (rem % u64::from(spt)) as u32;
+        Location {
+            cylinder: self.zone_start_cyl[zi] + cyl_off,
+            surface,
+            sector: track_sector,
+            sectors_per_track: spt,
+        }
+    }
+
+    /// Cylinder of a logical sector (the common fast path for seek
+    /// distance computations).
+    pub fn cylinder_of(&self, sector: u64) -> u32 {
+        self.locate(sector).cylinder
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spec::DiskSpec;
+    use proptest::prelude::*;
+
+    fn geom() -> (DiskSpec, Geometry) {
+        let spec = DiskSpec::ultrastar_multispeed(6);
+        let g = Geometry::new(&spec);
+        (spec, g)
+    }
+
+    #[test]
+    fn totals_match_spec() {
+        let (spec, g) = geom();
+        assert_eq!(g.total_sectors(), spec.capacity_sectors());
+    }
+
+    #[test]
+    fn first_and_last_sectors() {
+        let (spec, g) = geom();
+        let first = g.locate(0);
+        assert_eq!(first.cylinder, 0);
+        assert_eq!(first.surface, 0);
+        assert_eq!(first.sector, 0);
+        assert_eq!(first.sectors_per_track, spec.sectors_outer);
+
+        let last = g.locate(g.total_sectors() - 1);
+        assert_eq!(last.cylinder, spec.cylinders - 1);
+        assert_eq!(last.surface, spec.surfaces - 1);
+        assert_eq!(last.sector, last.sectors_per_track - 1);
+        assert_eq!(last.sectors_per_track, spec.sectors_inner);
+    }
+
+    #[test]
+    fn consecutive_sectors_advance_correctly() {
+        let (spec, g) = geom();
+        // Crossing a track boundary bumps the surface; crossing the last
+        // surface bumps the cylinder.
+        let spt = u64::from(spec.sectors_outer);
+        let a = g.locate(spt - 1);
+        let b = g.locate(spt);
+        assert_eq!(a.surface, 0);
+        assert_eq!(b.surface, 1);
+        assert_eq!(b.sector, 0);
+
+        let per_cyl = spt * u64::from(spec.surfaces);
+        let c = g.locate(per_cyl - 1);
+        let d = g.locate(per_cyl);
+        assert_eq!(c.cylinder, 0);
+        assert_eq!(d.cylinder, 1);
+        assert_eq!(d.surface, 0);
+        assert_eq!(d.sector, 0);
+    }
+
+    #[test]
+    fn cylinders_monotone_in_sector_number() {
+        let (_, g) = geom();
+        let n = g.total_sectors();
+        let mut prev = 0;
+        for i in 0..1000 {
+            let s = i * (n - 1) / 999;
+            let c = g.cylinder_of(s);
+            assert!(c >= prev, "cylinder decreased at sector {s}");
+            prev = c;
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "beyond capacity")]
+    fn out_of_range_panics() {
+        let (_, g) = geom();
+        g.locate(g.total_sectors());
+    }
+
+    proptest! {
+        #[test]
+        fn locate_is_within_bounds(frac in 0.0f64..1.0) {
+            let (spec, g) = geom();
+            let s = (frac * (g.total_sectors() - 1) as f64) as u64;
+            let loc = g.locate(s);
+            prop_assert!(loc.cylinder < spec.cylinders);
+            prop_assert!(loc.surface < spec.surfaces);
+            prop_assert!(loc.sector < loc.sectors_per_track);
+            prop_assert!(loc.sectors_per_track >= spec.sectors_inner);
+            prop_assert!(loc.sectors_per_track <= spec.sectors_outer);
+        }
+
+        #[test]
+        fn locate_is_injective_on_neighbours(frac in 0.0f64..1.0) {
+            let (_, g) = geom();
+            let s = (frac * (g.total_sectors() - 2) as f64) as u64;
+            let a = g.locate(s);
+            let b = g.locate(s + 1);
+            prop_assert_ne!((a.cylinder, a.surface, a.sector),
+                            (b.cylinder, b.surface, b.sector));
+        }
+    }
+}

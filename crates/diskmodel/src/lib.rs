@@ -1,0 +1,42 @@
+//! # diskmodel — a multi-speed disk simulator
+//!
+//! Models the hypothetical multi-speed disks that Hibernator (SOSP 2005) and
+//! DRPM (ISCA 2003) are built around: conventional drives extended with
+//! several rotational-speed levels, where lower speeds serve requests more
+//! slowly but draw dramatically less spindle power (drag ∝ RPM^2.8).
+//!
+//! The crate layers as:
+//!
+//! * [`DiskSpec`] — every physical parameter in one serialisable struct,
+//!   with the Ultrastar-36Z15-derived preset used throughout the suite;
+//! * [`Geometry`] — zoned logical-sector → (cylinder, surface, sector)
+//!   mapping;
+//! * [`SeekModel`] — the fitted `a + b·√d` / linear two-phase seek curve;
+//! * [`ServiceModel`] — per-request seek/rotation/transfer phase breakdown;
+//! * [`PowerModel`] — per-level wattages, ramp costs, break-even times;
+//! * [`Disk`] — the event-driven disk: dual FIFO queues (foreground over
+//!   migration), latched speed changes, on-demand spin-up, and exact
+//!   per-component energy attribution into an [`simkit::EnergyLedger`].
+//!
+//! No multi-speed drive ever shipped commercially; the parameters here
+//! follow the published single-speed datasheet extended by the power law —
+//! the same methodology the original papers used (see DESIGN.md).
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+mod disk;
+mod geometry;
+mod power;
+mod request;
+mod seek;
+mod service;
+mod spec;
+
+pub use disk::{Disk, DiskStats, SpinTarget};
+pub use geometry::{Geometry, Location};
+pub use power::{PowerModel, Transition};
+pub use request::{Completion, DiskRequest, IoKind, RequestClass};
+pub use seek::SeekModel;
+pub use service::{ServiceModel, ServicePhases};
+pub use spec::{DiskSpec, SpeedLevel};

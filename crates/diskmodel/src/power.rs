@@ -1,0 +1,253 @@
+//! Disk power model.
+//!
+//! The dominant power sink of a spinning disk is the spindle motor working
+//! against aerodynamic drag, which grows super-linearly with rotational
+//! speed (≈ RPM^2.8). That non-linearity is the entire reason multi-speed
+//! disks are interesting: halving the speed cuts spindle power by ~7×, while
+//! only doubling rotational latency. [`PowerModel`] evaluates the
+//! [`DiskSpec`] power parameters into per-state wattages and per-transition
+//! (latency, energy) pairs.
+
+use crate::spec::{DiskSpec, SpeedLevel};
+use serde::{Deserialize, Serialize};
+
+/// Evaluated power figures for one disk spec.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct PowerModel {
+    idle_w: Vec<f64>,
+    seek_extra_w: f64,
+    transfer_extra_w: f64,
+    standby_w: f64,
+    spinup_w: f64,
+    spindown_w: f64,
+    accel: f64,
+    decel: f64,
+    rpms: Vec<f64>,
+}
+
+/// A spindle-speed transition: how long it takes and what it costs.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Transition {
+    /// Wall-clock (simulated) duration of the ramp, seconds.
+    pub duration_s: f64,
+    /// Energy drawn over the ramp, joules.
+    pub energy_j: f64,
+}
+
+impl PowerModel {
+    /// Evaluates the power law of `spec` at every speed level.
+    pub fn new(spec: &DiskSpec) -> Self {
+        let rpm_max = spec.rpm(spec.top_level());
+        let idle_w = spec
+            .levels()
+            .map(|l| {
+                let ratio = spec.rpm(l) / rpm_max;
+                spec.power_base_w
+                    + (spec.power_idle_full_w - spec.power_base_w)
+                        * ratio.powf(spec.spindle_exponent)
+            })
+            .collect();
+        PowerModel {
+            idle_w,
+            seek_extra_w: spec.power_seek_extra_w,
+            transfer_extra_w: spec.power_transfer_extra_w,
+            standby_w: spec.power_standby_w,
+            spinup_w: spec.power_spinup_w,
+            spindown_w: spec.power_spindown_w,
+            accel: spec.rpm_accel_per_s,
+            decel: spec.rpm_decel_per_s,
+            rpms: spec.levels().map(|l| spec.rpm(l)).collect(),
+        }
+    }
+
+    /// Watts while spinning at `level` with no request in service.
+    pub fn idle_w(&self, level: SpeedLevel) -> f64 {
+        self.idle_w[level.index()]
+    }
+
+    /// Watts while seeking at `level`.
+    pub fn seek_w(&self, level: SpeedLevel) -> f64 {
+        self.idle_w(level) + self.seek_extra_w
+    }
+
+    /// Watts while rotating into position / transferring at `level`.
+    pub fn transfer_w(&self, level: SpeedLevel) -> f64 {
+        self.idle_w(level) + self.transfer_extra_w
+    }
+
+    /// Watts in standby (platters stopped).
+    pub fn standby_w(&self) -> f64 {
+        self.standby_w
+    }
+
+    /// The ramp between two speed levels.
+    pub fn level_transition(&self, from: SpeedLevel, to: SpeedLevel) -> Transition {
+        self.ramp(self.rpms[from.index()], self.rpms[to.index()])
+    }
+
+    /// Spin-up from standby (0 RPM) to `to`.
+    pub fn spinup_from_standby(&self, to: SpeedLevel) -> Transition {
+        self.ramp(0.0, self.rpms[to.index()])
+    }
+
+    /// Spin-down from `from` to standby (0 RPM).
+    pub fn spindown_to_standby(&self, from: SpeedLevel) -> Transition {
+        self.ramp(self.rpms[from.index()], 0.0)
+    }
+
+    fn ramp(&self, from_rpm: f64, to_rpm: f64) -> Transition {
+        if (from_rpm - to_rpm).abs() < f64::EPSILON {
+            return Transition {
+                duration_s: 0.0,
+                energy_j: 0.0,
+            };
+        }
+        if to_rpm > from_rpm {
+            let duration_s = (to_rpm - from_rpm) / self.accel;
+            Transition {
+                duration_s,
+                energy_j: self.spinup_w * duration_s,
+            }
+        } else {
+            let duration_s = (from_rpm - to_rpm) / self.decel;
+            Transition {
+                duration_s,
+                energy_j: self.spindown_w * duration_s,
+            }
+        }
+    }
+
+    /// The break-even idle duration for dropping from `from` to `to` and
+    /// coming back: the time the disk must stay at the lower power before
+    /// the transition energy is paid back. Policies use this to decide if a
+    /// down-transition is worthwhile; an interval shorter than this *costs*
+    /// energy.
+    ///
+    /// Returns `None` if `to` does not actually draw less idle power.
+    pub fn breakeven_idle_s(&self, from: SpeedLevel, to: SpeedLevel) -> Option<f64> {
+        let p_hi = self.idle_w(from);
+        let p_lo = self.idle_w(to);
+        if p_lo >= p_hi {
+            return None;
+        }
+        let down = self.level_transition(from, to);
+        let up = self.level_transition(to, from);
+        // Energy with transition: E_trans + p_lo·t (spent at low speed)
+        // Energy without: p_hi·(t + down.duration + up.duration)
+        // Break even at t where both are equal.
+        let extra = down.energy_j + up.energy_j
+            - p_hi * (down.duration_s + up.duration_s);
+        Some((extra / (p_hi - p_lo)).max(0.0))
+    }
+
+    /// Break-even idle time for a full standby round trip from `from`.
+    pub fn breakeven_standby_s(&self, from: SpeedLevel) -> f64 {
+        let p_hi = self.idle_w(from);
+        let p_lo = self.standby_w;
+        let down = self.spindown_to_standby(from);
+        let up = self.spinup_from_standby(from);
+        let extra = down.energy_j + up.energy_j - p_hi * (down.duration_s + up.duration_s);
+        (extra / (p_hi - p_lo)).max(0.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spec::DiskSpec;
+
+    fn pm() -> (DiskSpec, PowerModel) {
+        let spec = DiskSpec::ultrastar_multispeed(6);
+        let pm = PowerModel::new(&spec);
+        (spec, pm)
+    }
+
+    #[test]
+    fn idle_power_anchors() {
+        let (spec, pm) = pm();
+        // At full speed the model hits the datasheet idle figure exactly.
+        assert!((pm.idle_w(spec.top_level()) - spec.power_idle_full_w).abs() < 1e-9);
+        // The slowest level sits well above the electronics floor but far
+        // below full-speed power (the whole point of multi-speed disks).
+        let lo = pm.idle_w(spec.bottom_level());
+        assert!(lo > spec.power_base_w);
+        assert!(lo < 0.5 * spec.power_idle_full_w, "low-speed idle {lo} W");
+    }
+
+    #[test]
+    fn idle_power_strictly_increasing_in_speed() {
+        let (spec, pm) = pm();
+        let watts: Vec<f64> = spec.levels().map(|l| pm.idle_w(l)).collect();
+        assert!(watts.windows(2).all(|w| w[0] < w[1]), "{watts:?}");
+    }
+
+    #[test]
+    fn activity_adds_power() {
+        let (spec, pm) = pm();
+        for l in spec.levels() {
+            assert!(pm.seek_w(l) > pm.idle_w(l));
+            assert!(pm.transfer_w(l) > pm.idle_w(l));
+        }
+    }
+
+    #[test]
+    fn full_spinup_matches_datasheet() {
+        let (spec, pm) = pm();
+        let t = pm.spinup_from_standby(spec.top_level());
+        assert!((t.duration_s - 10.9).abs() < 0.01, "spin-up {}", t.duration_s);
+        assert!((t.energy_j - 26.0 * 10.9).abs() < 0.5);
+    }
+
+    #[test]
+    fn adjacent_level_transition_cheaper_than_full() {
+        let (spec, pm) = pm();
+        let small = pm.level_transition(SpeedLevel(2), SpeedLevel(3));
+        let full = pm.spinup_from_standby(spec.top_level());
+        assert!(small.duration_s < full.duration_s);
+        assert!(small.energy_j < full.energy_j);
+    }
+
+    #[test]
+    fn no_op_transition_is_free() {
+        let (_, pm) = pm();
+        let t = pm.level_transition(SpeedLevel(3), SpeedLevel(3));
+        assert_eq!(t.duration_s, 0.0);
+        assert_eq!(t.energy_j, 0.0);
+    }
+
+    #[test]
+    fn transitions_symmetric_in_duration_shape() {
+        let (_, pm) = pm();
+        let up = pm.level_transition(SpeedLevel(0), SpeedLevel(5));
+        let down = pm.level_transition(SpeedLevel(5), SpeedLevel(0));
+        assert!(up.duration_s > 0.0 && down.duration_s > 0.0);
+        // Down is configured faster than up for this spec.
+        assert!(down.duration_s < up.duration_s);
+    }
+
+    #[test]
+    fn breakeven_is_minutes_not_hours_for_standby() {
+        let (spec, pm) = pm();
+        let be = pm.breakeven_standby_s(spec.top_level());
+        // Classic result: breakeven for a 15k drive is on the order of tens
+        // of seconds to a few minutes.
+        assert!((5.0..600.0).contains(&be), "breakeven {be} s");
+    }
+
+    #[test]
+    fn breakeven_level_none_when_not_cheaper() {
+        let (_, pm) = pm();
+        assert!(pm.breakeven_idle_s(SpeedLevel(0), SpeedLevel(5)).is_none());
+        assert!(pm.breakeven_idle_s(SpeedLevel(3), SpeedLevel(3)).is_none());
+        let be = pm.breakeven_idle_s(SpeedLevel(5), SpeedLevel(0)).unwrap();
+        assert!(be >= 0.0);
+    }
+
+    #[test]
+    fn slow_spin_beats_standby_power_only_with_transitions() {
+        // Sanity on magnitudes: standby < slowest spin < fastest spin.
+        let (spec, pm) = pm();
+        assert!(pm.standby_w() < pm.idle_w(spec.bottom_level()));
+        assert!(pm.idle_w(spec.bottom_level()) < pm.idle_w(spec.top_level()));
+    }
+}

@@ -1,0 +1,94 @@
+//! Disk-level request types.
+//!
+//! A [`DiskRequest`] is addressed in *physical disk sectors* — the array
+//! layer has already translated logical volume addresses through its remap
+//! table by the time a request reaches a disk. Requests carry a
+//! [`RequestClass`] so the energy ledger can attribute background migration
+//! traffic separately from foreground work.
+
+use serde::{Deserialize, Serialize};
+use simkit::SimTime;
+
+/// Read or write.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum IoKind {
+    /// Data flows disk → host.
+    Read,
+    /// Data flows host → disk (pays the write-settle penalty).
+    Write,
+}
+
+/// Foreground vs policy-generated background traffic.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum RequestClass {
+    /// Application I/O; always serviced first.
+    Foreground,
+    /// Data-migration I/O issued by a power policy; serviced only when no
+    /// foreground request is waiting, and billed to the `Migration` energy
+    /// component.
+    Migration,
+}
+
+/// A single request addressed to one disk.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct DiskRequest {
+    /// Unique id assigned by the issuer (the array layer).
+    pub id: u64,
+    /// First physical sector on this disk.
+    pub sector: u64,
+    /// Number of sectors to transfer (must be ≥ 1).
+    pub sectors: u32,
+    /// Read or write.
+    pub kind: IoKind,
+    /// Foreground or migration.
+    pub class: RequestClass,
+    /// When the request was issued to the disk (queueing delay reference).
+    pub issue_time: SimTime,
+}
+
+/// A finished request, as reported back by the disk.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Completion {
+    /// The request that finished.
+    pub request: DiskRequest,
+    /// The disk that served it.
+    pub disk: usize,
+    /// When service finished.
+    pub finish_time: SimTime,
+    /// Time spent waiting in the disk queue (and in transitions) before
+    /// service began.
+    pub queue_delay_s: f64,
+    /// Time the head spent on this request (seek + rotate + transfer).
+    pub service_s: f64,
+}
+
+impl Completion {
+    /// Total response time: queueing plus service.
+    pub fn response_s(&self) -> f64 {
+        self.queue_delay_s + self.service_s
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn response_is_queue_plus_service() {
+        let c = Completion {
+            disk: 0,
+            request: DiskRequest {
+                id: 1,
+                sector: 0,
+                sectors: 8,
+                kind: IoKind::Read,
+                class: RequestClass::Foreground,
+                issue_time: SimTime::ZERO,
+            },
+            finish_time: SimTime::from_secs(0.010),
+            queue_delay_s: 0.004,
+            service_s: 0.006,
+        };
+        assert!((c.response_s() - 0.010).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,207 @@
+//! Seek-time model.
+//!
+//! Disk arm seeks follow the classic two-phase curve: short seeks are
+//! dominated by acceleration (time ∝ √distance), long seeks by the coast
+//! phase (time linear in distance). [`SeekModel`] fits the standard
+//! piecewise form
+//!
+//! ```text
+//! t(d) = a + b·√d            for 1 ≤ d ≤ knee
+//! t(d) = c + e·d             for d > knee
+//! ```
+//!
+//! to three anchor points of a [`DiskSpec`]: the track-to-track time at
+//! d = 1, continuity of value and slope at the knee, and the full-stroke
+//! time at d = C−1. A seek of distance 0 costs nothing (the head is already
+//! there); rotational settle is part of the rotational-latency model, not
+//! the seek.
+
+use crate::spec::DiskSpec;
+use serde::{Deserialize, Serialize};
+
+/// Fitted piecewise seek-time curve.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct SeekModel {
+    a: f64,
+    b: f64,
+    c: f64,
+    e: f64,
+    knee: f64,
+    max_cyl: f64,
+    write_settle_s: f64,
+}
+
+impl SeekModel {
+    /// Fits the curve to `spec`.
+    pub fn new(spec: &DiskSpec) -> Self {
+        let d_max = f64::from(spec.cylinders - 1).max(1.0);
+        let knee = (d_max * spec.seek_knee_fraction).max(1.0);
+        let t1 = spec.seek_track_to_track_s;
+        let t_full = spec.seek_full_stroke_s;
+
+        // Solve for (a, b, c, e) with:
+        //   a + b·√1 = t1
+        //   c + e·d_max = t_full
+        //   value continuity at knee:  a + b·√knee = c + e·knee
+        //   slope continuity at knee:  b / (2√knee) = e
+        // Substitute e and c, reduce to one equation in b:
+        //   t1 - b + b·√knee = t_full - e·d_max + e·knee, e = b/(2√knee)
+        //   t1 - b + b·√knee = t_full - (b/(2√knee))(d_max - knee)
+        // => b [ √knee - 1 + (d_max - knee)/(2√knee) ] = t_full - t1
+        let sk = knee.sqrt();
+        let denom = sk - 1.0 + (d_max - knee) / (2.0 * sk);
+        let b = if denom.abs() < 1e-12 {
+            0.0
+        } else {
+            (t_full - t1) / denom
+        };
+        let a = t1 - b;
+        let e = b / (2.0 * sk);
+        let c = a + b * sk - e * knee;
+
+        SeekModel {
+            a,
+            b,
+            c,
+            e,
+            knee,
+            max_cyl: d_max,
+            write_settle_s: spec.write_settle_s,
+        }
+    }
+
+    /// Seek time for a move of `distance` cylinders (0 = no seek).
+    pub fn seek_time(&self, distance: u32) -> f64 {
+        if distance == 0 {
+            return 0.0;
+        }
+        let d = f64::from(distance).min(self.max_cyl);
+        let t = if d <= self.knee {
+            self.a + self.b * d.sqrt()
+        } else {
+            self.c + self.e * d
+        };
+        t.max(0.0)
+    }
+
+    /// Seek time for a write, which pays an extra head-settle penalty
+    /// whenever the arm actually moved.
+    pub fn seek_time_write(&self, distance: u32) -> f64 {
+        if distance == 0 {
+            return 0.0;
+        }
+        self.seek_time(distance) + self.write_settle_s
+    }
+
+    /// The average seek time over a uniformly random pair of cylinders
+    /// (≈ distance C/3), computed by numeric averaging. Used by queueing
+    /// models and reported in the spec table.
+    pub fn average_seek_time(&self) -> f64 {
+        // E[t(d)] where d = |X - Y| for X,Y uniform on [0, C]:
+        // density of d is 2(C-d)/C². Integrate numerically over 4096 steps.
+        let n = 4096;
+        let c = self.max_cyl;
+        let mut acc = 0.0;
+        for i in 0..n {
+            let d = (i as f64 + 0.5) / n as f64 * c;
+            let w = 2.0 * (c - d) / (c * c);
+            let dist = d.round().max(0.0) as u32;
+            acc += self.seek_time(dist) * w * (c / n as f64);
+        }
+        acc
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spec::DiskSpec;
+    use proptest::prelude::*;
+
+    fn model() -> SeekModel {
+        SeekModel::new(&DiskSpec::ultrastar_multispeed(6))
+    }
+
+    #[test]
+    fn anchor_points_match_spec() {
+        let spec = DiskSpec::ultrastar_multispeed(6);
+        let m = SeekModel::new(&spec);
+        assert!((m.seek_time(1) - spec.seek_track_to_track_s).abs() < 1e-9);
+        assert!((m.seek_time(spec.cylinders - 1) - spec.seek_full_stroke_s).abs() < 1e-6);
+    }
+
+    #[test]
+    fn zero_distance_is_free() {
+        assert_eq!(model().seek_time(0), 0.0);
+        assert_eq!(model().seek_time_write(0), 0.0);
+    }
+
+    #[test]
+    fn monotone_nondecreasing() {
+        let m = model();
+        let mut prev = 0.0;
+        for d in 1..18_000 {
+            let t = m.seek_time(d);
+            assert!(
+                t >= prev - 1e-12,
+                "seek time decreased at d={d}: {t} < {prev}"
+            );
+            prev = t;
+        }
+    }
+
+    #[test]
+    fn continuous_at_knee() {
+        let m = model();
+        let k = m.knee as u32;
+        let before = m.seek_time(k);
+        let after = m.seek_time(k + 1);
+        assert!((after - before) < 0.1e-3, "jump at knee: {before} -> {after}");
+    }
+
+    #[test]
+    fn average_seek_is_plausible() {
+        // The 36Z15 datasheet says ~3.4ms average read seek; our fitted curve
+        // should land in the right neighbourhood.
+        let avg = model().average_seek_time();
+        assert!(
+            (2.0e-3..5.0e-3).contains(&avg),
+            "average seek {avg} out of range"
+        );
+    }
+
+    #[test]
+    fn writes_cost_more_when_moving() {
+        let m = model();
+        assert!(m.seek_time_write(100) > m.seek_time(100));
+        let spec = DiskSpec::ultrastar_multispeed(6);
+        assert!((m.seek_time_write(100) - m.seek_time(100) - spec.write_settle_s).abs() < 1e-12);
+    }
+
+    #[test]
+    fn clamps_beyond_full_stroke() {
+        let m = model();
+        assert_eq!(m.seek_time(1_000_000), m.seek_time(17_999));
+    }
+
+    proptest! {
+        #[test]
+        fn seek_time_bounded(d in 0u32..18_000) {
+            let m = model();
+            let t = m.seek_time(d);
+            prop_assert!(t >= 0.0);
+            prop_assert!(t <= 6.6e-3, "t={t}");
+        }
+
+        #[test]
+        fn triangle_like_subadditivity(d1 in 1u32..9_000, d2 in 1u32..9_000) {
+            // Two short seeks never beat one combined seek by more than the
+            // startup constant — i.e. the curve is concave-ish; sanity, not
+            // exact math.
+            let m = model();
+            let combined = m.seek_time(d1 + d2);
+            let split = m.seek_time(d1) + m.seek_time(d2);
+            prop_assert!(combined <= split + 1e-9);
+        }
+    }
+}

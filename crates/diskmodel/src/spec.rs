@@ -1,0 +1,402 @@
+//! Disk specifications.
+//!
+//! A [`DiskSpec`] bundles every parameter of the simulated drive: zoned
+//! geometry, the seek-time curve, rotational-speed levels, and the power
+//! model. The preset [`DiskSpec::ultrastar_multispeed`] follows the
+//! methodology of the multi-speed-disk papers (DRPM, Hibernator): take a
+//! real high-end drive of the era — the IBM Ultrastar 36Z15, 15 000 RPM —
+//! and extend it with hypothetical lower speed levels, scaling rotational
+//! behaviour and spindle power with RPM. No multi-speed drive ever shipped,
+//! so *every* evaluation of this design, including the original paper's,
+//! runs against exactly this kind of analytically extended model.
+
+use serde::{Deserialize, Serialize};
+
+/// Index of a rotational-speed level within [`DiskSpec::rpm_levels`]
+/// (0 = slowest, `num_levels() - 1` = fastest).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct SpeedLevel(pub usize);
+
+impl SpeedLevel {
+    /// The numeric index of the level.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0
+    }
+}
+
+/// Complete description of a simulated multi-speed disk.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct DiskSpec {
+    /// Human-readable model name, for report tables.
+    pub name: String,
+
+    // --- Geometry ---
+    /// Number of cylinders (seek distance domain).
+    pub cylinders: u32,
+    /// Number of recording surfaces (heads).
+    pub surfaces: u32,
+    /// Sectors per track on the outermost zone.
+    pub sectors_outer: u32,
+    /// Sectors per track on the innermost zone.
+    pub sectors_inner: u32,
+    /// Number of zones of constant sectors-per-track.
+    pub zones: u32,
+    /// Bytes per sector.
+    pub sector_bytes: u32,
+
+    // --- Seek model: t(d) = a + b·√d for d ≤ knee, else c + e·d ---
+    /// Track-to-track seek time (s); also the floor of the curve.
+    pub seek_track_to_track_s: f64,
+    /// Full-stroke seek time (s).
+    pub seek_full_stroke_s: f64,
+    /// Fraction of the stroke where the curve switches from √d to linear.
+    pub seek_knee_fraction: f64,
+    /// Additional settle time charged to writes (s).
+    pub write_settle_s: f64,
+
+    // --- Rotation ---
+    /// Available rotational speeds in RPM, ascending. The last entry is the
+    /// full (native) speed of the modelled drive.
+    pub rpm_levels: Vec<u32>,
+
+    // --- Power model ---
+    /// Power of electronics + arm at rest, independent of RPM (W).
+    pub power_base_w: f64,
+    /// Spindle power at full speed while idling (W); scales with
+    /// `(rpm/rpm_max)^spindle_exponent` at lower levels.
+    pub power_idle_full_w: f64,
+    /// Exponent of the spindle power law (aerodynamic drag ⇒ ~2.8).
+    pub spindle_exponent: f64,
+    /// Additional power while the arm seeks (W).
+    pub power_seek_extra_w: f64,
+    /// Additional power while transferring data (W).
+    pub power_transfer_extra_w: f64,
+    /// Power in standby (platters stopped) (W).
+    pub power_standby_w: f64,
+    /// Power drawn while accelerating the spindle (W).
+    pub power_spinup_w: f64,
+    /// Power drawn while decelerating the spindle (W).
+    pub power_spindown_w: f64,
+    /// Spindle acceleration (RPM per second).
+    pub rpm_accel_per_s: f64,
+    /// Spindle deceleration (RPM per second).
+    pub rpm_decel_per_s: f64,
+}
+
+impl DiskSpec {
+    /// The IBM Ultrastar 36Z15-derived multi-speed preset with `levels`
+    /// evenly spaced speeds from 3 600 RPM to 15 000 RPM.
+    ///
+    /// Headline numbers (from the published datasheet / DRPM-era papers):
+    /// 15 000 RPM, ~3.4 ms average read seek, 36+ GB, idle 10.2 W,
+    /// standby 2.5 W, spin-up 26 W over 10.9 s.
+    ///
+    /// # Panics
+    /// Panics if `levels < 1`.
+    pub fn ultrastar_multispeed(levels: usize) -> DiskSpec {
+        assert!(levels >= 1, "need at least one speed level");
+        const RPM_MIN: f64 = 3600.0;
+        const RPM_MAX: f64 = 15000.0;
+        let rpm_levels: Vec<u32> = if levels == 1 {
+            vec![RPM_MAX as u32]
+        } else {
+            (0..levels)
+                .map(|i| {
+                    let f = i as f64 / (levels - 1) as f64;
+                    (RPM_MIN + f * (RPM_MAX - RPM_MIN)).round() as u32
+                })
+                .collect()
+        };
+        DiskSpec {
+            name: format!("Ultrastar-36Z15-ms{levels}"),
+            cylinders: 18_000,
+            surfaces: 8,
+            sectors_outer: 700,
+            sectors_inner: 500,
+            zones: 8,
+            sector_bytes: 512,
+            seek_track_to_track_s: 0.6e-3,
+            seek_full_stroke_s: 6.5e-3,
+            seek_knee_fraction: 1.0 / 3.0,
+            write_settle_s: 0.5e-3,
+            rpm_levels,
+            power_base_w: 3.0,
+            power_idle_full_w: 10.2,
+            spindle_exponent: 2.8,
+            power_seek_extra_w: 3.3,
+            power_transfer_extra_w: 3.0,
+            power_standby_w: 2.5,
+            power_spinup_w: 26.0,
+            power_spindown_w: 10.0,
+            // Full spin-up (0 → 15 000 RPM) in 10.9 s, as per datasheet.
+            rpm_accel_per_s: 15000.0 / 10.9,
+            rpm_decel_per_s: 15000.0 / 8.0,
+        }
+    }
+
+    /// The classic two-state drive: full speed or standby. This is the
+    /// hardware TPM assumes.
+    pub fn ultrastar_single_speed() -> DiskSpec {
+        Self::ultrastar_multispeed(1)
+    }
+
+    /// A nearline/capacity-class preset: 7 200 RPM top speed, bigger and
+    /// slower than the enterprise drive — the kind of spindle archival and
+    /// backup tiers use. `levels` evenly spaced speeds from 3 600 RPM to
+    /// 7 200 RPM. Lower absolute power, but also a much smaller spread
+    /// between the top and bottom levels (1.9× vs the enterprise 3.3×), so
+    /// multi-speed management has less room to play with.
+    ///
+    /// # Panics
+    /// Panics if `levels < 1`.
+    pub fn nearline_multispeed(levels: usize) -> DiskSpec {
+        assert!(levels >= 1, "need at least one speed level");
+        const RPM_MIN: f64 = 3600.0;
+        const RPM_MAX: f64 = 7200.0;
+        let rpm_levels: Vec<u32> = if levels == 1 {
+            vec![RPM_MAX as u32]
+        } else {
+            (0..levels)
+                .map(|i| {
+                    let f = i as f64 / (levels - 1) as f64;
+                    (RPM_MIN + f * (RPM_MAX - RPM_MIN)).round() as u32
+                })
+                .collect()
+        };
+        DiskSpec {
+            name: format!("Nearline-7200-ms{levels}"),
+            cylinders: 60_000,
+            surfaces: 10,
+            sectors_outer: 1400,
+            sectors_inner: 900,
+            zones: 16,
+            sector_bytes: 512,
+            seek_track_to_track_s: 1.0e-3,
+            seek_full_stroke_s: 16.0e-3,
+            seek_knee_fraction: 1.0 / 3.0,
+            write_settle_s: 1.0e-3,
+            rpm_levels,
+            power_base_w: 2.5,
+            power_idle_full_w: 8.0,
+            spindle_exponent: 2.8,
+            power_seek_extra_w: 3.0,
+            power_transfer_extra_w: 2.5,
+            power_standby_w: 1.5,
+            power_spinup_w: 20.0,
+            power_spindown_w: 8.0,
+            rpm_accel_per_s: 7200.0 / 15.0, // big platters spin up slowly
+            rpm_decel_per_s: 7200.0 / 10.0,
+        }
+    }
+
+    /// Number of available speed levels.
+    pub fn num_levels(&self) -> usize {
+        self.rpm_levels.len()
+    }
+
+    /// The fastest level.
+    pub fn top_level(&self) -> SpeedLevel {
+        SpeedLevel(self.rpm_levels.len() - 1)
+    }
+
+    /// The slowest level.
+    pub fn bottom_level(&self) -> SpeedLevel {
+        SpeedLevel(0)
+    }
+
+    /// RPM of a level.
+    ///
+    /// # Panics
+    /// Panics if the level is out of range.
+    pub fn rpm(&self, level: SpeedLevel) -> f64 {
+        self.rpm_levels[level.0] as f64
+    }
+
+    /// Iterates all levels, slowest first.
+    pub fn levels(&self) -> impl Iterator<Item = SpeedLevel> {
+        (0..self.rpm_levels.len()).map(SpeedLevel)
+    }
+
+    /// Seconds per revolution at `level`.
+    pub fn revolution_time(&self, level: SpeedLevel) -> f64 {
+        60.0 / self.rpm(level)
+    }
+
+    /// Total capacity in sectors.
+    pub fn capacity_sectors(&self) -> u64 {
+        let mut total = 0u64;
+        for z in 0..self.zones {
+            let cyls = self.cylinders_in_zone(z);
+            total += u64::from(cyls) * u64::from(self.surfaces) * u64::from(self.sectors_per_track_in_zone(z));
+        }
+        total
+    }
+
+    /// Total capacity in bytes.
+    pub fn capacity_bytes(&self) -> u64 {
+        self.capacity_sectors() * u64::from(self.sector_bytes)
+    }
+
+    /// Number of cylinders assigned to zone `z` (zones split the stroke
+    /// evenly, with the remainder going to the outermost zones).
+    pub fn cylinders_in_zone(&self, z: u32) -> u32 {
+        let per = self.cylinders / self.zones;
+        let extra = self.cylinders % self.zones;
+        per + u32::from(z < extra)
+    }
+
+    /// Sectors per track in zone `z` (zone 0 is outermost/densest).
+    pub fn sectors_per_track_in_zone(&self, z: u32) -> u32 {
+        if self.zones == 1 {
+            return self.sectors_outer;
+        }
+        let f = f64::from(z) / f64::from(self.zones - 1);
+        let spt =
+            f64::from(self.sectors_outer) - f * f64::from(self.sectors_outer - self.sectors_inner);
+        spt.round() as u32
+    }
+
+    /// Validates internal consistency; returns a description of the first
+    /// problem found, if any. Useful when specs come from config files.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.rpm_levels.is_empty() {
+            return Err("no speed levels".into());
+        }
+        if self.rpm_levels.windows(2).any(|w| w[0] >= w[1]) {
+            return Err("rpm_levels must be strictly ascending".into());
+        }
+        if self.cylinders == 0 || self.surfaces == 0 || self.zones == 0 {
+            return Err("geometry must be non-empty".into());
+        }
+        if self.zones > self.cylinders {
+            return Err("more zones than cylinders".into());
+        }
+        if self.sectors_inner > self.sectors_outer {
+            return Err("inner zone denser than outer".into());
+        }
+        if self.sectors_inner == 0 {
+            return Err("sectors_inner must be positive".into());
+        }
+        if self.seek_track_to_track_s <= 0.0 || self.seek_full_stroke_s < self.seek_track_to_track_s
+        {
+            return Err("seek curve endpoints inconsistent".into());
+        }
+        if !(0.0..=1.0).contains(&self.seek_knee_fraction) {
+            return Err("seek_knee_fraction outside [0,1]".into());
+        }
+        if self.rpm_accel_per_s <= 0.0 || self.rpm_decel_per_s <= 0.0 {
+            return Err("spindle ramp rates must be positive".into());
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn preset_is_valid() {
+        for levels in 1..=8 {
+            let spec = DiskSpec::ultrastar_multispeed(levels);
+            spec.validate().expect("preset should validate");
+            assert_eq!(spec.num_levels(), levels);
+        }
+    }
+
+    #[test]
+    fn levels_span_range() {
+        let spec = DiskSpec::ultrastar_multispeed(6);
+        assert_eq!(spec.rpm(spec.bottom_level()), 3600.0);
+        assert_eq!(spec.rpm(spec.top_level()), 15000.0);
+        assert_eq!(spec.levels().count(), 6);
+    }
+
+    #[test]
+    fn single_speed_is_full_speed() {
+        let spec = DiskSpec::ultrastar_single_speed();
+        assert_eq!(spec.num_levels(), 1);
+        assert_eq!(spec.rpm(SpeedLevel(0)), 15000.0);
+        assert_eq!(spec.top_level(), spec.bottom_level());
+    }
+
+    #[test]
+    fn revolution_time_scales_inversely() {
+        let spec = DiskSpec::ultrastar_multispeed(2);
+        let slow = spec.revolution_time(SpeedLevel(0));
+        let fast = spec.revolution_time(SpeedLevel(1));
+        assert!((slow / fast - 15000.0 / 3600.0).abs() < 1e-9);
+        assert!((fast - 0.004).abs() < 1e-9); // 15000 RPM = 4ms/rev
+    }
+
+    #[test]
+    fn capacity_is_tens_of_gigabytes() {
+        let spec = DiskSpec::ultrastar_multispeed(6);
+        let gb = spec.capacity_bytes() as f64 / 1e9;
+        assert!((30.0..60.0).contains(&gb), "capacity {gb} GB");
+    }
+
+    #[test]
+    fn zone_cylinders_sum_to_total() {
+        let spec = DiskSpec::ultrastar_multispeed(6);
+        let total: u32 = (0..spec.zones).map(|z| spec.cylinders_in_zone(z)).sum();
+        assert_eq!(total, spec.cylinders);
+    }
+
+    #[test]
+    fn zone_density_monotone_decreasing() {
+        let spec = DiskSpec::ultrastar_multispeed(6);
+        let spts: Vec<u32> = (0..spec.zones)
+            .map(|z| spec.sectors_per_track_in_zone(z))
+            .collect();
+        assert_eq!(spts[0], spec.sectors_outer);
+        assert_eq!(*spts.last().unwrap(), spec.sectors_inner);
+        assert!(spts.windows(2).all(|w| w[0] >= w[1]));
+    }
+
+    #[test]
+    fn validate_catches_bad_specs() {
+        let mut s = DiskSpec::ultrastar_multispeed(3);
+        s.rpm_levels = vec![5000, 5000];
+        assert!(s.validate().is_err());
+
+        let mut s = DiskSpec::ultrastar_multispeed(3);
+        s.sectors_inner = s.sectors_outer + 1;
+        assert!(s.validate().is_err());
+
+        let mut s = DiskSpec::ultrastar_multispeed(3);
+        s.seek_full_stroke_s = 0.0;
+        assert!(s.validate().is_err());
+
+        let mut s = DiskSpec::ultrastar_multispeed(3);
+        s.rpm_levels.clear();
+        assert!(s.validate().is_err());
+    }
+
+    #[test]
+    fn nearline_preset_is_valid_and_distinct() {
+        for levels in 1..=4 {
+            let spec = DiskSpec::nearline_multispeed(levels);
+            spec.validate().expect("nearline preset should validate");
+        }
+        let near = DiskSpec::nearline_multispeed(3);
+        let ent = DiskSpec::ultrastar_multispeed(3);
+        // Bigger…
+        assert!(near.capacity_bytes() > ent.capacity_bytes() * 5);
+        // …slower at the top…
+        assert!(near.rpm(near.top_level()) < ent.rpm(ent.top_level()));
+        assert!(near.seek_full_stroke_s > ent.seek_full_stroke_s);
+        // …and cheaper to keep spinning.
+        assert!(near.power_idle_full_w < ent.power_idle_full_w);
+    }
+
+    #[test]
+    fn serde_roundtrip() {
+        let spec = DiskSpec::ultrastar_multispeed(4);
+        let json = serde_json::to_string(&spec).unwrap();
+        let back: DiskSpec = serde_json::from_str(&json).unwrap();
+        assert_eq!(back.rpm_levels, spec.rpm_levels);
+        assert_eq!(back.name, spec.name);
+    }
+}

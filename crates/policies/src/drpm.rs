@@ -1,0 +1,204 @@
+//! DRPM — dynamic per-disk RPM modulation (after Gurumurthi et al.,
+//! ISCA 2003).
+//!
+//! Each disk adjusts its own speed on a short control window from local
+//! congestion feedback:
+//!
+//! * the array watches recent foreground response times; if they degrade
+//!   past a tolerance over the control window, **every** disk snaps to
+//!   full speed (DRPM's global performance valve);
+//! * otherwise each disk steps *down* one level when its queue has stayed
+//!   empty, and steps *up* one level when its queue is building.
+//!
+//! This is the fine-grained counterpoint to Hibernator's coarse epochs: it
+//! reacts in seconds, pays many more spindle transitions, and has no
+//! explicit response-time goal — only a relative degradation valve.
+
+use array::{ArrayState, PowerPolicy};
+use diskmodel::{Completion, SpeedLevel, SpinTarget};
+use simkit::{SimDuration, SimTime, SlidingWindow};
+
+/// Tunables for [`DrpmPolicy`].
+#[derive(Debug, Clone)]
+pub struct DrpmConfig {
+    /// Control-window length (also the tick cadence).
+    pub window: SimDuration,
+    /// Queue length at/above which a disk steps up one level.
+    pub queue_up: usize,
+    /// Snap everything to full speed when the windowed mean response
+    /// exceeds `degrade_factor ×` the long-run mean.
+    pub degrade_factor: f64,
+}
+
+impl Default for DrpmConfig {
+    fn default() -> Self {
+        DrpmConfig {
+            window: SimDuration::from_secs(10.0),
+            queue_up: 2,
+            degrade_factor: 1.5,
+        }
+    }
+}
+
+/// The DRPM baseline policy.
+pub struct DrpmPolicy {
+    cfg: DrpmConfig,
+    window: SlidingWindow,
+    long_run_mean: f64,
+    long_run_count: u64,
+}
+
+impl DrpmPolicy {
+    /// Creates the policy with `cfg`.
+    pub fn new(cfg: DrpmConfig) -> Self {
+        DrpmPolicy {
+            window: SlidingWindow::new(cfg.window),
+            cfg,
+            long_run_mean: 0.0,
+            long_run_count: 0,
+        }
+    }
+}
+
+impl Default for DrpmPolicy {
+    fn default() -> Self {
+        Self::new(DrpmConfig::default())
+    }
+}
+
+impl PowerPolicy for DrpmPolicy {
+    fn name(&self) -> &str {
+        "DRPM"
+    }
+
+    fn tick_interval(&self) -> Option<SimDuration> {
+        Some(self.cfg.window)
+    }
+
+    fn on_completion(
+        &mut self,
+        now: SimTime,
+        _comp: &Completion,
+        volume_response_s: Option<f64>,
+        _state: &mut ArrayState,
+    ) {
+        if let Some(r) = volume_response_s {
+            self.window.record(now, r);
+            self.long_run_count += 1;
+            self.long_run_mean += (r - self.long_run_mean) / self.long_run_count as f64;
+        }
+    }
+
+    fn on_tick(&mut self, now: SimTime, state: &mut ArrayState) {
+        let windowed = self.window.mean(now);
+        let degraded = match windowed {
+            Some(w) if self.long_run_count > 100 => {
+                w > self.long_run_mean * self.cfg.degrade_factor
+            }
+            _ => false,
+        };
+        let top = state.config.spec.top_level();
+        if degraded {
+            for d in &mut state.disks {
+                d.request_speed(now, SpinTarget::Level(top));
+            }
+            return;
+        }
+        for d in &mut state.disks {
+            let level = d.effective_level();
+            if d.fg_queue_len() >= self.cfg.queue_up {
+                if level < top {
+                    d.request_speed(now, SpinTarget::Level(SpeedLevel(level.index() + 1)));
+                }
+            } else if d.fg_queue_len() == 0 && !d.is_busy() && level.index() > 0 {
+                d.request_speed(now, SpinTarget::Level(SpeedLevel(level.index() - 1)));
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use array::{run_policy, ArrayConfig, BasePolicy, RunOptions};
+    use workload::WorkloadSpec;
+
+    fn config() -> ArrayConfig {
+        let mut c = ArrayConfig::default_for_volume(1 << 30);
+        c.disks = 4;
+        c
+    }
+
+    fn light_trace() -> workload::Trace {
+        let mut spec = WorkloadSpec::oltp(600.0, 4.0);
+        spec.extents = 1000;
+        spec.generate(8)
+    }
+
+    #[test]
+    fn saves_energy_at_light_load() {
+        let trace = light_trace();
+        let opts = RunOptions::for_horizon(600.0);
+        let drpm = run_policy(config(), DrpmPolicy::default(), &trace, opts.clone());
+        let base = run_policy(config(), BasePolicy, &trace, opts);
+        let savings = drpm.savings_vs(&base);
+        assert!(savings > 0.2, "DRPM should save at light load, got {savings}");
+        assert_eq!(drpm.completed, base.completed);
+    }
+
+    #[test]
+    fn pays_many_transitions() {
+        let trace = light_trace();
+        let report = run_policy(
+            config(),
+            DrpmPolicy::default(),
+            &trace,
+            RunOptions::for_horizon(600.0),
+        );
+        // Fine-grained control means frequent ramping: that is its signature.
+        assert!(
+            report.transitions > 8,
+            "expected frequent ramping, got {}",
+            report.transitions
+        );
+    }
+
+    #[test]
+    fn degrades_response_vs_base() {
+        let mut spec = WorkloadSpec::oltp(600.0, 20.0);
+        spec.extents = 1000;
+        let trace = spec.generate(9);
+        let opts = RunOptions::for_horizon(600.0);
+        let drpm = run_policy(config(), DrpmPolicy::default(), &trace, opts.clone());
+        let base = run_policy(config(), BasePolicy, &trace, opts);
+        assert!(
+            drpm.response.mean() > base.response.mean(),
+            "slow service must show up in response time"
+        );
+    }
+
+    #[test]
+    fn heavy_queues_push_speed_back_up() {
+        // High steady load: after the initial descent, queues force the
+        // disks back toward full speed, so the mean response stays bounded.
+        let mut spec = WorkloadSpec::oltp(300.0, 120.0);
+        spec.extents = 1000;
+        let trace = spec.generate(10);
+        let report = run_policy(
+            config(),
+            DrpmPolicy::default(),
+            &trace,
+            RunOptions::for_horizon(330.0),
+        );
+        assert!(
+            report.response.mean() < 1.0,
+            "response collapsed: {} s",
+            report.response.mean()
+        );
+        assert!(
+            report.incomplete < 20,
+            "queues diverged: {} incomplete",
+            report.incomplete
+        );
+    }
+}

@@ -1,0 +1,90 @@
+//! Fixed-speed policies: upper/lower bounds for the comparison.
+//!
+//! [`FixedSpeed`] pins every disk at one level forever. With the bottom
+//! level it is the energy *floor* among always-spinning schemes (and the
+//! performance worst case); with the top level it is identical to
+//! [`array::BasePolicy`]. Useful as a sanity bracket in every experiment.
+
+use array::{ArrayState, PowerPolicy};
+use diskmodel::{SpeedLevel, SpinTarget};
+use simkit::SimTime;
+
+/// Every disk pinned at `level`.
+#[derive(Debug, Clone)]
+pub struct FixedSpeed {
+    level: SpeedLevel,
+    name: String,
+}
+
+impl FixedSpeed {
+    /// Creates the policy pinning all disks at `level`.
+    pub fn new(level: SpeedLevel) -> Self {
+        FixedSpeed {
+            name: format!("Fixed(L{})", level.index()),
+            level,
+        }
+    }
+
+    /// Convenience: pinned at the slowest level.
+    pub fn slowest() -> Self {
+        Self::new(SpeedLevel(0))
+    }
+}
+
+impl PowerPolicy for FixedSpeed {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn init(&mut self, now: SimTime, state: &mut ArrayState) {
+        assert!(
+            self.level.index() < state.config.spec.num_levels(),
+            "fixed level out of range"
+        );
+        for d in &mut state.disks {
+            d.request_speed(now, SpinTarget::Level(self.level));
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use array::{run_policy, ArrayConfig, BasePolicy, RunOptions};
+    use workload::WorkloadSpec;
+
+    fn setup() -> (ArrayConfig, workload::Trace) {
+        let mut config = ArrayConfig::default_for_volume(1 << 30);
+        config.disks = 4;
+        let mut spec = WorkloadSpec::oltp(60.0, 10.0);
+        spec.extents = 1000;
+        (config, spec.generate(3))
+    }
+
+    #[test]
+    fn slow_fixed_saves_energy_and_costs_latency() {
+        let (config, trace) = setup();
+        let opts = RunOptions::for_horizon(120.0);
+        let base = run_policy(config.clone(), BasePolicy, &trace, opts.clone());
+        let slow = run_policy(config, FixedSpeed::new(SpeedLevel(0)), &trace, opts);
+        assert!(slow.energy.total_joules() < base.energy.total_joules() * 0.6);
+        assert!(slow.response.mean() > base.response.mean());
+        assert_eq!(slow.completed, base.completed);
+    }
+
+    #[test]
+    fn top_fixed_matches_base_energy() {
+        let (config, trace) = setup();
+        let opts = RunOptions::for_horizon(120.0);
+        let base = run_policy(config.clone(), BasePolicy, &trace, opts.clone());
+        let top = run_policy(config, FixedSpeed::new(SpeedLevel(5)), &trace, opts);
+        let diff = (top.energy.total_joules() - base.energy.total_joules()).abs();
+        assert!(diff < 1.0, "diff {diff} J");
+    }
+
+    #[test]
+    fn name_reports_level() {
+        assert_eq!(FixedSpeed::new(SpeedLevel(2)).name(), "Fixed(L2)");
+        assert_eq!(FixedSpeed::slowest().name(), "Fixed(L0)");
+    }
+}

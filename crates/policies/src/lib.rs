@@ -1,0 +1,34 @@
+//! # policies — the baseline energy-management schemes
+//!
+//! Faithful reimplementations (from their own papers' descriptions) of the
+//! comparison points the Hibernator evaluation runs against:
+//!
+//! * [`FixedSpeed`] — every disk pinned at one level (sanity brackets);
+//! * [`TpmPolicy`] — per-disk threshold spin-down to standby, with the
+//!   competitive (break-even) threshold by default;
+//! * [`DrpmPolicy`] — per-disk fine-grained RPM modulation with a global
+//!   response-degradation valve (Gurumurthi et al., ISCA 2003);
+//! * [`PdcPolicy`] — Popular Data Concentration: periodic popularity
+//!   ranking packs hot data onto the first disks so TPM can sleep the rest
+//!   (Pinheiro & Bianchini, ICS 2004);
+//! * [`MaidPolicy`] — cache disks shield data disks, which run TPM
+//!   (Colarelli & Grunwald, SC 2002).
+//!
+//! The `Base` reference (all disks full speed) lives in
+//! [`array::BasePolicy`]; the paper's own policy lives in the `hibernator`
+//! crate.
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+mod drpm;
+mod fixed;
+mod maid;
+mod pdc;
+mod tpm;
+
+pub use drpm::{DrpmConfig, DrpmPolicy};
+pub use fixed::FixedSpeed;
+pub use maid::{maid_array_config, MaidConfig, MaidPolicy};
+pub use pdc::{PdcConfig, PdcPolicy};
+pub use tpm::TpmPolicy;

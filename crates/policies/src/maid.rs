@@ -1,0 +1,377 @@
+//! MAID — Massive Array of Idle Disks (after Colarelli & Grunwald, SC 2002).
+//!
+//! A few disks are dedicated *cache disks* that always spin at full speed
+//! and hold copies of recently-read chunks (LRU). Data disks run a TPM
+//! layer underneath. Read hits are served from the cache disks; misses go
+//! to the data disk and promote a copy into the cache (modelled as one
+//! background write — the data just passed through controller RAM). Writes
+//! are write-through: they go to the data disk and refresh any cache copy.
+//!
+//! Configure the array with `stripe_width = disks − cache_disks` so the
+//! initial layout leaves the cache disks (the **last** `cache_disks` of the
+//! array) data-free.
+
+use array::{ArrayState, ChunkId, DiskId, MigrationJob, PowerPolicy};
+use diskmodel::{IoKind, SpinTarget};
+use simkit::{SimDuration, SimTime};
+use std::collections::HashMap;
+
+/// Tunables for [`MaidPolicy`].
+#[derive(Debug, Clone)]
+pub struct MaidConfig {
+    /// Number of cache disks (the last disks of the array).
+    pub cache_disks: usize,
+    /// Capacity of each cache disk, in chunks.
+    pub cache_chunks_per_disk: u32,
+    /// Idle threshold for the data-disk TPM layer, seconds; `None` =
+    /// break-even.
+    pub tpm_threshold_s: Option<f64>,
+}
+
+impl Default for MaidConfig {
+    fn default() -> Self {
+        MaidConfig {
+            cache_disks: 2,
+            cache_chunks_per_disk: 2048, // 2 GiB of 1 MiB chunks
+            tpm_threshold_s: None,
+        }
+    }
+}
+
+/// An LRU cache of chunk copies across the cache disks.
+struct CacheDir {
+    /// chunk → (cache disk, slot)
+    entries: HashMap<ChunkId, (DiskId, u32)>,
+    /// LRU order: front = coldest. Simple vec-based LRU is fine at these
+    /// sizes (thousands of entries, touched per request).
+    lru: Vec<ChunkId>,
+    capacity: usize,
+    /// Free (disk, slot) pairs.
+    free: Vec<(DiskId, u32)>,
+}
+
+impl CacheDir {
+    fn new(cache_disks: &[DiskId], chunks_per_disk: u32) -> CacheDir {
+        let mut free = Vec::new();
+        // Reverse so pop() hands out disk-0-first, low slots first.
+        for &d in cache_disks.iter().rev() {
+            for s in (0..chunks_per_disk).rev() {
+                free.push((d, s));
+            }
+        }
+        CacheDir {
+            entries: HashMap::new(),
+            lru: Vec::new(),
+            capacity: cache_disks.len() * chunks_per_disk as usize,
+            free,
+        }
+    }
+
+    fn lookup(&mut self, chunk: ChunkId) -> Option<(DiskId, u32)> {
+        let hit = self.entries.get(&chunk).copied();
+        if hit.is_some() {
+            // Move to MRU position.
+            if let Some(pos) = self.lru.iter().position(|&c| c == chunk) {
+                let c = self.lru.remove(pos);
+                self.lru.push(c);
+            }
+        }
+        hit
+    }
+
+    /// Inserts `chunk`, evicting the LRU entry if full. Returns the slot
+    /// the copy must be written to.
+    fn insert(&mut self, chunk: ChunkId) -> (DiskId, u32) {
+        if let Some(&loc) = self.entries.get(&chunk) {
+            return loc;
+        }
+        let loc = if self.entries.len() < self.capacity {
+            self.free.pop().expect("capacity accounted")
+        } else {
+            let victim = self.lru.remove(0);
+            self.entries
+                .remove(&victim)
+                .expect("victim must be present")
+        };
+        self.entries.insert(chunk, loc);
+        self.lru.push(chunk);
+        loc
+    }
+
+    fn len(&self) -> usize {
+        self.entries.len()
+    }
+}
+
+/// The MAID baseline policy.
+pub struct MaidPolicy {
+    cfg: MaidConfig,
+    cache: Option<CacheDir>,
+    cache_disk_ids: Vec<DiskId>,
+    tpm_threshold_s: f64,
+    hits: u64,
+    misses: u64,
+}
+
+impl MaidPolicy {
+    /// Creates the policy with `cfg`.
+    pub fn new(cfg: MaidConfig) -> Self {
+        MaidPolicy {
+            cfg,
+            cache: None,
+            cache_disk_ids: Vec::new(),
+            tpm_threshold_s: 0.0,
+            hits: 0,
+            misses: 0,
+        }
+    }
+
+    /// Read hit ratio so far.
+    pub fn hit_ratio(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
+
+    /// Number of chunks currently cached.
+    pub fn cached_chunks(&self) -> usize {
+        self.cache.as_ref().map_or(0, |c| c.len())
+    }
+}
+
+impl Default for MaidPolicy {
+    fn default() -> Self {
+        Self::new(MaidConfig::default())
+    }
+}
+
+impl PowerPolicy for MaidPolicy {
+    fn name(&self) -> &str {
+        "MAID"
+    }
+
+    fn init(&mut self, _now: SimTime, state: &mut ArrayState) {
+        let n = state.config.disks;
+        assert!(
+            self.cfg.cache_disks < n,
+            "need at least one data disk ({n} disks, {} cache)",
+            self.cfg.cache_disks
+        );
+        assert_eq!(
+            state.config.effective_stripe_width(),
+            n - self.cfg.cache_disks,
+            "configure stripe_width = disks - cache_disks so cache disks hold no data"
+        );
+        self.cache_disk_ids = (n - self.cfg.cache_disks..n).map(DiskId).collect();
+        self.cache = Some(CacheDir::new(
+            &self.cache_disk_ids,
+            self.cfg.cache_chunks_per_disk,
+        ));
+        self.tpm_threshold_s = match self.cfg.tpm_threshold_s {
+            Some(t) => t,
+            None => state.disks[0]
+                .power_model()
+                .breakeven_standby_s(state.config.spec.top_level()),
+        };
+    }
+
+    fn tick_interval(&self) -> Option<SimDuration> {
+        Some(SimDuration::from_secs(5.0))
+    }
+
+    fn route(
+        &mut self,
+        _now: SimTime,
+        chunk: ChunkId,
+        _offset: u64,
+        kind: IoKind,
+        state: &mut ArrayState,
+    ) -> Option<(DiskId, u64)> {
+        let cache = self.cache.as_mut()?;
+        let cs = state.config.chunk_sectors;
+        match kind {
+            IoKind::Read => match cache.lookup(chunk) {
+                Some((disk, slot)) => {
+                    self.hits += 1;
+                    Some((disk, u64::from(slot) * cs))
+                }
+                None => {
+                    self.misses += 1;
+                    // Miss: serve from the data disk, promote a copy.
+                    let (disk, slot) = cache.insert(chunk);
+                    state.migrator.enqueue([MigrationJob::RawWrite {
+                        disk,
+                        sector: u64::from(slot) * cs,
+                        sectors: cs as u32,
+                    }]);
+                    None
+                }
+            },
+            IoKind::Write => {
+                // Write-through: data disk gets the foreground write; any
+                // cache copy is refreshed in the background.
+                if let Some((disk, slot)) = cache.lookup(chunk) {
+                    state.migrator.enqueue([MigrationJob::RawWrite {
+                        disk,
+                        sector: u64::from(slot) * cs,
+                        sectors: cs as u32,
+                    }]);
+                }
+                None
+            }
+        }
+    }
+
+    fn on_tick(&mut self, now: SimTime, state: &mut ArrayState) {
+        // TPM on data disks only; cache disks always spin.
+        let data_disks = state.config.disks - self.cfg.cache_disks;
+        for d in state.disks.iter_mut().take(data_disks) {
+            if let Some(idle) = d.idle_duration(now) {
+                if idle >= self.tpm_threshold_s && !d.is_standby() {
+                    d.request_speed(now, SpinTarget::Standby);
+                }
+            }
+        }
+    }
+}
+
+/// Builds an [`array::ArrayConfig`] adjusted for MAID: the initial stripe
+/// excludes the cache disks.
+pub fn maid_array_config(mut config: array::ArrayConfig, cache_disks: usize) -> array::ArrayConfig {
+    assert!(cache_disks < config.disks, "too many cache disks");
+    config.stripe_width = Some(config.disks - cache_disks);
+    config
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use array::{run_policy, ArrayConfig, BasePolicy, RunOptions};
+    use workload::WorkloadSpec;
+
+    fn config() -> ArrayConfig {
+        let mut c = ArrayConfig::default_for_volume(1 << 30);
+        c.disks = 6;
+        maid_array_config(c, 2)
+    }
+
+    fn skewed_trace(rate: f64, duration: f64) -> workload::Trace {
+        let mut spec = WorkloadSpec::oltp(duration, rate);
+        spec.extents = 512;
+        spec.zipf_theta = 1.1;
+        spec.generate(31)
+    }
+
+    fn maid() -> MaidPolicy {
+        MaidPolicy::new(MaidConfig {
+            cache_disks: 2,
+            cache_chunks_per_disk: 128,
+            tpm_threshold_s: Some(60.0),
+        })
+    }
+
+    #[test]
+    fn cache_dir_lru_eviction() {
+        let mut dir = CacheDir::new(&[DiskId(4), DiskId(5)], 2); // capacity 4
+        for c in 0..4u32 {
+            dir.insert(ChunkId(c));
+        }
+        assert_eq!(dir.len(), 4);
+        // Touch chunk 0 so it is MRU; inserting a 5th evicts chunk 1.
+        assert!(dir.lookup(ChunkId(0)).is_some());
+        dir.insert(ChunkId(10));
+        assert!(dir.lookup(ChunkId(1)).is_none(), "LRU entry evicted");
+        assert!(dir.lookup(ChunkId(0)).is_some(), "MRU entry survives");
+        assert_eq!(dir.len(), 4);
+    }
+
+    #[test]
+    fn cache_slots_unique() {
+        let mut dir = CacheDir::new(&[DiskId(4), DiskId(5)], 64);
+        let mut seen = std::collections::HashSet::new();
+        for c in 0..128u32 {
+            let loc = dir.insert(ChunkId(c));
+            assert!(seen.insert(loc), "slot reused while not evicted: {loc:?}");
+        }
+    }
+
+    #[test]
+    fn hot_reads_hit_cache_disks() {
+        let trace = skewed_trace(30.0, 600.0);
+        let mut policy = maid();
+        // Run via the simulation; inspect hit ratio through a second run's
+        // policy object (run_policy consumes it, so simulate inline).
+        let sim = array::Simulation::new(
+            config(),
+            maid(),
+            &trace,
+            RunOptions::for_horizon(600.0),
+        );
+        let report = sim.run();
+        let _ = &mut policy;
+        assert_eq!(report.incomplete, 0);
+        // Promotions happened (raw writes to cache disks).
+        assert!(
+            report.migration.raw_writes > 10,
+            "promotions expected, got {}",
+            report.migration.raw_writes
+        );
+        // Cache disks (last two) did real foreground work: their transfer
+        // energy is nonzero.
+        let cache_active: f64 = report.per_disk_energy[4..]
+            .iter()
+            .map(|e| e.joules(simkit::EnergyComponent::Transfer))
+            .sum();
+        assert!(cache_active > 0.0, "cache disks served no reads");
+    }
+
+    #[test]
+    fn data_disks_sleep_under_cache_shield() {
+        // Highly skewed reads: after warm-up nearly everything hits cache,
+        // so data disks idle long enough for the TPM layer.
+        let mut spec = WorkloadSpec::oltp(1800.0, 10.0);
+        spec.extents = 64; // tiny hot set: fits entirely in cache
+        spec.zipf_theta = 1.2;
+        spec.read_fraction = 1.0;
+        let trace = spec.generate(32);
+        let report = run_policy(
+            config(),
+            maid(),
+            &trace,
+            RunOptions::for_horizon(2400.0),
+        );
+        assert!(
+            report.energy.joules(simkit::EnergyComponent::Standby) > 0.0,
+            "data disks should reach standby behind the cache"
+        );
+    }
+
+    #[test]
+    fn saves_energy_vs_base_on_cacheable_load() {
+        let mut spec = WorkloadSpec::oltp(1800.0, 10.0);
+        spec.extents = 64;
+        spec.zipf_theta = 1.2;
+        spec.read_fraction = 1.0;
+        let trace = spec.generate(33);
+        let opts = RunOptions::for_horizon(2400.0);
+        let m = run_policy(config(), maid(), &trace, opts.clone());
+        let base = run_policy(config(), BasePolicy, &trace, opts);
+        assert!(
+            m.savings_vs(&base) > 0.1,
+            "MAID savings {}",
+            m.savings_vs(&base)
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "stripe_width")]
+    fn rejects_missing_stripe_adjustment() {
+        let mut c = ArrayConfig::default_for_volume(1 << 30);
+        c.disks = 6; // no stripe_width set
+        let trace = skewed_trace(5.0, 10.0);
+        let _ = run_policy(c, maid(), &trace, RunOptions::for_horizon(10.0));
+    }
+}

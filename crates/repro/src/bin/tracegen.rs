@@ -1,0 +1,110 @@
+//! `tracegen` — generate synthetic workload traces as CSV or JSON lines.
+//!
+//! ```text
+//! tracegen <oltp|cello> [--duration SECS] [--rate REQ_PER_S] [--seed N]
+//!          [--format csv|jsonl] [--out PATH] [--stats]
+//! ```
+//!
+//! Writes the trace to `--out` (default stdout), optionally printing the
+//! workload-characteristics summary to stderr. The output feeds straight
+//! back into the simulator via `workload::trace_io`, so users can inspect,
+//! filter, or splice traces with ordinary text tools.
+
+use workload::trace_io::{write_csv, write_jsonl};
+use workload::{TraceStats, WorkloadSpec};
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: tracegen <oltp|cello> [--duration SECS] [--rate REQ_PER_S] \
+         [--seed N] [--format csv|jsonl] [--out PATH] [--stats]"
+    );
+    std::process::exit(2);
+}
+
+fn main() {
+    let mut args = std::env::args().skip(1);
+    let Some(kind) = args.next() else { usage() };
+    let mut duration = 3600.0f64;
+    let mut rate = 100.0f64;
+    let mut seed = 42u64;
+    let mut format = String::from("csv");
+    let mut out: Option<String> = None;
+    let mut stats = false;
+
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--duration" => {
+                duration = args
+                    .next()
+                    .and_then(|s| s.parse().ok())
+                    .unwrap_or_else(|| usage())
+            }
+            "--rate" => {
+                rate = args
+                    .next()
+                    .and_then(|s| s.parse().ok())
+                    .unwrap_or_else(|| usage())
+            }
+            "--seed" => {
+                seed = args
+                    .next()
+                    .and_then(|s| s.parse().ok())
+                    .unwrap_or_else(|| usage())
+            }
+            "--format" => format = args.next().unwrap_or_else(|| usage()),
+            "--out" => out = Some(args.next().unwrap_or_else(|| usage())),
+            "--stats" => stats = true,
+            _ => usage(),
+        }
+    }
+
+    let spec = match kind.as_str() {
+        "oltp" => WorkloadSpec::oltp(duration, rate),
+        "cello" => WorkloadSpec::cello_like(duration, rate),
+        _ => usage(),
+    };
+    let trace = spec.generate(seed);
+
+    if stats {
+        match TraceStats::compute(&trace) {
+            Some(s) => eprintln!(
+                "# {} requests, {:.1} req/s, {:.0}% reads, {:.1} KiB mean, \
+                 footprint {} MiB, top-10% share {:.2}, peak/mean {:.2}",
+                s.requests,
+                s.mean_rate,
+                s.read_fraction * 100.0,
+                s.mean_size_kib,
+                s.footprint_mib,
+                s.top_decile_share,
+                s.peak_to_mean
+            ),
+            None => eprintln!("# empty trace"),
+        }
+    }
+
+    let result = match out {
+        Some(path) => {
+            let f = std::fs::File::create(&path).unwrap_or_else(|e| {
+                eprintln!("tracegen: cannot create {path}: {e}");
+                std::process::exit(1);
+            });
+            match format.as_str() {
+                "csv" => write_csv(&trace, f),
+                "jsonl" => write_jsonl(&trace, f),
+                _ => usage(),
+            }
+        }
+        None => {
+            let stdout = std::io::stdout();
+            match format.as_str() {
+                "csv" => write_csv(&trace, stdout.lock()),
+                "jsonl" => write_jsonl(&trace, stdout.lock()),
+                _ => usage(),
+            }
+        }
+    };
+    if let Err(e) = result {
+        eprintln!("tracegen: write failed: {e}");
+        std::process::exit(1);
+    }
+}

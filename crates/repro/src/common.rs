@@ -1,0 +1,328 @@
+//! Shared infrastructure for the experiment harness: scenario definitions,
+//! policy dispatch, goal calibration, run caching, and output formatting.
+//!
+//! All experiments draw from two calibrated scenarios (see DESIGN.md §6):
+//!
+//! * **OLTP** — 16 disks, 16 GiB hot volume, steady 150 req/s, Zipf 0.95;
+//! * **Cello** — 16 disks, 24 GiB volume, diurnal bursty file-server load.
+//!
+//! The response-time goal of every managed run is `goal_factor ×` the mean
+//! response of the unmanaged Base run on the same trace (the paper's
+//! "performance goal relative to no power management" formulation).
+
+use array::{run_policy, ArrayConfig, Redundancy, RunOptions, RunReport};
+use diskmodel::{DiskSpec, SpeedLevel};
+use hibernator::{Hibernator, HibernatorConfig, MigrationMode};
+use policies::{maid_array_config, DrpmPolicy, FixedSpeed, MaidConfig, MaidPolicy, PdcPolicy, TpmPolicy};
+use simkit::SimDuration;
+use std::cell::RefCell;
+use std::collections::HashMap;
+use std::fmt::Write as _;
+use std::rc::Rc;
+use workload::{Trace, WorkloadSpec};
+
+/// Which workload a run uses.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Workload {
+    /// Steady, skewed, read-mostly transaction processing.
+    Oltp,
+    /// Diurnal, bursty file-server traffic.
+    Cello,
+}
+
+impl Workload {
+    /// Short label for tables and CSV.
+    pub fn label(self) -> &'static str {
+        match self {
+            Workload::Oltp => "OLTP",
+            Workload::Cello => "Cello",
+        }
+    }
+}
+
+/// Every policy the comparison tables include.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum PolicyKind {
+    /// No power management (all disks full speed).
+    Base,
+    /// Threshold spin-down.
+    Tpm,
+    /// Fine-grained per-disk RPM control.
+    Drpm,
+    /// Popular data concentration + TPM.
+    Pdc,
+    /// Cache disks + TPM.
+    Maid,
+    /// The paper's system.
+    Hibernator,
+    /// Hibernator without data migration (ablation).
+    HibernatorNoMig,
+    /// Hibernator with random placement (ablation).
+    HibernatorRandMig,
+    /// Hibernator without the performance guard (ablation).
+    HibernatorNoGuard,
+    /// Everything pinned at the slowest level (bound).
+    FixedSlow,
+}
+
+impl PolicyKind {
+    /// The six policies of the headline comparison.
+    pub const HEADLINE: [PolicyKind; 6] = [
+        PolicyKind::Base,
+        PolicyKind::Tpm,
+        PolicyKind::Drpm,
+        PolicyKind::Pdc,
+        PolicyKind::Maid,
+        PolicyKind::Hibernator,
+    ];
+
+    /// Short label for tables.
+    pub fn label(self) -> &'static str {
+        match self {
+            PolicyKind::Base => "Base",
+            PolicyKind::Tpm => "TPM",
+            PolicyKind::Drpm => "DRPM",
+            PolicyKind::Pdc => "PDC",
+            PolicyKind::Maid => "MAID",
+            PolicyKind::Hibernator => "Hibernator",
+            PolicyKind::HibernatorNoMig => "Hib(no-mig)",
+            PolicyKind::HibernatorRandMig => "Hib(rand-mig)",
+            PolicyKind::HibernatorNoGuard => "Hib(no-guard)",
+            PolicyKind::FixedSlow => "Fixed(slow)",
+        }
+    }
+}
+
+/// Experiment-wide context: scale, seed, output directory, and a run cache
+/// so `all` never simulates the same (policy, workload) pair twice.
+pub struct Ctx {
+    /// Reduced scale for smoke runs (`--quick`).
+    pub quick: bool,
+    /// Master seed.
+    pub seed: u64,
+    /// Where CSV outputs land.
+    pub out_dir: std::path::PathBuf,
+    cache: RefCell<HashMap<String, Rc<RunReport>>>,
+    traces: RefCell<HashMap<(Workload, u64), Rc<Trace>>>,
+    goals: RefCell<HashMap<Workload, f64>>,
+}
+
+impl Ctx {
+    /// Creates the context, ensuring the output directory exists.
+    pub fn new(quick: bool, seed: u64, out_dir: impl Into<std::path::PathBuf>) -> Ctx {
+        let out_dir = out_dir.into();
+        std::fs::create_dir_all(&out_dir).expect("create results dir");
+        Ctx {
+            quick,
+            seed,
+            out_dir,
+            cache: RefCell::new(HashMap::new()),
+            traces: RefCell::new(HashMap::new()),
+            goals: RefCell::new(HashMap::new()),
+        }
+    }
+
+    /// Simulated duration of the standard runs.
+    pub fn duration_s(&self) -> f64 {
+        if self.quick {
+            2.0 * 3600.0
+        } else {
+            24.0 * 3600.0
+        }
+    }
+
+    /// Disks in the standard array.
+    pub fn disks(&self) -> usize {
+        16
+    }
+
+    /// The standard goal factor (goal = factor × Base mean response).
+    pub fn goal_factor(&self) -> f64 {
+        1.3
+    }
+
+    /// The standard array config for a workload (6-level multi-speed).
+    pub fn array_config(&self, w: Workload) -> ArrayConfig {
+        self.array_config_with(w, self.disks(), 6)
+    }
+
+    /// Array config with explicit disk count and speed-level count.
+    pub fn array_config_with(&self, w: Workload, disks: usize, levels: usize) -> ArrayConfig {
+        let spec = self.workload_spec(w, 1.0);
+        ArrayConfig {
+            disks,
+            spec: DiskSpec::ultrastar_multispeed(levels),
+            chunk_sectors: 2048,
+            volume_chunks: (spec.footprint_sectors() / 2048) as u32,
+            redundancy: Redundancy::None,
+            seed: self.seed,
+            stripe_width: None,
+        }
+    }
+
+    /// The workload spec at a load multiplier.
+    pub fn workload_spec(&self, w: Workload, load: f64) -> WorkloadSpec {
+        match w {
+            Workload::Oltp => WorkloadSpec::oltp(self.duration_s(), 150.0 * load),
+            Workload::Cello => WorkloadSpec::cello_like(self.duration_s(), 80.0 * load),
+        }
+    }
+
+    /// The standard trace for a workload (cached).
+    pub fn trace(&self, w: Workload) -> Rc<Trace> {
+        self.trace_with_load(w, 1.0)
+    }
+
+    /// Trace at a load multiplier (cached by permille).
+    pub fn trace_with_load(&self, w: Workload, load: f64) -> Rc<Trace> {
+        let key = (w, (load * 1000.0).round() as u64);
+        if let Some(t) = self.traces.borrow().get(&key) {
+            return Rc::clone(t);
+        }
+        let t = Rc::new(self.workload_spec(w, load).generate(self.seed));
+        self.traces.borrow_mut().insert(key, Rc::clone(&t));
+        t
+    }
+
+    /// Default run options for the standard duration.
+    pub fn run_options(&self) -> RunOptions {
+        let mut o = RunOptions::for_horizon(self.duration_s());
+        o.series_bucket = SimDuration::from_secs(if self.quick { 120.0 } else { 600.0 });
+        o.sample_interval = o.series_bucket;
+        o
+    }
+
+    /// The calibrated response-time goal for a workload:
+    /// `goal_factor × Base mean response` (Base run cached).
+    pub fn goal_s(&self, w: Workload) -> f64 {
+        if let Some(&g) = self.goals.borrow().get(&w) {
+            return g;
+        }
+        let base = self.report(PolicyKind::Base, w);
+        let g = base.response.mean() * self.goal_factor();
+        self.goals.borrow_mut().insert(w, g);
+        g
+    }
+
+    /// Hibernator config for a goal at standard scale.
+    pub fn hibernator_config(&self, goal_s: f64) -> HibernatorConfig {
+        let mut cfg = HibernatorConfig::for_goal(goal_s);
+        if self.quick {
+            cfg.epoch = SimDuration::from_mins(20.0);
+            cfg.heat_tau = SimDuration::from_mins(20.0);
+        }
+        cfg
+    }
+
+    /// Runs (or fetches from cache) a standard-scenario policy run.
+    pub fn report(&self, p: PolicyKind, w: Workload) -> Rc<RunReport> {
+        let key = format!("{:?}-{:?}", p, w);
+        if let Some(r) = self.cache.borrow().get(&key) {
+            return Rc::clone(r);
+        }
+        let trace = self.trace(w);
+        let config = self.array_config(w);
+        let opts = self.run_options();
+        // The goal needs Base; avoid infinite recursion for Base itself.
+        let report = if p == PolicyKind::Base {
+            run_policy(config, array::BasePolicy, &trace, opts)
+        } else {
+            let goal = self.goal_s(w);
+            self.run_kind(p, config, &trace, opts, goal)
+        };
+        let report = Rc::new(report);
+        self.cache.borrow_mut().insert(key, Rc::clone(&report));
+        report
+    }
+
+    /// Writes a CSV file into the results directory.
+    pub fn write_csv(&self, name: &str, header: &str, rows: &[String]) {
+        let path = self.out_dir.join(name);
+        let mut body = String::with_capacity(rows.len() * 32 + header.len() + 1);
+        let _ = writeln!(body, "{header}");
+        for r in rows {
+            let _ = writeln!(body, "{r}");
+        }
+        std::fs::write(&path, body).expect("write csv");
+        println!("  -> {}", path.display());
+    }
+}
+
+impl Ctx {
+    /// Runs an arbitrary policy kind against a given config/trace. `goal_s`
+    /// is used by goal-aware policies and ignored by the rest. Hibernator
+    /// variants pick up the context's scale-appropriate epoch settings.
+    pub fn run_kind(
+        &self,
+        p: PolicyKind,
+        config: ArrayConfig,
+        trace: &Trace,
+        opts: RunOptions,
+        goal_s: f64,
+    ) -> RunReport {
+        match p {
+            PolicyKind::Base => run_policy(config, array::BasePolicy, trace, opts),
+            PolicyKind::Tpm => run_policy(config, TpmPolicy::competitive(), trace, opts),
+            PolicyKind::Drpm => run_policy(config, DrpmPolicy::default(), trace, opts),
+            PolicyKind::Pdc => run_policy(config, PdcPolicy::default(), trace, opts),
+            PolicyKind::Maid => {
+                let cache_disks = (config.disks / 8).max(1) + 1; // 16 disks -> 3
+                let cfg = maid_array_config(config, cache_disks);
+                run_policy(
+                    cfg,
+                    MaidPolicy::new(MaidConfig {
+                        cache_disks,
+                        cache_chunks_per_disk: 2048,
+                        tpm_threshold_s: None,
+                    }),
+                    trace,
+                    opts,
+                )
+            }
+            PolicyKind::Hibernator => {
+                let cfg = self.hibernator_config(goal_s);
+                run_policy(config, Hibernator::new(cfg), trace, opts)
+            }
+            PolicyKind::HibernatorNoMig => {
+                let cfg = self.hibernator_config(goal_s);
+                run_policy(config, Hibernator::new(cfg).without_migration(), trace, opts)
+            }
+            PolicyKind::HibernatorRandMig => {
+                let mut cfg = self.hibernator_config(goal_s);
+                cfg.migration_mode = MigrationMode::Random;
+                run_policy(config, Hibernator::new(cfg), trace, opts)
+            }
+            PolicyKind::HibernatorNoGuard => {
+                let cfg = self.hibernator_config(goal_s);
+                run_policy(config, Hibernator::new(cfg).without_guard(), trace, opts)
+            }
+            PolicyKind::FixedSlow => {
+                run_policy(config, FixedSpeed::new(SpeedLevel(0)), trace, opts)
+            }
+        }
+    }
+}
+
+/// Fraction of post-warmup series buckets whose mean response exceeded the
+/// goal — the "goal violation" metric of the T4 table.
+pub fn violation_fraction(report: &RunReport, goal_s: f64, warmup_s: f64) -> f64 {
+    let pts: Vec<(f64, f64)> = report
+        .response_series
+        .mean_points()
+        .into_iter()
+        .filter(|(t, _)| *t > warmup_s)
+        .collect();
+    if pts.is_empty() {
+        return 0.0;
+    }
+    pts.iter().filter(|(_, v)| *v > goal_s).count() as f64 / pts.len() as f64
+}
+
+/// Prints a fixed-width table row.
+pub fn row(cells: &[String], widths: &[usize]) -> String {
+    let mut s = String::new();
+    for (c, w) in cells.iter().zip(widths) {
+        let _ = write!(s, "{c:>w$}  ", w = w);
+    }
+    s
+}

@@ -1,0 +1,102 @@
+//! `repro` — regenerates every table and figure of the Hibernator
+//! evaluation (see DESIGN.md §6 for the experiment index and
+//! EXPERIMENTS.md for recorded results).
+//!
+//! ```text
+//! repro [--quick] [--seed N] [--out DIR] <experiment...>
+//!   experiments: t1 t2 t3 t4 t5 f1..f10 | tables | figures | all
+//! ```
+//!
+//! `--quick` runs 2-hour traces instead of 24-hour ones (for smoke tests);
+//! results land as CSV in `--out` (default `results/`).
+
+mod common;
+mod figures;
+mod tables;
+
+use common::Ctx;
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: repro [--quick] [--seed N] [--out DIR] <t1..t6|f1..f12|tables|figures|all>..."
+    );
+    std::process::exit(2);
+}
+
+fn main() {
+    let mut quick = false;
+    let mut seed = 42u64;
+    let mut out = String::from("results");
+    let mut experiments: Vec<String> = Vec::new();
+
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--quick" => quick = true,
+            "--seed" => {
+                seed = args
+                    .next()
+                    .and_then(|s| s.parse().ok())
+                    .unwrap_or_else(|| usage())
+            }
+            "--out" => out = args.next().unwrap_or_else(|| usage()),
+            "--help" | "-h" => usage(),
+            e if !e.starts_with('-') => experiments.push(e.to_string()),
+            _ => usage(),
+        }
+    }
+    if experiments.is_empty() {
+        usage();
+    }
+
+    let ctx = Ctx::new(quick, seed, &out);
+    println!(
+        "# Hibernator reproduction — {} scale, seed {seed}, {} disks, {:.0} h horizon",
+        if quick { "quick" } else { "full" },
+        ctx.disks(),
+        ctx.duration_s() / 3600.0
+    );
+
+    let started = std::time::Instant::now();
+    for e in &experiments {
+        run_one(&ctx, e);
+    }
+    println!("\ndone in {:.1?} (wall clock)", started.elapsed());
+}
+
+fn run_one(ctx: &Ctx, name: &str) {
+    match name {
+        "t1" => tables::t1(ctx),
+        "t2" => tables::t2(ctx),
+        "t3" => tables::t3(ctx),
+        "t4" => tables::t4(ctx),
+        "t5" => tables::t5(ctx),
+        "t6" => tables::t6(ctx),
+        "f1" => figures::f1(ctx),
+        "f2" => figures::f2(ctx),
+        "f3" => figures::f3(ctx),
+        "f4" => figures::f4(ctx),
+        "f5" => figures::f5(ctx),
+        "f6" => figures::f6(ctx),
+        "f7" => figures::f7(ctx),
+        "f8" => figures::f8(ctx),
+        "f9" => figures::f9(ctx),
+        "f10" => figures::f10(ctx),
+        "f11" => figures::f11(ctx),
+        "f12" => figures::f12(ctx),
+        "tables" => {
+            for t in ["t1", "t2", "t3", "t4", "t5", "t6"] {
+                run_one(ctx, t);
+            }
+        }
+        "figures" => figures::all(ctx),
+        "all" => {
+            run_one(ctx, "tables");
+            run_one(ctx, "figures");
+        }
+        other => {
+            eprintln!("unknown experiment {other:?}");
+            std::process::exit(2);
+        }
+    }
+}

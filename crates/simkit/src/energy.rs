@@ -1,0 +1,237 @@
+//! Energy accounting.
+//!
+//! Every joule a simulated disk consumes is attributed to exactly one
+//! [`EnergyComponent`], so the experiment harness can report both totals and
+//! breakdowns (the paper-style "where did the energy go" table). The ledger
+//! enforces the conservation invariant `total == Σ components` by
+//! construction: there is no way to add unattributed energy.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Where a parcel of energy was spent.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum EnergyComponent {
+    /// Keeping the platters spinning with no request in service.
+    IdleSpin,
+    /// Moving the arm during a seek.
+    Seek,
+    /// Rotating + transferring while a request occupies the head.
+    Transfer,
+    /// Changing rotational speed (spin-up, spin-down, inter-RPM ramps).
+    Transition,
+    /// Deep sleep with platters stopped.
+    Standby,
+    /// Background data-migration I/O issued by a power policy.
+    Migration,
+}
+
+impl EnergyComponent {
+    /// All components, in a fixed reporting order.
+    pub const ALL: [EnergyComponent; 6] = [
+        EnergyComponent::IdleSpin,
+        EnergyComponent::Seek,
+        EnergyComponent::Transfer,
+        EnergyComponent::Transition,
+        EnergyComponent::Standby,
+        EnergyComponent::Migration,
+    ];
+
+    /// A short stable label for tables and CSV headers.
+    pub fn label(self) -> &'static str {
+        match self {
+            EnergyComponent::IdleSpin => "idle_spin",
+            EnergyComponent::Seek => "seek",
+            EnergyComponent::Transfer => "transfer",
+            EnergyComponent::Transition => "transition",
+            EnergyComponent::Standby => "standby",
+            EnergyComponent::Migration => "migration",
+        }
+    }
+
+    fn index(self) -> usize {
+        match self {
+            EnergyComponent::IdleSpin => 0,
+            EnergyComponent::Seek => 1,
+            EnergyComponent::Transfer => 2,
+            EnergyComponent::Transition => 3,
+            EnergyComponent::Standby => 4,
+            EnergyComponent::Migration => 5,
+        }
+    }
+}
+
+impl fmt::Display for EnergyComponent {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+/// An attributed energy ledger, in joules.
+///
+/// # Examples
+/// ```
+/// use simkit::{EnergyComponent, EnergyLedger};
+///
+/// let mut e = EnergyLedger::new();
+/// e.add(EnergyComponent::IdleSpin, 120.0);
+/// e.add(EnergyComponent::Seek, 3.5);
+/// assert_eq!(e.total_joules(), 123.5);
+/// assert_eq!(e.joules(EnergyComponent::Seek), 3.5);
+/// ```
+#[derive(Debug, Clone, Serialize, Deserialize, Default, PartialEq)]
+pub struct EnergyLedger {
+    joules: [f64; 6],
+}
+
+impl EnergyLedger {
+    /// An empty ledger.
+    pub fn new() -> Self {
+        EnergyLedger { joules: [0.0; 6] }
+    }
+
+    /// Adds `joules` of energy attributed to `component`.
+    ///
+    /// # Panics
+    /// Panics if `joules` is negative or non-finite — energy only flows in.
+    pub fn add(&mut self, component: EnergyComponent, joules: f64) {
+        assert!(
+            joules.is_finite() && joules >= 0.0,
+            "EnergyLedger::add: bad amount {joules}"
+        );
+        self.joules[component.index()] += joules;
+    }
+
+    /// Joules attributed to a single component.
+    pub fn joules(&self, component: EnergyComponent) -> f64 {
+        self.joules[component.index()]
+    }
+
+    /// Total joules across all components.
+    pub fn total_joules(&self) -> f64 {
+        self.joules.iter().sum()
+    }
+
+    /// Total energy in kilojoules (the unit the paper-style tables use).
+    pub fn total_kilojoules(&self) -> f64 {
+        self.total_joules() / 1e3
+    }
+
+    /// Total energy in watt-hours.
+    pub fn total_watt_hours(&self) -> f64 {
+        self.total_joules() / 3600.0
+    }
+
+    /// Fraction of the total attributed to `component` (0 if total is 0).
+    pub fn fraction(&self, component: EnergyComponent) -> f64 {
+        let t = self.total_joules();
+        if t == 0.0 {
+            0.0
+        } else {
+            self.joules(component) / t
+        }
+    }
+
+    /// Iterates `(component, joules)` in reporting order.
+    pub fn breakdown(&self) -> impl Iterator<Item = (EnergyComponent, f64)> + '_ {
+        EnergyComponent::ALL.iter().map(|&c| (c, self.joules(c)))
+    }
+
+    /// Merges another ledger into this one.
+    pub fn merge(&mut self, other: &EnergyLedger) {
+        for (a, b) in self.joules.iter_mut().zip(&other.joules) {
+            *a += b;
+        }
+    }
+
+    /// The energy saved relative to a baseline ledger, as a fraction of the
+    /// baseline total (negative if this ledger spent *more*). Returns 0 when
+    /// the baseline is empty.
+    pub fn savings_vs(&self, baseline: &EnergyLedger) -> f64 {
+        let b = baseline.total_joules();
+        if b == 0.0 {
+            0.0
+        } else {
+            (b - self.total_joules()) / b
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_ledger_is_zero() {
+        let e = EnergyLedger::new();
+        assert_eq!(e.total_joules(), 0.0);
+        for c in EnergyComponent::ALL {
+            assert_eq!(e.joules(c), 0.0);
+            assert_eq!(e.fraction(c), 0.0);
+        }
+    }
+
+    #[test]
+    fn components_sum_to_total() {
+        let mut e = EnergyLedger::new();
+        let amounts = [5.0, 1.0, 2.0, 10.0, 0.5, 3.0];
+        for (c, a) in EnergyComponent::ALL.iter().zip(amounts) {
+            e.add(*c, a);
+        }
+        let sum: f64 = e.breakdown().map(|(_, j)| j).sum();
+        assert!((sum - e.total_joules()).abs() < 1e-12);
+        assert_eq!(e.total_joules(), amounts.iter().sum::<f64>());
+    }
+
+    #[test]
+    fn unit_conversions() {
+        let mut e = EnergyLedger::new();
+        e.add(EnergyComponent::IdleSpin, 7200.0);
+        assert_eq!(e.total_kilojoules(), 7.2);
+        assert_eq!(e.total_watt_hours(), 2.0);
+    }
+
+    #[test]
+    fn fractions() {
+        let mut e = EnergyLedger::new();
+        e.add(EnergyComponent::Seek, 1.0);
+        e.add(EnergyComponent::Transfer, 3.0);
+        assert_eq!(e.fraction(EnergyComponent::Seek), 0.25);
+        assert_eq!(e.fraction(EnergyComponent::Transfer), 0.75);
+    }
+
+    #[test]
+    fn merge_accumulates() {
+        let mut a = EnergyLedger::new();
+        a.add(EnergyComponent::Seek, 1.0);
+        let mut b = EnergyLedger::new();
+        b.add(EnergyComponent::Seek, 2.0);
+        b.add(EnergyComponent::Standby, 4.0);
+        a.merge(&b);
+        assert_eq!(a.joules(EnergyComponent::Seek), 3.0);
+        assert_eq!(a.joules(EnergyComponent::Standby), 4.0);
+    }
+
+    #[test]
+    fn savings_computation() {
+        let mut base = EnergyLedger::new();
+        base.add(EnergyComponent::IdleSpin, 100.0);
+        let mut ours = EnergyLedger::new();
+        ours.add(EnergyComponent::IdleSpin, 40.0);
+        assert!((ours.savings_vs(&base) - 0.6).abs() < 1e-12);
+        assert!((base.savings_vs(&ours) + 1.5).abs() < 1e-12); // spent more
+        assert_eq!(ours.savings_vs(&EnergyLedger::new()), 0.0);
+    }
+
+    #[test]
+    fn labels_are_stable() {
+        assert_eq!(EnergyComponent::IdleSpin.label(), "idle_spin");
+        assert_eq!(format!("{}", EnergyComponent::Migration), "migration");
+    }
+
+    #[test]
+    #[should_panic(expected = "bad amount")]
+    fn rejects_negative_energy() {
+        EnergyLedger::new().add(EnergyComponent::Seek, -1.0);
+    }
+}

@@ -1,0 +1,34 @@
+//! # simkit — discrete-event simulation substrate
+//!
+//! The foundation layer of the Hibernator reproduction. Every other crate in
+//! the workspace builds on these primitives:
+//!
+//! * **Time** — [`SimTime`] / [`SimDuration`], a NaN-free, totally ordered
+//!   simulated timeline in seconds.
+//! * **Events** — [`EventQueue`], a deterministic priority queue with FIFO
+//!   tie-breaking so simulations replay bit-identically.
+//! * **Randomness** — [`DetRng`], labelled deterministic random streams
+//!   derived from one experiment seed.
+//! * **Statistics** — [`Moments`], [`LatencyHistogram`], [`SlidingWindow`],
+//!   [`TimeWeighted`], [`Ewma`], [`DecayingRate`], [`TimeSeries`].
+//! * **Energy** — [`EnergyLedger`] with per-[`EnergyComponent`] attribution.
+//!
+//! Nothing in this crate knows about disks or power policies; it is a
+//! general-purpose toolkit kept small enough to verify exhaustively.
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+mod energy;
+mod events;
+mod rng;
+mod series;
+mod stats;
+mod time;
+
+pub use energy::{EnergyComponent, EnergyLedger};
+pub use events::EventQueue;
+pub use rng::DetRng;
+pub use series::{SeriesBucket, TimeSeries};
+pub use stats::{DecayingRate, Ewma, LatencyHistogram, Moments, SlidingWindow, TimeWeighted};
+pub use time::{SimDuration, SimTime};

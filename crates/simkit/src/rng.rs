@@ -1,0 +1,221 @@
+//! Deterministic random-number streams.
+//!
+//! Every stochastic component of the simulator (arrival processes, popularity
+//! samplers, placement shuffles) draws from its own [`DetRng`] stream derived
+//! from a single experiment seed plus a component label. Splitting by label
+//! means adding a new random consumer does not perturb the draws seen by
+//! existing ones — a property that keeps A/B experiment comparisons honest.
+//!
+//! The generator is `rand`'s `StdRng` (a cryptographically seeded PRNG with a
+//! stable algorithm within a `rand` major version), seeded via SplitMix64
+//! mixing of `(seed, label-hash)`.
+
+use rand::rngs::StdRng;
+use rand::{Rng, RngCore, SeedableRng};
+
+/// SplitMix64 step: a small, well-tested mixer used only for seed derivation.
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// FNV-1a over a label, used so RNG streams are named rather than numbered.
+fn fnv1a(label: &str) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in label.as_bytes() {
+        h ^= u64::from(*b);
+        h = h.wrapping_mul(0x1000_0000_01b3);
+    }
+    h
+}
+
+/// A deterministic, labelled random stream.
+///
+/// # Examples
+/// ```
+/// use simkit::DetRng;
+/// use rand::RngCore;
+///
+/// let mut a = DetRng::new(42, "arrivals");
+/// let mut b = DetRng::new(42, "arrivals");
+/// assert_eq!(a.next_u64(), b.next_u64()); // same seed+label => same stream
+///
+/// let mut c = DetRng::new(42, "popularity");
+/// assert_ne!(DetRng::new(42, "arrivals").next_u64(), c.next_u64());
+/// ```
+pub struct DetRng {
+    inner: StdRng,
+}
+
+impl DetRng {
+    /// Creates the stream for `(seed, label)`.
+    pub fn new(seed: u64, label: &str) -> Self {
+        let mut state = seed ^ fnv1a(label);
+        let mut key = [0u8; 32];
+        for chunk in key.chunks_mut(8) {
+            chunk.copy_from_slice(&splitmix64(&mut state).to_le_bytes());
+        }
+        DetRng {
+            inner: StdRng::from_seed(key),
+        }
+    }
+
+    /// Derives a child stream; children with distinct labels are independent.
+    pub fn split(&mut self, label: &str) -> DetRng {
+        let seed = self.inner.gen::<u64>();
+        DetRng::new(seed, label)
+    }
+
+    /// Uniform in `[0, 1)`.
+    pub fn uniform01(&mut self) -> f64 {
+        self.inner.gen::<f64>()
+    }
+
+    /// Uniform in `[lo, hi)`.
+    ///
+    /// # Panics
+    /// Panics if `lo >= hi`.
+    pub fn uniform(&mut self, lo: f64, hi: f64) -> f64 {
+        assert!(lo < hi, "uniform: empty range [{lo}, {hi})");
+        lo + (hi - lo) * self.uniform01()
+    }
+
+    /// Uniform integer in `[0, n)`.
+    ///
+    /// # Panics
+    /// Panics if `n == 0`.
+    pub fn below(&mut self, n: u64) -> u64 {
+        assert!(n > 0, "below: n must be positive");
+        self.inner.gen_range(0..n)
+    }
+
+    /// An exponentially distributed sample with the given `rate` (events/sec).
+    ///
+    /// # Panics
+    /// Panics if `rate` is not strictly positive and finite.
+    pub fn exponential(&mut self, rate: f64) -> f64 {
+        assert!(
+            rate.is_finite() && rate > 0.0,
+            "exponential: bad rate {rate}"
+        );
+        // Inverse CDF; 1 - u in (0, 1] avoids ln(0).
+        -(1.0 - self.uniform01()).ln() / rate
+    }
+
+    /// Bernoulli trial with probability `p` of `true`.
+    ///
+    /// # Panics
+    /// Panics if `p` is outside `[0, 1]`.
+    pub fn chance(&mut self, p: f64) -> bool {
+        assert!((0.0..=1.0).contains(&p), "chance: bad probability {p}");
+        self.uniform01() < p
+    }
+
+    /// Fisher–Yates shuffle of a slice.
+    pub fn shuffle<T>(&mut self, items: &mut [T]) {
+        for i in (1..items.len()).rev() {
+            let j = self.below(i as u64 + 1) as usize;
+            items.swap(i, j);
+        }
+    }
+}
+
+impl RngCore for DetRng {
+    fn next_u32(&mut self) -> u32 {
+        self.inner.next_u32()
+    }
+    fn next_u64(&mut self) -> u64 {
+        self.inner.next_u64()
+    }
+    fn fill_bytes(&mut self, dest: &mut [u8]) {
+        self.inner.fill_bytes(dest)
+    }
+    fn try_fill_bytes(&mut self, dest: &mut [u8]) -> Result<(), rand::Error> {
+        self.inner.try_fill_bytes(dest)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn same_seed_label_reproduces() {
+        let mut a = DetRng::new(7, "x");
+        let mut b = DetRng::new(7, "x");
+        for _ in 0..32 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn different_labels_diverge() {
+        let mut a = DetRng::new(7, "x");
+        let mut b = DetRng::new(7, "y");
+        let same = (0..16).filter(|_| a.next_u64() == b.next_u64()).count();
+        assert!(same <= 1, "streams should be effectively independent");
+    }
+
+    #[test]
+    fn different_seeds_diverge() {
+        let mut a = DetRng::new(7, "x");
+        let mut b = DetRng::new(8, "x");
+        assert_ne!(a.next_u64(), b.next_u64());
+    }
+
+    #[test]
+    fn split_streams_are_deterministic() {
+        let mut p1 = DetRng::new(1, "parent");
+        let mut p2 = DetRng::new(1, "parent");
+        let mut c1 = p1.split("child");
+        let mut c2 = p2.split("child");
+        assert_eq!(c1.next_u64(), c2.next_u64());
+    }
+
+    #[test]
+    fn exponential_mean_close_to_inverse_rate() {
+        let mut rng = DetRng::new(3, "exp");
+        let rate = 4.0;
+        let n = 200_000;
+        let mean: f64 = (0..n).map(|_| rng.exponential(rate)).sum::<f64>() / n as f64;
+        assert!((mean - 1.0 / rate).abs() < 0.01, "mean {mean}");
+    }
+
+    #[test]
+    fn uniform_bounds_respected() {
+        let mut rng = DetRng::new(5, "u");
+        for _ in 0..10_000 {
+            let x = rng.uniform(2.0, 3.0);
+            assert!((2.0..3.0).contains(&x));
+            let k = rng.below(10);
+            assert!(k < 10);
+        }
+    }
+
+    #[test]
+    fn chance_extremes() {
+        let mut rng = DetRng::new(5, "c");
+        assert!(!rng.chance(0.0));
+        assert!(rng.chance(1.0));
+    }
+
+    #[test]
+    fn shuffle_is_permutation() {
+        let mut rng = DetRng::new(9, "s");
+        let mut v: Vec<u32> = (0..100).collect();
+        rng.shuffle(&mut v);
+        let mut sorted = v.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..100).collect::<Vec<_>>());
+        assert_ne!(v, (0..100).collect::<Vec<_>>(), "shuffle should move items");
+    }
+
+    #[test]
+    #[should_panic(expected = "bad rate")]
+    fn exponential_rejects_zero_rate() {
+        DetRng::new(1, "e").exponential(0.0);
+    }
+}

@@ -1,0 +1,236 @@
+//! Exponentially weighted moving averages over irregular samples.
+//!
+//! Temperature tracking in Hibernator needs "recent access frequency with
+//! old history forgotten". [`Ewma`] implements a continuous-time EWMA: the
+//! weight of past information decays as `exp(-Δt / τ)` where `τ` is the
+//! half-life-like time constant, so sampling intervals need not be uniform.
+//! [`DecayingRate`] builds on it to estimate an *event rate* (events/sec)
+//! from a stream of event timestamps.
+
+use crate::time::{SimDuration, SimTime};
+use serde::{Deserialize, Serialize};
+
+/// Continuous-time exponentially weighted moving average.
+///
+/// # Examples
+/// ```
+/// use simkit::{Ewma, SimDuration, SimTime};
+///
+/// let mut e = Ewma::new(SimDuration::from_secs(10.0));
+/// e.observe(SimTime::from_secs(0.0), 100.0);
+/// // After several time constants the value converges to new observations:
+/// for i in 1..=20 {
+///     e.observe(SimTime::from_secs(i as f64 * 10.0), 0.0);
+/// }
+/// assert!(e.value().unwrap() < 1.0);
+/// ```
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Ewma {
+    tau: SimDuration,
+    value: Option<f64>,
+    last: SimTime,
+}
+
+impl Ewma {
+    /// Creates an EWMA with time constant `tau` (larger = slower to forget).
+    ///
+    /// # Panics
+    /// Panics if `tau` is zero.
+    pub fn new(tau: SimDuration) -> Self {
+        assert!(!tau.is_zero(), "Ewma: tau must be positive");
+        Ewma {
+            tau,
+            value: None,
+            last: SimTime::ZERO,
+        }
+    }
+
+    /// Blends in a new observation at time `now`.
+    ///
+    /// # Panics
+    /// Panics if `x` is non-finite.
+    pub fn observe(&mut self, now: SimTime, x: f64) {
+        assert!(x.is_finite(), "Ewma: non-finite observation");
+        match self.value {
+            None => self.value = Some(x),
+            Some(v) => {
+                let dt = now.saturating_since(self.last);
+                let alpha = 1.0 - (-(dt / self.tau)).exp();
+                self.value = Some(v + alpha * (x - v));
+            }
+        }
+        self.last = now;
+    }
+
+    /// The current smoothed value, or `None` before the first observation.
+    pub fn value(&self) -> Option<f64> {
+        self.value
+    }
+
+    /// The configured time constant.
+    pub fn tau(&self) -> SimDuration {
+        self.tau
+    }
+}
+
+/// Exponentially decaying event-rate estimator.
+///
+/// Each call to [`DecayingRate::hit`] registers one event; [`DecayingRate::rate`]
+/// returns an estimate of events/second in which an event's contribution
+/// decays as `exp(-age / tau)`. The estimate is the decayed hit mass divided
+/// by `tau` (the mean age of surviving mass), which converges to the true
+/// rate for a Poisson stream.
+///
+/// # Examples
+/// ```
+/// use simkit::{DecayingRate, SimDuration, SimTime};
+///
+/// let mut r = DecayingRate::new(SimDuration::from_secs(100.0));
+/// for i in 0..1000 {
+///     r.hit(SimTime::from_secs(i as f64 * 0.5), 1.0); // 2 events/sec
+/// }
+/// let est = r.rate(SimTime::from_secs(500.0));
+/// assert!((est - 2.0).abs() < 0.2, "estimate {est}");
+/// ```
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct DecayingRate {
+    tau: SimDuration,
+    mass: f64,
+    last: SimTime,
+}
+
+impl DecayingRate {
+    /// Creates a rate estimator with decay time constant `tau`.
+    ///
+    /// # Panics
+    /// Panics if `tau` is zero.
+    pub fn new(tau: SimDuration) -> Self {
+        assert!(!tau.is_zero(), "DecayingRate: tau must be positive");
+        DecayingRate {
+            tau,
+            mass: 0.0,
+            last: SimTime::ZERO,
+        }
+    }
+
+    fn decay_to(&mut self, now: SimTime) {
+        let dt = now.saturating_since(self.last);
+        if !dt.is_zero() {
+            self.mass *= (-(dt / self.tau)).exp();
+            self.last = now;
+        } else if now > self.last {
+            self.last = now;
+        }
+    }
+
+    /// Registers `weight` events at time `now` (weight 1.0 = one event;
+    /// weights let callers count bytes or sectors instead of requests).
+    ///
+    /// # Panics
+    /// Panics if `weight` is negative or non-finite.
+    pub fn hit(&mut self, now: SimTime, weight: f64) {
+        assert!(
+            weight.is_finite() && weight >= 0.0,
+            "DecayingRate: bad weight {weight}"
+        );
+        self.decay_to(now);
+        self.mass += weight;
+        self.last = now;
+    }
+
+    /// The decayed event mass as of `now` (useful as a relative "temperature").
+    pub fn mass(&mut self, now: SimTime) -> f64 {
+        self.decay_to(now);
+        self.mass
+    }
+
+    /// Estimated event rate (events/sec) as of `now`.
+    pub fn rate(&mut self, now: SimTime) -> f64 {
+        self.mass(now) / self.tau.as_secs()
+    }
+
+    /// Resets the estimator to empty.
+    pub fn reset(&mut self) {
+        self.mass = 0.0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(s: f64) -> SimTime {
+        SimTime::from_secs(s)
+    }
+
+    #[test]
+    fn ewma_first_observation_taken_verbatim() {
+        let mut e = Ewma::new(SimDuration::from_secs(5.0));
+        assert_eq!(e.value(), None);
+        e.observe(t(0.0), 42.0);
+        assert_eq!(e.value(), Some(42.0));
+    }
+
+    #[test]
+    fn ewma_converges_to_constant_input() {
+        let mut e = Ewma::new(SimDuration::from_secs(1.0));
+        e.observe(t(0.0), 0.0);
+        for i in 1..=50 {
+            e.observe(t(i as f64), 10.0);
+        }
+        assert!((e.value().unwrap() - 10.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn ewma_long_gap_forgets_history() {
+        let mut e = Ewma::new(SimDuration::from_secs(1.0));
+        e.observe(t(0.0), 100.0);
+        e.observe(t(1000.0), 0.0); // gap of 1000 time constants
+        assert!(e.value().unwrap().abs() < 1e-9);
+    }
+
+    #[test]
+    fn ewma_zero_gap_keeps_old_value() {
+        let mut e = Ewma::new(SimDuration::from_secs(1.0));
+        e.observe(t(5.0), 10.0);
+        e.observe(t(5.0), 0.0); // alpha = 0 at dt = 0
+        assert_eq!(e.value(), Some(10.0));
+    }
+
+    #[test]
+    fn rate_tracks_poisson_like_stream() {
+        let mut r = DecayingRate::new(SimDuration::from_secs(50.0));
+        for i in 0..5000 {
+            r.hit(t(i as f64 * 0.1), 1.0); // 10 events/sec
+        }
+        let est = r.rate(t(500.0));
+        assert!((est - 10.0).abs() < 1.0, "estimate {est}");
+    }
+
+    #[test]
+    fn rate_decays_when_idle() {
+        let mut r = DecayingRate::new(SimDuration::from_secs(10.0));
+        for i in 0..100 {
+            r.hit(t(i as f64), 1.0);
+        }
+        let busy = r.rate(t(100.0));
+        let idle = r.rate(t(200.0)); // 10 time constants later
+        assert!(idle < busy * 1e-3, "busy {busy} idle {idle}");
+    }
+
+    #[test]
+    fn mass_accumulates_weights() {
+        let mut r = DecayingRate::new(SimDuration::from_secs(1e9)); // negligible decay
+        r.hit(t(0.0), 2.5);
+        r.hit(t(1.0), 1.5);
+        assert!((r.mass(t(1.0)) - 4.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn reset_clears_mass() {
+        let mut r = DecayingRate::new(SimDuration::from_secs(10.0));
+        r.hit(t(0.0), 5.0);
+        r.reset();
+        assert_eq!(r.mass(t(0.0)), 0.0);
+    }
+}

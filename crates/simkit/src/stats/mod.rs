@@ -1,0 +1,20 @@
+//! Online statistics used throughout the simulator.
+//!
+//! * [`Moments`] — streaming mean/variance/`E[X²]` (feeds the M/G/1 model).
+//! * [`LatencyHistogram`] — geometric-bucket percentiles for latency CDFs.
+//! * [`SlidingWindow`] — trailing-time-window mean (the performance guard).
+//! * [`TimeWeighted`] — integrals of piecewise-constant signals (energy,
+//!   queue depth).
+//! * [`Ewma`] / [`DecayingRate`] — exponential forgetting (temperatures).
+
+mod ewma;
+mod histogram;
+mod moments;
+mod timeweighted;
+mod window;
+
+pub use ewma::{DecayingRate, Ewma};
+pub use histogram::LatencyHistogram;
+pub use moments::Moments;
+pub use timeweighted::TimeWeighted;
+pub use window::SlidingWindow;

@@ -1,0 +1,184 @@
+//! Time-weighted averages of piecewise-constant signals.
+//!
+//! Queue depths, spindle speeds, and power draws are step functions of
+//! simulated time: they hold a value until an event changes it. Their mean
+//! over an interval is the integral divided by the elapsed time, which
+//! [`TimeWeighted`] accumulates incrementally. Integrating the *power* signal
+//! this way is exactly how the energy ledger computes joules.
+
+use crate::time::{SimDuration, SimTime};
+use serde::{Deserialize, Serialize};
+
+/// Integrates a piecewise-constant signal over simulated time.
+///
+/// # Examples
+/// ```
+/// use simkit::{TimeWeighted, SimTime};
+///
+/// // A queue that holds 2 jobs for 4s, then 6 jobs for 1s:
+/// let mut q = TimeWeighted::new(SimTime::ZERO, 2.0);
+/// q.set(SimTime::from_secs(4.0), 6.0);
+/// assert_eq!(q.mean(SimTime::from_secs(5.0)), (2.0 * 4.0 + 6.0 * 1.0) / 5.0);
+/// assert_eq!(q.integral(SimTime::from_secs(5.0)), 14.0);
+/// ```
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct TimeWeighted {
+    last_change: SimTime,
+    current: f64,
+    integral: f64,
+    start: SimTime,
+    min: f64,
+    max: f64,
+}
+
+impl TimeWeighted {
+    /// Starts the signal at `value` from time `start`.
+    ///
+    /// # Panics
+    /// Panics if `value` is non-finite.
+    pub fn new(start: SimTime, value: f64) -> Self {
+        assert!(value.is_finite(), "TimeWeighted: non-finite initial value");
+        TimeWeighted {
+            last_change: start,
+            current: value,
+            integral: 0.0,
+            start,
+            min: value,
+            max: value,
+        }
+    }
+
+    /// The value the signal currently holds.
+    pub fn current(&self) -> f64 {
+        self.current
+    }
+
+    /// Changes the signal to `value` at time `now`.
+    ///
+    /// # Panics
+    /// Panics if `value` is non-finite, or (debug builds) if `now` precedes
+    /// the previous change.
+    pub fn set(&mut self, now: SimTime, value: f64) {
+        assert!(value.is_finite(), "TimeWeighted: non-finite value");
+        self.advance(now);
+        self.current = value;
+        self.min = self.min.min(value);
+        self.max = self.max.max(value);
+    }
+
+    /// Adds `delta` to the current value at time `now` (for counters like
+    /// queue depth).
+    pub fn add(&mut self, now: SimTime, delta: f64) {
+        let v = self.current + delta;
+        self.set(now, v);
+    }
+
+    fn advance(&mut self, now: SimTime) {
+        debug_assert!(now >= self.last_change, "TimeWeighted: time reversed");
+        let dt = now.saturating_since(self.last_change);
+        self.integral += self.current * dt.as_secs();
+        self.last_change = now;
+    }
+
+    /// The integral of the signal from `start` to `now`
+    /// (value × seconds; joules when the signal is watts).
+    pub fn integral(&self, now: SimTime) -> f64 {
+        let dt = now.saturating_since(self.last_change);
+        self.integral + self.current * dt.as_secs()
+    }
+
+    /// The time-weighted mean from `start` to `now`; equals the current
+    /// value when no time has elapsed.
+    pub fn mean(&self, now: SimTime) -> f64 {
+        let elapsed = now.saturating_since(self.start);
+        if elapsed.is_zero() {
+            self.current
+        } else {
+            self.integral(now) / elapsed.as_secs()
+        }
+    }
+
+    /// Smallest value the signal has held.
+    pub fn min_seen(&self) -> f64 {
+        self.min
+    }
+
+    /// Largest value the signal has held.
+    pub fn max_seen(&self) -> f64 {
+        self.max
+    }
+
+    /// Total time elapsed since the signal started, as of `now`.
+    pub fn elapsed(&self, now: SimTime) -> SimDuration {
+        now.saturating_since(self.start)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(s: f64) -> SimTime {
+        SimTime::from_secs(s)
+    }
+
+    #[test]
+    fn constant_signal() {
+        let s = TimeWeighted::new(SimTime::ZERO, 3.0);
+        assert_eq!(s.mean(t(10.0)), 3.0);
+        assert_eq!(s.integral(t(10.0)), 30.0);
+    }
+
+    #[test]
+    fn step_changes() {
+        let mut s = TimeWeighted::new(SimTime::ZERO, 1.0);
+        s.set(t(2.0), 5.0);
+        s.set(t(4.0), 0.0);
+        // 1*2 + 5*2 + 0*6 = 12 over 10s
+        assert_eq!(s.integral(t(10.0)), 12.0);
+        assert!((s.mean(t(10.0)) - 1.2).abs() < 1e-12);
+    }
+
+    #[test]
+    fn mean_at_start_is_current() {
+        let s = TimeWeighted::new(t(5.0), 7.0);
+        assert_eq!(s.mean(t(5.0)), 7.0);
+    }
+
+    #[test]
+    fn add_adjusts_counter() {
+        let mut s = TimeWeighted::new(SimTime::ZERO, 0.0);
+        s.add(t(1.0), 2.0); // depth 2 from t=1
+        s.add(t(3.0), -1.0); // depth 1 from t=3
+        assert_eq!(s.current(), 1.0);
+        // 0*1 + 2*2 + 1*2 = 6 over 5s
+        assert_eq!(s.integral(t(5.0)), 6.0);
+    }
+
+    #[test]
+    fn extremes_tracked() {
+        let mut s = TimeWeighted::new(SimTime::ZERO, 5.0);
+        s.set(t(1.0), -2.0);
+        s.set(t(2.0), 9.0);
+        assert_eq!(s.min_seen(), -2.0);
+        assert_eq!(s.max_seen(), 9.0);
+    }
+
+    #[test]
+    fn non_zero_start() {
+        let mut s = TimeWeighted::new(t(100.0), 2.0);
+        s.set(t(110.0), 4.0);
+        assert_eq!(s.integral(t(120.0)), 2.0 * 10.0 + 4.0 * 10.0);
+        assert_eq!(s.mean(t(120.0)), 3.0);
+        assert_eq!(s.elapsed(t(120.0)).as_secs(), 20.0);
+    }
+
+    #[test]
+    fn repeated_set_same_time_keeps_last() {
+        let mut s = TimeWeighted::new(SimTime::ZERO, 1.0);
+        s.set(t(1.0), 2.0);
+        s.set(t(1.0), 3.0);
+        assert_eq!(s.current(), 3.0);
+        assert_eq!(s.integral(t(2.0)), 1.0 + 3.0);
+    }
+}

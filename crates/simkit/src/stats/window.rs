@@ -1,0 +1,203 @@
+//! Sliding time-window statistics.
+//!
+//! The Hibernator performance guard watches the *recent* mean response time:
+//! "is the array meeting its goal right now?". [`SlidingWindow`] keeps the
+//! samples from the trailing `width` of simulated time in a deque with a
+//! running sum, so the windowed mean is O(1) amortised per operation.
+
+use crate::time::{SimDuration, SimTime};
+use std::collections::VecDeque;
+
+/// Samples within a trailing window of simulated time.
+///
+/// # Examples
+/// ```
+/// use simkit::{SlidingWindow, SimDuration, SimTime};
+///
+/// let mut w = SlidingWindow::new(SimDuration::from_secs(10.0));
+/// w.record(SimTime::from_secs(1.0), 4.0);
+/// w.record(SimTime::from_secs(2.0), 6.0);
+/// assert_eq!(w.mean(SimTime::from_secs(2.0)), Some(5.0));
+/// // At t=11.5 the first sample (t=1.0) has aged out of the 10s window:
+/// assert_eq!(w.mean(SimTime::from_secs(11.5)), Some(6.0));
+/// ```
+#[derive(Debug, Clone)]
+pub struct SlidingWindow {
+    width: SimDuration,
+    samples: VecDeque<(SimTime, f64)>,
+    sum: f64,
+    /// Sums drift under float cancellation; rebuild after this many evictions.
+    evictions_since_rebuild: u32,
+}
+
+const REBUILD_EVERY: u32 = 4096;
+
+impl SlidingWindow {
+    /// Creates a window covering the trailing `width` of simulated time.
+    ///
+    /// # Panics
+    /// Panics if `width` is zero.
+    pub fn new(width: SimDuration) -> Self {
+        assert!(!width.is_zero(), "SlidingWindow: width must be positive");
+        SlidingWindow {
+            width,
+            samples: VecDeque::new(),
+            sum: 0.0,
+            evictions_since_rebuild: 0,
+        }
+    }
+
+    /// The configured window width.
+    pub fn width(&self) -> SimDuration {
+        self.width
+    }
+
+    /// Records a sample observed at `now`.
+    ///
+    /// # Panics
+    /// Panics if `value` is non-finite, or (debug builds) if `now` precedes
+    /// the latest recorded sample — samples must arrive in time order.
+    pub fn record(&mut self, now: SimTime, value: f64) {
+        assert!(value.is_finite(), "SlidingWindow: non-finite sample");
+        if let Some(&(last, _)) = self.samples.back() {
+            debug_assert!(now >= last, "SlidingWindow: out-of-order sample");
+        }
+        self.samples.push_back((now, value));
+        self.sum += value;
+        self.evict(now);
+    }
+
+    fn evict(&mut self, now: SimTime) {
+        let cutoff = now.saturating_since(SimTime::ZERO);
+        while let Some(&(t, v)) = self.samples.front() {
+            if now.saturating_since(t) > self.width && cutoff > SimDuration::ZERO {
+                self.samples.pop_front();
+                self.sum -= v;
+                self.evictions_since_rebuild += 1;
+            } else {
+                break;
+            }
+        }
+        if self.evictions_since_rebuild >= REBUILD_EVERY {
+            self.sum = self.samples.iter().map(|&(_, v)| v).sum();
+            self.evictions_since_rebuild = 0;
+        }
+    }
+
+    /// Mean of the samples still inside the window as of `now`, or `None`
+    /// if the window is empty.
+    pub fn mean(&mut self, now: SimTime) -> Option<f64> {
+        self.evict(now);
+        if self.samples.is_empty() {
+            None
+        } else {
+            Some(self.sum / self.samples.len() as f64)
+        }
+    }
+
+    /// Number of samples inside the window as of `now`.
+    pub fn len(&mut self, now: SimTime) -> usize {
+        self.evict(now);
+        self.samples.len()
+    }
+
+    /// True if the window holds no samples as of `now`.
+    pub fn is_empty(&mut self, now: SimTime) -> bool {
+        self.len(now) == 0
+    }
+
+    /// Largest sample inside the window as of `now`.
+    pub fn max(&mut self, now: SimTime) -> Option<f64> {
+        self.evict(now);
+        self.samples
+            .iter()
+            .map(|&(_, v)| v)
+            .fold(None, |acc, v| Some(acc.map_or(v, |m: f64| m.max(v))))
+    }
+
+    /// Drops all samples.
+    pub fn clear(&mut self) {
+        self.samples.clear();
+        self.sum = 0.0;
+        self.evictions_since_rebuild = 0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(s: f64) -> SimTime {
+        SimTime::from_secs(s)
+    }
+
+    #[test]
+    fn empty_window() {
+        let mut w = SlidingWindow::new(SimDuration::from_secs(5.0));
+        assert_eq!(w.mean(t(0.0)), None);
+        assert!(w.is_empty(t(0.0)));
+        assert_eq!(w.max(t(0.0)), None);
+    }
+
+    #[test]
+    fn mean_within_window() {
+        let mut w = SlidingWindow::new(SimDuration::from_secs(10.0));
+        w.record(t(0.0), 1.0);
+        w.record(t(1.0), 2.0);
+        w.record(t(2.0), 3.0);
+        assert_eq!(w.mean(t(2.0)), Some(2.0));
+        assert_eq!(w.len(t(2.0)), 3);
+    }
+
+    #[test]
+    fn old_samples_age_out() {
+        let mut w = SlidingWindow::new(SimDuration::from_secs(10.0));
+        w.record(t(0.0), 100.0);
+        w.record(t(20.0), 2.0);
+        assert_eq!(w.mean(t(20.0)), Some(2.0));
+        assert_eq!(w.len(t(20.0)), 1);
+    }
+
+    #[test]
+    fn aging_without_new_samples() {
+        let mut w = SlidingWindow::new(SimDuration::from_secs(5.0));
+        w.record(t(0.0), 7.0);
+        assert_eq!(w.mean(t(4.0)), Some(7.0));
+        assert_eq!(w.mean(t(6.0)), None);
+    }
+
+    #[test]
+    fn max_tracks_window() {
+        let mut w = SlidingWindow::new(SimDuration::from_secs(5.0));
+        w.record(t(0.0), 9.0);
+        w.record(t(4.0), 1.0);
+        assert_eq!(w.max(t(4.0)), Some(9.0));
+        assert_eq!(w.max(t(7.0)), Some(1.0));
+    }
+
+    #[test]
+    fn clear_empties() {
+        let mut w = SlidingWindow::new(SimDuration::from_secs(5.0));
+        w.record(t(0.0), 1.0);
+        w.clear();
+        assert!(w.is_empty(t(0.0)));
+    }
+
+    #[test]
+    fn rebuild_keeps_sum_accurate() {
+        let mut w = SlidingWindow::new(SimDuration::from_secs(1.0));
+        // Force many evictions; the periodic rebuild must keep the mean sane.
+        for i in 0..20_000 {
+            w.record(t(i as f64 * 0.5), 0.1 + (i % 7) as f64);
+        }
+        let m = w.mean(t(10_000.0)).unwrap();
+        // Window of 1s at 0.5s spacing holds the last ~3 samples.
+        assert!(m > 0.0 && m < 7.2, "mean {m}");
+    }
+
+    #[test]
+    #[should_panic(expected = "width must be positive")]
+    fn rejects_zero_width() {
+        let _ = SlidingWindow::new(SimDuration::ZERO);
+    }
+}

@@ -1,0 +1,368 @@
+//! Simulated time.
+//!
+//! All simulation components share a single notion of time: seconds since the
+//! start of the simulation, carried as an `f64` inside [`SimTime`]. A newtype
+//! is used (rather than a bare `f64`) so that times, durations, and other
+//! floating-point quantities (energies, rates) cannot be mixed up silently.
+//!
+//! `SimTime` is a point on the timeline; [`SimDuration`] is a distance between
+//! two points. The usual arithmetic is provided:
+//!
+//! * `SimTime + SimDuration -> SimTime`
+//! * `SimTime - SimTime -> SimDuration`
+//! * `SimDuration` supports `+`, `-`, and scaling by `f64`.
+//!
+//! Both types are totally ordered via [`SimTime::cmp`]-style semantics
+//! implemented over the underlying `f64`; constructors reject NaN so total
+//! ordering is sound in practice (`partial_cmp().unwrap()` cannot panic for
+//! values produced through the public API).
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use std::ops::{Add, AddAssign, Div, Mul, Sub, SubAssign};
+
+/// A point in simulated time, in seconds since simulation start.
+#[derive(Debug, Clone, Copy, PartialEq, PartialOrd, Serialize, Deserialize, Default)]
+pub struct SimTime(f64);
+
+/// A span of simulated time, in seconds. May not be negative or NaN.
+#[derive(Debug, Clone, Copy, PartialEq, PartialOrd, Serialize, Deserialize, Default)]
+pub struct SimDuration(f64);
+
+impl SimTime {
+    /// The origin of the simulated timeline.
+    pub const ZERO: SimTime = SimTime(0.0);
+
+    /// Creates a time from seconds since simulation start.
+    ///
+    /// # Panics
+    /// Panics if `secs` is NaN or negative: the simulated timeline starts at
+    /// zero and events cannot be scheduled before it.
+    pub fn from_secs(secs: f64) -> Self {
+        assert!(secs.is_finite() && secs >= 0.0, "invalid SimTime: {secs}");
+        SimTime(secs)
+    }
+
+    /// Creates a time from whole hours, a convenience for experiment configs.
+    pub fn from_hours(hours: f64) -> Self {
+        Self::from_secs(hours * 3600.0)
+    }
+
+    /// Seconds since simulation start.
+    #[inline]
+    pub fn as_secs(self) -> f64 {
+        self.0
+    }
+
+    /// Hours since simulation start.
+    #[inline]
+    pub fn as_hours(self) -> f64 {
+        self.0 / 3600.0
+    }
+
+    /// Saturating subtraction: the duration from `earlier` to `self`,
+    /// or zero if `earlier` is actually later.
+    pub fn saturating_since(self, earlier: SimTime) -> SimDuration {
+        SimDuration((self.0 - earlier.0).max(0.0))
+    }
+
+    /// The later of two times.
+    pub fn max(self, other: SimTime) -> SimTime {
+        if self.0 >= other.0 {
+            self
+        } else {
+            other
+        }
+    }
+
+    /// The earlier of two times.
+    pub fn min(self, other: SimTime) -> SimTime {
+        if self.0 <= other.0 {
+            self
+        } else {
+            other
+        }
+    }
+}
+
+impl SimDuration {
+    /// The empty span.
+    pub const ZERO: SimDuration = SimDuration(0.0);
+
+    /// Creates a duration from seconds.
+    ///
+    /// # Panics
+    /// Panics if `secs` is NaN or negative.
+    pub fn from_secs(secs: f64) -> Self {
+        assert!(
+            secs.is_finite() && secs >= 0.0,
+            "invalid SimDuration: {secs}"
+        );
+        SimDuration(secs)
+    }
+
+    /// Creates a duration from milliseconds.
+    pub fn from_millis(ms: f64) -> Self {
+        Self::from_secs(ms / 1e3)
+    }
+
+    /// Creates a duration from minutes.
+    pub fn from_mins(mins: f64) -> Self {
+        Self::from_secs(mins * 60.0)
+    }
+
+    /// Creates a duration from hours.
+    pub fn from_hours(hours: f64) -> Self {
+        Self::from_secs(hours * 3600.0)
+    }
+
+    /// The span in seconds.
+    #[inline]
+    pub fn as_secs(self) -> f64 {
+        self.0
+    }
+
+    /// The span in milliseconds.
+    #[inline]
+    pub fn as_millis(self) -> f64 {
+        self.0 * 1e3
+    }
+
+    /// True if this duration is exactly zero.
+    #[inline]
+    pub fn is_zero(self) -> bool {
+        self.0 == 0.0
+    }
+
+    /// The larger of two durations.
+    pub fn max(self, other: SimDuration) -> SimDuration {
+        if self.0 >= other.0 {
+            self
+        } else {
+            other
+        }
+    }
+
+    /// The smaller of two durations.
+    pub fn min(self, other: SimDuration) -> SimDuration {
+        if self.0 <= other.0 {
+            self
+        } else {
+            other
+        }
+    }
+}
+
+impl Add<SimDuration> for SimTime {
+    type Output = SimTime;
+    fn add(self, rhs: SimDuration) -> SimTime {
+        SimTime(self.0 + rhs.0)
+    }
+}
+
+impl AddAssign<SimDuration> for SimTime {
+    fn add_assign(&mut self, rhs: SimDuration) {
+        self.0 += rhs.0;
+    }
+}
+
+impl Sub<SimTime> for SimTime {
+    type Output = SimDuration;
+    /// The duration from `rhs` to `self`.
+    ///
+    /// # Panics
+    /// Panics (in debug builds) if `rhs` is later than `self`; use
+    /// [`SimTime::saturating_since`] when the ordering is not guaranteed.
+    fn sub(self, rhs: SimTime) -> SimDuration {
+        debug_assert!(
+            self.0 >= rhs.0,
+            "SimTime subtraction underflow: {} - {}",
+            self.0,
+            rhs.0
+        );
+        SimDuration((self.0 - rhs.0).max(0.0))
+    }
+}
+
+impl Add for SimDuration {
+    type Output = SimDuration;
+    fn add(self, rhs: SimDuration) -> SimDuration {
+        SimDuration(self.0 + rhs.0)
+    }
+}
+
+impl AddAssign for SimDuration {
+    fn add_assign(&mut self, rhs: SimDuration) {
+        self.0 += rhs.0;
+    }
+}
+
+impl Sub for SimDuration {
+    type Output = SimDuration;
+    /// Saturating: never goes below zero.
+    fn sub(self, rhs: SimDuration) -> SimDuration {
+        SimDuration((self.0 - rhs.0).max(0.0))
+    }
+}
+
+impl SubAssign for SimDuration {
+    fn sub_assign(&mut self, rhs: SimDuration) {
+        self.0 = (self.0 - rhs.0).max(0.0);
+    }
+}
+
+impl Mul<f64> for SimDuration {
+    type Output = SimDuration;
+    fn mul(self, rhs: f64) -> SimDuration {
+        SimDuration::from_secs(self.0 * rhs)
+    }
+}
+
+impl Div<f64> for SimDuration {
+    type Output = SimDuration;
+    fn div(self, rhs: f64) -> SimDuration {
+        SimDuration::from_secs(self.0 / rhs)
+    }
+}
+
+impl Div<SimDuration> for SimDuration {
+    type Output = f64;
+    /// The ratio between two durations (dimensionless).
+    fn div(self, rhs: SimDuration) -> f64 {
+        self.0 / rhs.0
+    }
+}
+
+impl Eq for SimTime {}
+
+#[allow(clippy::derive_ord_xor_partial_ord)]
+impl Ord for SimTime {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        // Constructors reject NaN, so partial_cmp is total here.
+        self.0.partial_cmp(&other.0).expect("SimTime is never NaN")
+    }
+}
+
+impl Eq for SimDuration {}
+
+#[allow(clippy::derive_ord_xor_partial_ord)]
+impl Ord for SimDuration {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self.0
+            .partial_cmp(&other.0)
+            .expect("SimDuration is never NaN")
+    }
+}
+
+impl fmt::Display for SimTime {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:.6}s", self.0)
+    }
+}
+
+impl fmt::Display for SimDuration {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.0 < 1.0 {
+            write!(f, "{:.3}ms", self.0 * 1e3)
+        } else {
+            write!(f, "{:.3}s", self.0)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn construction_and_accessors() {
+        let t = SimTime::from_secs(7200.0);
+        assert_eq!(t.as_secs(), 7200.0);
+        assert_eq!(t.as_hours(), 2.0);
+        assert_eq!(SimTime::from_hours(2.0), t);
+    }
+
+    #[test]
+    fn duration_units() {
+        assert_eq!(SimDuration::from_millis(1500.0).as_secs(), 1.5);
+        assert_eq!(SimDuration::from_mins(2.0).as_secs(), 120.0);
+        assert_eq!(SimDuration::from_hours(1.0).as_secs(), 3600.0);
+        assert_eq!(SimDuration::from_secs(0.25).as_millis(), 250.0);
+    }
+
+    #[test]
+    fn arithmetic_roundtrip() {
+        let t0 = SimTime::from_secs(10.0);
+        let d = SimDuration::from_secs(5.0);
+        let t1 = t0 + d;
+        assert_eq!(t1.as_secs(), 15.0);
+        assert_eq!(t1 - t0, d);
+    }
+
+    #[test]
+    fn saturating_since_clamps() {
+        let a = SimTime::from_secs(3.0);
+        let b = SimTime::from_secs(8.0);
+        assert_eq!(a.saturating_since(b), SimDuration::ZERO);
+        assert_eq!(b.saturating_since(a).as_secs(), 5.0);
+    }
+
+    #[test]
+    fn duration_sub_saturates() {
+        let a = SimDuration::from_secs(1.0);
+        let b = SimDuration::from_secs(4.0);
+        assert_eq!(a - b, SimDuration::ZERO);
+        let mut c = a;
+        c -= b;
+        assert_eq!(c, SimDuration::ZERO);
+    }
+
+    #[test]
+    fn ordering_is_total_for_valid_values() {
+        let mut v = [SimTime::from_secs(3.0),
+            SimTime::ZERO,
+            SimTime::from_secs(1.0)];
+        v.sort();
+        assert_eq!(v[0], SimTime::ZERO);
+        assert_eq!(v[2].as_secs(), 3.0);
+    }
+
+    #[test]
+    fn min_max() {
+        let a = SimTime::from_secs(1.0);
+        let b = SimTime::from_secs(2.0);
+        assert_eq!(a.max(b), b);
+        assert_eq!(a.min(b), a);
+        let da = SimDuration::from_secs(1.0);
+        let db = SimDuration::from_secs(2.0);
+        assert_eq!(da.max(db), db);
+        assert_eq!(da.min(db), da);
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid SimTime")]
+    fn rejects_negative_time() {
+        let _ = SimTime::from_secs(-1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid SimDuration")]
+    fn rejects_nan_duration() {
+        let _ = SimDuration::from_secs(f64::NAN);
+    }
+
+    #[test]
+    fn scaling() {
+        let d = SimDuration::from_secs(2.0);
+        assert_eq!((d * 3.0).as_secs(), 6.0);
+        assert_eq!((d / 4.0).as_secs(), 0.5);
+        assert_eq!(d / SimDuration::from_secs(0.5), 4.0);
+    }
+
+    #[test]
+    fn display_formats() {
+        assert_eq!(format!("{}", SimDuration::from_millis(2.0)), "2.000ms");
+        assert_eq!(format!("{}", SimDuration::from_secs(2.0)), "2.000s");
+        assert_eq!(format!("{}", SimTime::from_secs(1.5)), "1.500000s");
+    }
+}

@@ -1,0 +1,336 @@
+//! Arrival processes.
+//!
+//! Three layers compose the arrival stream:
+//!
+//! * [`Poisson`] — memoryless arrivals at a fixed rate, the textbook model
+//!   for OLTP front-ends;
+//! * [`Mmpp2`] — a two-state Markov-modulated Poisson process (quiet state /
+//!   burst state) reproducing the burstiness of file-server traces;
+//! * [`DiurnalProfile`] — a 24-hour rate-multiplier curve applied on top,
+//!   giving the day/night load cycle that makes spin-down policies
+//!   attractive at all.
+//!
+//! All generators are thinning-based where modulation applies, so the
+//! produced process has exactly the requested *instantaneous* rate.
+
+use simkit::DetRng;
+
+/// Homogeneous Poisson arrivals.
+#[derive(Debug, Clone, Copy)]
+pub struct Poisson {
+    /// Events per second.
+    pub rate: f64,
+}
+
+impl Poisson {
+    /// Creates a Poisson process with `rate` events/second.
+    ///
+    /// # Panics
+    /// Panics if `rate` is not strictly positive.
+    pub fn new(rate: f64) -> Self {
+        assert!(rate > 0.0 && rate.is_finite(), "Poisson: bad rate {rate}");
+        Poisson { rate }
+    }
+
+    /// Generates arrival times in `[0, horizon_s)`.
+    pub fn arrivals(&self, rng: &mut DetRng, horizon_s: f64) -> Vec<f64> {
+        let mut t = 0.0;
+        let mut out = Vec::with_capacity((self.rate * horizon_s * 1.1) as usize + 8);
+        loop {
+            t += rng.exponential(self.rate);
+            if t >= horizon_s {
+                break;
+            }
+            out.push(t);
+        }
+        out
+    }
+}
+
+/// Two-state Markov-modulated Poisson process.
+///
+/// The process alternates between a *quiet* state with rate `rate_quiet`
+/// and a *burst* state with rate `rate_burst`; dwell times in each state
+/// are exponential with the given means.
+#[derive(Debug, Clone, Copy)]
+pub struct Mmpp2 {
+    /// Arrival rate in the quiet state (events/sec).
+    pub rate_quiet: f64,
+    /// Arrival rate in the burst state (events/sec).
+    pub rate_burst: f64,
+    /// Mean dwell time in the quiet state (s).
+    pub mean_quiet_s: f64,
+    /// Mean dwell time in the burst state (s).
+    pub mean_burst_s: f64,
+}
+
+impl Mmpp2 {
+    /// Creates the process.
+    ///
+    /// # Panics
+    /// Panics if any parameter is non-positive, or if the burst rate does
+    /// not exceed the quiet rate (the states would be indistinguishable).
+    pub fn new(rate_quiet: f64, rate_burst: f64, mean_quiet_s: f64, mean_burst_s: f64) -> Self {
+        assert!(rate_quiet > 0.0 && rate_burst > 0.0, "rates must be positive");
+        assert!(rate_burst > rate_quiet, "burst rate must exceed quiet rate");
+        assert!(
+            mean_quiet_s > 0.0 && mean_burst_s > 0.0,
+            "dwell times must be positive"
+        );
+        Mmpp2 {
+            rate_quiet,
+            rate_burst,
+            mean_quiet_s,
+            mean_burst_s,
+        }
+    }
+
+    /// The long-run average arrival rate.
+    pub fn mean_rate(&self) -> f64 {
+        let pq = self.mean_quiet_s / (self.mean_quiet_s + self.mean_burst_s);
+        pq * self.rate_quiet + (1.0 - pq) * self.rate_burst
+    }
+
+    /// Generates arrival times in `[0, horizon_s)` by thinning against the
+    /// burst rate.
+    pub fn arrivals(&self, rng: &mut DetRng, horizon_s: f64) -> Vec<f64> {
+        let mut out = Vec::new();
+        let mut t = 0.0;
+        let mut in_burst = rng.chance(self.mean_burst_s / (self.mean_quiet_s + self.mean_burst_s));
+        let mut state_end = rng.exponential(if in_burst {
+            1.0 / self.mean_burst_s
+        } else {
+            1.0 / self.mean_quiet_s
+        });
+        loop {
+            t += rng.exponential(self.rate_burst);
+            if t >= horizon_s {
+                break;
+            }
+            // Advance the modulating chain to time t.
+            while t >= state_end {
+                in_burst = !in_burst;
+                state_end += rng.exponential(if in_burst {
+                    1.0 / self.mean_burst_s
+                } else {
+                    1.0 / self.mean_quiet_s
+                });
+            }
+            let rate_now = if in_burst {
+                self.rate_burst
+            } else {
+                self.rate_quiet
+            };
+            if rng.chance(rate_now / self.rate_burst) {
+                out.push(t);
+            }
+        }
+        out
+    }
+}
+
+/// A 24-hour rate-multiplier profile, linearly interpolated between hourly
+/// control points and repeated every day.
+#[derive(Debug, Clone)]
+pub struct DiurnalProfile {
+    /// 24 multipliers, one per hour of the day; all ≥ 0, at least one > 0.
+    hourly: [f64; 24],
+    peak: f64,
+}
+
+impl DiurnalProfile {
+    /// Builds a profile from 24 hourly multipliers.
+    ///
+    /// # Panics
+    /// Panics if any multiplier is negative/non-finite or all are zero.
+    pub fn new(hourly: [f64; 24]) -> Self {
+        assert!(
+            hourly.iter().all(|m| m.is_finite() && *m >= 0.0),
+            "bad multiplier"
+        );
+        let peak = hourly.iter().cloned().fold(0.0f64, f64::max);
+        assert!(peak > 0.0, "profile is identically zero");
+        DiurnalProfile { hourly, peak }
+    }
+
+    /// A flat profile (multiplier 1.0 around the clock).
+    pub fn flat() -> Self {
+        Self::new([1.0; 24])
+    }
+
+    /// A file-server-like profile: busy working hours (09–18), a late-night
+    /// backup bump (01–03), and quiet small hours.
+    pub fn office_with_backup() -> Self {
+        let mut h = [0.15; 24];
+        for (i, v) in h.iter_mut().enumerate() {
+            *v = match i {
+                9..=11 => 1.0,
+                12 => 0.8,
+                13..=17 => 1.0,
+                8 | 18 => 0.6,
+                19..=21 => 0.35,
+                1..=2 => 0.7, // nightly backup burst
+                _ => 0.15,
+            };
+        }
+        Self::new(h)
+    }
+
+    /// The multiplier at simulated time `t_s` (seconds), interpolating
+    /// between hour points and wrapping daily.
+    pub fn multiplier(&self, t_s: f64) -> f64 {
+        let day_s = t_s.rem_euclid(86_400.0);
+        let hf = day_s / 3600.0;
+        let h0 = hf.floor() as usize % 24;
+        let h1 = (h0 + 1) % 24;
+        let frac = hf - hf.floor();
+        self.hourly[h0] * (1.0 - frac) + self.hourly[h1] * frac
+    }
+
+    /// The maximum multiplier (thinning envelope).
+    pub fn peak(&self) -> f64 {
+        self.peak
+    }
+
+    /// Thins a stationary arrival stream so its instantaneous rate follows
+    /// `base_rate × multiplier(t)`. Input times must have been generated at
+    /// rate `base_rate × peak()`.
+    pub fn thin(&self, rng: &mut DetRng, arrivals_at_peak: &[f64]) -> Vec<f64> {
+        arrivals_at_peak
+            .iter()
+            .copied()
+            .filter(|&t| rng.chance(self.multiplier(t) / self.peak))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rng() -> DetRng {
+        DetRng::new(11, "arrivals-test")
+    }
+
+    #[test]
+    fn poisson_rate_is_respected() {
+        let mut r = rng();
+        let arr = Poisson::new(50.0).arrivals(&mut r, 200.0);
+        let rate = arr.len() as f64 / 200.0;
+        assert!((rate - 50.0).abs() < 2.0, "rate {rate}");
+    }
+
+    #[test]
+    fn poisson_sorted_and_in_range() {
+        let mut r = rng();
+        let arr = Poisson::new(10.0).arrivals(&mut r, 50.0);
+        assert!(arr.windows(2).all(|w| w[0] <= w[1]));
+        assert!(arr.iter().all(|&t| (0.0..50.0).contains(&t)));
+    }
+
+    #[test]
+    fn poisson_interarrival_cv_near_one() {
+        let mut r = rng();
+        let arr = Poisson::new(100.0).arrivals(&mut r, 500.0);
+        let gaps: Vec<f64> = arr.windows(2).map(|w| w[1] - w[0]).collect();
+        let mean = gaps.iter().sum::<f64>() / gaps.len() as f64;
+        let var = gaps.iter().map(|g| (g - mean).powi(2)).sum::<f64>() / gaps.len() as f64;
+        let cv2 = var / (mean * mean);
+        assert!((cv2 - 1.0).abs() < 0.1, "cv² {cv2}");
+    }
+
+    #[test]
+    fn mmpp_mean_rate_formula() {
+        let m = Mmpp2::new(5.0, 100.0, 300.0, 30.0);
+        let pq = 300.0 / 330.0;
+        assert!((m.mean_rate() - (pq * 5.0 + (1.0 - pq) * 100.0)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn mmpp_realises_mean_rate() {
+        let m = Mmpp2::new(5.0, 100.0, 100.0, 20.0);
+        let mut r = rng();
+        let horizon = 20_000.0;
+        let arr = m.arrivals(&mut r, horizon);
+        let rate = arr.len() as f64 / horizon;
+        assert!(
+            (rate - m.mean_rate()).abs() / m.mean_rate() < 0.1,
+            "rate {rate} vs mean {}",
+            m.mean_rate()
+        );
+    }
+
+    #[test]
+    fn mmpp_burstier_than_poisson() {
+        // Count-based dispersion over 1s bins: MMPP should overdisperse.
+        let m = Mmpp2::new(2.0, 200.0, 50.0, 5.0);
+        let mut r = rng();
+        let horizon = 5_000.0;
+        let arr = m.arrivals(&mut r, horizon);
+        let bins = horizon as usize;
+        let mut counts = vec![0f64; bins];
+        for t in arr {
+            counts[t as usize] += 1.0;
+        }
+        let mean = counts.iter().sum::<f64>() / bins as f64;
+        let var = counts.iter().map(|c| (c - mean).powi(2)).sum::<f64>() / bins as f64;
+        assert!(
+            var / mean > 2.0,
+            "index of dispersion {} not bursty",
+            var / mean
+        );
+    }
+
+    #[test]
+    fn diurnal_interpolates_and_wraps() {
+        let p = DiurnalProfile::office_with_backup();
+        assert_eq!(p.multiplier(10.0 * 3600.0), 1.0); // mid-morning
+        let night = p.multiplier(5.0 * 3600.0);
+        assert!(night < 0.3, "small hours should be quiet: {night}");
+        // Wraps daily.
+        assert_eq!(
+            p.multiplier(10.0 * 3600.0),
+            p.multiplier(86_400.0 + 10.0 * 3600.0)
+        );
+        // Interpolation between hours 9 (1.0) and 12 (0.8) at 11:30.
+        let m = p.multiplier(11.5 * 3600.0);
+        assert!((0.8..=1.0).contains(&m));
+    }
+
+    #[test]
+    fn flat_profile_is_identity() {
+        let p = DiurnalProfile::flat();
+        for h in 0..48 {
+            assert_eq!(p.multiplier(h as f64 * 1800.0), 1.0);
+        }
+        assert_eq!(p.peak(), 1.0);
+    }
+
+    #[test]
+    fn thinning_matches_profile_shape() {
+        let p = DiurnalProfile::office_with_backup();
+        let base = 20.0;
+        let mut r = rng();
+        let at_peak = Poisson::new(base * p.peak()).arrivals(&mut r, 86_400.0);
+        let thinned = p.thin(&mut r, &at_peak);
+        // Compare busy hour (10:00) and quiet hour (05:00) realised rates.
+        let count_in = |lo: f64, hi: f64| {
+            thinned.iter().filter(|&&t| t >= lo && t < hi).count() as f64 / (hi - lo)
+        };
+        let busy = count_in(9.5 * 3600.0, 11.5 * 3600.0);
+        let quiet = count_in(4.0 * 3600.0, 6.0 * 3600.0);
+        assert!(busy > quiet * 3.0, "busy {busy} quiet {quiet}");
+    }
+
+    #[test]
+    #[should_panic(expected = "burst rate must exceed")]
+    fn mmpp_rejects_inverted_rates() {
+        let _ = Mmpp2::new(10.0, 5.0, 1.0, 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "identically zero")]
+    fn profile_rejects_all_zero() {
+        let _ = DiurnalProfile::new([0.0; 24]);
+    }
+}

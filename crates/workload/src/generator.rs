@@ -1,0 +1,411 @@
+//! Synthetic workload generators.
+//!
+//! Because the paper's traces (a production OLTP trace and HP's Cello99
+//! file-server trace) are not redistributable, the suite regenerates
+//! workloads with the *properties that drive the results* (see DESIGN.md):
+//!
+//! * [`WorkloadSpec::oltp`] — steady, high arrival rate around the clock
+//!   (defeats idleness-based spin-down), small random requests, strong Zipf
+//!   skew (rewards temperature-driven migration), read-mostly.
+//! * [`WorkloadSpec::cello_like`] — diurnal office profile with a nightly
+//!   write burst, bursty MMPP arrivals, larger and more sequential
+//!   requests: long low-load valleys where slow speeds and standby pay off.
+//!
+//! Generation is fully deterministic given `(spec, seed)`.
+
+use crate::arrivals::{DiurnalProfile, Mmpp2, Poisson};
+use crate::popularity::{SequentialRuns, ZipfExtents};
+use crate::request::{Trace, VolumeIoKind, VolumeRequest};
+use serde::{Deserialize, Serialize};
+use simkit::{DetRng, SimTime};
+
+/// Shape of the arrival process.
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub enum ArrivalModel {
+    /// Homogeneous Poisson at `rate` events/sec.
+    Poisson {
+        /// Events per second.
+        rate: f64,
+    },
+    /// Two-state MMPP (quiet/burst).
+    Mmpp {
+        /// Quiet-state rate (events/sec).
+        rate_quiet: f64,
+        /// Burst-state rate (events/sec).
+        rate_burst: f64,
+        /// Mean quiet dwell (s).
+        mean_quiet_s: f64,
+        /// Mean burst dwell (s).
+        mean_burst_s: f64,
+    },
+}
+
+/// Distribution of request sizes, in sectors.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct SizeMix {
+    /// `(sectors, weight)` choices; weights need not sum to 1.
+    pub choices: Vec<(u32, f64)>,
+}
+
+impl SizeMix {
+    /// A fixed size.
+    pub fn fixed(sectors: u32) -> Self {
+        SizeMix {
+            choices: vec![(sectors, 1.0)],
+        }
+    }
+
+    /// Samples a size.
+    ///
+    /// # Panics
+    /// Panics if the mix is empty or total weight is non-positive.
+    pub fn sample(&self, rng: &mut DetRng) -> u32 {
+        let total: f64 = self.choices.iter().map(|(_, w)| w).sum();
+        assert!(total > 0.0, "empty size mix");
+        let mut u = rng.uniform01() * total;
+        for &(s, w) in &self.choices {
+            if u < w {
+                return s;
+            }
+            u -= w;
+        }
+        self.choices.last().expect("non-empty").0
+    }
+
+    /// The weighted mean size in sectors.
+    pub fn mean_sectors(&self) -> f64 {
+        let total: f64 = self.choices.iter().map(|(_, w)| w).sum();
+        self.choices
+            .iter()
+            .map(|&(s, w)| f64::from(s) * w)
+            .sum::<f64>()
+            / total
+    }
+}
+
+/// Full description of a synthetic workload.
+///
+/// # Examples
+/// ```
+/// use workload::WorkloadSpec;
+///
+/// let spec = WorkloadSpec::oltp(60.0, 50.0); // 1 minute at 50 req/s
+/// let trace = spec.generate(7);
+/// assert!(trace.is_sorted());
+/// let rate = trace.len() as f64 / 60.0;
+/// assert!((rate - 50.0).abs() < 10.0);
+/// // Same seed, same trace:
+/// assert_eq!(spec.generate(7).requests, trace.requests);
+/// ```
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct WorkloadSpec {
+    /// Name for reports.
+    pub name: String,
+    /// Trace duration in seconds.
+    pub duration_s: f64,
+    /// Arrival process.
+    pub arrivals: ArrivalModel,
+    /// 24-hour modulation (`None` = flat).
+    pub diurnal: Option<[f64; 24]>,
+    /// Fraction of requests that are reads.
+    pub read_fraction: f64,
+    /// Request-size mix.
+    pub sizes: SizeMix,
+    /// Number of popularity extents.
+    pub extents: u32,
+    /// Sectors per extent.
+    pub extent_sectors: u64,
+    /// Zipf exponent (0 = uniform).
+    pub zipf_theta: f64,
+    /// Probability that a request continues the previous one sequentially.
+    pub sequential_fraction: f64,
+}
+
+impl WorkloadSpec {
+    /// OLTP-style preset: `rate` req/s around the clock, 70% reads, 8 KiB
+    /// pages with occasional 64 KiB scans, Zipf θ = 0.95 over a ~16 GiB
+    /// footprint, almost no sequentiality.
+    pub fn oltp(duration_s: f64, rate: f64) -> Self {
+        WorkloadSpec {
+            name: "oltp".into(),
+            duration_s,
+            arrivals: ArrivalModel::Poisson { rate },
+            diurnal: None,
+            read_fraction: 0.7,
+            sizes: SizeMix {
+                choices: vec![(16, 0.9), (128, 0.1)], // 8 KiB pages, 64 KiB scans
+            },
+            extents: 16_384,
+            extent_sectors: 2_048, // 1 MiB extents → 16 GiB footprint
+            zipf_theta: 0.95,
+            sequential_fraction: 0.05,
+        }
+    }
+
+    /// Cello-like file-server preset: bursty MMPP arrivals averaging
+    /// `mean_rate` req/s before diurnal shaping, office-hours profile with a
+    /// nightly backup bump, 55% reads, mixed sizes up to 256 KiB, milder
+    /// skew, noticeable sequentiality.
+    pub fn cello_like(duration_s: f64, mean_rate: f64) -> Self {
+        // Choose MMPP states around the requested mean: bursts 8× quiet.
+        let rate_quiet = mean_rate * 0.5;
+        let rate_burst = mean_rate * 4.0;
+        WorkloadSpec {
+            name: "cello".into(),
+            duration_s,
+            arrivals: ArrivalModel::Mmpp {
+                rate_quiet,
+                rate_burst,
+                mean_quiet_s: 240.0,
+                mean_burst_s: 40.0,
+            },
+            diurnal: Some(to_hourly(DiurnalProfile::office_with_backup())),
+            read_fraction: 0.55,
+            sizes: SizeMix {
+                choices: vec![(8, 0.35), (16, 0.3), (64, 0.2), (256, 0.1), (512, 0.05)],
+            },
+            extents: 24_576,
+            extent_sectors: 2_048, // 24 GiB footprint
+            zipf_theta: 0.75,
+            sequential_fraction: 0.3,
+        }
+    }
+
+    /// The volume footprint this workload touches, in sectors.
+    pub fn footprint_sectors(&self) -> u64 {
+        self.extent_sectors * u64::from(self.extents)
+    }
+
+    /// The long-run mean arrival rate implied by the spec, including
+    /// diurnal shaping.
+    pub fn mean_rate(&self) -> f64 {
+        let base = match self.arrivals {
+            ArrivalModel::Poisson { rate } => rate,
+            ArrivalModel::Mmpp {
+                rate_quiet,
+                rate_burst,
+                mean_quiet_s,
+                mean_burst_s,
+            } => {
+                let pq = mean_quiet_s / (mean_quiet_s + mean_burst_s);
+                pq * rate_quiet + (1.0 - pq) * rate_burst
+            }
+        };
+        match &self.diurnal {
+            None => base,
+            Some(h) => base * h.iter().sum::<f64>() / 24.0,
+        }
+    }
+
+    /// Generates the trace for this spec deterministically from `seed`.
+    ///
+    /// # Panics
+    /// Panics if the spec is internally inconsistent (zero extents, empty
+    /// size mix, probabilities out of range).
+    pub fn generate(&self, seed: u64) -> Trace {
+        assert!((0.0..=1.0).contains(&self.read_fraction), "bad read frac");
+        assert!(
+            (0.0..=1.0).contains(&self.sequential_fraction),
+            "bad seq frac"
+        );
+        let mut root = DetRng::new(seed, &format!("workload-{}", self.name));
+        let mut arr_rng = root.split("arrivals");
+        let mut pop_rng = root.split("popularity");
+        let mut mix_rng = root.split("mix");
+
+        // 1. Raw arrival times (at peak rate when diurnally modulated).
+        let profile = self.diurnal.map(DiurnalProfile::new);
+        let peak_mult = profile.as_ref().map_or(1.0, |p| p.peak());
+        let raw: Vec<f64> = match self.arrivals {
+            ArrivalModel::Poisson { rate } => {
+                Poisson::new(rate * peak_mult).arrivals(&mut arr_rng, self.duration_s)
+            }
+            ArrivalModel::Mmpp {
+                rate_quiet,
+                rate_burst,
+                mean_quiet_s,
+                mean_burst_s,
+            } => Mmpp2::new(
+                rate_quiet * peak_mult,
+                rate_burst * peak_mult,
+                mean_quiet_s,
+                mean_burst_s,
+            )
+            .arrivals(&mut arr_rng, self.duration_s),
+        };
+        let times = match &profile {
+            Some(p) => p.thin(&mut arr_rng, &raw),
+            None => raw,
+        };
+
+        // 2. Addresses, sizes, kinds.
+        let zipf = ZipfExtents::new(&mut pop_rng, self.extents, self.extent_sectors, self.zipf_theta);
+        let mut seq = SequentialRuns::new(self.sequential_fraction, zipf.footprint_sectors());
+        let mut requests = Vec::with_capacity(times.len());
+        for t in times {
+            let sectors = self.sizes.sample(&mut mix_rng);
+            let random = zipf.sample_sector(&mut pop_rng, sectors);
+            let sector = seq.choose(&mut mix_rng, random, sectors);
+            let kind = if mix_rng.chance(self.read_fraction) {
+                VolumeIoKind::Read
+            } else {
+                VolumeIoKind::Write
+            };
+            requests.push(VolumeRequest {
+                time: SimTime::from_secs(t),
+                sector,
+                sectors,
+                kind,
+            });
+        }
+        Trace::from_requests(requests)
+    }
+}
+
+fn to_hourly(p: DiurnalProfile) -> [f64; 24] {
+    let mut h = [0.0; 24];
+    for (i, v) in h.iter_mut().enumerate() {
+        *v = p.multiplier(i as f64 * 3600.0);
+    }
+    h
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn size_mix_sampling_and_mean() {
+        let mix = SizeMix {
+            choices: vec![(8, 1.0), (24, 1.0)],
+        };
+        assert_eq!(mix.mean_sectors(), 16.0);
+        let mut rng = DetRng::new(1, "mix");
+        for _ in 0..100 {
+            let s = mix.sample(&mut rng);
+            assert!(s == 8 || s == 24);
+        }
+        assert_eq!(SizeMix::fixed(64).sample(&mut rng), 64);
+    }
+
+    #[test]
+    fn oltp_trace_properties() {
+        let spec = WorkloadSpec::oltp(600.0, 100.0);
+        let trace = spec.generate(42);
+        assert!(trace.is_sorted());
+        let rate = trace.len() as f64 / 600.0;
+        assert!((rate - 100.0).abs() < 5.0, "rate {rate}");
+        let reads = trace
+            .requests
+            .iter()
+            .filter(|r| r.kind == VolumeIoKind::Read)
+            .count() as f64
+            / trace.len() as f64;
+        assert!((reads - 0.7).abs() < 0.03, "read fraction {reads}");
+        assert!(trace.max_sector() <= spec.footprint_sectors());
+    }
+
+    #[test]
+    fn oltp_rate_is_steady_over_day() {
+        let spec = WorkloadSpec::oltp(86_400.0, 20.0);
+        let trace = spec.generate(7);
+        let count_in = |lo: f64, hi: f64| {
+            trace
+                .requests
+                .iter()
+                .filter(|r| r.time.as_secs() >= lo && r.time.as_secs() < hi)
+                .count() as f64
+                / (hi - lo)
+        };
+        let morning = count_in(9.0 * 3600.0, 12.0 * 3600.0);
+        let night = count_in(2.0 * 3600.0, 5.0 * 3600.0);
+        assert!(
+            (morning / night - 1.0).abs() < 0.15,
+            "OLTP should be steady: {morning} vs {night}"
+        );
+    }
+
+    #[test]
+    fn cello_trace_has_diurnal_valleys() {
+        let spec = WorkloadSpec::cello_like(86_400.0, 40.0);
+        let trace = spec.generate(9);
+        let count_in = |lo: f64, hi: f64| {
+            trace
+                .requests
+                .iter()
+                .filter(|r| r.time.as_secs() >= lo && r.time.as_secs() < hi)
+                .count() as f64
+                / (hi - lo)
+        };
+        let busy = count_in(9.0 * 3600.0, 17.0 * 3600.0);
+        let small_hours = count_in(4.0 * 3600.0, 7.0 * 3600.0);
+        assert!(
+            busy > small_hours * 2.5,
+            "no valley: busy {busy} vs night {small_hours}"
+        );
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let spec = WorkloadSpec::oltp(120.0, 50.0);
+        let a = spec.generate(3);
+        let b = spec.generate(3);
+        assert_eq!(a.len(), b.len());
+        assert_eq!(a.requests.first(), b.requests.first());
+        assert_eq!(a.requests.last(), b.requests.last());
+        let c = spec.generate(4);
+        assert_ne!(
+            a.requests.first().map(|r| r.sector),
+            c.requests.first().map(|r| r.sector)
+        );
+    }
+
+    #[test]
+    fn mean_rate_accounts_for_diurnal() {
+        let spec = WorkloadSpec::cello_like(3600.0, 40.0);
+        // Diurnal multipliers average below 1, so effective mean < MMPP mean.
+        let mmpp_mean = match spec.arrivals {
+            ArrivalModel::Mmpp {
+                rate_quiet,
+                rate_burst,
+                mean_quiet_s,
+                mean_burst_s,
+            } => {
+                let pq = mean_quiet_s / (mean_quiet_s + mean_burst_s);
+                pq * rate_quiet + (1.0 - pq) * rate_burst
+            }
+            _ => unreachable!(),
+        };
+        assert!(spec.mean_rate() < mmpp_mean);
+        assert!(spec.mean_rate() > 0.0);
+    }
+
+    #[test]
+    fn realized_rate_matches_mean_rate() {
+        let spec = WorkloadSpec::cello_like(86_400.0, 40.0);
+        let trace = spec.generate(11);
+        let realized = trace.len() as f64 / 86_400.0;
+        let predicted = spec.mean_rate();
+        assert!(
+            (realized - predicted).abs() / predicted < 0.25,
+            "realized {realized} predicted {predicted}"
+        );
+    }
+
+    #[test]
+    fn zipf_skew_shows_in_trace() {
+        let spec = WorkloadSpec::oltp(600.0, 200.0);
+        let trace = spec.generate(5);
+        // Count accesses per extent; the top decile should dominate.
+        let extents = spec.extents as usize;
+        let mut counts = vec![0u32; extents];
+        for r in &trace.requests {
+            counts[(r.sector / spec.extent_sectors) as usize] += 1;
+        }
+        counts.sort_unstable_by(|a, b| b.cmp(a));
+        let top: u32 = counts[..extents / 10].iter().sum();
+        let total: u32 = counts.iter().sum();
+        let share = f64::from(top) / f64::from(total);
+        assert!(share > 0.5, "top-decile share {share}");
+    }
+}

@@ -1,0 +1,30 @@
+//! # workload — request streams for the Hibernator evaluation
+//!
+//! Generates and characterises the I/O workloads the experiments run:
+//!
+//! * [`VolumeRequest`] / [`Trace`] — requests against the array's logical
+//!   volume, with CSV and JSON-lines persistence in [`trace_io`];
+//! * [`Poisson`], [`Mmpp2`], [`DiurnalProfile`] — arrival processes;
+//! * [`ZipfExtents`], [`SequentialRuns`] — popularity and locality;
+//! * [`WorkloadSpec`] — complete synthetic workload descriptions, with the
+//!   `oltp` and `cello_like` presets the experiments use (substitutes for
+//!   the paper's non-redistributable production traces; see DESIGN.md);
+//! * [`TraceStats`] — the workload-characteristics table.
+//!
+//! Everything is deterministic given a spec and a seed.
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+mod arrivals;
+mod generator;
+mod popularity;
+mod request;
+mod stats;
+pub mod trace_io;
+
+pub use arrivals::{DiurnalProfile, Mmpp2, Poisson};
+pub use generator::{ArrivalModel, SizeMix, WorkloadSpec};
+pub use popularity::{SequentialRuns, ZipfExtents};
+pub use request::{Trace, VolumeIoKind, VolumeRequest};
+pub use stats::TraceStats;

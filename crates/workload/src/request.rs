@@ -1,0 +1,170 @@
+//! Volume-level request and trace types.
+//!
+//! A [`VolumeRequest`] addresses the *logical volume* the array exports —
+//! a flat space of 512-byte sectors. The array layer translates volume
+//! sectors through its striping + remap tables into per-disk requests.
+
+use serde::{Deserialize, Serialize};
+use simkit::SimTime;
+
+/// Read or write, at the volume level.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum VolumeIoKind {
+    /// Volume read.
+    Read,
+    /// Volume write.
+    Write,
+}
+
+/// One request against the logical volume.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct VolumeRequest {
+    /// Arrival time.
+    pub time: SimTime,
+    /// First volume sector.
+    pub sector: u64,
+    /// Number of sectors (≥ 1).
+    pub sectors: u32,
+    /// Read or write.
+    pub kind: VolumeIoKind,
+}
+
+impl VolumeRequest {
+    /// The request's size in bytes (512-byte sectors).
+    pub fn bytes(&self) -> u64 {
+        u64::from(self.sectors) * 512
+    }
+
+    /// One past the last sector touched.
+    pub fn end_sector(&self) -> u64 {
+        self.sector + u64::from(self.sectors)
+    }
+}
+
+/// An in-memory trace: requests sorted by arrival time.
+#[derive(Debug, Clone, Serialize, Deserialize, Default)]
+pub struct Trace {
+    /// The requests, ascending by `time`.
+    pub requests: Vec<VolumeRequest>,
+}
+
+impl Trace {
+    /// An empty trace.
+    pub fn new() -> Self {
+        Trace {
+            requests: Vec::new(),
+        }
+    }
+
+    /// Builds a trace from requests, sorting them by time (stable, so
+    /// equal-time requests keep their generation order).
+    pub fn from_requests(mut requests: Vec<VolumeRequest>) -> Self {
+        requests.sort_by_key(|a| a.time);
+        Trace { requests }
+    }
+
+    /// Number of requests.
+    pub fn len(&self) -> usize {
+        self.requests.len()
+    }
+
+    /// True if the trace has no requests.
+    pub fn is_empty(&self) -> bool {
+        self.requests.is_empty()
+    }
+
+    /// The arrival time of the last request, or zero for an empty trace.
+    pub fn end_time(&self) -> SimTime {
+        self.requests.last().map(|r| r.time).unwrap_or(SimTime::ZERO)
+    }
+
+    /// The highest sector touched plus one (the minimum volume size that
+    /// can host this trace), or 0 for an empty trace.
+    pub fn max_sector(&self) -> u64 {
+        self.requests.iter().map(|r| r.end_sector()).max().unwrap_or(0)
+    }
+
+    /// Verifies the time-ordering invariant.
+    pub fn is_sorted(&self) -> bool {
+        self.requests.windows(2).all(|w| w[0].time <= w[1].time)
+    }
+
+    /// Restricts the trace to requests arriving strictly before `cutoff`,
+    /// in place.
+    pub fn truncate_at(&mut self, cutoff: SimTime) {
+        self.requests.retain(|r| r.time < cutoff);
+    }
+
+    /// Scales every arrival rate by `factor` by dividing inter-arrival
+    /// times — `factor` 2.0 doubles the load while keeping the access
+    /// pattern identical. Request addresses and sizes are untouched.
+    ///
+    /// # Panics
+    /// Panics if `factor` is not strictly positive.
+    pub fn scale_rate(&mut self, factor: f64) {
+        assert!(factor > 0.0 && factor.is_finite(), "bad rate factor");
+        for r in &mut self.requests {
+            r.time = SimTime::from_secs(r.time.as_secs() / factor);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn req(t: f64, sector: u64) -> VolumeRequest {
+        VolumeRequest {
+            time: SimTime::from_secs(t),
+            sector,
+            sectors: 16,
+            kind: VolumeIoKind::Read,
+        }
+    }
+
+    #[test]
+    fn from_requests_sorts() {
+        let tr = Trace::from_requests(vec![req(3.0, 0), req(1.0, 8), req(2.0, 4)]);
+        assert!(tr.is_sorted());
+        assert_eq!(tr.requests[0].sector, 8);
+        assert_eq!(tr.end_time(), SimTime::from_secs(3.0));
+    }
+
+    #[test]
+    fn byte_and_end_accessors() {
+        let r = req(0.0, 100);
+        assert_eq!(r.bytes(), 16 * 512);
+        assert_eq!(r.end_sector(), 116);
+    }
+
+    #[test]
+    fn max_sector_covers_extents() {
+        let tr = Trace::from_requests(vec![req(0.0, 100), req(1.0, 50)]);
+        assert_eq!(tr.max_sector(), 116);
+        assert_eq!(Trace::new().max_sector(), 0);
+    }
+
+    #[test]
+    fn truncate_drops_tail() {
+        let mut tr = Trace::from_requests(vec![req(0.5, 0), req(1.5, 0), req(2.5, 0)]);
+        tr.truncate_at(SimTime::from_secs(2.0));
+        assert_eq!(tr.len(), 2);
+    }
+
+    #[test]
+    fn scale_rate_compresses_time() {
+        let mut tr = Trace::from_requests(vec![req(2.0, 0), req(4.0, 0)]);
+        tr.scale_rate(2.0);
+        assert_eq!(tr.requests[0].time, SimTime::from_secs(1.0));
+        assert_eq!(tr.requests[1].time, SimTime::from_secs(2.0));
+        assert!(tr.is_sorted());
+    }
+
+    #[test]
+    fn empty_trace_is_benign() {
+        let tr = Trace::new();
+        assert!(tr.is_empty());
+        assert_eq!(tr.end_time(), SimTime::ZERO);
+        assert!(tr.is_sorted());
+    }
+}

@@ -1,0 +1,139 @@
+//! Trace characterisation (the "workload table" of the evaluation).
+
+use crate::request::{Trace, VolumeIoKind};
+use serde::{Deserialize, Serialize};
+
+/// Summary statistics of a trace.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct TraceStats {
+    /// Number of requests.
+    pub requests: u64,
+    /// Trace span in seconds (first to last arrival).
+    pub span_s: f64,
+    /// Mean arrival rate over the span (req/s).
+    pub mean_rate: f64,
+    /// Fraction of requests that are reads.
+    pub read_fraction: f64,
+    /// Mean request size in KiB.
+    pub mean_size_kib: f64,
+    /// Footprint: number of distinct 1 MiB regions touched.
+    pub footprint_mib: u64,
+    /// Share of accesses landing on the hottest 10% of touched 1 MiB
+    /// regions (skew headline).
+    pub top_decile_share: f64,
+    /// Peak-to-mean ratio of per-minute arrival counts (burstiness).
+    pub peak_to_mean: f64,
+}
+
+impl TraceStats {
+    /// Computes the statistics of `trace`. Returns `None` for an empty
+    /// trace (there is nothing to characterise).
+    pub fn compute(trace: &Trace) -> Option<TraceStats> {
+        if trace.is_empty() {
+            return None;
+        }
+        let n = trace.len() as u64;
+        let first = trace.requests.first().expect("non-empty").time.as_secs();
+        let last = trace.end_time().as_secs();
+        let span_s = (last - first).max(1e-9);
+
+        let reads = trace
+            .requests
+            .iter()
+            .filter(|r| r.kind == VolumeIoKind::Read)
+            .count() as f64;
+        let total_sectors: u64 = trace.requests.iter().map(|r| u64::from(r.sectors)).sum();
+
+        // Footprint + skew over 1 MiB regions (2048 sectors).
+        const REGION: u64 = 2048;
+        let mut counts = std::collections::HashMap::new();
+        for r in &trace.requests {
+            *counts.entry(r.sector / REGION).or_insert(0u64) += 1;
+        }
+        let mut per_region: Vec<u64> = counts.values().copied().collect();
+        per_region.sort_unstable_by(|a, b| b.cmp(a));
+        let decile = (per_region.len() / 10).max(1);
+        let top: u64 = per_region[..decile].iter().sum();
+
+        // Burstiness from per-minute bins.
+        let bins = (span_s / 60.0).ceil() as usize;
+        let mut minute = vec![0u64; bins.max(1)];
+        for r in &trace.requests {
+            let b = (((r.time.as_secs() - first) / 60.0) as usize).min(minute.len() - 1);
+            minute[b] += 1;
+        }
+        let mean_per_min = n as f64 / minute.len() as f64;
+        let peak = *minute.iter().max().expect("non-empty") as f64;
+
+        Some(TraceStats {
+            requests: n,
+            span_s,
+            mean_rate: n as f64 / span_s,
+            read_fraction: reads / n as f64,
+            mean_size_kib: total_sectors as f64 * 512.0 / 1024.0 / n as f64,
+            footprint_mib: per_region.len() as u64,
+            top_decile_share: top as f64 / n as f64,
+            peak_to_mean: peak / mean_per_min,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generator::WorkloadSpec;
+    use crate::request::VolumeRequest;
+    use simkit::SimTime;
+
+    #[test]
+    fn empty_trace_yields_none() {
+        assert!(TraceStats::compute(&Trace::new()).is_none());
+    }
+
+    #[test]
+    fn simple_trace_stats() {
+        let tr = Trace::from_requests(vec![
+            VolumeRequest {
+                time: SimTime::from_secs(0.0),
+                sector: 0,
+                sectors: 16,
+                kind: VolumeIoKind::Read,
+            },
+            VolumeRequest {
+                time: SimTime::from_secs(60.0),
+                sector: 1_000_000,
+                sectors: 48,
+                kind: VolumeIoKind::Write,
+            },
+        ]);
+        let s = TraceStats::compute(&tr).unwrap();
+        assert_eq!(s.requests, 2);
+        assert!((s.span_s - 60.0).abs() < 1e-9);
+        assert!((s.read_fraction - 0.5).abs() < 1e-12);
+        assert!((s.mean_size_kib - 16.0).abs() < 1e-9); // (8 KiB + 24 KiB)/2
+        assert_eq!(s.footprint_mib, 2);
+    }
+
+    #[test]
+    fn oltp_stats_reflect_spec() {
+        let spec = WorkloadSpec::oltp(600.0, 80.0);
+        let s = TraceStats::compute(&spec.generate(1)).unwrap();
+        assert!((s.mean_rate - 80.0).abs() < 8.0);
+        assert!((s.read_fraction - 0.7).abs() < 0.05);
+        assert!(s.top_decile_share > 0.5, "skew {}", s.top_decile_share);
+        assert!(s.peak_to_mean < 2.5, "OLTP should not be bursty");
+    }
+
+    #[test]
+    fn cello_burstier_than_oltp() {
+        let oltp = TraceStats::compute(&WorkloadSpec::oltp(7200.0, 40.0).generate(2)).unwrap();
+        let cello =
+            TraceStats::compute(&WorkloadSpec::cello_like(7200.0, 40.0).generate(2)).unwrap();
+        assert!(
+            cello.peak_to_mean > oltp.peak_to_mean,
+            "cello {} vs oltp {}",
+            cello.peak_to_mean,
+            oltp.peak_to_mean
+        );
+    }
+}

@@ -1,0 +1,221 @@
+//! Trace persistence.
+//!
+//! Two formats:
+//!
+//! * **CSV** — `time_s,sector,sectors,kind` per line, human-greppable and
+//!   compatible with spreadsheet tooling; `kind` is `R` or `W`.
+//! * **JSON lines** — one serde-encoded [`VolumeRequest`] per line, exact
+//!   round-trip of every field.
+//!
+//! Both readers validate as they parse and report the offending line number
+//! in errors, because traces are exactly the kind of input users hand-edit.
+
+use crate::request::{Trace, VolumeIoKind, VolumeRequest};
+use simkit::SimTime;
+use std::fmt;
+use std::io::{BufRead, BufReader, Read, Write};
+
+/// Errors raised by trace parsing.
+#[derive(Debug)]
+pub enum TraceIoError {
+    /// Underlying I/O failure.
+    Io(std::io::Error),
+    /// A malformed line: `(line_number, description)`.
+    Parse(usize, String),
+}
+
+impl fmt::Display for TraceIoError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TraceIoError::Io(e) => write!(f, "trace I/O error: {e}"),
+            TraceIoError::Parse(line, msg) => write!(f, "trace parse error at line {line}: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for TraceIoError {}
+
+impl From<std::io::Error> for TraceIoError {
+    fn from(e: std::io::Error) -> Self {
+        TraceIoError::Io(e)
+    }
+}
+
+/// Writes a trace as CSV (with a header line).
+pub fn write_csv<W: Write>(trace: &Trace, mut w: W) -> Result<(), TraceIoError> {
+    writeln!(w, "time_s,sector,sectors,kind")?;
+    for r in &trace.requests {
+        let k = match r.kind {
+            VolumeIoKind::Read => 'R',
+            VolumeIoKind::Write => 'W',
+        };
+        writeln!(w, "{:.9},{},{},{}", r.time.as_secs(), r.sector, r.sectors, k)?;
+    }
+    Ok(())
+}
+
+/// Reads a CSV trace (header line required), sorting the result by time.
+pub fn read_csv<R: Read>(r: R) -> Result<Trace, TraceIoError> {
+    let reader = BufReader::new(r);
+    let mut requests = Vec::new();
+    for (i, line) in reader.lines().enumerate() {
+        let line = line?;
+        let lineno = i + 1;
+        if i == 0 {
+            if line.trim() != "time_s,sector,sectors,kind" {
+                return Err(TraceIoError::Parse(lineno, "missing/invalid header".into()));
+            }
+            continue;
+        }
+        if line.trim().is_empty() {
+            continue;
+        }
+        let fields: Vec<&str> = line.split(',').collect();
+        if fields.len() != 4 {
+            return Err(TraceIoError::Parse(
+                lineno,
+                format!("expected 4 fields, got {}", fields.len()),
+            ));
+        }
+        let time: f64 = fields[0]
+            .trim()
+            .parse()
+            .map_err(|e| TraceIoError::Parse(lineno, format!("bad time: {e}")))?;
+        if !time.is_finite() || time < 0.0 {
+            return Err(TraceIoError::Parse(lineno, format!("bad time {time}")));
+        }
+        let sector: u64 = fields[1]
+            .trim()
+            .parse()
+            .map_err(|e| TraceIoError::Parse(lineno, format!("bad sector: {e}")))?;
+        let sectors: u32 = fields[2]
+            .trim()
+            .parse()
+            .map_err(|e| TraceIoError::Parse(lineno, format!("bad length: {e}")))?;
+        if sectors == 0 {
+            return Err(TraceIoError::Parse(lineno, "zero-length request".into()));
+        }
+        let kind = match fields[3].trim() {
+            "R" | "r" => VolumeIoKind::Read,
+            "W" | "w" => VolumeIoKind::Write,
+            other => {
+                return Err(TraceIoError::Parse(
+                    lineno,
+                    format!("bad kind {other:?} (want R or W)"),
+                ))
+            }
+        };
+        requests.push(VolumeRequest {
+            time: SimTime::from_secs(time),
+            sector,
+            sectors,
+            kind,
+        });
+    }
+    Ok(Trace::from_requests(requests))
+}
+
+/// Writes a trace as JSON lines.
+pub fn write_jsonl<W: Write>(trace: &Trace, mut w: W) -> Result<(), TraceIoError> {
+    for r in &trace.requests {
+        let line = serde_json::to_string(r)
+            .map_err(|e| TraceIoError::Parse(0, format!("serialise: {e}")))?;
+        writeln!(w, "{line}")?;
+    }
+    Ok(())
+}
+
+/// Reads a JSON-lines trace, sorting the result by time.
+pub fn read_jsonl<R: Read>(r: R) -> Result<Trace, TraceIoError> {
+    let reader = BufReader::new(r);
+    let mut requests = Vec::new();
+    for (i, line) in reader.lines().enumerate() {
+        let line = line?;
+        if line.trim().is_empty() {
+            continue;
+        }
+        let req: VolumeRequest = serde_json::from_str(&line)
+            .map_err(|e| TraceIoError::Parse(i + 1, format!("bad JSON: {e}")))?;
+        requests.push(req);
+    }
+    Ok(Trace::from_requests(requests))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generator::WorkloadSpec;
+
+    fn sample() -> Trace {
+        WorkloadSpec::oltp(30.0, 20.0).generate(5)
+    }
+
+    #[test]
+    fn csv_roundtrip() {
+        let tr = sample();
+        let mut buf = Vec::new();
+        write_csv(&tr, &mut buf).unwrap();
+        let back = read_csv(buf.as_slice()).unwrap();
+        assert_eq!(back.len(), tr.len());
+        for (a, b) in tr.requests.iter().zip(&back.requests) {
+            assert!((a.time.as_secs() - b.time.as_secs()).abs() < 1e-8);
+            assert_eq!(a.sector, b.sector);
+            assert_eq!(a.sectors, b.sectors);
+            assert_eq!(a.kind, b.kind);
+        }
+    }
+
+    #[test]
+    fn jsonl_roundtrip_is_exact() {
+        let tr = sample();
+        let mut buf = Vec::new();
+        write_jsonl(&tr, &mut buf).unwrap();
+        let back = read_jsonl(buf.as_slice()).unwrap();
+        assert_eq!(back.requests, tr.requests);
+    }
+
+    #[test]
+    fn csv_rejects_missing_header() {
+        let err = read_csv("1.0,2,3,R\n".as_bytes()).unwrap_err();
+        assert!(matches!(err, TraceIoError::Parse(1, _)), "{err}");
+    }
+
+    #[test]
+    fn csv_rejects_bad_kind() {
+        let data = "time_s,sector,sectors,kind\n1.0,2,3,X\n";
+        let err = read_csv(data.as_bytes()).unwrap_err();
+        match err {
+            TraceIoError::Parse(2, msg) => assert!(msg.contains("bad kind"), "{msg}"),
+            other => panic!("unexpected {other}"),
+        }
+    }
+
+    #[test]
+    fn csv_rejects_zero_length() {
+        let data = "time_s,sector,sectors,kind\n1.0,2,0,R\n";
+        assert!(read_csv(data.as_bytes()).is_err());
+    }
+
+    #[test]
+    fn csv_rejects_negative_time() {
+        let data = "time_s,sector,sectors,kind\n-5.0,2,8,R\n";
+        assert!(read_csv(data.as_bytes()).is_err());
+    }
+
+    #[test]
+    fn csv_skips_blank_lines_and_sorts() {
+        let data = "time_s,sector,sectors,kind\n2.0,10,8,W\n\n1.0,20,8,R\n";
+        let tr = read_csv(data.as_bytes()).unwrap();
+        assert_eq!(tr.len(), 2);
+        assert!(tr.is_sorted());
+        assert_eq!(tr.requests[0].sector, 20);
+    }
+
+    #[test]
+    fn jsonl_reports_line_numbers() {
+        let good = serde_json::to_string(&sample().requests[0]).unwrap();
+        let data = format!("{good}\nnot-json\n");
+        let err = read_jsonl(data.as_bytes()).unwrap_err();
+        assert!(matches!(err, TraceIoError::Parse(2, _)), "{err}");
+    }
+}

@@ -1,0 +1,83 @@
+//! Data-center OLTP scenario: the paper's motivating case.
+//!
+//! Runs the six-policy comparison (Base, TPM, DRPM, PDC, MAID, Hibernator)
+//! on a steady, skewed OLTP workload and prints the energy/performance
+//! trade-off each policy lands on — the miniature version of tables T3/T4.
+//!
+//! ```text
+//! cargo run --release --example datacenter_oltp
+//! ```
+
+use array::{run_policy, ArrayConfig, BasePolicy, RunOptions, RunReport};
+use hibernator::{Hibernator, HibernatorConfig};
+use policies::{maid_array_config, DrpmPolicy, MaidConfig, MaidPolicy, PdcPolicy, TpmPolicy};
+use simkit::SimDuration;
+use workload::WorkloadSpec;
+
+const HOURS: f64 = 4.0;
+
+fn scenario() -> (ArrayConfig, workload::Trace, RunOptions) {
+    let spec = WorkloadSpec::oltp(HOURS * 3600.0, 100.0);
+    let trace = spec.generate(42);
+    let config = ArrayConfig::default_for_volume(16 << 30);
+    let opts = RunOptions::for_horizon(HOURS * 3600.0);
+    (config, trace, opts)
+}
+
+fn show(name: &str, r: &RunReport, base: &RunReport, goal_s: f64) {
+    let flag = if r.response.mean() <= goal_s { "meets" } else { "BLOWS" };
+    println!(
+        "{name:>12}: {:7.0} kJ ({:+5.1}%)   mean {:6.2} ms   p95 {:6.2} ms   {flag} goal",
+        r.energy_kj(),
+        -r.savings_vs(base) * 100.0,
+        r.mean_response_ms(),
+        r.response_hist.quantile(0.95).unwrap_or(0.0) * 1e3,
+    );
+}
+
+fn main() {
+    let (config, trace, opts) = scenario();
+    println!(
+        "16-disk array, {} requests over {HOURS} h; goal = 1.3 x Base mean response\n",
+        trace.len()
+    );
+
+    let base = run_policy(config.clone(), BasePolicy, &trace, opts.clone());
+    let goal = base.response.mean() * 1.3;
+    show("Base", &base, &base, goal);
+
+    let tpm = run_policy(config.clone(), TpmPolicy::competitive(), &trace, opts.clone());
+    show("TPM", &tpm, &base, goal);
+
+    let drpm = run_policy(config.clone(), DrpmPolicy::default(), &trace, opts.clone());
+    show("DRPM", &drpm, &base, goal);
+
+    let pdc = run_policy(config.clone(), PdcPolicy::default(), &trace, opts.clone());
+    show("PDC", &pdc, &base, goal);
+
+    let maid_cfg = maid_array_config(config.clone(), 3);
+    let maid = run_policy(
+        maid_cfg,
+        MaidPolicy::new(MaidConfig {
+            cache_disks: 3,
+            cache_chunks_per_disk: 2048,
+            tpm_threshold_s: None,
+        }),
+        &trace,
+        opts.clone(),
+    );
+    show("MAID", &maid, &base, goal);
+
+    let mut hib_cfg = HibernatorConfig::for_goal(goal);
+    hib_cfg.epoch = SimDuration::from_mins(40.0);
+    hib_cfg.heat_tau = hib_cfg.epoch;
+    let hib = run_policy(config, Hibernator::new(hib_cfg), &trace, opts);
+    show("Hibernator", &hib, &base, goal);
+
+    println!(
+        "\nHibernator: {} reconfig transitions, {} chunks migrated, goal {:.2} ms",
+        hib.transitions,
+        hib.migration.committed,
+        goal * 1e3
+    );
+}

@@ -1,0 +1,63 @@
+//! File-server scenario: a day in the life of a diurnal array.
+//!
+//! Runs Hibernator on a Cello-like workload (office-hours load, nightly
+//! backup bump, quiet small hours) and prints how the array redistributes
+//! disks across speed tiers as the day progresses — the miniature F10.
+//!
+//! ```text
+//! cargo run --release --example file_server
+//! ```
+
+use array::{run_policy, ArrayConfig, BasePolicy, RunOptions};
+use hibernator::{Hibernator, HibernatorConfig};
+use simkit::SimDuration;
+use workload::WorkloadSpec;
+
+fn main() {
+    let day = 24.0 * 3600.0;
+    let spec = WorkloadSpec::cello_like(day, 50.0);
+    let trace = spec.generate(11);
+    let config = ArrayConfig::default_for_volume(24 << 30);
+    let mut opts = RunOptions::for_horizon(day);
+    opts.series_bucket = SimDuration::from_mins(30.0);
+    opts.sample_interval = opts.series_bucket;
+
+    println!("simulating 24 h of file-server traffic ({} requests)…", trace.len());
+    let base = run_policy(config.clone(), BasePolicy, &trace, opts.clone());
+    let goal = base.response.mean() * 1.3;
+    let hib = run_policy(
+        config,
+        Hibernator::new(HibernatorConfig::for_goal(goal)),
+        &trace,
+        opts,
+    );
+
+    println!(
+        "\nenergy: Base {:.0} kJ -> Hibernator {:.0} kJ ({:.1}% saved); \
+         mean response {:.2} -> {:.2} ms (goal {:.2} ms)\n",
+        base.energy_kj(),
+        hib.energy_kj(),
+        hib.savings_vs(&base) * 100.0,
+        base.mean_response_ms(),
+        hib.mean_response_ms(),
+        goal * 1e3
+    );
+
+    // Tier occupancy through the day: one row per 2 hours.
+    let levels = hib.level_series.len() - 2;
+    println!("hour   power(W)   disks per level (L0=slowest .. L{})", levels - 1);
+    let power = hib.power_series.mean_points();
+    for (i, (t, w)) in power.iter().enumerate().step_by(4) {
+        let hour = t / 3600.0;
+        let mut lv = String::new();
+        for series in hib.level_series.iter().take(levels) {
+            let v = series
+                .mean_points()
+                .get(i)
+                .map(|p| p.1)
+                .unwrap_or(0.0);
+            lv.push_str(&format!("{v:4.0}"));
+        }
+        println!("{hour:4.1}   {w:8.0}  {lv}");
+    }
+}

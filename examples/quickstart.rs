@@ -1,0 +1,53 @@
+//! Quickstart: simulate a disk array under an OLTP-style workload, first
+//! with no power management, then with Hibernator, and compare energy and
+//! response time.
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+
+use array::{run_policy, ArrayConfig, BasePolicy, RunOptions};
+use hibernator::{Hibernator, HibernatorConfig};
+use simkit::SimDuration;
+use workload::WorkloadSpec;
+
+fn main() {
+    // 1. A workload: two hours of steady OLTP traffic, 60 req/s, over a
+    //    4 GiB hot footprint with Zipf-skewed popularity.
+    let mut spec = WorkloadSpec::oltp(2.0 * 3600.0, 60.0);
+    spec.extents = 4096; // 4 GiB of 1 MiB extents
+    let trace = spec.generate(7);
+    println!("generated {} requests", trace.len());
+
+    // 2. An array: 8 multi-speed disks (6 speed levels, 3600–15000 RPM).
+    let mut config = ArrayConfig::default_for_volume(4 << 30);
+    config.disks = 8;
+
+    // 3. Baseline: all disks at full speed around the clock.
+    let opts = RunOptions::for_horizon(2.0 * 3600.0);
+    let base = run_policy(config.clone(), BasePolicy, &trace, opts.clone());
+    println!(
+        "Base:       {:7.1} kJ, mean response {:5.2} ms",
+        base.energy_kj(),
+        base.mean_response_ms()
+    );
+
+    // 4. Hibernator, allowed to degrade mean response by at most 30%.
+    let goal = base.response.mean() * 1.3;
+    let mut cfg = HibernatorConfig::for_goal(goal);
+    cfg.epoch = SimDuration::from_mins(20.0); // short run, short epochs
+    cfg.heat_tau = cfg.epoch;
+    let hib = run_policy(config, Hibernator::new(cfg), &trace, opts);
+    println!(
+        "Hibernator: {:7.1} kJ, mean response {:5.2} ms (goal {:.2} ms)",
+        hib.energy_kj(),
+        hib.mean_response_ms(),
+        goal * 1e3
+    );
+    println!(
+        "energy savings: {:.1}%  ({} chunk migrations, {} spindle transitions)",
+        hib.savings_vs(&base) * 100.0,
+        hib.migration.committed,
+        hib.transitions
+    );
+}

@@ -1,0 +1,48 @@
+//! Working with traces: generate, persist, reload, characterise.
+//!
+//! Shows the trace-file workflow for users who want to bring their own
+//! workloads: any CSV of `time_s,sector,sectors,kind` rows drives the
+//! simulator exactly like the synthetic generators do.
+//!
+//! ```text
+//! cargo run --release --example trace_tools
+//! ```
+
+use workload::trace_io::{read_csv, write_csv, write_jsonl};
+use workload::{TraceStats, WorkloadSpec};
+
+fn main() {
+    // Generate a 10-minute OLTP burst.
+    let spec = WorkloadSpec::oltp(600.0, 120.0);
+    let trace = spec.generate(99);
+
+    // Characterise it (table T2's machinery).
+    let stats = TraceStats::compute(&trace).expect("non-empty");
+    println!("generated trace:");
+    println!("  requests      {}", stats.requests);
+    println!("  mean rate     {:.1} req/s", stats.mean_rate);
+    println!("  read fraction {:.0}%", stats.read_fraction * 100.0);
+    println!("  mean size     {:.1} KiB", stats.mean_size_kib);
+    println!("  footprint     {} MiB", stats.footprint_mib);
+    println!("  top-10% share {:.0}%", stats.top_decile_share * 100.0);
+
+    // Persist as CSV and JSONL.
+    let dir = std::env::temp_dir().join("hibernator-trace-demo");
+    std::fs::create_dir_all(&dir).expect("mkdir");
+    let csv_path = dir.join("oltp.csv");
+    let jsonl_path = dir.join("oltp.jsonl");
+    write_csv(&trace, std::fs::File::create(&csv_path).expect("create")).expect("write csv");
+    write_jsonl(&trace, std::fs::File::create(&jsonl_path).expect("create")).expect("write jsonl");
+    println!("\nwrote {} and {}", csv_path.display(), jsonl_path.display());
+
+    // Reload and verify.
+    let back = read_csv(std::fs::File::open(&csv_path).expect("open")).expect("parse csv");
+    assert_eq!(back.len(), trace.len());
+    assert_eq!(back.max_sector(), trace.max_sector());
+    println!(
+        "reloaded {} requests; first arrives at {:.3} s touching sector {}",
+        back.len(),
+        back.requests[0].time.as_secs(),
+        back.requests[0].sector
+    );
+}

@@ -1,0 +1,23 @@
+//! # hibernator-suite — the umbrella crate
+//!
+//! Re-exports the whole Hibernator reproduction workspace so examples and
+//! integration tests can reach every layer through one dependency:
+//!
+//! * [`simkit`] — discrete-event substrate (time, events, RNG, statistics,
+//!   energy ledger);
+//! * [`diskmodel`] — the multi-speed disk simulator;
+//! * [`workload`] — OLTP / file-server workload generation and trace I/O;
+//! * [`array`](mod@array) — the disk-array substrate and simulation driver;
+//! * [`policies`] — the baseline energy policies (TPM, DRPM, PDC, MAID…);
+//! * [`core`](mod@core_lib) — the Hibernator policy itself.
+//!
+//! Start with the `quickstart` example; `DESIGN.md` maps the paper onto
+//! the crates, and `EXPERIMENTS.md` records the reproduced evaluation.
+
+pub use array;
+pub use diskmodel;
+/// The Hibernator core library (the `hibernator` crate).
+pub use hibernator as core_lib;
+pub use policies;
+pub use simkit;
+pub use workload;

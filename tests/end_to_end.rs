@@ -1,0 +1,152 @@
+//! Cross-crate integration: the qualitative orderings of the paper's
+//! evaluation must hold on miniature end-to-end simulations.
+//!
+//! These are the "shape" claims from DESIGN.md §6, checked at a scale small
+//! enough for debug-mode CI: Hibernator saves energy while staying near the
+//! goal; DRPM saves more but degrades response; TPM saves ~nothing under
+//! steady load; FixedSlow brackets everything.
+
+use array::{run_policy, ArrayConfig, BasePolicy, RunOptions, RunReport};
+use diskmodel::SpeedLevel;
+use hibernator::{Hibernator, HibernatorConfig};
+use policies::{DrpmPolicy, FixedSpeed, TpmPolicy};
+use simkit::SimDuration;
+use workload::WorkloadSpec;
+
+const DURATION_S: f64 = 2400.0;
+
+fn scenario() -> (ArrayConfig, workload::Trace, RunOptions) {
+    let mut spec = WorkloadSpec::oltp(DURATION_S, 30.0);
+    spec.extents = 2048; // 2 GiB footprint
+    spec.zipf_theta = 1.0;
+    let trace = spec.generate(17);
+    let mut config = ArrayConfig::default_for_volume(2 << 30);
+    config.disks = 8;
+    (config, trace, RunOptions::for_horizon(DURATION_S))
+}
+
+fn hibernator(goal_s: f64) -> Hibernator {
+    let mut cfg = HibernatorConfig::for_goal(goal_s);
+    cfg.epoch = SimDuration::from_secs(300.0);
+    cfg.heat_tau = SimDuration::from_secs(300.0);
+    // Scale the guard to the shortened epochs.
+    cfg.guard_window = SimDuration::from_secs(60.0);
+    cfg.guard_hysteresis = SimDuration::from_secs(120.0);
+    Hibernator::new(cfg)
+}
+
+fn base_run() -> (ArrayConfig, workload::Trace, RunOptions, RunReport) {
+    let (config, trace, opts) = scenario();
+    let base = run_policy(config.clone(), BasePolicy, &trace, opts.clone());
+    (config, trace, opts, base)
+}
+
+/// Median of the per-bucket mean responses after warm-up — robust to the
+/// isolated reconfiguration-transient buckets that dominate a short run's
+/// arithmetic mean.
+fn steady_median(report: &RunReport, warmup_s: f64) -> f64 {
+    let mut pts: Vec<f64> = report
+        .response_series
+        .mean_points()
+        .into_iter()
+        .filter(|(t, _)| *t > warmup_s)
+        .map(|(_, v)| v)
+        .collect();
+    pts.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+    pts[pts.len() / 2]
+}
+
+#[test]
+fn every_policy_completes_the_workload() {
+    let (config, trace, opts, base) = base_run();
+    let goal = base.response.mean() * 1.5;
+    for (name, report) in [
+        ("tpm", run_policy(config.clone(), TpmPolicy::competitive(), &trace, opts.clone())),
+        ("drpm", run_policy(config.clone(), DrpmPolicy::default(), &trace, opts.clone())),
+        ("hib", run_policy(config.clone(), hibernator(goal), &trace, opts.clone())),
+        ("slow", run_policy(config, FixedSpeed::new(SpeedLevel(0)), &trace, opts)),
+    ] {
+        assert_eq!(
+            report.completed + report.incomplete,
+            base.completed + base.incomplete,
+            "{name} lost requests"
+        );
+        assert!(
+            report.incomplete <= 5,
+            "{name} left {} requests stranded",
+            report.incomplete
+        );
+    }
+}
+
+#[test]
+fn hibernator_saves_energy_near_goal() {
+    let (config, trace, opts, base) = base_run();
+    let goal = base.response.mean() * 1.6;
+    let hib = run_policy(config, hibernator(goal), &trace, opts);
+    let savings = hib.savings_vs(&base);
+    assert!(savings > 0.10, "savings {savings}");
+    // Whole-run mean includes reconfiguration transients (excluded from
+    // goal accounting by design); the *typical* steady bucket must respect
+    // the goal with modest slack.
+    let med = steady_median(&hib, DURATION_S * 0.3);
+    assert!(med <= goal * 1.2, "steady median {med} vs goal {goal}");
+}
+
+#[test]
+fn drpm_saves_more_but_degrades_more() {
+    let (config, trace, opts, base) = base_run();
+    let goal = base.response.mean() * 1.6;
+    let hib = run_policy(config.clone(), hibernator(goal), &trace, opts.clone());
+    let drpm = run_policy(config, DrpmPolicy::default(), &trace, opts);
+    assert!(
+        drpm.savings_vs(&base) > hib.savings_vs(&base),
+        "goal-less DRPM should out-save goal-bound Hibernator here"
+    );
+    let drpm_med = steady_median(&drpm, DURATION_S * 0.3);
+    let hib_med = steady_median(&hib, DURATION_S * 0.3);
+    assert!(
+        drpm_med > hib_med * 1.5,
+        "…by paying in response time: drpm {drpm_med} vs hib {hib_med}"
+    );
+}
+
+#[test]
+fn tpm_saves_nothing_under_steady_load() {
+    let (config, trace, opts, base) = base_run();
+    let tpm = run_policy(config, TpmPolicy::competitive(), &trace, opts);
+    assert!(
+        tpm.savings_vs(&base).abs() < 0.05,
+        "steady OLTP leaves no idleness for TPM: {}",
+        tpm.savings_vs(&base)
+    );
+}
+
+#[test]
+fn fixed_slow_brackets_energy_and_latency() {
+    let (config, trace, opts, base) = base_run();
+    let goal = base.response.mean() * 1.6;
+    let hib = run_policy(config.clone(), hibernator(goal), &trace, opts.clone());
+    let slow = run_policy(config, FixedSpeed::new(SpeedLevel(0)), &trace, opts);
+    // FixedSlow is the energy floor among always-spinning configurations…
+    assert!(slow.energy.total_joules() < hib.energy.total_joules());
+    assert!(slow.energy.total_joules() < base.energy.total_joules() * 0.5);
+    // …and the latency ceiling.
+    assert!(slow.response.mean() > base.response.mean() * 1.5);
+}
+
+#[test]
+fn migration_actually_moves_data_to_fast_disks() {
+    let (config, trace, opts, base) = base_run();
+    let goal = base.response.mean() * 1.6;
+    let hib = run_policy(config, hibernator(goal), &trace, opts);
+    assert!(
+        hib.migration.committed > 20,
+        "expected real migration traffic: {:?}",
+        hib.migration
+    );
+    assert!(
+        hib.energy.joules(simkit::EnergyComponent::Migration) > 0.0,
+        "migration energy must be attributed"
+    );
+}

@@ -1,0 +1,103 @@
+//! Energy-conservation invariants across the whole stack.
+//!
+//! The ledger's attributed components must sum to the total; the sampled
+//! power series must integrate back to (approximately) the same energy; and
+//! analytic bounds must bracket every policy's consumption.
+
+use array::{run_policy, ArrayConfig, BasePolicy, RunOptions, RunReport};
+use diskmodel::{PowerModel, SpeedLevel};
+use hibernator::{Hibernator, HibernatorConfig};
+use policies::{DrpmPolicy, TpmPolicy};
+use simkit::SimDuration;
+use workload::WorkloadSpec;
+
+const DURATION_S: f64 = 1200.0;
+
+fn scenario() -> (ArrayConfig, workload::Trace, RunOptions) {
+    let mut spec = WorkloadSpec::oltp(DURATION_S, 20.0);
+    spec.extents = 1024;
+    let trace = spec.generate(23);
+    let mut config = ArrayConfig::default_for_volume(1 << 30);
+    config.disks = 4;
+    (config, trace, RunOptions::for_horizon(DURATION_S))
+}
+
+fn runs() -> Vec<(&'static str, RunReport)> {
+    let (config, trace, opts) = scenario();
+    let mut cfg = HibernatorConfig::for_goal(0.012);
+    cfg.epoch = SimDuration::from_secs(200.0);
+    vec![
+        ("base", run_policy(config.clone(), BasePolicy, &trace, opts.clone())),
+        ("tpm", run_policy(config.clone(), TpmPolicy::with_threshold(60.0), &trace, opts.clone())),
+        ("drpm", run_policy(config.clone(), DrpmPolicy::default(), &trace, opts.clone())),
+        ("hib", run_policy(config, Hibernator::new(cfg), &trace, opts)),
+    ]
+}
+
+#[test]
+fn components_sum_to_total_for_every_policy() {
+    for (name, r) in runs() {
+        let sum: f64 = r.energy.breakdown().map(|(_, j)| j).sum();
+        let total = r.energy.total_joules();
+        assert!(
+            (sum - total).abs() < 1e-6 * total.max(1.0),
+            "{name}: components {sum} vs total {total}"
+        );
+        // Per-disk ledgers sum to the aggregate.
+        let per_disk: f64 = r.per_disk_energy.iter().map(|e| e.total_joules()).sum();
+        assert!(
+            (per_disk - total).abs() < 1e-6 * total.max(1.0),
+            "{name}: per-disk {per_disk} vs total {total}"
+        );
+    }
+}
+
+#[test]
+fn power_series_integrates_to_total_energy() {
+    for (name, r) in runs() {
+        let bucket_s = r.power_series.bucket_width().as_secs();
+        let integral: f64 = r
+            .power_series
+            .mean_points()
+            .iter()
+            .map(|(_, w)| w * bucket_s)
+            .sum();
+        let total = r.energy.total_joules();
+        // The last partial bucket may be missing; allow a few percent.
+        let rel = (integral - total).abs() / total;
+        assert!(
+            rel < 0.07,
+            "{name}: series integral {integral} vs ledger {total} (rel {rel})"
+        );
+    }
+}
+
+#[test]
+fn energy_bracketed_by_analytic_bounds() {
+    let (config, _, _) = scenario();
+    let pm = PowerModel::new(&config.spec);
+    let n = config.disks as f64;
+    // Lower bound: everything in standby the whole time (unreachable).
+    let floor = pm.standby_w() * n * DURATION_S;
+    // Upper bound: everything seeking at full speed the whole time.
+    let ceiling = pm.seek_w(SpeedLevel(5)) * n * DURATION_S;
+    for (name, r) in runs() {
+        let total = r.energy.total_joules();
+        assert!(total > floor, "{name}: below physical floor");
+        assert!(total < ceiling, "{name}: above physical ceiling");
+    }
+}
+
+#[test]
+fn busy_disks_spend_more_than_idle_math_alone() {
+    let (config, trace, opts) = scenario();
+    let pm = PowerModel::new(&config.spec);
+    let report = run_policy(config.clone(), BasePolicy, &trace, opts);
+    let idle_only = pm.idle_w(SpeedLevel(5)) * config.disks as f64 * DURATION_S;
+    let total = report.energy.total_joules();
+    assert!(total > idle_only, "service energy missing: {total} vs {idle_only}");
+    assert!(
+        total < idle_only * 1.10,
+        "light load can't add more than ~10%: {total} vs {idle_only}"
+    );
+}

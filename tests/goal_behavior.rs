@@ -1,0 +1,120 @@
+//! Hibernator's goal semantics, end to end: looser goals unlock more
+//! savings, impossible goals degrade gracefully to Base behaviour, and the
+//! guard bounds the damage of a mid-run workload shift.
+
+use array::{run_policy, ArrayConfig, BasePolicy, RunOptions, RunReport};
+use hibernator::{Hibernator, HibernatorConfig};
+use simkit::{SimDuration, SimTime};
+use workload::WorkloadSpec;
+
+const DURATION_S: f64 = 2400.0;
+
+fn scenario() -> (ArrayConfig, workload::Trace, RunOptions) {
+    let mut spec = WorkloadSpec::oltp(DURATION_S, 30.0);
+    spec.extents = 2048;
+    spec.zipf_theta = 1.0;
+    let trace = spec.generate(31);
+    let mut config = ArrayConfig::default_for_volume(2 << 30);
+    config.disks = 8;
+    (config, trace, RunOptions::for_horizon(DURATION_S))
+}
+
+fn hib(goal_s: f64) -> Hibernator {
+    let mut cfg = HibernatorConfig::for_goal(goal_s);
+    cfg.epoch = SimDuration::from_secs(300.0);
+    cfg.heat_tau = SimDuration::from_secs(300.0);
+    cfg.guard_window = SimDuration::from_secs(60.0);
+    cfg.guard_hysteresis = SimDuration::from_secs(120.0);
+    Hibernator::new(cfg)
+}
+
+fn savings(r: &RunReport, base: &RunReport) -> f64 {
+    r.savings_vs(base)
+}
+
+#[test]
+fn looser_goals_unlock_more_savings() {
+    let (config, trace, opts) = scenario();
+    let base = run_policy(config.clone(), BasePolicy, &trace, opts.clone());
+    let tight = run_policy(
+        config.clone(),
+        hib(base.response.mean() * 1.15),
+        &trace,
+        opts.clone(),
+    );
+    let loose = run_policy(config, hib(base.response.mean() * 3.0), &trace, opts);
+    let s_tight = savings(&tight, &base);
+    let s_loose = savings(&loose, &base);
+    assert!(
+        s_loose > s_tight + 0.05,
+        "loose {s_loose} should comfortably beat tight {s_tight}"
+    );
+    assert!(s_loose > 0.25, "a 3x goal should unlock deep savings: {s_loose}");
+}
+
+#[test]
+fn impossible_goal_behaves_like_base() {
+    let (config, trace, opts) = scenario();
+    let base = run_policy(config.clone(), BasePolicy, &trace, opts.clone());
+    // A goal below the zero-load service time can never be met; Hibernator
+    // must fall back to (roughly) Base energy rather than thrash.
+    let r = run_policy(config, hib(0.0005), &trace, opts);
+    assert!(
+        savings(&r, &base).abs() < 0.05,
+        "impossible goal should pin the array fast: {}",
+        savings(&r, &base)
+    );
+    assert!(r.transitions < 20, "no thrash expected: {}", r.transitions);
+}
+
+#[test]
+fn guard_limits_damage_of_workload_shift() {
+    // Gentle first half, 8x rate second half. Without re-optimisation the
+    // slowed array would drown; the guard + epochs must keep the storm-era
+    // response within a small multiple of its Base equivalent.
+    let mut gentle = WorkloadSpec::oltp(DURATION_S / 2.0, 10.0);
+    gentle.extents = 2048;
+    let mut storm = WorkloadSpec::oltp(DURATION_S / 2.0, 80.0);
+    storm.extents = 2048;
+    let mut reqs = gentle.generate(41).requests;
+    for mut r in storm.generate(43).requests {
+        r.time = SimTime::from_secs(r.time.as_secs() + DURATION_S / 2.0);
+        reqs.push(r);
+    }
+    let trace = workload::Trace::from_requests(reqs);
+    let mut config = ArrayConfig::default_for_volume(2 << 30);
+    config.disks = 8;
+    let opts = RunOptions::for_horizon(DURATION_S);
+
+    let base = run_policy(config.clone(), BasePolicy, &trace, opts.clone());
+    let goal = base.response.mean() * 1.5;
+    let r = run_policy(config, hib(goal), &trace, opts);
+
+    let late_mean = |report: &RunReport| {
+        let pts: Vec<f64> = report
+            .response_series
+            .mean_points()
+            .into_iter()
+            .filter(|(t, _)| *t > DURATION_S * 0.75)
+            .map(|(_, v)| v)
+            .collect();
+        pts.iter().sum::<f64>() / pts.len().max(1) as f64
+    };
+    let hib_late = late_mean(&r);
+    let base_late = late_mean(&base);
+    assert!(
+        hib_late < base_late * 3.0,
+        "storm-era response must stay bounded: hib {hib_late} vs base {base_late}"
+    );
+    assert_eq!(r.completed + r.incomplete, base.completed + base.incomplete);
+}
+
+#[test]
+fn raid5_mode_works_end_to_end_with_hibernator() {
+    let (mut config, trace, opts) = scenario();
+    config.redundancy = array::Redundancy::Raid5Like;
+    let base = run_policy(config.clone(), BasePolicy, &trace, opts.clone());
+    let r = run_policy(config, hib(base.response.mean() * 1.6), &trace, opts);
+    assert_eq!(r.completed, base.completed);
+    assert!(savings(&r, &base) > 0.05, "savings {}", savings(&r, &base));
+}

@@ -1,0 +1,83 @@
+//! The M/G/1 predictor must track the simulator within the accuracy the
+//! allocator relies on (F12 at miniature scale): for a fixed-speed array
+//! under open-loop Poisson-ish load, predicted mean response from measured
+//! service moments lands within a modest band of the measured mean.
+
+use array::{run_policy, ArrayConfig, RunOptions};
+use diskmodel::SpeedLevel;
+use hibernator::mg1_response;
+use policies::FixedSpeed;
+use workload::WorkloadSpec;
+
+const DURATION_S: f64 = 1200.0;
+
+fn validate_level(level: usize, rate: f64) -> (f64, f64) {
+    let mut spec = WorkloadSpec::oltp(DURATION_S, rate);
+    spec.extents = 2048;
+    spec.sequential_fraction = 0.0; // keep arrivals memoryless per disk
+    let trace = spec.generate(61);
+    let mut config = ArrayConfig::default_for_volume(2 << 30);
+    config.disks = 8;
+    let disks = config.disks as f64;
+    let r = run_policy(
+        config,
+        FixedSpeed::new(SpeedLevel(level)),
+        &trace,
+        RunOptions::for_horizon(DURATION_S),
+    );
+    assert_eq!(r.incomplete, 0, "saturated at level {level} rate {rate}");
+    let lambda = r.service.count() as f64 / DURATION_S / disks;
+    let predicted = mg1_response(lambda, r.service.mean(), r.service.raw_second_moment());
+    // Steady-state measured mean: skip the first minute, which contains the
+    // initial L5 → level ramp (requests queue behind a 6–8 s spindle ramp,
+    // an artefact of starting from full speed, not of the queueing model).
+    let steady: Vec<f64> = r
+        .response_series
+        .mean_points()
+        .into_iter()
+        .filter(|(t, _)| *t > 60.0)
+        .map(|(_, v)| v)
+        .collect();
+    let measured = steady.iter().sum::<f64>() / steady.len().max(1) as f64;
+    (predicted, measured)
+}
+
+#[test]
+fn predictor_tracks_light_load_at_full_speed() {
+    let (predicted, measured) = validate_level(5, 20.0);
+    let err = (measured - predicted).abs() / predicted;
+    assert!(
+        err < 0.15,
+        "light-load error {err}: predicted {predicted} measured {measured}"
+    );
+}
+
+#[test]
+fn predictor_tracks_moderate_load_at_full_speed() {
+    let (predicted, measured) = validate_level(5, 60.0);
+    let err = (measured - predicted).abs() / predicted;
+    assert!(
+        err < 0.25,
+        "moderate-load error {err}: predicted {predicted} measured {measured}"
+    );
+}
+
+#[test]
+fn predictor_tracks_slow_level() {
+    let (predicted, measured) = validate_level(0, 20.0);
+    let err = (measured - predicted).abs() / predicted;
+    assert!(
+        err < 0.25,
+        "slow-level error {err}: predicted {predicted} measured {measured}"
+    );
+}
+
+#[test]
+fn queueing_blowup_direction_is_right() {
+    // Doubling the load must raise both predicted and measured response,
+    // and the predictor must not *under*-call the blow-up direction.
+    let (p1, m1) = validate_level(0, 20.0);
+    let (p2, m2) = validate_level(0, 60.0);
+    assert!(p2 > p1, "prediction must grow with load");
+    assert!(m2 > m1, "measurement must grow with load");
+}

@@ -1,0 +1,80 @@
+//! `run_returning_policy`: policy-internal counters are observable after a
+//! run, and they corroborate the report's externally visible numbers.
+
+use array::{ArrayConfig, RunOptions, Simulation};
+use hibernator::{Hibernator, HibernatorConfig};
+use policies::{maid_array_config, MaidConfig, MaidPolicy};
+use simkit::{SimDuration, SimTime};
+use workload::{Trace, VolumeIoKind, VolumeRequest, WorkloadSpec};
+
+#[test]
+fn maid_hit_ratio_matches_reread_pattern() {
+    // 32 cold reads then the same 32 again: second pass should hit.
+    let mut reqs = Vec::new();
+    for pass in 0..2 {
+        for i in 0..32u64 {
+            reqs.push(VolumeRequest {
+                time: SimTime::from_secs(pass as f64 * 200.0 + i as f64 * 2.0),
+                sector: i * 2048,
+                sectors: 16,
+                kind: VolumeIoKind::Read,
+            });
+        }
+    }
+    let trace = Trace::from_requests(reqs);
+    let mut config = ArrayConfig::default_for_volume(1 << 30);
+    config.disks = 4;
+    let config = maid_array_config(config, 1);
+    let sim = Simulation::new(
+        config,
+        MaidPolicy::new(MaidConfig {
+            cache_disks: 1,
+            cache_chunks_per_disk: 64,
+            tpm_threshold_s: Some(3600.0),
+        }),
+        &trace,
+        RunOptions::for_horizon(600.0),
+    );
+    let (report, policy) = sim.run_returning_policy();
+    assert_eq!(report.completed, 64);
+    // 32 misses (first pass) + 32 hits (second pass) → ratio ≈ 0.5.
+    let ratio = policy.hit_ratio();
+    assert!(
+        (ratio - 0.5).abs() < 0.05,
+        "expected ~50% hit ratio, got {ratio}"
+    );
+    assert_eq!(policy.cached_chunks(), 32);
+}
+
+#[test]
+fn hibernator_counters_corroborate_report() {
+    let mut spec = WorkloadSpec::oltp(1800.0, 25.0);
+    spec.extents = 1024;
+    let trace = spec.generate(83);
+    let mut config = ArrayConfig::default_for_volume(1 << 30);
+    config.disks = 4;
+    let mut cfg = HibernatorConfig::for_goal(0.015);
+    cfg.epoch = SimDuration::from_secs(300.0);
+    cfg.heat_tau = SimDuration::from_secs(300.0);
+    let sim = Simulation::new(
+        config,
+        Hibernator::new(cfg),
+        &trace,
+        RunOptions::for_horizon(1800.0),
+    );
+    let (report, policy) = sim.run_returning_policy();
+    let stats = policy.stats();
+    assert!(
+        stats.reconfigurations >= 1,
+        "at least the first epoch must reconfigure"
+    );
+    // Each reconfiguration ramps at least one disk; transitions in the
+    // report must account for that (boosts add more).
+    assert!(
+        report.transitions as u64 >= stats.reconfigurations,
+        "transitions {} vs reconfigurations {}",
+        report.transitions,
+        stats.reconfigurations
+    );
+    assert!(!policy.is_boosted() || stats.boosts > 0);
+}

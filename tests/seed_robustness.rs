@@ -1,0 +1,86 @@
+//! The headline orderings must be properties of the *policies*, not of one
+//! random universe: across several seeds, Hibernator keeps saving while
+//! staying near goal, and the baselines keep their signatures.
+
+use array::{run_policy, ArrayConfig, BasePolicy, RunOptions};
+use hibernator::{Hibernator, HibernatorConfig};
+use policies::{DrpmPolicy, TpmPolicy};
+use simkit::SimDuration;
+use workload::WorkloadSpec;
+
+const DURATION_S: f64 = 2400.0;
+
+fn scenario(seed: u64) -> (ArrayConfig, workload::Trace, RunOptions) {
+    let mut spec = WorkloadSpec::oltp(DURATION_S, 30.0);
+    spec.extents = 2048;
+    spec.zipf_theta = 1.0;
+    let trace = spec.generate(seed);
+    let mut config = ArrayConfig::default_for_volume(2 << 30);
+    config.disks = 8;
+    config.seed = seed;
+    (config, trace, RunOptions::for_horizon(DURATION_S))
+}
+
+fn hib(goal_s: f64) -> Hibernator {
+    let mut cfg = HibernatorConfig::for_goal(goal_s);
+    cfg.epoch = SimDuration::from_secs(300.0);
+    cfg.heat_tau = SimDuration::from_secs(300.0);
+    cfg.guard_window = SimDuration::from_secs(60.0);
+    cfg.guard_hysteresis = SimDuration::from_secs(120.0);
+    Hibernator::new(cfg)
+}
+
+#[test]
+fn orderings_hold_across_seeds() {
+    for seed in [11u64, 222, 3333] {
+        let (config, trace, opts) = scenario(seed);
+        let base = run_policy(config.clone(), BasePolicy, &trace, opts.clone());
+        let goal = base.response.mean() * 1.6;
+
+        let hib = run_policy(config.clone(), hib(goal), &trace, opts.clone());
+        let tpm = run_policy(config.clone(), TpmPolicy::competitive(), &trace, opts.clone());
+        let drpm = run_policy(config, DrpmPolicy::default(), &trace, opts);
+
+        // Hibernator saves meaningfully at a 1.6x goal…
+        let s_hib = hib.savings_vs(&base);
+        assert!(s_hib > 0.08, "seed {seed}: hibernator savings {s_hib}");
+        // …TPM saves ~nothing on steady OLTP…
+        assert!(
+            tpm.savings_vs(&base).abs() < 0.05,
+            "seed {seed}: tpm {}",
+            tpm.savings_vs(&base)
+        );
+        // …DRPM saves heavily (typically, but not always, more than the
+        // goal-bound Hibernator) while degrading response far more.
+        assert!(
+            drpm.savings_vs(&base) > 0.30,
+            "seed {seed}: drpm {}",
+            drpm.savings_vs(&base)
+        );
+        let median = |r: &array::RunReport| {
+            let mut v: Vec<f64> = r
+                .response_series
+                .mean_points()
+                .into_iter()
+                .filter(|(t, _)| *t > DURATION_S * 0.3)
+                .map(|(_, x)| x)
+                .collect();
+            v.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+            v[v.len() / 2]
+        };
+        assert!(
+            median(&drpm) > median(&hib) * 1.3,
+            "seed {seed}: drpm median {} vs hib {}",
+            median(&drpm),
+            median(&hib)
+        );
+        // And nobody loses requests.
+        for (name, r) in [("hib", &hib), ("tpm", &tpm), ("drpm", &drpm)] {
+            assert!(
+                r.completed + r.incomplete == base.completed + base.incomplete
+                    && r.incomplete <= 5,
+                "seed {seed}: {name} lost work"
+            );
+        }
+    }
+}
