@@ -22,7 +22,7 @@ use crate::remap::RemapTable;
 use crate::types::{ChunkId, DiskId};
 use diskmodel::{Completion, DiskRequest, IoKind, RequestClass};
 use simkit::SimTime;
-use std::collections::{HashMap, VecDeque};
+use std::collections::{HashMap, HashSet, VecDeque};
 
 /// A requested layout change.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -54,6 +54,18 @@ pub enum MigrationJob {
         /// Length in sectors.
         sectors: u32,
     },
+    /// Reconstruct `chunk` (whose home disk died) from the surviving copy on
+    /// `src` into a free slot on `dst`. Unlike `Relocate`, a rebuild runs
+    /// through pause windows and never dirty-aborts: aborting would leave
+    /// the chunk with no live home.
+    Rebuild {
+        /// Chunk to reconstruct.
+        chunk: ChunkId,
+        /// Surviving redundancy partner to read from.
+        src: DiskId,
+        /// Disk to rebuild onto.
+        dst: DiskId,
+    },
 }
 
 /// Counters describing migration activity so far.
@@ -67,6 +79,8 @@ pub struct MigrationStats {
     pub dropped: u64,
     /// Raw background writes completed (no remap effect).
     pub raw_writes: u64,
+    /// Chunks reconstructed onto a surviving disk after a failure.
+    pub rebuilt: u64,
     /// Total sectors read + written by migration I/O.
     pub sectors_moved: u64,
 }
@@ -92,9 +106,19 @@ struct ActiveJob {
 /// The migration engine.
 pub struct MigrationEngine {
     pending: VecDeque<MigrationJob>,
+    /// Rebuild jobs queue separately: they start even while `paused` (a
+    /// boost must not stall redundancy restoration) and survive
+    /// [`MigrationEngine::clear_pending`].
+    rebuild_pending: VecDeque<MigrationJob>,
     active: HashMap<u64, ActiveJob>,
     /// disk-request id → job id, for routing completions.
     request_to_job: HashMap<u64, u64>,
+    /// Requests whose job was torn down by a disk failure; their completions
+    /// (from surviving disks) are swallowed instead of panicking.
+    orphaned: HashSet<u64>,
+    /// Disks that have failed; jobs touching them are refused.
+    dead: HashSet<usize>,
+    active_rebuilds: usize,
     next_job_id: u64,
     next_req_id: u64,
     max_inflight: usize,
@@ -116,8 +140,12 @@ impl MigrationEngine {
         assert!(max_inflight > 0, "need at least one inflight slot");
         MigrationEngine {
             pending: VecDeque::new(),
+            rebuild_pending: VecDeque::new(),
             active: HashMap::new(),
             request_to_job: HashMap::new(),
+            orphaned: HashSet::new(),
+            dead: HashSet::new(),
+            active_rebuilds: 0,
             next_job_id: 0,
             next_req_id: MIG_ID_BASE,
             max_inflight,
@@ -167,6 +195,25 @@ impl MigrationEngine {
         self.pending.extend(jobs);
     }
 
+    /// Queues rebuild jobs. Rebuilds outrank ordinary migrations: they
+    /// start even while the engine is paused and are not dropped by
+    /// [`MigrationEngine::clear_pending`].
+    pub fn enqueue_rebuild(&mut self, jobs: impl IntoIterator<Item = MigrationJob>) {
+        for job in jobs {
+            debug_assert!(
+                matches!(job, MigrationJob::Rebuild { .. }),
+                "rebuild queue accepts only Rebuild jobs"
+            );
+            self.rebuild_pending.push_back(job);
+        }
+    }
+
+    /// Rebuild jobs not yet committed (queued + copying). Zero means every
+    /// chunk that lost its home has a live one again.
+    pub fn rebuild_outstanding(&self) -> usize {
+        self.rebuild_pending.len() + self.active_rebuilds
+    }
+
     /// Drops all not-yet-started jobs. In-flight jobs run to completion
     /// (their I/O is already queued at the disks).
     pub fn clear_pending(&mut self) {
@@ -197,7 +244,7 @@ impl MigrationEngine {
 
     /// True if no work is queued or in flight.
     pub fn is_quiescent(&self) -> bool {
-        self.pending.is_empty() && self.active.is_empty()
+        self.pending.is_empty() && self.rebuild_pending.is_empty() && self.active.is_empty()
     }
 
     /// Activity counters.
@@ -213,6 +260,9 @@ impl MigrationEngine {
                 MigrationJob::Relocate { chunk: c, .. } => c == chunk,
                 MigrationJob::Swap { a, b } => a == chunk || b == chunk,
                 MigrationJob::RawWrite { .. } => false,
+                // A rebuild never aborts — the reconstructed data is the
+                // redundancy copy, which absorbs the write too.
+                MigrationJob::Rebuild { .. } => false,
             };
             if touches {
                 job.dirty = true;
@@ -221,9 +271,24 @@ impl MigrationEngine {
     }
 
     /// Starts queued jobs while below the concurrency limit. Returns the
-    /// read requests to submit, as `(disk, request)` pairs.
+    /// read requests to submit, as `(disk, request)` pairs. Rebuild jobs go
+    /// first and ignore the pause flag; ordinary migrations only start when
+    /// unpaused and no rebuild is waiting for a slot.
     pub fn pump(&mut self, now: SimTime, remap: &mut RemapTable) -> Vec<(DiskId, DiskRequest)> {
         let mut out = Vec::new();
+        let mut deferred = VecDeque::new();
+        while self.active.len() < self.max_inflight {
+            let Some(job) = self.rebuild_pending.pop_front() else {
+                break;
+            };
+            match self.try_start(now, remap, job) {
+                Some(reqs) => out.extend(reqs),
+                // A rebuild that can't start yet (its chunk is mid-copy) is
+                // deferred, not dropped — the chunk still needs a home.
+                None => deferred.push_back(job),
+            }
+        }
+        self.rebuild_pending.extend(deferred);
         if self.paused {
             return out;
         }
@@ -247,6 +312,7 @@ impl MigrationEngine {
             MigrationJob::Relocate { chunk: c, .. } => c == chunk,
             MigrationJob::Swap { a, b } => a == chunk || b == chunk,
             MigrationJob::RawWrite { .. } => false,
+            MigrationJob::Rebuild { chunk: c, .. } => c == chunk,
         })
     }
 
@@ -261,11 +327,65 @@ impl MigrationEngine {
             MigrationJob::Swap { a, b } if self.chunk_busy(a) || self.chunk_busy(b) => {
                 return None
             }
+            MigrationJob::Rebuild { chunk, .. } if self.chunk_busy(chunk) => return None,
             _ => {}
+        }
+        // Jobs touching a dead disk cannot run (its data is gone and its
+        // queue will never drain).
+        let touches_dead = match job {
+            MigrationJob::Relocate { chunk, dst } => {
+                self.dead.contains(&remap.disk_of(chunk).index()) || self.dead.contains(&dst.index())
+            }
+            MigrationJob::Swap { a, b } => {
+                self.dead.contains(&remap.disk_of(a).index())
+                    || self.dead.contains(&remap.disk_of(b).index())
+            }
+            MigrationJob::RawWrite { disk, .. } => self.dead.contains(&disk.index()),
+            MigrationJob::Rebuild { src, dst, .. } => {
+                self.dead.contains(&src.index()) || self.dead.contains(&dst.index())
+            }
+        };
+        if touches_dead {
+            return None;
         }
         let chunk_sectors = remap.chunk_sectors() as u32;
         let job_id = self.next_job_id;
         match job {
+            MigrationJob::Rebuild { chunk, src, dst } => {
+                // The reserved destination may have filled up since the
+                // driver chose it; fall back to any live disk with space.
+                let (dst, slot) = match remap.reserve_slot(dst) {
+                    Some(slot) => (dst, slot),
+                    None => {
+                        let fallback = (0..remap.disks())
+                            .map(DiskId)
+                            .find(|d| !self.dead.contains(&d.index()) && remap.has_free_slot(*d))?;
+                        (fallback, remap.reserve_slot(fallback)?)
+                    }
+                };
+                let mut reads = Vec::new();
+                let pieces = self.make_pieces(
+                    now,
+                    src,
+                    remap.physical_sector(chunk),
+                    chunk_sectors,
+                    IoKind::Read,
+                    job_id,
+                    &mut reads,
+                );
+                self.active.insert(
+                    job_id,
+                    ActiveJob {
+                        job: MigrationJob::Rebuild { chunk, src, dst },
+                        phase: Phase::Reading { remaining: pieces },
+                        dirty: false,
+                        reserved_slot: Some(slot),
+                    },
+                );
+                self.active_rebuilds += 1;
+                self.next_job_id += 1;
+                Some(reads)
+            }
             MigrationJob::Relocate { chunk, dst } => {
                 let src = remap.placement(chunk);
                 if src.disk == dst {
@@ -389,6 +509,12 @@ impl MigrationEngine {
         remap: &mut RemapTable,
     ) -> Vec<(DiskId, DiskRequest)> {
         let req_id = comp.request.id;
+        if self.orphaned.remove(&req_id) {
+            // The job this piece belonged to was torn down by a disk
+            // failure; the I/O happened, but there is nothing to advance.
+            self.stats.sectors_moved += u64::from(comp.request.sectors);
+            return Vec::new();
+        }
         let job_id = *self
             .request_to_job
             .get(&req_id)
@@ -409,8 +535,8 @@ impl MigrationEngine {
                     MigrationJob::RawWrite { .. } => {
                         unreachable!("raw writes never enter the read phase")
                     }
-                    MigrationJob::Relocate { dst, .. } => {
-                        let slot = job.reserved_slot.expect("relocate reserved a slot");
+                    MigrationJob::Relocate { dst, .. } | MigrationJob::Rebuild { dst, .. } => {
+                        let slot = job.reserved_slot.expect("job reserved a slot");
                         vec![(dst, u64::from(slot) * remap.chunk_sectors())]
                     }
                     MigrationJob::Swap { a, b } => {
@@ -457,6 +583,12 @@ impl MigrationEngine {
                     }
                 } else {
                     match job.job {
+                        MigrationJob::Rebuild { chunk, dst, .. } => {
+                            let slot = job.reserved_slot.expect("slot reserved");
+                            remap.relocate(chunk, dst, slot);
+                            self.stats.rebuilt += 1;
+                            self.active_rebuilds -= 1;
+                        }
                         MigrationJob::Relocate { chunk, dst } => {
                             let slot = job.reserved_slot.expect("slot reserved");
                             remap.relocate(chunk, dst, slot);
@@ -481,6 +613,90 @@ impl MigrationEngine {
                 Vec::new()
             }
         }
+    }
+
+    /// Tears down migration state after `disk` fails. Pending jobs touching
+    /// the disk are dropped; active jobs touching it are aborted (their
+    /// surviving in-flight pieces become orphans, swallowed on completion).
+    /// Returns the rebuild jobs that lost their `src` or `dst` and must be
+    /// re-targeted by the driver — a failed disk cancels copies, never the
+    /// obligation to re-protect a chunk.
+    pub fn note_disk_failed(&mut self, disk: DiskId, remap: &mut RemapTable) -> Vec<MigrationJob> {
+        self.dead.insert(disk.index());
+        let touches = |job: &MigrationJob, remap: &RemapTable| match *job {
+            MigrationJob::Relocate { chunk, dst } => {
+                remap.disk_of(chunk) == disk || dst == disk
+            }
+            MigrationJob::Swap { a, b } => {
+                remap.disk_of(a) == disk || remap.disk_of(b) == disk
+            }
+            MigrationJob::RawWrite { disk: d, .. } => d == disk,
+            MigrationJob::Rebuild { src, dst, .. } => src == disk || dst == disk,
+        };
+
+        // Pending ordinary jobs touching the disk: dropped.
+        let before = self.pending.len();
+        self.pending.retain(|j| !touches(j, remap));
+        self.stats.dropped += (before - self.pending.len()) as u64;
+
+        // Pending rebuilds touching the disk: pulled out for re-targeting.
+        let mut retarget = Vec::new();
+        let mut keep = VecDeque::new();
+        for job in self.rebuild_pending.drain(..) {
+            if touches(&job, remap) {
+                retarget.push(job);
+            } else {
+                keep.push_back(job);
+            }
+        }
+        self.rebuild_pending = keep;
+
+        // Active jobs touching the disk: aborted mid-copy.
+        let doomed: Vec<u64> = self
+            .active
+            .iter()
+            .filter(|(_, a)| touches(&a.job, remap))
+            .map(|(id, _)| *id)
+            .collect();
+        for job_id in doomed {
+            let job = self.active.remove(&job_id).expect("doomed job present");
+            // Outstanding pieces on surviving disks will still complete;
+            // mark them orphans so those completions are swallowed.
+            let outstanding: Vec<u64> = self
+                .request_to_job
+                .iter()
+                .filter(|(_, j)| **j == job_id)
+                .map(|(r, _)| *r)
+                .collect();
+            for req_id in outstanding {
+                self.request_to_job.remove(&req_id);
+                self.orphaned.insert(req_id);
+            }
+            match job.job {
+                MigrationJob::Relocate { dst, .. } => {
+                    if let Some(slot) = job.reserved_slot {
+                        if dst != disk {
+                            remap.release_slot(dst, slot);
+                        }
+                    }
+                    self.stats.aborted += 1;
+                }
+                MigrationJob::Swap { .. } | MigrationJob::RawWrite { .. } => {
+                    self.stats.aborted += 1;
+                }
+                MigrationJob::Rebuild { dst, .. } => {
+                    if let Some(slot) = job.reserved_slot {
+                        if dst != disk {
+                            remap.release_slot(dst, slot);
+                        }
+                    }
+                    self.active_rebuilds -= 1;
+                    self.stats.aborted += 1;
+                    retarget.push(job.job);
+                }
+            }
+        }
+        retarget
     }
 }
 
@@ -524,6 +740,7 @@ mod tests {
                 MigrationJob::Relocate { chunk, .. } => engine.note_foreground_write(chunk),
                 MigrationJob::Swap { a, .. } => engine.note_foreground_write(a),
                 MigrationJob::RawWrite { .. } => {}
+                MigrationJob::Rebuild { chunk, .. } => engine.note_foreground_write(chunk),
             }
         }
         assert!(!writes.is_empty(), "reads must trigger writes");
@@ -657,6 +874,97 @@ mod tests {
         let reads = e.pump(SimTime::ZERO, &mut t);
         assert!(reads[0].1.id >= MIG_ID_BASE);
         assert_eq!(reads[0].1.class, RequestClass::Migration);
+    }
+
+    #[test]
+    fn rebuild_commits_even_when_dirtied_and_paused() {
+        let mut t = remap(4, 16);
+        let mut e = MigrationEngine::new(2);
+        e.set_paused(true); // boost in progress — rebuilds must still run
+        e.enqueue_rebuild([MigrationJob::Rebuild {
+            chunk: ChunkId(0), // lives on disk 0
+            src: DiskId(1),
+            dst: DiskId(3),
+        }]);
+        assert_eq!(e.rebuild_outstanding(), 1);
+        // Dirty it mid-copy: a rebuild must commit anyway.
+        run_job(&mut e, &mut t, true);
+        assert_eq!(t.disk_of(ChunkId(0)), DiskId(3));
+        assert_eq!(e.stats().rebuilt, 1);
+        assert_eq!(e.stats().aborted, 0);
+        assert_eq!(e.rebuild_outstanding(), 0);
+        t.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn rebuild_falls_back_when_destination_is_full() {
+        let mut t = remap(4, 16);
+        let mut e = MigrationEngine::new(2);
+        // Fill disk 3 completely (4 slots per disk at 16 chunks / 4 disks).
+        while t.reserve_slot(DiskId(3)).is_some() {}
+        e.enqueue_rebuild([MigrationJob::Rebuild {
+            chunk: ChunkId(0),
+            src: DiskId(1),
+            dst: DiskId(3),
+        }]);
+        run_job(&mut e, &mut t, false);
+        let landed = t.disk_of(ChunkId(0));
+        assert_ne!(landed, DiskId(3), "full destination must be bypassed");
+        assert_eq!(e.stats().rebuilt, 1);
+        t.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn disk_failure_aborts_jobs_and_retargets_rebuilds() {
+        let mut t = remap(4, 16);
+        let mut e = MigrationEngine::new(4);
+        // An ordinary relocate reading from disk 0, plus a queued one.
+        e.enqueue([
+            MigrationJob::Relocate {
+                chunk: ChunkId(0), // on disk 0
+                dst: DiskId(2),
+            },
+            MigrationJob::Relocate {
+                chunk: ChunkId(4), // on disk 0
+                dst: DiskId(3),
+            },
+        ]);
+        let reads = e.pump(SimTime::ZERO, &mut t);
+        assert_eq!(e.active_len(), 2);
+        let occupancy_before = t.occupancy(DiskId(2));
+
+        // Disk 0 dies: both active jobs read from it.
+        let retarget = e.note_disk_failed(DiskId(0), &mut t);
+        assert!(retarget.is_empty(), "no rebuilds were queued");
+        assert_eq!(e.active_len(), 0);
+        assert_eq!(e.stats().aborted, 2);
+        // Reserved slots were released on the surviving destinations.
+        assert_eq!(t.occupancy(DiskId(2)), occupancy_before - 1);
+
+        // Completions for the already-issued reads are swallowed, not a panic.
+        for (_, r) in &reads {
+            assert!(e.on_completion(SimTime::from_secs(1.0), &complete(*r, 1.0), &mut t).is_empty());
+        }
+
+        // A rebuild whose src dies comes back for re-targeting.
+        e.enqueue_rebuild([MigrationJob::Rebuild {
+            chunk: ChunkId(1),
+            src: DiskId(1),
+            dst: DiskId(2),
+        }]);
+        let retarget = e.note_disk_failed(DiskId(1), &mut t);
+        assert_eq!(retarget.len(), 1);
+        assert!(matches!(retarget[0], MigrationJob::Rebuild { .. }));
+        assert_eq!(e.rebuild_outstanding(), 0);
+
+        // New jobs touching dead disks are refused.
+        e.enqueue([MigrationJob::Relocate {
+            chunk: ChunkId(2), // on disk 2 (alive)
+            dst: DiskId(0),    // dead
+        }]);
+        assert!(e.pump(SimTime::ZERO, &mut t).is_empty());
+        assert!(e.is_quiescent());
+        t.check_invariants().unwrap();
     }
 
     #[test]

@@ -40,13 +40,17 @@ pub struct ArrayState {
 
 impl ArrayState {
     /// Counts disks per spindle state: one slot per level, then standby,
-    /// then transitioning — the layout [`ArrayStats::record_power_sample`]
-    /// expects.
+    /// then transitioning, then failed — the layout
+    /// [`ArrayStats::record_power_sample`] expects.
     pub fn level_counts(&self) -> Vec<u32> {
         let n = self.config.spec.num_levels();
-        let mut counts = vec![0u32; n + 2];
+        let mut counts = vec![0u32; n + 3];
         for d in &self.disks {
-            if d.is_standby() {
+            if d.has_failed() {
+                // Failure check first: a dead disk parks in standby-like
+                // state but must not count as sleeping.
+                counts[n + 2] += 1;
+            } else if d.is_standby() {
                 counts[n] += 1;
             } else if d.is_transitioning() {
                 counts[n + 1] += 1;
@@ -55,6 +59,11 @@ impl ArrayState {
             }
         }
         counts
+    }
+
+    /// Number of disks that have not failed.
+    pub fn alive_disks(&self) -> usize {
+        self.disks.iter().filter(|d| !d.has_failed()).count()
     }
 
     /// Total energy across all disks accrued to `now`, in joules.
@@ -126,6 +135,14 @@ pub trait PowerPolicy {
         state: &mut ArrayState,
     ) {
         let _ = (now, comp, volume_response_s, state);
+    }
+
+    /// Disk `disk` just suffered a whole-disk failure. The driver has
+    /// already drained the disk, torn down affected migrations, and queued
+    /// rebuild traffic; the policy's job here is to adapt its plan to the
+    /// shrunken disk set (Hibernator boosts and re-plans). Default: nothing.
+    fn on_disk_failure(&mut self, now: SimTime, disk: usize, state: &mut ArrayState) {
+        let _ = (now, disk, state);
     }
 }
 

@@ -22,15 +22,14 @@
 //! migration pump) the driver re-synchronises each disk's scheduled wake —
 //! the one invariant that keeps the event queue honest.
 
-use crate::migration::MigrationStats;
+use crate::migration::{MigrationJob, MigrationStats};
 use crate::policy::{ArrayState, PowerPolicy};
 use crate::remap::RemapTable;
 use crate::stats::ArrayStats;
-use crate::types::{ArrayConfig, ChunkId, Redundancy};
-#[cfg(test)]
-use crate::types::DiskId;
+use crate::types::{ArrayConfig, ChunkId, DiskId, Redundancy};
 use crate::MigrationEngine;
 use diskmodel::{Disk, DiskRequest, IoKind, RequestClass};
+use faults::{FaultInjector, FaultKind, FaultOutcome, FaultPlan, ReliabilityLedger};
 use simkit::{
     EnergyLedger, EventQueue, LatencyHistogram, Moments, SimDuration, SimTime, TimeSeries,
 };
@@ -49,17 +48,30 @@ pub struct RunOptions {
     pub sample_interval: SimDuration,
     /// Maximum concurrently executing migration jobs.
     pub migration_inflight: usize,
+    /// Fault injection: a scripted storm plus online-model tunables.
+    /// `None` runs fault-free (identical to the pre-fault simulator).
+    pub faults: Option<FaultPlan>,
 }
 
 impl RunOptions {
     /// Sensible defaults for a run of `horizon_s` simulated seconds:
-    /// 60 s series buckets and sampling, 2 concurrent migrations.
+    /// 60 s series buckets and sampling, 2 concurrent migrations, no
+    /// faults.
     pub fn for_horizon(horizon_s: f64) -> RunOptions {
         RunOptions {
             horizon: SimTime::from_secs(horizon_s),
             series_bucket: SimDuration::from_secs(60.0),
             sample_interval: SimDuration::from_secs(60.0),
             migration_inflight: 2,
+            faults: None,
+        }
+    }
+
+    /// Same defaults, with fault injection from `plan`.
+    pub fn with_faults(horizon_s: f64, plan: FaultPlan) -> RunOptions {
+        RunOptions {
+            faults: Some(plan),
+            ..RunOptions::for_horizon(horizon_s)
         }
     }
 }
@@ -95,6 +107,11 @@ pub struct RunReport {
     pub migration: MigrationStats,
     /// Total spindle transitions across all disks.
     pub transitions: u64,
+    /// Per-disk reliability ledgers (transitions, duty-cycle hours, wear),
+    /// accrued to the horizon — populated for every run, faulted or not.
+    pub reliability: Vec<ReliabilityLedger>,
+    /// What the fault storm did (all-zero when faults were off).
+    pub faults: FaultOutcome,
     /// The simulated horizon.
     pub horizon: SimTime,
 }
@@ -122,6 +139,10 @@ enum Event {
     DiskWake(usize, u64),
     Tick,
     Sample,
+    /// The next scripted fault is due.
+    Fault,
+    /// Re-submit a foreground request that failed transiently.
+    Retry { disk: usize, req: DiskRequest },
 }
 
 struct PendingVolume {
@@ -146,6 +167,14 @@ pub struct Simulation<'a, P: PowerPolicy> {
     next_parent: u64,
     last_sample_energy: f64,
     chunk_scratch: Vec<ChunkId>,
+    injector: Option<FaultInjector>,
+    outcome: FaultOutcome,
+    /// Transient-retry attempts per foreground request id.
+    retries: HashMap<u64, u32>,
+    last_hazard_check: SimTime,
+    /// `outcome.rebuild_chunks` value at the last recorded backlog drain,
+    /// so a later failure's rebuild wave updates the completion time.
+    rebuilds_drained: u64,
 }
 
 impl<'a, P: PowerPolicy> Simulation<'a, P> {
@@ -176,6 +205,7 @@ impl<'a, P: PowerPolicy> Simulation<'a, P> {
         let remap = RemapTable::striped(&config);
         let stats = ArrayStats::new(config.spec.num_levels(), opts.series_bucket);
         let n = config.disks;
+        let injector = opts.faults.as_ref().map(FaultInjector::new);
         Simulation {
             state: ArrayState {
                 config,
@@ -196,6 +226,11 @@ impl<'a, P: PowerPolicy> Simulation<'a, P> {
             next_parent: 0,
             last_sample_energy: 0.0,
             chunk_scratch: Vec::new(),
+            injector,
+            outcome: FaultOutcome::default(),
+            retries: HashMap::new(),
+            last_hazard_check: SimTime::ZERO,
+            rebuilds_drained: 0,
         }
     }
 
@@ -219,6 +254,9 @@ impl<'a, P: PowerPolicy> Simulation<'a, P> {
         }
         self.events
             .push(t0 + self.opts.sample_interval, Event::Sample);
+        if let Some(t) = self.injector.as_ref().and_then(|i| i.next_event_time()) {
+            self.events.push(t.max(t0), Event::Fault);
+        }
 
         while let Some((now, ev)) = self.events.pop() {
             if now > self.opts.horizon {
@@ -239,6 +277,8 @@ impl<'a, P: PowerPolicy> Simulation<'a, P> {
                     self.take_sample(now);
                     self.events.push(now + self.opts.sample_interval, Event::Sample);
                 }
+                Event::Fault => self.handle_fault_due(now),
+                Event::Retry { disk, req } => self.handle_retry(now, disk, req),
             }
         }
 
@@ -298,7 +338,6 @@ impl<'a, P: PowerPolicy> Simulation<'a, P> {
             VolumeIoKind::Read => IoKind::Read,
             VolumeIoKind::Write => IoKind::Write,
         };
-        let n = self.state.config.disks;
         for (chunk, off, sectors) in pieces {
             let place = self.state.remap.placement(chunk);
             let (target_disk, phys) = match self
@@ -307,6 +346,23 @@ impl<'a, P: PowerPolicy> Simulation<'a, P> {
             {
                 Some((disk, base)) => (disk, base + off),
                 None => (place.disk, u64::from(place.slot) * cs + off),
+            };
+            // Degraded mode: the chunk's home may be dead (its rebuild has
+            // not committed yet). Serve from the surviving redundancy
+            // partner, or count the volume lost if nothing survives.
+            let target = if self.state.disks[target_disk.index()].has_failed() {
+                match self.alive_partner(target_disk.index(), chunk) {
+                    Some(p) => {
+                        self.outcome.degraded_redirects += 1;
+                        p
+                    }
+                    None => {
+                        self.lose_parent(parent);
+                        continue;
+                    }
+                }
+            } else {
+                target_disk.index()
             };
             let id = self.alloc_id();
             self.gather.insert(id, parent);
@@ -318,28 +374,53 @@ impl<'a, P: PowerPolicy> Simulation<'a, P> {
                 class: RequestClass::Foreground,
                 issue_time: now,
             };
-            self.state.disks[target_disk.index()].submit(now, sub);
+            self.state.disks[target].submit(now, sub);
 
             if kind == IoKind::Write {
                 self.state.migrator.note_foreground_write(chunk);
-                if self.state.config.redundancy == Redundancy::Raid5Like && n > 1 {
-                    // Parity partner: deterministic, never the data disk.
-                    let p = (place.disk.index() + 1 + chunk.index() % (n - 1)) % n;
-                    let pid = self.alloc_id();
-                    let parity = DiskRequest {
-                        id: pid,
-                        sector: phys,
-                        sectors,
-                        kind: IoKind::Write,
-                        class: RequestClass::Foreground,
-                        issue_time: now,
-                    };
-                    // Not in the gather map: parity does not gate response
-                    // (write-back parity), but it does consume disk time and
-                    // energy.
-                    self.state.disks[p].submit(now, parity);
+                if self.state.config.redundancy == Redundancy::Raid5Like {
+                    // Parity partner: deterministic, never the data disk,
+                    // skipping over dead disks.
+                    if let Some(p) = self.alive_partner(place.disk.index(), chunk) {
+                        let pid = self.alloc_id();
+                        let parity = DiskRequest {
+                            id: pid,
+                            sector: phys,
+                            sectors,
+                            kind: IoKind::Write,
+                            class: RequestClass::Foreground,
+                            issue_time: now,
+                        };
+                        // Not in the gather map: parity does not gate
+                        // response (write-back parity), but it does consume
+                        // disk time and energy.
+                        self.state.disks[p].submit(now, parity);
+                    }
                 }
             }
+        }
+    }
+
+    /// The first live disk on `chunk`'s redundancy walk, starting at its
+    /// deterministic parity partner and skipping dead disks and `d` itself.
+    /// `None` without RAID-5-like redundancy or when nothing survives.
+    fn alive_partner(&self, d: usize, chunk: ChunkId) -> Option<usize> {
+        let n = self.state.config.disks;
+        if self.state.config.redundancy != Redundancy::Raid5Like || n < 2 {
+            return None;
+        }
+        let base = (d + 1 + chunk.index() % (n - 1)) % n;
+        (0..n)
+            .map(|k| (base + k) % n)
+            .find(|&p| p != d && !self.state.disks[p].has_failed())
+    }
+
+    /// Abandons volume `parent`: its response can never be recorded.
+    /// Completions of sibling pieces already in flight find the parent gone
+    /// and are ignored. Counted once per volume.
+    fn lose_parent(&mut self, parent: u64) {
+        if self.pending.remove(&parent).is_some() {
+            self.outcome.lost_requests += 1;
         }
     }
 
@@ -360,10 +441,43 @@ impl<'a, P: PowerPolicy> Simulation<'a, P> {
                     }
                 }
                 RequestClass::Foreground => {
+                    // Transient-error model: the completion may come back
+                    // bad and need a retry (bounded, with linear backoff).
+                    if let Some(inj) = self.injector.as_mut() {
+                        if inj.transient_error(now, comp.disk) {
+                            self.outcome.transient_errors += 1;
+                            let attempts =
+                                self.retries.entry(comp.request.id).or_insert(0);
+                            let cfg = inj.config();
+                            if *attempts < cfg.max_retries {
+                                *attempts += 1;
+                                let delay = f64::from(*attempts) * cfg.retry_backoff_s;
+                                self.outcome.retries += 1;
+                                self.events.push(
+                                    now + SimDuration::from_secs(delay),
+                                    Event::Retry {
+                                        disk: comp.disk,
+                                        req: comp.request,
+                                    },
+                                );
+                            } else {
+                                // Retries exhausted: the piece is lost.
+                                self.retries.remove(&comp.request.id);
+                                if let Some(parent) = self.gather.remove(&comp.request.id) {
+                                    self.lose_parent(parent);
+                                }
+                            }
+                            continue;
+                        }
+                        self.retries.remove(&comp.request.id);
+                    }
                     self.state.stats.service.record(comp.service_s);
                     let volume_response = self.gather.remove(&comp.request.id).and_then(|parent| {
+                        // A parent may already be gone: the volume was lost
+                        // (disk failure with no surviving replica, or an
+                        // exhausted retry on a sibling piece).
                         let done = {
-                            let p = self.pending.get_mut(&parent).expect("parent missing");
+                            let p = self.pending.get_mut(&parent)?;
                             p.remaining -= 1;
                             p.remaining == 0
                         };
@@ -382,6 +496,7 @@ impl<'a, P: PowerPolicy> Simulation<'a, P> {
             }
         }
         self.pump_migration(now);
+        self.note_rebuild_progress(now);
         self.resync(now);
     }
 
@@ -392,6 +507,165 @@ impl<'a, P: PowerPolicy> Simulation<'a, P> {
         }
     }
 
+    /// Applies every scripted fault due at `now`, then schedules the next.
+    fn handle_fault_due(&mut self, now: SimTime) {
+        let Some(inj) = self.injector.as_mut() else {
+            return;
+        };
+        let due = inj.pop_due(now);
+        for ev in due {
+            match ev.kind {
+                FaultKind::TransientBurst {
+                    error_prob,
+                    duration_s,
+                } => {
+                    let until = ev.time + SimDuration::from_secs(duration_s);
+                    self.injector
+                        .as_mut()
+                        .expect("injector present")
+                        .note_burst(ev.disk, error_prob, until);
+                }
+                FaultKind::SlowTransition { factor, duration_s } => {
+                    let until = ev.time + SimDuration::from_secs(duration_s);
+                    self.state.disks[ev.disk].set_slow_transitions(factor, until);
+                }
+                FaultKind::DiskFailure => self.fail_disk(now, ev.disk),
+            }
+        }
+        if let Some(t) = self.injector.as_ref().and_then(|i| i.next_event_time()) {
+            self.events.push(t.max(now), Event::Fault);
+        }
+        self.pump_migration(now);
+        self.note_rebuild_progress(now);
+        self.resync(now);
+    }
+
+    /// Whole-disk failure: drain the disk, tear down and re-target
+    /// migrations, redirect or lose stranded foreground work, queue rebuild
+    /// traffic for every chunk that lived there, then let the policy adapt.
+    fn fail_disk(&mut self, now: SimTime, d: usize) {
+        if self.state.disks[d].has_failed() {
+            return;
+        }
+        self.outcome.disk_failures += 1;
+        if self.outcome.first_failure_s.is_none() {
+            self.outcome.first_failure_s = Some(now.as_secs());
+        }
+
+        let dropped = self.state.disks[d].fail(now);
+        let retarget = self
+            .state
+            .migrator
+            .note_disk_failed(DiskId(d), &mut self.state.remap);
+
+        // Stranded foreground requests: re-aim at the surviving redundancy
+        // partner (the request id survives, so the volume gather still
+        // works), or count the volume lost.
+        let cs = self.state.remap.chunk_sectors();
+        for req in dropped {
+            if req.class != RequestClass::Foreground {
+                continue; // migration pieces were handled by the engine
+            }
+            if !self.gather.contains_key(&req.id) {
+                continue; // parity write: consumed load only, nothing gates on it
+            }
+            let slot = (req.sector / cs) as u32;
+            let partner = self
+                .state
+                .remap
+                .chunk_at(DiskId(d), slot)
+                .and_then(|chunk| self.alive_partner(d, chunk));
+            match partner {
+                Some(p) => {
+                    self.outcome.degraded_redirects += 1;
+                    self.state.disks[p].submit(now, req);
+                }
+                None => {
+                    let parent = self.gather.remove(&req.id).expect("checked above");
+                    self.lose_parent(parent);
+                }
+            }
+        }
+
+        // Every chunk whose home just died needs a new one, rebuilt from
+        // its surviving partner. Re-targeted jobs from the engine join the
+        // same queue with fresh src/dst choices.
+        let mut rebuilds = Vec::new();
+        for chunk in self.state.remap.chunks_on(DiskId(d)) {
+            if let Some(job) = self.plan_rebuild(chunk, d) {
+                rebuilds.push(job);
+            }
+        }
+        for job in retarget {
+            if let MigrationJob::Rebuild { chunk, .. } = job {
+                let home = self.state.remap.disk_of(chunk).index();
+                if let Some(j) = self.plan_rebuild(chunk, home) {
+                    rebuilds.push(j);
+                }
+            }
+        }
+        self.outcome.rebuild_chunks += rebuilds.len() as u64;
+        self.state.migrator.enqueue_rebuild(rebuilds);
+
+        self.policy.on_disk_failure(now, d, &mut self.state);
+    }
+
+    /// Chooses src (surviving redundancy partner) and dst (least-occupied
+    /// live disk) for rebuilding `chunk`, whose home `home` is dead.
+    fn plan_rebuild(&self, chunk: ChunkId, home: usize) -> Option<MigrationJob> {
+        let src = self.alive_partner(home, chunk)?;
+        let dst = (0..self.state.disks.len())
+            .filter(|&p| p != home && !self.state.disks[p].has_failed())
+            .filter(|&p| self.state.remap.has_free_slot(DiskId(p)))
+            .min_by_key(|&p| self.state.remap.occupancy(DiskId(p)))?;
+        Some(MigrationJob::Rebuild {
+            chunk,
+            src: DiskId(src),
+            dst: DiskId(dst),
+        })
+    }
+
+    /// Marks the instant the rebuild backlog drains. Re-arms whenever a
+    /// later failure queues more rebuilds, so the recorded time is always
+    /// the commit of the *last* queued rebuild.
+    fn note_rebuild_progress(&mut self, now: SimTime) {
+        if self.outcome.rebuild_chunks > self.rebuilds_drained
+            && self.state.migrator.rebuild_outstanding() == 0
+        {
+            self.outcome.rebuild_completed_s = Some(now.as_secs());
+            self.rebuilds_drained = self.outcome.rebuild_chunks;
+        }
+    }
+
+    /// Re-submits a transiently failed request, re-aiming it if its disk
+    /// died while the retry was waiting.
+    fn handle_retry(&mut self, now: SimTime, disk: usize, req: DiskRequest) {
+        if self.state.disks[disk].has_failed() {
+            let cs = self.state.remap.chunk_sectors();
+            let slot = (req.sector / cs) as u32;
+            let partner = self
+                .state
+                .remap
+                .chunk_at(DiskId(disk), slot)
+                .and_then(|chunk| self.alive_partner(disk, chunk));
+            match partner {
+                Some(p) => {
+                    self.outcome.degraded_redirects += 1;
+                    self.state.disks[p].submit(now, req);
+                }
+                None => {
+                    self.retries.remove(&req.id);
+                    if let Some(parent) = self.gather.remove(&req.id) {
+                        self.lose_parent(parent);
+                    }
+                }
+            }
+        } else {
+            self.state.disks[disk].submit(now, req);
+        }
+        self.resync(now);
+    }
+
     fn take_sample(&mut self, now: SimTime) {
         let total = self.state.total_energy(now).total_joules();
         let dt = self.opts.sample_interval.as_secs();
@@ -399,6 +673,29 @@ impl<'a, P: PowerPolicy> Simulation<'a, P> {
         self.last_sample_energy = total;
         let counts = self.state.level_counts();
         self.state.stats.record_power_sample(now, watts, &counts);
+
+        // Online wear-scaled failure hazard, evaluated at sampling cadence
+        // over each disk's up-to-date ledger.
+        let failures = match self.injector.as_mut() {
+            Some(inj) if inj.config().base_failure_rate_per_hour > 0.0 => {
+                let ledgers: Vec<ReliabilityLedger> = self
+                    .state
+                    .disks
+                    .iter_mut()
+                    .map(|d| d.reliability(now))
+                    .collect();
+                inj.hazard_failures(self.last_hazard_check, now, &ledgers)
+            }
+            _ => Vec::new(),
+        };
+        self.last_hazard_check = now;
+        if !failures.is_empty() {
+            for d in failures {
+                self.fail_disk(now, d);
+            }
+            self.pump_migration(now);
+            self.resync(now);
+        }
     }
 
     fn alloc_id(&mut self) -> u64 {
@@ -435,6 +732,18 @@ impl<'a, P: PowerPolicy> Simulation<'a, P> {
             energy.merge(e);
         }
         let transitions = self.state.disks.iter().map(|d| d.stats().transitions).sum();
+        let reliability: Vec<ReliabilityLedger> = self
+            .state
+            .disks
+            .iter_mut()
+            .map(|d| d.reliability(horizon))
+            .collect();
+        self.outcome.slow_transition_events = self
+            .state
+            .disks
+            .iter()
+            .map(|d| d.stats().slow_transitions)
+            .sum();
         let stats = self.state.stats;
         let policy = self.policy;
         let report = RunReport {
@@ -452,6 +761,8 @@ impl<'a, P: PowerPolicy> Simulation<'a, P> {
             fg_sectors: stats.fg_sectors,
             migration: self.state.migrator.stats(),
             transitions,
+            reliability,
+            faults: self.outcome,
             horizon,
         };
         (report, policy)

@@ -26,7 +26,7 @@ pub struct ArrayStats {
     pub power_series: TimeSeries,
     /// One series per spindle level, counting disks at that level; index
     /// `num_levels` counts disks in standby, `num_levels + 1` disks in
-    /// transition (the F10 series).
+    /// transition, `num_levels + 2` failed disks (the F10 series).
     pub level_series: Vec<TimeSeries>,
     /// Foreground requests completed.
     pub fg_completed: u64,
@@ -44,7 +44,7 @@ impl ArrayStats {
             response_hist: LatencyHistogram::new_latency(),
             response_series: TimeSeries::new(bucket),
             power_series: TimeSeries::new(bucket),
-            level_series: (0..num_levels + 2).map(|_| TimeSeries::new(bucket)).collect(),
+            level_series: (0..num_levels + 3).map(|_| TimeSeries::new(bucket)).collect(),
             fg_completed: 0,
             fg_sectors: 0,
         }
@@ -61,8 +61,8 @@ impl ArrayStats {
 
     /// Records one power/level sample taken by the driver.
     ///
-    /// `level_counts` must have `num_levels + 2` entries (levels, standby,
-    /// transitioning).
+    /// `level_counts` must have `num_levels + 3` entries (levels, standby,
+    /// transitioning, failed).
     ///
     /// # Panics
     /// Panics if the slice length does not match.
@@ -103,10 +103,11 @@ mod tests {
     #[test]
     fn power_samples_feed_all_series() {
         let mut s = ArrayStats::new(2, SimDuration::from_secs(10.0));
-        s.record_power_sample(SimTime::from_secs(5.0), 100.0, &[1, 2, 3, 0]);
+        s.record_power_sample(SimTime::from_secs(5.0), 100.0, &[1, 2, 3, 0, 0]);
         assert_eq!(s.power_series.mean_points(), vec![(5.0, 100.0)]);
         assert_eq!(s.level_series[2].mean_points(), vec![(5.0, 3.0)]);
         assert_eq!(s.level_series[3].mean_points(), vec![(5.0, 0.0)]);
+        assert_eq!(s.level_series[4].mean_points(), vec![(5.0, 0.0)]);
     }
 
     #[test]

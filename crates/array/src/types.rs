@@ -1,10 +1,9 @@
 //! Core identifiers and array configuration.
 
 use diskmodel::DiskSpec;
-use serde::{Deserialize, Serialize};
 
 /// Index of a disk within the array.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct DiskId(pub usize);
 
 impl DiskId {
@@ -16,7 +15,7 @@ impl DiskId {
 }
 
 /// Index of a logical-volume chunk (the unit of placement and migration).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct ChunkId(pub u32);
 
 impl ChunkId {
@@ -28,7 +27,7 @@ impl ChunkId {
 }
 
 /// Redundancy scheme of the array.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize, Default)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub enum Redundancy {
     /// Pure striping (RAID-0-like): reads and writes touch only the data
     /// disk. The energy experiments default to this, isolating the policy
@@ -43,7 +42,7 @@ pub enum Redundancy {
 }
 
 /// Static configuration of a simulated array.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct ArrayConfig {
     /// Number of disks.
     pub disks: usize,

@@ -2,13 +2,15 @@
 //! (small) array shapes must conserve requests, conserve energy attribution,
 //! and replay deterministically — with and without background migration
 //! churn injected by a pathological policy.
+//!
+//! Randomisation is driven by labelled [`DetRng`] streams, so every "random"
+//! case is fully reproducible from the case index alone.
 
 use array::{
     run_policy, ArrayConfig, ArrayState, BasePolicy, ChunkId, DiskId, MigrationJob, PowerPolicy,
     Redundancy, RunOptions,
 };
-use proptest::prelude::*;
-use simkit::{SimDuration, SimTime};
+use simkit::{DetRng, SimDuration, SimTime};
 use workload::{Trace, VolumeIoKind, VolumeRequest};
 
 fn config(disks: usize, chunks: u32) -> ArrayConfig {
@@ -18,28 +20,25 @@ fn config(disks: usize, chunks: u32) -> ArrayConfig {
     c
 }
 
-fn trace_strategy(chunks: u32) -> impl Strategy<Value = Trace> {
+/// A deterministic pseudo-random trace against a `chunks`-chunk volume.
+fn random_trace(case: u64, chunks: u32) -> Trace {
+    let mut rng = DetRng::new(0xD21A ^ case, "driver-trace");
     let max_sector = u64::from(chunks) * 2048 - 600;
-    proptest::collection::vec(
-        (0.0f64..120.0, 0..max_sector, 1u32..512, any::<bool>()),
-        1..80,
+    let n = 1 + rng.below(79) as usize;
+    Trace::from_requests(
+        (0..n)
+            .map(|_| VolumeRequest {
+                time: SimTime::from_secs(rng.uniform(0.0, 120.0)),
+                sector: rng.below(max_sector),
+                sectors: 1 + rng.below(511) as u32,
+                kind: if rng.chance(0.5) {
+                    VolumeIoKind::Write
+                } else {
+                    VolumeIoKind::Read
+                },
+            })
+            .collect(),
     )
-    .prop_map(|raw| {
-        Trace::from_requests(
-            raw.into_iter()
-                .map(|(t, sector, sectors, w)| VolumeRequest {
-                    time: SimTime::from_secs(t),
-                    sector,
-                    sectors,
-                    kind: if w {
-                        VolumeIoKind::Write
-                    } else {
-                        VolumeIoKind::Read
-                    },
-                })
-                .collect(),
-        )
-    })
 }
 
 /// A policy that stirs the pot: random-ish relocations and speed flips on
@@ -77,11 +76,10 @@ impl PowerPolicy for ChurnPolicy {
     }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(24))]
-
-    #[test]
-    fn base_conserves_requests_and_energy(trace in trace_strategy(64)) {
+#[test]
+fn base_conserves_requests_and_energy() {
+    for case in 0..24 {
+        let trace = random_trace(case, 64);
         let n = trace.len() as u64;
         let r = run_policy(
             config(4, 64),
@@ -89,16 +87,22 @@ proptest! {
             &trace,
             RunOptions::for_horizon(400.0),
         );
-        prop_assert_eq!(r.completed, n);
-        prop_assert_eq!(r.incomplete, 0);
+        assert_eq!(r.completed, n, "case {case}");
+        assert_eq!(r.incomplete, 0, "case {case}");
         let parts: f64 = r.energy.breakdown().map(|(_, j)| j).sum();
-        prop_assert!((parts - r.energy.total_joules()).abs() < 1e-6);
+        assert!((parts - r.energy.total_joules()).abs() < 1e-6, "case {case}");
         let per_disk: f64 = r.per_disk_energy.iter().map(|e| e.total_joules()).sum();
-        prop_assert!((per_disk - r.energy.total_joules()).abs() < 1e-6);
+        assert!(
+            (per_disk - r.energy.total_joules()).abs() < 1e-6,
+            "case {case}"
+        );
     }
+}
 
-    #[test]
-    fn churn_policy_never_loses_requests(trace in trace_strategy(64)) {
+#[test]
+fn churn_policy_never_loses_requests() {
+    for case in 0..24 {
+        let trace = random_trace(100 + case, 64);
         let n = trace.len() as u64;
         let r = run_policy(
             config(4, 64),
@@ -106,24 +110,31 @@ proptest! {
             &trace,
             RunOptions::for_horizon(600.0),
         );
-        prop_assert_eq!(r.completed + r.incomplete, n);
-        prop_assert!(
+        assert_eq!(r.completed + r.incomplete, n, "case {case}");
+        assert!(
             r.incomplete <= 2,
-            "churn stranded {} requests", r.incomplete
+            "case {case}: churn stranded {} requests",
+            r.incomplete
         );
     }
+}
 
-    #[test]
-    fn raid5_conserves_requests(trace in trace_strategy(64)) {
+#[test]
+fn raid5_conserves_requests() {
+    for case in 0..24 {
+        let trace = random_trace(200 + case, 64);
         let mut cfg = config(4, 64);
         cfg.redundancy = Redundancy::Raid5Like;
         let n = trace.len() as u64;
         let r = run_policy(cfg, BasePolicy, &trace, RunOptions::for_horizon(400.0));
-        prop_assert_eq!(r.completed, n);
+        assert_eq!(r.completed, n, "case {case}");
     }
+}
 
-    #[test]
-    fn replay_is_bit_identical(trace in trace_strategy(32)) {
+#[test]
+fn replay_is_bit_identical() {
+    for case in 0..8 {
+        let trace = random_trace(300 + case, 32);
         let run = || {
             let r = run_policy(
                 config(3, 32),
@@ -139,7 +150,7 @@ proptest! {
                 r.migration.aborted,
             )
         };
-        prop_assert_eq!(run(), run());
+        assert_eq!(run(), run(), "case {case}");
     }
 }
 

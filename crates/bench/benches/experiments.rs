@@ -8,7 +8,7 @@
 //! policies' energy results.
 
 use array::{run_policy, ArrayConfig, BasePolicy, RunOptions};
-use criterion::{criterion_group, criterion_main, Criterion};
+use bench::{criterion_group, criterion_main, Criterion};
 use diskmodel::{DiskSpec, PowerModel, ServiceModel};
 use hibernator::{Hibernator, HibernatorConfig};
 use policies::{maid_array_config, DrpmPolicy, MaidConfig, MaidPolicy, PdcPolicy, TpmPolicy};

@@ -5,7 +5,7 @@
 //! recording, popularity sampling, and the once-per-epoch allocator DP.
 
 use array::{ChunkId, HeatMap};
-use criterion::{criterion_group, criterion_main, Criterion};
+use bench::{criterion_group, criterion_main, Criterion};
 use diskmodel::{
     Disk, DiskRequest, DiskSpec, IoKind, RequestClass, ServiceModel, SpeedLevel,
 };

@@ -113,6 +113,20 @@ impl PerfGuard {
         self.window.record(now, response_s);
     }
 
+    /// Force an immediate boost regardless of the measured window — used
+    /// when an external emergency (a disk failure) makes the current plan
+    /// unsafe. Counts as a boost only when not already boosted; in either
+    /// case the calm timer restarts so the boost holds for a full
+    /// hysteresis period from `now`.
+    pub fn force_boost(&mut self, _now: SimTime) {
+        if !self.boosted {
+            self.boosted = true;
+            self.boosts += 1;
+        }
+        self.calm_since = None;
+        self.violating_checks = 0;
+    }
+
     /// The current windowed mean response time (the guard's own view),
     /// or `None` when the window is empty.
     pub fn windowed_mean(&mut self, now: SimTime) -> Option<f64> {

@@ -39,20 +39,36 @@ pub fn plan_epoch(
 }
 
 /// Assigns concrete disks to the allocation's per-level counts, preferring
-/// to keep each disk at its current effective level.
+/// to keep each disk at its current effective level. Failed disks are
+/// excluded from the matching: the counts must cover exactly the *alive*
+/// disks, and a dead disk's output slot carries its (inert) effective
+/// level — ramping it is a no-op and the migration planner skips it.
 ///
-/// Returns the per-disk target level.
+/// Returns the per-disk target level, indexed by disk id.
 ///
 /// # Panics
-/// Panics if the counts do not sum to the number of disks.
+/// Panics if the counts do not sum to the number of alive disks.
 pub fn match_disks(state: &ArrayState, per_level: &[usize]) -> Vec<SpeedLevel> {
     let n = state.disks.len();
-    assert_eq!(per_level.iter().sum::<usize>(), n, "counts must cover disks");
+    assert_eq!(
+        per_level.iter().sum::<usize>(),
+        state.alive_disks(),
+        "counts must cover disks"
+    );
     let mut remaining: Vec<usize> = per_level.to_vec();
     let mut out: Vec<Option<SpeedLevel>> = vec![None; n];
 
-    // Pass 1: keep disks already at a level that still wants disks.
+    // Pass 0: dead disks keep their inert level and consume no count.
     for (i, d) in state.disks.iter().enumerate() {
+        if d.has_failed() {
+            out[i] = Some(d.effective_level());
+        }
+    }
+    // Pass 1: keep alive disks already at a level that still wants disks.
+    for (i, d) in state.disks.iter().enumerate() {
+        if out[i].is_some() {
+            continue;
+        }
         let l = d.effective_level();
         if remaining[l.index()] > 0 {
             remaining[l.index()] -= 1;
@@ -89,13 +105,20 @@ pub fn plan_migrations(
     if n == 0 || ranking.is_empty() || budget == 0 {
         return Vec::new();
     }
-    let cpd = ranking.len().div_ceil(n);
+    let alive = state.alive_disks();
+    if alive == 0 {
+        return Vec::new();
+    }
+    let cpd = ranking.len().div_ceil(alive);
 
     // Disks per level, fastest tier first, ids ascending within a tier.
+    // Dead disks can neither hold nor receive chunks; leave them out.
     let levels = state.config.spec.num_levels();
     let mut tier_disks: Vec<Vec<DiskId>> = vec![Vec::new(); levels];
     for (i, &l) in disk_levels.iter().enumerate() {
-        tier_disks[l.index()].push(DiskId(i));
+        if !state.disks[i].has_failed() {
+            tier_disks[l.index()].push(DiskId(i));
+        }
     }
 
     // Fill counters spread relocation destinations evenly across each tier.

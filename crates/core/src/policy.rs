@@ -254,10 +254,15 @@ impl Hibernator {
         let rates: Vec<f64> = ranking.iter().map(|&c| heat.rate(now, c)).collect();
 
         // 2. Optimise, with the calibrated (tightened) goal and planning
-        // headroom below the guard's trip line.
+        // headroom below the guard's trip line. Only alive disks are
+        // allocatable: after a failure the plan covers the survivors.
+        let alive = state.alive_disks();
+        if alive == 0 {
+            return;
+        }
         let input = AllocationInput {
             chunk_rates: &rates,
-            disks: state.disks.len(),
+            disks: alive,
             goal_s: self.cfg.goal_s * self.cfg.plan_margin / self.correction,
         };
         let new = alloc.allocate(&input, est);
@@ -280,6 +285,9 @@ impl Hibernator {
 
         // 3. Coarse-grain test: is the change worth its transition cost?
         let adopted: Allocation = match &self.current {
+            // A stale plan sized for a different (pre-failure) disk count
+            // can't be compared or kept — adopt the fresh one outright.
+            Some(cur) if cur.per_level.iter().sum::<usize>() != alive => new,
             Some(cur) if cur.per_level == new.per_level => {
                 // Same speeds; refresh the stored predictions (they feed the
                 // calibration loop) and fall through to re-apply idempotently.
@@ -317,6 +325,9 @@ impl Hibernator {
         let mut changed = false;
         for (i, &l) in targets.iter().enumerate() {
             let d = &mut state.disks[i];
+            if d.has_failed() {
+                continue;
+            }
             if standby.contains(&i) {
                 if !d.is_standby() {
                     changed = true;
@@ -377,7 +388,10 @@ impl Hibernator {
         if n_bottom == 0 {
             return out;
         }
-        let n = state.disks.len();
+        let n = state.alive_disks();
+        if n == 0 {
+            return out;
+        }
         let cpd = sorted_rates.len().div_ceil(n).max(1);
         // The bottom tier holds the coldest `n_bottom` disk-ranges.
         let cold_start = (n - n_bottom) * cpd;
@@ -397,7 +411,7 @@ impl Hibernator {
         // All bottom-tier disks qualify; identify them via the matching.
         let targets = match_disks(state, &alloc.per_level);
         for (i, &l) in targets.iter().enumerate() {
-            if l == SpeedLevel(0) {
+            if l == SpeedLevel(0) && !state.disks[i].has_failed() {
                 out.insert(i);
             }
         }
@@ -460,6 +474,9 @@ fn transition_cost_j(state: &ArrayState, per_level: &[usize]) -> f64 {
     let pm: &PowerModel = state.disks[0].power_model();
     let mut cost = 0.0;
     for (i, d) in state.disks.iter().enumerate() {
+        if d.has_failed() {
+            continue;
+        }
         let from = d.effective_level();
         let to = targets[i];
         if from != to {
@@ -544,6 +561,43 @@ impl PowerPolicy for Hibernator {
         }
     }
 
+    fn on_disk_failure(&mut self, now: SimTime, disk: usize, state: &mut ArrayState) {
+        let _ = disk;
+        // A failure is the hardest possible performance event: redirected
+        // reads double up on the partner and rebuild traffic floods the
+        // survivors. Boost immediately — don't wait for the guard's window
+        // to fill with blown response times.
+        if self.guard_enabled {
+            if !self.guard.is_boosted() {
+                self.stats.boosts += 1;
+            }
+            self.guard.force_boost(now);
+            // Pause ordinary relocations (rebuilds are immune to pause);
+            // the guard's ExitBoost unpauses once the array is calm again.
+            state.migrator.set_paused(true);
+        } else {
+            self.stats.boosts += 1;
+        }
+        state.migrator.clear_pending();
+        let top = state.config.spec.top_level();
+        for d in state.disks.iter_mut().filter(|d| !d.has_failed()) {
+            d.request_speed(now, SpinTarget::Level(top));
+        }
+        self.standby_disks.clear();
+        // Replace the (now stale) plan with all-survivors-fast, and
+        // schedule a fresh epoch decision once things settle.
+        let levels = state.config.spec.num_levels();
+        let mut v = vec![0; levels];
+        v[levels - 1] = state.alive_disks();
+        self.current = Some(Allocation {
+            per_level: v,
+            predicted_response_s: 0.0,
+            predicted_power_w: f64::MAX,
+            feasible: true,
+        });
+        self.next_epoch = self.next_epoch.max(now + self.cfg.epoch);
+    }
+
     fn on_tick(&mut self, now: SimTime, state: &mut ArrayState) {
         if self.guard_enabled {
             match self.guard.check(now) {
@@ -561,7 +615,7 @@ impl PowerPolicy for Hibernator {
                     // Remember that we are now flat-out.
                     let levels = state.config.spec.num_levels();
                     let mut v = vec![0; levels];
-                    v[levels - 1] = state.disks.len();
+                    v[levels - 1] = state.alive_disks();
                     self.current = Some(Allocation {
                         per_level: v,
                         predicted_response_s: 0.0,

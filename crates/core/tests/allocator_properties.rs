@@ -5,7 +5,7 @@
 
 use diskmodel::{DiskSpec, PowerModel, ServiceModel};
 use hibernator::{AllocationInput, ServiceEstimator, SpeedAllocator};
-use proptest::prelude::*;
+use simkit::DetRng;
 
 fn setup() -> (SpeedAllocator, ServiceEstimator) {
     let spec = DiskSpec::ultrastar_multispeed(6);
@@ -42,7 +42,7 @@ fn exhaustive_best(
         if level == alloc.levels() {
             if left == 0 {
                 if let Some((_, p)) = alloc.evaluate(input, est, cur) {
-                    if best.map_or(true, |b| p < b) {
+                    if best.is_none_or(|b| p < b) {
                         *best = Some(p);
                     }
                 }
@@ -60,19 +60,17 @@ fn exhaustive_best(
     best
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(48))]
-
-    /// The DP never claims feasibility for an assignment that evaluates
-    /// above the goal, and every disk is assigned exactly once.
-    #[test]
-    fn feasible_claims_are_honest(
-        total in 1.0f64..800.0,
-        skew in 0.0f64..2.0,
-        goal_ms in 4.0f64..80.0,
-        disks in 2usize..10,
-    ) {
-        let (alloc, est) = setup();
+/// The DP never claims feasibility for an assignment that evaluates
+/// above the goal, and every disk is assigned exactly once.
+#[test]
+fn feasible_claims_are_honest() {
+    let (alloc, est) = setup();
+    let mut rng = DetRng::new(0xA110C, "alloc-honest");
+    for case in 0..48 {
+        let total = rng.uniform(1.0, 800.0);
+        let skew = rng.uniform(0.0, 2.0);
+        let goal_ms = rng.uniform(4.0, 80.0);
+        let disks = 2 + rng.below(8) as usize;
         let r = rates(64, total, skew);
         let input = AllocationInput {
             chunk_rates: &r,
@@ -80,25 +78,30 @@ proptest! {
             goal_s: goal_ms / 1e3,
         };
         let a = alloc.allocate(&input, &est);
-        prop_assert_eq!(a.per_level.iter().sum::<usize>(), disks);
+        assert_eq!(a.per_level.iter().sum::<usize>(), disks, "case {case}");
         if a.feasible {
             let eval = alloc.evaluate(&input, &est, &a.per_level);
-            prop_assert!(eval.is_some(), "claimed-feasible assignment fails evaluation");
+            assert!(
+                eval.is_some(),
+                "case {case}: claimed-feasible assignment fails evaluation"
+            );
             let (resp, power) = eval.unwrap();
-            prop_assert!(resp <= input.goal_s + 1e-12);
-            prop_assert!((power - a.predicted_power_w).abs() < 1e-6);
+            assert!(resp <= input.goal_s + 1e-12, "case {case}");
+            assert!((power - a.predicted_power_w).abs() < 1e-6, "case {case}");
         }
     }
+}
 
-    /// The DP is within 10% of the exhaustive optimum (discretisation
-    /// bound) and never reports feasible when exhaustive finds nothing.
-    #[test]
-    fn near_optimal_vs_exhaustive(
-        total in 1.0f64..500.0,
-        skew in 0.0f64..1.8,
-        goal_ms in 5.0f64..60.0,
-    ) {
-        let (alloc, est) = setup();
+/// The DP is within 10% of the exhaustive optimum (discretisation
+/// bound) and never reports feasible when exhaustive finds nothing.
+#[test]
+fn near_optimal_vs_exhaustive() {
+    let (alloc, est) = setup();
+    let mut rng = DetRng::new(0xA110C, "alloc-optimal");
+    for case in 0..48 {
+        let total = rng.uniform(1.0, 500.0);
+        let skew = rng.uniform(0.0, 1.8);
+        let goal_ms = rng.uniform(5.0, 60.0);
         let r = rates(40, total, skew);
         let input = AllocationInput {
             chunk_rates: &r,
@@ -108,23 +111,27 @@ proptest! {
         let dp = alloc.allocate(&input, &est);
         match exhaustive_best(&alloc, &input, &est) {
             Some(best) => {
-                prop_assert!(dp.feasible, "DP missed a feasible case");
-                prop_assert!(
+                assert!(dp.feasible, "case {case}: DP missed a feasible case");
+                assert!(
                     dp.predicted_power_w <= best * 1.10 + 1e-9,
-                    "DP {} vs best {}", dp.predicted_power_w, best
+                    "case {case}: DP {} vs best {}",
+                    dp.predicted_power_w,
+                    best
                 );
             }
-            None => prop_assert!(!dp.feasible),
+            None => assert!(!dp.feasible, "case {case}"),
         }
     }
+}
 
-    /// Loosening the goal never increases the optimal power.
-    #[test]
-    fn power_monotone_in_goal(
-        total in 5.0f64..400.0,
-        skew in 0.0f64..1.5,
-    ) {
-        let (alloc, est) = setup();
+/// Loosening the goal never increases the optimal power.
+#[test]
+fn power_monotone_in_goal() {
+    let (alloc, est) = setup();
+    let mut rng = DetRng::new(0xA110C, "alloc-monotone");
+    for case in 0..48 {
+        let total = rng.uniform(5.0, 400.0);
+        let skew = rng.uniform(0.0, 1.5);
         let r = rates(48, total, skew);
         let mut prev = f64::INFINITY;
         for goal_ms in [6.0, 10.0, 20.0, 50.0, 200.0] {
@@ -135,20 +142,23 @@ proptest! {
             };
             let a = alloc.allocate(&input, &est);
             if a.feasible {
-                prop_assert!(
+                assert!(
                     a.predicted_power_w <= prev + 1e-6,
-                    "power rose as goal loosened: {} after {}",
-                    a.predicted_power_w, prev
+                    "case {case}: power rose as goal loosened: {} after {}",
+                    a.predicted_power_w,
+                    prev
                 );
                 prev = a.predicted_power_w;
             }
         }
     }
+}
 
-    /// With effectively no load, the optimum is everything at the bottom.
-    #[test]
-    fn idle_always_goes_all_slow(disks in 1usize..12) {
-        let (alloc, est) = setup();
+/// With effectively no load, the optimum is everything at the bottom.
+#[test]
+fn idle_always_goes_all_slow() {
+    let (alloc, est) = setup();
+    for disks in 1usize..12 {
         let r = rates(32, 1e-6, 1.0);
         let input = AllocationInput {
             chunk_rates: &r,
@@ -156,7 +166,7 @@ proptest! {
             goal_s: 0.050,
         };
         let a = alloc.allocate(&input, &est);
-        prop_assert!(a.feasible);
-        prop_assert_eq!(a.per_level[0], disks);
+        assert!(a.feasible, "disks {disks}");
+        assert_eq!(a.per_level[0], disks, "disks {disks}");
     }
 }

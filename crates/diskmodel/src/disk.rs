@@ -32,6 +32,7 @@ use crate::power::PowerModel;
 use crate::request::{Completion, DiskRequest, RequestClass};
 use crate::service::ServiceModel;
 use crate::spec::{DiskSpec, SpeedLevel};
+use faults::ReliabilityLedger;
 use simkit::{DetRng, EnergyComponent, EnergyLedger, SimTime, TimeWeighted};
 use std::collections::VecDeque;
 
@@ -83,6 +84,8 @@ pub struct DiskStats {
     pub busy_s: f64,
     /// Number of spindle speed/standby transitions started.
     pub transitions: u64,
+    /// Transitions stretched by an injected slow-transition fault window.
+    pub slow_transitions: u64,
     /// Time-weighted queue depth (foreground + migration + in-service).
     pub queue_depth: TimeWeighted,
 }
@@ -133,6 +136,13 @@ pub struct Disk {
     idle_since: Option<SimTime>,
     stats: DiskStats,
     num_levels: usize,
+
+    ledger: ReliabilityLedger,
+    failed: bool,
+    /// Injected slow-transition fault: ramps started before `slow_until`
+    /// take `slow_factor ×` their nominal duration (and energy).
+    slow_factor: f64,
+    slow_until: SimTime,
 }
 
 impl Disk {
@@ -170,9 +180,14 @@ impl Disk {
                 sectors_transferred: 0,
                 busy_s: 0.0,
                 transitions: 0,
+                slow_transitions: 0,
                 queue_depth: TimeWeighted::new(SimTime::ZERO, 0.0),
             },
             num_levels: spec.num_levels(),
+            ledger: ReliabilityLedger::default(),
+            failed: false,
+            slow_factor: 1.0,
+            slow_until: SimTime::ZERO,
         }
     }
 
@@ -260,8 +275,57 @@ impl Disk {
         self.energy.clone()
     }
 
+    /// True once the disk has suffered a whole-disk failure.
+    pub fn has_failed(&self) -> bool {
+        self.failed
+    }
+
+    /// Reliability ledger snapshot, accrued up to `now`.
+    pub fn reliability(&mut self, now: SimTime) -> ReliabilityLedger {
+        self.accrue(now);
+        self.ledger.clone()
+    }
+
+    /// Injects a slow-transition fault window: ramps started before `until`
+    /// take `factor ×` their nominal duration (energy scales with it, since
+    /// transition power is unchanged).
+    pub fn set_slow_transitions(&mut self, factor: f64, until: SimTime) {
+        assert!(factor > 0.0, "non-positive slow factor");
+        self.slow_factor = factor;
+        self.slow_until = until;
+    }
+
+    /// Kills the disk at `now`: the spindle stops drawing power, the ledger
+    /// records the failure, and every queued or in-flight request is drained
+    /// and returned so the driver can redirect or account for it. All later
+    /// submissions and speed requests are ignored.
+    pub fn fail(&mut self, now: SimTime) -> Vec<DiskRequest> {
+        if self.failed {
+            return Vec::new();
+        }
+        self.accrue(now);
+        self.failed = true;
+        self.ledger.note_failure(now.as_secs());
+        let mut dropped = Vec::new();
+        if let Some(svc) = self.in_service.take() {
+            dropped.push(svc.req);
+            self.stats.queue_depth.add(now, -1.0);
+        }
+        for req in self.fg_queue.drain(..).chain(self.mig_queue.drain(..)) {
+            dropped.push(req);
+            self.stats.queue_depth.add(now, -1.0);
+        }
+        self.state = SpinState::Standby;
+        self.pending = None;
+        self.idle_since = None;
+        dropped
+    }
+
     /// The next instant this disk needs [`Disk::on_event`] called, if any.
     pub fn next_event_time(&self) -> Option<SimTime> {
+        if self.failed {
+            return None;
+        }
         let t1 = self.in_service.as_ref().map(|s| s.finish);
         let t2 = match self.state {
             SpinState::Transitioning { until, .. } => Some(until),
@@ -277,11 +341,22 @@ impl Disk {
     // Energy accrual
     // ------------------------------------------------------------------
 
-    /// Attributes energy from the last accrual point up to `now`.
+    /// Attributes energy (and reliability duty-cycle time) from the last
+    /// accrual point up to `now`.
     fn accrue(&mut self, now: SimTime) {
         let from = self.last_accrual;
         if now <= from {
             return;
+        }
+        if self.failed {
+            // A dead disk draws no power and accrues no duty cycle.
+            self.last_accrual = now;
+            return;
+        }
+        let dt_s = (now - from).as_secs();
+        match self.state {
+            SpinState::Standby => self.ledger.accrue_standby(dt_s),
+            _ => self.ledger.accrue_active(dt_s),
         }
         match self.state {
             SpinState::Standby => {
@@ -342,6 +417,12 @@ impl Disk {
     /// Enqueues a request at `now`. May start service or an automatic
     /// spin-up; the driver must re-read [`Disk::next_event_time`] afterwards.
     pub fn submit(&mut self, now: SimTime, req: DiskRequest) {
+        if self.failed {
+            // The driver redirects around dead disks; a stray submission is
+            // silently dropped rather than stranded in a queue that will
+            // never drain.
+            return;
+        }
         self.accrue(now);
         self.idle_since = None;
         match req.class {
@@ -404,6 +485,9 @@ impl Disk {
         if let SpinTarget::Level(l) = target {
             assert!(l.index() < self.num_levels, "bad target level");
         }
+        if self.failed {
+            return;
+        }
         self.accrue(now);
         match self.state {
             SpinState::Spinning(cur) => {
@@ -443,6 +527,9 @@ impl Disk {
     /// at [`Disk::next_event_time`].
     pub fn on_event(&mut self, now: SimTime) -> Vec<Completion> {
         self.accrue(now);
+        if self.failed {
+            return Vec::new();
+        }
         let mut done = Vec::new();
 
         // Ramp end?
@@ -558,9 +645,17 @@ impl Disk {
             return;
         }
         self.stats.transitions += 1;
+        self.ledger.note_transition();
+        let mut duration_s = trans.duration_s;
+        if now < self.slow_until {
+            // Sticky-spindle fault: the ramp takes longer at the same
+            // transition power, so its energy scales with the stretch too.
+            duration_s *= self.slow_factor;
+            self.stats.slow_transitions += 1;
+        }
         self.state = SpinState::Transitioning {
             target,
-            until: now + simkit::SimDuration::from_secs(trans.duration_s),
+            until: now + simkit::SimDuration::from_secs(duration_s),
             power_w: trans.energy_j / trans.duration_s,
         };
         self.idle_since = None;
@@ -953,5 +1048,76 @@ mod tests {
         d.request_speed(SimTime::from_secs(1.0), SpinTarget::Level(SpeedLevel(5)));
         assert!(!d.is_transitioning());
         assert_eq!(d.stats().transitions, 0);
+    }
+
+    #[test]
+    fn failure_drains_queue_and_stops_power() {
+        let mut d = mk_disk();
+        let t0 = SimTime::ZERO;
+        d.submit(t0, fg_read(0, 0, t0));
+        d.submit(t0, fg_read(1, 1_000_000, t0));
+        d.submit(t0, fg_read(2, 2_000_000, t0));
+        let t1 = SimTime::from_secs(0.001);
+        let dropped = d.fail(t1);
+        assert_eq!(dropped.len(), 3, "in-service + two queued");
+        assert!(d.has_failed());
+        assert_eq!(d.next_event_time(), None);
+        assert_eq!(d.stats().queue_depth.current(), 0.0);
+        // No power after death.
+        let e1 = d.energy(t1).total_joules();
+        let e2 = d.energy(SimTime::from_secs(1000.0)).total_joules();
+        assert_eq!(e1, e2, "dead disk must draw nothing");
+        // Later traffic and speed requests are ignored.
+        let t2 = SimTime::from_secs(2.0);
+        d.submit(t2, fg_read(3, 0, t2));
+        d.request_speed(t2, SpinTarget::Level(SpeedLevel(0)));
+        assert_eq!(d.next_event_time(), None);
+        // Ledger recorded the failure instant, once.
+        let led = d.reliability(SimTime::from_secs(2000.0));
+        assert!(led.failed);
+        assert_eq!(led.failed_at_s, Some(0.001));
+    }
+
+    #[test]
+    fn slow_transition_window_stretches_ramp() {
+        let ramp_secs = |d: &mut Disk| {
+            d.request_speed(SimTime::from_secs(1.0), SpinTarget::Level(SpeedLevel(0)));
+            let done_at = d.next_event_time().unwrap();
+            (done_at - SimTime::from_secs(1.0)).as_secs()
+        };
+        let mut normal = mk_disk();
+        let nominal = ramp_secs(&mut normal);
+        let mut sticky = mk_disk();
+        sticky.set_slow_transitions(3.0, SimTime::from_secs(100.0));
+        let slow = ramp_secs(&mut sticky);
+        assert!((slow - 3.0 * nominal).abs() < 1e-9, "{slow} vs 3×{nominal}");
+        assert_eq!(sticky.stats().slow_transitions, 1);
+        // Outside the window the ramp is nominal again.
+        let mut expired = mk_disk();
+        expired.set_slow_transitions(3.0, SimTime::from_secs(0.5));
+        assert!((ramp_secs(&mut expired) - nominal).abs() < 1e-9);
+        assert_eq!(expired.stats().slow_transitions, 0);
+        // Energy scales with the stretch: same power over 3× the time.
+        let _ = drain(&mut sticky, SimTime::from_secs(100.0));
+        let _ = drain(&mut normal, SimTime::from_secs(100.0));
+        let at = SimTime::from_secs(100.0);
+        let j_slow = sticky.energy(at).joules(EnergyComponent::Transition);
+        let j_norm = normal.energy(at).joules(EnergyComponent::Transition);
+        assert!((j_slow - 3.0 * j_norm).abs() < 1e-6, "{j_slow} vs 3×{j_norm}");
+    }
+
+    #[test]
+    fn ledger_accrues_duty_cycle_and_transitions() {
+        let mut d = mk_disk();
+        // One hour spinning, then standby for an hour.
+        let t1 = SimTime::from_secs(3600.0);
+        d.request_speed(t1, SpinTarget::Standby);
+        let _ = drain(&mut d, SimTime::from_secs(3700.0));
+        let led = d.reliability(SimTime::from_secs(7200.0));
+        assert_eq!(led.transitions, 1);
+        assert!(led.active_hours >= 1.0, "{}", led.active_hours);
+        assert!(led.standby_hours > 0.9, "{}", led.standby_hours);
+        assert!(!led.failed);
+        assert!(led.wear() > 0.0);
     }
 }

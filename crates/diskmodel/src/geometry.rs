@@ -14,10 +14,9 @@
 //! layout abstracted to what a coarse-grained simulator needs.
 
 use crate::spec::DiskSpec;
-use serde::{Deserialize, Serialize};
 
 /// Physical location of a logical sector.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct Location {
     /// Cylinder index (0 = outermost).
     pub cylinder: u32,
@@ -30,7 +29,7 @@ pub struct Location {
 }
 
 /// Precomputed zone table for sector→location mapping.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct Geometry {
     /// `(first_cylinder, first_sector, sectors_per_track)` per zone,
     /// plus a sentinel with the totals.
@@ -115,7 +114,6 @@ impl Geometry {
 mod tests {
     use super::*;
     use crate::spec::DiskSpec;
-    use proptest::prelude::*;
 
     fn geom() -> (DiskSpec, Geometry) {
         let spec = DiskSpec::ultrastar_multispeed(6);
@@ -186,27 +184,34 @@ mod tests {
         g.locate(g.total_sectors());
     }
 
-    proptest! {
-        #[test]
-        fn locate_is_within_bounds(frac in 0.0f64..1.0) {
-            let (spec, g) = geom();
-            let s = (frac * (g.total_sectors() - 1) as f64) as u64;
+    #[test]
+    fn locate_is_within_bounds() {
+        let (spec, g) = geom();
+        let mut rng = simkit::DetRng::new(0x6E0, "geom-bounds");
+        for _ in 0..2_000 {
+            let s = rng.below(g.total_sectors());
             let loc = g.locate(s);
-            prop_assert!(loc.cylinder < spec.cylinders);
-            prop_assert!(loc.surface < spec.surfaces);
-            prop_assert!(loc.sector < loc.sectors_per_track);
-            prop_assert!(loc.sectors_per_track >= spec.sectors_inner);
-            prop_assert!(loc.sectors_per_track <= spec.sectors_outer);
+            assert!(loc.cylinder < spec.cylinders, "sector {s}");
+            assert!(loc.surface < spec.surfaces, "sector {s}");
+            assert!(loc.sector < loc.sectors_per_track, "sector {s}");
+            assert!(loc.sectors_per_track >= spec.sectors_inner, "sector {s}");
+            assert!(loc.sectors_per_track <= spec.sectors_outer, "sector {s}");
         }
+    }
 
-        #[test]
-        fn locate_is_injective_on_neighbours(frac in 0.0f64..1.0) {
-            let (_, g) = geom();
-            let s = (frac * (g.total_sectors() - 2) as f64) as u64;
+    #[test]
+    fn locate_is_injective_on_neighbours() {
+        let (_, g) = geom();
+        let mut rng = simkit::DetRng::new(0x6E0, "geom-inject");
+        for _ in 0..2_000 {
+            let s = rng.below(g.total_sectors() - 1);
             let a = g.locate(s);
             let b = g.locate(s + 1);
-            prop_assert_ne!((a.cylinder, a.surface, a.sector),
-                            (b.cylinder, b.surface, b.sector));
+            assert_ne!(
+                (a.cylinder, a.surface, a.sector),
+                (b.cylinder, b.surface, b.sector),
+                "sector {s}"
+            );
         }
     }
 }

@@ -9,10 +9,9 @@
 //! (latency, energy) pairs.
 
 use crate::spec::{DiskSpec, SpeedLevel};
-use serde::{Deserialize, Serialize};
 
 /// Evaluated power figures for one disk spec.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct PowerModel {
     idle_w: Vec<f64>,
     seek_extra_w: f64,
@@ -26,7 +25,7 @@ pub struct PowerModel {
 }
 
 /// A spindle-speed transition: how long it takes and what it costs.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct Transition {
     /// Wall-clock (simulated) duration of the ramp, seconds.
     pub duration_s: f64,

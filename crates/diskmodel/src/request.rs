@@ -6,11 +6,10 @@
 //! [`RequestClass`] so the energy ledger can attribute background migration
 //! traffic separately from foreground work.
 
-use serde::{Deserialize, Serialize};
 use simkit::SimTime;
 
 /// Read or write.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum IoKind {
     /// Data flows disk → host.
     Read,
@@ -19,7 +18,7 @@ pub enum IoKind {
 }
 
 /// Foreground vs policy-generated background traffic.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum RequestClass {
     /// Application I/O; always serviced first.
     Foreground,
@@ -30,7 +29,7 @@ pub enum RequestClass {
 }
 
 /// A single request addressed to one disk.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct DiskRequest {
     /// Unique id assigned by the issuer (the array layer).
     pub id: u64,
@@ -47,7 +46,7 @@ pub struct DiskRequest {
 }
 
 /// A finished request, as reported back by the disk.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct Completion {
     /// The request that finished.
     pub request: DiskRequest,

@@ -19,10 +19,9 @@ use crate::geometry::Geometry;
 use crate::request::{DiskRequest, IoKind};
 use crate::seek::SeekModel;
 use crate::spec::{DiskSpec, SpeedLevel};
-use serde::{Deserialize, Serialize};
 
 /// The phase breakdown of one request's service.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct ServicePhases {
     /// Arm-movement time (s); 0 when the head is already on-cylinder.
     pub seek_s: f64,
@@ -42,7 +41,7 @@ impl ServicePhases {
 }
 
 /// Computes service phases for requests against one disk spec.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct ServiceModel {
     geometry: Geometry,
     seek: SeekModel,
@@ -156,7 +155,6 @@ impl ServiceModel {
 mod tests {
     use super::*;
     use crate::request::RequestClass;
-    use proptest::prelude::*;
     use simkit::SimTime;
 
     fn model() -> ServiceModel {
@@ -246,25 +244,27 @@ mod tests {
         assert!(slow > s * 1.5);
     }
 
-    proptest! {
-        #[test]
-        fn phases_always_nonnegative(
-            sector_frac in 0.0f64..0.99,
-            sectors in 1u32..512,
-            head in 0u32..18_000,
-            level in 0usize..6,
-            rot in 0.0f64..0.999,
-            is_write: bool,
-        ) {
-            let m = model();
-            let cap = m.geometry().total_sectors();
-            let sector = ((sector_frac * cap as f64) as u64).min(cap - u64::from(sectors) - 1);
-            let kind = if is_write { IoKind::Write } else { IoKind::Read };
+    #[test]
+    fn phases_always_nonnegative() {
+        let m = model();
+        let cap = m.geometry().total_sectors();
+        let mut rng = simkit::DetRng::new(0x5E2C, "service-phases");
+        for _ in 0..2_000 {
+            let sectors = 1 + rng.below(511) as u32;
+            let head = rng.below(18_000) as u32;
+            let level = rng.below(6) as usize;
+            let rot = rng.uniform(0.0, 0.999);
+            let sector = rng.below(cap).min(cap - u64::from(sectors) - 1);
+            let kind = if rng.chance(0.5) {
+                IoKind::Write
+            } else {
+                IoKind::Read
+            };
             let p = m.service(&req(sector, sectors, kind), head, SpeedLevel(level), rot);
-            prop_assert!(p.seek_s >= 0.0);
-            prop_assert!(p.rotation_s >= 0.0);
-            prop_assert!(p.transfer_s > 0.0);
-            prop_assert!(p.total_s() < 1.0, "implausibly long service {}", p.total_s());
+            assert!(p.seek_s >= 0.0);
+            assert!(p.rotation_s >= 0.0);
+            assert!(p.transfer_s > 0.0);
+            assert!(p.total_s() < 1.0, "implausibly long service {}", p.total_s());
         }
     }
 }

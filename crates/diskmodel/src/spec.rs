@@ -10,11 +10,10 @@
 //! so *every* evaluation of this design, including the original paper's,
 //! runs against exactly this kind of analytically extended model.
 
-use serde::{Deserialize, Serialize};
 
 /// Index of a rotational-speed level within [`DiskSpec::rpm_levels`]
 /// (0 = slowest, `num_levels() - 1` = fastest).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct SpeedLevel(pub usize);
 
 impl SpeedLevel {
@@ -26,7 +25,7 @@ impl SpeedLevel {
 }
 
 /// Complete description of a simulated multi-speed disk.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct DiskSpec {
     /// Human-readable model name, for report tables.
     pub name: String,
@@ -392,10 +391,9 @@ mod tests {
     }
 
     #[test]
-    fn serde_roundtrip() {
+    fn clone_preserves_levels() {
         let spec = DiskSpec::ultrastar_multispeed(4);
-        let json = serde_json::to_string(&spec).unwrap();
-        let back: DiskSpec = serde_json::from_str(&json).unwrap();
+        let back = spec.clone();
         assert_eq!(back.rpm_levels, spec.rpm_levels);
         assert_eq!(back.name, spec.name);
     }

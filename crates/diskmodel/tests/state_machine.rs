@@ -3,8 +3,7 @@
 //! lose a request, or violate energy monotonicity.
 
 use diskmodel::{Disk, DiskRequest, DiskSpec, IoKind, RequestClass, SpeedLevel, SpinTarget};
-use proptest::prelude::*;
-use simkit::SimTime;
+use simkit::{DetRng, SimTime};
 
 #[derive(Debug, Clone)]
 enum Op {
@@ -18,14 +17,27 @@ enum Op {
     Advance { secs: f64 },
 }
 
-fn op_strategy() -> impl Strategy<Value = Op> {
-    prop_oneof![
-        (0.0f64..0.99, 1u32..256, any::<bool>())
-            .prop_map(|(frac, sectors, write)| Op::Submit { frac, sectors, write }),
-        (0usize..6).prop_map(Op::Speed),
-        Just(Op::Standby),
-        (0.01f64..30.0).prop_map(|secs| Op::Advance { secs }),
-    ]
+/// One deterministic pseudo-random op (equal-weight choice of the four).
+fn random_op(rng: &mut DetRng) -> Op {
+    match rng.below(4) {
+        0 => Op::Submit {
+            frac: rng.uniform(0.0, 0.99),
+            sectors: 1 + rng.below(255) as u32,
+            write: rng.chance(0.5),
+        },
+        1 => Op::Speed(rng.below(6) as usize),
+        2 => Op::Standby,
+        _ => Op::Advance {
+            secs: rng.uniform(0.01, 30.0),
+        },
+    }
+}
+
+/// A deterministic op sequence of length in `[1, max_len]` for `case`.
+fn random_ops(case: u64, max_len: u64) -> Vec<Op> {
+    let mut rng = DetRng::new(0xD15C ^ case, "disk-ops");
+    let n = 1 + rng.below(max_len) as usize;
+    (0..n).map(|_| random_op(&mut rng)).collect()
 }
 
 /// Runs a scripted scenario; returns (submitted, completed, final_energy).
@@ -39,7 +51,7 @@ fn run_ops(ops: &[Op]) -> (u64, u64, f64) {
     let mut next_id = 0u64;
     let mut last_energy = 0.0f64;
 
-    let mut drain_due = |disk: &mut Disk, upto: SimTime| {
+    let drain_due = |disk: &mut Disk, upto: SimTime| {
         let mut done = 0u64;
         while let Some(t) = disk.next_event_time() {
             if t > upto {
@@ -90,33 +102,42 @@ fn run_ops(ops: &[Op]) -> (u64, u64, f64) {
     (submitted, completed, disk.energy(deadline).total_joules())
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
-
-    #[test]
-    fn no_request_is_ever_lost(ops in proptest::collection::vec(op_strategy(), 1..60)) {
+#[test]
+fn no_request_is_ever_lost() {
+    for case in 0..64 {
+        let ops = random_ops(case, 59);
         let (submitted, completed, _) = run_ops(&ops);
-        prop_assert_eq!(submitted, completed, "requests lost or duplicated");
+        assert_eq!(submitted, completed, "case {case}: requests lost or duplicated");
     }
+}
 
-    #[test]
-    fn deterministic_under_replay(ops in proptest::collection::vec(op_strategy(), 1..40)) {
+#[test]
+fn deterministic_under_replay() {
+    for case in 0..64 {
+        let ops = random_ops(1000 + case, 39);
         let a = run_ops(&ops);
         let b = run_ops(&ops);
-        prop_assert_eq!(a.0, b.0);
-        prop_assert_eq!(a.1, b.1);
-        prop_assert!((a.2 - b.2).abs() < 1e-9, "energy not reproducible");
+        assert_eq!(a.0, b.0, "case {case}");
+        assert_eq!(a.1, b.1, "case {case}");
+        assert!((a.2 - b.2).abs() < 1e-9, "case {case}: energy not reproducible");
     }
+}
 
-    #[test]
-    fn energy_scales_with_elapsed_time(gap in 1.0f64..5000.0) {
-        // A disk left alone consumes idle power exactly proportionally.
+#[test]
+fn energy_scales_with_elapsed_time() {
+    // A disk left alone consumes idle power exactly proportionally.
+    let mut rng = DetRng::new(0xE4E, "energy-gap");
+    for case in 0..32 {
+        let gap = rng.uniform(1.0, 5000.0);
         let spec = DiskSpec::ultrastar_multispeed(6);
         let mut d1 = Disk::new(0, &spec, 1, spec.top_level());
         let mut d2 = Disk::new(0, &spec, 1, spec.top_level());
         let e1 = d1.energy(SimTime::from_secs(gap)).total_joules();
         let e2 = d2.energy(SimTime::from_secs(2.0 * gap)).total_joules();
-        prop_assert!((e2 - 2.0 * e1).abs() < 1e-6 * e2.max(1.0));
+        assert!(
+            (e2 - 2.0 * e1).abs() < 1e-6 * e2.max(1.0),
+            "case {case} gap {gap}"
+        );
     }
 }
 

@@ -1,0 +1,233 @@
+//! The runtime fault source the simulation driver consults.
+
+use std::collections::{HashMap, VecDeque};
+
+use crate::ledger::ReliabilityLedger;
+use crate::schedule::{FaultConfig, FaultEvent, FaultSchedule};
+use simkit::{DetRng, SimTime};
+
+/// A schedule plus config — everything a run needs to reproduce a storm.
+///
+/// This is the value callers put in the array's run options; the driver
+/// turns it into a [`FaultInjector`] at start-of-run. The default plan is
+/// inert (empty schedule, all online models off), so fault support costs
+/// nothing unless asked for.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct FaultPlan {
+    /// Scripted events replayed identically across policies.
+    pub schedule: FaultSchedule,
+    /// Online-model tunables and the injector RNG seed.
+    pub config: FaultConfig,
+}
+
+/// Runtime fault state: the scripted queue, active transient-burst windows,
+/// and the labelled RNG stream behind every online draw.
+///
+/// All randomness flows through one [`DetRng`] stream seeded from
+/// [`FaultConfig::seed`], independent of the workload and policy streams —
+/// so a fixed seed plus a fixed schedule yields a bit-identical fault
+/// sequence regardless of which policy is running.
+pub struct FaultInjector {
+    queue: VecDeque<FaultEvent>,
+    cfg: FaultConfig,
+    rng: DetRng,
+    /// disk → (error probability, window end) for active bursts.
+    bursts: HashMap<usize, (f64, SimTime)>,
+}
+
+impl FaultInjector {
+    /// Builds an injector for one run.
+    pub fn new(plan: &FaultPlan) -> FaultInjector {
+        FaultInjector {
+            queue: plan.schedule.events().iter().copied().collect(),
+            rng: DetRng::new(plan.config.seed, "fault-injector"),
+            cfg: plan.config.clone(),
+            bursts: HashMap::new(),
+        }
+    }
+
+    /// The online-model tunables.
+    pub fn config(&self) -> &FaultConfig {
+        &self.cfg
+    }
+
+    /// When the next scripted event is due, if any remain.
+    pub fn next_event_time(&self) -> Option<SimTime> {
+        self.queue.front().map(|e| e.time)
+    }
+
+    /// Pops every scripted event due at or before `now`.
+    pub fn pop_due(&mut self, now: SimTime) -> Vec<FaultEvent> {
+        let mut due = Vec::new();
+        while self.queue.front().is_some_and(|e| e.time <= now) {
+            due.push(self.queue.pop_front().unwrap());
+        }
+        due
+    }
+
+    /// Opens a transient-error burst window on `disk`.
+    pub fn note_burst(&mut self, disk: usize, error_prob: f64, until: SimTime) {
+        self.bursts.insert(disk, (error_prob, until));
+    }
+
+    /// Draws whether the completion finishing on `disk` at `now` fails
+    /// transiently. The effective probability is the larger of the always-on
+    /// config probability and any burst window covering `now`.
+    pub fn transient_error(&mut self, now: SimTime, disk: usize) -> bool {
+        let mut p = self.cfg.transient_error_prob;
+        if let Some(&(burst_p, until)) = self.bursts.get(&disk) {
+            if now <= until {
+                p = p.max(burst_p);
+            } else {
+                self.bursts.remove(&disk);
+            }
+        }
+        p > 0.0 && self.rng.chance(p)
+    }
+
+    /// Draws online wear-scaled failures over the interval `(from, to]`:
+    /// each live ledger's hazard (see [`FaultConfig::hazard_per_hour`]) is
+    /// applied over the elapsed hours as a Bernoulli trial. Returns the
+    /// indices of disks that fail. Disks whose ledger is already marked
+    /// failed never fail twice.
+    pub fn hazard_failures(
+        &mut self,
+        from: SimTime,
+        to: SimTime,
+        ledgers: &[ReliabilityLedger],
+    ) -> Vec<usize> {
+        if self.cfg.base_failure_rate_per_hour <= 0.0 {
+            return Vec::new();
+        }
+        let dt_h = (to.as_secs() - from.as_secs()).max(0.0) / 3600.0;
+        if dt_h == 0.0 {
+            return Vec::new();
+        }
+        let mut failed = Vec::new();
+        for (i, ledger) in ledgers.iter().enumerate() {
+            if ledger.failed {
+                continue;
+            }
+            let p = (self.cfg.hazard_per_hour(ledger) * dt_h).min(1.0);
+            if self.rng.chance(p) {
+                failed.push(i);
+            }
+        }
+        failed
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schedule::FaultKind;
+
+    fn plan_with(events: Vec<FaultEvent>) -> FaultPlan {
+        FaultPlan {
+            schedule: FaultSchedule::new(events),
+            config: FaultConfig::default(),
+        }
+    }
+
+    #[test]
+    fn pop_due_respects_time_order() {
+        let mut inj = FaultInjector::new(&plan_with(vec![
+            FaultEvent {
+                time: SimTime::from_secs(10.0),
+                disk: 0,
+                kind: FaultKind::DiskFailure,
+            },
+            FaultEvent {
+                time: SimTime::from_secs(20.0),
+                disk: 1,
+                kind: FaultKind::DiskFailure,
+            },
+        ]));
+        assert_eq!(inj.next_event_time(), Some(SimTime::from_secs(10.0)));
+        assert!(inj.pop_due(SimTime::from_secs(5.0)).is_empty());
+        let due = inj.pop_due(SimTime::from_secs(15.0));
+        assert_eq!(due.len(), 1);
+        assert_eq!(due[0].disk, 0);
+        assert_eq!(inj.next_event_time(), Some(SimTime::from_secs(20.0)));
+    }
+
+    #[test]
+    fn bursts_raise_error_probability_then_expire() {
+        let mut inj = FaultInjector::new(&plan_with(vec![]));
+        // No always-on errors, no burst: never errors.
+        for _ in 0..100 {
+            assert!(!inj.transient_error(SimTime::from_secs(1.0), 0));
+        }
+        inj.note_burst(0, 1.0, SimTime::from_secs(10.0));
+        assert!(inj.transient_error(SimTime::from_secs(5.0), 0));
+        assert!(
+            !inj.transient_error(SimTime::from_secs(11.0), 0),
+            "window expired"
+        );
+        assert!(
+            !inj.transient_error(SimTime::from_secs(5.0), 1),
+            "bursts are per-disk"
+        );
+    }
+
+    #[test]
+    fn same_seed_gives_identical_draw_sequence() {
+        let cfg = FaultConfig {
+            transient_error_prob: 0.5,
+            ..FaultConfig::default()
+        };
+        let plan = FaultPlan {
+            schedule: FaultSchedule::empty(),
+            config: cfg,
+        };
+        let mut a = FaultInjector::new(&plan);
+        let mut b = FaultInjector::new(&plan);
+        let t = SimTime::from_secs(1.0);
+        for i in 0..256 {
+            assert_eq!(
+                a.transient_error(t, i % 4),
+                b.transient_error(t, i % 4),
+                "draw {i} diverged"
+            );
+        }
+    }
+
+    #[test]
+    fn hazard_failures_scale_with_wear_and_skip_dead() {
+        let cfg = FaultConfig {
+            base_failure_rate_per_hour: 0.05,
+            ..FaultConfig::default()
+        };
+        let plan = FaultPlan {
+            schedule: FaultSchedule::empty(),
+            config: cfg,
+        };
+        let fresh = ReliabilityLedger::default();
+        let mut worn = ReliabilityLedger::default();
+        for _ in 0..20_000 {
+            worn.note_transition();
+        }
+        let mut dead = ReliabilityLedger::default();
+        dead.note_failure(0.0);
+
+        let mut fresh_hits = 0u32;
+        let mut worn_hits = 0u32;
+        let ledgers = vec![fresh, worn, dead];
+        let mut inj = FaultInjector::new(&plan);
+        for i in 0..400 {
+            let from = SimTime::from_secs(i as f64 * 3600.0);
+            let to = SimTime::from_secs((i + 1) as f64 * 3600.0);
+            for d in inj.hazard_failures(from, to, &ledgers) {
+                match d {
+                    0 => fresh_hits += 1,
+                    1 => worn_hits += 1,
+                    _ => panic!("dead disk drew a failure"),
+                }
+            }
+        }
+        assert!(
+            worn_hits > fresh_hits,
+            "wear must raise hazard: worn {worn_hits} vs fresh {fresh_hits}"
+        );
+    }
+}

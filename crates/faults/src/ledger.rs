@@ -1,0 +1,130 @@
+//! Per-disk reliability accounting.
+//!
+//! The ledger tracks the two quantities drive-vendor reliability ratings
+//! are written against: **start/stop (speed-transition) cycles** and
+//! **power-on duty-cycle hours**. Multi-speed power management trades
+//! energy for exactly these — every epoch reconfiguration spends
+//! transitions, every spun-up hour spends duty cycle — so the ledger is
+//! what lets the experiments put a reliability price tag next to the
+//! energy savings.
+
+/// Wear contributed by one spindle speed/standby transition, as a fraction
+/// of rated life. Server-class drives are rated around 50 000 start/stop
+/// cycles; a full speed change stresses the same spindle/actuator path, so
+/// it is charged at the same rate.
+pub const WEAR_PER_TRANSITION: f64 = 1.0 / 50_000.0;
+
+/// Wear contributed by one hour of active (spinning or ramping) operation,
+/// as a fraction of rated life. Corresponds to a nominal component life of
+/// 60 000 power-on hours (~6.8 years continuous).
+pub const WEAR_PER_ACTIVE_HOUR: f64 = 1.0 / 60_000.0;
+
+/// Cumulative reliability state of one disk.
+///
+/// Accumulated continuously by the disk model (every energy-accrual step
+/// also accrues duty-cycle time; every transition bumps the counter) and
+/// snapshotted into the run report at the horizon — for *every* policy, so
+/// baselines and Hibernator can be compared on wear as well as energy.
+///
+/// # Examples
+/// ```
+/// use faults::ReliabilityLedger;
+/// let mut l = ReliabilityLedger::default();
+/// l.accrue_active(3600.0);
+/// l.note_transition();
+/// assert_eq!(l.transitions, 1);
+/// assert!((l.active_hours - 1.0).abs() < 1e-12);
+/// assert!(l.wear() > 0.0);
+/// ```
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct ReliabilityLedger {
+    /// Spindle speed/standby transitions started.
+    pub transitions: u64,
+    /// Hours spent spinning or ramping (platters moving).
+    pub active_hours: f64,
+    /// Hours spent in standby (platters stopped).
+    pub standby_hours: f64,
+    /// True once the disk has suffered a whole-disk failure.
+    pub failed: bool,
+    /// Simulated time of the failure, seconds, if any.
+    pub failed_at_s: Option<f64>,
+}
+
+impl ReliabilityLedger {
+    /// Records one started spindle transition.
+    pub fn note_transition(&mut self) {
+        self.transitions += 1;
+    }
+
+    /// Accrues `dt_s` seconds of active (spinning/ramping) time.
+    pub fn accrue_active(&mut self, dt_s: f64) {
+        self.active_hours += dt_s / 3600.0;
+    }
+
+    /// Accrues `dt_s` seconds of standby time.
+    pub fn accrue_standby(&mut self, dt_s: f64) {
+        self.standby_hours += dt_s / 3600.0;
+    }
+
+    /// Marks the disk failed at `now_s` (idempotent; the first failure
+    /// timestamp wins).
+    pub fn note_failure(&mut self, now_s: f64) {
+        if !self.failed {
+            self.failed = true;
+            self.failed_at_s = Some(now_s);
+        }
+    }
+
+    /// Fraction of accounted time the platters were moving, in `[0, 1]`
+    /// (1.0 when no time has been accounted yet — a disk is born spinning).
+    pub fn duty_cycle(&self) -> f64 {
+        let total = self.active_hours + self.standby_hours;
+        if total <= 0.0 {
+            1.0
+        } else {
+            self.active_hours / total
+        }
+    }
+
+    /// Estimated wear as a fraction of rated life: transition cycles plus
+    /// active duty-cycle hours, each against its vendor-style rating. The
+    /// online failure hazard (see [`crate::FaultConfig`]) scales with this,
+    /// so a policy that thrashes the spindle genuinely fails disks sooner.
+    pub fn wear(&self) -> f64 {
+        self.transitions as f64 * WEAR_PER_TRANSITION + self.active_hours * WEAR_PER_ACTIVE_HOUR
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn wear_combines_transitions_and_hours() {
+        let mut l = ReliabilityLedger::default();
+        assert_eq!(l.wear(), 0.0);
+        l.note_transition();
+        l.note_transition();
+        l.accrue_active(7200.0);
+        let expect = 2.0 * WEAR_PER_TRANSITION + 2.0 * WEAR_PER_ACTIVE_HOUR;
+        assert!((l.wear() - expect).abs() < 1e-15);
+    }
+
+    #[test]
+    fn duty_cycle_tracks_split() {
+        let mut l = ReliabilityLedger::default();
+        assert_eq!(l.duty_cycle(), 1.0, "no history means spinning");
+        l.accrue_active(3600.0);
+        l.accrue_standby(3.0 * 3600.0);
+        assert!((l.duty_cycle() - 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn failure_timestamp_is_sticky() {
+        let mut l = ReliabilityLedger::default();
+        l.note_failure(10.0);
+        l.note_failure(99.0);
+        assert!(l.failed);
+        assert_eq!(l.failed_at_s, Some(10.0));
+    }
+}

@@ -1,0 +1,40 @@
+//! # faults — fault injection & reliability accounting
+//!
+//! The Hibernator paper's pitch is energy, but its mechanism — frequent
+//! spindle speed transitions and long low-RPM stretches — interacts with
+//! disk *reliability*: start/stop cycles and duty-cycle hours are exactly
+//! what drive-vendor failure ratings are written against. This crate
+//! provides the vocabulary the simulator uses to explore that interaction:
+//!
+//! * [`ReliabilityLedger`] — per-disk wear accounting (speed transitions,
+//!   active and standby duty-cycle hours), accumulated by `diskmodel` and
+//!   surfaced in every run report;
+//! * [`FaultSchedule`] / [`FaultEvent`] / [`FaultKind`] — a scripted,
+//!   time-sorted storm of whole-disk failures, transient-error bursts, and
+//!   stuck/slow speed transitions, so *identical* fault sequences can be
+//!   replayed against every policy;
+//! * [`FaultConfig`] — tunables for the online models: a wear-scaled
+//!   disk-failure hazard, a per-completion transient-error probability, and
+//!   bounded retry/backoff;
+//! * [`FaultInjector`] — the runtime object the simulation driver consults;
+//!   all randomness flows through labelled [`simkit::DetRng`] streams, so a
+//!   fixed seed yields a bit-identical fault sequence;
+//! * [`FaultOutcome`] — counters a faulted run reports (failures, transient
+//!   errors, retries, lost requests, rebuild completion time).
+//!
+//! The crate is deliberately free of disk/array types: faults are expressed
+//! against disk *indices* and simulated time only, which keeps the
+//! dependency arrow pointing from `diskmodel`/`array` to here and not back.
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+mod injector;
+mod ledger;
+mod outcome;
+mod schedule;
+
+pub use injector::{FaultInjector, FaultPlan};
+pub use ledger::ReliabilityLedger;
+pub use outcome::FaultOutcome;
+pub use schedule::{FaultConfig, FaultEvent, FaultKind, FaultSchedule};

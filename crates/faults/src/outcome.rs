@@ -1,0 +1,59 @@
+//! Counters a faulted run reports.
+
+/// What a fault storm did to a run.
+///
+/// Populated by the simulation driver and carried in the run report next to
+/// the energy and response summaries, so degraded-mode behaviour can be
+/// compared across policies with the same precision as the headline
+/// numbers.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct FaultOutcome {
+    /// Whole-disk failures applied (scripted or hazard-drawn).
+    pub disk_failures: u64,
+    /// Completions that came back as transient errors.
+    pub transient_errors: u64,
+    /// Retry submissions issued for transient errors.
+    pub retries: u64,
+    /// Requests abandoned: retries exhausted, or no surviving replica to
+    /// redirect to after a failure. `completed + incomplete + lost` equals
+    /// the trace's request total.
+    pub lost_requests: u64,
+    /// Foreground requests redirected from a dead disk to a surviving
+    /// redundancy partner.
+    pub degraded_redirects: u64,
+    /// Speed transitions that started inside a slow-transition window and
+    /// were stretched.
+    pub slow_transition_events: u64,
+    /// Chunks queued for rebuild after disk failures.
+    pub rebuild_chunks: u64,
+    /// Time of the first whole-disk failure, seconds, if any.
+    pub first_failure_s: Option<f64>,
+    /// Time the last queued rebuild committed, seconds, if rebuilds both
+    /// started and finished within the horizon.
+    pub rebuild_completed_s: Option<f64>,
+}
+
+impl FaultOutcome {
+    /// Seconds from first failure to rebuild completion, if both happened.
+    pub fn rebuild_duration_s(&self) -> Option<f64> {
+        match (self.first_failure_s, self.rebuild_completed_s) {
+            (Some(f), Some(r)) => Some(r - f),
+            _ => None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rebuild_duration_requires_both_ends() {
+        let mut o = FaultOutcome::default();
+        assert_eq!(o.rebuild_duration_s(), None);
+        o.first_failure_s = Some(100.0);
+        assert_eq!(o.rebuild_duration_s(), None);
+        o.rebuild_completed_s = Some(340.0);
+        assert_eq!(o.rebuild_duration_s(), Some(240.0));
+    }
+}

@@ -1,0 +1,258 @@
+//! Scripted fault storms and fault-model tunables.
+
+use crate::ledger::ReliabilityLedger;
+use simkit::{DetRng, SimTime};
+
+/// What goes wrong.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum FaultKind {
+    /// The disk dies: queued and in-flight requests are dropped, the
+    /// spindle stops drawing power, and the disk never serves again.
+    DiskFailure,
+    /// A window of elevated transient I/O errors: each completion on the
+    /// disk fails with probability `error_prob` and must be retried (see
+    /// [`FaultConfig::max_retries`]).
+    TransientBurst {
+        /// Per-completion error probability during the burst.
+        error_prob: f64,
+        /// Burst length in seconds.
+        duration_s: f64,
+    },
+    /// Sticky spindle: every speed transition started inside the window
+    /// takes `factor ×` its nominal time (and energy).
+    SlowTransition {
+        /// Transition-time multiplier (> 1 slows the ramp).
+        factor: f64,
+        /// Window length in seconds.
+        duration_s: f64,
+    },
+}
+
+/// One scheduled fault.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FaultEvent {
+    /// When the fault strikes.
+    pub time: SimTime,
+    /// Which disk (array index).
+    pub disk: usize,
+    /// What happens.
+    pub kind: FaultKind,
+}
+
+/// A time-sorted script of fault events.
+///
+/// A scripted schedule is the *identical-storm* mode: the same events at
+/// the same instants are replayed against every policy, so the comparison
+/// isolates how each policy copes rather than what luck it drew.
+///
+/// # Examples
+/// ```
+/// use faults::{FaultEvent, FaultKind, FaultSchedule};
+/// use simkit::SimTime;
+/// let s = FaultSchedule::new(vec![
+///     FaultEvent { time: SimTime::from_secs(900.0), disk: 3, kind: FaultKind::DiskFailure },
+///     FaultEvent { time: SimTime::from_secs(100.0), disk: 0,
+///                  kind: FaultKind::SlowTransition { factor: 3.0, duration_s: 600.0 } },
+/// ]);
+/// assert_eq!(s.events()[0].time, SimTime::from_secs(100.0), "sorted on construction");
+/// ```
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct FaultSchedule {
+    events: Vec<FaultEvent>,
+}
+
+impl FaultSchedule {
+    /// Builds a schedule, sorting events by time (stable, so same-instant
+    /// events keep their given order).
+    pub fn new(mut events: Vec<FaultEvent>) -> FaultSchedule {
+        events.sort_by_key(|e| e.time);
+        FaultSchedule { events }
+    }
+
+    /// The empty schedule (online models only).
+    pub fn empty() -> FaultSchedule {
+        FaultSchedule::default()
+    }
+
+    /// The scripted events, time-ascending.
+    pub fn events(&self) -> &[FaultEvent] {
+        &self.events
+    }
+
+    /// Number of scripted events.
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// True if nothing is scripted.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// Generates a random storm over `disks` disks and `horizon` seconds,
+    /// deterministically from `seed`: per disk, failure instants are drawn
+    /// from an exponential inter-arrival stream at `rate_per_hour`, each
+    /// preceded (80% of the time) by a transient burst and (50%) by a slow
+    /// transition — the degradation signature real drives show before
+    /// dying. Each disk draws from its own labelled RNG stream, so the
+    /// schedule for disk *i* does not depend on how many disks exist.
+    pub fn generate(
+        disks: usize,
+        horizon: SimTime,
+        rate_per_hour: f64,
+        seed: u64,
+    ) -> FaultSchedule {
+        assert!(rate_per_hour >= 0.0, "negative hazard rate");
+        let mut events = Vec::new();
+        if rate_per_hour == 0.0 {
+            return FaultSchedule::new(events);
+        }
+        let horizon_s = horizon.as_secs();
+        let rate_per_s = rate_per_hour / 3600.0;
+        for d in 0..disks {
+            let mut rng = DetRng::new(seed, &format!("fault-schedule-{d}"));
+            let at = rng.exponential(rate_per_s);
+            if at >= horizon_s {
+                continue;
+            }
+            let t = SimTime::from_secs(at);
+            if rng.chance(0.8) {
+                let lead = rng.uniform(60.0, 600.0).min(at);
+                events.push(FaultEvent {
+                    time: SimTime::from_secs(at - lead),
+                    disk: d,
+                    kind: FaultKind::TransientBurst {
+                        error_prob: rng.uniform(0.05, 0.3),
+                        duration_s: lead,
+                    },
+                });
+            }
+            if rng.chance(0.5) {
+                let lead = rng.uniform(120.0, 1200.0).min(at);
+                events.push(FaultEvent {
+                    time: SimTime::from_secs(at - lead),
+                    disk: d,
+                    kind: FaultKind::SlowTransition {
+                        factor: rng.uniform(2.0, 5.0),
+                        duration_s: lead,
+                    },
+                });
+            }
+            events.push(FaultEvent {
+                time: t,
+                disk: d,
+                kind: FaultKind::DiskFailure,
+            });
+        }
+        FaultSchedule::new(events)
+    }
+}
+
+/// Tunables for the online (non-scripted) fault models.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FaultConfig {
+    /// Baseline whole-disk failure hazard, failures per disk-hour, before
+    /// wear scaling. Zero disables the online failure model (scripted
+    /// failures still apply).
+    pub base_failure_rate_per_hour: f64,
+    /// How strongly accumulated wear (see [`ReliabilityLedger::wear`])
+    /// scales the hazard: `rate = base × (1 + wear_hazard_weight × wear)`.
+    /// With the default weight, a disk that has burned 1% of rated life
+    /// fails ~3× as often as a fresh one — wear dominates quickly, which is
+    /// the point: policies that thrash transitions pay in failures.
+    pub wear_hazard_weight: f64,
+    /// Always-on per-completion transient error probability (bursts from a
+    /// schedule raise it per disk for their window).
+    pub transient_error_prob: f64,
+    /// Retries before a request is abandoned as lost.
+    pub max_retries: u32,
+    /// Base retry backoff, seconds; retry *n* waits `n × backoff`.
+    pub retry_backoff_s: f64,
+    /// Seed of the injector's labelled RNG streams.
+    pub seed: u64,
+}
+
+impl Default for FaultConfig {
+    fn default() -> FaultConfig {
+        FaultConfig {
+            base_failure_rate_per_hour: 0.0,
+            wear_hazard_weight: 200.0,
+            transient_error_prob: 0.0,
+            max_retries: 3,
+            retry_backoff_s: 0.010,
+            seed: 0xFA17,
+        }
+    }
+}
+
+impl FaultConfig {
+    /// The wear-scaled hazard rate (failures per hour) for one disk.
+    pub fn hazard_per_hour(&self, ledger: &ReliabilityLedger) -> f64 {
+        self.base_failure_rate_per_hour * (1.0 + self.wear_hazard_weight * ledger.wear())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn schedule_sorts_and_reports() {
+        let s = FaultSchedule::new(vec![
+            FaultEvent {
+                time: SimTime::from_secs(50.0),
+                disk: 1,
+                kind: FaultKind::DiskFailure,
+            },
+            FaultEvent {
+                time: SimTime::from_secs(10.0),
+                disk: 0,
+                kind: FaultKind::DiskFailure,
+            },
+        ]);
+        assert_eq!(s.len(), 2);
+        assert!(!s.is_empty());
+        assert_eq!(s.events()[0].disk, 0);
+        assert_eq!(s.events()[1].disk, 1);
+    }
+
+    /// Same seed ⇒ bit-identical generated storm (the crate's core
+    /// determinism promise, also exercised end-to-end in the array tests).
+    #[test]
+    fn generated_schedule_is_deterministic() {
+        let a = FaultSchedule::generate(16, SimTime::from_secs(86_400.0), 0.05, 7);
+        let b = FaultSchedule::generate(16, SimTime::from_secs(86_400.0), 0.05, 7);
+        assert_eq!(a, b);
+        let c = FaultSchedule::generate(16, SimTime::from_secs(86_400.0), 0.05, 8);
+        assert_ne!(a, c, "different seeds must differ");
+    }
+
+    /// Disk i's events don't depend on the total disk count (labelled
+    /// per-disk streams).
+    #[test]
+    fn generated_schedule_is_prefix_stable() {
+        let small = FaultSchedule::generate(4, SimTime::from_secs(86_400.0), 0.1, 3);
+        let large = FaultSchedule::generate(8, SimTime::from_secs(86_400.0), 0.1, 3);
+        let only_small: Vec<_> = large
+            .events()
+            .iter()
+            .filter(|e| e.disk < 4)
+            .copied()
+            .collect();
+        assert_eq!(small.events(), &only_small[..]);
+    }
+
+    #[test]
+    fn hazard_scales_with_wear() {
+        let cfg = FaultConfig {
+            base_failure_rate_per_hour: 0.001,
+            ..FaultConfig::default()
+        };
+        let fresh = ReliabilityLedger::default();
+        let mut worn = ReliabilityLedger::default();
+        for _ in 0..5000 {
+            worn.note_transition();
+        }
+        assert!(cfg.hazard_per_hour(&worn) > 10.0 * cfg.hazard_per_hour(&fresh));
+    }
+}

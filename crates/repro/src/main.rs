@@ -11,6 +11,7 @@
 //! results land as CSV in `--out` (default `results/`).
 
 mod common;
+mod faults;
 mod figures;
 mod tables;
 
@@ -18,7 +19,7 @@ use common::Ctx;
 
 fn usage() -> ! {
     eprintln!(
-        "usage: repro [--quick] [--seed N] [--out DIR] <t1..t6|f1..f12|tables|figures|all>..."
+        "usage: repro [--quick] [--seed N] [--out DIR] <t1..t6|f1..f12|faults|tables|figures|all>..."
     );
     std::process::exit(2);
 }
@@ -84,6 +85,7 @@ fn run_one(ctx: &Ctx, name: &str) {
         "f10" => figures::f10(ctx),
         "f11" => figures::f11(ctx),
         "f12" => figures::f12(ctx),
+        "faults" => faults::faults(ctx),
         "tables" => {
             for t in ["t1", "t2", "t3", "t4", "t5", "t6"] {
                 run_one(ctx, t);

@@ -6,11 +6,10 @@
 //! enforces the conservation invariant `total == Σ components` by
 //! construction: there is no way to add unattributed energy.
 
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// Where a parcel of energy was spent.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum EnergyComponent {
     /// Keeping the platters spinning with no request in service.
     IdleSpin,
@@ -79,7 +78,7 @@ impl fmt::Display for EnergyComponent {
 /// assert_eq!(e.total_joules(), 123.5);
 /// assert_eq!(e.joules(EnergyComponent::Seek), 3.5);
 /// ```
-#[derive(Debug, Clone, Serialize, Deserialize, Default, PartialEq)]
+#[derive(Debug, Clone, Default, PartialEq)]
 pub struct EnergyLedger {
     joules: [f64; 6],
 }

@@ -1,19 +1,19 @@
 //! Deterministic random-number streams.
 //!
 //! Every stochastic component of the simulator (arrival processes, popularity
-//! samplers, placement shuffles) draws from its own [`DetRng`] stream derived
-//! from a single experiment seed plus a component label. Splitting by label
-//! means adding a new random consumer does not perturb the draws seen by
-//! existing ones — a property that keeps A/B experiment comparisons honest.
+//! samplers, placement shuffles, fault injectors) draws from its own
+//! [`DetRng`] stream derived from a single experiment seed plus a component
+//! label. Splitting by label means adding a new random consumer does not
+//! perturb the draws seen by existing ones — a property that keeps A/B
+//! experiment comparisons honest.
 //!
-//! The generator is `rand`'s `StdRng` (a cryptographically seeded PRNG with a
-//! stable algorithm within a `rand` major version), seeded via SplitMix64
-//! mixing of `(seed, label-hash)`.
+//! The generator is a self-contained **xoshiro256++** (public-domain
+//! algorithm by Blackman & Vigna), seeded via SplitMix64 mixing of
+//! `(seed, label-hash)`. Implementing it inline keeps the workspace free of
+//! external dependencies and guarantees the stream is bit-stable forever —
+//! no upstream crate version can ever shift our experiment results.
 
-use rand::rngs::StdRng;
-use rand::{Rng, RngCore, SeedableRng};
-
-/// SplitMix64 step: a small, well-tested mixer used only for seed derivation.
+/// SplitMix64 step: a small, well-tested mixer used for seed derivation.
 fn splitmix64(state: &mut u64) -> u64 {
     *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
     let mut z = *state;
@@ -37,7 +37,6 @@ fn fnv1a(label: &str) -> u64 {
 /// # Examples
 /// ```
 /// use simkit::DetRng;
-/// use rand::RngCore;
 ///
 /// let mut a = DetRng::new(42, "arrivals");
 /// let mut b = DetRng::new(42, "arrivals");
@@ -47,31 +46,64 @@ fn fnv1a(label: &str) -> u64 {
 /// assert_ne!(DetRng::new(42, "arrivals").next_u64(), c.next_u64());
 /// ```
 pub struct DetRng {
-    inner: StdRng,
+    s: [u64; 4],
 }
 
 impl DetRng {
     /// Creates the stream for `(seed, label)`.
     pub fn new(seed: u64, label: &str) -> Self {
         let mut state = seed ^ fnv1a(label);
-        let mut key = [0u8; 32];
-        for chunk in key.chunks_mut(8) {
-            chunk.copy_from_slice(&splitmix64(&mut state).to_le_bytes());
+        let mut s = [0u64; 4];
+        for w in &mut s {
+            *w = splitmix64(&mut state);
         }
-        DetRng {
-            inner: StdRng::from_seed(key),
+        // All-zero state is the one degenerate case; SplitMix64 cannot
+        // produce four consecutive zeros, but guard anyway.
+        if s == [0, 0, 0, 0] {
+            s[0] = 1;
+        }
+        DetRng { s }
+    }
+
+    /// The next 64 random bits (xoshiro256++ step).
+    pub fn next_u64(&mut self) -> u64 {
+        let result = self.s[0]
+            .wrapping_add(self.s[3])
+            .rotate_left(23)
+            .wrapping_add(self.s[0]);
+        let t = self.s[1] << 17;
+        self.s[2] ^= self.s[0];
+        self.s[3] ^= self.s[1];
+        self.s[1] ^= self.s[2];
+        self.s[0] ^= self.s[3];
+        self.s[2] ^= t;
+        self.s[3] = self.s[3].rotate_left(45);
+        result
+    }
+
+    /// The next 32 random bits (upper half of a 64-bit step).
+    pub fn next_u32(&mut self) -> u32 {
+        (self.next_u64() >> 32) as u32
+    }
+
+    /// Fills `dest` with random bytes.
+    pub fn fill_bytes(&mut self, dest: &mut [u8]) {
+        for chunk in dest.chunks_mut(8) {
+            let bytes = self.next_u64().to_le_bytes();
+            chunk.copy_from_slice(&bytes[..chunk.len()]);
         }
     }
 
     /// Derives a child stream; children with distinct labels are independent.
     pub fn split(&mut self, label: &str) -> DetRng {
-        let seed = self.inner.gen::<u64>();
+        let seed = self.next_u64();
         DetRng::new(seed, label)
     }
 
     /// Uniform in `[0, 1)`.
     pub fn uniform01(&mut self) -> f64 {
-        self.inner.gen::<f64>()
+        // 53 random mantissa bits — the standard (u >> 11) * 2^-53 recipe.
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
     }
 
     /// Uniform in `[lo, hi)`.
@@ -89,7 +121,14 @@ impl DetRng {
     /// Panics if `n == 0`.
     pub fn below(&mut self, n: u64) -> u64 {
         assert!(n > 0, "below: n must be positive");
-        self.inner.gen_range(0..n)
+        // Lemire-style rejection sampling: unbiased for every n.
+        let zone = u64::MAX - u64::MAX % n;
+        loop {
+            let v = self.next_u64();
+            if v < zone {
+                return v % n;
+            }
+        }
     }
 
     /// An exponentially distributed sample with the given `rate` (events/sec).
@@ -120,21 +159,6 @@ impl DetRng {
             let j = self.below(i as u64 + 1) as usize;
             items.swap(i, j);
         }
-    }
-}
-
-impl RngCore for DetRng {
-    fn next_u32(&mut self) -> u32 {
-        self.inner.next_u32()
-    }
-    fn next_u64(&mut self) -> u64 {
-        self.inner.next_u64()
-    }
-    fn fill_bytes(&mut self, dest: &mut [u8]) {
-        self.inner.fill_bytes(dest)
-    }
-    fn try_fill_bytes(&mut self, dest: &mut [u8]) -> Result<(), rand::Error> {
-        self.inner.try_fill_bytes(dest)
     }
 }
 
@@ -193,6 +217,44 @@ mod tests {
             let k = rng.below(10);
             assert!(k < 10);
         }
+    }
+
+    #[test]
+    fn uniform01_in_unit_interval_and_well_spread() {
+        let mut rng = DetRng::new(11, "u01");
+        let n = 100_000;
+        let mut sum = 0.0;
+        for _ in 0..n {
+            let x = rng.uniform01();
+            assert!((0.0..1.0).contains(&x));
+            sum += x;
+        }
+        let mean = sum / n as f64;
+        assert!((mean - 0.5).abs() < 0.01, "mean {mean}");
+    }
+
+    #[test]
+    fn below_is_roughly_uniform() {
+        let mut rng = DetRng::new(13, "below");
+        let mut counts = [0u32; 7];
+        for _ in 0..70_000 {
+            counts[rng.below(7) as usize] += 1;
+        }
+        for &c in &counts {
+            assert!((8500..11500).contains(&c), "skewed bucket: {counts:?}");
+        }
+    }
+
+    #[test]
+    fn fill_bytes_covers_partial_chunks() {
+        let mut a = DetRng::new(21, "fb");
+        let mut b = DetRng::new(21, "fb");
+        let mut x = [0u8; 13];
+        let mut y = [0u8; 13];
+        a.fill_bytes(&mut x);
+        b.fill_bytes(&mut y);
+        assert_eq!(x, y);
+        assert!(x.iter().any(|&v| v != 0));
     }
 
     #[test]

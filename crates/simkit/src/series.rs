@@ -7,10 +7,9 @@
 //! raw samples.
 
 use crate::time::{SimDuration, SimTime};
-use serde::{Deserialize, Serialize};
 
 /// One aggregated bucket of a [`TimeSeries`].
-#[derive(Debug, Clone, Copy, Serialize, Deserialize, Default)]
+#[derive(Debug, Clone, Copy, Default)]
 pub struct SeriesBucket {
     /// Number of samples in the bucket.
     pub count: u64,
@@ -44,7 +43,7 @@ impl SeriesBucket {
 /// assert_eq!(pts[0], (30.0, 2.0)); // bucket midpoint, mean
 /// assert_eq!(pts[1], (90.0, 8.0));
 /// ```
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct TimeSeries {
     bucket_width: SimDuration,
     buckets: Vec<SeriesBucket>,

@@ -8,7 +8,6 @@
 //! from a stream of event timestamps.
 
 use crate::time::{SimDuration, SimTime};
-use serde::{Deserialize, Serialize};
 
 /// Continuous-time exponentially weighted moving average.
 ///
@@ -24,7 +23,7 @@ use serde::{Deserialize, Serialize};
 /// }
 /// assert!(e.value().unwrap() < 1.0);
 /// ```
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct Ewma {
     tau: SimDuration,
     value: Option<f64>,
@@ -92,7 +91,7 @@ impl Ewma {
 /// let est = r.rate(SimTime::from_secs(500.0));
 /// assert!((est - 2.0).abs() < 0.2, "estimate {est}");
 /// ```
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct DecayingRate {
     tau: SimDuration,
     mass: f64,

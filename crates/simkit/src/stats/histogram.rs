@@ -7,7 +7,6 @@
 //! constant *relative* error bound on percentile queries (≤ `growth − 1`)
 //! with a few hundred buckets.
 
-use serde::{Deserialize, Serialize};
 
 /// A geometric-bucket histogram over positive values.
 ///
@@ -22,7 +21,7 @@ use serde::{Deserialize, Serialize};
 /// let p50 = h.quantile(0.50).unwrap();
 /// assert!((p50 - 0.5).abs() / 0.5 < 0.05);
 /// ```
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct LatencyHistogram {
     /// Lower bound of bucket 0; samples below it land in bucket 0.
     floor: f64,

@@ -5,7 +5,6 @@
 //! the M/G/1 response-time predictor in the `hibernator` crate needs
 //! (`R = E[S] + λ·E[S²] / (2(1 − ρ))`).
 
-use serde::{Deserialize, Serialize};
 
 /// Online mean / variance / min / max / raw second moment.
 ///
@@ -22,7 +21,7 @@ use serde::{Deserialize, Serialize};
 /// assert!((m.variance() - 1.25).abs() < 1e-12);
 /// assert_eq!(m.raw_second_moment(), (1.0 + 4.0 + 9.0 + 16.0) / 4.0);
 /// ```
-#[derive(Debug, Clone, Serialize, Deserialize, Default)]
+#[derive(Debug, Clone, Default)]
 pub struct Moments {
     n: u64,
     mean: f64,

@@ -7,7 +7,6 @@
 //! this way is exactly how the energy ledger computes joules.
 
 use crate::time::{SimDuration, SimTime};
-use serde::{Deserialize, Serialize};
 
 /// Integrates a piecewise-constant signal over simulated time.
 ///
@@ -21,7 +20,7 @@ use serde::{Deserialize, Serialize};
 /// assert_eq!(q.mean(SimTime::from_secs(5.0)), (2.0 * 4.0 + 6.0 * 1.0) / 5.0);
 /// assert_eq!(q.integral(SimTime::from_secs(5.0)), 14.0);
 /// ```
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct TimeWeighted {
     last_change: SimTime,
     current: f64,

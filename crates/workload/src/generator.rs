@@ -16,11 +16,10 @@
 use crate::arrivals::{DiurnalProfile, Mmpp2, Poisson};
 use crate::popularity::{SequentialRuns, ZipfExtents};
 use crate::request::{Trace, VolumeIoKind, VolumeRequest};
-use serde::{Deserialize, Serialize};
 use simkit::{DetRng, SimTime};
 
 /// Shape of the arrival process.
-#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy)]
 pub enum ArrivalModel {
     /// Homogeneous Poisson at `rate` events/sec.
     Poisson {
@@ -41,7 +40,7 @@ pub enum ArrivalModel {
 }
 
 /// Distribution of request sizes, in sectors.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct SizeMix {
     /// `(sectors, weight)` choices; weights need not sum to 1.
     pub choices: Vec<(u32, f64)>,
@@ -97,7 +96,7 @@ impl SizeMix {
 /// // Same seed, same trace:
 /// assert_eq!(spec.generate(7).requests, trace.requests);
 /// ```
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct WorkloadSpec {
     /// Name for reports.
     pub name: String,

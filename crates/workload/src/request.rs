@@ -4,11 +4,10 @@
 //! a flat space of 512-byte sectors. The array layer translates volume
 //! sectors through its striping + remap tables into per-disk requests.
 
-use serde::{Deserialize, Serialize};
 use simkit::SimTime;
 
 /// Read or write, at the volume level.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum VolumeIoKind {
     /// Volume read.
     Read,
@@ -17,7 +16,7 @@ pub enum VolumeIoKind {
 }
 
 /// One request against the logical volume.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct VolumeRequest {
     /// Arrival time.
     pub time: SimTime,
@@ -42,7 +41,7 @@ impl VolumeRequest {
 }
 
 /// An in-memory trace: requests sorted by arrival time.
-#[derive(Debug, Clone, Serialize, Deserialize, Default)]
+#[derive(Debug, Clone, Default)]
 pub struct Trace {
     /// The requests, ascending by `time`.
     pub requests: Vec<VolumeRequest>,

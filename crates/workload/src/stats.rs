@@ -1,10 +1,9 @@
 //! Trace characterisation (the "workload table" of the evaluation).
 
 use crate::request::{Trace, VolumeIoKind};
-use serde::{Deserialize, Serialize};
 
 /// Summary statistics of a trace.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct TraceStats {
     /// Number of requests.
     pub requests: u64,

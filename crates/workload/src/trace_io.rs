@@ -4,8 +4,8 @@
 //!
 //! * **CSV** — `time_s,sector,sectors,kind` per line, human-greppable and
 //!   compatible with spreadsheet tooling; `kind` is `R` or `W`.
-//! * **JSON lines** — one serde-encoded [`VolumeRequest`] per line, exact
-//!   round-trip of every field.
+//! * **JSON lines** — one flat JSON object per [`VolumeRequest`] per line,
+//!   exact round-trip of every field (shortest-round-trip float formatting).
 //!
 //! Both readers validate as they parse and report the offending line number
 //! in errors, because traces are exactly the kind of input users hand-edit.
@@ -116,13 +116,38 @@ pub fn read_csv<R: Read>(r: R) -> Result<Trace, TraceIoError> {
 }
 
 /// Writes a trace as JSON lines.
+///
+/// Each line is a flat object:
+/// `{"time_s":1.25,"sector":4096,"sectors":16,"kind":"R"}`. The time is
+/// emitted with Rust's shortest-round-trip float formatting, so every field
+/// survives a write/read cycle exactly.
 pub fn write_jsonl<W: Write>(trace: &Trace, mut w: W) -> Result<(), TraceIoError> {
     for r in &trace.requests {
-        let line = serde_json::to_string(r)
-            .map_err(|e| TraceIoError::Parse(0, format!("serialise: {e}")))?;
-        writeln!(w, "{line}")?;
+        let k = match r.kind {
+            VolumeIoKind::Read => 'R',
+            VolumeIoKind::Write => 'W',
+        };
+        writeln!(
+            w,
+            "{{\"time_s\":{:?},\"sector\":{},\"sectors\":{},\"kind\":\"{k}\"}}",
+            r.time.as_secs(),
+            r.sector,
+            r.sectors
+        )?;
     }
     Ok(())
+}
+
+/// Pulls the raw text of `key` out of a flat one-line JSON object. The
+/// format is the fixed four-field schema `write_jsonl` emits — values are
+/// numbers or the single-letter strings `"R"`/`"W"`, so a purpose-built
+/// scanner (find `"key":`, read to the next `,` or `}`) is exact.
+fn json_field<'a>(line: &'a str, key: &str) -> Option<&'a str> {
+    let needle = format!("\"{key}\":");
+    let start = line.find(&needle)? + needle.len();
+    let rest = &line[start..];
+    let end = rest.find([',', '}']).unwrap_or(rest.len());
+    Some(rest[..end].trim())
 }
 
 /// Reads a JSON-lines trace, sorting the result by time.
@@ -131,12 +156,45 @@ pub fn read_jsonl<R: Read>(r: R) -> Result<Trace, TraceIoError> {
     let mut requests = Vec::new();
     for (i, line) in reader.lines().enumerate() {
         let line = line?;
+        let lineno = i + 1;
         if line.trim().is_empty() {
             continue;
         }
-        let req: VolumeRequest = serde_json::from_str(&line)
-            .map_err(|e| TraceIoError::Parse(i + 1, format!("bad JSON: {e}")))?;
-        requests.push(req);
+        let parse = |key: &str| -> Result<&str, TraceIoError> {
+            json_field(&line, key)
+                .ok_or_else(|| TraceIoError::Parse(lineno, format!("bad JSON: missing {key:?}")))
+        };
+        let time: f64 = parse("time_s")?
+            .parse()
+            .map_err(|e| TraceIoError::Parse(lineno, format!("bad JSON time: {e}")))?;
+        if !time.is_finite() || time < 0.0 {
+            return Err(TraceIoError::Parse(lineno, format!("bad time {time}")));
+        }
+        let sector: u64 = parse("sector")?
+            .parse()
+            .map_err(|e| TraceIoError::Parse(lineno, format!("bad JSON sector: {e}")))?;
+        let sectors: u32 = parse("sectors")?
+            .parse()
+            .map_err(|e| TraceIoError::Parse(lineno, format!("bad JSON length: {e}")))?;
+        if sectors == 0 {
+            return Err(TraceIoError::Parse(lineno, "zero-length request".into()));
+        }
+        let kind = match parse("kind")? {
+            "\"R\"" => VolumeIoKind::Read,
+            "\"W\"" => VolumeIoKind::Write,
+            other => {
+                return Err(TraceIoError::Parse(
+                    lineno,
+                    format!("bad JSON kind {other} (want \"R\" or \"W\")"),
+                ))
+            }
+        };
+        requests.push(VolumeRequest {
+            time: SimTime::from_secs(time),
+            sector,
+            sectors,
+            kind,
+        });
     }
     Ok(Trace::from_requests(requests))
 }
@@ -213,9 +271,22 @@ mod tests {
 
     #[test]
     fn jsonl_reports_line_numbers() {
-        let good = serde_json::to_string(&sample().requests[0]).unwrap();
-        let data = format!("{good}\nnot-json\n");
+        let mut buf = Vec::new();
+        write_jsonl(&sample(), &mut buf).unwrap();
+        let good = String::from_utf8(buf).unwrap();
+        let good_first = good.lines().next().unwrap();
+        let data = format!("{good_first}\nnot-json\n");
         let err = read_jsonl(data.as_bytes()).unwrap_err();
         assert!(matches!(err, TraceIoError::Parse(2, _)), "{err}");
+    }
+
+    #[test]
+    fn jsonl_rejects_bad_kind() {
+        let data = "{\"time_s\":1.0,\"sector\":2,\"sectors\":8,\"kind\":\"X\"}\n";
+        let err = read_jsonl(data.as_bytes()).unwrap_err();
+        match err {
+            TraceIoError::Parse(1, msg) => assert!(msg.contains("kind"), "{msg}"),
+            other => panic!("unexpected {other}"),
+        }
     }
 }

@@ -19,11 +19,14 @@ fn validate_level(level: usize, rate: f64) -> (f64, f64) {
     let mut config = ArrayConfig::default_for_volume(2 << 30);
     config.disks = 8;
     let disks = config.disks as f64;
+    // Horizon grace period: a request arriving in the last instants of the
+    // trace may legitimately still be in service at DURATION_S on a slow
+    // level; give it room to drain rather than calling that saturation.
     let r = run_policy(
         config,
         FixedSpeed::new(SpeedLevel(level)),
         &trace,
-        RunOptions::for_horizon(DURATION_S),
+        RunOptions::for_horizon(DURATION_S + 60.0),
     );
     assert_eq!(r.incomplete, 0, "saturated at level {level} rate {rate}");
     let lambda = r.service.count() as f64 / DURATION_S / disks;

@@ -71,7 +71,7 @@ fn hibernator_counters_corroborate_report() {
     // Each reconfiguration ramps at least one disk; transitions in the
     // report must account for that (boosts add more).
     assert!(
-        report.transitions as u64 >= stats.reconfigurations,
+        report.transitions >= stats.reconfigurations,
         "transitions {} vs reconfigurations {}",
         report.transitions,
         stats.reconfigurations

@@ -3,8 +3,7 @@
 //! persistence formats.
 
 use array::{run_policy, ArrayConfig, BasePolicy, RunOptions};
-use proptest::prelude::*;
-use simkit::SimTime;
+use simkit::{DetRng, SimTime};
 use workload::trace_io::{read_csv, read_jsonl, write_csv, write_jsonl};
 use workload::{Trace, VolumeIoKind, VolumeRequest, WorkloadSpec};
 
@@ -68,36 +67,37 @@ fn hand_written_trace_drives_the_simulator() {
     assert_eq!(r.fg_sectors, 16 + 32 + 16 + 8);
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(16))]
-
-    /// Arbitrary (valid) request lists survive the CSV pipeline and
-    /// simulate to completion.
-    #[test]
-    fn arbitrary_traces_roundtrip_and_complete(
-        raw in proptest::collection::vec((0.0f64..200.0, 0u64..1_000_000, 1u32..128, any::<bool>()), 1..50)
-    ) {
-        let reqs: Vec<VolumeRequest> = raw
-            .into_iter()
-            .map(|(t, sector, sectors, is_read)| VolumeRequest {
-                time: SimTime::from_secs(t),
-                sector,
-                sectors,
-                kind: if is_read { VolumeIoKind::Read } else { VolumeIoKind::Write },
+/// Arbitrary (valid) request lists survive the CSV pipeline and
+/// simulate to completion.
+#[test]
+fn arbitrary_traces_roundtrip_and_complete() {
+    for case in 0..16u64 {
+        let mut rng = DetRng::new(0x7ACE ^ case, "pipeline-trace");
+        let n = 1 + rng.below(49) as usize;
+        let reqs: Vec<VolumeRequest> = (0..n)
+            .map(|_| VolumeRequest {
+                time: SimTime::from_secs(rng.uniform(0.0, 200.0)),
+                sector: rng.below(1_000_000),
+                sectors: 1 + rng.below(127) as u32,
+                kind: if rng.chance(0.5) {
+                    VolumeIoKind::Read
+                } else {
+                    VolumeIoKind::Write
+                },
             })
             .collect();
         let trace = Trace::from_requests(reqs);
         let mut buf = Vec::new();
         write_csv(&trace, &mut buf).unwrap();
         let back = read_csv(buf.as_slice()).unwrap();
-        prop_assert_eq!(back.len(), trace.len());
+        assert_eq!(back.len(), trace.len(), "case {case}");
         let r = run_policy(
             mini_config(),
             BasePolicy,
             &back,
             RunOptions::for_horizon(400.0),
         );
-        prop_assert_eq!(r.completed as usize, trace.len());
-        prop_assert_eq!(r.incomplete, 0);
+        assert_eq!(r.completed as usize, trace.len(), "case {case}");
+        assert_eq!(r.incomplete, 0, "case {case}");
     }
 }
