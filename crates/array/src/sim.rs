@@ -782,7 +782,7 @@ impl<'a, P: PowerPolicy> Simulation<'a, P> {
 /// assert_eq!(report.completed as usize, trace.len());
 /// assert!(report.energy.total_joules() > 0.0);
 /// ```
-pub fn run_policy<P: PowerPolicy>(
+pub fn run_policy<P: PowerPolicy + Send>(
     config: ArrayConfig,
     policy: P,
     trace: &Trace,
@@ -790,6 +790,20 @@ pub fn run_policy<P: PowerPolicy>(
 ) -> RunReport {
     Simulation::new(config, policy, trace, opts).run()
 }
+
+// The parallel experiment harness farms runs out to worker threads and
+// shares the inputs/outputs across them: `run_policy` is the entry point
+// it calls from workers (hence `P: Send` above), traces are shared
+// read-only, and reports are published behind `Arc`. Keep these
+// compile-time proofs next to the entry point so a field that silently
+// loses thread-safety fails here, not in the harness.
+const _: () = {
+    const fn assert_send_sync<T: Send + Sync>() {}
+    assert_send_sync::<RunReport>();
+    assert_send_sync::<Trace>();
+    assert_send_sync::<RunOptions>();
+    assert_send_sync::<ArrayConfig>();
+};
 
 #[cfg(test)]
 mod tests {

@@ -177,6 +177,42 @@ fn allocator_dp(c: &mut Criterion) {
     });
 }
 
+fn worker_pool(c: &mut Criterion) {
+    // Dispatch overhead of the experiment harness's executor: many tiny
+    // jobs (worst case for queue contention) and a batch of short
+    // simulation-shaped jobs, at 1 worker (inline path) vs 4.
+    let pool1 = parallel::Pool::new(1);
+    let pool4 = parallel::Pool::new(4);
+    c.bench_function("pool_1k_tiny_jobs_1_worker", |b| {
+        b.iter(|| {
+            let jobs: Vec<_> = (0..1000u64).map(|i| move || i.wrapping_mul(i)).collect();
+            black_box(pool1.map(jobs))
+        })
+    });
+    c.bench_function("pool_1k_tiny_jobs_4_workers", |b| {
+        b.iter(|| {
+            let jobs: Vec<_> = (0..1000u64).map(|i| move || i.wrapping_mul(i)).collect();
+            black_box(pool4.map(jobs))
+        })
+    });
+    c.bench_function("pool_16_cpu_jobs_4_workers", |b| {
+        b.iter(|| {
+            let jobs: Vec<_> = (0..16u64)
+                .map(|i| {
+                    move || {
+                        let mut acc = i;
+                        for k in 0..200_000u64 {
+                            acc = acc.wrapping_mul(6364136223846793005).wrapping_add(k);
+                        }
+                        acc
+                    }
+                })
+                .collect();
+            black_box(pool4.map(jobs))
+        })
+    });
+}
+
 criterion_group!(
     micro,
     event_queue,
@@ -186,5 +222,6 @@ criterion_group!(
     popularity,
     heat_ranking,
     allocator_dp,
+    worker_pool,
 );
 criterion_main!(micro);

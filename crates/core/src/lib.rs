@@ -35,4 +35,4 @@ pub use allocator::{Allocation, AllocationInput, SpeedAllocator};
 pub use guard::{GuardAction, GuardConfig, PerfGuard};
 pub use planner::{match_disks, plan_epoch, plan_migrations, EpochPlan};
 pub use policy::{Hibernator, HibernatorConfig, HibernatorStats, MigrationMode};
-pub use predictor::{mg1_response, ServiceEstimator};
+pub use predictor::{mg1_response, ServiceEstimator, RHO_SATURATION};

@@ -19,10 +19,18 @@
 use diskmodel::{ServiceModel, SpeedLevel};
 use simkit::Moments;
 
+/// Offered load (ρ = λ·E[S]) at or above which a server is treated as
+/// saturated. The closed form diverges as ρ → 1, and loads this close to
+/// 1 predict response times far beyond any goal, so the allocator treats
+/// them as infeasible outright rather than comparing astronomical finite
+/// values.
+pub const RHO_SATURATION: f64 = 0.999;
+
 /// Mean M/G/1 response time (seconds) for one server.
 ///
-/// Returns `f64::INFINITY` when the server would be saturated (ρ ≥ 1):
-/// callers treat that as "assignment infeasible".
+/// Returns `f64::INFINITY` when the server is effectively saturated
+/// (ρ ≥ [`RHO_SATURATION`]): callers treat that as "assignment
+/// infeasible".
 ///
 /// # Panics
 /// Panics if any argument is negative or non-finite.
@@ -34,7 +42,7 @@ pub fn mg1_response(lambda: f64, es: f64, es2: f64) -> f64 {
     assert!(es > 0.0 && es.is_finite(), "bad E[S] {es}");
     assert!(es2 > 0.0 && es2.is_finite(), "bad E[S²] {es2}");
     let rho = lambda * es;
-    if rho >= 0.999 {
+    if rho >= RHO_SATURATION {
         return f64::INFINITY;
     }
     es + lambda * es2 / (2.0 * (1.0 - rho))
@@ -135,6 +143,14 @@ mod tests {
             assert!(r > prev, "not monotone at λ={lambda}");
             prev = r;
         }
+    }
+
+    #[test]
+    fn saturation_threshold_matches_doc() {
+        // ρ exactly at the named constant saturates; just below does not.
+        let (es, es2) = (1.0, 1.5);
+        assert!(mg1_response(RHO_SATURATION, es, es2).is_infinite());
+        assert!(mg1_response(RHO_SATURATION - 1e-6, es, es2).is_finite());
     }
 
     #[test]

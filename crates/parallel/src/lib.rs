@@ -1,0 +1,27 @@
+//! Self-contained parallel run executor for the experiment harness.
+//!
+//! The evaluation is a grid of independent, seed-deterministic simulations
+//! — embarrassingly parallel work — but the workspace builds with no
+//! crates.io access, so this crate supplies the two primitives a parallel
+//! harness needs on plain `std`:
+//!
+//! * [`Pool`] — a scoped-[`std::thread`] worker pool whose [`Pool::map`]
+//!   runs a batch of closures across N workers and returns the results **in
+//!   input order**, so callers that format output from the result vector
+//!   are deterministic regardless of completion order. A panic in any job
+//!   propagates to the caller (scoped threads re-raise on join).
+//! * [`OnceMap`] — a keyed single-flight cache: the first thread to request
+//!   a key computes it while concurrent requesters for the same key block
+//!   and then share the same `Arc`'d value. Two experiments that need the
+//!   same (policy, workload) run therefore trigger exactly one simulation.
+//!
+//! Neither primitive imposes any scheduling-order semantics on the work
+//! itself: jobs must be independent (or synchronise through their own
+//! state, as `OnceMap` does), which the harness guarantees by giving every
+//! simulation its own seeded RNG.
+
+mod pool;
+mod singleflight;
+
+pub use pool::{available_parallelism, Pool};
+pub use singleflight::OnceMap;

@@ -1,0 +1,188 @@
+//! A scoped-thread worker pool with ordered results.
+
+use std::collections::VecDeque;
+use std::sync::Mutex;
+
+/// The number of workers to use when the caller does not say: the host's
+/// available parallelism, or 1 if the OS cannot report it.
+pub fn available_parallelism() -> usize {
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+}
+
+/// A fixed-width worker pool.
+///
+/// The pool holds no threads between calls: each [`Pool::map`] spawns its
+/// workers inside a [`std::thread::scope`], which lets jobs borrow from the
+/// caller's stack (the harness's jobs borrow the experiment context) and
+/// guarantees every worker has exited before `map` returns.
+///
+/// # Examples
+/// ```
+/// use parallel::Pool;
+///
+/// let pool = Pool::new(4);
+/// let squares = pool.map((0..8).map(|i| move || i * i).collect::<Vec<_>>());
+/// assert_eq!(squares, vec![0, 1, 4, 9, 16, 25, 36, 49]);
+/// ```
+#[derive(Debug, Clone)]
+pub struct Pool {
+    workers: usize,
+}
+
+impl Pool {
+    /// A pool that runs up to `workers` jobs concurrently (min 1).
+    pub fn new(workers: usize) -> Pool {
+        Pool {
+            workers: workers.max(1),
+        }
+    }
+
+    /// The configured worker count.
+    pub fn workers(&self) -> usize {
+        self.workers
+    }
+
+    /// Runs every job, at most `workers` at a time, and returns the results
+    /// in the order the jobs were given — independent of completion order.
+    ///
+    /// With one worker (or one job) the jobs run inline on the calling
+    /// thread in order, so `Pool::new(1).map(jobs)` is exactly the serial
+    /// execution the parallel paths must reproduce.
+    ///
+    /// # Panics
+    /// If a job panics, the panic is propagated to the caller once the
+    /// remaining in-flight jobs finish (queued jobs may be abandoned).
+    pub fn map<T, F>(&self, jobs: Vec<F>) -> Vec<T>
+    where
+        T: Send,
+        F: FnOnce() -> T + Send,
+    {
+        let n = jobs.len();
+        let workers = self.workers.min(n);
+        if workers <= 1 {
+            return jobs.into_iter().map(|f| f()).collect();
+        }
+
+        let queue: Mutex<VecDeque<(usize, F)>> = Mutex::new(jobs.into_iter().enumerate().collect());
+        let results: Mutex<Vec<Option<T>>> = Mutex::new((0..n).map(|_| None).collect());
+
+        std::thread::scope(|s| {
+            for _ in 0..workers {
+                s.spawn(|| loop {
+                    // A panicking job poisons nothing it holds: both locks
+                    // are released before/after the call, so recover the
+                    // guard and keep draining — the scope re-raises the
+                    // original panic when it joins the panicked worker.
+                    let job = lock_ok(&queue).pop_front();
+                    match job {
+                        Some((i, f)) => {
+                            let r = f();
+                            lock_ok(&results)[i] = Some(r);
+                        }
+                        None => break,
+                    }
+                });
+            }
+        });
+
+        results
+            .into_inner()
+            .unwrap_or_else(|e| e.into_inner())
+            .into_iter()
+            .map(|r| r.expect("worker completed every dequeued job"))
+            .collect()
+    }
+}
+
+/// Locks a mutex, ignoring poisoning (no invariant spans the guard).
+fn lock_ok<T>(m: &Mutex<T>) -> std::sync::MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn results_keep_input_order() {
+        let pool = Pool::new(4);
+        // Later jobs finish first (earlier ones sleep longer): order must
+        // still follow the input.
+        let jobs: Vec<_> = (0..16u64)
+            .map(|i| {
+                move || {
+                    std::thread::sleep(std::time::Duration::from_millis(16 - i));
+                    i * 10
+                }
+            })
+            .collect();
+        let out = pool.map(jobs);
+        assert_eq!(out, (0..16u64).map(|i| i * 10).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn single_worker_runs_inline_in_order() {
+        let pool = Pool::new(1);
+        let order = Mutex::new(Vec::new());
+        let jobs: Vec<_> = (0..8usize)
+            .map(|i| {
+                let order = &order;
+                move || {
+                    order.lock().unwrap().push(i);
+                    i
+                }
+            })
+            .collect();
+        let out = pool.map(jobs);
+        assert_eq!(out, (0..8).collect::<Vec<_>>());
+        assert_eq!(*order.lock().unwrap(), (0..8).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn empty_and_tiny_batches() {
+        let pool = Pool::new(8);
+        let none: Vec<fn() -> u32> = Vec::new();
+        assert!(pool.map(none).is_empty());
+        assert_eq!(pool.map(vec![|| 7u32]), vec![7]);
+    }
+
+    #[test]
+    fn worker_count_is_clamped() {
+        assert_eq!(Pool::new(0).workers(), 1);
+        assert_eq!(Pool::new(3).workers(), 3);
+    }
+
+    #[test]
+    fn all_jobs_run_exactly_once() {
+        let pool = Pool::new(5);
+        let count = AtomicUsize::new(0);
+        let jobs: Vec<_> = (0..97usize)
+            .map(|i| {
+                let count = &count;
+                move || {
+                    count.fetch_add(1, Ordering::Relaxed);
+                    i
+                }
+            })
+            .collect();
+        let out = pool.map(jobs);
+        assert_eq!(count.load(Ordering::Relaxed), 97);
+        assert_eq!(out, (0..97).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn job_panic_propagates() {
+        let pool = Pool::new(3);
+        let res = std::panic::catch_unwind(|| {
+            pool.map(
+                (0..6usize)
+                    .map(|i| move || if i == 3 { panic!("job 3 exploded") } else { i })
+                    .collect::<Vec<_>>(),
+            )
+        });
+        assert!(res.is_err(), "panic in a job must reach the caller");
+    }
+}

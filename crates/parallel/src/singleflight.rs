@@ -1,0 +1,232 @@
+//! A keyed single-flight computation cache.
+
+use std::collections::HashMap;
+use std::hash::Hash;
+use std::sync::{Arc, Condvar, Mutex};
+
+/// What a slot holds while its value is (or was being) produced.
+enum SlotState<V> {
+    /// The owning thread is still computing.
+    Pending,
+    /// The value is available for everyone.
+    Ready(Arc<V>),
+    /// The owning computation panicked; waiters must not hang forever.
+    Poisoned,
+}
+
+/// One key's rendezvous point: waiters block on the condvar until the
+/// owner publishes `Ready` (or `Poisoned`).
+struct Slot<V> {
+    state: Mutex<SlotState<V>>,
+    ready: Condvar,
+}
+
+/// A thread-safe map where each key's value is computed exactly once, no
+/// matter how many threads ask for it concurrently ("single-flight").
+///
+/// The first thread to call [`OnceMap::get_or_compute`] for a key becomes
+/// the *owner* and runs the closure **without holding the map lock**, so
+/// computations for different keys proceed in parallel and a computation
+/// may itself call back into the map for *other* keys (the harness's
+/// goal-calibrated runs fetch the Base run this way). Concurrent callers
+/// for the same key block until the owner publishes the value, then share
+/// it as an [`Arc`].
+///
+/// # Examples
+/// ```
+/// use parallel::OnceMap;
+///
+/// let cache: OnceMap<&str, u32> = OnceMap::new();
+/// let a = cache.get_or_compute("answer", || 42);
+/// let b = cache.get_or_compute("answer", || unreachable!("cached"));
+/// assert_eq!((*a, *b), (42, 42));
+/// ```
+pub struct OnceMap<K, V> {
+    slots: Mutex<HashMap<K, Arc<Slot<V>>>>,
+}
+
+impl<K, V> Default for OnceMap<K, V> {
+    fn default() -> Self {
+        OnceMap::new()
+    }
+}
+
+impl<K, V> OnceMap<K, V> {
+    /// An empty cache.
+    pub fn new() -> Self {
+        OnceMap {
+            slots: Mutex::new(HashMap::new()),
+        }
+    }
+
+    /// Number of keys present (including in-flight ones).
+    pub fn len(&self) -> usize {
+        lock_ok(&self.slots).len()
+    }
+
+    /// True if no key was ever requested.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+impl<K: Eq + Hash, V> OnceMap<K, V> {
+    /// The cached value for `key`, if it has already been computed.
+    pub fn get(&self, key: &K) -> Option<Arc<V>> {
+        let slot = lock_ok(&self.slots).get(key).cloned()?;
+        let state = lock_ok(&slot.state);
+        match &*state {
+            SlotState::Ready(v) => Some(Arc::clone(v)),
+            _ => None,
+        }
+    }
+
+    /// Returns the value for `key`, computing it with `compute` if this is
+    /// the first request. Concurrent requests for the same key run
+    /// `compute` once: the rest block and share the result.
+    ///
+    /// # Panics
+    /// If the owning `compute` panics, that panic propagates on the owner's
+    /// thread, and every waiter (present and future) panics too rather than
+    /// deadlocking on a value that will never arrive.
+    pub fn get_or_compute(&self, key: K, compute: impl FnOnce() -> V) -> Arc<V> {
+        let (slot, owner) = {
+            let mut slots = lock_ok(&self.slots);
+            match slots.get(&key) {
+                Some(s) => (Arc::clone(s), false),
+                None => {
+                    let s = Arc::new(Slot {
+                        state: Mutex::new(SlotState::Pending),
+                        ready: Condvar::new(),
+                    });
+                    slots.insert(key, Arc::clone(&s));
+                    (s, true)
+                }
+            }
+        };
+
+        if owner {
+            // Publish `Poisoned` if `compute` unwinds, releasing waiters.
+            struct PoisonOnDrop<'a, V> {
+                slot: &'a Slot<V>,
+                armed: bool,
+            }
+            impl<V> Drop for PoisonOnDrop<'_, V> {
+                fn drop(&mut self) {
+                    if self.armed {
+                        *lock_ok(&self.slot.state) = SlotState::Poisoned;
+                        self.slot.ready.notify_all();
+                    }
+                }
+            }
+            let mut guard = PoisonOnDrop {
+                slot: &slot,
+                armed: true,
+            };
+            let value = Arc::new(compute());
+            guard.armed = false;
+            *lock_ok(&slot.state) = SlotState::Ready(Arc::clone(&value));
+            slot.ready.notify_all();
+            return value;
+        }
+
+        let mut state = lock_ok(&slot.state);
+        loop {
+            match &*state {
+                SlotState::Ready(v) => return Arc::clone(v),
+                SlotState::Poisoned => {
+                    panic!("OnceMap: the computation owning this key panicked")
+                }
+                SlotState::Pending => {
+                    state = slot.ready.wait(state).unwrap_or_else(|e| e.into_inner());
+                }
+            }
+        }
+    }
+}
+
+/// Locks a mutex, ignoring poisoning (state transitions are single writes).
+fn lock_ok<T>(m: &Mutex<T>) -> std::sync::MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn computes_once_and_caches() {
+        let m: OnceMap<u32, u32> = OnceMap::new();
+        let calls = AtomicUsize::new(0);
+        let a = m.get_or_compute(1, || {
+            calls.fetch_add(1, Ordering::SeqCst);
+            10
+        });
+        let b = m.get_or_compute(1, || {
+            calls.fetch_add(1, Ordering::SeqCst);
+            99
+        });
+        assert_eq!((*a, *b), (10, 10));
+        assert_eq!(calls.load(Ordering::SeqCst), 1);
+        assert_eq!(m.len(), 1);
+        assert_eq!(m.get(&1).as_deref(), Some(&10));
+        assert!(m.get(&2).is_none());
+    }
+
+    #[test]
+    fn distinct_keys_compute_independently() {
+        let m: OnceMap<&str, usize> = OnceMap::new();
+        assert_eq!(*m.get_or_compute("a", || 1), 1);
+        assert_eq!(*m.get_or_compute("b", || 2), 2);
+        assert_eq!(m.len(), 2);
+    }
+
+    #[test]
+    fn concurrent_requests_share_one_flight() {
+        let m: OnceMap<u32, u64> = OnceMap::new();
+        let calls = AtomicUsize::new(0);
+        std::thread::scope(|s| {
+            let handles: Vec<_> = (0..8)
+                .map(|_| {
+                    s.spawn(|| {
+                        *m.get_or_compute(7, || {
+                            calls.fetch_add(1, Ordering::SeqCst);
+                            // Hold the flight open long enough that the
+                            // other threads arrive while it is pending.
+                            std::thread::sleep(std::time::Duration::from_millis(30));
+                            777
+                        })
+                    })
+                })
+                .collect();
+            for h in handles {
+                assert_eq!(h.join().unwrap(), 777);
+            }
+        });
+        assert_eq!(calls.load(Ordering::SeqCst), 1, "single flight violated");
+    }
+
+    #[test]
+    fn nested_computation_may_use_other_keys() {
+        let m: OnceMap<u32, u32> = OnceMap::new();
+        let v = m.get_or_compute(2, || *m.get_or_compute(1, || 20) + 1);
+        assert_eq!(*v, 21);
+        assert_eq!(m.get(&1).as_deref(), Some(&20));
+    }
+
+    #[test]
+    fn panicked_flight_poisons_waiters_not_deadlocks() {
+        let m: OnceMap<u32, u32> = OnceMap::new();
+        let owner = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            m.get_or_compute(5, || panic!("flight failed"));
+        }));
+        assert!(owner.is_err());
+        // A later requester must observe the poison and panic promptly,
+        // not block forever on a value that will never arrive.
+        let waiter = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            m.get_or_compute(5, || 1);
+        }));
+        assert!(waiter.is_err());
+    }
+}

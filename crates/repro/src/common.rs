@@ -1,5 +1,6 @@
 //! Shared infrastructure for the experiment harness: scenario definitions,
-//! policy dispatch, goal calibration, run caching, and output formatting.
+//! policy dispatch, goal calibration, run caching, parallel scheduling,
+//! and output formatting.
 //!
 //! All experiments draw from two calibrated scenarios (see DESIGN.md §6):
 //!
@@ -9,16 +10,31 @@
 //! The response-time goal of every managed run is `goal_factor ×` the mean
 //! response of the unmanaged Base run on the same trace (the paper's
 //! "performance goal relative to no power management" formulation).
+//!
+//! # Parallel execution
+//!
+//! Every run is an independent, seed-deterministic simulation, so the
+//! harness farms the grid out to a [`parallel::Pool`] (`--jobs N`). The
+//! run and trace caches are single-flight ([`parallel::OnceMap`]): when
+//! two experiments request the same (policy, workload) pair concurrently,
+//! exactly one simulation runs and both share the report. The Base-run
+//! dependency of every goal-calibrated run is scheduled explicitly:
+//! [`Ctx::prefetch`] runs all required Base runs (stage 1) before fanning
+//! out the managed runs (stage 2). Because each run owns its seeded RNG
+//! and all output formatting happens serially from ordered results,
+//! reports — and therefore CSVs — are bit-identical at any `--jobs` value.
 
 use array::{run_policy, ArrayConfig, Redundancy, RunOptions, RunReport};
 use diskmodel::{DiskSpec, SpeedLevel};
 use hibernator::{Hibernator, HibernatorConfig, MigrationMode};
-use policies::{maid_array_config, DrpmPolicy, FixedSpeed, MaidConfig, MaidPolicy, PdcPolicy, TpmPolicy};
-use simkit::SimDuration;
-use std::cell::RefCell;
+use parallel::{OnceMap, Pool};
+use policies::{
+    maid_array_config, DrpmPolicy, FixedSpeed, MaidConfig, MaidPolicy, PdcPolicy, TpmPolicy,
+};
+use simkit::{SimDuration, TimeSeries};
 use std::collections::HashMap;
 use std::fmt::Write as _;
-use std::rc::Rc;
+use std::sync::{Arc, Mutex};
 use workload::{Trace, WorkloadSpec};
 
 /// Which workload a run uses.
@@ -93,8 +109,28 @@ impl PolicyKind {
     }
 }
 
-/// Experiment-wide context: scale, seed, output directory, and a run cache
-/// so `all` never simulates the same (policy, workload) pair twice.
+/// Cache key of a standard-scenario run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct RunKey {
+    /// The policy that managed the run.
+    pub policy: PolicyKind,
+    /// The workload it ran against.
+    pub workload: Workload,
+}
+
+/// Cache key of a generated trace: workload plus the exact bit pattern of
+/// the load multiplier. Keying by bits (not a rounded value) means loads
+/// that differ at all — however close — get distinct traces.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+struct TraceKey {
+    workload: Workload,
+    load_bits: u64,
+}
+
+/// Experiment-wide context: scale, seed, output directory, the worker
+/// pool, and single-flight run/trace caches so `all` never simulates the
+/// same (policy, workload) pair twice — even when experiments request it
+/// concurrently.
 pub struct Ctx {
     /// Reduced scale for smoke runs (`--quick`).
     pub quick: bool,
@@ -102,29 +138,52 @@ pub struct Ctx {
     pub seed: u64,
     /// Where CSV outputs land.
     pub out_dir: std::path::PathBuf,
-    cache: RefCell<HashMap<String, Rc<RunReport>>>,
-    traces: RefCell<HashMap<(Workload, u64), Rc<Trace>>>,
-    goals: RefCell<HashMap<Workload, f64>>,
+    /// Optional horizon override in hours (`--horizon-h`), for cheap
+    /// smoke/determinism runs below even `--quick` scale.
+    horizon_h: Option<f64>,
+    pool: Pool,
+    cache: OnceMap<RunKey, RunReport>,
+    traces: OnceMap<TraceKey, Trace>,
+    goals: OnceMap<Workload, f64>,
+    timings: Mutex<Vec<(String, f64)>>,
 }
 
 impl Ctx {
-    /// Creates the context, ensuring the output directory exists.
-    pub fn new(quick: bool, seed: u64, out_dir: impl Into<std::path::PathBuf>) -> Ctx {
+    /// Creates the context, ensuring the output directory exists. `jobs`
+    /// is the maximum number of simulations in flight at once.
+    pub fn new(quick: bool, seed: u64, out_dir: impl Into<std::path::PathBuf>, jobs: usize) -> Ctx {
         let out_dir = out_dir.into();
         std::fs::create_dir_all(&out_dir).expect("create results dir");
         Ctx {
             quick,
             seed,
             out_dir,
-            cache: RefCell::new(HashMap::new()),
-            traces: RefCell::new(HashMap::new()),
-            goals: RefCell::new(HashMap::new()),
+            horizon_h: None,
+            pool: Pool::new(jobs),
+            cache: OnceMap::new(),
+            traces: OnceMap::new(),
+            goals: OnceMap::new(),
+            timings: Mutex::new(Vec::new()),
         }
+    }
+
+    /// Overrides the simulated horizon (hours). Used by tests and smoke
+    /// runs that need sub-`--quick` durations.
+    pub fn set_horizon_hours(&mut self, hours: f64) {
+        assert!(hours > 0.0 && hours.is_finite(), "bad horizon {hours}");
+        self.horizon_h = Some(hours);
+    }
+
+    /// The worker pool experiments schedule ad-hoc run batches on.
+    pub fn pool(&self) -> &Pool {
+        &self.pool
     }
 
     /// Simulated duration of the standard runs.
     pub fn duration_s(&self) -> f64 {
-        if self.quick {
+        if let Some(h) = self.horizon_h {
+            h * 3600.0
+        } else if self.quick {
             2.0 * 3600.0
         } else {
             24.0 * 3600.0
@@ -169,19 +228,19 @@ impl Ctx {
     }
 
     /// The standard trace for a workload (cached).
-    pub fn trace(&self, w: Workload) -> Rc<Trace> {
+    pub fn trace(&self, w: Workload) -> Arc<Trace> {
         self.trace_with_load(w, 1.0)
     }
 
-    /// Trace at a load multiplier (cached by permille).
-    pub fn trace_with_load(&self, w: Workload, load: f64) -> Rc<Trace> {
-        let key = (w, (load * 1000.0).round() as u64);
-        if let Some(t) = self.traces.borrow().get(&key) {
-            return Rc::clone(t);
-        }
-        let t = Rc::new(self.workload_spec(w, load).generate(self.seed));
-        self.traces.borrow_mut().insert(key, Rc::clone(&t));
-        t
+    /// Trace at a load multiplier (cached, single-flight, keyed by the
+    /// multiplier's exact bits).
+    pub fn trace_with_load(&self, w: Workload, load: f64) -> Arc<Trace> {
+        let key = TraceKey {
+            workload: w,
+            load_bits: load.to_bits(),
+        };
+        self.traces
+            .get_or_compute(key, || self.workload_spec(w, load).generate(self.seed))
     }
 
     /// Default run options for the standard duration.
@@ -195,44 +254,123 @@ impl Ctx {
     /// The calibrated response-time goal for a workload:
     /// `goal_factor × Base mean response` (Base run cached).
     pub fn goal_s(&self, w: Workload) -> f64 {
-        if let Some(&g) = self.goals.borrow().get(&w) {
-            return g;
-        }
-        let base = self.report(PolicyKind::Base, w);
-        let g = base.response.mean() * self.goal_factor();
-        self.goals.borrow_mut().insert(w, g);
-        g
+        *self.goals.get_or_compute(w, || {
+            let base = self.report(PolicyKind::Base, w);
+            base.response.mean() * self.goal_factor()
+        })
     }
 
     /// Hibernator config for a goal at standard scale.
     pub fn hibernator_config(&self, goal_s: f64) -> HibernatorConfig {
         let mut cfg = HibernatorConfig::for_goal(goal_s);
-        if self.quick {
+        if self.quick || self.horizon_h.is_some() {
             cfg.epoch = SimDuration::from_mins(20.0);
             cfg.heat_tau = SimDuration::from_mins(20.0);
         }
         cfg
     }
 
-    /// Runs (or fetches from cache) a standard-scenario policy run.
-    pub fn report(&self, p: PolicyKind, w: Workload) -> Rc<RunReport> {
-        let key = format!("{:?}-{:?}", p, w);
-        if let Some(r) = self.cache.borrow().get(&key) {
-            return Rc::clone(r);
-        }
-        let trace = self.trace(w);
-        let config = self.array_config(w);
-        let opts = self.run_options();
-        // The goal needs Base; avoid infinite recursion for Base itself.
-        let report = if p == PolicyKind::Base {
-            run_policy(config, array::BasePolicy, &trace, opts)
-        } else {
-            let goal = self.goal_s(w);
-            self.run_kind(p, config, &trace, opts, goal)
+    /// Runs (or fetches from the single-flight cache) a standard-scenario
+    /// policy run. Safe to call from any worker; the goal's Base-run
+    /// dependency resolves through the cache (use [`Ctx::prefetch`] to
+    /// schedule it explicitly instead of discovering it mid-run).
+    pub fn report(&self, p: PolicyKind, w: Workload) -> Arc<RunReport> {
+        let key = RunKey {
+            policy: p,
+            workload: w,
         };
-        let report = Rc::new(report);
-        self.cache.borrow_mut().insert(key, Rc::clone(&report));
-        report
+        self.cache.get_or_compute(key, || {
+            let trace = self.trace(w);
+            let config = self.array_config(w);
+            let opts = self.run_options();
+            // Resolve the goal *before* the timed section so a managed
+            // run's timing never includes waiting on the Base run.
+            let goal = if p == PolicyKind::Base {
+                f64::MAX
+            } else {
+                self.goal_s(w)
+            };
+            let label = format!("{}/{}", p.label(), w.label());
+            self.timed(&label, || self.run_kind(p, config, &trace, opts, goal))
+        })
+    }
+
+    /// Schedules a batch of standard-scenario runs on the pool as an
+    /// explicit two-stage plan: stage 1 runs the Base run (and goal
+    /// calibration) of every workload mentioned, stage 2 runs everything
+    /// else. After this, [`Ctx::report`] for any listed pair is a cache
+    /// hit, so experiment bodies can format output serially.
+    pub fn prefetch(&self, pairs: &[(PolicyKind, Workload)]) {
+        let mut workloads: Vec<Workload> = Vec::new();
+        for &(_, w) in pairs {
+            if !workloads.contains(&w) {
+                workloads.push(w);
+            }
+        }
+        self.pool.map(
+            workloads
+                .iter()
+                .map(|&w| {
+                    move || {
+                        self.goal_s(w); // runs Base, then derives the goal
+                    }
+                })
+                .collect::<Vec<_>>(),
+        );
+
+        let mut rest: Vec<(PolicyKind, Workload)> = Vec::new();
+        for &(p, w) in pairs {
+            if p != PolicyKind::Base && !rest.contains(&(p, w)) {
+                rest.push((p, w));
+            }
+        }
+        self.pool.map(
+            rest.into_iter()
+                .map(|(p, w)| {
+                    move || {
+                        self.report(p, w);
+                    }
+                })
+                .collect::<Vec<_>>(),
+        );
+    }
+
+    /// Runs `f`, records its wall-clock under `label`, and prints a
+    /// per-run completion line. Worker threads may interleave these lines;
+    /// the CSV outputs are unaffected (they are formatted serially).
+    pub fn timed<T>(&self, label: &str, f: impl FnOnce() -> T) -> T {
+        let started = std::time::Instant::now();
+        let out = f();
+        let secs = started.elapsed().as_secs_f64();
+        println!("  [run] {label}: {secs:.2} s");
+        self.timings
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .push((label.to_string(), secs));
+        out
+    }
+
+    /// Prints the per-run wall-clock summary (slowest first) and the total
+    /// simulation time across all workers.
+    pub fn print_timings(&self) {
+        let mut t = self
+            .timings
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .clone();
+        if t.is_empty() {
+            return;
+        }
+        t.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap_or(std::cmp::Ordering::Equal));
+        let total: f64 = t.iter().map(|x| x.1).sum();
+        println!(
+            "\n# run timings — {} runs, {total:.1} s of simulation across {} worker(s)",
+            t.len(),
+            self.pool.workers()
+        );
+        for (label, secs) in &t {
+            println!("  {secs:>8.2} s  {label}");
+        }
     }
 
     /// Writes a CSV file into the results directory.
@@ -285,7 +423,12 @@ impl Ctx {
             }
             PolicyKind::HibernatorNoMig => {
                 let cfg = self.hibernator_config(goal_s);
-                run_policy(config, Hibernator::new(cfg).without_migration(), trace, opts)
+                run_policy(
+                    config,
+                    Hibernator::new(cfg).without_migration(),
+                    trace,
+                    opts,
+                )
             }
             PolicyKind::HibernatorRandMig => {
                 let mut cfg = self.hibernator_config(goal_s);
@@ -304,18 +447,27 @@ impl Ctx {
 }
 
 /// Fraction of post-warmup series buckets whose mean response exceeded the
-/// goal — the "goal violation" metric of the T4 table.
-pub fn violation_fraction(report: &RunReport, goal_s: f64, warmup_s: f64) -> f64 {
-    let pts: Vec<(f64, f64)> = report
-        .response_series
-        .mean_points()
-        .into_iter()
-        .filter(|(t, _)| *t > warmup_s)
-        .collect();
-    if pts.is_empty() {
-        return 0.0;
+/// goal — the "goal violation" metric of the T4 table. A bucket counts
+/// only if it starts at or after `warmup_s`: a bucket straddling the
+/// warmup boundary mixes warm-up samples into its mean, so it is excluded
+/// rather than classified by its midpoint.
+pub fn violation_fraction(series: &TimeSeries, goal_s: f64, warmup_s: f64) -> f64 {
+    let half_width = series.bucket_width().as_secs() / 2.0;
+    let (mut kept, mut over) = (0u64, 0u64);
+    for (mid, mean) in series.mean_points() {
+        if mid - half_width < warmup_s {
+            continue;
+        }
+        kept += 1;
+        if mean > goal_s {
+            over += 1;
+        }
     }
-    pts.iter().filter(|(_, v)| *v > goal_s).count() as f64 / pts.len() as f64
+    if kept == 0 {
+        0.0
+    } else {
+        over as f64 / kept as f64
+    }
 }
 
 /// Prints a fixed-width table row.
@@ -325,4 +477,65 @@ pub fn row(cells: &[String], widths: &[usize]) -> String {
         let _ = write!(s, "{c:>w$}  ", w = w);
     }
     s
+}
+
+/// Compile-time proof that the shared context can cross worker threads:
+/// every field is `Send + Sync`, which is what lets `prefetch` borrow it
+/// from scoped workers.
+const _: () = {
+    const fn assert_sync<T: Sync>() {}
+    assert_sync::<Ctx>();
+    assert_sync::<HashMap<RunKey, Arc<RunReport>>>();
+};
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use simkit::SimTime;
+
+    #[test]
+    fn trace_keys_distinguish_close_loads() {
+        // 1.0 and 1.0004 used to collide under permille rounding; bit keys
+        // must keep them apart.
+        let a = 1.0f64;
+        let b = 1.0004f64;
+        assert_ne!(a.to_bits(), b.to_bits());
+        let ka = TraceKey {
+            workload: Workload::Oltp,
+            load_bits: a.to_bits(),
+        };
+        let kb = TraceKey {
+            workload: Workload::Oltp,
+            load_bits: b.to_bits(),
+        };
+        assert_ne!(ka, kb);
+    }
+
+    #[test]
+    fn violation_excludes_straddling_bucket() {
+        // 100 s buckets; warmup ends at 150 s, inside bucket [100, 200).
+        let mut s = TimeSeries::new(SimDuration::from_secs(100.0));
+        s.record(SimTime::from_secs(150.0), 10.0); // straddles: excluded
+        s.record(SimTime::from_secs(250.0), 10.0); // over goal
+        s.record(SimTime::from_secs(350.0), 1.0); // under goal
+        let f = violation_fraction(&s, 5.0, 150.0);
+        assert_eq!(f, 0.5, "straddling bucket must not count");
+    }
+
+    #[test]
+    fn violation_counts_bucket_starting_exactly_at_warmup() {
+        let mut s = TimeSeries::new(SimDuration::from_secs(100.0));
+        s.record(SimTime::from_secs(150.0), 10.0); // bucket starts at 100 < 100? no: warmup 100
+        s.record(SimTime::from_secs(50.0), 10.0); // bucket [0,100): before warmup
+        let f = violation_fraction(&s, 5.0, 100.0);
+        // The [100,200) bucket starts exactly at the warmup edge: counted.
+        assert_eq!(f, 1.0);
+    }
+
+    #[test]
+    fn violation_empty_after_warmup_is_zero() {
+        let mut s = TimeSeries::new(SimDuration::from_secs(100.0));
+        s.record(SimTime::from_secs(10.0), 10.0);
+        assert_eq!(violation_fraction(&s, 5.0, 1000.0), 0.0);
+    }
 }

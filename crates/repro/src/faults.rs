@@ -86,14 +86,17 @@ pub fn faults(ctx: &Ctx) {
 
     // Goal calibration: the unmanaged array under the same storm. Using the
     // faulted Base keeps "goal = factor × unmanaged mean" meaningful in the
-    // degraded regime every policy shares.
-    let base = ctx.run_kind(
-        PolicyKind::Base,
-        config.clone(),
-        &trace,
-        opts.clone(),
-        f64::MAX,
-    );
+    // degraded regime every policy shares. Stage 1 of the schedule: every
+    // managed run below needs this goal.
+    let base = ctx.timed("faults Base/OLTP+storm", || {
+        ctx.run_kind(
+            PolicyKind::Base,
+            config.clone(),
+            &trace,
+            opts.clone(),
+            f64::MAX,
+        )
+    });
     let goal = base.response.mean() * ctx.goal_factor();
     println!(
         "storm: disk 3 dies at {:.0} s, disk 9 at {:.0} s ({} scripted events); goal {:.2} ms",
@@ -122,28 +125,65 @@ pub fn faults(ctx: &Ctx) {
             &widths
         )
     );
+    // Stage 2: every managed policy rides the storm concurrently. Each job
+    // returns its report plus the Hibernator boost counter (zero for the
+    // rest); results come back in headline order regardless of finish
+    // order, so the table and CSV are deterministic.
+    let managed: Vec<PolicyKind> = PolicyKind::HEADLINE
+        .into_iter()
+        .filter(|&p| p != PolicyKind::Base)
+        .collect();
+    let storm_runs: Vec<(RunReport, u64)> = ctx.pool().map(
+        managed
+            .iter()
+            .map(|&p| {
+                let (config, trace, opts) = (&config, &trace, &opts);
+                move || {
+                    ctx.timed(&format!("faults {}/OLTP+storm", p.label()), || match p {
+                        PolicyKind::Hibernator => {
+                            let cfg = ctx.hibernator_config(goal);
+                            let sim = Simulation::new(
+                                config.clone(),
+                                Hibernator::new(cfg),
+                                trace,
+                                opts.clone(),
+                            );
+                            let (r, policy) = sim.run_returning_policy();
+                            let boosts = policy.stats().boosts;
+                            (r, boosts)
+                        }
+                        _ => (
+                            ctx.run_kind(p, config.clone(), trace, opts.clone(), goal),
+                            0,
+                        ),
+                    })
+                }
+            })
+            .collect::<Vec<_>>(),
+    );
     let mut rows = Vec::new();
     let mut hib_boosts = 0u64;
     for p in PolicyKind::HEADLINE {
-        let owned: Option<RunReport> = match p {
+        let owned: Option<&RunReport> = match p {
             PolicyKind::Base => None, // already ran for calibration
-            PolicyKind::Hibernator => {
-                let cfg = ctx.hibernator_config(goal);
-                let sim =
-                    Simulation::new(config.clone(), Hibernator::new(cfg), &trace, opts.clone());
-                let (r, policy) = sim.run_returning_policy();
-                hib_boosts = policy.stats().boosts;
-                Some(r)
+            _ => {
+                let i = managed.iter().position(|&m| m == p).expect("managed run");
+                if p == PolicyKind::Hibernator {
+                    hib_boosts = storm_runs[i].1;
+                }
+                Some(&storm_runs[i].0)
             }
-            _ => Some(ctx.run_kind(p, config.clone(), &trace, opts.clone(), goal)),
         };
-        let report = owned.as_ref().unwrap_or(&base);
+        let report = owned.unwrap_or(&base);
         let f = &report.faults;
         let cells = [
             p.label().to_string(),
             format!("{:.0}", report.energy.total_joules() / 1e3),
             format!("{:.2}", report.response.mean() * 1e3),
-            format!("{:.1}", violation_fraction(report, goal, 600.0) * 100.0),
+            format!(
+                "{:.1}",
+                violation_fraction(&report.response_series, goal, 600.0) * 100.0
+            ),
             format!("{}", report.transitions),
             format!("{}", f.lost_requests),
             format!("{}", f.degraded_redirects),

@@ -1,16 +1,23 @@
-//! Figure experiments F1–F10 (see DESIGN.md §6 for the experiment index).
+//! Figure experiments F1–F12 (see DESIGN.md §6 for the experiment index).
 //!
 //! Each figure prints its series to stdout (coarse, human-readable) and
 //! writes the full-resolution series to CSV in the results directory.
+//!
+//! Every figure follows the same parallel shape: *gather* the runs it
+//! needs (through [`Ctx::prefetch`] for standard-scenario runs, or a
+//! [`Ctx::pool`] batch for ad-hoc knob sweeps), then *format* rows
+//! serially from the ordered results — so the CSV bytes never depend on
+//! the jobs count.
 
 use crate::common::{violation_fraction, Ctx, PolicyKind, Workload};
-use array::RunOptions;
+use array::{RunOptions, RunReport};
 use hibernator::{Hibernator, HibernatorConfig};
 use simkit::SimDuration;
 
 /// F1 — array power over time per policy (OLTP).
 pub fn f1(ctx: &Ctx) {
     println!("\n== F1: array power over time (OLTP) ==");
+    ctx.prefetch(&PolicyKind::HEADLINE.map(|p| (p, Workload::Oltp)));
     let mut rows = Vec::new();
     for p in PolicyKind::HEADLINE {
         let r = ctx.report(p, Workload::Oltp);
@@ -29,6 +36,10 @@ pub fn f1(ctx: &Ctx) {
 /// F2 — windowed response time over time vs the goal (Cello, Hibernator).
 pub fn f2(ctx: &Ctx) {
     println!("\n== F2: response time over time vs goal (Cello) ==");
+    ctx.prefetch(&[
+        (PolicyKind::Base, Workload::Cello),
+        (PolicyKind::Hibernator, Workload::Cello),
+    ]);
     let goal = ctx.goal_s(Workload::Cello);
     let mut rows = Vec::new();
     for p in [PolicyKind::Base, PolicyKind::Hibernator] {
@@ -38,7 +49,7 @@ pub fn f2(ctx: &Ctx) {
         }
     }
     let hib = ctx.report(PolicyKind::Hibernator, Workload::Cello);
-    let viol = violation_fraction(&hib, goal, ctx.duration_s() * 0.1);
+    let viol = violation_fraction(&hib.response_series, goal, ctx.duration_s() * 0.1);
     println!(
         "  goal {:.2} ms; Hibernator violates in {:.1}% of buckets",
         goal * 1e3,
@@ -50,18 +61,33 @@ pub fn f2(ctx: &Ctx) {
 /// F3 — energy savings vs response-time goal factor (OLTP).
 pub fn f3(ctx: &Ctx) {
     println!("\n== F3: savings vs goal factor (OLTP) ==");
+    ctx.prefetch(&[(PolicyKind::Base, Workload::Oltp)]);
     let base = ctx.report(PolicyKind::Base, Workload::Oltp);
     let trace = ctx.trace(Workload::Oltp);
+    let factors = [1.1, 1.3, 1.6, 2.0, 3.0];
+    let runs = ctx.pool().map(
+        factors
+            .iter()
+            .map(|&factor| {
+                let (base, trace) = (&base, &trace);
+                move || {
+                    let goal = base.response.mean() * factor;
+                    let r = ctx.timed(&format!("f3 goal {factor:.1}x/OLTP"), || {
+                        ctx.run_kind(
+                            PolicyKind::Hibernator,
+                            ctx.array_config(Workload::Oltp),
+                            trace,
+                            ctx.run_options(),
+                            goal,
+                        )
+                    });
+                    (goal, r)
+                }
+            })
+            .collect::<Vec<_>>(),
+    );
     let mut rows = Vec::new();
-    for factor in [1.1, 1.3, 1.6, 2.0, 3.0] {
-        let goal = base.response.mean() * factor;
-        let r = ctx.run_kind(
-            PolicyKind::Hibernator,
-            ctx.array_config(Workload::Oltp),
-            &trace,
-            ctx.run_options(),
-            goal,
-        );
+    for (factor, (goal, r)) in factors.iter().zip(&runs) {
         let sav = r.savings_vs(&base) * 100.0;
         println!(
             "  goal {factor:.1}x ({:.2} ms): savings {sav:.1}%, mean {:.2} ms",
@@ -84,6 +110,7 @@ pub fn f3(ctx: &Ctx) {
 /// F4 — energy savings vs epoch length (OLTP): the coarse-grain argument.
 pub fn f4(ctx: &Ctx) {
     println!("\n== F4: savings vs epoch length (OLTP) ==");
+    ctx.prefetch(&[(PolicyKind::Base, Workload::Oltp)]);
     let base = ctx.report(PolicyKind::Base, Workload::Oltp);
     let trace = ctx.trace(Workload::Oltp);
     let goal = ctx.goal_s(Workload::Oltp);
@@ -92,17 +119,29 @@ pub fn f4(ctx: &Ctx) {
     } else {
         &[300.0, 900.0, 1800.0, 3600.0, 7200.0, 14400.0]
     };
+    let runs = ctx.pool().map(
+        epochs_s
+            .iter()
+            .map(|&e| {
+                let trace = &trace;
+                move || {
+                    let mut cfg = HibernatorConfig::for_goal(goal);
+                    cfg.epoch = SimDuration::from_secs(e);
+                    cfg.heat_tau = SimDuration::from_secs(e);
+                    ctx.timed(&format!("f4 epoch {e:.0}s/OLTP"), || {
+                        array::run_policy(
+                            ctx.array_config(Workload::Oltp),
+                            Hibernator::new(cfg),
+                            trace,
+                            ctx.run_options(),
+                        )
+                    })
+                }
+            })
+            .collect::<Vec<_>>(),
+    );
     let mut rows = Vec::new();
-    for &e in epochs_s {
-        let mut cfg = HibernatorConfig::for_goal(goal);
-        cfg.epoch = SimDuration::from_secs(e);
-        cfg.heat_tau = SimDuration::from_secs(e);
-        let r = array::run_policy(
-            ctx.array_config(Workload::Oltp),
-            Hibernator::new(cfg),
-            &trace,
-            ctx.run_options(),
-        );
+    for (&e, r) in epochs_s.iter().zip(&runs) {
         let sav = r.savings_vs(&base) * 100.0;
         println!(
             "  epoch {:>6.0} s: savings {sav:5.1}%, {:>5} transitions, mean {:.2} ms",
@@ -127,27 +166,55 @@ pub fn f4(ctx: &Ctx) {
 pub fn f5(ctx: &Ctx) {
     println!("\n== F5: savings vs number of speed levels (OLTP) ==");
     let trace = ctx.trace(Workload::Oltp);
-    let mut rows = Vec::new();
     let levels_list: &[usize] = if ctx.quick { &[2, 6] } else { &[2, 3, 4, 6, 8] };
-    for &levels in levels_list {
-        let config = ctx.array_config_with(Workload::Oltp, ctx.disks(), levels);
-        let base = ctx.run_kind(
-            PolicyKind::Base,
-            config.clone(),
-            &trace,
-            ctx.run_options(),
-            0.1,
+    // Stage 1: the Base run of each level count (calibrates its goal).
+    let bases = ctx.pool().map(
+        levels_list
+            .iter()
+            .map(|&levels| {
+                let trace = &trace;
+                move || {
+                    let config = ctx.array_config_with(Workload::Oltp, ctx.disks(), levels);
+                    ctx.timed(&format!("f5 Base {levels}-level/OLTP"), || {
+                        ctx.run_kind(PolicyKind::Base, config, trace, ctx.run_options(), 0.1)
+                    })
+                }
+            })
+            .collect::<Vec<_>>(),
+    );
+    // Stage 2: the managed run of each level count, against its own goal.
+    let goals: Vec<f64> = bases
+        .iter()
+        .map(|b| b.response.mean() * ctx.goal_factor())
+        .collect();
+    let runs = ctx.pool().map(
+        levels_list
+            .iter()
+            .zip(&goals)
+            .map(|(&levels, &goal)| {
+                let trace = &trace;
+                move || {
+                    let config = ctx.array_config_with(Workload::Oltp, ctx.disks(), levels);
+                    ctx.timed(&format!("f5 Hibernator {levels}-level/OLTP"), || {
+                        ctx.run_kind(
+                            PolicyKind::Hibernator,
+                            config,
+                            trace,
+                            ctx.run_options(),
+                            goal,
+                        )
+                    })
+                }
+            })
+            .collect::<Vec<_>>(),
+    );
+    let mut rows = Vec::new();
+    for ((&levels, base), r) in levels_list.iter().zip(&bases).zip(&runs) {
+        let sav = r.savings_vs(base) * 100.0;
+        println!(
+            "  {levels} levels: savings {sav:.1}%, mean {:.2} ms",
+            r.mean_response_ms()
         );
-        let goal = base.response.mean() * ctx.goal_factor();
-        let r = ctx.run_kind(
-            PolicyKind::Hibernator,
-            config,
-            &trace,
-            ctx.run_options(),
-            goal,
-        );
-        let sav = r.savings_vs(&base) * 100.0;
-        println!("  {levels} levels: savings {sav:.1}%, mean {:.2} ms", r.mean_response_ms());
         rows.push(format!("{levels},{sav:.2},{:.3}", r.mean_response_ms()));
     }
     ctx.write_csv("f5_levels_sweep.csv", "levels,savings_pct,mean_ms", &rows);
@@ -156,31 +223,55 @@ pub fn f5(ctx: &Ctx) {
 /// F6 — savings and response vs load scale (OLTP): where saving stops.
 pub fn f6(ctx: &Ctx) {
     println!("\n== F6: savings vs load scale (OLTP) ==");
-    let mut rows = Vec::new();
     let loads: &[f64] = if ctx.quick {
         &[0.5, 1.0, 2.0]
     } else {
         &[0.25, 0.5, 1.0, 1.5, 2.0]
     };
-    for &load in loads {
-        let trace = ctx.trace_with_load(Workload::Oltp, load);
-        let config = ctx.array_config(Workload::Oltp);
-        let base = ctx.run_kind(
-            PolicyKind::Base,
-            config.clone(),
-            &trace,
-            ctx.run_options(),
-            0.1,
-        );
-        let goal = base.response.mean() * ctx.goal_factor();
-        let r = ctx.run_kind(
-            PolicyKind::Hibernator,
-            config,
-            &trace,
-            ctx.run_options(),
-            goal,
-        );
-        let sav = r.savings_vs(&base) * 100.0;
+    // Stage 1: per-load Base runs (each also generates its trace).
+    let bases = ctx.pool().map(
+        loads
+            .iter()
+            .map(|&load| {
+                move || {
+                    let trace = ctx.trace_with_load(Workload::Oltp, load);
+                    let config = ctx.array_config(Workload::Oltp);
+                    ctx.timed(&format!("f6 Base load {load:.2}x/OLTP"), || {
+                        ctx.run_kind(PolicyKind::Base, config, &trace, ctx.run_options(), 0.1)
+                    })
+                }
+            })
+            .collect::<Vec<_>>(),
+    );
+    // Stage 2: the goal-calibrated Hibernator runs.
+    let goals: Vec<f64> = bases
+        .iter()
+        .map(|b| b.response.mean() * ctx.goal_factor())
+        .collect();
+    let runs = ctx.pool().map(
+        loads
+            .iter()
+            .zip(&goals)
+            .map(|(&load, &goal)| {
+                move || {
+                    let trace = ctx.trace_with_load(Workload::Oltp, load);
+                    let config = ctx.array_config(Workload::Oltp);
+                    ctx.timed(&format!("f6 Hibernator load {load:.2}x/OLTP"), || {
+                        ctx.run_kind(
+                            PolicyKind::Hibernator,
+                            config,
+                            &trace,
+                            ctx.run_options(),
+                            goal,
+                        )
+                    })
+                }
+            })
+            .collect::<Vec<_>>(),
+    );
+    let mut rows = Vec::new();
+    for ((&load, (base, r)), &goal) in loads.iter().zip(bases.iter().zip(&runs)).zip(&goals) {
+        let sav = r.savings_vs(base) * 100.0;
         println!(
             "  load {load:.2}x: savings {sav:5.1}%, mean {:.2} ms (goal {:.2} ms)",
             r.mean_response_ms(),
@@ -202,13 +293,15 @@ pub fn f6(ctx: &Ctx) {
 /// F7 — migration-policy ablation (OLTP): none vs random vs temperature.
 pub fn f7(ctx: &Ctx) {
     println!("\n== F7: migration ablation (OLTP) ==");
-    let base = ctx.report(PolicyKind::Base, Workload::Oltp);
-    let mut rows = Vec::new();
-    for p in [
+    let variants = [
         PolicyKind::HibernatorNoMig,
         PolicyKind::HibernatorRandMig,
         PolicyKind::Hibernator,
-    ] {
+    ];
+    ctx.prefetch(&variants.map(|p| (p, Workload::Oltp)));
+    let base = ctx.report(PolicyKind::Base, Workload::Oltp);
+    let mut rows = Vec::new();
+    for p in variants {
         let r = ctx.report(p, Workload::Oltp);
         let sav = r.savings_vs(&base) * 100.0;
         println!(
@@ -234,6 +327,10 @@ pub fn f7(ctx: &Ctx) {
 /// F8 — response-time CDF with and without the performance guard (Cello).
 pub fn f8(ctx: &Ctx) {
     println!("\n== F8: response CDF, guard on/off (Cello) ==");
+    ctx.prefetch(&[
+        (PolicyKind::Hibernator, Workload::Cello),
+        (PolicyKind::HibernatorNoGuard, Workload::Cello),
+    ]);
     let goal = ctx.goal_s(Workload::Cello);
     let mut rows = Vec::new();
     for p in [PolicyKind::Hibernator, PolicyKind::HibernatorNoGuard] {
@@ -242,7 +339,7 @@ pub fn f8(ctx: &Ctx) {
             rows.push(format!("{},{:.5},{f:.5}", p.label(), v * 1e3));
         }
         let p99 = r.response_hist.quantile(0.99).unwrap_or(0.0) * 1e3;
-        let viol = violation_fraction(&r, goal, ctx.duration_s() * 0.1) * 100.0;
+        let viol = violation_fraction(&r.response_series, goal, ctx.duration_s() * 0.1) * 100.0;
         println!(
             "  {:>14}: mean {:.2} ms, p99 {p99:.1} ms, violations {viol:.1}%",
             p.label(),
@@ -255,29 +352,58 @@ pub fn f8(ctx: &Ctx) {
 /// F9 — savings vs array size (OLTP, per-disk load held constant).
 pub fn f9(ctx: &Ctx) {
     println!("\n== F9: savings vs array size (OLTP) ==");
-    let sizes: &[usize] = if ctx.quick { &[8, 16] } else { &[8, 16, 24, 32] };
+    let sizes: &[usize] = if ctx.quick {
+        &[8, 16]
+    } else {
+        &[8, 16, 24, 32]
+    };
+    // Stage 1: Base per size (arrival rate scales with the array so
+    // per-disk load is fixed; each job generates its own trace).
+    let bases = ctx.pool().map(
+        sizes
+            .iter()
+            .map(|&disks| {
+                move || {
+                    let load = disks as f64 / ctx.disks() as f64;
+                    let trace = ctx.trace_with_load(Workload::Oltp, load);
+                    let config = ctx.array_config_with(Workload::Oltp, disks, 6);
+                    ctx.timed(&format!("f9 Base {disks}-disk/OLTP"), || {
+                        ctx.run_kind(PolicyKind::Base, config, &trace, ctx.run_options(), 0.1)
+                    })
+                }
+            })
+            .collect::<Vec<_>>(),
+    );
+    // Stage 2: Hibernator per size against the stage-1 goals.
+    let goals: Vec<f64> = bases
+        .iter()
+        .map(|b| b.response.mean() * ctx.goal_factor())
+        .collect();
+    let runs = ctx.pool().map(
+        sizes
+            .iter()
+            .zip(&goals)
+            .map(|(&disks, &goal)| {
+                move || {
+                    let load = disks as f64 / ctx.disks() as f64;
+                    let trace = ctx.trace_with_load(Workload::Oltp, load);
+                    let config = ctx.array_config_with(Workload::Oltp, disks, 6);
+                    ctx.timed(&format!("f9 Hibernator {disks}-disk/OLTP"), || {
+                        ctx.run_kind(
+                            PolicyKind::Hibernator,
+                            config,
+                            &trace,
+                            ctx.run_options(),
+                            goal,
+                        )
+                    })
+                }
+            })
+            .collect::<Vec<_>>(),
+    );
     let mut rows = Vec::new();
-    for &disks in sizes {
-        // Scale the arrival rate with the array so per-disk load is fixed.
-        let load = disks as f64 / ctx.disks() as f64;
-        let trace = ctx.trace_with_load(Workload::Oltp, load);
-        let config = ctx.array_config_with(Workload::Oltp, disks, 6);
-        let base = ctx.run_kind(
-            PolicyKind::Base,
-            config.clone(),
-            &trace,
-            ctx.run_options(),
-            0.1,
-        );
-        let goal = base.response.mean() * ctx.goal_factor();
-        let r = ctx.run_kind(
-            PolicyKind::Hibernator,
-            config,
-            &trace,
-            ctx.run_options(),
-            goal,
-        );
-        let sav = r.savings_vs(&base) * 100.0;
+    for ((&disks, base), r) in sizes.iter().zip(&bases).zip(&runs) {
+        let sav = r.savings_vs(base) * 100.0;
         println!(
             "  {disks:>2} disks: savings {sav:5.1}%, mean {:.2} ms",
             r.mean_response_ms()
@@ -290,6 +416,7 @@ pub fn f9(ctx: &Ctx) {
 /// F10 — disks per speed tier over time (Cello): diurnal adaptation.
 pub fn f10(ctx: &Ctx) {
     println!("\n== F10: disks per tier over time (Cello, Hibernator) ==");
+    ctx.prefetch(&[(PolicyKind::Hibernator, Workload::Cello)]);
     let r = ctx.report(PolicyKind::Hibernator, Workload::Cello);
     let levels = r.level_series.len() - 2;
     let mut rows = Vec::new();
@@ -331,6 +458,10 @@ pub fn f10(ctx: &Ctx) {
 /// Hibernator vs Hibernator+standby vs the TPM bound.
 pub fn f11(ctx: &Ctx) {
     println!("\n== F11 (extension): standby option (Cello) ==");
+    ctx.prefetch(&[
+        (PolicyKind::Base, Workload::Cello),
+        (PolicyKind::Hibernator, Workload::Cello),
+    ]);
     let base = ctx.report(PolicyKind::Base, Workload::Cello);
     let goal = ctx.goal_s(Workload::Cello);
     let trace = ctx.trace(Workload::Cello);
@@ -338,15 +469,17 @@ pub fn f11(ctx: &Ctx) {
     let plain = ctx.report(PolicyKind::Hibernator, Workload::Cello);
     let mut cfg = ctx.hibernator_config(goal);
     cfg.allow_standby = true;
-    let standby = array::run_policy(
-        ctx.array_config(Workload::Cello),
-        Hibernator::new(cfg),
-        &trace,
-        ctx.run_options(),
-    );
+    let standby = ctx.timed("f11 Hib+standby/Cello", || {
+        array::run_policy(
+            ctx.array_config(Workload::Cello),
+            Hibernator::new(cfg),
+            &trace,
+            ctx.run_options(),
+        )
+    });
     for (name, r) in [("Hibernator", &*plain), ("Hib+standby", &standby)] {
         let sav = r.savings_vs(&base) * 100.0;
-        let viol = violation_fraction(r, goal, ctx.duration_s() * 0.1) * 100.0;
+        let viol = violation_fraction(&r.response_series, goal, ctx.duration_s() * 0.1) * 100.0;
         println!(
             "  {name:>12}: savings {sav:5.1}%, mean {:.2} ms, violations {viol:.1}%, standby {:.0} kJ",
             r.mean_response_ms(),
@@ -371,46 +504,58 @@ pub fn f12(ctx: &Ctx) {
     use diskmodel::SpeedLevel;
     use hibernator::mg1_response;
     use policies::FixedSpeed;
+    let grid: Vec<(usize, f64)> = [0usize, 3, 5]
+        .iter()
+        .flat_map(|&level| [0.5, 1.0, 2.0].map(|load| (level, load)))
+        .collect();
+    let runs: Vec<RunReport> = ctx.pool().map(
+        grid.iter()
+            .map(|&(level, load)| {
+                move || {
+                    let trace = ctx.trace_with_load(Workload::Oltp, load);
+                    let config = ctx.array_config(Workload::Oltp);
+                    ctx.timed(&format!("f12 L{level} load {load:.1}x/OLTP"), || {
+                        array::run_policy(
+                            config,
+                            FixedSpeed::new(SpeedLevel(level)),
+                            &trace,
+                            ctx.run_options(),
+                        )
+                    })
+                }
+            })
+            .collect::<Vec<_>>(),
+    );
     let mut rows = Vec::new();
-    for level in [0usize, 3, 5] {
-        for load in [0.5, 1.0, 2.0] {
-            let trace = ctx.trace_with_load(Workload::Oltp, load);
-            let config = ctx.array_config(Workload::Oltp);
-            let disks = config.disks as f64;
-            let r = array::run_policy(
-                config,
-                FixedSpeed::new(SpeedLevel(level)),
-                &trace,
-                ctx.run_options(),
-            );
-            // Per-disk arrival rate of *disk-level* requests.
-            let lambda = r.service.count() as f64 / ctx.duration_s() / disks;
-            let es = r.service.mean();
-            let es2 = r.service.raw_second_moment();
-            let predicted = mg1_response(lambda, es, es2);
-            // Skip the first bucket: it contains the initial spindle ramp.
-            let steady: Vec<f64> = r
-                .response_series
-                .mean_points()
-                .into_iter()
-                .skip(1)
-                .map(|(_, v)| v)
-                .collect();
-            let measured = steady.iter().sum::<f64>() / steady.len().max(1) as f64;
-            let err = (measured - predicted) / predicted * 100.0;
-            println!(
-                "  L{level} load {load:.1}x: rho {:.2}  predicted {:6.2} ms  measured {:6.2} ms  ({err:+.1}%)",
-                lambda * es,
-                predicted * 1e3,
-                measured * 1e3,
-            );
-            rows.push(format!(
-                "{level},{load},{:.4},{:.4},{:.4},{err:.2}",
-                lambda * es,
-                predicted * 1e3,
-                measured * 1e3
-            ));
-        }
+    for (&(level, load), r) in grid.iter().zip(&runs) {
+        let disks = ctx.disks() as f64;
+        // Per-disk arrival rate of *disk-level* requests.
+        let lambda = r.service.count() as f64 / ctx.duration_s() / disks;
+        let es = r.service.mean();
+        let es2 = r.service.raw_second_moment();
+        let predicted = mg1_response(lambda, es, es2);
+        // Skip the first bucket: it contains the initial spindle ramp.
+        let steady: Vec<f64> = r
+            .response_series
+            .mean_points()
+            .into_iter()
+            .skip(1)
+            .map(|(_, v)| v)
+            .collect();
+        let measured = steady.iter().sum::<f64>() / steady.len().max(1) as f64;
+        let err = (measured - predicted) / predicted * 100.0;
+        println!(
+            "  L{level} load {load:.1}x: rho {:.2}  predicted {:6.2} ms  measured {:6.2} ms  ({err:+.1}%)",
+            lambda * es,
+            predicted * 1e3,
+            measured * 1e3,
+        );
+        rows.push(format!(
+            "{level},{load},{:.4},{:.4},{:.4},{err:.2}",
+            lambda * es,
+            predicted * 1e3,
+            measured * 1e3
+        ));
     }
     ctx.write_csv(
         "f12_model_validation.csv",
@@ -419,8 +564,19 @@ pub fn f12(ctx: &Ctx) {
     );
 }
 
-/// Runs every figure.
+/// Runs every figure, prefetching the standard-scenario union first so the
+/// pool sees the whole grid at once.
 pub fn all(ctx: &Ctx) {
+    let mut pairs: Vec<(PolicyKind, Workload)> =
+        PolicyKind::HEADLINE.map(|p| (p, Workload::Oltp)).to_vec();
+    pairs.extend([
+        (PolicyKind::HibernatorNoMig, Workload::Oltp),
+        (PolicyKind::HibernatorRandMig, Workload::Oltp),
+        (PolicyKind::Base, Workload::Cello),
+        (PolicyKind::Hibernator, Workload::Cello),
+        (PolicyKind::HibernatorNoGuard, Workload::Cello),
+    ]);
+    ctx.prefetch(&pairs);
     f1(ctx);
     f2(ctx);
     f3(ctx);

@@ -3,12 +3,16 @@
 //! EXPERIMENTS.md for recorded results).
 //!
 //! ```text
-//! repro [--quick] [--seed N] [--out DIR] <experiment...>
-//!   experiments: t1 t2 t3 t4 t5 f1..f10 | tables | figures | all
+//! repro [--quick] [--seed N] [--out DIR] [--jobs N] <experiment...>
+//!   experiments: t1..t6 f1..f12 faults | tables | figures | all
 //! ```
 //!
 //! `--quick` runs 2-hour traces instead of 24-hour ones (for smoke tests);
-//! results land as CSV in `--out` (default `results/`).
+//! results land as CSV in `--out` (default `results/`). `--jobs N` caps
+//! the number of simulations in flight at once (default: the machine's
+//! available parallelism); every run is seed-deterministic, so the CSVs
+//! are byte-identical at any jobs count. `--horizon-h H` overrides the
+//! simulated horizon (hours) for sub-quick smoke runs.
 
 mod common;
 mod faults;
@@ -19,7 +23,8 @@ use common::Ctx;
 
 fn usage() -> ! {
     eprintln!(
-        "usage: repro [--quick] [--seed N] [--out DIR] <t1..t6|f1..f12|faults|tables|figures|all>..."
+        "usage: repro [--quick] [--seed N] [--out DIR] [--jobs N] [--horizon-h H] \
+         <t1..t6|f1..f12|faults|tables|figures|all>..."
     );
     std::process::exit(2);
 }
@@ -28,6 +33,8 @@ fn main() {
     let mut quick = false;
     let mut seed = 42u64;
     let mut out = String::from("results");
+    let mut jobs = parallel::available_parallelism();
+    let mut horizon_h: Option<f64> = None;
     let mut experiments: Vec<String> = Vec::new();
 
     let mut args = std::env::args().skip(1);
@@ -41,6 +48,21 @@ fn main() {
                     .unwrap_or_else(|| usage())
             }
             "--out" => out = args.next().unwrap_or_else(|| usage()),
+            "--jobs" => {
+                jobs = args
+                    .next()
+                    .and_then(|s| s.parse().ok())
+                    .filter(|&n| n >= 1)
+                    .unwrap_or_else(|| usage())
+            }
+            "--horizon-h" => {
+                horizon_h = Some(
+                    args.next()
+                        .and_then(|s| s.parse().ok())
+                        .filter(|&h: &f64| h > 0.0 && h.is_finite())
+                        .unwrap_or_else(|| usage()),
+                )
+            }
             "--help" | "-h" => usage(),
             e if !e.starts_with('-') => experiments.push(e.to_string()),
             _ => usage(),
@@ -50,9 +72,12 @@ fn main() {
         usage();
     }
 
-    let ctx = Ctx::new(quick, seed, &out);
+    let mut ctx = Ctx::new(quick, seed, &out, jobs);
+    if let Some(h) = horizon_h {
+        ctx.set_horizon_hours(h);
+    }
     println!(
-        "# Hibernator reproduction — {} scale, seed {seed}, {} disks, {:.0} h horizon",
+        "# Hibernator reproduction — {} scale, seed {seed}, {} disks, {:.1} h horizon, {jobs} job(s)",
         if quick { "quick" } else { "full" },
         ctx.disks(),
         ctx.duration_s() / 3600.0
@@ -62,6 +87,7 @@ fn main() {
     for e in &experiments {
         run_one(&ctx, e);
     }
+    ctx.print_timings();
     println!("\ndone in {:.1?} (wall clock)", started.elapsed());
 }
 
@@ -87,6 +113,16 @@ fn run_one(ctx: &Ctx, name: &str) {
         "f12" => figures::f12(ctx),
         "faults" => faults::faults(ctx),
         "tables" => {
+            // One prefetch covers every standard-scenario run the tables
+            // need, so the whole grid fans out across the pool at once.
+            let mut pairs: Vec<(common::PolicyKind, common::Workload)> = Vec::new();
+            for w in [common::Workload::Oltp, common::Workload::Cello] {
+                for p in common::PolicyKind::HEADLINE {
+                    pairs.push((p, w));
+                }
+                pairs.push((common::PolicyKind::FixedSlow, w));
+            }
+            ctx.prefetch(&pairs);
             for t in ["t1", "t2", "t3", "t4", "t5", "t6"] {
                 run_one(ctx, t);
             }

@@ -24,8 +24,13 @@ pub fn t1(ctx: &Ctx) {
         "{}",
         row(
             &[
-                "level", "RPM", "idle(W)", "xfer(W)", "E[S](ms)",
-                "ramp-up(s)", "ramp-dn(s)"
+                "level",
+                "RPM",
+                "idle(W)",
+                "xfer(W)",
+                "E[S](ms)",
+                "ramp-up(s)",
+                "ramp-dn(s)"
             ]
             .map(String::from),
             &widths
@@ -65,13 +70,31 @@ pub fn t1(ctx: &Ctx) {
 /// T2 — workload characteristics.
 pub fn t2(ctx: &Ctx) {
     println!("\n== T2: workload characteristics ==");
+    // Generate both traces concurrently (single-flight keeps them shared
+    // with every later run that needs them).
+    ctx.pool().map(
+        [Workload::Oltp, Workload::Cello]
+            .iter()
+            .map(|&w| {
+                move || {
+                    ctx.trace(w);
+                }
+            })
+            .collect::<Vec<_>>(),
+    );
     let widths = [7, 10, 10, 8, 10, 11, 11, 10];
     println!(
         "{}",
         row(
             &[
-                "trace", "requests", "rate(/s)", "read%", "size(KiB)",
-                "fp(MiB)", "top10%shr", "peak/mean"
+                "trace",
+                "requests",
+                "rate(/s)",
+                "read%",
+                "size(KiB)",
+                "fp(MiB)",
+                "top10%shr",
+                "peak/mean"
             ]
             .map(String::from),
             &widths
@@ -114,10 +137,15 @@ pub fn t3(ctx: &Ctx) {
         )
     );
     let mut rows = Vec::new();
-    let base_o = ctx.report(PolicyKind::Base, Workload::Oltp);
-    let base_c = ctx.report(PolicyKind::Base, Workload::Cello);
     let mut listed: Vec<PolicyKind> = PolicyKind::HEADLINE.to_vec();
     listed.push(PolicyKind::FixedSlow); // the always-slow energy bracket
+    let pairs: Vec<(PolicyKind, Workload)> = listed
+        .iter()
+        .flat_map(|&p| [(p, Workload::Oltp), (p, Workload::Cello)])
+        .collect();
+    ctx.prefetch(&pairs);
+    let base_o = ctx.report(PolicyKind::Base, Workload::Oltp);
+    let base_c = ctx.report(PolicyKind::Base, Workload::Cello);
     for p in listed {
         let ro = ctx.report(p, Workload::Oltp);
         let rc = ctx.report(p, Workload::Cello);
@@ -147,14 +175,24 @@ pub fn t4(ctx: &Ctx) {
         "{}",
         row(
             &[
-                "policy", "O mean(ms)", "O p95(ms)", "O viol%", "C mean(ms)",
-                "C p95(ms)", "C viol%"
+                "policy",
+                "O mean(ms)",
+                "O p95(ms)",
+                "O viol%",
+                "C mean(ms)",
+                "C p95(ms)",
+                "C viol%"
             ]
             .map(String::from),
             &widths
         )
     );
     let mut rows = Vec::new();
+    let pairs: Vec<(PolicyKind, Workload)> = PolicyKind::HEADLINE
+        .iter()
+        .flat_map(|&p| [(p, Workload::Oltp), (p, Workload::Cello)])
+        .collect();
+    ctx.prefetch(&pairs);
     for p in PolicyKind::HEADLINE {
         let ro = ctx.report(p, Workload::Oltp);
         let rc = ctx.report(p, Workload::Cello);
@@ -163,11 +201,23 @@ pub fn t4(ctx: &Ctx) {
         let cells = [
             p.label().to_string(),
             format!("{:.2}", ro.mean_response_ms()),
-            format!("{:.2}", ro.response_hist.quantile(0.95).unwrap_or(0.0) * 1e3),
-            format!("{:.1}", violation_fraction(&ro, go, warmup) * 100.0),
+            format!(
+                "{:.2}",
+                ro.response_hist.quantile(0.95).unwrap_or(0.0) * 1e3
+            ),
+            format!(
+                "{:.1}",
+                violation_fraction(&ro.response_series, go, warmup) * 100.0
+            ),
             format!("{:.2}", rc.mean_response_ms()),
-            format!("{:.2}", rc.response_hist.quantile(0.95).unwrap_or(0.0) * 1e3),
-            format!("{:.1}", violation_fraction(&rc, gc, warmup) * 100.0),
+            format!(
+                "{:.2}",
+                rc.response_hist.quantile(0.95).unwrap_or(0.0) * 1e3
+            ),
+            format!(
+                "{:.1}",
+                violation_fraction(&rc.response_series, gc, warmup) * 100.0
+            ),
         ];
         println!("{}", row(&cells, &widths));
         rows.push(cells.join(","));
@@ -191,23 +241,56 @@ pub fn t6(ctx: &Ctx) {
     println!("\n== T6: redundancy mode (OLTP, Base vs Hibernator) ==");
     use crate::common::PolicyKind;
     let trace = ctx.trace(Workload::Oltp);
-    let mut rows = Vec::new();
-    for (label, redundancy) in [
+    let modes = [
         ("striped", array::Redundancy::None),
         ("raid5", array::Redundancy::Raid5Like),
-    ] {
-        let mut config = ctx.array_config(Workload::Oltp);
-        config.redundancy = redundancy;
-        let base = ctx.run_kind(
-            PolicyKind::Base,
-            config.clone(),
-            &trace,
-            ctx.run_options(),
-            0.1,
-        );
-        let goal = base.response.mean() * ctx.goal_factor();
-        let hib = ctx.run_kind(PolicyKind::Hibernator, config, &trace, ctx.run_options(), goal);
-        let sav = hib.savings_vs(&base) * 100.0;
+    ];
+    // Stage 1: Base per redundancy mode (calibrates each goal).
+    let bases = ctx.pool().map(
+        modes
+            .iter()
+            .map(|&(label, redundancy)| {
+                let trace = &trace;
+                move || {
+                    let mut config = ctx.array_config(Workload::Oltp);
+                    config.redundancy = redundancy;
+                    ctx.timed(&format!("t6 Base {label}/OLTP"), || {
+                        ctx.run_kind(PolicyKind::Base, config, trace, ctx.run_options(), 0.1)
+                    })
+                }
+            })
+            .collect::<Vec<_>>(),
+    );
+    // Stage 2: Hibernator per mode against its own goal.
+    let goals: Vec<f64> = bases
+        .iter()
+        .map(|b| b.response.mean() * ctx.goal_factor())
+        .collect();
+    let hibs = ctx.pool().map(
+        modes
+            .iter()
+            .zip(&goals)
+            .map(|(&(label, redundancy), &goal)| {
+                let trace = &trace;
+                move || {
+                    let mut config = ctx.array_config(Workload::Oltp);
+                    config.redundancy = redundancy;
+                    ctx.timed(&format!("t6 Hibernator {label}/OLTP"), || {
+                        ctx.run_kind(
+                            PolicyKind::Hibernator,
+                            config,
+                            trace,
+                            ctx.run_options(),
+                            goal,
+                        )
+                    })
+                }
+            })
+            .collect::<Vec<_>>(),
+    );
+    let mut rows = Vec::new();
+    for (((label, _), base), (hib, goal)) in modes.iter().zip(&bases).zip(hibs.iter().zip(&goals)) {
+        let sav = hib.savings_vs(base) * 100.0;
         println!(
             "  {label:>8}: base {:6.0} kJ, hib {:6.0} kJ ({sav:5.1}% saved), \
              base mean {:.2} ms, hib mean {:.2} ms (goal {:.2} ms)",
@@ -241,13 +324,20 @@ pub fn t5(ctx: &Ctx) {
         "{}",
         row(
             &[
-                "policy", "idle", "seek", "transfer", "transition", "standby", "migration"
+                "policy",
+                "idle",
+                "seek",
+                "transfer",
+                "transition",
+                "standby",
+                "migration"
             ]
             .map(String::from),
             &widths
         )
     );
     let mut rows = Vec::new();
+    ctx.prefetch(&PolicyKind::HEADLINE.map(|p| (p, Workload::Oltp)));
     for p in PolicyKind::HEADLINE {
         let r = ctx.report(p, Workload::Oltp);
         let kj = |c: EnergyComponent| r.energy.joules(c) / 1e3;

@@ -1,0 +1,78 @@
+//! Determinism under parallelism: the same experiments at `--jobs 1` and
+//! `--jobs 4` must produce byte-identical CSV output.
+//!
+//! Every simulation owns its seeded RNG and all CSV formatting happens
+//! serially from ordered results, so the jobs count must never leak into
+//! the outputs. The chosen experiments cover both scheduling paths:
+//! `t3` exercises the single-flight run cache and the two-stage
+//! Base-before-goal prefetch, `f6` exercises ad-hoc pool batches with
+//! per-load trace generation.
+
+use std::path::{Path, PathBuf};
+use std::process::Command;
+
+/// Runs the `repro` binary on a tiny horizon and returns its output dir.
+fn run_repro(tag: &str, jobs: u32) -> PathBuf {
+    let out = std::env::temp_dir().join(format!("repro_det_{tag}_{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&out);
+    let status = Command::new(env!("CARGO_BIN_EXE_repro"))
+        .args([
+            "--quick",
+            "--horizon-h",
+            "0.1",
+            "--seed",
+            "11",
+            "--jobs",
+            &jobs.to_string(),
+            "--out",
+        ])
+        .arg(&out)
+        .args(["t3", "f6"])
+        .output()
+        .expect("spawn repro binary");
+    assert!(
+        status.status.success(),
+        "repro --jobs {jobs} failed:\n{}",
+        String::from_utf8_lossy(&status.stderr)
+    );
+    out
+}
+
+/// All CSV files under `dir`, sorted by name.
+fn csvs(dir: &Path) -> Vec<PathBuf> {
+    let mut v: Vec<PathBuf> = std::fs::read_dir(dir)
+        .expect("read results dir")
+        .map(|e| e.expect("dir entry").path())
+        .filter(|p| p.extension().is_some_and(|e| e == "csv"))
+        .collect();
+    v.sort();
+    v
+}
+
+#[test]
+fn jobs_count_does_not_change_csv_bytes() {
+    let serial = run_repro("j1", 1);
+    let parallel = run_repro("j4", 4);
+
+    let a = csvs(&serial);
+    let b = csvs(&parallel);
+    assert!(!a.is_empty(), "no CSVs produced");
+    assert_eq!(
+        a.iter().map(|p| p.file_name().unwrap()).collect::<Vec<_>>(),
+        b.iter().map(|p| p.file_name().unwrap()).collect::<Vec<_>>(),
+        "different file sets"
+    );
+    for (pa, pb) in a.iter().zip(&b) {
+        let ba = std::fs::read(pa).expect("read csv");
+        let bb = std::fs::read(pb).expect("read csv");
+        assert!(
+            ba == bb,
+            "{} differs between --jobs 1 and --jobs 4",
+            pa.file_name().unwrap().to_string_lossy()
+        );
+        assert!(!ba.is_empty(), "{} is empty", pa.display());
+    }
+
+    let _ = std::fs::remove_dir_all(&serial);
+    let _ = std::fs::remove_dir_all(&parallel);
+}

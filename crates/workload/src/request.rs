@@ -47,6 +47,14 @@ pub struct Trace {
     pub requests: Vec<VolumeRequest>,
 }
 
+// Traces are shared read-only across the parallel harness's worker
+// threads (behind `Arc`); this fails to compile if a field ever breaks
+// that.
+const _: () = {
+    const fn assert_send_sync<T: Send + Sync>() {}
+    assert_send_sync::<Trace>();
+};
+
 impl Trace {
     /// An empty trace.
     pub fn new() -> Self {
