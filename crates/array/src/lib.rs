@@ -29,7 +29,9 @@ mod stats;
 mod types;
 
 pub use heat::HeatMap;
-pub use migration::{MigrationEngine, MigrationJob, MigrationStats};
+pub use migration::{
+    MigrationEngine, MigrationJob, MigrationRecord, MigrationRecordKind, MigrationStats,
+};
 pub use policy::{ArrayState, BasePolicy, PowerPolicy};
 pub use remap::{Placement, RemapTable};
 pub use sim::{run_policy, RunOptions, RunReport, Simulation};

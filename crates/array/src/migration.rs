@@ -23,6 +23,7 @@ use crate::types::{ChunkId, DiskId};
 use diskmodel::{Completion, DiskRequest, IoKind, RequestClass};
 use simkit::SimTime;
 use std::collections::{HashMap, HashSet, VecDeque};
+use telemetry::MoveKind;
 
 /// A requested layout change.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -85,6 +86,60 @@ pub struct MigrationStats {
     pub sectors_moved: u64,
 }
 
+/// One recorded migration lifecycle event, produced only while recording
+/// is enabled (see [`MigrationEngine::set_recording`]). The driver drains
+/// these with [`MigrationEngine::drain_records`] and forwards them to the
+/// telemetry stream; field types deliberately match the `telemetry` event
+/// variants so forwarding is a plain copy.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MigrationRecord {
+    /// Simulated time of the event, seconds.
+    pub time_s: f64,
+    /// Engine-assigned job id (unique within a run).
+    pub job: u64,
+    /// Which lifecycle stage happened.
+    pub kind: MigrationRecordKind,
+}
+
+/// Lifecycle stage captured by a [`MigrationRecord`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum MigrationRecordKind {
+    /// Copy I/O was issued for the job.
+    Started {
+        /// Chunk being moved (0 for raw writes, which have none).
+        chunk: u64,
+        /// Disk read from (for swaps: the first chunk's home).
+        src: u32,
+        /// Disk written to (for swaps: the second chunk's home).
+        dst: u32,
+    },
+    /// The job committed and the remap table was updated (raw writes
+    /// commit without a remap change).
+    Moved {
+        /// Chunk moved (0 for raw writes).
+        chunk: u64,
+        /// Disk the payload left.
+        src: u32,
+        /// Disk the payload landed on.
+        dst: u32,
+        /// Payload bytes written (both directions for a swap).
+        bytes: u64,
+        /// What kind of job committed.
+        kind: MoveKind,
+    },
+    /// The job finished its I/O but aborted instead of committing
+    /// (dirtied by a foreground write, or degenerated to a no-op).
+    Aborted {
+        /// Chunk the job was moving (0 for raw writes).
+        chunk: u64,
+    },
+    /// The job was torn down mid-copy by a disk failure.
+    Dropped {
+        /// Chunk the job was moving (0 for raw writes).
+        chunk: u64,
+    },
+}
+
 /// Phase of an active job.
 #[derive(Debug)]
 enum Phase {
@@ -125,6 +180,9 @@ pub struct MigrationEngine {
     piece_sectors: u32,
     paused: bool,
     stats: MigrationStats,
+    /// When true, every job lifecycle edge is appended to `records`.
+    recording: bool,
+    records: Vec<MigrationRecord>,
 }
 
 /// Migration-request ids live in their own namespace (top bit set) so they
@@ -152,6 +210,41 @@ impl MigrationEngine {
             piece_sectors: 256, // 128 KiB pieces keep foreground stalls short
             paused: false,
             stats: MigrationStats::default(),
+            recording: false,
+            records: Vec::new(),
+        }
+    }
+
+    /// Enables or disables lifecycle recording. Off by default, so the
+    /// engine allocates nothing for telemetry unless a recorder is
+    /// attached.
+    pub fn set_recording(&mut self, on: bool) {
+        self.recording = on;
+    }
+
+    /// Takes all records accumulated since the last drain, oldest first.
+    pub fn drain_records(&mut self) -> Vec<MigrationRecord> {
+        std::mem::take(&mut self.records)
+    }
+
+    fn record(&mut self, now: SimTime, job: u64, kind: MigrationRecordKind) {
+        if self.recording {
+            self.records.push(MigrationRecord {
+                time_s: now.as_secs(),
+                job,
+                kind,
+            });
+        }
+    }
+
+    /// The chunk a job is about, for record-keeping (0 for raw writes).
+    fn record_chunk(job: &MigrationJob) -> u64 {
+        match *job {
+            MigrationJob::Relocate { chunk, .. } | MigrationJob::Rebuild { chunk, .. } => {
+                u64::from(chunk.0)
+            }
+            MigrationJob::Swap { a, .. } => u64::from(a.0),
+            MigrationJob::RawWrite { .. } => 0,
         }
     }
 
@@ -324,9 +417,7 @@ impl MigrationEngine {
     ) -> Option<Vec<(DiskId, DiskRequest)>> {
         match job {
             MigrationJob::Relocate { chunk, .. } if self.chunk_busy(chunk) => return None,
-            MigrationJob::Swap { a, b } if self.chunk_busy(a) || self.chunk_busy(b) => {
-                return None
-            }
+            MigrationJob::Swap { a, b } if self.chunk_busy(a) || self.chunk_busy(b) => return None,
             MigrationJob::Rebuild { chunk, .. } if self.chunk_busy(chunk) => return None,
             _ => {}
         }
@@ -334,7 +425,8 @@ impl MigrationEngine {
         // queue will never drain).
         let touches_dead = match job {
             MigrationJob::Relocate { chunk, dst } => {
-                self.dead.contains(&remap.disk_of(chunk).index()) || self.dead.contains(&dst.index())
+                self.dead.contains(&remap.disk_of(chunk).index())
+                    || self.dead.contains(&dst.index())
             }
             MigrationJob::Swap { a, b } => {
                 self.dead.contains(&remap.disk_of(a).index())
@@ -384,6 +476,15 @@ impl MigrationEngine {
                 );
                 self.active_rebuilds += 1;
                 self.next_job_id += 1;
+                self.record(
+                    now,
+                    job_id,
+                    MigrationRecordKind::Started {
+                        chunk: u64::from(chunk.0),
+                        src: src.index() as u32,
+                        dst: dst.index() as u32,
+                    },
+                );
                 Some(reads)
             }
             MigrationJob::Relocate { chunk, dst } => {
@@ -412,6 +513,15 @@ impl MigrationEngine {
                     },
                 );
                 self.next_job_id += 1;
+                self.record(
+                    now,
+                    job_id,
+                    MigrationRecordKind::Started {
+                        chunk: u64::from(chunk.0),
+                        src: src.disk.index() as u32,
+                        dst: dst.index() as u32,
+                    },
+                );
                 Some(reads)
             }
             MigrationJob::RawWrite {
@@ -420,8 +530,15 @@ impl MigrationEngine {
                 sectors,
             } => {
                 let mut writes = Vec::new();
-                let pieces =
-                    self.make_pieces(now, disk, sector, sectors, IoKind::Write, job_id, &mut writes);
+                let pieces = self.make_pieces(
+                    now,
+                    disk,
+                    sector,
+                    sectors,
+                    IoKind::Write,
+                    job_id,
+                    &mut writes,
+                );
                 self.active.insert(
                     job_id,
                     ActiveJob {
@@ -432,6 +549,15 @@ impl MigrationEngine {
                     },
                 );
                 self.next_job_id += 1;
+                self.record(
+                    now,
+                    job_id,
+                    MigrationRecordKind::Started {
+                        chunk: 0,
+                        src: disk.index() as u32,
+                        dst: disk.index() as u32,
+                    },
+                );
                 Some(writes)
             }
             MigrationJob::Swap { a, b } => {
@@ -463,14 +589,21 @@ impl MigrationEngine {
                     job_id,
                     ActiveJob {
                         job,
-                        phase: Phase::Reading {
-                            remaining: p1 + p2,
-                        },
+                        phase: Phase::Reading { remaining: p1 + p2 },
                         dirty: false,
                         reserved_slot: None,
                     },
                 );
                 self.next_job_id += 1;
+                self.record(
+                    now,
+                    job_id,
+                    MigrationRecordKind::Started {
+                        chunk: u64::from(a.0),
+                        src: pa.disk.index() as u32,
+                        dst: pb.disk.index() as u32,
+                    },
+                );
                 Some(reads)
             }
         }
@@ -574,6 +707,7 @@ impl MigrationEngine {
                 }
                 // Job complete: commit unless dirtied.
                 let job = self.active.remove(&job_id).expect("job vanished");
+                let chunk_bytes = remap.chunk_sectors() * 512;
                 if job.dirty {
                     self.stats.aborted += 1;
                     if let (MigrationJob::Relocate { dst, .. }, Some(slot)) =
@@ -581,32 +715,87 @@ impl MigrationEngine {
                     {
                         remap.release_slot(dst, slot);
                     }
+                    let chunk = Self::record_chunk(&job.job);
+                    self.record(now, job_id, MigrationRecordKind::Aborted { chunk });
                 } else {
                     match job.job {
-                        MigrationJob::Rebuild { chunk, dst, .. } => {
+                        MigrationJob::Rebuild { chunk, src, dst } => {
                             let slot = job.reserved_slot.expect("slot reserved");
                             remap.relocate(chunk, dst, slot);
                             self.stats.rebuilt += 1;
                             self.active_rebuilds -= 1;
+                            self.record(
+                                now,
+                                job_id,
+                                MigrationRecordKind::Moved {
+                                    chunk: u64::from(chunk.0),
+                                    src: src.index() as u32,
+                                    dst: dst.index() as u32,
+                                    bytes: chunk_bytes,
+                                    kind: MoveKind::Rebuild,
+                                },
+                            );
                         }
                         MigrationJob::Relocate { chunk, dst } => {
+                            let src = remap.disk_of(chunk);
                             let slot = job.reserved_slot.expect("slot reserved");
                             remap.relocate(chunk, dst, slot);
                             self.stats.committed += 1;
+                            self.record(
+                                now,
+                                job_id,
+                                MigrationRecordKind::Moved {
+                                    chunk: u64::from(chunk.0),
+                                    src: src.index() as u32,
+                                    dst: dst.index() as u32,
+                                    bytes: chunk_bytes,
+                                    kind: MoveKind::Relocate,
+                                },
+                            );
                         }
                         MigrationJob::Swap { a, b } => {
                             // Placements may have degenerated (e.g. a
                             // foreground-triggered abort path elsewhere);
                             // a same-disk pair is a no-op, not a panic.
-                            if remap.disk_of(a) != remap.disk_of(b) {
+                            let (da, db) = (remap.disk_of(a), remap.disk_of(b));
+                            if da != db {
                                 remap.swap(a, b);
                                 self.stats.committed += 1;
+                                self.record(
+                                    now,
+                                    job_id,
+                                    MigrationRecordKind::Moved {
+                                        chunk: u64::from(a.0),
+                                        src: da.index() as u32,
+                                        dst: db.index() as u32,
+                                        bytes: 2 * chunk_bytes,
+                                        kind: MoveKind::Swap,
+                                    },
+                                );
                             } else {
                                 self.stats.aborted += 1;
+                                self.record(
+                                    now,
+                                    job_id,
+                                    MigrationRecordKind::Aborted {
+                                        chunk: u64::from(a.0),
+                                    },
+                                );
                             }
                         }
-                        MigrationJob::RawWrite { .. } => {
+                        MigrationJob::RawWrite { disk, sectors, .. } => {
                             self.stats.raw_writes += 1;
+                            self.record(
+                                now,
+                                job_id,
+                                MigrationRecordKind::Moved {
+                                    chunk: 0,
+                                    src: disk.index() as u32,
+                                    dst: disk.index() as u32,
+                                    bytes: u64::from(sectors) * 512,
+                                    kind: MoveKind::Raw,
+                                },
+                            );
                         }
                     }
                 }
@@ -621,15 +810,16 @@ impl MigrationEngine {
     /// Returns the rebuild jobs that lost their `src` or `dst` and must be
     /// re-targeted by the driver — a failed disk cancels copies, never the
     /// obligation to re-protect a chunk.
-    pub fn note_disk_failed(&mut self, disk: DiskId, remap: &mut RemapTable) -> Vec<MigrationJob> {
+    pub fn note_disk_failed(
+        &mut self,
+        now: SimTime,
+        disk: DiskId,
+        remap: &mut RemapTable,
+    ) -> Vec<MigrationJob> {
         self.dead.insert(disk.index());
         let touches = |job: &MigrationJob, remap: &RemapTable| match *job {
-            MigrationJob::Relocate { chunk, dst } => {
-                remap.disk_of(chunk) == disk || dst == disk
-            }
-            MigrationJob::Swap { a, b } => {
-                remap.disk_of(a) == disk || remap.disk_of(b) == disk
-            }
+            MigrationJob::Relocate { chunk, dst } => remap.disk_of(chunk) == disk || dst == disk,
+            MigrationJob::Swap { a, b } => remap.disk_of(a) == disk || remap.disk_of(b) == disk,
             MigrationJob::RawWrite { disk: d, .. } => d == disk,
             MigrationJob::Rebuild { src, dst, .. } => src == disk || dst == disk,
         };
@@ -660,6 +850,8 @@ impl MigrationEngine {
             .collect();
         for job_id in doomed {
             let job = self.active.remove(&job_id).expect("doomed job present");
+            let chunk = Self::record_chunk(&job.job);
+            self.record(now, job_id, MigrationRecordKind::Dropped { chunk });
             // Outstanding pieces on surviving disks will still complete;
             // mark them orphans so those completions are swallowed.
             let outstanding: Vec<u64> = self
@@ -800,6 +992,90 @@ mod tests {
         assert_eq!(t.occupancy(DiskId(2)), 4);
     }
 
+    /// Recording captures the full lifecycle of a committed relocate —
+    /// one Started and one Moved record sharing a job id — and nothing is
+    /// retained while recording is off.
+    #[test]
+    fn recording_captures_relocate_lifecycle() {
+        let mut t = remap(4, 16);
+        let mut e = MigrationEngine::new(2);
+        e.set_recording(true);
+        e.enqueue([MigrationJob::Relocate {
+            chunk: ChunkId(0),
+            dst: DiskId(2),
+        }]);
+        run_job(&mut e, &mut t, false);
+        let recs = e.drain_records();
+        assert_eq!(recs.len(), 2);
+        assert_eq!(recs[0].job, recs[1].job);
+        assert_eq!(
+            recs[0].kind,
+            MigrationRecordKind::Started {
+                chunk: 0,
+                src: 0,
+                dst: 2,
+            }
+        );
+        match recs[1].kind {
+            MigrationRecordKind::Moved {
+                chunk,
+                src,
+                dst,
+                bytes,
+                kind,
+            } => {
+                assert_eq!((chunk, src, dst), (0, 0, 2));
+                assert_eq!(bytes, t.chunk_sectors() * 512);
+                assert_eq!(kind, MoveKind::Relocate);
+            }
+            other => panic!("expected Moved, got {other:?}"),
+        }
+        assert!(e.drain_records().is_empty(), "drain consumes the log");
+
+        // Recording off: a second job leaves no records behind.
+        e.set_recording(false);
+        e.enqueue([MigrationJob::Relocate {
+            chunk: ChunkId(4),
+            dst: DiskId(3),
+        }]);
+        run_job(&mut e, &mut t, false);
+        assert!(e.drain_records().is_empty());
+    }
+
+    /// A dirty abort and a failure teardown both record their terminal
+    /// edge, so an audit can balance every Started against an outcome.
+    #[test]
+    fn recording_captures_abort_and_drop() {
+        let mut t = remap(4, 16);
+        let mut e = MigrationEngine::new(2);
+        e.set_recording(true);
+        e.enqueue([MigrationJob::Relocate {
+            chunk: ChunkId(0),
+            dst: DiskId(2),
+        }]);
+        run_job(&mut e, &mut t, true); // dirtied mid-copy
+        let recs = e.drain_records();
+        assert_eq!(recs.len(), 2);
+        assert!(matches!(
+            recs[1].kind,
+            MigrationRecordKind::Aborted { chunk: 0 }
+        ));
+
+        e.enqueue([MigrationJob::Relocate {
+            chunk: ChunkId(4), // on disk 0
+            dst: DiskId(3),
+        }]);
+        e.pump(SimTime::ZERO, &mut t);
+        e.note_disk_failed(SimTime::from_secs(5.0), DiskId(0), &mut t);
+        let recs = e.drain_records();
+        assert_eq!(recs.len(), 2);
+        assert!(matches!(
+            recs[1].kind,
+            MigrationRecordKind::Dropped { chunk: 4 }
+        ));
+        assert_eq!(recs[1].time_s, 5.0);
+    }
+
     #[test]
     fn relocate_to_same_disk_is_dropped() {
         let mut t = remap(4, 16);
@@ -842,7 +1118,6 @@ mod tests {
         assert!(e.pump(SimTime::ZERO, &mut t).is_empty());
         e.set_paused(false);
         assert_eq!(e.pump(SimTime::ZERO, &mut t).len(), 8); // 8 read pieces
-
     }
 
     #[test]
@@ -934,7 +1209,7 @@ mod tests {
         let occupancy_before = t.occupancy(DiskId(2));
 
         // Disk 0 dies: both active jobs read from it.
-        let retarget = e.note_disk_failed(DiskId(0), &mut t);
+        let retarget = e.note_disk_failed(SimTime::ZERO, DiskId(0), &mut t);
         assert!(retarget.is_empty(), "no rebuilds were queued");
         assert_eq!(e.active_len(), 0);
         assert_eq!(e.stats().aborted, 2);
@@ -943,7 +1218,9 @@ mod tests {
 
         // Completions for the already-issued reads are swallowed, not a panic.
         for (_, r) in &reads {
-            assert!(e.on_completion(SimTime::from_secs(1.0), &complete(*r, 1.0), &mut t).is_empty());
+            assert!(e
+                .on_completion(SimTime::from_secs(1.0), &complete(*r, 1.0), &mut t)
+                .is_empty());
         }
 
         // A rebuild whose src dies comes back for re-targeting.
@@ -952,7 +1229,7 @@ mod tests {
             src: DiskId(1),
             dst: DiskId(2),
         }]);
-        let retarget = e.note_disk_failed(DiskId(1), &mut t);
+        let retarget = e.note_disk_failed(SimTime::ZERO, DiskId(1), &mut t);
         assert_eq!(retarget.len(), 1);
         assert!(matches!(retarget[0], MigrationJob::Rebuild { .. }));
         assert_eq!(e.rebuild_outstanding(), 0);

@@ -36,6 +36,10 @@ pub struct ArrayState {
     pub migrator: MigrationEngine,
     /// Measurements.
     pub stats: ArrayStats,
+    /// Structured event recorder (disabled by default — a disabled
+    /// recorder is a single `Option` check, so policies may emit
+    /// unconditionally).
+    pub telemetry: telemetry::Recorder,
 }
 
 impl ArrayState {
@@ -177,6 +181,7 @@ mod tests {
             remap,
             migrator: MigrationEngine::new(2),
             stats,
+            telemetry: telemetry::Recorder::disabled(),
         }
     }
 

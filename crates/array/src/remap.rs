@@ -33,6 +33,9 @@ pub struct RemapTable {
     slots_per_disk: u32,
     chunk_sectors: u64,
     occupancy: Vec<u32>,
+    /// Bumps on every committed relocation or swap; telemetry reconciles
+    /// this against the count of remap-mutating migration commits.
+    version: u64,
 }
 
 impl RemapTable {
@@ -68,6 +71,7 @@ impl RemapTable {
             slots_per_disk: config.slots_per_disk(),
             chunk_sectors: config.chunk_sectors,
             occupancy,
+            version: 0,
         }
     }
 
@@ -177,6 +181,7 @@ impl RemapTable {
         debug_assert!(self.occupancy[od] > 0);
         self.occupancy[od] -= 1;
         self.free[od].push(old.slot);
+        self.version += 1;
     }
 
     /// Commits a swap: the two chunks exchange placements. They must live
@@ -191,6 +196,13 @@ impl RemapTable {
         assert_ne!(pa.disk, pb.disk, "swap within one disk");
         self.placements[a.index()] = pb;
         self.placements[b.index()] = pa;
+        self.version += 1;
+    }
+
+    /// Layout version: the number of committed relocations and swaps
+    /// since construction.
+    pub fn version(&self) -> u64 {
+        self.version
     }
 
     /// Checks the bijection invariant: every placement unique, occupancy

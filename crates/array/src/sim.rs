@@ -51,6 +51,9 @@ pub struct RunOptions {
     /// Fault injection: a scripted storm plus online-model tunables.
     /// `None` runs fault-free (identical to the pre-fault simulator).
     pub faults: Option<FaultPlan>,
+    /// Structured-telemetry capture. `None` (the default) records nothing
+    /// and costs one `Option` check per emission site.
+    pub telemetry: Option<telemetry::TelemetryConfig>,
 }
 
 impl RunOptions {
@@ -64,6 +67,7 @@ impl RunOptions {
             sample_interval: SimDuration::from_secs(60.0),
             migration_inflight: 2,
             faults: None,
+            telemetry: None,
         }
     }
 
@@ -114,6 +118,8 @@ pub struct RunReport {
     pub faults: FaultOutcome,
     /// The simulated horizon.
     pub horizon: SimTime,
+    /// The serialized telemetry stream, when capture was enabled.
+    pub telemetry: Option<telemetry::RunStream>,
 }
 
 impl RunReport {
@@ -142,7 +148,10 @@ enum Event {
     /// The next scripted fault is due.
     Fault,
     /// Re-submit a foreground request that failed transiently.
-    Retry { disk: usize, req: DiskRequest },
+    Retry {
+        disk: usize,
+        req: DiskRequest,
+    },
 }
 
 struct PendingVolume {
@@ -192,7 +201,7 @@ impl<'a, P: PowerPolicy> Simulation<'a, P> {
             trace.max_sector(),
             config.volume_sectors()
         );
-        let disks: Vec<Disk> = (0..config.disks)
+        let mut disks: Vec<Disk> = (0..config.disks)
             .map(|i| {
                 Disk::new(
                     i,
@@ -206,13 +215,25 @@ impl<'a, P: PowerPolicy> Simulation<'a, P> {
         let stats = ArrayStats::new(config.spec.num_levels(), opts.series_bucket);
         let n = config.disks;
         let injector = opts.faults.as_ref().map(FaultInjector::new);
+        let recorder = match opts.telemetry.clone() {
+            Some(cfg) => telemetry::Recorder::new(cfg),
+            None => telemetry::Recorder::disabled(),
+        };
+        let mut migrator = MigrationEngine::new(opts.migration_inflight);
+        if recorder.is_enabled() {
+            for d in &mut disks {
+                d.set_transition_recording(true);
+            }
+            migrator.set_recording(true);
+        }
         Simulation {
             state: ArrayState {
                 config,
                 disks,
                 remap,
-                migrator: MigrationEngine::new(opts.migration_inflight),
+                migrator,
                 stats,
+                telemetry: recorder,
             },
             policy,
             trace,
@@ -243,11 +264,32 @@ impl<'a, P: PowerPolicy> Simulation<'a, P> {
     /// can inspect policy-internal state (hit ratios, boost counters, …).
     pub fn run_returning_policy(mut self) -> (RunReport, P) {
         let t0 = SimTime::ZERO;
+        let header = self
+            .state
+            .telemetry
+            .config()
+            .map(|cfg| telemetry::Event::RunStart {
+                time_s: 0.0,
+                label: cfg.label.clone(),
+                disks: self.state.config.disks as u32,
+                levels: self.state.config.spec.num_levels() as u32,
+                horizon_s: self.opts.horizon.as_secs(),
+                migration_inflight: self.opts.migration_inflight as u32,
+                sample_interval_s: self.opts.sample_interval.as_secs(),
+                series_bucket_s: self.opts.series_bucket.as_secs(),
+                goal_s: cfg.goal_s,
+                warmup_s: cfg.warmup_s,
+                seed: self.state.config.seed,
+            });
+        if let Some(ev) = header {
+            self.state.telemetry.emit(ev);
+        }
         self.policy.init(t0, &mut self.state);
         self.resync(t0);
 
         if !self.trace.is_empty() {
-            self.events.push(self.trace.requests[0].time, Event::Arrival(0));
+            self.events
+                .push(self.trace.requests[0].time, Event::Arrival(0));
         }
         if let Some(int) = self.policy.tick_interval() {
             self.events.push(t0 + int, Event::Tick);
@@ -275,7 +317,8 @@ impl<'a, P: PowerPolicy> Simulation<'a, P> {
                 }
                 Event::Sample => {
                     self.take_sample(now);
-                    self.events.push(now + self.opts.sample_interval, Event::Sample);
+                    self.events
+                        .push(now + self.opts.sample_interval, Event::Sample);
                 }
                 Event::Fault => self.handle_fault_due(now),
                 Event::Retry { disk, req } => self.handle_retry(now, disk, req),
@@ -340,13 +383,11 @@ impl<'a, P: PowerPolicy> Simulation<'a, P> {
         };
         for (chunk, off, sectors) in pieces {
             let place = self.state.remap.placement(chunk);
-            let (target_disk, phys) = match self
-                .policy
-                .route(now, chunk, off, kind, &mut self.state)
-            {
-                Some((disk, base)) => (disk, base + off),
-                None => (place.disk, u64::from(place.slot) * cs + off),
-            };
+            let (target_disk, phys) =
+                match self.policy.route(now, chunk, off, kind, &mut self.state) {
+                    Some((disk, base)) => (disk, base + off),
+                    None => (place.disk, u64::from(place.slot) * cs + off),
+                };
             // Degraded mode: the chunk's home may be dead (its rebuild has
             // not committed yet). Serve from the surviving redundancy
             // partner, or count the volume lost if nothing survives.
@@ -446,8 +487,7 @@ impl<'a, P: PowerPolicy> Simulation<'a, P> {
                     if let Some(inj) = self.injector.as_mut() {
                         if inj.transient_error(now, comp.disk) {
                             self.outcome.transient_errors += 1;
-                            let attempts =
-                                self.retries.entry(comp.request.id).or_insert(0);
+                            let attempts = self.retries.entry(comp.request.id).or_insert(0);
                             let cfg = inj.config();
                             if *attempts < cfg.max_retries {
                                 *attempts += 1;
@@ -490,6 +530,22 @@ impl<'a, P: PowerPolicy> Simulation<'a, P> {
                             None
                         }
                     });
+                    if let Some(resp) = volume_response {
+                        if self.state.telemetry.is_enabled() {
+                            let disk = &self.state.disks[comp.disk];
+                            let tier = if disk.is_standby() {
+                                telemetry::STANDBY
+                            } else {
+                                disk.effective_level().index() as telemetry::Tier
+                            };
+                            self.state.telemetry.emit(telemetry::Event::RequestServed {
+                                time_s: now.as_secs(),
+                                latency_us: resp * 1e6,
+                                disk: comp.disk as u32,
+                                tier,
+                            });
+                        }
+                    }
                     self.policy
                         .on_completion(now, &comp, volume_response, &mut self.state);
                 }
@@ -514,6 +570,17 @@ impl<'a, P: PowerPolicy> Simulation<'a, P> {
         };
         let due = inj.pop_due(now);
         for ev in due {
+            // Disk failures are tagged inside `fail_disk` (which also
+            // covers hazard-model failures); tag the window faults here.
+            if !matches!(ev.kind, FaultKind::DiskFailure) {
+                self.state
+                    .telemetry
+                    .emit_with(|| telemetry::Event::FaultInjected {
+                        time_s: now.as_secs(),
+                        disk: ev.disk as u32,
+                        kind: ev.kind.label(),
+                    });
+            }
             match ev.kind {
                 FaultKind::TransientBurst {
                     error_prob,
@@ -551,12 +618,19 @@ impl<'a, P: PowerPolicy> Simulation<'a, P> {
         if self.outcome.first_failure_s.is_none() {
             self.outcome.first_failure_s = Some(now.as_secs());
         }
+        self.state
+            .telemetry
+            .emit_with(|| telemetry::Event::FaultInjected {
+                time_s: now.as_secs(),
+                disk: d as u32,
+                kind: "disk_failure",
+            });
 
         let dropped = self.state.disks[d].fail(now);
         let retarget = self
             .state
             .migrator
-            .note_disk_failed(DiskId(d), &mut self.state.remap);
+            .note_disk_failed(now, DiskId(d), &mut self.state.remap);
 
         // Stranded foreground requests: re-aim at the surviving redundancy
         // partner (the request id survives, so the volume gather still
@@ -673,6 +747,16 @@ impl<'a, P: PowerPolicy> Simulation<'a, P> {
         self.last_sample_energy = total;
         let counts = self.state.level_counts();
         self.state.stats.record_power_sample(now, watts, &counts);
+        if self.state.telemetry.is_enabled() {
+            self.state.telemetry.emit(telemetry::Event::PowerSample {
+                time_s: now.as_secs(),
+                watts,
+            });
+            for i in 0..self.state.disks.len() {
+                let depth = self.state.disks[i].queue_len() as f64;
+                self.state.telemetry.record_queue_depth(depth);
+            }
+        }
 
         // Online wear-scaled failure hazard, evaluated at sampling cadence
         // over each disk's up-to-date ledger.
@@ -713,14 +797,86 @@ impl<'a, P: PowerPolicy> Simulation<'a, P> {
                 self.scheduled[d] = t;
                 self.gens[d] += 1;
                 if let Some(t) = t {
-                    self.events.push(t.max(now), Event::DiskWake(d, self.gens[d]));
+                    self.events
+                        .push(t.max(now), Event::DiskWake(d, self.gens[d]));
                 }
             }
+        }
+        self.drain_instrument_logs();
+    }
+
+    /// Forwards instrument-local logs (per-disk transition records, then
+    /// migration lifecycle records, in disk-index/engine order) into the
+    /// telemetry stream. Every driver handler ends in [`Self::resync`],
+    /// which calls this, so the logs only ever hold records stamped with
+    /// the current event time — the stream stays time-ordered. No-op (one
+    /// branch) when telemetry is disabled.
+    fn drain_instrument_logs(&mut self) {
+        if !self.state.telemetry.is_enabled() {
+            return;
+        }
+        use crate::migration::MigrationRecordKind as MK;
+        use diskmodel::TransitionCause;
+        for d in 0..self.state.disks.len() {
+            for r in self.state.disks[d].drain_transitions() {
+                self.state
+                    .telemetry
+                    .emit(telemetry::Event::SpeedTransition {
+                        time_s: r.time_s,
+                        disk: d as u32,
+                        from: r.from,
+                        to: r.to,
+                        reason: match r.cause {
+                            TransitionCause::Policy => telemetry::TransitionReason::Policy,
+                            TransitionCause::DemandWake => telemetry::TransitionReason::DemandWake,
+                            TransitionCause::Latched => telemetry::TransitionReason::Latched,
+                        },
+                        stretched: r.stretched,
+                    });
+            }
+        }
+        for r in self.state.migrator.drain_records() {
+            let ev = match r.kind {
+                MK::Started { chunk, src, dst } => telemetry::Event::MigrationStarted {
+                    time_s: r.time_s,
+                    job: r.job,
+                    chunk,
+                    src,
+                    dst,
+                },
+                MK::Moved {
+                    chunk,
+                    src,
+                    dst,
+                    bytes,
+                    kind,
+                } => telemetry::Event::MigrationMoved {
+                    time_s: r.time_s,
+                    job: r.job,
+                    chunk,
+                    src,
+                    dst,
+                    bytes,
+                    kind,
+                },
+                MK::Aborted { chunk } => telemetry::Event::MigrationAborted {
+                    time_s: r.time_s,
+                    job: r.job,
+                    chunk,
+                },
+                MK::Dropped { chunk } => telemetry::Event::MigrationDropped {
+                    time_s: r.time_s,
+                    job: r.job,
+                    chunk,
+                },
+            };
+            self.state.telemetry.emit(ev);
         }
     }
 
     fn finish(mut self) -> (RunReport, P) {
         let horizon = self.opts.horizon;
+        self.drain_instrument_logs();
         let per_disk_energy: Vec<EnergyLedger> = self
             .state
             .disks
@@ -744,6 +900,80 @@ impl<'a, P: PowerPolicy> Simulation<'a, P> {
             .iter()
             .map(|d| d.stats().slow_transitions)
             .sum();
+
+        // Close out the telemetry stream: per-disk summaries, then the
+        // whole-run trailer the auditor reconciles everything against.
+        let mut recorder = std::mem::take(&mut self.state.telemetry);
+        if recorder.is_enabled() {
+            let t = horizon.as_secs();
+            let components = |e: &EnergyLedger| {
+                let mut out = [0.0f64; 6];
+                for (k, c) in simkit::EnergyComponent::ALL.iter().enumerate() {
+                    out[k] = e.joules(*c);
+                }
+                out
+            };
+            for (i, e) in per_disk_energy.iter().enumerate() {
+                recorder.emit(telemetry::Event::DiskSummary {
+                    time_s: t,
+                    disk: i as u32,
+                    energy_j: components(e),
+                    transitions: self.state.disks[i].stats().transitions,
+                    failed_at_s: reliability[i].failed_at_s,
+                });
+            }
+            let (goal_s, warmup_s) = recorder
+                .config()
+                .map(|c| (c.goal_s, c.warmup_s))
+                .expect("enabled recorder has a config");
+            // Recompute the goal-violation fraction exactly as the
+            // experiment harness does (see repro's `violation_fraction`):
+            // a bucket counts only if it lies entirely past the warm-up.
+            let series = &self.state.stats.response_series;
+            let half_width = series.bucket_width().as_secs() / 2.0;
+            let (mut kept, mut over) = (0u64, 0u64);
+            for (mid, mean) in series.mean_points() {
+                if mid - half_width < warmup_s {
+                    continue;
+                }
+                kept += 1;
+                if mean > goal_s {
+                    over += 1;
+                }
+            }
+            let violation = if kept == 0 {
+                0.0
+            } else {
+                over as f64 / kept as f64
+            };
+            let (latency_hist, latency_overflow) = recorder
+                .latency_hist()
+                .map(|h| (h.counts().to_vec(), h.overflow()))
+                .unwrap_or_default();
+            let (queue_hist, queue_overflow) = recorder
+                .queue_hist()
+                .map(|h| (h.counts().to_vec(), h.overflow()))
+                .unwrap_or_default();
+            let mig = self.state.migrator.stats();
+            recorder.emit(telemetry::Event::RunSummary {
+                time_s: t,
+                total_j: energy.total_joules(),
+                energy_j: components(&energy),
+                completed: self.state.stats.fg_completed,
+                incomplete: self.pending.len() as u64,
+                transitions,
+                mean_response_s: self.state.stats.response.mean(),
+                violation,
+                latency_hist,
+                latency_overflow,
+                queue_hist,
+                queue_overflow,
+                moved: mig.committed + mig.rebuilt + mig.raw_writes,
+                remap_version: self.state.remap.version(),
+                dropped: recorder.dropped(),
+            });
+        }
+
         let stats = self.state.stats;
         let policy = self.policy;
         let report = RunReport {
@@ -764,6 +994,7 @@ impl<'a, P: PowerPolicy> Simulation<'a, P> {
             reliability,
             faults: self.outcome,
             horizon,
+            telemetry: recorder.into_stream(),
         };
         (report, policy)
     }
@@ -839,7 +1070,11 @@ mod tests {
         assert_eq!(report.completed, n);
         assert_eq!(report.incomplete, 0);
         assert!(report.response.mean() > 0.0);
-        assert!(report.response.mean() < 0.1, "mean {} s", report.response.mean());
+        assert!(
+            report.response.mean() < 0.1,
+            "mean {} s",
+            report.response.mean()
+        );
     }
 
     #[test]
@@ -983,12 +1218,7 @@ mod tests {
     fn policy_speed_changes_and_migration_execute() {
         let trace = small_trace(60.0, 5.0);
         let config = small_config();
-        let mut sim = Simulation::new(
-            config,
-            HalfDown,
-            &trace,
-            RunOptions::for_horizon(120.0),
-        );
+        let mut sim = Simulation::new(config, HalfDown, &trace, RunOptions::for_horizon(120.0));
         sim.policy.init(SimTime::ZERO, &mut sim.state); // warm check only
         let report = run_policy(
             small_config(),

@@ -85,7 +85,9 @@ pub fn match_disks(state: &ArrayState, per_level: &[usize]) -> Vec<SpeedLevel> {
         }
         remaining[level] = 0;
     }
-    out.into_iter().map(|o| o.expect("every disk assigned")).collect()
+    out.into_iter()
+        .map(|o| o.expect("every disk assigned"))
+        .collect()
 }
 
 /// Plans the chunk moves for the epoch.
@@ -187,6 +189,7 @@ mod tests {
             remap,
             migrator: MigrationEngine::new(2),
             stats,
+            telemetry: telemetry::Recorder::disabled(),
         }
     }
 
@@ -279,7 +282,10 @@ mod tests {
         // Striping: chunks 0,2,4,6 on disk 0; 1,3,5,7 on disk 1.
         let disk_levels = vec![SpeedLevel(5), SpeedLevel(0)];
         // Ranking exactly matches the current split: disk-0 chunks hottest.
-        let ranking: Vec<ChunkId> = [0u32, 2, 4, 6, 1, 3, 5, 7].iter().map(|&c| ChunkId(c)).collect();
+        let ranking: Vec<ChunkId> = [0u32, 2, 4, 6, 1, 3, 5, 7]
+            .iter()
+            .map(|&c| ChunkId(c))
+            .collect();
         let jobs = plan_migrations(&state, &ranking, &disk_levels, 100);
         assert!(jobs.is_empty(), "layout already matches: {jobs:?}");
     }
@@ -289,13 +295,7 @@ mod tests {
         let state = mk_state(2, 8);
         assert!(plan_migrations(&state, &[], &[SpeedLevel(0), SpeedLevel(0)], 10).is_empty());
         let ranking: Vec<ChunkId> = (0..8).map(ChunkId).collect();
-        assert!(plan_migrations(
-            &state,
-            &ranking,
-            &[SpeedLevel(0), SpeedLevel(0)],
-            0
-        )
-        .is_empty());
+        assert!(plan_migrations(&state, &ranking, &[SpeedLevel(0), SpeedLevel(0)], 0).is_empty());
     }
 
     #[test]

@@ -284,6 +284,7 @@ impl Hibernator {
         }
 
         // 3. Coarse-grain test: is the change worth its transition cost?
+        let skipped_before = self.stats.skipped_by_coarse_grain;
         let adopted: Allocation = match &self.current {
             // A stale plan sized for a different (pre-failure) disk count
             // can't be compared or kept — adopt the fresh one outright.
@@ -362,12 +363,23 @@ impl Hibernator {
         if changed || !state.migrator.is_quiescent() {
             let drain = 1.5 * self.migration_drain_estimate_s(state, &adopted.per_level);
             if drain > 0.0 {
-                let capped = (self.sample_exclude_until
-                    + SimDuration::from_secs(drain))
-                .min(now + self.cfg.epoch * 0.8);
+                let capped = (self.sample_exclude_until + SimDuration::from_secs(drain))
+                    .min(now + self.cfg.epoch * 0.8);
                 self.sample_exclude_until = self.sample_exclude_until.max(capped);
             }
         }
+        state
+            .telemetry
+            .emit_with(|| telemetry::Event::EpochPlanned {
+                time_s: now.as_secs(),
+                per_level: adopted.per_level.iter().map(|&n| n as u32).collect(),
+                feasible: adopted.feasible,
+                predicted_response_s: adopted.predicted_response_s,
+                predicted_power_w: adopted.predicted_power_w,
+                migration_jobs: state.migrator.pending_len() as u32,
+                skipped: self.stats.skipped_by_coarse_grain > skipped_before,
+                changed,
+            });
         self.current = Some(adopted);
     }
 
@@ -437,8 +449,7 @@ impl Hibernator {
         let piece_io = state.disks[0]
             .service_model()
             .expected_random_service_s(SpeedLevel(slowest), piece_sectors);
-        jobs as f64 * 2.0 * pieces_per_chunk * piece_io
-            / state.migrator.max_inflight() as f64
+        jobs as f64 * 2.0 * pieces_per_chunk * piece_io / state.migrator.max_inflight() as f64
     }
 
     fn apply_migrations(
@@ -570,6 +581,11 @@ impl PowerPolicy for Hibernator {
         if self.guard_enabled {
             if !self.guard.is_boosted() {
                 self.stats.boosts += 1;
+                state.telemetry.emit_with(|| telemetry::Event::GuardBoost {
+                    time_s: now.as_secs(),
+                    entered: true,
+                    reason: telemetry::BoostReason::DiskFailure,
+                });
             }
             self.guard.force_boost(now);
             // Pause ordinary relocations (rebuilds are immune to pause);
@@ -577,6 +593,11 @@ impl PowerPolicy for Hibernator {
             state.migrator.set_paused(true);
         } else {
             self.stats.boosts += 1;
+            state.telemetry.emit_with(|| telemetry::Event::GuardBoost {
+                time_s: now.as_secs(),
+                entered: true,
+                reason: telemetry::BoostReason::DiskFailure,
+            });
         }
         state.migrator.clear_pending();
         let top = state.config.spec.top_level();
@@ -603,6 +624,11 @@ impl PowerPolicy for Hibernator {
             match self.guard.check(now) {
                 GuardAction::EnterBoost => {
                     self.stats.boosts += 1;
+                    state.telemetry.emit_with(|| telemetry::Event::GuardBoost {
+                        time_s: now.as_secs(),
+                        entered: true,
+                        reason: telemetry::BoostReason::Latency,
+                    });
                     // A boost is hard evidence the model under-predicted.
                     self.correction = (self.correction * 1.25).min(4.0);
                     self.model_error.observe(now, self.correction);
@@ -626,6 +652,11 @@ impl PowerPolicy for Hibernator {
                 }
                 GuardAction::HoldBoost => return,
                 GuardAction::ExitBoost => {
+                    state.telemetry.emit_with(|| telemetry::Event::GuardBoost {
+                        time_s: now.as_secs(),
+                        entered: false,
+                        reason: telemetry::BoostReason::Latency,
+                    });
                     state.migrator.set_paused(false);
                     // Re-optimise at the next tick.
                     self.next_epoch = now;
@@ -640,8 +671,7 @@ impl PowerPolicy for Hibernator {
                         // prediction — including the all-fast fallback, or
                         // the correction could never relax after a boost.
                         if cur.predicted_response_s > 1e-6 {
-                            let ratio =
-                                (obs / cur.predicted_response_s).clamp(0.25, 4.0);
+                            let ratio = (obs / cur.predicted_response_s).clamp(0.25, 4.0);
                             self.model_error.observe(now, ratio);
                             self.correction =
                                 self.model_error.value().unwrap_or(1.0).clamp(1.0, 4.0);
@@ -824,7 +854,9 @@ mod tests {
 
     #[test]
     fn ablations_construct() {
-        let p = Hibernator::new(hib_cfg(0.02)).without_guard().without_migration();
+        let p = Hibernator::new(hib_cfg(0.02))
+            .without_guard()
+            .without_migration();
         assert_eq!(p.name(), "Hibernator");
         assert!(!p.is_boosted());
     }
@@ -886,10 +918,7 @@ mod tests {
             opts,
         );
         assert!(
-            with_standby
-                .energy
-                .joules(simkit::EnergyComponent::Standby)
-                > 0.0,
+            with_standby.energy.joules(simkit::EnergyComponent::Standby) > 0.0,
             "extension must actually stop spindles"
         );
         assert!(

@@ -143,6 +143,41 @@ pub struct Disk {
     /// take `slow_factor ×` their nominal duration (and energy).
     slow_factor: f64,
     slow_until: SimTime,
+
+    /// When set, every counted transition appends a [`TransitionRecord`]
+    /// for the telemetry layer to drain (off by default: the hot path
+    /// stays allocation-free).
+    record_transitions: bool,
+    transition_log: Vec<TransitionRecord>,
+}
+
+/// Why a disk started a speed transition (see [`Disk::drain_transitions`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TransitionCause {
+    /// A power policy called [`Disk::request_speed`] at a quiescent point.
+    Policy,
+    /// A request arrived at a standby disk and auto spin-up kicked in.
+    DemandWake,
+    /// A latched target applied when the current service/ramp finished.
+    Latched,
+}
+
+/// One recorded speed transition, drained by the telemetry layer.
+///
+/// `from`/`to` use the event-stream tier convention: the speed-level
+/// index, or `-1` for standby.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TransitionRecord {
+    /// When the ramp began.
+    pub time_s: f64,
+    /// Tier left (`-1` = standby).
+    pub from: i32,
+    /// Tier targeted (`-1` = standby).
+    pub to: i32,
+    /// What triggered it.
+    pub cause: TransitionCause,
+    /// True if a sticky-spindle fault stretched this ramp.
+    pub stretched: bool,
 }
 
 impl Disk {
@@ -188,7 +223,20 @@ impl Disk {
             failed: false,
             slow_factor: 1.0,
             slow_until: SimTime::ZERO,
+            record_transitions: false,
+            transition_log: Vec::new(),
         }
+    }
+
+    /// Enables (or disables) transition recording for telemetry.
+    pub fn set_transition_recording(&mut self, on: bool) {
+        self.record_transitions = on;
+    }
+
+    /// Takes all transition records accumulated since the last drain,
+    /// oldest first. Cheap (no allocation) when recording is off.
+    pub fn drain_transitions(&mut self) -> Vec<TransitionRecord> {
+        std::mem::take(&mut self.transition_log)
     }
 
     /// Disables automatic spin-up on demand (requests then wait in the
@@ -366,8 +414,7 @@ impl Disk {
             }
             SpinState::Transitioning { power_w, .. } => {
                 let dt = (now - from).as_secs();
-                self.energy
-                    .add(EnergyComponent::Transition, power_w * dt);
+                self.energy.add(EnergyComponent::Transition, power_w * dt);
             }
             SpinState::Spinning(level) => {
                 if let Some(svc) = self.in_service {
@@ -434,7 +481,11 @@ impl Disk {
         match self.state {
             SpinState::Standby => {
                 if self.auto_spinup {
-                    self.begin_transition(now, SpinTarget::Level(self.resume_level));
+                    self.begin_transition(
+                        now,
+                        SpinTarget::Level(self.resume_level),
+                        TransitionCause::DemandWake,
+                    );
                 }
             }
             SpinState::Transitioning { .. } => {
@@ -499,7 +550,7 @@ impl Disk {
                     self.pending = Some(target);
                 } else {
                     self.pending = None;
-                    self.begin_transition(now, target);
+                    self.begin_transition(now, target, TransitionCause::Policy);
                 }
             }
             SpinState::Standby => {
@@ -508,7 +559,7 @@ impl Disk {
                     return;
                 }
                 self.pending = None;
-                self.begin_transition(now, target);
+                self.begin_transition(now, target, TransitionCause::Policy);
             }
             SpinState::Transitioning { target: cur, .. } => {
                 if cur == target {
@@ -579,7 +630,6 @@ impl Disk {
     // Internals
     // ------------------------------------------------------------------
 
-
     /// Applies a latched spindle target at a quiescent point. A latched
     /// standby is cancelled (dropped) when requests are waiting and the
     /// disk auto-spins-up — descending would strand the queue, since
@@ -592,7 +642,7 @@ impl Disk {
             if strands_queue {
                 self.try_start_service(now);
             } else {
-                self.begin_transition(now, p);
+                self.begin_transition(now, p, TransitionCause::Latched);
             }
         } else if matches!(self.state, SpinState::Spinning(_)) {
             self.try_start_service(now);
@@ -613,7 +663,7 @@ impl Disk {
         }
     }
 
-    fn begin_transition(&mut self, now: SimTime, target: SpinTarget) {
+    fn begin_transition(&mut self, now: SimTime, target: SpinTarget, cause: TransitionCause) {
         debug_assert!(self.in_service.is_none(), "ramp while head busy");
         let trans = match (self.state, target) {
             (SpinState::Spinning(from), SpinTarget::Level(to)) => {
@@ -647,11 +697,30 @@ impl Disk {
         self.stats.transitions += 1;
         self.ledger.note_transition();
         let mut duration_s = trans.duration_s;
-        if now < self.slow_until {
+        let stretched = now < self.slow_until;
+        if stretched {
             // Sticky-spindle fault: the ramp takes longer at the same
             // transition power, so its energy scales with the stretch too.
             duration_s *= self.slow_factor;
             self.stats.slow_transitions += 1;
+        }
+        if self.record_transitions {
+            let tier = |s: SpinTarget| match s {
+                SpinTarget::Level(l) => l.index() as i32,
+                SpinTarget::Standby => -1,
+            };
+            let from = match self.state {
+                SpinState::Spinning(l) => l.index() as i32,
+                SpinState::Standby => -1,
+                SpinState::Transitioning { .. } => unreachable!("checked above"),
+            };
+            self.transition_log.push(TransitionRecord {
+                time_s: now.as_secs(),
+                from,
+                to: tier(target),
+                cause,
+                stretched,
+            });
         }
         self.state = SpinState::Transitioning {
             target,
@@ -668,7 +737,11 @@ impl Disk {
         if self.in_service.is_some() {
             return;
         }
-        let Some(req) = self.fg_queue.pop_front().or_else(|| self.mig_queue.pop_front()) else {
+        let Some(req) = self
+            .fg_queue
+            .pop_front()
+            .or_else(|| self.mig_queue.pop_front())
+        else {
             self.update_idle_marker(now);
             return;
         };
@@ -677,8 +750,8 @@ impl Disk {
             .service_model
             .service(&req, self.head_cylinder, level, rot_frac);
         let seek_end = now + simkit::SimDuration::from_secs(phases.seek_s);
-        let finish = seek_end
-            + simkit::SimDuration::from_secs(phases.rotation_s + phases.transfer_s);
+        let finish =
+            seek_end + simkit::SimDuration::from_secs(phases.rotation_s + phases.transfer_s);
         self.in_service = Some(InService {
             req,
             start: now,
@@ -1103,7 +1176,10 @@ mod tests {
         let at = SimTime::from_secs(100.0);
         let j_slow = sticky.energy(at).joules(EnergyComponent::Transition);
         let j_norm = normal.energy(at).joules(EnergyComponent::Transition);
-        assert!((j_slow - 3.0 * j_norm).abs() < 1e-6, "{j_slow} vs 3×{j_norm}");
+        assert!(
+            (j_slow - 3.0 * j_norm).abs() < 1e-6,
+            "{j_slow} vs 3×{j_norm}"
+        );
     }
 
     #[test]

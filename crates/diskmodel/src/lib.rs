@@ -33,7 +33,7 @@ mod seek;
 mod service;
 mod spec;
 
-pub use disk::{Disk, DiskStats, SpinTarget};
+pub use disk::{Disk, DiskStats, SpinTarget, TransitionCause, TransitionRecord};
 pub use geometry::{Geometry, Location};
 pub use power::{PowerModel, Transition};
 pub use request::{Completion, DiskRequest, IoKind, RequestClass};

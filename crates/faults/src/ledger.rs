@@ -127,4 +127,80 @@ mod tests {
         assert!(l.failed);
         assert_eq!(l.failed_at_s, Some(10.0));
     }
+
+    /// A transition recorded at exactly the horizon boundary — the driver
+    /// accrues to the horizon first, then notes the transition with no
+    /// time following it — must charge exactly one cycle of wear and
+    /// leave the duty-cycle split untouched.
+    #[test]
+    fn transition_at_exact_horizon_boundary_charges_one_cycle() {
+        let horizon_s = 7200.0;
+        let mut l = ReliabilityLedger::default();
+        l.accrue_active(horizon_s);
+        let duty_before = l.duty_cycle();
+        let wear_before = l.wear();
+
+        l.note_transition(); // at t == horizon, zero seconds remain
+        l.accrue_active(0.0); // the driver's final (empty) accrual step
+
+        assert_eq!(l.transitions, 1);
+        assert!((l.wear() - wear_before - WEAR_PER_TRANSITION).abs() < 1e-15);
+        assert_eq!(l.duty_cycle(), duty_before, "zero-length accrual is free");
+    }
+
+    /// Zero-length accruals at a boundary must not perturb wear or the
+    /// duty cycle — the driver accrues on every event, including back-to-
+    /// back events at the same instant.
+    #[test]
+    fn zero_length_accruals_are_exact_noops() {
+        let mut l = ReliabilityLedger::default();
+        l.accrue_active(3600.0);
+        l.accrue_standby(3600.0);
+        let before = l.clone();
+        for _ in 0..1000 {
+            l.accrue_active(0.0);
+            l.accrue_standby(0.0);
+        }
+        assert_eq!(l, before);
+    }
+
+    /// Wear is monotone in both inputs and additive across arbitrary
+    /// interleavings: splitting one active interval across many accrual
+    /// calls (as event-driven accounting does) changes nothing.
+    #[test]
+    fn split_accrual_matches_lump_accrual() {
+        let mut lump = ReliabilityLedger::default();
+        lump.accrue_active(3600.0);
+
+        let mut split = ReliabilityLedger::default();
+        for _ in 0..3600 {
+            split.accrue_active(1.0);
+        }
+        assert!((split.active_hours - lump.active_hours).abs() < 1e-9);
+        assert!((split.wear() - lump.wear()).abs() < 1e-12);
+    }
+
+    /// A disk that spent its whole life in standby has duty cycle 0 but
+    /// still pays transition wear for the spin-down that got it there.
+    #[test]
+    fn standby_only_life_has_zero_duty_cycle_but_transition_wear() {
+        let mut l = ReliabilityLedger::default();
+        l.note_transition();
+        l.accrue_standby(24.0 * 3600.0);
+        assert_eq!(l.duty_cycle(), 0.0);
+        assert!((l.wear() - WEAR_PER_TRANSITION).abs() < 1e-15);
+    }
+
+    /// Failure exactly at the horizon still records, and wear keeps
+    /// accruing afterwards (the ledger is pure accounting; failure does
+    /// not freeze it — the driver stops feeding it instead).
+    #[test]
+    fn failure_at_horizon_boundary_records_timestamp() {
+        let horizon_s = 86400.0;
+        let mut l = ReliabilityLedger::default();
+        l.accrue_active(horizon_s);
+        l.note_failure(horizon_s);
+        assert_eq!(l.failed_at_s, Some(horizon_s));
+        assert!((l.duty_cycle() - 1.0).abs() < 1e-12);
+    }
 }

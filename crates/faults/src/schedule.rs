@@ -28,6 +28,18 @@ pub enum FaultKind {
     },
 }
 
+impl FaultKind {
+    /// Stable tag for telemetry streams — audit tooling matches on these
+    /// strings, so they must never change.
+    pub fn label(&self) -> &'static str {
+        match self {
+            FaultKind::DiskFailure => "disk_failure",
+            FaultKind::TransientBurst { .. } => "transient_burst",
+            FaultKind::SlowTransition { .. } => "slow_transition",
+        }
+    }
+}
+
 /// One scheduled fault.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct FaultEvent {

@@ -146,6 +146,10 @@ pub struct Ctx {
     traces: OnceMap<TraceKey, Trace>,
     goals: OnceMap<Workload, f64>,
     timings: Mutex<Vec<(String, f64)>>,
+    /// When true, every run records a telemetry stream (collected in
+    /// `streams`, flushed by [`Ctx::write_telemetry`]).
+    telemetry: bool,
+    streams: Mutex<Vec<telemetry::RunStream>>,
 }
 
 impl Ctx {
@@ -164,7 +168,63 @@ impl Ctx {
             traces: OnceMap::new(),
             goals: OnceMap::new(),
             timings: Mutex::new(Vec::new()),
+            telemetry: false,
+            streams: Mutex::new(Vec::new()),
         }
+    }
+
+    /// Enables telemetry capture for every subsequent run.
+    pub fn set_telemetry(&mut self, on: bool) {
+        self.telemetry = on;
+    }
+
+    /// The warm-up cutoff the experiments use for goal-violation
+    /// accounting (a tenth of the horizon).
+    pub fn warmup_s(&self) -> f64 {
+        self.duration_s() * 0.1
+    }
+
+    /// Telemetry configuration for a run labelled `label` with goal
+    /// `goal_s`, or `None` when capture is off.
+    pub fn telemetry_config(
+        &self,
+        label: &str,
+        goal_s: f64,
+        warmup_s: f64,
+    ) -> Option<telemetry::TelemetryConfig> {
+        if !self.telemetry {
+            return None;
+        }
+        Some(telemetry::TelemetryConfig::new(label).with_goal(goal_s, warmup_s))
+    }
+
+    /// Banks a finished run's telemetry stream for the final flush.
+    pub fn collect_stream(&self, stream: Option<telemetry::RunStream>) {
+        if let Some(s) = stream {
+            self.streams
+                .lock()
+                .unwrap_or_else(|e| e.into_inner())
+                .push(s);
+        }
+    }
+
+    /// Writes every collected telemetry stream to `path` as one JSON-lines
+    /// file, ordered by run label — the completion order of parallel runs
+    /// never leaks into the output, so the file is byte-identical at any
+    /// `--jobs` value.
+    pub fn write_telemetry(&self, path: &std::path::Path) {
+        let mut streams = self
+            .streams
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .clone();
+        streams.sort_by(|a, b| a.label.cmp(&b.label));
+        let mut body: Vec<u8> = Vec::new();
+        for s in &streams {
+            body.extend_from_slice(&s.bytes);
+        }
+        std::fs::write(path, body).expect("write telemetry stream");
+        println!("  -> {} ({} run stream(s))", path.display(), streams.len());
     }
 
     /// Overrides the simulated horizon (hours). Used by tests and smoke
@@ -282,7 +342,7 @@ impl Ctx {
         self.cache.get_or_compute(key, || {
             let trace = self.trace(w);
             let config = self.array_config(w);
-            let opts = self.run_options();
+            let mut opts = self.run_options();
             // Resolve the goal *before* the timed section so a managed
             // run's timing never includes waiting on the Base run.
             let goal = if p == PolicyKind::Base {
@@ -291,7 +351,10 @@ impl Ctx {
                 self.goal_s(w)
             };
             let label = format!("{}/{}", p.label(), w.label());
-            self.timed(&label, || self.run_kind(p, config, &trace, opts, goal))
+            opts.telemetry = self.telemetry_config(&label, goal, self.warmup_s());
+            let mut report = self.timed(&label, || self.run_kind(p, config, &trace, opts, goal));
+            self.collect_stream(report.telemetry.take());
+            report
         })
     }
 

@@ -89,13 +89,11 @@ pub fn faults(ctx: &Ctx) {
     // degraded regime every policy shares. Stage 1 of the schedule: every
     // managed run below needs this goal.
     let base = ctx.timed("faults Base/OLTP+storm", || {
-        ctx.run_kind(
-            PolicyKind::Base,
-            config.clone(),
-            &trace,
-            opts.clone(),
-            f64::MAX,
-        )
+        let mut o = opts.clone();
+        o.telemetry = ctx.telemetry_config("faults/Base", f64::MAX, 600.0);
+        let mut r = ctx.run_kind(PolicyKind::Base, config.clone(), &trace, o, f64::MAX);
+        ctx.collect_stream(r.telemetry.take());
+        r
     });
     let goal = base.response.mean() * ctx.goal_factor();
     println!(
@@ -139,23 +137,26 @@ pub fn faults(ctx: &Ctx) {
             .map(|&p| {
                 let (config, trace, opts) = (&config, &trace, &opts);
                 move || {
-                    ctx.timed(&format!("faults {}/OLTP+storm", p.label()), || match p {
-                        PolicyKind::Hibernator => {
-                            let cfg = ctx.hibernator_config(goal);
-                            let sim = Simulation::new(
-                                config.clone(),
-                                Hibernator::new(cfg),
-                                trace,
-                                opts.clone(),
-                            );
-                            let (r, policy) = sim.run_returning_policy();
-                            let boosts = policy.stats().boosts;
-                            (r, boosts)
+                    ctx.timed(&format!("faults {}/OLTP+storm", p.label()), || {
+                        let mut o = opts.clone();
+                        o.telemetry =
+                            ctx.telemetry_config(&format!("faults/{}", p.label()), goal, 600.0);
+                        match p {
+                            PolicyKind::Hibernator => {
+                                let cfg = ctx.hibernator_config(goal);
+                                let sim =
+                                    Simulation::new(config.clone(), Hibernator::new(cfg), trace, o);
+                                let (mut r, policy) = sim.run_returning_policy();
+                                ctx.collect_stream(r.telemetry.take());
+                                let boosts = policy.stats().boosts;
+                                (r, boosts)
+                            }
+                            _ => {
+                                let mut r = ctx.run_kind(p, config.clone(), trace, o, goal);
+                                ctx.collect_stream(r.telemetry.take());
+                                (r, 0)
+                            }
                         }
-                        _ => (
-                            ctx.run_kind(p, config.clone(), trace, opts.clone(), goal),
-                            0,
-                        ),
                     })
                 }
             })

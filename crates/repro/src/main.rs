@@ -5,6 +5,7 @@
 //! ```text
 //! repro [--quick] [--seed N] [--out DIR] [--jobs N] <experiment...>
 //!   experiments: t1..t6 f1..f12 faults | tables | figures | all
+//! repro audit <stream.jsonl>
 //! ```
 //!
 //! `--quick` runs 2-hour traces instead of 24-hour ones (for smoke tests);
@@ -13,6 +14,13 @@
 //! available parallelism); every run is seed-deterministic, so the CSVs
 //! are byte-identical at any jobs count. `--horizon-h H` overrides the
 //! simulated horizon (hours) for sub-quick smoke runs.
+//!
+//! `--telemetry-out PATH` records a structured event stream for every
+//! standard and fault-storm run and writes them (sorted by run label, so
+//! byte-identical at any `--jobs`) to PATH as JSON lines. `repro audit
+//! PATH` then replays such a stream through the cross-cutting invariant
+//! checks (energy conservation, dead-disk serving, migration concurrency,
+//! goal-violation refit, …) and exits non-zero on any failure.
 
 mod common;
 mod faults;
@@ -24,9 +32,44 @@ use common::Ctx;
 fn usage() -> ! {
     eprintln!(
         "usage: repro [--quick] [--seed N] [--out DIR] [--jobs N] [--horizon-h H] \
-         <t1..t6|f1..f12|faults|tables|figures|all>..."
+         [--telemetry-out PATH] <t1..t6|f1..f12|faults|tables|figures|all>...\n\
+         \x20      repro audit <stream.jsonl>"
     );
     std::process::exit(2);
+}
+
+/// Audits a telemetry stream file and exits: 0 if every invariant of every
+/// run held, 1 otherwise.
+fn audit_stream(path: &str) -> ! {
+    let bytes = std::fs::read(path).unwrap_or_else(|e| {
+        eprintln!("audit: cannot read {path}: {e}");
+        std::process::exit(2);
+    });
+    let outcome = telemetry::audit::audit_bytes(&bytes).unwrap_or_else(|e| {
+        eprintln!("audit: malformed stream: {e}");
+        std::process::exit(1);
+    });
+    if outcome.runs.is_empty() {
+        eprintln!("audit: {path} holds no run streams");
+        std::process::exit(1);
+    }
+    for run in &outcome.runs {
+        println!("run {} ({} events)", run.label, run.events);
+        for c in &run.checks {
+            let verdict = if c.passed { "PASS" } else { "FAIL" };
+            if c.detail.is_empty() {
+                println!("  [{verdict}] {}", c.name);
+            } else {
+                println!("  [{verdict}] {} — {}", c.name, c.detail);
+            }
+        }
+    }
+    if outcome.passed() {
+        println!("audit: all {} run(s) passed", outcome.runs.len());
+        std::process::exit(0);
+    }
+    eprintln!("audit: invariant violations found");
+    std::process::exit(1);
 }
 
 fn main() {
@@ -35,6 +78,7 @@ fn main() {
     let mut out = String::from("results");
     let mut jobs = parallel::available_parallelism();
     let mut horizon_h: Option<f64> = None;
+    let mut telemetry_out: Option<String> = None;
     let mut experiments: Vec<String> = Vec::new();
 
     let mut args = std::env::args().skip(1);
@@ -63,8 +107,15 @@ fn main() {
                         .unwrap_or_else(|| usage()),
                 )
             }
+            "--telemetry-out" => telemetry_out = Some(args.next().unwrap_or_else(|| usage())),
             "--help" | "-h" => usage(),
             e if !e.starts_with('-') => experiments.push(e.to_string()),
+            _ => usage(),
+        }
+    }
+    if experiments.first().map(String::as_str) == Some("audit") {
+        match experiments.as_slice() {
+            [_, path] => audit_stream(path),
             _ => usage(),
         }
     }
@@ -76,6 +127,9 @@ fn main() {
     if let Some(h) = horizon_h {
         ctx.set_horizon_hours(h);
     }
+    if telemetry_out.is_some() {
+        ctx.set_telemetry(true);
+    }
     println!(
         "# Hibernator reproduction — {} scale, seed {seed}, {} disks, {:.1} h horizon, {jobs} job(s)",
         if quick { "quick" } else { "full" },
@@ -86,6 +140,9 @@ fn main() {
     let started = std::time::Instant::now();
     for e in &experiments {
         run_one(&ctx, e);
+    }
+    if let Some(path) = &telemetry_out {
+        ctx.write_telemetry(std::path::Path::new(path));
     }
     ctx.print_timings();
     println!("\ndone in {:.1?} (wall clock)", started.elapsed());

@@ -1,0 +1,87 @@
+//! Golden-file lockdown of the telemetry stream format.
+//!
+//! Runs the `repro` binary on a tiny t3 horizon with `--telemetry-out` at
+//! `--jobs 1` and `--jobs 4` and byte-compares both streams against the
+//! checked-in fixture. This pins three things at once: the JSON-lines
+//! serialization of every event type, the determinism of the simulations
+//! feeding it, and the jobs-independence of the stream assembly. Any
+//! intentional format change regenerates the fixture with
+//! `REGEN_GOLDEN=1 cargo test -p repro --test telemetry_golden`.
+
+use std::path::PathBuf;
+use std::process::Command;
+
+fn golden_path() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/golden")
+        .join("t3_quick_stream.jsonl")
+}
+
+/// Runs t3 on a tiny horizon capturing telemetry, returns the stream bytes.
+fn capture_stream(tag: &str, jobs: u32) -> Vec<u8> {
+    let tmp = std::env::temp_dir().join(format!("repro_golden_{tag}_{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&tmp);
+    let stream = tmp.join("stream.jsonl");
+    std::fs::create_dir_all(&tmp).expect("create tmp dir");
+    let out = Command::new(env!("CARGO_BIN_EXE_repro"))
+        .args(["--quick", "--horizon-h", "0.0005", "--seed", "7"])
+        .args(["--jobs", &jobs.to_string()])
+        .arg("--telemetry-out")
+        .arg(&stream)
+        .arg("--out")
+        .arg(&tmp)
+        .arg("t3")
+        .output()
+        .expect("spawn repro binary");
+    assert!(
+        out.status.success(),
+        "repro --jobs {jobs} failed:\n{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let bytes = std::fs::read(&stream).expect("read stream file");
+    let _ = std::fs::remove_dir_all(&tmp);
+    bytes
+}
+
+#[test]
+fn stream_matches_golden_at_any_jobs_count() {
+    let serial = capture_stream("j1", 1);
+    let parallel = capture_stream("j4", 4);
+    assert!(
+        serial == parallel,
+        "telemetry stream differs between --jobs 1 and --jobs 4"
+    );
+
+    let golden = golden_path();
+    if std::env::var_os("REGEN_GOLDEN").is_some() {
+        std::fs::create_dir_all(golden.parent().unwrap()).expect("create golden dir");
+        std::fs::write(&golden, &serial).expect("write golden");
+        eprintln!("regenerated {}", golden.display());
+        return;
+    }
+
+    let expected = std::fs::read(&golden).unwrap_or_else(|e| {
+        panic!(
+            "missing golden {} ({e}); regenerate with REGEN_GOLDEN=1",
+            golden.display()
+        )
+    });
+    if serial != expected {
+        // Find the first differing line for a readable failure.
+        let got = String::from_utf8_lossy(&serial);
+        let want = String::from_utf8_lossy(&expected);
+        for (i, (g, w)) in got.lines().zip(want.lines()).enumerate() {
+            assert_eq!(g, w, "first divergence at stream line {}", i + 1);
+        }
+        panic!(
+            "stream length changed: {} vs golden {} lines",
+            got.lines().count(),
+            want.lines().count()
+        );
+    }
+
+    // The checked-in stream must itself satisfy every audit invariant.
+    let outcome = telemetry::audit::audit_bytes(&serial).expect("parsable stream");
+    assert!(outcome.passed(), "golden stream fails audit");
+    assert_eq!(outcome.runs.len(), 14, "t3 covers 7 policies x 2 workloads");
+}

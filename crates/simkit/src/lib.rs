@@ -9,8 +9,9 @@
 //!   tie-breaking so simulations replay bit-identically.
 //! * **Randomness** — [`DetRng`], labelled deterministic random streams
 //!   derived from one experiment seed.
-//! * **Statistics** — [`Moments`], [`LatencyHistogram`], [`SlidingWindow`],
-//!   [`TimeWeighted`], [`Ewma`], [`DecayingRate`], [`TimeSeries`].
+//! * **Statistics** — [`Moments`], [`LatencyHistogram`], [`FixedHistogram`],
+//!   [`SlidingWindow`], [`TimeWeighted`], [`Ewma`], [`DecayingRate`],
+//!   [`TimeSeries`].
 //! * **Energy** — [`EnergyLedger`] with per-[`EnergyComponent`] attribution.
 //!
 //! Nothing in this crate knows about disks or power policies; it is a
@@ -30,5 +31,7 @@ pub use energy::{EnergyComponent, EnergyLedger};
 pub use events::EventQueue;
 pub use rng::DetRng;
 pub use series::{SeriesBucket, TimeSeries};
-pub use stats::{DecayingRate, Ewma, LatencyHistogram, Moments, SlidingWindow, TimeWeighted};
+pub use stats::{
+    DecayingRate, Ewma, FixedHistogram, LatencyHistogram, Moments, SlidingWindow, TimeWeighted,
+};
 pub use time::{SimDuration, SimTime};

@@ -1,0 +1,710 @@
+//! Replay a serialized event stream and check cross-cutting invariants.
+//!
+//! The auditor is deliberately decoupled from the simulator: it scans the
+//! JSON-lines text directly (same field-scanner idiom as the workload
+//! trace reader) and reconstructs every derived quantity from first
+//! principles — energy totals from per-disk summaries, power integrals
+//! from samples, the goal-violation fraction from individual
+//! `RequestServed` events — then reconciles them against the stream's own
+//! trailer. A bug in either the emitters or the accounting shows up as a
+//! failed [`Check`], not a silently wrong figure.
+//!
+//! A file may concatenate many runs (the harness flushes one stream per
+//! run, sorted by label); each `run_start`…`run_end` segment is audited
+//! independently.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// Audit failure: the stream itself was malformed.
+#[derive(Debug)]
+pub enum AuditError {
+    /// `(line_number, message)` — 1-based line numbers.
+    Parse(usize, String),
+}
+
+impl fmt::Display for AuditError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AuditError::Parse(n, msg) => write!(f, "line {n}: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for AuditError {}
+
+/// One named invariant's verdict for one run.
+#[derive(Debug, Clone)]
+pub struct Check {
+    /// Stable check name (e.g. `"energy-conservation"`).
+    pub name: &'static str,
+    /// Whether the invariant held.
+    pub passed: bool,
+    /// Human-readable evidence (the reconciled numbers, or the first
+    /// violation).
+    pub detail: String,
+}
+
+/// All checks for one `run_start`…`run_end` segment.
+#[derive(Debug, Clone)]
+pub struct RunAudit {
+    /// The run's label from its header line.
+    pub label: String,
+    /// Events in the segment (including header and trailer).
+    pub events: usize,
+    /// The invariant verdicts.
+    pub checks: Vec<Check>,
+}
+
+impl RunAudit {
+    /// True if every check passed.
+    pub fn passed(&self) -> bool {
+        self.checks.iter().all(|c| c.passed)
+    }
+}
+
+/// The audit of a whole stream file.
+#[derive(Debug, Clone)]
+pub struct AuditOutcome {
+    /// Per-run audits, in file order.
+    pub runs: Vec<RunAudit>,
+}
+
+impl AuditOutcome {
+    /// True if every run passed every check.
+    pub fn passed(&self) -> bool {
+        !self.runs.is_empty() && self.runs.iter().all(|r| r.passed())
+    }
+}
+
+/// Scans `line` for `"key":` and returns the raw value text, skipping
+/// over nested arrays/objects and quoted strings.
+fn json_field<'a>(line: &'a str, key: &str) -> Option<&'a str> {
+    let pat = format!("\"{key}\":");
+    let start = line.find(&pat)? + pat.len();
+    let rest = &line[start..];
+    let (mut depth, mut in_str, mut esc) = (0i32, false, false);
+    for (i, c) in rest.char_indices() {
+        if in_str {
+            if esc {
+                esc = false;
+            } else if c == '\\' {
+                esc = true;
+            } else if c == '"' {
+                in_str = false;
+            }
+            continue;
+        }
+        match c {
+            '"' => in_str = true,
+            '[' | '{' => depth += 1,
+            ']' => depth -= 1,
+            '}' => {
+                if depth == 0 {
+                    return Some(rest[..i].trim());
+                }
+                depth -= 1;
+            }
+            ',' if depth == 0 => return Some(rest[..i].trim()),
+            _ => {}
+        }
+    }
+    None
+}
+
+fn f64_field(line: &str, n: usize, key: &str) -> Result<f64, AuditError> {
+    json_field(line, key)
+        .and_then(|v| v.parse().ok())
+        .ok_or_else(|| AuditError::Parse(n, format!("bad/missing f64 field {key:?}")))
+}
+
+fn u64_field(line: &str, n: usize, key: &str) -> Result<u64, AuditError> {
+    json_field(line, key)
+        .and_then(|v| v.parse().ok())
+        .ok_or_else(|| AuditError::Parse(n, format!("bad/missing u64 field {key:?}")))
+}
+
+fn str_field<'a>(line: &'a str, n: usize, key: &str) -> Result<&'a str, AuditError> {
+    json_field(line, key)
+        .and_then(|v| v.strip_prefix('"'))
+        .and_then(|v| v.strip_suffix('"'))
+        .ok_or_else(|| AuditError::Parse(n, format!("bad/missing string field {key:?}")))
+}
+
+fn u64_array(line: &str, n: usize, key: &str) -> Result<Vec<u64>, AuditError> {
+    let raw = json_field(line, key)
+        .and_then(|v| v.strip_prefix('['))
+        .and_then(|v| v.strip_suffix(']'))
+        .ok_or_else(|| AuditError::Parse(n, format!("bad/missing array field {key:?}")))?;
+    if raw.trim().is_empty() {
+        return Ok(Vec::new());
+    }
+    raw.split(',')
+        .map(|x| {
+            x.trim()
+                .parse()
+                .map_err(|_| AuditError::Parse(n, format!("bad element in array {key:?}")))
+        })
+        .collect()
+}
+
+/// Energy-component keys in ledger order (see `simkit::EnergyComponent`).
+const COMPONENTS: [&str; 6] = [
+    "idle_spin",
+    "seek",
+    "transfer",
+    "transition",
+    "standby",
+    "migration",
+];
+
+/// Trailer totals pulled from a `run_end` line.
+struct EndTotals {
+    total_j: f64,
+    energy_j: [f64; 6],
+    completed: u64,
+    transitions: u64,
+    violation: f64,
+    latency_hist_total: u64,
+    moved: u64,
+    remap_version: u64,
+    dropped: u64,
+}
+
+/// Accumulated state while replaying one run segment.
+struct RunAcc {
+    label: String,
+    disks: u32,
+    inflight: u32,
+    sample_s: f64,
+    bucket_s: f64,
+    goal_s: f64,
+    warmup_s: f64,
+    horizon_s: f64,
+    events: usize,
+    last_t: f64,
+    order_violation: Option<String>,
+    /// disk -> failure time (first wins).
+    dead: BTreeMap<u32, f64>,
+    dead_serve_violation: Option<String>,
+    served: u64,
+    /// bucket index -> (count, sum of response seconds), insertion order
+    /// is replay order so float accumulation matches the simulator's.
+    buckets: BTreeMap<u64, (u64, f64)>,
+    speed_events: u64,
+    active_jobs: BTreeMap<u64, u64>,
+    max_active: usize,
+    mig_shape_violation: Option<String>,
+    moved: u64,
+    moved_remap: u64,
+    power_sum_j: f64,
+    power_samples: u64,
+    last_power_t: f64,
+    disk_energy_j: [f64; 6],
+    disk_transitions: u64,
+    disk_summaries: u32,
+    end: Option<EndTotals>,
+}
+
+impl RunAcc {
+    fn new(line: &str, n: usize) -> Result<RunAcc, AuditError> {
+        Ok(RunAcc {
+            label: str_field(line, n, "label")?.to_string(),
+            disks: u64_field(line, n, "disks")? as u32,
+            inflight: u64_field(line, n, "inflight")? as u32,
+            sample_s: f64_field(line, n, "sample_s")?,
+            bucket_s: f64_field(line, n, "bucket_s")?,
+            goal_s: f64_field(line, n, "goal_s")?,
+            warmup_s: f64_field(line, n, "warmup_s")?,
+            horizon_s: f64_field(line, n, "horizon_s")?,
+            events: 1,
+            last_t: 0.0,
+            order_violation: None,
+            dead: BTreeMap::new(),
+            dead_serve_violation: None,
+            served: 0,
+            buckets: BTreeMap::new(),
+            speed_events: 0,
+            active_jobs: BTreeMap::new(),
+            max_active: 0,
+            mig_shape_violation: None,
+            moved: 0,
+            moved_remap: 0,
+            power_sum_j: 0.0,
+            power_samples: 0,
+            last_power_t: 0.0,
+            disk_energy_j: [0.0; 6],
+            disk_transitions: 0,
+            disk_summaries: 0,
+            end: None,
+        })
+    }
+
+    fn note_time(&mut self, t: f64, n: usize) {
+        if t < self.last_t - 1e-9 && self.order_violation.is_none() {
+            self.order_violation = Some(format!(
+                "line {n}: t={t} after t={} — stream not time-ordered",
+                self.last_t
+            ));
+        }
+        self.last_t = self.last_t.max(t);
+    }
+
+    fn end_job(&mut self, job: u64, n: usize, what: &str) {
+        if self.active_jobs.remove(&job).is_none() && self.mig_shape_violation.is_none() {
+            self.mig_shape_violation =
+                Some(format!("line {n}: {what} for job {job} that never started"));
+        }
+    }
+
+    /// Recomputes the goal-violation fraction from the replayed
+    /// `RequestServed` events using the T4 bucket rule: a bucket counts
+    /// only if it starts at or after the warm-up cutoff.
+    fn recomputed_violation(&self) -> f64 {
+        let (mut kept, mut over) = (0u64, 0u64);
+        for (&idx, &(count, sum)) in &self.buckets {
+            if (idx as f64) * self.bucket_s < self.warmup_s {
+                continue;
+            }
+            kept += 1;
+            if sum / count as f64 > self.goal_s {
+                over += 1;
+            }
+        }
+        if kept == 0 {
+            0.0
+        } else {
+            over as f64 / kept as f64
+        }
+    }
+
+    fn finish(self) -> RunAudit {
+        let mut checks = Vec::new();
+        let close = |a: f64, b: f64, rel: f64| (a - b).abs() <= rel * a.abs().max(b.abs()) + 1e-6;
+
+        // 1. Stream shape: trailer present, time-ordered, nothing dropped.
+        let (shape_ok, shape_detail) = match (&self.end, &self.order_violation) {
+            (None, _) => (false, "missing run_end trailer".to_string()),
+            (Some(_), Some(v)) => (false, v.clone()),
+            (Some(e), None) if e.dropped > 0 => (
+                false,
+                format!("{} events dropped — stream incomplete", e.dropped),
+            ),
+            (Some(_), None) => (true, format!("{} events, time-ordered", self.events)),
+        };
+        checks.push(Check {
+            name: "stream-shape",
+            passed: shape_ok,
+            detail: shape_detail,
+        });
+
+        if let Some(end) = &self.end {
+            // 2. Energy conservation: Σ per-disk, per-component energies
+            //    must equal the trailer's ledger, which must sum to the
+            //    total.
+            let mut energy_ok = self.disk_summaries == self.disks;
+            let mut worst = String::new();
+            if !energy_ok {
+                worst = format!(
+                    "{} disk summaries for {} disks",
+                    self.disk_summaries, self.disks
+                );
+            }
+            for (i, name) in COMPONENTS.iter().enumerate() {
+                if !close(self.disk_energy_j[i], end.energy_j[i], 1e-9) {
+                    energy_ok = false;
+                    worst = format!(
+                        "{name}: Σdisks {} != run {}",
+                        self.disk_energy_j[i], end.energy_j[i]
+                    );
+                    break;
+                }
+            }
+            let comp_sum: f64 = end.energy_j.iter().sum();
+            if !close(comp_sum, end.total_j, 1e-9) {
+                energy_ok = false;
+                worst = format!("component sum {} != total {}", comp_sum, end.total_j);
+            }
+            checks.push(Check {
+                name: "energy-conservation",
+                passed: energy_ok,
+                detail: if energy_ok {
+                    format!("{} disks reconcile to {:.1} J", self.disks, end.total_j)
+                } else {
+                    worst
+                },
+            });
+
+            // 3. Power integration: each sample is mean watts over the
+            //    preceding interval, so Σ watts·Δt telescopes to the
+            //    cumulative energy at the last sample — exactly the total
+            //    when the horizon is a sample multiple, a lower bound
+            //    otherwise.
+            let integral = self.power_sum_j;
+            let covered = self.last_power_t >= self.horizon_s - 1e-6;
+            let (power_ok, power_detail) = if self.power_samples == 0 {
+                (true, "no power samples (horizon < interval)".to_string())
+            } else if covered {
+                (
+                    close(integral, end.total_j, 1e-7),
+                    format!(
+                        "∫P dt = {:.3} J vs ledger {:.3} J over {} samples",
+                        integral, end.total_j, self.power_samples
+                    ),
+                )
+            } else {
+                (
+                    integral <= end.total_j * (1.0 + 1e-7) + 1e-6,
+                    format!(
+                        "partial coverage to t={}: ∫P dt = {:.3} J ≤ {:.3} J",
+                        self.last_power_t, integral, end.total_j
+                    ),
+                )
+            };
+            checks.push(Check {
+                name: "power-integration",
+                passed: power_ok,
+                detail: power_detail,
+            });
+
+            // 4. No request served by a disk the fault ledger says is dead.
+            checks.push(match &self.dead_serve_violation {
+                Some(v) => Check {
+                    name: "dead-disk-serve",
+                    passed: false,
+                    detail: v.clone(),
+                },
+                None => Check {
+                    name: "dead-disk-serve",
+                    passed: true,
+                    detail: format!(
+                        "{} served, {} disk failure(s)",
+                        self.served,
+                        self.dead.len()
+                    ),
+                },
+            });
+
+            // 5. Migration concurrency never exceeds the configured cap,
+            //    and every job end matches a start.
+            let mig_ok =
+                self.mig_shape_violation.is_none() && self.max_active <= self.inflight as usize;
+            checks.push(Check {
+                name: "migration-inflight",
+                passed: mig_ok,
+                detail: match &self.mig_shape_violation {
+                    Some(v) => v.clone(),
+                    None => format!(
+                        "peak {} concurrent of cap {}",
+                        self.max_active, self.inflight
+                    ),
+                },
+            });
+
+            // 6. Goal-violation fraction recomputed from RequestServed
+            //    events matches the trailer's (same bucket/warm-up rule).
+            let recomputed = self.recomputed_violation();
+            let viol_ok = (recomputed - end.violation).abs() <= 1e-9;
+            checks.push(Check {
+                name: "violation-refit",
+                passed: viol_ok,
+                detail: format!(
+                    "recomputed {:.6} vs reported {:.6} (goal {:.4} ms)",
+                    recomputed,
+                    end.violation,
+                    self.goal_s * 1e3
+                ),
+            });
+
+            // 7. Count consistency across independent tallies.
+            let mut count_ok = true;
+            let mut count_detail = format!(
+                "served {}, transitions {}, moved {}",
+                self.served, self.speed_events, self.moved
+            );
+            let pairs: [(&str, u64, u64); 6] = [
+                ("served vs completed", self.served, end.completed),
+                (
+                    "served vs latency_hist",
+                    self.served,
+                    end.latency_hist_total,
+                ),
+                (
+                    "speed events vs transitions",
+                    self.speed_events,
+                    end.transitions,
+                ),
+                (
+                    "speed events vs disk summaries",
+                    self.speed_events,
+                    self.disk_transitions,
+                ),
+                ("mig_moved vs moved", self.moved, end.moved),
+                ("remap version", self.moved_remap, end.remap_version),
+            ];
+            for (what, a, b) in pairs {
+                if a != b {
+                    count_ok = false;
+                    count_detail = format!("{what}: {a} != {b}");
+                    break;
+                }
+            }
+            checks.push(Check {
+                name: "count-consistency",
+                passed: count_ok,
+                detail: count_detail,
+            });
+        }
+
+        RunAudit {
+            label: self.label,
+            events: self.events,
+            checks,
+        }
+    }
+}
+
+/// Audits a JSON-lines stream (one or more concatenated runs).
+pub fn audit_bytes(bytes: &[u8]) -> Result<AuditOutcome, AuditError> {
+    let text = std::str::from_utf8(bytes)
+        .map_err(|e| AuditError::Parse(0, format!("stream is not UTF-8: {e}")))?;
+    let mut runs: Vec<RunAudit> = Vec::new();
+    let mut acc: Option<RunAcc> = None;
+
+    for (i, line) in text.lines().enumerate() {
+        let n = i + 1;
+        if line.trim().is_empty() {
+            continue;
+        }
+        let ev = str_field(line, n, "ev")?;
+        if ev == "run_start" {
+            if let Some(prev) = acc.take() {
+                runs.push(prev.finish());
+            }
+            acc = Some(RunAcc::new(line, n)?);
+            continue;
+        }
+        let run = acc
+            .as_mut()
+            .ok_or_else(|| AuditError::Parse(n, format!("{ev:?} before any run_start")))?;
+        run.events += 1;
+        let t = f64_field(line, n, "t")?;
+        run.note_time(t, n);
+        match ev {
+            "served" => {
+                let disk = u64_field(line, n, "disk")? as u32;
+                let latency_us = f64_field(line, n, "latency_us")?;
+                if let Some(&died) = run.dead.get(&disk) {
+                    if t > died + 1e-9 && run.dead_serve_violation.is_none() {
+                        run.dead_serve_violation = Some(format!(
+                            "line {n}: disk {disk} served at t={t} but died at t={died}"
+                        ));
+                    }
+                }
+                run.served += 1;
+                let idx = (t / run.bucket_s).floor() as u64;
+                let b = run.buckets.entry(idx).or_insert((0, 0.0));
+                b.0 += 1;
+                b.1 += latency_us / 1e6;
+            }
+            "fault" => {
+                if str_field(line, n, "kind")? == "disk_failure" {
+                    let disk = u64_field(line, n, "disk")? as u32;
+                    run.dead.entry(disk).or_insert(t);
+                }
+            }
+            "speed" => run.speed_events += 1,
+            "mig_start" => {
+                let job = u64_field(line, n, "job")?;
+                if run.active_jobs.insert(job, n as u64).is_some()
+                    && run.mig_shape_violation.is_none()
+                {
+                    run.mig_shape_violation = Some(format!("line {n}: job {job} started twice"));
+                }
+                run.max_active = run.max_active.max(run.active_jobs.len());
+            }
+            "mig_moved" => {
+                let job = u64_field(line, n, "job")?;
+                run.end_job(job, n, "mig_moved");
+                run.moved += 1;
+                if str_field(line, n, "kind")? != "raw" {
+                    run.moved_remap += 1;
+                }
+            }
+            "mig_abort" => {
+                let job = u64_field(line, n, "job")?;
+                run.end_job(job, n, "mig_abort");
+            }
+            "mig_drop" => {
+                let job = u64_field(line, n, "job")?;
+                run.end_job(job, n, "mig_drop");
+            }
+            "power" => {
+                let watts = f64_field(line, n, "watts")?;
+                run.power_sum_j += watts * run.sample_s;
+                run.power_samples += 1;
+                run.last_power_t = t;
+            }
+            "disk" => {
+                for (i, name) in COMPONENTS.iter().enumerate() {
+                    run.disk_energy_j[i] += f64_field(line, n, name)?;
+                }
+                run.disk_transitions += u64_field(line, n, "transitions")?;
+                run.disk_summaries += 1;
+            }
+            "run_end" => {
+                let mut energy_j = [0.0; 6];
+                for (i, name) in COMPONENTS.iter().enumerate() {
+                    energy_j[i] = f64_field(line, n, name)?;
+                }
+                let latency_hist = u64_array(line, n, "latency_hist")?;
+                let latency_hist_total: u64 =
+                    latency_hist.iter().sum::<u64>() + u64_field(line, n, "latency_overflow")?;
+                run.end = Some(EndTotals {
+                    total_j: f64_field(line, n, "total_j")?,
+                    energy_j,
+                    completed: u64_field(line, n, "completed")?,
+                    transitions: u64_field(line, n, "transitions")?,
+                    violation: f64_field(line, n, "violation")?,
+                    latency_hist_total,
+                    moved: u64_field(line, n, "moved")?,
+                    remap_version: u64_field(line, n, "remap_version")?,
+                    dropped: u64_field(line, n, "dropped")?,
+                });
+            }
+            "epoch" | "boost" => {}
+            other => {
+                return Err(AuditError::Parse(
+                    n,
+                    format!("unknown event kind {other:?}"),
+                ));
+            }
+        }
+    }
+    if let Some(prev) = acc.take() {
+        runs.push(prev.finish());
+    }
+    if runs.is_empty() {
+        return Err(AuditError::Parse(0, "stream contains no runs".to_string()));
+    }
+    Ok(AuditOutcome { runs })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn minimal_stream() -> String {
+        let disks = [
+            "{\"ev\":\"disk\",\"t\":100.0,\"disk\":0,\"idle_spin\":40.0,\"seek\":5.0,\"transfer\":5.0,\"transition\":0.0,\"standby\":0.0,\"migration\":0.0,\"transitions\":0,\"failed_at_s\":null}",
+            "{\"ev\":\"disk\",\"t\":100.0,\"disk\":1,\"idle_spin\":40.0,\"seek\":5.0,\"transfer\":5.0,\"transition\":0.0,\"standby\":0.0,\"migration\":0.0,\"transitions\":0,\"failed_at_s\":null}",
+        ];
+        format!(
+            "{}\n{}\n{}\n{}\n{}\n{}\n",
+            "{\"ev\":\"run_start\",\"t\":0.0,\"label\":\"test\",\"disks\":2,\"levels\":6,\"horizon_s\":100.0,\"inflight\":2,\"sample_s\":50.0,\"bucket_s\":50.0,\"goal_s\":0.01,\"warmup_s\":0.0,\"seed\":1}",
+            "{\"ev\":\"served\",\"t\":10.0,\"latency_us\":5000.0,\"disk\":0,\"tier\":5}",
+            "{\"ev\":\"power\",\"t\":50.0,\"watts\":1.0}",
+            "{\"ev\":\"power\",\"t\":100.0,\"watts\":1.0}",
+            disks.join("\n"),
+            "{\"ev\":\"run_end\",\"t\":100.0,\"total_j\":100.0,\"idle_spin\":80.0,\"seek\":10.0,\"transfer\":10.0,\"transition\":0.0,\"standby\":0.0,\"migration\":0.0,\"completed\":1,\"incomplete\":0,\"transitions\":0,\"mean_response_s\":0.005,\"violation\":0.0,\"latency_hist\":[0,0,1],\"latency_overflow\":0,\"queue_hist\":[2],\"queue_overflow\":0,\"moved\":0,\"remap_version\":0,\"dropped\":0}",
+        )
+    }
+
+    #[test]
+    fn minimal_consistent_stream_passes_all_checks() {
+        let out = audit_bytes(minimal_stream().as_bytes()).expect("parse");
+        assert_eq!(out.runs.len(), 1);
+        let run = &out.runs[0];
+        for c in &run.checks {
+            assert!(c.passed, "{} failed: {}", c.name, c.detail);
+        }
+        assert!(out.passed());
+    }
+
+    #[test]
+    fn dead_disk_serving_is_caught() {
+        let s = minimal_stream().replace(
+            "{\"ev\":\"served\",\"t\":10.0,\"latency_us\":5000.0,\"disk\":0,\"tier\":5}",
+            "{\"ev\":\"fault\",\"t\":5.0,\"disk\":0,\"kind\":\"disk_failure\"}\n{\"ev\":\"served\",\"t\":10.0,\"latency_us\":5000.0,\"disk\":0,\"tier\":5}",
+        );
+        let out = audit_bytes(s.as_bytes()).expect("parse");
+        let check = out.runs[0]
+            .checks
+            .iter()
+            .find(|c| c.name == "dead-disk-serve")
+            .unwrap();
+        assert!(!check.passed, "expected dead-disk violation");
+    }
+
+    #[test]
+    fn wrong_energy_total_is_caught() {
+        let s = minimal_stream().replace("\"total_j\":100.0", "\"total_j\":150.0");
+        let out = audit_bytes(s.as_bytes()).expect("parse");
+        let check = out.runs[0]
+            .checks
+            .iter()
+            .find(|c| c.name == "energy-conservation")
+            .unwrap();
+        assert!(!check.passed);
+        assert!(!out.passed());
+    }
+
+    #[test]
+    fn wrong_violation_fraction_is_caught() {
+        // One bucket whose mean (5 ms) is below the 10 ms goal: reported
+        // violation must be 0, so claiming 1.0 fails the refit.
+        let s = minimal_stream().replace("\"violation\":0.0", "\"violation\":1.0");
+        let out = audit_bytes(s.as_bytes()).expect("parse");
+        let check = out.runs[0]
+            .checks
+            .iter()
+            .find(|c| c.name == "violation-refit")
+            .unwrap();
+        assert!(!check.passed);
+    }
+
+    #[test]
+    fn inflight_cap_violation_is_caught() {
+        let extra = "{\"ev\":\"mig_start\",\"t\":20.0,\"job\":1,\"chunk\":1,\"src\":0,\"dst\":1}\n\
+                     {\"ev\":\"mig_start\",\"t\":21.0,\"job\":2,\"chunk\":2,\"src\":0,\"dst\":1}\n\
+                     {\"ev\":\"mig_start\",\"t\":22.0,\"job\":3,\"chunk\":3,\"src\":0,\"dst\":1}\n\
+                     {\"ev\":\"power\",\"t\":50.0,\"watts\":1.0}";
+        let s = minimal_stream().replace("{\"ev\":\"power\",\"t\":50.0,\"watts\":1.0}", extra);
+        let out = audit_bytes(s.as_bytes()).expect("parse");
+        let check = out.runs[0]
+            .checks
+            .iter()
+            .find(|c| c.name == "migration-inflight")
+            .unwrap();
+        assert!(!check.passed, "3 concurrent jobs exceed cap 2");
+    }
+
+    #[test]
+    fn out_of_order_stream_fails_shape() {
+        let s = minimal_stream().replace(
+            "{\"ev\":\"served\",\"t\":10.0,\"latency_us\":5000.0,\"disk\":0,\"tier\":5}",
+            "{\"ev\":\"power\",\"t\":60.0,\"watts\":1.0}\n{\"ev\":\"served\",\"t\":10.0,\"latency_us\":5000.0,\"disk\":0,\"tier\":5}",
+        );
+        let out = audit_bytes(s.as_bytes()).expect("parse");
+        let check = out.runs[0]
+            .checks
+            .iter()
+            .find(|c| c.name == "stream-shape")
+            .unwrap();
+        assert!(!check.passed);
+    }
+
+    #[test]
+    fn multi_run_streams_audit_independently() {
+        let two = format!("{}{}", minimal_stream(), minimal_stream());
+        let out = audit_bytes(two.as_bytes()).expect("parse");
+        assert_eq!(out.runs.len(), 2);
+        assert!(out.passed());
+    }
+
+    #[test]
+    fn garbage_is_a_parse_error() {
+        assert!(audit_bytes(b"not json\n").is_err());
+        assert!(audit_bytes(b"").is_err());
+    }
+}

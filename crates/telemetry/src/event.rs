@@ -1,0 +1,600 @@
+//! The typed event vocabulary and its JSON-lines serialization.
+//!
+//! Events are write-only records: the simulator constructs them at decision
+//! points and the [`EventSink`](crate::EventSink) serializes them with the
+//! same hand-rolled JSON-lines discipline the workload trace persistence
+//! uses (`{:?}` floats for shortest round-trip, one object per line). The
+//! auditor never reconstructs `Event` values — it scans fields straight out
+//! of the text — so variants can carry `&'static str` tags without an owned
+//! parse-side mirror.
+
+use simkit::EnergyComponent;
+use std::io::{self, Write};
+
+/// Why a disk changed (or started changing) speed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TransitionReason {
+    /// A power policy asked for the new level via `request_speed`.
+    Policy,
+    /// A request arrived at a standby disk and auto spin-up kicked in.
+    DemandWake,
+    /// A latched speed request resumed once the in-flight ramp finished.
+    Latched,
+}
+
+impl TransitionReason {
+    /// Stable serialization tag.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            TransitionReason::Policy => "policy",
+            TransitionReason::DemandWake => "demand_wake",
+            TransitionReason::Latched => "latched",
+        }
+    }
+}
+
+/// What kind of migration job committed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MoveKind {
+    /// A chunk relocated to a reserved slot on another disk.
+    Relocate,
+    /// Two chunks exchanged slots.
+    Swap,
+    /// A lost chunk reconstructed onto a survivor.
+    Rebuild,
+    /// A raw sector-range write (no remap change).
+    Raw,
+}
+
+impl MoveKind {
+    /// Stable serialization tag.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            MoveKind::Relocate => "relocate",
+            MoveKind::Swap => "swap",
+            MoveKind::Rebuild => "rebuild",
+            MoveKind::Raw => "raw",
+        }
+    }
+}
+
+/// Why the performance guard acted.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BoostReason {
+    /// The trailing-window response estimate crossed the guard threshold.
+    Latency,
+    /// A disk failure forced an immediate boost.
+    DiskFailure,
+}
+
+impl BoostReason {
+    /// Stable serialization tag.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            BoostReason::Latency => "latency",
+            BoostReason::DiskFailure => "disk_failure",
+        }
+    }
+}
+
+/// Speed tier of a disk in an event: the level index, or [`STANDBY`] (-1)
+/// for spun-down.
+pub type Tier = i32;
+
+/// The [`Tier`] value denoting standby (spun down).
+pub const STANDBY: Tier = -1;
+
+/// One structured telemetry event.
+///
+/// Every variant carries its simulation timestamp `time_s`; a serialized
+/// stream is non-decreasing in time. A run's stream starts with
+/// [`Event::RunStart`] and ends with [`Event::RunSummary`].
+#[derive(Debug, Clone)]
+pub enum Event {
+    /// Stream header: the run's identity and the parameters the auditor
+    /// needs to recompute derived metrics.
+    RunStart {
+        /// Simulation time (always 0).
+        time_s: f64,
+        /// Deterministic run label, e.g. `"Hibernator/OLTP"`.
+        label: String,
+        /// Number of disks in the array.
+        disks: u32,
+        /// Number of speed levels per disk.
+        levels: u32,
+        /// Simulated horizon in seconds.
+        horizon_s: f64,
+        /// Maximum concurrent migration jobs.
+        migration_inflight: u32,
+        /// Power/queue sampling interval in seconds.
+        sample_interval_s: f64,
+        /// Response-series bucket width in seconds.
+        series_bucket_s: f64,
+        /// Response-time goal in seconds (`f64::MAX` for unmanaged runs).
+        goal_s: f64,
+        /// Warm-up cutoff for goal-violation accounting, in seconds.
+        warmup_s: f64,
+        /// The run's master seed.
+        seed: u64,
+    },
+    /// The Hibernator planner finished an epoch boundary.
+    EpochPlanned {
+        /// Simulation time.
+        time_s: f64,
+        /// Planned disk count per speed level (index = level).
+        per_level: Vec<u32>,
+        /// Whether the plan met the response goal in the model.
+        feasible: bool,
+        /// Model-predicted mean response at the plan, seconds.
+        predicted_response_s: f64,
+        /// Model-predicted average power at the plan, watts.
+        predicted_power_w: f64,
+        /// Migration jobs enqueued to realize the plan.
+        migration_jobs: u32,
+        /// True if the coarse-grain check skipped reconfiguration.
+        skipped: bool,
+        /// True if the layout actually changed.
+        changed: bool,
+    },
+    /// A disk began a speed transition (or an instant level commit).
+    SpeedTransition {
+        /// Simulation time.
+        time_s: f64,
+        /// Disk index.
+        disk: u32,
+        /// Level left ([`STANDBY`] = -1 for standby).
+        from: Tier,
+        /// Level targeted ([`STANDBY`] = -1 for standby).
+        to: Tier,
+        /// What triggered the transition.
+        reason: TransitionReason,
+        /// True if a sticky-spindle fault stretched the ramp.
+        stretched: bool,
+    },
+    /// A migration job started reading.
+    MigrationStarted {
+        /// Simulation time.
+        time_s: f64,
+        /// Engine-assigned job id (unique within a run).
+        job: u64,
+        /// Chunk (extent) being moved; 0 for raw writes.
+        chunk: u64,
+        /// Source disk.
+        src: u32,
+        /// Destination disk.
+        dst: u32,
+    },
+    /// A migration job committed: data moved and the remap updated.
+    MigrationMoved {
+        /// Simulation time.
+        time_s: f64,
+        /// Engine-assigned job id.
+        job: u64,
+        /// Chunk (extent) moved; 0 for raw writes.
+        chunk: u64,
+        /// Source disk.
+        src: u32,
+        /// Destination disk.
+        dst: u32,
+        /// Payload bytes moved.
+        bytes: u64,
+        /// The kind of job that committed.
+        kind: MoveKind,
+    },
+    /// A migration job aborted (dirtied by foreground writes, or
+    /// degenerate).
+    MigrationAborted {
+        /// Simulation time.
+        time_s: f64,
+        /// Engine-assigned job id.
+        job: u64,
+        /// Chunk the job was moving.
+        chunk: u64,
+    },
+    /// A migration job was dropped or orphaned by a disk failure.
+    MigrationDropped {
+        /// Simulation time.
+        time_s: f64,
+        /// Engine-assigned job id.
+        job: u64,
+        /// Chunk the job was moving.
+        chunk: u64,
+    },
+    /// The performance guard entered or left boost mode.
+    GuardBoost {
+        /// Simulation time.
+        time_s: f64,
+        /// True on entry, false on exit.
+        entered: bool,
+        /// What triggered the action.
+        reason: BoostReason,
+    },
+    /// A fault fired (scripted or hazard-driven).
+    FaultInjected {
+        /// Simulation time.
+        time_s: f64,
+        /// Disk index.
+        disk: u32,
+        /// Stable fault tag (see `FaultKind::label`).
+        kind: &'static str,
+    },
+    /// A foreground volume request completed.
+    RequestServed {
+        /// Simulation time (completion instant).
+        time_s: f64,
+        /// End-to-end volume latency in microseconds.
+        latency_us: f64,
+        /// The disk that completed the final piece.
+        disk: u32,
+        /// That disk's effective speed tier at completion.
+        tier: Tier,
+    },
+    /// A periodic power sample (mean watts over the preceding interval).
+    PowerSample {
+        /// Simulation time.
+        time_s: f64,
+        /// Mean array power over the interval, watts.
+        watts: f64,
+    },
+    /// Per-disk end-of-run accounting.
+    DiskSummary {
+        /// Simulation time (the horizon).
+        time_s: f64,
+        /// Disk index.
+        disk: u32,
+        /// Energy by [`EnergyComponent::ALL`] order, joules.
+        energy_j: [f64; 6],
+        /// Speed transitions this disk performed.
+        transitions: u64,
+        /// When the disk failed, if it did.
+        failed_at_s: Option<f64>,
+    },
+    /// Stream trailer: whole-run totals the auditor reconciles against.
+    RunSummary {
+        /// Simulation time (the horizon).
+        time_s: f64,
+        /// Total array energy, joules.
+        total_j: f64,
+        /// Energy by [`EnergyComponent::ALL`] order, joules.
+        energy_j: [f64; 6],
+        /// Volume requests completed.
+        completed: u64,
+        /// Requests still in flight at the horizon.
+        incomplete: u64,
+        /// Speed transitions across all disks.
+        transitions: u64,
+        /// Mean volume response, seconds.
+        mean_response_s: f64,
+        /// Goal-violation fraction per the run's goal/warm-up.
+        violation: f64,
+        /// Latency histogram bucket counts (fixed layout, microseconds).
+        latency_hist: Vec<u64>,
+        /// Latency histogram overflow count.
+        latency_overflow: u64,
+        /// Queue-depth histogram bucket counts (sampled).
+        queue_hist: Vec<u64>,
+        /// Queue-depth histogram overflow count.
+        queue_overflow: u64,
+        /// Committed migration moves.
+        moved: u64,
+        /// Final remap-table version (bumps per relocate/swap).
+        remap_version: u64,
+        /// Events the ring buffer had to drop (0 for a complete stream).
+        dropped: u64,
+    },
+}
+
+impl Event {
+    /// The event's simulation timestamp.
+    pub fn time_s(&self) -> f64 {
+        match self {
+            Event::RunStart { time_s, .. }
+            | Event::EpochPlanned { time_s, .. }
+            | Event::SpeedTransition { time_s, .. }
+            | Event::MigrationStarted { time_s, .. }
+            | Event::MigrationMoved { time_s, .. }
+            | Event::MigrationAborted { time_s, .. }
+            | Event::MigrationDropped { time_s, .. }
+            | Event::GuardBoost { time_s, .. }
+            | Event::FaultInjected { time_s, .. }
+            | Event::RequestServed { time_s, .. }
+            | Event::PowerSample { time_s, .. }
+            | Event::DiskSummary { time_s, .. }
+            | Event::RunSummary { time_s, .. } => *time_s,
+        }
+    }
+
+    /// Writes the event as one JSON line. Floats use `{:?}` (shortest
+    /// round-trip), matching the workload trace persistence format.
+    pub fn write_jsonl<W: Write>(&self, w: &mut W) -> io::Result<()> {
+        match self {
+            Event::RunStart {
+                time_s,
+                label,
+                disks,
+                levels,
+                horizon_s,
+                migration_inflight,
+                sample_interval_s,
+                series_bucket_s,
+                goal_s,
+                warmup_s,
+                seed,
+            } => writeln!(
+                w,
+                "{{\"ev\":\"run_start\",\"t\":{time_s:?},\"label\":{label:?},\"disks\":{disks},\
+                 \"levels\":{levels},\"horizon_s\":{horizon_s:?},\"inflight\":{migration_inflight},\
+                 \"sample_s\":{sample_interval_s:?},\"bucket_s\":{series_bucket_s:?},\
+                 \"goal_s\":{goal_s:?},\"warmup_s\":{warmup_s:?},\"seed\":{seed}}}"
+            ),
+            Event::EpochPlanned {
+                time_s,
+                per_level,
+                feasible,
+                predicted_response_s,
+                predicted_power_w,
+                migration_jobs,
+                skipped,
+                changed,
+            } => {
+                write!(w, "{{\"ev\":\"epoch\",\"t\":{time_s:?},\"per_level\":[")?;
+                for (i, n) in per_level.iter().enumerate() {
+                    if i > 0 {
+                        write!(w, ",")?;
+                    }
+                    write!(w, "{n}")?;
+                }
+                writeln!(
+                    w,
+                    "],\"feasible\":{feasible},\"pred_response_s\":{predicted_response_s:?},\
+                     \"pred_power_w\":{predicted_power_w:?},\"jobs\":{migration_jobs},\
+                     \"skipped\":{skipped},\"changed\":{changed}}}"
+                )
+            }
+            Event::SpeedTransition {
+                time_s,
+                disk,
+                from,
+                to,
+                reason,
+                stretched,
+            } => writeln!(
+                w,
+                "{{\"ev\":\"speed\",\"t\":{time_s:?},\"disk\":{disk},\"from\":{from},\"to\":{to},\
+                 \"reason\":\"{}\",\"slow\":{stretched}}}",
+                reason.as_str()
+            ),
+            Event::MigrationStarted {
+                time_s,
+                job,
+                chunk,
+                src,
+                dst,
+            } => writeln!(
+                w,
+                "{{\"ev\":\"mig_start\",\"t\":{time_s:?},\"job\":{job},\"chunk\":{chunk},\
+                 \"src\":{src},\"dst\":{dst}}}"
+            ),
+            Event::MigrationMoved {
+                time_s,
+                job,
+                chunk,
+                src,
+                dst,
+                bytes,
+                kind,
+            } => writeln!(
+                w,
+                "{{\"ev\":\"mig_moved\",\"t\":{time_s:?},\"job\":{job},\"chunk\":{chunk},\
+                 \"src\":{src},\"dst\":{dst},\"bytes\":{bytes},\"kind\":\"{}\"}}",
+                kind.as_str()
+            ),
+            Event::MigrationAborted { time_s, job, chunk } => writeln!(
+                w,
+                "{{\"ev\":\"mig_abort\",\"t\":{time_s:?},\"job\":{job},\"chunk\":{chunk}}}"
+            ),
+            Event::MigrationDropped { time_s, job, chunk } => writeln!(
+                w,
+                "{{\"ev\":\"mig_drop\",\"t\":{time_s:?},\"job\":{job},\"chunk\":{chunk}}}"
+            ),
+            Event::GuardBoost {
+                time_s,
+                entered,
+                reason,
+            } => writeln!(
+                w,
+                "{{\"ev\":\"boost\",\"t\":{time_s:?},\"entered\":{entered},\"reason\":\"{}\"}}",
+                reason.as_str()
+            ),
+            Event::FaultInjected { time_s, disk, kind } => writeln!(
+                w,
+                "{{\"ev\":\"fault\",\"t\":{time_s:?},\"disk\":{disk},\"kind\":\"{kind}\"}}"
+            ),
+            Event::RequestServed {
+                time_s,
+                latency_us,
+                disk,
+                tier,
+            } => writeln!(
+                w,
+                "{{\"ev\":\"served\",\"t\":{time_s:?},\"latency_us\":{latency_us:?},\
+                 \"disk\":{disk},\"tier\":{tier}}}"
+            ),
+            Event::PowerSample { time_s, watts } => writeln!(
+                w,
+                "{{\"ev\":\"power\",\"t\":{time_s:?},\"watts\":{watts:?}}}"
+            ),
+            Event::DiskSummary {
+                time_s,
+                disk,
+                energy_j,
+                transitions,
+                failed_at_s,
+            } => {
+                write!(w, "{{\"ev\":\"disk\",\"t\":{time_s:?},\"disk\":{disk}")?;
+                write_energy(w, energy_j)?;
+                write!(w, ",\"transitions\":{transitions},\"failed_at_s\":")?;
+                match failed_at_s {
+                    Some(t) => write!(w, "{t:?}")?,
+                    None => write!(w, "null")?,
+                }
+                writeln!(w, "}}")
+            }
+            Event::RunSummary {
+                time_s,
+                total_j,
+                energy_j,
+                completed,
+                incomplete,
+                transitions,
+                mean_response_s,
+                violation,
+                latency_hist,
+                latency_overflow,
+                queue_hist,
+                queue_overflow,
+                moved,
+                remap_version,
+                dropped,
+            } => {
+                write!(
+                    w,
+                    "{{\"ev\":\"run_end\",\"t\":{time_s:?},\"total_j\":{total_j:?}"
+                )?;
+                write_energy(w, energy_j)?;
+                write!(
+                    w,
+                    ",\"completed\":{completed},\"incomplete\":{incomplete},\
+                     \"transitions\":{transitions},\"mean_response_s\":{mean_response_s:?},\
+                     \"violation\":{violation:?},\"latency_hist\":"
+                )?;
+                write_u64_array(w, latency_hist)?;
+                write!(
+                    w,
+                    ",\"latency_overflow\":{latency_overflow},\"queue_hist\":"
+                )?;
+                write_u64_array(w, queue_hist)?;
+                writeln!(
+                    w,
+                    ",\"queue_overflow\":{queue_overflow},\"moved\":{moved},\
+                     \"remap_version\":{remap_version},\"dropped\":{dropped}}}"
+                )
+            }
+        }
+    }
+}
+
+/// Writes `,"idle_spin":x,"seek":y,…` in [`EnergyComponent::ALL`] order.
+fn write_energy<W: Write>(w: &mut W, energy_j: &[f64; 6]) -> io::Result<()> {
+    for (c, j) in EnergyComponent::ALL.iter().zip(energy_j) {
+        write!(w, ",\"{}\":{j:?}", c.label())?;
+    }
+    Ok(())
+}
+
+fn write_u64_array<W: Write>(w: &mut W, xs: &[u64]) -> io::Result<()> {
+    write!(w, "[")?;
+    for (i, x) in xs.iter().enumerate() {
+        if i > 0 {
+            write!(w, ",")?;
+        }
+        write!(w, "{x}")?;
+    }
+    write!(w, "]")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn line(ev: &Event) -> String {
+        let mut buf = Vec::new();
+        ev.write_jsonl(&mut buf).unwrap();
+        String::from_utf8(buf).unwrap()
+    }
+
+    #[test]
+    fn run_start_serializes_all_parameters() {
+        let s = line(&Event::RunStart {
+            time_s: 0.0,
+            label: "Base/OLTP".into(),
+            disks: 16,
+            levels: 6,
+            horizon_s: 7200.0,
+            migration_inflight: 2,
+            sample_interval_s: 120.0,
+            series_bucket_s: 120.0,
+            goal_s: 0.0125,
+            warmup_s: 720.0,
+            seed: 42,
+        });
+        assert!(s.starts_with("{\"ev\":\"run_start\","));
+        assert!(s.contains("\"label\":\"Base/OLTP\""));
+        assert!(s.contains("\"goal_s\":0.0125"));
+        assert!(s.ends_with("\"seed\":42}\n"));
+    }
+
+    #[test]
+    fn served_round_trips_latency_exactly() {
+        let s = line(&Event::RequestServed {
+            time_s: 3.25,
+            latency_us: 5123.456789,
+            disk: 7,
+            tier: STANDBY,
+        });
+        let field = s.split("\"latency_us\":").nth(1).unwrap();
+        let val: f64 = field.split(',').next().unwrap().parse().unwrap();
+        assert_eq!(val, 5123.456789);
+        assert!(s.contains("\"tier\":-1"));
+    }
+
+    #[test]
+    fn summary_energy_uses_component_labels() {
+        let s = line(&Event::DiskSummary {
+            time_s: 10.0,
+            disk: 3,
+            energy_j: [1.0, 2.0, 3.0, 4.0, 5.0, 6.0],
+            transitions: 9,
+            failed_at_s: None,
+        });
+        assert!(s.contains("\"idle_spin\":1.0"));
+        assert!(s.contains("\"migration\":6.0"));
+        assert!(s.contains("\"failed_at_s\":null"));
+    }
+
+    // A stream is strictly line-oriented: one object, one trailing newline.
+    #[test]
+    fn every_variant_is_single_line() {
+        let evs = [
+            Event::EpochPlanned {
+                time_s: 1.0,
+                per_level: vec![0, 2, 14],
+                feasible: true,
+                predicted_response_s: 0.005,
+                predicted_power_w: 190.0,
+                migration_jobs: 3,
+                skipped: false,
+                changed: true,
+            },
+            Event::GuardBoost {
+                time_s: 2.0,
+                entered: true,
+                reason: BoostReason::Latency,
+            },
+            Event::MigrationMoved {
+                time_s: 3.0,
+                job: 1,
+                chunk: 99,
+                src: 0,
+                dst: 5,
+                bytes: 1 << 20,
+                kind: MoveKind::Relocate,
+            },
+        ];
+        for ev in &evs {
+            let s = line(ev);
+            assert_eq!(s.matches('\n').count(), 1);
+            assert!(s.ends_with("}\n"));
+        }
+    }
+}

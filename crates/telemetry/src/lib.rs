@@ -1,0 +1,41 @@
+//! # telemetry — deterministic structured observability
+//!
+//! The abstract's core claim — energy savings *while meeting a
+//! response-time goal* — is only checkable if a run can explain why the
+//! planner chose its tiers, when the guard boosted, and what each
+//! migration cost. This crate provides the machinery:
+//!
+//! * [`Event`] — the typed vocabulary of decision points: epoch plans,
+//!   speed transitions, migration starts/commits/aborts, guard boosts,
+//!   fault injections, served requests, power samples, and end-of-run
+//!   summaries.
+//! * [`Recorder`] — the handle the simulator threads through its state. A
+//!   disabled recorder is a single `None`: every emit is one branch and no
+//!   event is ever constructed, so the hot path stays allocation-free when
+//!   telemetry is off.
+//! * [`EventSink`] — a bounded ring buffer with a dropped-event counter;
+//!   streams serialize to JSON-lines with the same hand-rolled shortest
+//!   round-trip float formatting the workload trace persistence uses.
+//! * [`Counters`] and fixed-bucket latency/queue-depth histograms
+//!   (`simkit::FixedHistogram`) updated inline as events are recorded.
+//! * [`audit`] — a replay auditor that re-derives energy totals, power
+//!   integrals, migration concurrency, dead-disk service, and the
+//!   goal-violation fraction from the raw stream and reconciles them
+//!   against the stream's own trailer.
+//!
+//! Determinism: events are recorded by a single simulation thread in
+//! simulation-time order, and the harness flushes per-run streams sorted
+//! by label, so a stream file is byte-identical for any `--jobs` value —
+//! the same discipline `crates/parallel` enforces for CSV output.
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod audit;
+mod event;
+mod recorder;
+mod sink;
+
+pub use event::{BoostReason, Event, MoveKind, Tier, TransitionReason, STANDBY};
+pub use recorder::{Counters, Recorder, RunStream, TelemetryConfig};
+pub use sink::EventSink;

@@ -1,0 +1,309 @@
+//! The per-run recording handle.
+
+use crate::{Event, EventSink};
+use simkit::FixedHistogram;
+
+/// Latency histogram layout: 2 ms buckets spanning 0–200 ms.
+const LATENCY_BUCKET_US: f64 = 2_000.0;
+const LATENCY_BUCKETS: usize = 100;
+/// Queue-depth histogram layout: unit buckets spanning 0–63.
+const QUEUE_BUCKET: f64 = 1.0;
+const QUEUE_BUCKETS: usize = 64;
+
+/// How a run's telemetry is captured.
+#[derive(Debug, Clone)]
+pub struct TelemetryConfig {
+    /// Deterministic run label embedded in the stream header; streams are
+    /// later flushed sorted, so the label must uniquely identify the run.
+    pub label: String,
+    /// Response-time goal used for goal-violation accounting
+    /// (`f64::MAX` for unmanaged runs — nothing ever violates).
+    pub goal_s: f64,
+    /// Warm-up cutoff: series buckets starting before this are excluded
+    /// from the violation fraction, mirroring the T4 convention.
+    pub warmup_s: f64,
+    /// Ring-buffer capacity in events.
+    pub capacity: usize,
+}
+
+impl TelemetryConfig {
+    /// A config with the default capacity, no goal, and no warm-up.
+    pub fn new(label: impl Into<String>) -> Self {
+        TelemetryConfig {
+            label: label.into(),
+            goal_s: f64::MAX,
+            warmup_s: 0.0,
+            capacity: 4_000_000,
+        }
+    }
+
+    /// Sets the goal and warm-up used for violation accounting.
+    pub fn with_goal(mut self, goal_s: f64, warmup_s: f64) -> Self {
+        self.goal_s = goal_s;
+        self.warmup_s = warmup_s;
+        self
+    }
+}
+
+/// Monotonic per-run event counters (single-threaded, so plain integers —
+/// "lock-cheap" is literal here).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct Counters {
+    /// Total events recorded (pre-eviction).
+    pub events: u64,
+    /// `RequestServed` events.
+    pub served: u64,
+    /// `SpeedTransition` events.
+    pub transitions: u64,
+    /// `MigrationStarted` events.
+    pub migrations_started: u64,
+    /// `MigrationMoved` events.
+    pub migrations_moved: u64,
+    /// `MigrationAborted` events.
+    pub migrations_aborted: u64,
+    /// `MigrationDropped` events.
+    pub migrations_dropped: u64,
+    /// `GuardBoost` entries (exits not counted).
+    pub boosts: u64,
+    /// `FaultInjected` events.
+    pub faults: u64,
+    /// `EpochPlanned` events.
+    pub epochs: u64,
+    /// `PowerSample` events.
+    pub power_samples: u64,
+}
+
+/// A serialized per-run stream plus the label it sorts under.
+#[derive(Debug, Clone)]
+pub struct RunStream {
+    /// The run's deterministic label (also in the stream's header line).
+    pub label: String,
+    /// The JSON-lines bytes of the full stream.
+    pub bytes: Vec<u8>,
+}
+
+struct Inner {
+    cfg: TelemetryConfig,
+    sink: EventSink,
+    counters: Counters,
+    latency_us: FixedHistogram,
+    queue_depth: FixedHistogram,
+}
+
+/// The recording handle threaded through the simulation.
+///
+/// A disabled recorder is a single `None` — every emit path is one branch
+/// and never constructs an event (use [`Recorder::emit_with`] on paths
+/// where building the event itself would allocate), so the hot path is
+/// allocation-free when telemetry is off.
+pub struct Recorder {
+    inner: Option<Box<Inner>>,
+}
+
+impl std::fmt::Debug for Recorder {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match &self.inner {
+            None => write!(f, "Recorder(disabled)"),
+            Some(i) => write!(
+                f,
+                "Recorder({:?}, {} events, {} dropped)",
+                i.cfg.label,
+                i.sink.len(),
+                i.sink.dropped()
+            ),
+        }
+    }
+}
+
+impl Default for Recorder {
+    fn default() -> Self {
+        Recorder::disabled()
+    }
+}
+
+impl Recorder {
+    /// The no-op recorder.
+    pub fn disabled() -> Recorder {
+        Recorder { inner: None }
+    }
+
+    /// An enabled recorder capturing into a fresh ring buffer.
+    pub fn new(cfg: TelemetryConfig) -> Recorder {
+        let capacity = cfg.capacity;
+        Recorder {
+            inner: Some(Box::new(Inner {
+                cfg,
+                sink: EventSink::new(capacity),
+                counters: Counters::default(),
+                latency_us: FixedHistogram::new(LATENCY_BUCKET_US, LATENCY_BUCKETS),
+                queue_depth: FixedHistogram::new(QUEUE_BUCKET, QUEUE_BUCKETS),
+            })),
+        }
+    }
+
+    /// True when events are being captured.
+    #[inline]
+    pub fn is_enabled(&self) -> bool {
+        self.inner.is_some()
+    }
+
+    /// The capture config, when enabled.
+    pub fn config(&self) -> Option<&TelemetryConfig> {
+        self.inner.as_deref().map(|i| &i.cfg)
+    }
+
+    /// Records an event (no-op when disabled).
+    #[inline]
+    pub fn emit(&mut self, ev: Event) {
+        if let Some(inner) = self.inner.as_deref_mut() {
+            inner.record(ev);
+        }
+    }
+
+    /// Records the event built by `f`, constructing it only when enabled.
+    #[inline]
+    pub fn emit_with(&mut self, f: impl FnOnce() -> Event) {
+        if let Some(inner) = self.inner.as_deref_mut() {
+            inner.record(f());
+        }
+    }
+
+    /// Samples a queue depth into the fixed histogram (no-op when
+    /// disabled).
+    #[inline]
+    pub fn record_queue_depth(&mut self, depth: f64) {
+        if let Some(inner) = self.inner.as_deref_mut() {
+            inner.queue_depth.record(depth);
+        }
+    }
+
+    /// Counter snapshot (zeros when disabled).
+    pub fn counters(&self) -> Counters {
+        self.inner
+            .as_deref()
+            .map(|i| i.counters)
+            .unwrap_or_default()
+    }
+
+    /// The latency histogram, when enabled.
+    pub fn latency_hist(&self) -> Option<&FixedHistogram> {
+        self.inner.as_deref().map(|i| &i.latency_us)
+    }
+
+    /// The queue-depth histogram, when enabled.
+    pub fn queue_hist(&self) -> Option<&FixedHistogram> {
+        self.inner.as_deref().map(|i| &i.queue_depth)
+    }
+
+    /// Events evicted from the ring so far (0 when disabled).
+    pub fn dropped(&self) -> u64 {
+        self.inner.as_deref().map(|i| i.sink.dropped()).unwrap_or(0)
+    }
+
+    /// Serializes the captured stream, consuming the recorder. Returns
+    /// `None` when disabled.
+    pub fn into_stream(self) -> Option<RunStream> {
+        let inner = self.inner?;
+        let mut bytes = Vec::with_capacity(inner.sink.len() * 96);
+        inner
+            .sink
+            .write_jsonl(&mut bytes)
+            .expect("serialize to Vec cannot fail");
+        Some(RunStream {
+            label: inner.cfg.label,
+            bytes,
+        })
+    }
+}
+
+impl Inner {
+    fn record(&mut self, ev: Event) {
+        self.counters.events += 1;
+        match &ev {
+            Event::RequestServed { latency_us, .. } => {
+                self.counters.served += 1;
+                self.latency_us.record(*latency_us);
+            }
+            Event::SpeedTransition { .. } => self.counters.transitions += 1,
+            Event::MigrationStarted { .. } => self.counters.migrations_started += 1,
+            Event::MigrationMoved { .. } => self.counters.migrations_moved += 1,
+            Event::MigrationAborted { .. } => self.counters.migrations_aborted += 1,
+            Event::MigrationDropped { .. } => self.counters.migrations_dropped += 1,
+            Event::GuardBoost { entered, .. } => {
+                if *entered {
+                    self.counters.boosts += 1;
+                }
+            }
+            Event::FaultInjected { .. } => self.counters.faults += 1,
+            Event::EpochPlanned { .. } => self.counters.epochs += 1,
+            Event::PowerSample { .. } => self.counters.power_samples += 1,
+            Event::RunStart { .. } | Event::DiskSummary { .. } | Event::RunSummary { .. } => {}
+        }
+        self.sink.push(ev);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_recorder_is_inert() {
+        let mut r = Recorder::disabled();
+        r.emit(Event::PowerSample {
+            time_s: 1.0,
+            watts: 10.0,
+        });
+        r.record_queue_depth(3.0);
+        assert!(!r.is_enabled());
+        assert_eq!(r.counters(), Counters::default());
+        assert!(r.into_stream().is_none());
+    }
+
+    #[test]
+    fn emit_with_skips_construction_when_disabled() {
+        let mut r = Recorder::disabled();
+        let mut built = false;
+        r.emit_with(|| {
+            built = true;
+            Event::PowerSample {
+                time_s: 0.0,
+                watts: 0.0,
+            }
+        });
+        assert!(!built);
+    }
+
+    #[test]
+    fn counters_and_histograms_track_events() {
+        let mut r = Recorder::new(TelemetryConfig::new("test"));
+        r.emit(Event::RequestServed {
+            time_s: 1.0,
+            latency_us: 4500.0,
+            disk: 0,
+            tier: 5,
+        });
+        r.emit(Event::GuardBoost {
+            time_s: 2.0,
+            entered: true,
+            reason: crate::BoostReason::Latency,
+        });
+        r.emit(Event::GuardBoost {
+            time_s: 3.0,
+            entered: false,
+            reason: crate::BoostReason::Latency,
+        });
+        r.record_queue_depth(2.0);
+        let c = r.counters();
+        assert_eq!((c.events, c.served, c.boosts), (3, 1, 1));
+        assert_eq!(r.latency_hist().unwrap().count(), 1);
+        assert_eq!(r.latency_hist().unwrap().counts()[2], 1); // 4500 us -> bucket 2
+        assert_eq!(r.queue_hist().unwrap().counts()[2], 1);
+        let stream = r.into_stream().unwrap();
+        assert_eq!(stream.label, "test");
+        assert_eq!(
+            std::str::from_utf8(&stream.bytes).unwrap().lines().count(),
+            3
+        );
+    }
+}

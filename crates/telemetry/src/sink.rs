@@ -1,0 +1,108 @@
+//! Ring-buffered event storage.
+
+use crate::Event;
+use std::collections::VecDeque;
+use std::io::{self, Write};
+
+/// A bounded in-memory event buffer.
+///
+/// When the buffer is full the *oldest* event is discarded and the dropped
+/// counter bumps; the auditor treats any drop as an incomplete stream (the
+/// header is the first casualty), so capacity should be sized generously
+/// relative to the run — the default in
+/// [`TelemetryConfig`](crate::TelemetryConfig) covers a full `--quick`
+/// horizon with room to spare.
+#[derive(Debug)]
+pub struct EventSink {
+    buf: VecDeque<Event>,
+    capacity: usize,
+    dropped: u64,
+}
+
+impl EventSink {
+    /// Creates a sink holding at most `capacity` events.
+    ///
+    /// # Panics
+    /// Panics if `capacity` is zero.
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "EventSink: zero capacity");
+        EventSink {
+            buf: VecDeque::new(),
+            capacity,
+            dropped: 0,
+        }
+    }
+
+    /// Appends an event, evicting the oldest if the ring is full.
+    pub fn push(&mut self, ev: Event) {
+        if self.buf.len() == self.capacity {
+            self.buf.pop_front();
+            self.dropped += 1;
+        }
+        self.buf.push_back(ev);
+    }
+
+    /// Events currently buffered.
+    pub fn len(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// True if no events are buffered.
+    pub fn is_empty(&self) -> bool {
+        self.buf.is_empty()
+    }
+
+    /// Events evicted so far.
+    pub fn dropped(&self) -> u64 {
+        self.dropped
+    }
+
+    /// Iterates buffered events oldest-first.
+    pub fn iter(&self) -> impl Iterator<Item = &Event> {
+        self.buf.iter()
+    }
+
+    /// Serializes all buffered events as JSON-lines.
+    pub fn write_jsonl<W: Write>(&self, w: &mut W) -> io::Result<()> {
+        for ev in &self.buf {
+            ev.write_jsonl(w)?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn power(t: f64) -> Event {
+        Event::PowerSample {
+            time_s: t,
+            watts: 100.0,
+        }
+    }
+
+    #[test]
+    fn ring_evicts_oldest_and_counts_drops() {
+        let mut s = EventSink::new(2);
+        s.push(power(1.0));
+        s.push(power(2.0));
+        s.push(power(3.0));
+        assert_eq!(s.len(), 2);
+        assert_eq!(s.dropped(), 1);
+        let times: Vec<f64> = s.iter().map(Event::time_s).collect();
+        assert_eq!(times, vec![2.0, 3.0]);
+    }
+
+    #[test]
+    fn serializes_in_order() {
+        let mut s = EventSink::new(8);
+        s.push(power(1.0));
+        s.push(power(2.0));
+        let mut buf = Vec::new();
+        s.write_jsonl(&mut buf).unwrap();
+        let text = String::from_utf8(buf).unwrap();
+        assert_eq!(text.lines().count(), 2);
+        assert!(text.lines().next().unwrap().contains("\"t\":1.0"));
+    }
+}

@@ -8,7 +8,7 @@ use array::{run_policy, ArrayConfig, BasePolicy, RunOptions, RunReport};
 use diskmodel::{PowerModel, SpeedLevel};
 use hibernator::{Hibernator, HibernatorConfig};
 use policies::{DrpmPolicy, TpmPolicy};
-use simkit::SimDuration;
+use simkit::{EnergyComponent, SimDuration};
 use workload::WorkloadSpec;
 
 const DURATION_S: f64 = 1200.0;
@@ -27,10 +27,27 @@ fn runs() -> Vec<(&'static str, RunReport)> {
     let mut cfg = HibernatorConfig::for_goal(0.012);
     cfg.epoch = SimDuration::from_secs(200.0);
     vec![
-        ("base", run_policy(config.clone(), BasePolicy, &trace, opts.clone())),
-        ("tpm", run_policy(config.clone(), TpmPolicy::with_threshold(60.0), &trace, opts.clone())),
-        ("drpm", run_policy(config.clone(), DrpmPolicy::default(), &trace, opts.clone())),
-        ("hib", run_policy(config, Hibernator::new(cfg), &trace, opts)),
+        (
+            "base",
+            run_policy(config.clone(), BasePolicy, &trace, opts.clone()),
+        ),
+        (
+            "tpm",
+            run_policy(
+                config.clone(),
+                TpmPolicy::with_threshold(60.0),
+                &trace,
+                opts.clone(),
+            ),
+        ),
+        (
+            "drpm",
+            run_policy(config.clone(), DrpmPolicy::default(), &trace, opts.clone()),
+        ),
+        (
+            "hib",
+            run_policy(config, Hibernator::new(cfg), &trace, opts),
+        ),
     ]
 }
 
@@ -88,6 +105,80 @@ fn energy_bracketed_by_analytic_bounds() {
     }
 }
 
+/// Pulls `"key":value` out of a JSON-lines telemetry record. Good enough
+/// for the flat objects the recorder writes; not a general JSON parser.
+fn field(line: &str, key: &str) -> f64 {
+    let pat = format!("\"{key}\":");
+    let start = line.find(&pat).map(|i| i + pat.len()).unwrap_or_else(|| {
+        panic!("field {key} missing from {line}");
+    });
+    let rest = &line[start..];
+    let end = rest.find([',', '}']).unwrap_or(rest.len());
+    rest[..end].parse().unwrap_or_else(|e| {
+        panic!("field {key} unparsable in {line}: {e}");
+    })
+}
+
+#[test]
+fn telemetry_disk_summaries_reconcile_with_ledgers() {
+    let (config, trace, mut opts) = scenario();
+    opts.telemetry =
+        Some(telemetry::TelemetryConfig::new("energy-recon").with_goal(0.012, DURATION_S * 0.1));
+    let mut cfg = HibernatorConfig::for_goal(0.012);
+    cfg.epoch = SimDuration::from_secs(200.0);
+    let report = run_policy(config, Hibernator::new(cfg), &trace, opts);
+
+    let stream = report.telemetry.as_ref().expect("stream captured");
+    let text = std::str::from_utf8(&stream.bytes).expect("utf-8 stream");
+    let disk_lines: Vec<&str> = text
+        .lines()
+        .filter(|l| l.starts_with("{\"ev\":\"disk\""))
+        .collect();
+    assert_eq!(disk_lines.len(), report.per_disk_energy.len());
+
+    // Every per-disk, per-component joule count in the stream must match
+    // the simulator's own ledger exactly (both sides print shortest
+    // round-trip floats, so equality within float-print precision holds).
+    let mut component_sums = [0.0f64; 6];
+    for line in &disk_lines {
+        let disk = field(line, "disk") as usize;
+        let ledger = &report.per_disk_energy[disk];
+        for (slot, c) in EnergyComponent::ALL.into_iter().enumerate() {
+            let streamed = field(line, c.label());
+            let expected = ledger.joules(c);
+            assert!(
+                (streamed - expected).abs() <= 1e-9 * expected.abs().max(1.0),
+                "disk {disk} {}: stream {streamed} vs ledger {expected}",
+                c.label()
+            );
+            component_sums[slot] += streamed;
+        }
+    }
+
+    // And the per-state sums across disks must reproduce the aggregate
+    // ledger's breakdown and total.
+    let mut streamed_total = 0.0;
+    for (slot, c) in EnergyComponent::ALL.into_iter().enumerate() {
+        let expected = report.energy.joules(c);
+        assert!(
+            (component_sums[slot] - expected).abs() <= 1e-6 * expected.abs().max(1.0),
+            "{}: disk sum {} vs aggregate {expected}",
+            c.label(),
+            component_sums[slot]
+        );
+        streamed_total += component_sums[slot];
+    }
+    let total = report.energy.total_joules();
+    assert!(
+        (streamed_total - total).abs() <= 1e-6 * total.max(1.0),
+        "streamed total {streamed_total} vs ledger {total}"
+    );
+
+    // The independent auditor agrees as well.
+    let outcome = telemetry::audit::audit_bytes(&stream.bytes).expect("parsable stream");
+    assert!(outcome.passed(), "audit failed: {:?}", outcome.runs);
+}
+
 #[test]
 fn busy_disks_spend_more_than_idle_math_alone() {
     let (config, trace, opts) = scenario();
@@ -95,7 +186,10 @@ fn busy_disks_spend_more_than_idle_math_alone() {
     let report = run_policy(config.clone(), BasePolicy, &trace, opts);
     let idle_only = pm.idle_w(SpeedLevel(5)) * config.disks as f64 * DURATION_S;
     let total = report.energy.total_joules();
-    assert!(total > idle_only, "service energy missing: {total} vs {idle_only}");
+    assert!(
+        total > idle_only,
+        "service energy missing: {total} vs {idle_only}"
+    );
     assert!(
         total < idle_only * 1.10,
         "light load can't add more than ~10%: {total} vs {idle_only}"

@@ -1,0 +1,111 @@
+//! Property test: the telemetry audit holds over randomized scenarios.
+//!
+//! Fifty small configurations — random disk counts, rates, horizons,
+//! policies, and the occasional fault storm — all run with telemetry
+//! capture on, and every cross-cutting invariant the auditor knows must
+//! hold on every stream. Failures print the scenario seed so the case
+//! can be replayed in isolation.
+
+use array::{run_policy, ArrayConfig, BasePolicy, Redundancy, RunOptions, RunReport};
+use faults::{FaultConfig, FaultEvent, FaultKind, FaultPlan, FaultSchedule};
+use hibernator::{Hibernator, HibernatorConfig};
+use policies::{DrpmPolicy, TpmPolicy};
+use simkit::{DetRng, SimDuration, SimTime};
+use telemetry::TelemetryConfig;
+use workload::WorkloadSpec;
+
+/// One random scenario, fully determined by `seed`.
+fn run_scenario(seed: u64) -> RunReport {
+    let mut rng = DetRng::new(seed, "telemetry-property");
+    let duration_s = rng.uniform(120.0, 400.0);
+    let rate = rng.uniform(4.0, 30.0);
+
+    let mut spec = if rng.chance(0.5) {
+        WorkloadSpec::oltp(duration_s, rate)
+    } else {
+        WorkloadSpec::cello_like(duration_s, rate)
+    };
+    spec.extents = 256 + rng.below(768) as u32;
+    let trace = spec.generate(rng.next_u64());
+
+    let mut config = ArrayConfig::default_for_volume(1 << 30);
+    config.disks = 3 + rng.below(4) as usize;
+    if rng.chance(0.5) {
+        config.redundancy = Redundancy::Raid5Like;
+    }
+
+    let mut opts = RunOptions::for_horizon(duration_s);
+    opts.series_bucket = SimDuration::from_secs(30.0);
+    opts.sample_interval = SimDuration::from_secs(30.0);
+    opts.migration_inflight = 1 + rng.below(3) as usize;
+    if rng.chance(0.3) {
+        let mut events = vec![FaultEvent {
+            time: SimTime::from_secs(duration_s * rng.uniform(0.2, 0.5)),
+            disk: rng.below(config.disks as u64) as usize,
+            kind: FaultKind::TransientBurst {
+                error_prob: rng.uniform(0.05, 0.25),
+                duration_s: duration_s * 0.05,
+            },
+        }];
+        if rng.chance(0.5) {
+            events.push(FaultEvent {
+                time: SimTime::from_secs(duration_s * rng.uniform(0.4, 0.7)),
+                disk: rng.below(config.disks as u64) as usize,
+                kind: FaultKind::DiskFailure,
+            });
+        }
+        opts.faults = Some(FaultPlan {
+            schedule: FaultSchedule::new(events),
+            config: FaultConfig::default(),
+        });
+    }
+
+    let goal_s = rng.uniform(0.004, 0.060);
+    let warmup_s = duration_s * 0.1;
+    opts.telemetry = Some(TelemetryConfig::new(format!("prop/{seed}")).with_goal(goal_s, warmup_s));
+
+    match rng.below(4) {
+        0 => run_policy(config, BasePolicy, &trace, opts),
+        1 => run_policy(config, TpmPolicy::with_threshold(45.0), &trace, opts),
+        2 => run_policy(config, DrpmPolicy::default(), &trace, opts),
+        _ => {
+            let mut cfg = HibernatorConfig::for_goal(goal_s);
+            cfg.epoch = SimDuration::from_secs(duration_s / 4.0);
+            run_policy(config, Hibernator::new(cfg), &trace, opts)
+        }
+    }
+}
+
+#[test]
+fn audit_invariants_hold_over_random_scenarios() {
+    for seed in 0..50u64 {
+        let report = run_scenario(seed);
+        let stream = report
+            .telemetry
+            .as_ref()
+            .unwrap_or_else(|| panic!("seed {seed}: no telemetry stream captured"));
+        assert!(!stream.bytes.is_empty(), "seed {seed}: empty stream");
+        let outcome = telemetry::audit::audit_bytes(&stream.bytes)
+            .unwrap_or_else(|e| panic!("seed {seed}: malformed stream: {e}"));
+        assert_eq!(outcome.runs.len(), 1, "seed {seed}: expected one run");
+        let run = &outcome.runs[0];
+        for check in &run.checks {
+            assert!(
+                check.passed,
+                "seed {seed}: check {} failed: {}",
+                check.name, check.detail
+            );
+        }
+    }
+}
+
+#[test]
+fn stream_capture_is_deterministic_per_seed() {
+    let a = run_scenario(7);
+    let b = run_scenario(7);
+    assert_eq!(
+        a.telemetry.as_ref().map(|s| &s.bytes),
+        b.telemetry.as_ref().map(|s| &s.bytes),
+        "same seed must yield a byte-identical stream"
+    );
+}
