@@ -62,18 +62,34 @@ impl HeatMap {
 
     /// All chunk ids ordered hottest → coldest as of `now`. Ties broken by
     /// chunk id for determinism.
+    ///
+    /// Allocates fresh buffers; epoch planners that rank repeatedly should
+    /// hold a [`RankScratch`] and call [`HeatMap::ranking_into`] instead.
     pub fn ranking(&self, now: SimTime) -> Vec<ChunkId> {
-        let mut idx: Vec<u32> = (0..self.chunks()).collect();
-        let temps: Vec<f64> = (0..self.chunks())
-            .map(|c| self.temperature(now, ChunkId(c)))
-            .collect();
-        idx.sort_by(|&a, &b| {
-            temps[b as usize]
-                .partial_cmp(&temps[a as usize])
+        let mut scratch = RankScratch::new();
+        self.ranking_into(now, &mut scratch);
+        scratch.order
+    }
+
+    /// Ranks all chunks hottest → coldest into `scratch`, reusing its
+    /// buffers. Same order as [`HeatMap::ranking`] (the comparator is a
+    /// total order — temperature descending, id ascending on ties — so the
+    /// result is a unique permutation regardless of sort algorithm).
+    pub fn ranking_into(&self, now: SimTime, scratch: &mut RankScratch) {
+        let n = self.chunks();
+        scratch.temps.clear();
+        scratch
+            .temps
+            .extend((0..n).map(|c| self.temperature(now, ChunkId(c))));
+        scratch.order.clear();
+        scratch.order.extend((0..n).map(ChunkId));
+        let temps = &scratch.temps;
+        scratch.order.sort_unstable_by(|a, b| {
+            temps[b.index()]
+                .partial_cmp(&temps[a.index()])
                 .expect("temperatures are finite")
-                .then(a.cmp(&b))
+                .then(a.0.cmp(&b.0))
         });
-        idx.into_iter().map(ChunkId).collect()
     }
 
     /// Sum of all temperatures as of `now` (total recent traffic mass).
@@ -86,6 +102,30 @@ impl HeatMap {
     /// Resets every counter to zero.
     pub fn reset(&mut self) {
         self.mass.iter_mut().for_each(|m| *m = 0.0);
+    }
+}
+
+/// Reusable buffers for [`HeatMap::ranking_into`].
+///
+/// Epoch planners rank every chunk each planning round; holding one of
+/// these across rounds avoids rebuilding (and re-allocating) the index and
+/// temperature vectors every call.
+#[derive(Debug, Clone, Default)]
+pub struct RankScratch {
+    order: Vec<ChunkId>,
+    temps: Vec<f64>,
+}
+
+impl RankScratch {
+    /// Empty scratch; buffers grow on first use and are then reused.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The ranking produced by the most recent [`HeatMap::ranking_into`]
+    /// call, hottest first.
+    pub fn ranked(&self) -> &[ChunkId] {
+        &self.order
     }
 }
 
@@ -164,6 +204,24 @@ mod tests {
         }
         let r = h.rate(t(500.0), ChunkId(0));
         assert!((r - 5.0).abs() < 0.5, "rate {r}");
+    }
+
+    #[test]
+    fn ranking_into_matches_ranking_and_reuses_buffers() {
+        let mut h = HeatMap::new(16, SimDuration::from_secs(50.0));
+        for i in 0..200u32 {
+            h.touch(t(i as f64 * 0.3), ChunkId(i * 7 % 16), 1.0 + (i % 3) as f64);
+        }
+        let mut scratch = RankScratch::new();
+        for probe in [10.0, 30.0, 60.0] {
+            h.ranking_into(t(probe), &mut scratch);
+            assert_eq!(scratch.ranked(), h.ranking(t(probe)).as_slice());
+        }
+        // Buffers sized to the chunk count after first use; later calls
+        // must not grow them.
+        let cap = scratch.order.capacity();
+        h.ranking_into(t(90.0), &mut scratch);
+        assert_eq!(scratch.order.capacity(), cap);
     }
 
     #[test]

@@ -28,11 +28,11 @@ mod sim;
 mod stats;
 mod types;
 
-pub use heat::HeatMap;
+pub use heat::{HeatMap, RankScratch};
 pub use migration::{
     MigrationEngine, MigrationJob, MigrationRecord, MigrationRecordKind, MigrationStats,
 };
-pub use policy::{ArrayState, BasePolicy, PowerPolicy};
+pub use policy::{ArrayState, BasePolicy, PowerPolicy, WakeMarks};
 pub use remap::{Placement, RemapTable};
 pub use sim::{run_policy, RunOptions, RunReport, Simulation};
 pub use stats::ArrayStats;

@@ -21,8 +21,8 @@
 use crate::remap::RemapTable;
 use crate::types::{ChunkId, DiskId};
 use diskmodel::{Completion, DiskRequest, IoKind, RequestClass};
-use simkit::SimTime;
-use std::collections::{HashMap, HashSet, VecDeque};
+use simkit::{IdMap, SimTime};
+use std::collections::{HashSet, VecDeque};
 use telemetry::MoveKind;
 
 /// A requested layout change.
@@ -165,9 +165,11 @@ pub struct MigrationEngine {
     /// boost must not stall redundancy restoration) and survive
     /// [`MigrationEngine::clear_pending`].
     rebuild_pending: VecDeque<MigrationJob>,
-    active: HashMap<u64, ActiveJob>,
+    /// Engine-assigned job ids are sequential, so the one-multiply `IdMap`
+    /// replaces SipHash on the per-piece completion path.
+    active: IdMap<ActiveJob>,
     /// disk-request id → job id, for routing completions.
-    request_to_job: HashMap<u64, u64>,
+    request_to_job: IdMap<u64>,
     /// Requests whose job was torn down by a disk failure; their completions
     /// (from surviving disks) are swallowed instead of panicking.
     orphaned: HashSet<u64>,
@@ -199,8 +201,8 @@ impl MigrationEngine {
         MigrationEngine {
             pending: VecDeque::new(),
             rebuild_pending: VecDeque::new(),
-            active: HashMap::new(),
-            request_to_job: HashMap::new(),
+            active: IdMap::with_capacity(max_inflight),
+            request_to_job: IdMap::new(),
             orphaned: HashSet::new(),
             dead: HashSet::new(),
             active_rebuilds: 0,
@@ -650,12 +652,12 @@ impl MigrationEngine {
         }
         let job_id = *self
             .request_to_job
-            .get(&req_id)
+            .get(req_id)
             .expect("unknown migration completion");
-        self.request_to_job.remove(&req_id);
+        self.request_to_job.remove(req_id);
         self.stats.sectors_moved += u64::from(comp.request.sectors);
 
-        let job = self.active.get_mut(&job_id).expect("job state missing");
+        let job = self.active.get_mut(job_id).expect("job state missing");
         match &mut job.phase {
             Phase::Reading { remaining } => {
                 *remaining -= 1;
@@ -696,7 +698,7 @@ impl MigrationEngine {
                     );
                 }
                 // Reborrow the job (make_pieces needed &mut self).
-                let job = self.active.get_mut(&job_id).expect("job still active");
+                let job = self.active.get_mut(job_id).expect("job still active");
                 job.phase = Phase::Writing { remaining: count };
                 out
             }
@@ -706,7 +708,7 @@ impl MigrationEngine {
                     return Vec::new();
                 }
                 // Job complete: commit unless dirtied.
-                let job = self.active.remove(&job_id).expect("job vanished");
+                let job = self.active.remove(job_id).expect("job vanished");
                 let chunk_bytes = remap.chunk_sectors() * 512;
                 if job.dirty {
                     self.stats.aborted += 1;
@@ -841,27 +843,31 @@ impl MigrationEngine {
         }
         self.rebuild_pending = keep;
 
-        // Active jobs touching the disk: aborted mid-copy.
-        let doomed: Vec<u64> = self
+        // Active jobs touching the disk: aborted mid-copy. Map iteration is
+        // slot-ordered, not id-ordered — sort so the Dropped records and
+        // stats fold in a canonical order regardless of table history.
+        let mut doomed: Vec<u64> = self
             .active
             .iter()
             .filter(|(_, a)| touches(&a.job, remap))
-            .map(|(id, _)| *id)
+            .map(|(id, _)| id)
             .collect();
+        doomed.sort_unstable();
         for job_id in doomed {
-            let job = self.active.remove(&job_id).expect("doomed job present");
+            let job = self.active.remove(job_id).expect("doomed job present");
             let chunk = Self::record_chunk(&job.job);
             self.record(now, job_id, MigrationRecordKind::Dropped { chunk });
             // Outstanding pieces on surviving disks will still complete;
             // mark them orphans so those completions are swallowed.
-            let outstanding: Vec<u64> = self
+            let mut outstanding: Vec<u64> = self
                 .request_to_job
                 .iter()
                 .filter(|(_, j)| **j == job_id)
-                .map(|(r, _)| *r)
+                .map(|(r, _)| r)
                 .collect();
+            outstanding.sort_unstable();
             for req_id in outstanding {
-                self.request_to_job.remove(&req_id);
+                self.request_to_job.remove(req_id);
                 self.orphaned.insert(req_id);
             }
             match job.job {
@@ -928,7 +934,8 @@ mod tests {
             ));
         }
         if dirty_after_read {
-            match engine.active.values().next().unwrap().job {
+            let job = engine.active.values().next().unwrap().job;
+            match job {
                 MigrationJob::Relocate { chunk, .. } => engine.note_foreground_write(chunk),
                 MigrationJob::Swap { a, .. } => engine.note_foreground_write(a),
                 MigrationJob::RawWrite { .. } => {}

@@ -14,15 +14,90 @@
 //! * `on_completion` fires for every *foreground* disk-level completion
 //!   (migration completions are routed to the engine instead);
 //! * after every hook the driver re-synchronises disk event schedules, so
-//!   hooks may freely change disk states.
+//!   hooks may freely change disk states. The driver conservatively marks
+//!   *all* disks dirty after `init`, `on_tick`, and `on_disk_failure` (the
+//!   infrequent hooks), so those hooks may mutate `state.disks` directly.
+//!   The per-event hooks (`route`, `on_volume_arrival`, `on_completion`)
+//!   must change spindle speeds through [`ArrayState::request_speed`] so
+//!   the dirty-disk wake resync sees the change; a debug-build cross-check
+//!   in the driver catches violations.
 
 use crate::migration::MigrationEngine;
 use crate::remap::RemapTable;
 use crate::stats::ArrayStats;
 use crate::types::{ArrayConfig, ChunkId};
-use diskmodel::{Completion, Disk, IoKind};
+use diskmodel::{Completion, Disk, IoKind, SpinTarget};
 use simkit::{SimDuration, SimTime};
 use workload::VolumeRequest;
+
+/// The dirty-disk set for incremental wake resynchronisation.
+///
+/// Event handlers (and [`ArrayState::request_speed`]) mark each disk whose
+/// wake schedule may have changed; the driver's resync then visits only the
+/// marked disks instead of scanning the whole array. Marks drain in
+/// ascending disk-index order — the same order the full scan visits disks —
+/// so the sequence of event-queue pushes (and therefore FIFO tie-breaking)
+/// is bit-identical to the full scan.
+#[derive(Debug, Clone)]
+pub struct WakeMarks {
+    /// Marked disk indices, unordered until drained.
+    stack: Vec<u32>,
+    /// Dedup bitmap, one slot per disk.
+    marked: Vec<bool>,
+}
+
+impl Default for WakeMarks {
+    /// An empty, zero-disk mark set — the placeholder `std::mem::take`
+    /// leaves behind while the driver drains the real set.
+    fn default() -> Self {
+        WakeMarks {
+            stack: Vec::new(),
+            marked: Vec::new(),
+        }
+    }
+}
+
+impl WakeMarks {
+    /// An empty mark set for `disks` spindles.
+    pub fn new(disks: usize) -> Self {
+        WakeMarks {
+            stack: Vec::with_capacity(disks),
+            marked: vec![false; disks],
+        }
+    }
+
+    /// Marks one disk dirty.
+    #[inline]
+    pub fn mark(&mut self, disk: usize) {
+        if !self.marked[disk] {
+            self.marked[disk] = true;
+            self.stack.push(disk as u32);
+        }
+    }
+
+    /// Marks every disk dirty (used after the infrequent policy hooks,
+    /// which may mutate any spindle directly).
+    pub fn mark_all(&mut self) {
+        for d in 0..self.marked.len() {
+            self.mark(d);
+        }
+    }
+
+    /// True if no disk is marked.
+    pub fn is_empty(&self) -> bool {
+        self.stack.is_empty()
+    }
+
+    /// Drains the marks in ascending disk-index order, calling `f` for each.
+    pub fn drain_sorted(&mut self, mut f: impl FnMut(usize)) {
+        self.stack.sort_unstable();
+        for &d in &self.stack {
+            self.marked[d as usize] = false;
+            f(d as usize);
+        }
+        self.stack.clear();
+    }
+}
 
 /// Everything a policy may observe and mutate.
 pub struct ArrayState {
@@ -40,6 +115,8 @@ pub struct ArrayState {
     /// recorder is a single `Option` check, so policies may emit
     /// unconditionally).
     pub telemetry: telemetry::Recorder,
+    /// Dirty-disk set consumed by the driver's incremental wake resync.
+    pub wake_marks: WakeMarks,
 }
 
 impl ArrayState {
@@ -68,6 +145,16 @@ impl ArrayState {
     /// Number of disks that have not failed.
     pub fn alive_disks(&self) -> usize {
         self.disks.iter().filter(|d| !d.has_failed()).count()
+    }
+
+    /// Requests a spindle speed change and marks the disk dirty for the
+    /// driver's incremental wake resync. Policies must use this (rather
+    /// than calling [`Disk::request_speed`] directly) from the per-event
+    /// hooks; see the module docs for the contract.
+    #[inline]
+    pub fn request_speed(&mut self, now: SimTime, disk: usize, target: SpinTarget) {
+        self.wake_marks.mark(disk);
+        self.disks[disk].request_speed(now, target);
     }
 
     /// Total energy across all disks accrued to `now`, in joules.
@@ -175,6 +262,7 @@ mod tests {
             .map(|i| Disk::new(i, &config.spec, config.seed, config.spec.top_level()))
             .collect();
         let stats = ArrayStats::new(config.spec.num_levels(), SimDuration::from_secs(60.0));
+        let wake_marks = WakeMarks::new(config.disks);
         ArrayState {
             config,
             disks,
@@ -182,6 +270,7 @@ mod tests {
             migrator: MigrationEngine::new(2),
             stats,
             telemetry: telemetry::Recorder::disabled(),
+            wake_marks,
         }
     }
 

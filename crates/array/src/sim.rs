@@ -18,12 +18,22 @@
 //! * **Sample** — the driver records array power (energy delta over the
 //!   sampling interval) and per-level disk counts.
 //!
-//! After *every* mutation source (arrival, completion batch, policy hook,
-//! migration pump) the driver re-synchronises each disk's scheduled wake —
-//! the one invariant that keeps the event queue honest.
+//! After every mutation source (arrival, completion batch, policy hook,
+//! migration pump) the driver re-synchronises disk wake schedules — the one
+//! invariant that keeps the event queue honest. The resync is *incremental*:
+//! handlers mark the disks they touched in [`ArrayState::wake_marks`] and
+//! only those are visited, in ascending disk-index order so the sequence of
+//! event-queue pushes (and therefore FIFO tie-breaking) is bit-identical to
+//! a full scan. The infrequent policy hooks (`init`, `on_tick`,
+//! `on_disk_failure`) conservatively mark every disk, so policies may
+//! mutate spindles directly there; per-event hooks must go through
+//! [`ArrayState::request_speed`]. Debug builds cross-check the dirty set
+//! against a full scan after every resync, and
+//! [`RunOptions::reference_full_resync`] retains the full-scan path for
+//! equivalence testing.
 
 use crate::migration::{MigrationJob, MigrationStats};
-use crate::policy::{ArrayState, PowerPolicy};
+use crate::policy::{ArrayState, PowerPolicy, WakeMarks};
 use crate::remap::RemapTable;
 use crate::stats::ArrayStats;
 use crate::types::{ArrayConfig, ChunkId, DiskId, Redundancy};
@@ -31,9 +41,8 @@ use crate::MigrationEngine;
 use diskmodel::{Disk, DiskRequest, IoKind, RequestClass};
 use faults::{FaultInjector, FaultKind, FaultOutcome, FaultPlan, ReliabilityLedger};
 use simkit::{
-    EnergyLedger, EventQueue, LatencyHistogram, Moments, SimDuration, SimTime, TimeSeries,
+    EnergyLedger, EventQueue, IdMap, LatencyHistogram, Moments, SimDuration, SimTime, TimeSeries,
 };
-use std::collections::HashMap;
 use workload::{Trace, VolumeIoKind, VolumeRequest};
 
 /// Tunables of a single simulation run.
@@ -54,6 +63,11 @@ pub struct RunOptions {
     /// Structured-telemetry capture. `None` (the default) records nothing
     /// and costs one `Option` check per emission site.
     pub telemetry: Option<telemetry::TelemetryConfig>,
+    /// Use the pre-optimisation full-scan wake resync instead of
+    /// dirty-disk tracking. The two paths must produce bit-identical
+    /// results; this flag exists as the reference for equivalence tests
+    /// and for measuring the optimisation's effect.
+    pub reference_full_resync: bool,
 }
 
 impl RunOptions {
@@ -68,6 +82,7 @@ impl RunOptions {
             migration_inflight: 2,
             faults: None,
             telemetry: None,
+            reference_full_resync: false,
         }
     }
 
@@ -118,6 +133,9 @@ pub struct RunReport {
     pub faults: FaultOutcome,
     /// The simulated horizon.
     pub horizon: SimTime,
+    /// Events the driver processed (arrivals, wakes, ticks, samples,
+    /// faults, retries) — the denominator for events/sec throughput.
+    pub events_processed: u64,
     /// The serialized telemetry stream, when capture was enabled.
     pub telemetry: Option<telemetry::RunStream>,
 }
@@ -171,16 +189,20 @@ pub struct Simulation<'a, P: PowerPolicy> {
     scheduled: Vec<Option<SimTime>>,
     gens: Vec<u64>,
     next_id: u64,
-    gather: HashMap<u64, u64>,
-    pending: HashMap<u64, PendingVolume>,
+    gather: IdMap<u64>,
+    pending: IdMap<PendingVolume>,
     next_parent: u64,
     last_sample_energy: f64,
     chunk_scratch: Vec<ChunkId>,
+    /// Reusable split buffer for [`Self::route_volume_request`]; cleared
+    /// per request, so routing allocates nothing once warm.
+    piece_scratch: Vec<(ChunkId, u64, u32)>,
     injector: Option<FaultInjector>,
     outcome: FaultOutcome,
     /// Transient-retry attempts per foreground request id.
-    retries: HashMap<u64, u32>,
+    retries: IdMap<u32>,
     last_hazard_check: SimTime,
+    events_processed: u64,
     /// `outcome.rebuild_chunks` value at the last recorded backlog drain,
     /// so a later failure's rebuild wave updates the completion time.
     rebuilds_drained: u64,
@@ -226,6 +248,11 @@ impl<'a, P: PowerPolicy> Simulation<'a, P> {
             }
             migrator.set_recording(true);
         }
+        // Pre-size from the trace: the heap holds one arrival ahead plus
+        // per-disk wakes (including superseded ones awaiting their pop),
+        // and the in-flight maps hold only queued work — capped so a huge
+        // trace does not balloon the warm-up allocation.
+        let inflight_hint = (trace.len() / 8).clamp(64, 4096);
         Simulation {
             state: ArrayState {
                 config,
@@ -234,23 +261,26 @@ impl<'a, P: PowerPolicy> Simulation<'a, P> {
                 migrator,
                 stats,
                 telemetry: recorder,
+                wake_marks: WakeMarks::new(n),
             },
             policy,
             trace,
             opts,
-            events: EventQueue::with_capacity(1024),
+            events: EventQueue::with_capacity(trace.len().clamp(1024, 1 << 16)),
             scheduled: vec![None; n],
             gens: vec![0; n],
             next_id: 0,
-            gather: HashMap::new(),
-            pending: HashMap::new(),
+            gather: IdMap::with_capacity(inflight_hint),
+            pending: IdMap::with_capacity(inflight_hint),
             next_parent: 0,
             last_sample_energy: 0.0,
             chunk_scratch: Vec::new(),
+            piece_scratch: Vec::new(),
             injector,
             outcome: FaultOutcome::default(),
-            retries: HashMap::new(),
+            retries: IdMap::new(),
             last_hazard_check: SimTime::ZERO,
+            events_processed: 0,
             rebuilds_drained: 0,
         }
     }
@@ -285,6 +315,7 @@ impl<'a, P: PowerPolicy> Simulation<'a, P> {
             self.state.telemetry.emit(ev);
         }
         self.policy.init(t0, &mut self.state);
+        self.state.wake_marks.mark_all();
         self.resync(t0);
 
         if !self.trace.is_empty() {
@@ -304,11 +335,14 @@ impl<'a, P: PowerPolicy> Simulation<'a, P> {
             if now > self.opts.horizon {
                 break;
             }
+            self.events_processed += 1;
             match ev {
                 Event::Arrival(idx) => self.handle_arrival(now, idx),
                 Event::DiskWake(d, gen) => self.handle_disk_wake(now, d, gen),
                 Event::Tick => {
                     self.policy.on_tick(now, &mut self.state);
+                    // The tick hook may mutate any spindle directly.
+                    self.state.wake_marks.mark_all();
                     self.pump_migration(now);
                     if let Some(int) = self.policy.tick_interval() {
                         self.events.push(now + int, Event::Tick);
@@ -347,20 +381,21 @@ impl<'a, P: PowerPolicy> Simulation<'a, P> {
     /// Splits `req` at chunk boundaries and submits the per-disk pieces.
     fn route_volume_request(&mut self, now: SimTime, req: &VolumeRequest) {
         let cs = self.state.config.chunk_sectors;
-        let mut pieces: Vec<(ChunkId, u64, u32)> = Vec::with_capacity(2);
+        self.piece_scratch.clear();
         let mut sector = req.sector;
         let mut left = u64::from(req.sectors);
         while left > 0 {
             let chunk = ChunkId((sector / cs) as u32);
             let off = sector % cs;
             let take = left.min(cs - off);
-            pieces.push((chunk, off, take as u32));
+            self.piece_scratch.push((chunk, off, take as u32));
             sector += take;
             left -= take;
         }
 
         self.chunk_scratch.clear();
-        self.chunk_scratch.extend(pieces.iter().map(|p| p.0));
+        self.chunk_scratch
+            .extend(self.piece_scratch.iter().map(|p| p.0));
         let chunks = std::mem::take(&mut self.chunk_scratch);
         self.policy
             .on_volume_arrival(now, req, &chunks, &mut self.state);
@@ -371,7 +406,7 @@ impl<'a, P: PowerPolicy> Simulation<'a, P> {
         self.pending.insert(
             parent,
             PendingVolume {
-                remaining: pieces.len() as u32,
+                remaining: self.piece_scratch.len() as u32,
                 arrival: req.time,
                 sectors: u64::from(req.sectors),
             },
@@ -381,7 +416,10 @@ impl<'a, P: PowerPolicy> Simulation<'a, P> {
             VolumeIoKind::Read => IoKind::Read,
             VolumeIoKind::Write => IoKind::Write,
         };
-        for (chunk, off, sectors) in pieces {
+        // Index loop: the policy's route hook below needs `&mut self`, so
+        // the scratch cannot stay borrowed across iterations.
+        for i in 0..self.piece_scratch.len() {
+            let (chunk, off, sectors) = self.piece_scratch[i];
             let place = self.state.remap.placement(chunk);
             let (target_disk, phys) =
                 match self.policy.route(now, chunk, off, kind, &mut self.state) {
@@ -416,6 +454,7 @@ impl<'a, P: PowerPolicy> Simulation<'a, P> {
                 issue_time: now,
             };
             self.state.disks[target].submit(now, sub);
+            self.state.wake_marks.mark(target);
 
             if kind == IoKind::Write {
                 self.state.migrator.note_foreground_write(chunk);
@@ -436,6 +475,7 @@ impl<'a, P: PowerPolicy> Simulation<'a, P> {
                         // response (write-back parity), but it does consume
                         // disk time and energy.
                         self.state.disks[p].submit(now, parity);
+                        self.state.wake_marks.mark(p);
                     }
                 }
             }
@@ -460,7 +500,7 @@ impl<'a, P: PowerPolicy> Simulation<'a, P> {
     /// Completions of sibling pieces already in flight find the parent gone
     /// and are ignored. Counted once per volume.
     fn lose_parent(&mut self, parent: u64) {
-        if self.pending.remove(&parent).is_some() {
+        if self.pending.remove(parent).is_some() {
             self.outcome.lost_requests += 1;
         }
     }
@@ -469,8 +509,9 @@ impl<'a, P: PowerPolicy> Simulation<'a, P> {
         if self.gens[d] != gen {
             return; // superseded
         }
-        let completions = self.state.disks[d].on_event(now);
-        for comp in completions {
+        let completion = self.state.disks[d].poll_event(now);
+        self.state.wake_marks.mark(d);
+        if let Some(comp) = completion {
             match comp.request.class {
                 RequestClass::Migration => {
                     let follow =
@@ -479,15 +520,17 @@ impl<'a, P: PowerPolicy> Simulation<'a, P> {
                             .on_completion(now, &comp, &mut self.state.remap);
                     for (disk, req) in follow {
                         self.state.disks[disk.index()].submit(now, req);
+                        self.state.wake_marks.mark(disk.index());
                     }
                 }
                 RequestClass::Foreground => {
                     // Transient-error model: the completion may come back
                     // bad and need a retry (bounded, with linear backoff).
+                    let mut retried = false;
                     if let Some(inj) = self.injector.as_mut() {
                         if inj.transient_error(now, comp.disk) {
                             self.outcome.transient_errors += 1;
-                            let attempts = self.retries.entry(comp.request.id).or_insert(0);
+                            let attempts = self.retries.get_or_insert_with(comp.request.id, || 0);
                             let cfg = inj.config();
                             if *attempts < cfg.max_retries {
                                 *attempts += 1;
@@ -502,52 +545,19 @@ impl<'a, P: PowerPolicy> Simulation<'a, P> {
                                 );
                             } else {
                                 // Retries exhausted: the piece is lost.
-                                self.retries.remove(&comp.request.id);
-                                if let Some(parent) = self.gather.remove(&comp.request.id) {
+                                self.retries.remove(comp.request.id);
+                                if let Some(parent) = self.gather.remove(comp.request.id) {
                                     self.lose_parent(parent);
                                 }
                             }
-                            continue;
-                        }
-                        self.retries.remove(&comp.request.id);
-                    }
-                    self.state.stats.service.record(comp.service_s);
-                    let volume_response = self.gather.remove(&comp.request.id).and_then(|parent| {
-                        // A parent may already be gone: the volume was lost
-                        // (disk failure with no surviving replica, or an
-                        // exhausted retry on a sibling piece).
-                        let done = {
-                            let p = self.pending.get_mut(&parent)?;
-                            p.remaining -= 1;
-                            p.remaining == 0
-                        };
-                        if done {
-                            let p = self.pending.remove(&parent).expect("parent vanished");
-                            let resp = now.saturating_since(p.arrival).as_secs();
-                            self.state.stats.record_response(now, resp, p.sectors);
-                            Some(resp)
+                            retried = true;
                         } else {
-                            None
-                        }
-                    });
-                    if let Some(resp) = volume_response {
-                        if self.state.telemetry.is_enabled() {
-                            let disk = &self.state.disks[comp.disk];
-                            let tier = if disk.is_standby() {
-                                telemetry::STANDBY
-                            } else {
-                                disk.effective_level().index() as telemetry::Tier
-                            };
-                            self.state.telemetry.emit(telemetry::Event::RequestServed {
-                                time_s: now.as_secs(),
-                                latency_us: resp * 1e6,
-                                disk: comp.disk as u32,
-                                tier,
-                            });
+                            self.retries.remove(comp.request.id);
                         }
                     }
-                    self.policy
-                        .on_completion(now, &comp, volume_response, &mut self.state);
+                    if !retried {
+                        self.complete_foreground(now, &comp);
+                    }
                 }
             }
         }
@@ -556,10 +566,53 @@ impl<'a, P: PowerPolicy> Simulation<'a, P> {
         self.resync(now);
     }
 
+    /// Books a good foreground completion: service stats, volume gather,
+    /// telemetry, and the policy's completion hook.
+    fn complete_foreground(&mut self, now: SimTime, comp: &diskmodel::Completion) {
+        self.state.stats.service.record(comp.service_s);
+        let volume_response = self.gather.remove(comp.request.id).and_then(|parent| {
+            // A parent may already be gone: the volume was lost
+            // (disk failure with no surviving replica, or an
+            // exhausted retry on a sibling piece).
+            let done = {
+                let p = self.pending.get_mut(parent)?;
+                p.remaining -= 1;
+                p.remaining == 0
+            };
+            if done {
+                let p = self.pending.remove(parent).expect("parent vanished");
+                let resp = now.saturating_since(p.arrival).as_secs();
+                self.state.stats.record_response(now, resp, p.sectors);
+                Some(resp)
+            } else {
+                None
+            }
+        });
+        if let Some(resp) = volume_response {
+            if self.state.telemetry.is_enabled() {
+                let disk = &self.state.disks[comp.disk];
+                let tier = if disk.is_standby() {
+                    telemetry::STANDBY
+                } else {
+                    disk.effective_level().index() as telemetry::Tier
+                };
+                self.state.telemetry.emit(telemetry::Event::RequestServed {
+                    time_s: now.as_secs(),
+                    latency_us: resp * 1e6,
+                    disk: comp.disk as u32,
+                    tier,
+                });
+            }
+        }
+        self.policy
+            .on_completion(now, comp, volume_response, &mut self.state);
+    }
+
     fn pump_migration(&mut self, now: SimTime) {
         let reqs = self.state.migrator.pump(now, &mut self.state.remap);
         for (disk, req) in reqs {
             self.state.disks[disk.index()].submit(now, req);
+            self.state.wake_marks.mark(disk.index());
         }
     }
 
@@ -595,6 +648,7 @@ impl<'a, P: PowerPolicy> Simulation<'a, P> {
                 FaultKind::SlowTransition { factor, duration_s } => {
                     let until = ev.time + SimDuration::from_secs(duration_s);
                     self.state.disks[ev.disk].set_slow_transitions(factor, until);
+                    self.state.wake_marks.mark(ev.disk);
                 }
                 FaultKind::DiskFailure => self.fail_disk(now, ev.disk),
             }
@@ -640,7 +694,7 @@ impl<'a, P: PowerPolicy> Simulation<'a, P> {
             if req.class != RequestClass::Foreground {
                 continue; // migration pieces were handled by the engine
             }
-            if !self.gather.contains_key(&req.id) {
+            if !self.gather.contains_key(req.id) {
                 continue; // parity write: consumed load only, nothing gates on it
             }
             let slot = (req.sector / cs) as u32;
@@ -655,7 +709,7 @@ impl<'a, P: PowerPolicy> Simulation<'a, P> {
                     self.state.disks[p].submit(now, req);
                 }
                 None => {
-                    let parent = self.gather.remove(&req.id).expect("checked above");
+                    let parent = self.gather.remove(req.id).expect("checked above");
                     self.lose_parent(parent);
                 }
             }
@@ -682,6 +736,9 @@ impl<'a, P: PowerPolicy> Simulation<'a, P> {
         self.state.migrator.enqueue_rebuild(rebuilds);
 
         self.policy.on_disk_failure(now, d, &mut self.state);
+        // A failure touches the dead disk, redirect targets, and whatever
+        // the policy just re-planned; failures are rare, so mark everything.
+        self.state.wake_marks.mark_all();
     }
 
     /// Chooses src (surviving redundancy partner) and dst (least-occupied
@@ -726,16 +783,18 @@ impl<'a, P: PowerPolicy> Simulation<'a, P> {
                 Some(p) => {
                     self.outcome.degraded_redirects += 1;
                     self.state.disks[p].submit(now, req);
+                    self.state.wake_marks.mark(p);
                 }
                 None => {
-                    self.retries.remove(&req.id);
-                    if let Some(parent) = self.gather.remove(&req.id) {
+                    self.retries.remove(req.id);
+                    if let Some(parent) = self.gather.remove(req.id) {
                         self.lose_parent(parent);
                     }
                 }
             }
         } else {
             self.state.disks[disk].submit(now, req);
+            self.state.wake_marks.mark(disk);
         }
         self.resync(now);
     }
@@ -789,20 +848,63 @@ impl<'a, P: PowerPolicy> Simulation<'a, P> {
         id
     }
 
-    /// Re-synchronises the scheduled wake of every disk.
+    /// Re-synchronises scheduled disk wakes.
+    ///
+    /// Incremental by default: only disks marked dirty since the last
+    /// resync are visited, in ascending index order. A disk whose wake
+    /// actually changed is always a subset of the marked disks (handlers
+    /// mark every disk they touch; unchanged marked disks are no-ops), and
+    /// index order matches the full scan — so the push sequence into the
+    /// event queue, and with it FIFO tie-breaking among same-time wakes,
+    /// is bit-identical to [`RunOptions::reference_full_resync`]. Debug
+    /// builds verify the subset property after every drain.
     fn resync(&mut self, now: SimTime) {
-        for d in 0..self.state.disks.len() {
-            let t = self.state.disks[d].next_event_time();
-            if t != self.scheduled[d] {
-                self.scheduled[d] = t;
-                self.gens[d] += 1;
-                if let Some(t) = t {
-                    self.events
-                        .push(t.max(now), Event::DiskWake(d, self.gens[d]));
-                }
+        if self.opts.reference_full_resync {
+            for d in 0..self.state.disks.len() {
+                self.resync_disk(d, now);
             }
+            // Stale marks must not leak into later resyncs if the flag
+            // were ever toggled mid-run; draining keeps the set empty.
+            let mut marks = std::mem::take(&mut self.state.wake_marks);
+            marks.drain_sorted(|_| {});
+            self.state.wake_marks = marks;
+        } else {
+            let mut marks = std::mem::take(&mut self.state.wake_marks);
+            marks.drain_sorted(|d| self.resync_disk(d, now));
+            self.state.wake_marks = marks;
+            #[cfg(debug_assertions)]
+            self.assert_wakes_synced();
         }
         self.drain_instrument_logs();
+    }
+
+    /// Refreshes one disk's scheduled wake if its next event time moved.
+    #[inline]
+    fn resync_disk(&mut self, d: usize, now: SimTime) {
+        let t = self.state.disks[d].next_event_time();
+        if t != self.scheduled[d] {
+            self.scheduled[d] = t;
+            self.gens[d] += 1;
+            if let Some(t) = t {
+                self.events
+                    .push(t.max(now), Event::DiskWake(d, self.gens[d]));
+            }
+        }
+    }
+
+    /// Debug cross-check: after an incremental resync, no disk may have a
+    /// wake time differing from its scheduled one — that would mean a
+    /// handler mutated a disk without marking it.
+    #[cfg(debug_assertions)]
+    fn assert_wakes_synced(&self) {
+        for d in 0..self.state.disks.len() {
+            assert_eq!(
+                self.state.disks[d].next_event_time(),
+                self.scheduled[d],
+                "dirty-disk tracking missed disk {d}: a handler changed its state without \
+                 marking it (per-event policy hooks must use ArrayState::request_speed)"
+            );
+        }
     }
 
     /// Forwards instrument-local logs (per-disk transition records, then
@@ -994,6 +1096,7 @@ impl<'a, P: PowerPolicy> Simulation<'a, P> {
             reliability,
             faults: self.outcome,
             horizon,
+            events_processed: self.events_processed,
             telemetry: recorder.into_stream(),
         };
         (report, policy)

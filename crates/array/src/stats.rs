@@ -44,7 +44,9 @@ impl ArrayStats {
             response_hist: LatencyHistogram::new_latency(),
             response_series: TimeSeries::new(bucket),
             power_series: TimeSeries::new(bucket),
-            level_series: (0..num_levels + 3).map(|_| TimeSeries::new(bucket)).collect(),
+            level_series: (0..num_levels + 3)
+                .map(|_| TimeSeries::new(bucket))
+                .collect(),
             fg_completed: 0,
             fg_sectors: 0,
         }

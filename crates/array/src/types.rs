@@ -114,8 +114,7 @@ impl ArrayConfig {
                 return Err(format!("stripe_width {w} outside 1..={}", self.disks));
             }
         }
-        let capacity =
-            u64::from(self.slots_per_disk()) * self.effective_stripe_width() as u64;
+        let capacity = u64::from(self.slots_per_disk()) * self.effective_stripe_width() as u64;
         if u64::from(self.volume_chunks) > capacity {
             return Err(format!(
                 "volume of {} chunks exceeds stripe capacity of {capacity} chunk slots",

@@ -90,7 +90,10 @@ fn base_conserves_requests_and_energy() {
         assert_eq!(r.completed, n, "case {case}");
         assert_eq!(r.incomplete, 0, "case {case}");
         let parts: f64 = r.energy.breakdown().map(|(_, j)| j).sum();
-        assert!((parts - r.energy.total_joules()).abs() < 1e-6, "case {case}");
+        assert!(
+            (parts - r.energy.total_joules()).abs() < 1e-6,
+            "case {case}"
+        );
         let per_disk: f64 = r.per_disk_energy.iter().map(|e| e.total_joules()).sum();
         assert!(
             (per_disk - r.energy.total_joules()).abs() < 1e-6,

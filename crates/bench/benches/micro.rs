@@ -6,12 +6,10 @@
 
 use array::{ChunkId, HeatMap};
 use bench::{criterion_group, criterion_main, Criterion};
-use diskmodel::{
-    Disk, DiskRequest, DiskSpec, IoKind, RequestClass, ServiceModel, SpeedLevel,
-};
+use diskmodel::{Disk, DiskRequest, DiskSpec, IoKind, RequestClass, ServiceModel, SpeedLevel};
 use hibernator::{AllocationInput, ServiceEstimator, SpeedAllocator};
 use simkit::{
-    DetRng, EventQueue, LatencyHistogram, Moments, SimDuration, SimTime, SlidingWindow,
+    DetRng, EventQueue, IdMap, LatencyHistogram, Moments, SimDuration, SimTime, SlidingWindow,
 };
 use std::hint::black_box;
 use workload::ZipfExtents;
@@ -28,6 +26,57 @@ fn event_queue(c: &mut Criterion) {
             let mut acc = 0usize;
             while let Some((_, p)) = q.pop() {
                 acc = acc.wrapping_add(p);
+            }
+            black_box(acc)
+        })
+    });
+}
+
+fn event_queue_ties(c: &mut Criterion) {
+    // All-same-time bursts stress the packed (time, seq) key's FIFO
+    // tie-breaking — the common case after a tick wakes many disks at once.
+    c.bench_function("event_queue_same_time_fifo_1k", |b| {
+        let t = SimTime::from_secs(123.456);
+        b.iter(|| {
+            let mut q = EventQueue::with_capacity(1024);
+            for i in 0..1000usize {
+                q.push(t, i);
+            }
+            let mut acc = 0usize;
+            while let Some((_, p)) = q.pop() {
+                acc = acc.wrapping_add(p);
+            }
+            black_box(acc)
+        })
+    });
+}
+
+fn idmap_churn(c: &mut Criterion) {
+    // The driver's pending/gather maps: sequential ids inserted and
+    // removed in a sliding window, the in-flight-request lifecycle.
+    let mut rng = DetRng::new(6, "bench-idmap");
+    let values: Vec<u64> = (0..1024).map(|_| rng.below(1 << 20)).collect();
+    c.bench_function("idmap_sliding_churn_1k", |b| {
+        b.iter(|| {
+            let mut m: IdMap<u64> = IdMap::with_capacity(256);
+            for (i, &v) in values.iter().enumerate() {
+                m.insert(i as u64, v);
+                if i >= 64 {
+                    black_box(m.remove(i as u64 - 64));
+                }
+            }
+            black_box(m.len())
+        })
+    });
+    c.bench_function("idmap_lookup_hit_1k", |b| {
+        let mut m: IdMap<u64> = IdMap::with_capacity(1024);
+        for (i, &v) in values.iter().enumerate() {
+            m.insert(i as u64, v);
+        }
+        b.iter(|| {
+            let mut acc = 0u64;
+            for i in 0..1024u64 {
+                acc = acc.wrapping_add(*m.get(i).unwrap());
             }
             black_box(acc)
         })
@@ -216,6 +265,8 @@ fn worker_pool(c: &mut Criterion) {
 criterion_group!(
     micro,
     event_queue,
+    event_queue_ties,
+    idmap_churn,
     service_model,
     disk_service_loop,
     statistics,

@@ -108,7 +108,10 @@ impl Bencher {
 }
 
 fn run_one<F: FnMut(&mut Bencher)>(name: &str, samples: usize, f: &mut F) {
-    let mut b = Bencher { samples, mean_s: 0.0 };
+    let mut b = Bencher {
+        samples,
+        mean_s: 0.0,
+    };
     f(&mut b);
     println!("{name:<44} {}", format_duration(b.mean_s));
 }

@@ -247,9 +247,7 @@ impl SpeedAllocator {
             // *real* predicted response/power so the calibration loop keeps
             // comparing model to measurement.
             let mut fallback = Allocation::all_fast(n, levels);
-            if let Some((resp, pw)) =
-                self.evaluate_unconstrained(input, est, &fallback.per_level)
-            {
+            if let Some((resp, pw)) = self.evaluate_unconstrained(input, est, &fallback.per_level) {
                 fallback.predicted_response_s = resp;
                 fallback.predicted_power_w = pw;
             }
@@ -350,7 +348,15 @@ mod tests {
             }
         }
         let mut best = None;
-        rec(alloc, input, est, 0, input.disks, &mut Vec::new(), &mut best);
+        rec(
+            alloc,
+            input,
+            est,
+            0,
+            input.disks,
+            &mut Vec::new(),
+            &mut best,
+        );
         best
     }
 
@@ -365,7 +371,11 @@ mod tests {
         };
         let a = alloc.allocate(&input, &est);
         assert!(a.feasible);
-        assert_eq!(a.per_level[0], 8, "all disks should crawl: {:?}", a.per_level);
+        assert_eq!(
+            a.per_level[0], 8,
+            "all disks should crawl: {:?}",
+            a.per_level
+        );
     }
 
     #[test]
@@ -406,7 +416,11 @@ mod tests {
         let slow_side: usize = a.per_level[..2].iter().sum();
         let fast_side: usize = a.per_level[3..].iter().sum();
         assert!(slow_side > 0, "cold tail should crawl: {:?}", a.per_level);
-        assert!(fast_side > 0, "hot head needs fast disks: {:?}", a.per_level);
+        assert!(
+            fast_side > 0,
+            "hot head needs fast disks: {:?}",
+            a.per_level
+        );
         assert!(a.predicted_response_s <= 0.008);
     }
 

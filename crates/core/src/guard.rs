@@ -319,12 +319,12 @@ mod tests {
             g.record(t(i as f64), 0.100);
         }
         assert_eq!(g.check(t(10.0)), GuardAction::Normal); // armed
-        // Window recovers before the second check.
+                                                           // Window recovers before the second check.
         for i in 11..120 {
             g.record(t(i as f64), 0.001);
         }
         assert_eq!(g.check(t(120.0)), GuardAction::Normal); // reset
-        // A later single violation must again need two checks.
+                                                            // A later single violation must again need two checks.
         for i in 121..180 {
             g.record(t(i as f64), 0.100);
         }

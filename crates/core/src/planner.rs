@@ -190,6 +190,7 @@ mod tests {
             migrator: MigrationEngine::new(2),
             stats,
             telemetry: telemetry::Recorder::disabled(),
+            wake_marks: array::WakeMarks::new(disks),
         }
     }
 

@@ -147,6 +147,9 @@ pub struct HibernatorStats {
 pub struct Hibernator {
     cfg: HibernatorConfig,
     heat: Option<HeatMap>,
+    /// Reused ranking buffers — one chunk ranking per epoch, no fresh
+    /// allocation per planning round.
+    rank_scratch: array::RankScratch,
     estimator: Option<ServiceEstimator>,
     allocator: Option<SpeedAllocator>,
     guard: PerfGuard,
@@ -193,6 +196,7 @@ impl Hibernator {
         Hibernator {
             guard,
             heat: None,
+            rank_scratch: array::RankScratch::new(),
             estimator: None,
             allocator: None,
             next_epoch: SimTime::ZERO,
@@ -245,12 +249,16 @@ impl Hibernator {
     }
 
     fn run_epoch(&mut self, now: SimTime, state: &mut ArrayState) {
+        // Detach the scratch so its borrow does not pin `self` across the
+        // `&mut self` calls below; restored on every exit path.
+        let mut rank_scratch = std::mem::take(&mut self.rank_scratch);
         let heat = self.heat.as_ref().expect("init ran");
         let est = self.estimator.as_ref().expect("init ran");
         let alloc = self.allocator.as_ref().expect("init ran");
 
-        // 1. Temperature-sorted chunk rates.
-        let ranking = heat.ranking(now);
+        // 1. Temperature-sorted chunk rates, into the reused buffers.
+        heat.ranking_into(now, &mut rank_scratch);
+        let ranking = rank_scratch.ranked();
         let rates: Vec<f64> = ranking.iter().map(|&c| heat.rate(now, c)).collect();
 
         // 2. Optimise, with the calibrated (tightened) goal and planning
@@ -258,6 +266,7 @@ impl Hibernator {
         // allocatable: after a failure the plan covers the survivors.
         let alive = state.alive_disks();
         if alive == 0 {
+            self.rank_scratch = rank_scratch;
             return;
         }
         let input = AllocationInput {
@@ -325,7 +334,7 @@ impl Hibernator {
         self.standby_disks = standby.clone();
         let mut changed = false;
         for (i, &l) in targets.iter().enumerate() {
-            let d = &mut state.disks[i];
+            let d = &state.disks[i];
             if d.has_failed() {
                 continue;
             }
@@ -333,12 +342,12 @@ impl Hibernator {
                 if !d.is_standby() {
                     changed = true;
                 }
-                d.request_speed(now, SpinTarget::Standby);
+                state.request_speed(now, i, SpinTarget::Standby);
             } else {
                 if d.is_standby() || d.effective_level() != l {
                     changed = true;
                 }
-                d.request_speed(now, SpinTarget::Level(l));
+                state.request_speed(now, i, SpinTarget::Level(l));
             }
         }
         if changed {
@@ -359,7 +368,7 @@ impl Hibernator {
         // transient: ramp backlog drain plus the migration wave (×1.5
         // because foreground interleaving stretches it), capped so the
         // guard always gets the tail of each epoch.
-        self.apply_migrations(now, state, &ranking, &adopted);
+        self.apply_migrations(now, state, ranking, &adopted);
         if changed || !state.migrator.is_quiescent() {
             let drain = 1.5 * self.migration_drain_estimate_s(state, &adopted.per_level);
             if drain > 0.0 {
@@ -381,6 +390,7 @@ impl Hibernator {
                 changed,
             });
         self.current = Some(adopted);
+        self.rank_scratch = rank_scratch;
     }
 
     /// The disks (by index) that may stop spinning this epoch: bottom-tier
@@ -601,8 +611,10 @@ impl PowerPolicy for Hibernator {
         }
         state.migrator.clear_pending();
         let top = state.config.spec.top_level();
-        for d in state.disks.iter_mut().filter(|d| !d.has_failed()) {
-            d.request_speed(now, SpinTarget::Level(top));
+        for i in 0..state.disks.len() {
+            if !state.disks[i].has_failed() {
+                state.request_speed(now, i, SpinTarget::Level(top));
+            }
         }
         self.standby_disks.clear();
         // Replace the (now stale) plan with all-survivors-fast, and
@@ -633,8 +645,8 @@ impl PowerPolicy for Hibernator {
                     self.correction = (self.correction * 1.25).min(4.0);
                     self.model_error.observe(now, self.correction);
                     let top = state.config.spec.top_level();
-                    for d in &mut state.disks {
-                        d.request_speed(now, SpinTarget::Level(top));
+                    for i in 0..state.disks.len() {
+                        state.request_speed(now, i, SpinTarget::Level(top));
                     }
                     state.migrator.set_paused(true);
                     state.migrator.clear_pending();
@@ -692,10 +704,10 @@ impl PowerPolicy for Hibernator {
                 .power_model()
                 .breakeven_standby_s(SpeedLevel(0));
             for &i in &self.standby_disks {
-                let d = &mut state.disks[i];
+                let d = &state.disks[i];
                 if let Some(idle) = d.idle_duration(now) {
                     if idle >= breakeven && !d.is_standby() {
-                        d.request_speed(now, SpinTarget::Standby);
+                        state.request_speed(now, i, SpinTarget::Standby);
                     }
                 }
             }

@@ -56,7 +56,15 @@ fn exhaustive_best(
         }
     }
     let mut best = None;
-    rec(alloc, input, est, 0, input.disks, &mut Vec::new(), &mut best);
+    rec(
+        alloc,
+        input,
+        est,
+        0,
+        input.disks,
+        &mut Vec::new(),
+        &mut best,
+    );
     best
 }
 

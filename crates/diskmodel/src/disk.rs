@@ -576,12 +576,23 @@ impl Disk {
     /// Handles the event due at `now` (service completion and/or ramp end)
     /// and returns any completed requests. The driver must call this exactly
     /// at [`Disk::next_event_time`].
+    ///
+    /// Convenience wrapper over [`Disk::poll_event`]; the hot simulation
+    /// driver calls `poll_event` directly to avoid allocating a `Vec` per
+    /// disk event.
     pub fn on_event(&mut self, now: SimTime) -> Vec<Completion> {
+        self.poll_event(now).into_iter().collect()
+    }
+
+    /// Allocation-free form of [`Disk::on_event`]. A single head means at
+    /// most one request finishes per event, so `Option` captures the full
+    /// result.
+    pub fn poll_event(&mut self, now: SimTime) -> Option<Completion> {
         self.accrue(now);
         if self.failed {
-            return Vec::new();
+            return None;
         }
-        let mut done = Vec::new();
+        let mut done = None;
 
         // Ramp end?
         if let SpinState::Transitioning { target, until, .. } = self.state {
@@ -610,7 +621,7 @@ impl Disk {
                     RequestClass::Foreground => self.stats.fg_completed += 1,
                     RequestClass::Migration => self.stats.mig_completed += 1,
                 }
-                done.push(Completion {
+                done = Some(Completion {
                     request: svc.req,
                     disk: self.id,
                     finish_time: svc.finish,

@@ -134,8 +134,7 @@ impl PowerModel {
         // Energy with transition: E_trans + p_lo·t (spent at low speed)
         // Energy without: p_hi·(t + down.duration + up.duration)
         // Break even at t where both are equal.
-        let extra = down.energy_j + up.energy_j
-            - p_hi * (down.duration_s + up.duration_s);
+        let extra = down.energy_j + up.energy_j - p_hi * (down.duration_s + up.duration_s);
         Some((extra / (p_hi - p_lo)).max(0.0))
     }
 
@@ -193,7 +192,11 @@ mod tests {
     fn full_spinup_matches_datasheet() {
         let (spec, pm) = pm();
         let t = pm.spinup_from_standby(spec.top_level());
-        assert!((t.duration_s - 10.9).abs() < 0.01, "spin-up {}", t.duration_s);
+        assert!(
+            (t.duration_s - 10.9).abs() < 0.01,
+            "spin-up {}",
+            t.duration_s
+        );
         assert!((t.energy_j - 26.0 * 10.9).abs() < 0.5);
     }
 

@@ -154,7 +154,10 @@ mod tests {
         let k = m.knee as u32;
         let before = m.seek_time(k);
         let after = m.seek_time(k + 1);
-        assert!((after - before) < 0.1e-3, "jump at knee: {before} -> {after}");
+        assert!(
+            (after - before) < 0.1e-3,
+            "jump at knee: {before} -> {after}"
+        );
     }
 
     #[test]

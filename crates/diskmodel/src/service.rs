@@ -86,7 +86,9 @@ impl ServiceModel {
         assert!((0.0..1.0).contains(&rot_frac), "bad rot_frac {rot_frac}");
         assert!(req.sectors >= 1, "empty request");
         let start = self.geometry.locate(req.sector);
-        let last = self.geometry.locate(req.sector + u64::from(req.sectors) - 1);
+        let last = self
+            .geometry
+            .locate(req.sector + u64::from(req.sectors) - 1);
 
         let distance = start.cylinder.abs_diff(head_cylinder);
         let seek_s = match req.kind {
@@ -115,11 +117,7 @@ impl ServiceModel {
         }
     }
 
-    fn track_crossings(
-        &self,
-        req: &DiskRequest,
-        start: &crate::geometry::Location,
-    ) -> u32 {
+    fn track_crossings(&self, req: &DiskRequest, start: &crate::geometry::Location) -> u32 {
         let first_track_remaining = u64::from(start.sectors_per_track - start.sector);
         if u64::from(req.sectors) <= first_track_remaining {
             0
@@ -264,7 +262,11 @@ mod tests {
             assert!(p.seek_s >= 0.0);
             assert!(p.rotation_s >= 0.0);
             assert!(p.transfer_s > 0.0);
-            assert!(p.total_s() < 1.0, "implausibly long service {}", p.total_s());
+            assert!(
+                p.total_s() < 1.0,
+                "implausibly long service {}",
+                p.total_s()
+            );
         }
     }
 }

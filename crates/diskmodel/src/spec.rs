@@ -10,7 +10,6 @@
 //! so *every* evaluation of this design, including the original paper's,
 //! runs against exactly this kind of analytically extended model.
 
-
 /// Index of a rotational-speed level within [`DiskSpec::rpm_levels`]
 /// (0 = slowest, `num_levels() - 1` = fastest).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
@@ -227,7 +226,9 @@ impl DiskSpec {
         let mut total = 0u64;
         for z in 0..self.zones {
             let cyls = self.cylinders_in_zone(z);
-            total += u64::from(cyls) * u64::from(self.surfaces) * u64::from(self.sectors_per_track_in_zone(z));
+            total += u64::from(cyls)
+                * u64::from(self.surfaces)
+                * u64::from(self.sectors_per_track_in_zone(z));
         }
         total
     }

@@ -8,7 +8,11 @@ use simkit::{DetRng, SimTime};
 #[derive(Debug, Clone)]
 enum Op {
     /// Submit a request at a sector fraction, with given size.
-    Submit { frac: f64, sectors: u32, write: bool },
+    Submit {
+        frac: f64,
+        sectors: u32,
+        write: bool,
+    },
     /// Request a speed level.
     Speed(usize),
     /// Request standby.
@@ -64,7 +68,11 @@ fn run_ops(ops: &[Op]) -> (u64, u64, f64) {
 
     for op in ops {
         match *op {
-            Op::Submit { frac, sectors, write } => {
+            Op::Submit {
+                frac,
+                sectors,
+                write,
+            } => {
                 let sector = ((frac * cap as f64) as u64).min(cap - u64::from(sectors) - 1);
                 disk.submit(
                     now,
@@ -107,7 +115,10 @@ fn no_request_is_ever_lost() {
     for case in 0..64 {
         let ops = random_ops(case, 59);
         let (submitted, completed, _) = run_ops(&ops);
-        assert_eq!(submitted, completed, "case {case}: requests lost or duplicated");
+        assert_eq!(
+            submitted, completed,
+            "case {case}: requests lost or duplicated"
+        );
     }
 }
 
@@ -119,7 +130,10 @@ fn deterministic_under_replay() {
         let b = run_ops(&ops);
         assert_eq!(a.0, b.0, "case {case}");
         assert_eq!(a.1, b.1, "case {case}");
-        assert!((a.2 - b.2).abs() < 1e-9, "case {case}: energy not reproducible");
+        assert!(
+            (a.2 - b.2).abs() < 1e-9,
+            "case {case}: energy not reproducible"
+        );
     }
 }
 

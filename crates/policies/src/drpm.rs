@@ -99,19 +99,20 @@ impl PowerPolicy for DrpmPolicy {
         };
         let top = state.config.spec.top_level();
         if degraded {
-            for d in &mut state.disks {
-                d.request_speed(now, SpinTarget::Level(top));
+            for i in 0..state.disks.len() {
+                state.request_speed(now, i, SpinTarget::Level(top));
             }
             return;
         }
-        for d in &mut state.disks {
+        for i in 0..state.disks.len() {
+            let d = &state.disks[i];
             let level = d.effective_level();
             if d.fg_queue_len() >= self.cfg.queue_up {
                 if level < top {
-                    d.request_speed(now, SpinTarget::Level(SpeedLevel(level.index() + 1)));
+                    state.request_speed(now, i, SpinTarget::Level(SpeedLevel(level.index() + 1)));
                 }
             } else if d.fg_queue_len() == 0 && !d.is_busy() && level.index() > 0 {
-                d.request_speed(now, SpinTarget::Level(SpeedLevel(level.index() - 1)));
+                state.request_speed(now, i, SpinTarget::Level(SpeedLevel(level.index() - 1)));
             }
         }
     }
@@ -142,7 +143,10 @@ mod tests {
         let drpm = run_policy(config(), DrpmPolicy::default(), &trace, opts.clone());
         let base = run_policy(config(), BasePolicy, &trace, opts);
         let savings = drpm.savings_vs(&base);
-        assert!(savings > 0.2, "DRPM should save at light load, got {savings}");
+        assert!(
+            savings > 0.2,
+            "DRPM should save at light load, got {savings}"
+        );
         assert_eq!(drpm.completed, base.completed);
     }
 

@@ -41,8 +41,8 @@ impl PowerPolicy for FixedSpeed {
             self.level.index() < state.config.spec.num_levels(),
             "fixed level out of range"
         );
-        for d in &mut state.disks {
-            d.request_speed(now, SpinTarget::Level(self.level));
+        for i in 0..state.disks.len() {
+            state.request_speed(now, i, SpinTarget::Level(self.level));
         }
     }
 }

@@ -228,10 +228,11 @@ impl PowerPolicy for MaidPolicy {
     fn on_tick(&mut self, now: SimTime, state: &mut ArrayState) {
         // TPM on data disks only; cache disks always spin.
         let data_disks = state.config.disks - self.cfg.cache_disks;
-        for d in state.disks.iter_mut().take(data_disks) {
+        for i in 0..data_disks {
+            let d = &state.disks[i];
             if let Some(idle) = d.idle_duration(now) {
                 if idle >= self.tpm_threshold_s && !d.is_standby() {
-                    d.request_speed(now, SpinTarget::Standby);
+                    state.request_speed(now, i, SpinTarget::Standby);
                 }
             }
         }
@@ -304,12 +305,7 @@ mod tests {
         let mut policy = maid();
         // Run via the simulation; inspect hit ratio through a second run's
         // policy object (run_policy consumes it, so simulate inline).
-        let sim = array::Simulation::new(
-            config(),
-            maid(),
-            &trace,
-            RunOptions::for_horizon(600.0),
-        );
+        let sim = array::Simulation::new(config(), maid(), &trace, RunOptions::for_horizon(600.0));
         let report = sim.run();
         let _ = &mut policy;
         assert_eq!(report.incomplete, 0);
@@ -337,12 +333,7 @@ mod tests {
         spec.zipf_theta = 1.2;
         spec.read_fraction = 1.0;
         let trace = spec.generate(32);
-        let report = run_policy(
-            config(),
-            maid(),
-            &trace,
-            RunOptions::for_horizon(2400.0),
-        );
+        let report = run_policy(config(), maid(), &trace, RunOptions::for_horizon(2400.0));
         assert!(
             report.energy.joules(simkit::EnergyComponent::Standby) > 0.0,
             "data disks should reach standby behind the cache"

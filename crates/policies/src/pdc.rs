@@ -10,7 +10,7 @@
 //! absorb nearly all the load at full speed, becoming a bottleneck, and
 //! cold disks still stall 10.9 s whenever a cold read arrives.
 
-use array::{ArrayState, ChunkId, DiskId, HeatMap, MigrationJob, PowerPolicy};
+use array::{ArrayState, ChunkId, DiskId, HeatMap, MigrationJob, PowerPolicy, RankScratch};
 use diskmodel::SpinTarget;
 use simkit::{SimDuration, SimTime};
 use workload::VolumeRequest;
@@ -43,6 +43,7 @@ impl Default for PdcConfig {
 pub struct PdcPolicy {
     cfg: PdcConfig,
     heat: Option<HeatMap>,
+    rank_scratch: RankScratch,
     tpm_threshold_s: f64,
     next_epoch: SimTime,
     tick: SimDuration,
@@ -54,6 +55,7 @@ impl PdcPolicy {
         PdcPolicy {
             tick: SimDuration::from_secs(5.0),
             heat: None,
+            rank_scratch: RankScratch::new(),
             tpm_threshold_s: 0.0,
             next_epoch: SimTime::ZERO,
             cfg,
@@ -64,7 +66,8 @@ impl PdcPolicy {
     /// `per_disk` chunks target disk 0, the next disk 1, and so on.
     fn plan_epoch(&mut self, now: SimTime, state: &mut ArrayState) {
         let Some(heat) = &self.heat else { return };
-        let ranking = heat.ranking(now);
+        heat.ranking_into(now, &mut self.rank_scratch);
+        let ranking = self.rank_scratch.ranked();
         let n = state.config.disks;
         let per_disk = ranking.len().div_ceil(n);
         let mut jobs: Vec<MigrationJob> = Vec::new();
@@ -128,10 +131,11 @@ impl PowerPolicy for PdcPolicy {
             self.plan_epoch(now, state);
         }
         // TPM layer underneath.
-        for d in &mut state.disks {
+        for i in 0..state.disks.len() {
+            let d = &state.disks[i];
             if let Some(idle) = d.idle_duration(now) {
                 if idle >= self.tpm_threshold_s && !d.is_standby() {
-                    d.request_speed(now, SpinTarget::Standby);
+                    state.request_speed(now, i, SpinTarget::Standby);
                 }
             }
         }

@@ -75,10 +75,11 @@ impl PowerPolicy for TpmPolicy {
     }
 
     fn on_tick(&mut self, now: SimTime, state: &mut ArrayState) {
-        for d in &mut state.disks {
+        for i in 0..state.disks.len() {
+            let d = &state.disks[i];
             if let Some(idle) = d.idle_duration(now) {
                 if idle >= self.resolved_threshold_s && !d.is_standby() {
-                    d.request_speed(now, SpinTarget::Standby);
+                    state.request_speed(now, i, SpinTarget::Standby);
                 }
             }
         }
@@ -187,7 +188,10 @@ mod tests {
             RunOptions::for_horizon(600.0),
         );
         let max = report.response_hist.observed_max().unwrap();
-        assert!(max > 10.0, "late request should pay ~10.9s spin-up, max {max}");
+        assert!(
+            max > 10.0,
+            "late request should pay ~10.9s spin-up, max {max}"
+        );
     }
 
     #[test]

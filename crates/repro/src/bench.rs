@@ -1,0 +1,317 @@
+//! `repro bench` — the tracked hot-path benchmark.
+//!
+//! Times three canonical scenarios end-to-end through the public driver
+//! (trace generation and goal calibration happen *outside* the timed
+//! region, so the numbers isolate simulation cost):
+//!
+//! * **quick_t3** — the full quick-scale T3 grid: 7 policies × 2 workloads
+//!   = 14 runs, the same set `repro --quick --jobs 1 t3` simulates;
+//! * **fault_storm** — Base + Hibernator riding the scripted fault storm
+//!   on a RAID-5-like array (exercises retry, redirect, and rebuild
+//!   paths);
+//! * **f6_highload** — Base + Hibernator at 2× OLTP load (the congested
+//!   point of the F6 load sweep, where per-event costs dominate).
+//!
+//! Results land in `BENCH_hotpath.json` together with the recorded
+//! pre-optimization baseline, so the speedup trajectory is tracked in one
+//! file. `--reference` re-runs every simulation with the full-scan wake
+//! resync ([`array::RunOptions::reference_full_resync`]) for an
+//! apples-to-apples check of the incremental-resync win alone.
+
+use crate::common::{Ctx, PolicyKind, Workload};
+use array::{Redundancy, RunOptions, RunReport};
+use faults::{FaultConfig, FaultPlan};
+use std::fmt::Write as _;
+use std::time::Instant;
+
+/// The pre-overhaul quick-t3 timing this PR is measured against: the sum
+/// of the 14 per-run wall-clock timings from `repro --quick --jobs 1 t3`
+/// at the commit preceding the hot-path overhaul (full wall clock
+/// including trace generation and CSV formatting was 13.7 s).
+const BASELINE_QUICK_T3_RUN_SUM_S: f64 = 13.36;
+
+/// One benchmark scenario: a named list of (label, thunk-describable) runs.
+struct Scenario {
+    name: &'static str,
+    /// Runs per iteration: (policy, workload-ish label) resolved by `run`.
+    runs: Vec<BenchRun>,
+}
+
+/// A fully prepared run: everything `Ctx::run_kind` needs, owned.
+struct BenchRun {
+    policy: PolicyKind,
+    config: array::ArrayConfig,
+    trace: std::sync::Arc<workload::Trace>,
+    opts: RunOptions,
+    goal_s: f64,
+}
+
+/// Measured numbers for one scenario.
+struct Outcome {
+    name: &'static str,
+    runs_per_iter: usize,
+    iters: usize,
+    mean_wall_s: f64,
+    min_wall_s: f64,
+    events_per_iter: u64,
+    events_per_sec: f64,
+}
+
+/// Entry point for `repro bench`.
+pub fn bench(seed: u64, out: &str, iters: usize, reference: bool) {
+    assert!(iters >= 1, "bench: need at least one iteration");
+    // Quick scale, one job: the baseline was measured single-threaded, and
+    // serial timing keeps iteration-to-iteration noise low.
+    let ctx = Ctx::new(true, seed, out, 1);
+    println!(
+        "# hot-path bench — quick scale, seed {seed}, {iters} iteration(s){}",
+        if reference {
+            ", reference full-scan resync"
+        } else {
+            ""
+        }
+    );
+
+    let scenarios = vec![
+        quick_t3(&ctx, reference),
+        fault_storm(&ctx, reference),
+        f6_highload(&ctx, reference),
+    ];
+
+    let mut outcomes = Vec::new();
+    for sc in &scenarios {
+        let mut walls = Vec::with_capacity(iters);
+        let mut events = 0u64;
+        for i in 0..iters {
+            let started = Instant::now();
+            let mut iter_events = 0u64;
+            for r in &sc.runs {
+                let report = ctx.run_kind(
+                    r.policy,
+                    r.config.clone(),
+                    &r.trace,
+                    r.opts.clone(),
+                    r.goal_s,
+                );
+                iter_events += report.events_processed;
+            }
+            let wall = started.elapsed().as_secs_f64();
+            walls.push(wall);
+            if i == 0 {
+                events = iter_events;
+            } else {
+                assert_eq!(
+                    events, iter_events,
+                    "bench: nondeterministic event count in {}",
+                    sc.name
+                );
+            }
+            println!(
+                "  [{name} iter {n}/{iters}] {wall:.2} s, {iter_events} events",
+                name = sc.name,
+                n = i + 1,
+            );
+        }
+        let mean = walls.iter().sum::<f64>() / walls.len() as f64;
+        let min = walls.iter().cloned().fold(f64::INFINITY, f64::min);
+        outcomes.push(Outcome {
+            name: sc.name,
+            runs_per_iter: sc.runs.len(),
+            iters,
+            mean_wall_s: mean,
+            min_wall_s: min,
+            events_per_iter: events,
+            events_per_sec: events as f64 / mean,
+        });
+    }
+
+    let json = render_json(&outcomes, seed, iters, reference);
+    let path = std::path::Path::new(out).join("BENCH_hotpath.json");
+    std::fs::write(&path, json).expect("write BENCH_hotpath.json");
+    println!("  -> {}", path.display());
+    for o in &outcomes {
+        let speedup = if o.name == "quick_t3" {
+            format!(
+                " ({:.2}x vs pre-PR baseline {BASELINE_QUICK_T3_RUN_SUM_S} s)",
+                BASELINE_QUICK_T3_RUN_SUM_S / o.mean_wall_s
+            )
+        } else {
+            String::new()
+        };
+        println!(
+            "bench {}: mean {:.2} s over {} iter(s), {:.0} events/s{speedup}",
+            o.name, o.mean_wall_s, o.iters, o.events_per_sec
+        );
+    }
+}
+
+/// Base run options for the bench (standard quick-scale settings plus the
+/// reference-resync toggle; telemetry stays off — it is benchmarked by its
+/// own lockdown suite).
+fn bench_opts(ctx: &Ctx, reference: bool) -> RunOptions {
+    let mut o = ctx.run_options();
+    o.reference_full_resync = reference;
+    o
+}
+
+/// Runs Base untimed and derives the calibrated goal from its mean
+/// response (the same `goal = factor × Base mean` rule the experiments
+/// use), without touching the context's run cache.
+fn calibrate(
+    ctx: &Ctx,
+    config: &array::ArrayConfig,
+    trace: &workload::Trace,
+    opts: &RunOptions,
+) -> (RunReport, f64) {
+    let base = ctx.run_kind(
+        PolicyKind::Base,
+        config.clone(),
+        trace,
+        opts.clone(),
+        f64::MAX,
+    );
+    let goal = base.response.mean() * ctx.goal_factor();
+    (base, goal)
+}
+
+/// The 14-run quick T3 grid (HEADLINE + FixedSlow, both workloads).
+fn quick_t3(ctx: &Ctx, reference: bool) -> Scenario {
+    let mut runs = Vec::new();
+    for w in [Workload::Oltp, Workload::Cello] {
+        let config = ctx.array_config(w);
+        let trace = ctx.trace(w);
+        let opts = bench_opts(ctx, reference);
+        let (_, goal) = calibrate(ctx, &config, &trace, &opts);
+        for p in PolicyKind::HEADLINE
+            .into_iter()
+            .chain([PolicyKind::FixedSlow])
+        {
+            runs.push(BenchRun {
+                policy: p,
+                config: config.clone(),
+                trace: trace.clone(),
+                opts: opts.clone(),
+                goal_s: if p == PolicyKind::Base {
+                    f64::MAX
+                } else {
+                    goal
+                },
+            });
+        }
+    }
+    Scenario {
+        name: "quick_t3",
+        runs,
+    }
+}
+
+/// Base + Hibernator under the scripted fault storm, RAID-5-like.
+fn fault_storm(ctx: &Ctx, reference: bool) -> Scenario {
+    let mut config = ctx.array_config(Workload::Oltp);
+    config.redundancy = Redundancy::Raid5Like;
+    let trace = ctx.trace(Workload::Oltp);
+    let mut opts = bench_opts(ctx, reference);
+    opts.faults = Some(FaultPlan {
+        schedule: crate::faults::storm(ctx.duration_s()),
+        config: FaultConfig::default(),
+    });
+    let (_, goal) = calibrate(ctx, &config, &trace, &opts);
+    let runs = [PolicyKind::Base, PolicyKind::Hibernator]
+        .into_iter()
+        .map(|p| BenchRun {
+            policy: p,
+            config: config.clone(),
+            trace: trace.clone(),
+            opts: opts.clone(),
+            goal_s: if p == PolicyKind::Base {
+                f64::MAX
+            } else {
+                goal
+            },
+        })
+        .collect();
+    Scenario {
+        name: "fault_storm",
+        runs,
+    }
+}
+
+/// Base + Hibernator at 2× OLTP load (the F6 congested point).
+fn f6_highload(ctx: &Ctx, reference: bool) -> Scenario {
+    let config = ctx.array_config(Workload::Oltp);
+    let trace = ctx.trace_with_load(Workload::Oltp, 2.0);
+    let opts = bench_opts(ctx, reference);
+    let (_, goal) = calibrate(ctx, &config, &trace, &opts);
+    let runs = [PolicyKind::Base, PolicyKind::Hibernator]
+        .into_iter()
+        .map(|p| BenchRun {
+            policy: p,
+            config: config.clone(),
+            trace: trace.clone(),
+            opts: opts.clone(),
+            goal_s: if p == PolicyKind::Base {
+                f64::MAX
+            } else {
+                goal
+            },
+        })
+        .collect();
+    Scenario {
+        name: "f6_highload",
+        runs,
+    }
+}
+
+/// Hand-rolled JSON (std-only crate): scenarios plus the recorded pre-PR
+/// baseline, so the file is self-contained evidence of the trajectory.
+fn render_json(outcomes: &[Outcome], seed: u64, iters: usize, reference: bool) -> String {
+    let mut s = String::new();
+    let _ = writeln!(s, "{{");
+    let _ = writeln!(s, "  \"bench\": \"hotpath\",");
+    let _ = writeln!(s, "  \"seed\": {seed},");
+    let _ = writeln!(s, "  \"iters\": {iters},");
+    let _ = writeln!(s, "  \"reference_full_resync\": {reference},");
+    let _ = writeln!(s, "  \"baseline\": {{");
+    let _ = writeln!(
+        s,
+        "    \"label\": \"pre-overhaul (commit 4337876, repro --quick --jobs 1 t3)\","
+    );
+    let _ = writeln!(
+        s,
+        "    \"quick_t3_run_sum_s\": {BASELINE_QUICK_T3_RUN_SUM_S},"
+    );
+    let _ = writeln!(s, "    \"quick_t3_wall_total_s\": 13.7,");
+    let _ = writeln!(
+        s,
+        "    \"note\": \"run_sum_s is the sum of the 14 per-run timings (trace generation and CSV formatting excluded), matching what this bench times; wall_total_s is the full command\""
+    );
+    let _ = writeln!(s, "  }},");
+    let _ = writeln!(s, "  \"scenarios\": [");
+    for (i, o) in outcomes.iter().enumerate() {
+        let _ = writeln!(s, "    {{");
+        let _ = writeln!(s, "      \"name\": \"{}\",", o.name);
+        let _ = writeln!(s, "      \"runs_per_iter\": {},", o.runs_per_iter);
+        let _ = writeln!(s, "      \"iters\": {},", o.iters);
+        let _ = writeln!(s, "      \"mean_wall_s\": {:.4},", o.mean_wall_s);
+        let _ = writeln!(s, "      \"min_wall_s\": {:.4},", o.min_wall_s);
+        let _ = writeln!(s, "      \"events_per_iter\": {},", o.events_per_iter);
+        let _ = writeln!(s, "      \"events_per_sec\": {:.0}{}", o.events_per_sec, {
+            if o.name == "quick_t3" {
+                ","
+            } else {
+                ""
+            }
+        });
+        if o.name == "quick_t3" {
+            let _ = writeln!(
+                s,
+                "      \"speedup_vs_baseline\": {:.3}",
+                BASELINE_QUICK_T3_RUN_SUM_S / o.mean_wall_s
+            );
+        }
+        let _ = writeln!(s, "    }}{}", if i + 1 < outcomes.len() { "," } else { "" });
+    }
+    let _ = writeln!(s, "  ]");
+    let _ = writeln!(s, "}}");
+    s
+}

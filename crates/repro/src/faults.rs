@@ -19,7 +19,7 @@ use simkit::SimTime;
 /// of the horizon (after a transient burst and a sticky-spindle window),
 /// disk 9 dies at 55% (after a burst), and a surviving disk suffers a late
 /// burst that only the retry machinery sees.
-fn storm(horizon_s: f64) -> FaultSchedule {
+pub(crate) fn storm(horizon_s: f64) -> FaultSchedule {
     let at = |f: f64| SimTime::from_secs(horizon_s * f);
     FaultSchedule::new(vec![
         FaultEvent {

@@ -22,6 +22,7 @@
 //! checks (energy conservation, dead-disk serving, migration concurrency,
 //! goal-violation refit, …) and exits non-zero on any failure.
 
+mod bench;
 mod common;
 mod faults;
 mod figures;
@@ -33,7 +34,8 @@ fn usage() -> ! {
     eprintln!(
         "usage: repro [--quick] [--seed N] [--out DIR] [--jobs N] [--horizon-h H] \
          [--telemetry-out PATH] <t1..t6|f1..f12|faults|tables|figures|all>...\n\
-         \x20      repro audit <stream.jsonl>"
+         \x20      repro audit <stream.jsonl>\n\
+         \x20      repro bench [--seed N] [--out DIR] [--iters N] [--reference]"
     );
     std::process::exit(2);
 }
@@ -79,6 +81,8 @@ fn main() {
     let mut jobs = parallel::available_parallelism();
     let mut horizon_h: Option<f64> = None;
     let mut telemetry_out: Option<String> = None;
+    let mut iters = 3usize;
+    let mut reference = false;
     let mut experiments: Vec<String> = Vec::new();
 
     let mut args = std::env::args().skip(1);
@@ -108,6 +112,14 @@ fn main() {
                 )
             }
             "--telemetry-out" => telemetry_out = Some(args.next().unwrap_or_else(|| usage())),
+            "--iters" => {
+                iters = args
+                    .next()
+                    .and_then(|s| s.parse().ok())
+                    .filter(|&n| n >= 1)
+                    .unwrap_or_else(|| usage())
+            }
+            "--reference" => reference = true,
             "--help" | "-h" => usage(),
             e if !e.starts_with('-') => experiments.push(e.to_string()),
             _ => usage(),
@@ -118,6 +130,13 @@ fn main() {
             [_, path] => audit_stream(path),
             _ => usage(),
         }
+    }
+    if experiments.first().map(String::as_str) == Some("bench") {
+        if experiments.len() != 1 {
+            usage();
+        }
+        bench::bench(seed, &out, iters, reference);
+        return;
     }
     if experiments.is_empty() {
         usage();

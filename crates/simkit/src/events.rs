@@ -6,6 +6,13 @@
 //! results must be bit-identical across runs for a given seed, and
 //! `BinaryHeap` alone does not guarantee a stable order among equal keys.
 //!
+//! Internally each entry carries a single `u128` comparison key:
+//! `(time.ordered_bits() << 64) | seq`. For the non-negative finite times
+//! `SimTime` admits, IEEE-754 bit patterns order exactly like the values, so
+//! one integer comparison replaces the float-compare + tie-break pair on
+//! every sift during push/pop. The time is recovered losslessly from the
+//! high 64 bits on `pop`.
+//!
 //! The queue owns its payloads and makes no assumptions about them; the
 //! simulation driver (in the `array` crate) defines the event enum.
 
@@ -13,16 +20,24 @@ use crate::time::SimTime;
 use std::cmp::Ordering;
 use std::collections::BinaryHeap;
 
-/// An entry in the queue: ordered by `(time, seq)` ascending.
+/// An entry in the queue, ordered by the packed `(time, seq)` key ascending.
 struct Entry<E> {
-    time: SimTime,
-    seq: u64,
+    /// `(time.ordered_bits() << 64) | seq` — a single integer comparison
+    /// gives time order with FIFO tie-breaking.
+    key: u128,
     payload: E,
+}
+
+impl<E> Entry<E> {
+    #[inline]
+    fn time(&self) -> SimTime {
+        SimTime::from_ordered_bits((self.key >> 64) as u64)
+    }
 }
 
 impl<E> PartialEq for Entry<E> {
     fn eq(&self, other: &Self) -> bool {
-        self.time == other.time && self.seq == other.seq
+        self.key == other.key
     }
 }
 impl<E> Eq for Entry<E> {}
@@ -34,12 +49,10 @@ impl<E> PartialOrd for Entry<E> {
 }
 
 impl<E> Ord for Entry<E> {
+    #[inline]
     fn cmp(&self, other: &Self) -> Ordering {
-        // BinaryHeap is a max-heap; invert so earliest (time, seq) pops first.
-        other
-            .time
-            .cmp(&self.time)
-            .then_with(|| other.seq.cmp(&self.seq))
+        // BinaryHeap is a max-heap; invert so the smallest key pops first.
+        other.key.cmp(&self.key)
     }
 }
 
@@ -85,17 +98,18 @@ impl<E> EventQueue<E> {
     pub fn push(&mut self, time: SimTime, payload: E) {
         let seq = self.next_seq;
         self.next_seq += 1;
-        self.heap.push(Entry { time, seq, payload });
+        let key = ((time.ordered_bits() as u128) << 64) | seq as u128;
+        self.heap.push(Entry { key, payload });
     }
 
     /// Removes and returns the earliest event, or `None` if empty.
     pub fn pop(&mut self) -> Option<(SimTime, E)> {
-        self.heap.pop().map(|e| (e.time, e.payload))
+        self.heap.pop().map(|e| (e.time(), e.payload))
     }
 
     /// The firing time of the earliest pending event, if any.
     pub fn peek_time(&self) -> Option<SimTime> {
-        self.heap.peek().map(|e| e.time)
+        self.heap.peek().map(|e| e.time())
     }
 
     /// Number of pending events.
@@ -176,5 +190,62 @@ mod tests {
         q.push(SimTime::from_secs(5.0), "b");
         assert_eq!(q.pop().unwrap().1, "b");
         assert_eq!(q.pop().unwrap().1, "c");
+    }
+
+    #[test]
+    fn zero_time_events_stay_fifo() {
+        // SimTime::ZERO packs to key high bits = 0; seq alone must order.
+        let mut q = EventQueue::new();
+        for i in 0..10 {
+            q.push(SimTime::ZERO, i);
+        }
+        let order: Vec<u32> = std::iter::from_fn(|| q.pop().map(|(_, p)| p)).collect();
+        assert_eq!(order, (0..10).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn pop_recovers_exact_times() {
+        let times = [0.0, 1.5e-7, 0.1, 1.0 / 3.0, 7200.0];
+        let mut q = EventQueue::new();
+        for (i, &t) in times.iter().enumerate() {
+            q.push(SimTime::from_secs(t), i);
+        }
+        for &t in &times {
+            let (popped, _) = q.pop().unwrap();
+            assert_eq!(
+                popped,
+                SimTime::from_secs(t),
+                "times must roundtrip exactly"
+            );
+        }
+    }
+
+    /// Regression test: growing past the initial `with_capacity` while
+    /// interleaving pushes and pops must preserve FIFO tie-breaking. The
+    /// sequence counter lives outside the heap storage, so internal
+    /// reallocation must not disturb the order among equal times.
+    #[test]
+    fn with_capacity_realloc_preserves_fifo_ties() {
+        let mut q = EventQueue::with_capacity(4);
+        let early = SimTime::from_secs(1.0);
+        let tied = SimTime::from_secs(2.0);
+
+        // Seed below capacity, pop one, then push far past the initial
+        // capacity so the backing buffer reallocates mid-stream.
+        q.push(early, 1000);
+        q.push(tied, 0);
+        q.push(tied, 1);
+        assert_eq!(q.pop(), Some((early, 1000)));
+        for i in 2..64 {
+            q.push(tied, i);
+        }
+        assert!(q.len() > 4, "test must exceed the initial capacity");
+
+        let order: Vec<u32> = std::iter::from_fn(|| q.pop().map(|(_, p)| p)).collect();
+        assert_eq!(
+            order,
+            (0..64).collect::<Vec<_>>(),
+            "FIFO tie-breaking must survive reallocation"
+        );
     }
 }

@@ -1,0 +1,375 @@
+//! A fast open-addressed map for sequential `u64` ids.
+//!
+//! The simulation hot path keys several maps by monotonically assigned ids
+//! (request ids, parent ids, migration job ids). `std::collections::HashMap`
+//! pays the full SipHash toll on every probe — sound against adversarial
+//! keys, wasted on ids the simulator hands out itself. [`IdMap`] replaces it
+//! with Fibonacci hashing (one multiply) over an open-addressed table with
+//! linear probing and backward-shift deletion.
+//!
+//! Determinism: iteration visits slots in table order, which is a pure
+//! function of the insertion/removal history — no per-process randomness,
+//! unlike `HashMap`'s seeded iteration order. Callers that fold iteration
+//! results into simulation state should still sort where slot order is not
+//! obviously canonical.
+
+/// The golden-ratio multiplier for Fibonacci hashing.
+const FIB: u64 = 0x9E37_79B9_7F4A_7C15;
+
+/// Minimum table size (power of two).
+const MIN_CAP: usize = 8;
+
+/// An open-addressed hash map from `u64` ids to `V`.
+///
+/// Designed for sequentially assigned keys: one multiply for the hash,
+/// linear probing, and load factor capped at 7/8. Not a general-purpose
+/// `HashMap` replacement — there is no protection against adversarial key
+/// distributions.
+///
+/// # Examples
+/// ```
+/// use simkit::IdMap;
+///
+/// let mut m: IdMap<&str> = IdMap::new();
+/// m.insert(7, "seven");
+/// assert_eq!(m.get(7), Some(&"seven"));
+/// assert_eq!(m.remove(7), Some("seven"));
+/// assert!(m.is_empty());
+/// ```
+#[derive(Debug, Clone)]
+pub struct IdMap<V> {
+    slots: Vec<Option<(u64, V)>>,
+    len: usize,
+    mask: usize,
+    shift: u32,
+}
+
+impl<V> IdMap<V> {
+    /// Creates an empty map with the minimum table size.
+    pub fn new() -> Self {
+        Self::with_capacity(0)
+    }
+
+    /// Creates an empty map that can hold `n` entries without growing.
+    pub fn with_capacity(n: usize) -> Self {
+        // Headroom so `n` live entries stay under the 7/8 load cap.
+        let cap = (n + n / 4).next_power_of_two().max(MIN_CAP);
+        IdMap {
+            slots: std::iter::repeat_with(|| None).take(cap).collect(),
+            len: 0,
+            mask: cap - 1,
+            shift: 64 - cap.trailing_zeros(),
+        }
+    }
+
+    /// Number of live entries.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True if the map holds no entries.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    #[inline]
+    fn home(&self, key: u64) -> usize {
+        (key.wrapping_mul(FIB) >> self.shift) as usize
+    }
+
+    /// Slot index holding `key`, if present.
+    #[inline]
+    fn find(&self, key: u64) -> Option<usize> {
+        let mut i = self.home(key);
+        loop {
+            match &self.slots[i] {
+                Some((k, _)) if *k == key => return Some(i),
+                Some(_) => i = (i + 1) & self.mask,
+                None => return None,
+            }
+        }
+    }
+
+    /// Inserts `value` under `key`, returning the previous value if any.
+    pub fn insert(&mut self, key: u64, value: V) -> Option<V> {
+        if (self.len + 1) * 8 > self.slots.len() * 7 {
+            self.grow();
+        }
+        let mut i = self.home(key);
+        loop {
+            match &self.slots[i] {
+                Some((k, _)) if *k == key => {
+                    let old = self.slots[i].replace((key, value));
+                    return old.map(|(_, v)| v);
+                }
+                Some(_) => i = (i + 1) & self.mask,
+                None => {
+                    self.slots[i] = Some((key, value));
+                    self.len += 1;
+                    return None;
+                }
+            }
+        }
+    }
+
+    /// A reference to the value under `key`, if present.
+    pub fn get(&self, key: u64) -> Option<&V> {
+        self.find(key)
+            .and_then(|i| self.slots[i].as_ref().map(|(_, v)| v))
+    }
+
+    /// A mutable reference to the value under `key`, if present.
+    pub fn get_mut(&mut self, key: u64) -> Option<&mut V> {
+        let i = self.find(key)?;
+        self.slots[i].as_mut().map(|(_, v)| v)
+    }
+
+    /// True if `key` is present.
+    pub fn contains_key(&self, key: u64) -> bool {
+        self.find(key).is_some()
+    }
+
+    /// A mutable reference to the value under `key`, inserting
+    /// `default()` first if absent.
+    pub fn get_or_insert_with(&mut self, key: u64, default: impl FnOnce() -> V) -> &mut V {
+        if self.find(key).is_none() {
+            self.insert(key, default());
+        }
+        let i = self.find(key).expect("key just inserted");
+        self.slots[i]
+            .as_mut()
+            .map(|(_, v)| v)
+            .expect("slot is live")
+    }
+
+    /// Removes and returns the value under `key`, if present.
+    ///
+    /// Uses backward-shift deletion: trailing entries of the probe chain
+    /// slide into the hole, so no tombstones accumulate and probe lengths
+    /// stay short even under heavy insert/remove churn (the common pattern
+    /// for in-flight request tracking).
+    pub fn remove(&mut self, key: u64) -> Option<V> {
+        let mut hole = self.find(key)?;
+        let (_, value) = self.slots[hole].take().expect("found slot is live");
+        self.len -= 1;
+        let mut j = (hole + 1) & self.mask;
+        while let Some((k, _)) = &self.slots[j] {
+            // Entry at j may move into the hole only if its home position is
+            // at least as far (cyclically) behind j as the hole is.
+            let dist_home = j.wrapping_sub(self.home(*k)) & self.mask;
+            let dist_hole = j.wrapping_sub(hole) & self.mask;
+            if dist_home >= dist_hole {
+                self.slots[hole] = self.slots[j].take();
+                hole = j;
+            }
+            j = (j + 1) & self.mask;
+        }
+        Some(value)
+    }
+
+    /// Removes all entries, keeping the table allocation.
+    pub fn clear(&mut self) {
+        for s in &mut self.slots {
+            *s = None;
+        }
+        self.len = 0;
+    }
+
+    /// Iterates `(key, &value)` pairs in table (slot) order.
+    ///
+    /// Slot order is deterministic for a given insertion/removal history but
+    /// is not sorted; sort the results when folding into simulation state.
+    pub fn iter(&self) -> impl Iterator<Item = (u64, &V)> {
+        self.slots
+            .iter()
+            .filter_map(|s| s.as_ref().map(|(k, v)| (*k, v)))
+    }
+
+    /// Iterates values in table (slot) order.
+    pub fn values(&self) -> impl Iterator<Item = &V> {
+        self.slots.iter().filter_map(|s| s.as_ref().map(|(_, v)| v))
+    }
+
+    /// Iterates values mutably in table (slot) order.
+    pub fn values_mut(&mut self) -> impl Iterator<Item = &mut V> {
+        self.slots
+            .iter_mut()
+            .filter_map(|s| s.as_mut().map(|(_, v)| v))
+    }
+
+    /// Doubles the table and rehashes every live entry.
+    fn grow(&mut self) {
+        let new_cap = self.slots.len() * 2;
+        let old = std::mem::replace(
+            &mut self.slots,
+            std::iter::repeat_with(|| None).take(new_cap).collect(),
+        );
+        self.mask = new_cap - 1;
+        self.shift = 64 - new_cap.trailing_zeros();
+        for (k, v) in old.into_iter().flatten() {
+            // Direct probe: all keys are distinct, no growth can recurse.
+            let mut i = self.home(k);
+            while self.slots[i].is_some() {
+                i = (i + 1) & self.mask;
+            }
+            self.slots[i] = Some((k, v));
+        }
+    }
+}
+
+impl<V> Default for IdMap<V> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn insert_get_remove_roundtrip() {
+        let mut m = IdMap::new();
+        assert!(m.is_empty());
+        for i in 0..100u64 {
+            assert_eq!(m.insert(i, i * 10), None);
+        }
+        assert_eq!(m.len(), 100);
+        for i in 0..100u64 {
+            assert_eq!(m.get(i), Some(&(i * 10)));
+            assert!(m.contains_key(i));
+        }
+        for i in 0..100u64 {
+            assert_eq!(m.remove(i), Some(i * 10));
+            assert_eq!(m.remove(i), None);
+        }
+        assert!(m.is_empty());
+    }
+
+    #[test]
+    fn insert_replaces_and_returns_old() {
+        let mut m = IdMap::new();
+        assert_eq!(m.insert(5, "a"), None);
+        assert_eq!(m.insert(5, "b"), Some("a"));
+        assert_eq!(m.len(), 1);
+        assert_eq!(m.get(5), Some(&"b"));
+    }
+
+    #[test]
+    fn get_mut_updates_in_place() {
+        let mut m = IdMap::new();
+        m.insert(1, 10);
+        *m.get_mut(1).unwrap() += 5;
+        assert_eq!(m.get(1), Some(&15));
+        assert_eq!(m.get_mut(2), None);
+    }
+
+    #[test]
+    fn get_or_insert_with_inserts_once() {
+        let mut m = IdMap::new();
+        *m.get_or_insert_with(9, || 0) += 1;
+        *m.get_or_insert_with(9, || 100) += 1;
+        assert_eq!(m.get(9), Some(&2));
+        assert_eq!(m.len(), 1);
+    }
+
+    #[test]
+    fn churn_survives_backward_shift() {
+        // Heavy insert/remove with the sequential-id pattern the simulator
+        // uses; every remaining key must stay findable through deletions.
+        let mut m = IdMap::new();
+        let mut next = 0u64;
+        let mut live = std::collections::BTreeSet::new();
+        for round in 0..50 {
+            for _ in 0..20 {
+                m.insert(next, next * 3);
+                live.insert(next);
+                next += 1;
+            }
+            // Remove a deterministic scattering of live keys.
+            let victims: Vec<u64> = live
+                .iter()
+                .copied()
+                .filter(|k| k % 3 == round % 3)
+                .collect();
+            for k in victims {
+                assert_eq!(m.remove(k), Some(k * 3));
+                live.remove(&k);
+            }
+            assert_eq!(m.len(), live.len());
+            for &k in &live {
+                assert_eq!(m.get(k), Some(&(k * 3)), "key {k} lost after churn");
+            }
+        }
+    }
+
+    #[test]
+    fn with_capacity_avoids_growth() {
+        let mut m = IdMap::with_capacity(100);
+        let cap = m.slots.len();
+        for i in 0..100u64 {
+            m.insert(i, ());
+        }
+        assert_eq!(m.slots.len(), cap, "pre-sized map must not grow");
+    }
+
+    #[test]
+    fn iter_visits_all_entries() {
+        let mut m = IdMap::new();
+        for i in 0..20u64 {
+            m.insert(i, i as i32);
+        }
+        let mut pairs: Vec<(u64, i32)> = m.iter().map(|(k, v)| (k, *v)).collect();
+        pairs.sort_unstable();
+        assert_eq!(pairs, (0..20).map(|i| (i as u64, i)).collect::<Vec<_>>());
+        let sum: i32 = m.values().sum();
+        assert_eq!(sum, (0..20).sum());
+        for v in m.values_mut() {
+            *v = -*v;
+        }
+        let sum: i32 = m.values().sum();
+        assert_eq!(sum, -(0..20).sum::<i32>());
+    }
+
+    #[test]
+    fn iteration_order_is_reproducible() {
+        let build = || {
+            let mut m = IdMap::new();
+            for i in 0..64u64 {
+                m.insert(i * 7, i);
+            }
+            for i in 0..16u64 {
+                m.remove(i * 14);
+            }
+            m.iter().map(|(k, _)| k).collect::<Vec<_>>()
+        };
+        assert_eq!(build(), build(), "slot order must be deterministic");
+    }
+
+    #[test]
+    fn clear_retains_capacity() {
+        let mut m = IdMap::with_capacity(64);
+        for i in 0..64u64 {
+            m.insert(i, i);
+        }
+        let cap = m.slots.len();
+        m.clear();
+        assert!(m.is_empty());
+        assert_eq!(m.slots.len(), cap);
+        m.insert(3, 3);
+        assert_eq!(m.get(3), Some(&3));
+    }
+
+    #[test]
+    fn sparse_high_keys_work() {
+        // Migration request ids start at 1 << 63; the hash must spread them.
+        let mut m = IdMap::new();
+        let base = 1u64 << 63;
+        for i in 0..200u64 {
+            m.insert(base + i, i);
+        }
+        for i in 0..200u64 {
+            assert_eq!(m.get(base + i), Some(&i));
+        }
+    }
+}

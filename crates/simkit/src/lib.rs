@@ -7,6 +7,8 @@
 //!   simulated timeline in seconds.
 //! * **Events** — [`EventQueue`], a deterministic priority queue with FIFO
 //!   tie-breaking so simulations replay bit-identically.
+//! * **Id maps** — [`IdMap`], a one-multiply open-addressed map for the
+//!   sequential ids the simulator assigns on its hot path.
 //! * **Randomness** — [`DetRng`], labelled deterministic random streams
 //!   derived from one experiment seed.
 //! * **Statistics** — [`Moments`], [`LatencyHistogram`], [`FixedHistogram`],
@@ -22,6 +24,7 @@
 
 mod energy;
 mod events;
+mod idmap;
 mod rng;
 mod series;
 mod stats;
@@ -29,6 +32,7 @@ mod time;
 
 pub use energy::{EnergyComponent, EnergyLedger};
 pub use events::EventQueue;
+pub use idmap::IdMap;
 pub use rng::DetRng;
 pub use series::{SeriesBucket, TimeSeries};
 pub use stats::{

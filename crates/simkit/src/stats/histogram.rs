@@ -7,7 +7,6 @@
 //! constant *relative* error bound on percentile queries (≤ `growth − 1`)
 //! with a few hundred buckets.
 
-
 /// A geometric-bucket histogram over positive values.
 ///
 /// # Examples

@@ -5,7 +5,6 @@
 //! the M/G/1 response-time predictor in the `hibernator` crate needs
 //! (`R = E[S] + λ·E[S²] / (2(1 − ρ))`).
 
-
 /// Online mean / variance / min / max / raw second moment.
 ///
 /// # Examples

@@ -53,6 +53,33 @@ impl SimTime {
         self.0
     }
 
+    /// An order-preserving 64-bit encoding of this time: for the
+    /// non-negative finite values the constructor admits, IEEE-754 bit
+    /// patterns compare (as unsigned integers) exactly like the values
+    /// themselves. `-0.0` passes the `>= 0.0` constructor check but has a
+    /// different bit pattern from `+0.0`, so it is normalised here.
+    ///
+    /// [`EventQueue`](crate::EventQueue) packs this into its comparison
+    /// key; [`SimTime::from_ordered_bits`] is the exact inverse.
+    #[inline]
+    pub fn ordered_bits(self) -> u64 {
+        if self.0 == 0.0 {
+            0
+        } else {
+            self.0.to_bits()
+        }
+    }
+
+    /// Reconstructs a time from [`SimTime::ordered_bits`]. Exact: the bits
+    /// are the IEEE-754 representation, so no precision is lost.
+    ///
+    /// # Panics
+    /// Panics if `bits` does not encode a valid (non-negative, finite) time.
+    #[inline]
+    pub fn from_ordered_bits(bits: u64) -> SimTime {
+        SimTime::from_secs(f64::from_bits(bits))
+    }
+
     /// Hours since simulation start.
     #[inline]
     pub fn as_hours(self) -> f64 {
@@ -318,9 +345,11 @@ mod tests {
 
     #[test]
     fn ordering_is_total_for_valid_values() {
-        let mut v = [SimTime::from_secs(3.0),
+        let mut v = [
+            SimTime::from_secs(3.0),
             SimTime::ZERO,
-            SimTime::from_secs(1.0)];
+            SimTime::from_secs(1.0),
+        ];
         v.sort();
         assert_eq!(v[0], SimTime::ZERO);
         assert_eq!(v[2].as_secs(), 3.0);
@@ -356,6 +385,27 @@ mod tests {
         assert_eq!((d * 3.0).as_secs(), 6.0);
         assert_eq!((d / 4.0).as_secs(), 0.5);
         assert_eq!(d / SimDuration::from_secs(0.5), 4.0);
+    }
+
+    #[test]
+    fn ordered_bits_roundtrip_and_order() {
+        let times = [0.0, 1e-9, 0.5, 1.0, 3600.0, 1e12];
+        for w in times.windows(2) {
+            let a = SimTime::from_secs(w[0]);
+            let b = SimTime::from_secs(w[1]);
+            assert!(a.ordered_bits() < b.ordered_bits());
+            assert_eq!(SimTime::from_ordered_bits(a.ordered_bits()), a);
+            assert_eq!(SimTime::from_ordered_bits(b.ordered_bits()), b);
+        }
+    }
+
+    #[test]
+    fn ordered_bits_normalises_negative_zero() {
+        // -0.0 satisfies the `>= 0.0` constructor check but has the sign bit
+        // set; the encoding must map it to the same key as +0.0.
+        let neg_zero = SimTime::from_secs(-0.0);
+        assert_eq!(neg_zero.ordered_bits(), 0);
+        assert_eq!(neg_zero.ordered_bits(), SimTime::ZERO.ordered_bits());
     }
 
     #[test]

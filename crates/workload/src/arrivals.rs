@@ -71,7 +71,10 @@ impl Mmpp2 {
     /// Panics if any parameter is non-positive, or if the burst rate does
     /// not exceed the quiet rate (the states would be indistinguishable).
     pub fn new(rate_quiet: f64, rate_burst: f64, mean_quiet_s: f64, mean_burst_s: f64) -> Self {
-        assert!(rate_quiet > 0.0 && rate_burst > 0.0, "rates must be positive");
+        assert!(
+            rate_quiet > 0.0 && rate_burst > 0.0,
+            "rates must be positive"
+        );
         assert!(rate_burst > rate_quiet, "burst rate must exceed quiet rate");
         assert!(
             mean_quiet_s > 0.0 && mean_burst_s > 0.0,

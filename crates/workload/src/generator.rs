@@ -238,7 +238,12 @@ impl WorkloadSpec {
         };
 
         // 2. Addresses, sizes, kinds.
-        let zipf = ZipfExtents::new(&mut pop_rng, self.extents, self.extent_sectors, self.zipf_theta);
+        let zipf = ZipfExtents::new(
+            &mut pop_rng,
+            self.extents,
+            self.extent_sectors,
+            self.zipf_theta,
+        );
         let mut seq = SequentialRuns::new(self.sequential_fraction, zipf.footprint_sectors());
         let mut requests = Vec::with_capacity(times.len());
         for t in times {

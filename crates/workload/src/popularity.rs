@@ -100,8 +100,7 @@ impl ZipfExtents {
     /// of the data").
     pub fn access_share_of_hottest(&self, fraction: f64) -> f64 {
         assert!((0.0..=1.0).contains(&fraction), "bad fraction");
-        let k = ((self.extents() as f64 * fraction).round() as usize)
-            .clamp(0, self.cdf.len());
+        let k = ((self.extents() as f64 * fraction).round() as usize).clamp(0, self.cdf.len());
         if k == 0 {
             0.0
         } else {
@@ -225,7 +224,9 @@ mod tests {
         let build = || {
             let mut r = DetRng::new(7, "det");
             let z = ZipfExtents::new(&mut r, 64, 1024, 1.0);
-            (0..32).map(|_| z.sample_sector(&mut r, 8)).collect::<Vec<_>>()
+            (0..32)
+                .map(|_| z.sample_sector(&mut r, 8))
+                .collect::<Vec<_>>()
         };
         assert_eq!(build(), build());
     }

@@ -82,13 +82,20 @@ impl Trace {
 
     /// The arrival time of the last request, or zero for an empty trace.
     pub fn end_time(&self) -> SimTime {
-        self.requests.last().map(|r| r.time).unwrap_or(SimTime::ZERO)
+        self.requests
+            .last()
+            .map(|r| r.time)
+            .unwrap_or(SimTime::ZERO)
     }
 
     /// The highest sector touched plus one (the minimum volume size that
     /// can host this trace), or 0 for an empty trace.
     pub fn max_sector(&self) -> u64 {
-        self.requests.iter().map(|r| r.end_sector()).max().unwrap_or(0)
+        self.requests
+            .iter()
+            .map(|r| r.end_sector())
+            .max()
+            .unwrap_or(0)
     }
 
     /// Verifies the time-ordering invariant.

@@ -49,7 +49,14 @@ pub fn write_csv<W: Write>(trace: &Trace, mut w: W) -> Result<(), TraceIoError> 
             VolumeIoKind::Read => 'R',
             VolumeIoKind::Write => 'W',
         };
-        writeln!(w, "{:.9},{},{},{}", r.time.as_secs(), r.sector, r.sectors, k)?;
+        writeln!(
+            w,
+            "{:.9},{},{},{}",
+            r.time.as_secs(),
+            r.sector,
+            r.sectors,
+            k
+        )?;
     }
     Ok(())
 }

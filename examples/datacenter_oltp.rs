@@ -25,7 +25,11 @@ fn scenario() -> (ArrayConfig, workload::Trace, RunOptions) {
 }
 
 fn show(name: &str, r: &RunReport, base: &RunReport, goal_s: f64) {
-    let flag = if r.response.mean() <= goal_s { "meets" } else { "BLOWS" };
+    let flag = if r.response.mean() <= goal_s {
+        "meets"
+    } else {
+        "BLOWS"
+    };
     println!(
         "{name:>12}: {:7.0} kJ ({:+5.1}%)   mean {:6.2} ms   p95 {:6.2} ms   {flag} goal",
         r.energy_kj(),
@@ -46,7 +50,12 @@ fn main() {
     let goal = base.response.mean() * 1.3;
     show("Base", &base, &base, goal);
 
-    let tpm = run_policy(config.clone(), TpmPolicy::competitive(), &trace, opts.clone());
+    let tpm = run_policy(
+        config.clone(),
+        TpmPolicy::competitive(),
+        &trace,
+        opts.clone(),
+    );
     show("TPM", &tpm, &base, goal);
 
     let drpm = run_policy(config.clone(), DrpmPolicy::default(), &trace, opts.clone());

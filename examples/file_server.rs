@@ -22,7 +22,10 @@ fn main() {
     opts.series_bucket = SimDuration::from_mins(30.0);
     opts.sample_interval = opts.series_bucket;
 
-    println!("simulating 24 h of file-server traffic ({} requests)…", trace.len());
+    println!(
+        "simulating 24 h of file-server traffic ({} requests)…",
+        trace.len()
+    );
     let base = run_policy(config.clone(), BasePolicy, &trace, opts.clone());
     let goal = base.response.mean() * 1.3;
     let hib = run_policy(
@@ -45,17 +48,16 @@ fn main() {
 
     // Tier occupancy through the day: one row per 2 hours.
     let levels = hib.level_series.len() - 2;
-    println!("hour   power(W)   disks per level (L0=slowest .. L{})", levels - 1);
+    println!(
+        "hour   power(W)   disks per level (L0=slowest .. L{})",
+        levels - 1
+    );
     let power = hib.power_series.mean_points();
     for (i, (t, w)) in power.iter().enumerate().step_by(4) {
         let hour = t / 3600.0;
         let mut lv = String::new();
         for series in hib.level_series.iter().take(levels) {
-            let v = series
-                .mean_points()
-                .get(i)
-                .map(|p| p.1)
-                .unwrap_or(0.0);
+            let v = series.mean_points().get(i).map(|p| p.1).unwrap_or(0.0);
             lv.push_str(&format!("{v:4.0}"));
         }
         println!("{hour:4.1}   {w:8.0}  {lv}");

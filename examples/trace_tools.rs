@@ -33,7 +33,11 @@ fn main() {
     let jsonl_path = dir.join("oltp.jsonl");
     write_csv(&trace, std::fs::File::create(&csv_path).expect("create")).expect("write csv");
     write_jsonl(&trace, std::fs::File::create(&jsonl_path).expect("create")).expect("write jsonl");
-    println!("\nwrote {} and {}", csv_path.display(), jsonl_path.display());
+    println!(
+        "\nwrote {} and {}",
+        csv_path.display(),
+        jsonl_path.display()
+    );
 
     // Reload and verify.
     let back = read_csv(std::fs::File::open(&csv_path).expect("open")).expect("parse csv");

@@ -61,10 +61,27 @@ fn every_policy_completes_the_workload() {
     let (config, trace, opts, base) = base_run();
     let goal = base.response.mean() * 1.5;
     for (name, report) in [
-        ("tpm", run_policy(config.clone(), TpmPolicy::competitive(), &trace, opts.clone())),
-        ("drpm", run_policy(config.clone(), DrpmPolicy::default(), &trace, opts.clone())),
-        ("hib", run_policy(config.clone(), hibernator(goal), &trace, opts.clone())),
-        ("slow", run_policy(config, FixedSpeed::new(SpeedLevel(0)), &trace, opts)),
+        (
+            "tpm",
+            run_policy(
+                config.clone(),
+                TpmPolicy::competitive(),
+                &trace,
+                opts.clone(),
+            ),
+        ),
+        (
+            "drpm",
+            run_policy(config.clone(), DrpmPolicy::default(), &trace, opts.clone()),
+        ),
+        (
+            "hib",
+            run_policy(config.clone(), hibernator(goal), &trace, opts.clone()),
+        ),
+        (
+            "slow",
+            run_policy(config, FixedSpeed::new(SpeedLevel(0)), &trace, opts),
+        ),
     ] {
         assert_eq!(
             report.completed + report.incomplete,

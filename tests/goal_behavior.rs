@@ -49,7 +49,10 @@ fn looser_goals_unlock_more_savings() {
         s_loose > s_tight + 0.05,
         "loose {s_loose} should comfortably beat tight {s_tight}"
     );
-    assert!(s_loose > 0.25, "a 3x goal should unlock deep savings: {s_loose}");
+    assert!(
+        s_loose > 0.25,
+        "a 3x goal should unlock deep savings: {s_loose}"
+    );
 }
 
 #[test]

@@ -3,7 +3,10 @@
 //! this implementation.
 
 use array::{run_policy, ArrayConfig, BasePolicy, RunOptions};
-use policies::{maid_array_config, DrpmConfig, DrpmPolicy, MaidConfig, MaidPolicy, PdcConfig, PdcPolicy, TpmPolicy};
+use policies::{
+    maid_array_config, DrpmConfig, DrpmPolicy, MaidConfig, MaidPolicy, PdcConfig, PdcPolicy,
+    TpmPolicy,
+};
 use simkit::{SimDuration, SimTime};
 use workload::{Trace, VolumeIoKind, VolumeRequest, WorkloadSpec};
 
@@ -56,7 +59,11 @@ fn tpm_thrashes_on_adversarial_gaps() {
         savings < 0.45,
         "adversarial gaps should erode TPM savings: {savings}"
     );
-    assert!(tpm.transitions >= 60, "expected thrash: {}", tpm.transitions);
+    assert!(
+        tpm.transitions >= 60,
+        "expected thrash: {}",
+        tpm.transitions
+    );
 }
 
 /// DRPM's valve: with a *tight* degradation factor it must hold response

@@ -1,0 +1,235 @@
+//! Property: the incremental (dirty-disk) wake resync is observationally
+//! identical to the reference full-scan resync. For randomized event
+//! sequences — varied workloads, seeds, policies (including one that
+//! churns spindle speeds from the per-event hooks), redundancy, and fault
+//! schedules — running the same scenario with
+//! [`RunOptions::reference_full_resync`] on and off must produce
+//! bit-identical [`RunReport`] numerics AND byte-identical telemetry
+//! streams.
+//!
+//! The full scan pushes a wake event only for disks whose next event time
+//! moved; the incremental path visits exactly the disks handlers marked
+//! (a superset of the changed ones) in the same ascending order — so the
+//! push sequences, sequence numbers, and everything downstream agree.
+
+use array::{run_policy, ArrayConfig, ArrayState, PowerPolicy, Redundancy, RunOptions, RunReport};
+use diskmodel::{Completion, SpeedLevel, SpinTarget};
+use faults::{FaultConfig, FaultEvent, FaultKind, FaultPlan, FaultSchedule};
+use hibernator::{Hibernator, HibernatorConfig};
+use policies::TpmPolicy;
+use simkit::{SimDuration, SimTime};
+use workload::{VolumeRequest, WorkloadSpec};
+
+/// A policy that changes spindle speeds from the *per-event* hooks (the
+/// paths the conservative `mark_all` after tick/init does not cover), via
+/// the mandatory [`ArrayState::request_speed`] wrapper. Deterministic:
+/// driven by event counters, not time or randomness.
+#[derive(Default)]
+struct ChurnSpeed {
+    arrivals: u64,
+    completions: u64,
+}
+
+impl PowerPolicy for ChurnSpeed {
+    fn name(&self) -> &str {
+        "ChurnSpeed"
+    }
+
+    fn on_volume_arrival(
+        &mut self,
+        now: SimTime,
+        _req: &VolumeRequest,
+        _chunks: &[array::ChunkId],
+        state: &mut ArrayState,
+    ) {
+        self.arrivals += 1;
+        if self.arrivals.is_multiple_of(13) {
+            let d = (self.arrivals / 13) as usize % state.disks.len();
+            if !state.disks[d].has_failed() {
+                state.request_speed(now, d, SpinTarget::Level(SpeedLevel(0)));
+            }
+        }
+    }
+
+    fn on_completion(
+        &mut self,
+        now: SimTime,
+        _comp: &Completion,
+        _volume_response_s: Option<f64>,
+        state: &mut ArrayState,
+    ) {
+        self.completions += 1;
+        if self.completions.is_multiple_of(17) {
+            let d = (self.completions / 17) as usize % state.disks.len();
+            let top = state.config.spec.top_level();
+            if !state.disks[d].has_failed() {
+                state.request_speed(now, d, SpinTarget::Level(top));
+            }
+        } else if self.completions.is_multiple_of(29) {
+            let d = (self.completions / 29) as usize % state.disks.len();
+            if !state.disks[d].has_failed() {
+                state.request_speed(now, d, SpinTarget::Standby);
+            }
+        }
+    }
+}
+
+/// Scripted faults exercising every fault-handler marking path.
+fn fault_plan(horizon_s: f64) -> FaultPlan {
+    let at = |f: f64| SimTime::from_secs(horizon_s * f);
+    FaultPlan {
+        schedule: FaultSchedule::new(vec![
+            FaultEvent {
+                time: at(0.2),
+                disk: 1,
+                kind: FaultKind::SlowTransition {
+                    factor: 3.0,
+                    duration_s: horizon_s * 0.1,
+                },
+            },
+            FaultEvent {
+                time: at(0.3),
+                disk: 2,
+                kind: FaultKind::TransientBurst {
+                    error_prob: 0.2,
+                    duration_s: horizon_s * 0.05,
+                },
+            },
+            FaultEvent {
+                time: at(0.45),
+                disk: 2,
+                kind: FaultKind::DiskFailure,
+            },
+        ]),
+        config: FaultConfig::default(),
+    }
+}
+
+/// Everything numeric a run reports, bit-exact.
+fn fingerprint(r: &RunReport) -> Vec<u64> {
+    vec![
+        r.completed,
+        r.incomplete,
+        r.events_processed,
+        r.transitions,
+        r.energy.total_joules().to_bits(),
+        r.response.mean().to_bits(),
+        r.response.raw_second_moment().to_bits(),
+        r.service.mean().to_bits(),
+        r.fg_sectors,
+        r.migration.committed,
+        r.migration.aborted,
+        r.migration.rebuilt,
+        r.faults.lost_requests,
+        r.faults.degraded_redirects,
+        r.faults.rebuild_chunks,
+    ]
+}
+
+/// Runs `mk_policy()` twice over the same scenario — incremental vs
+/// reference resync — with telemetry capture on, and asserts reports and
+/// streams agree exactly.
+fn assert_equivalent<P: PowerPolicy + Send>(
+    label: &str,
+    config: ArrayConfig,
+    trace: &workload::Trace,
+    mut opts: RunOptions,
+    mk_policy: impl Fn() -> P,
+) {
+    opts.telemetry = Some(telemetry::TelemetryConfig::new(label).with_goal(0.05, 60.0));
+    let mut dirty_opts = opts.clone();
+    dirty_opts.reference_full_resync = false;
+    let mut full_opts = opts;
+    full_opts.reference_full_resync = true;
+
+    let mut dirty = run_policy(config.clone(), mk_policy(), trace, dirty_opts);
+    let mut full = run_policy(config, mk_policy(), trace, full_opts);
+
+    assert_eq!(
+        fingerprint(&dirty),
+        fingerprint(&full),
+        "{label}: dirty-disk resync diverged from full scan"
+    );
+    let ds = dirty.telemetry.take().expect("dirty stream");
+    let fs = full.telemetry.take().expect("full stream");
+    assert_eq!(
+        ds.bytes, fs.bytes,
+        "{label}: telemetry streams differ between resync modes"
+    );
+}
+
+fn small_config(seed: u64, disks: usize) -> ArrayConfig {
+    let mut config = ArrayConfig::default_for_volume(1 << 30);
+    config.disks = disks;
+    config.seed = seed;
+    config
+}
+
+#[test]
+fn base_and_churn_policies_match_reference() {
+    for seed in [11u64, 12, 13] {
+        let mut spec = WorkloadSpec::oltp(600.0, 30.0);
+        spec.extents = 1024;
+        let trace = spec.generate(seed);
+        let config = small_config(seed, 4);
+        let opts = RunOptions::for_horizon(600.0);
+        assert_equivalent(
+            &format!("base-{seed}"),
+            config.clone(),
+            &trace,
+            opts.clone(),
+            || array::BasePolicy,
+        );
+        assert_equivalent(&format!("churn-{seed}"), config, &trace, opts, || {
+            ChurnSpeed::default()
+        });
+    }
+}
+
+#[test]
+fn managed_policies_match_reference() {
+    for (seed, disks) in [(21u64, 4), (22, 6)] {
+        let spec = WorkloadSpec::cello_like(900.0, 25.0);
+        let trace = spec.generate(seed);
+        let mut config = ArrayConfig::default_for_volume(spec.footprint_sectors() * 512);
+        config.disks = disks;
+        config.seed = seed;
+        let opts = RunOptions::for_horizon(900.0);
+        assert_equivalent(
+            &format!("tpm-{seed}"),
+            config.clone(),
+            &trace,
+            opts.clone(),
+            TpmPolicy::competitive,
+        );
+        assert_equivalent(&format!("hib-{seed}"), config, &trace, opts, || {
+            let mut cfg = HibernatorConfig::for_goal(0.015);
+            cfg.epoch = SimDuration::from_secs(180.0);
+            cfg.heat_tau = SimDuration::from_secs(180.0);
+            Hibernator::new(cfg)
+        });
+    }
+}
+
+#[test]
+fn faulted_raid5_runs_match_reference() {
+    for seed in [31u64, 32] {
+        let mut spec = WorkloadSpec::oltp(900.0, 40.0);
+        spec.extents = 1024;
+        let trace = spec.generate(seed);
+        let mut config = small_config(seed, 6);
+        config.redundancy = Redundancy::Raid5Like;
+        let mut opts = RunOptions::for_horizon(900.0);
+        opts.faults = Some(fault_plan(900.0));
+        assert_equivalent(
+            &format!("fault-churn-{seed}"),
+            config.clone(),
+            &trace,
+            opts.clone(),
+            ChurnSpeed::default,
+        );
+        assert_equivalent(&format!("fault-tpm-{seed}"), config, &trace, opts, || {
+            TpmPolicy::with_threshold(120.0)
+        });
+    }
+}

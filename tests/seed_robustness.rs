@@ -38,7 +38,12 @@ fn orderings_hold_across_seeds() {
         let goal = base.response.mean() * 1.6;
 
         let hib = run_policy(config.clone(), hib(goal), &trace, opts.clone());
-        let tpm = run_policy(config.clone(), TpmPolicy::competitive(), &trace, opts.clone());
+        let tpm = run_policy(
+            config.clone(),
+            TpmPolicy::competitive(),
+            &trace,
+            opts.clone(),
+        );
         let drpm = run_policy(config, DrpmPolicy::default(), &trace, opts);
 
         // Hibernator saves meaningfully at a 1.6x goal…
@@ -77,8 +82,7 @@ fn orderings_hold_across_seeds() {
         // And nobody loses requests.
         for (name, r) in [("hib", &hib), ("tpm", &tpm), ("drpm", &drpm)] {
             assert!(
-                r.completed + r.incomplete == base.completed + base.incomplete
-                    && r.incomplete <= 5,
+                r.completed + r.incomplete == base.completed + base.incomplete && r.incomplete <= 5,
                 "seed {seed}: {name} lost work"
             );
         }
