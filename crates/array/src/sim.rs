@@ -63,6 +63,11 @@ pub struct RunOptions {
     /// Structured-telemetry capture. `None` (the default) records nothing
     /// and costs one `Option` check per emission site.
     pub telemetry: Option<telemetry::TelemetryConfig>,
+    /// Controller DRAM cache in front of the spindles. `None` (the
+    /// default) — and a config with `capacity_chunks == 0` — run the
+    /// request path untouched, bit-identically to the pre-cache
+    /// simulator.
+    pub cache: Option<cache::CacheConfig>,
     /// Use the pre-optimisation full-scan wake resync instead of
     /// dirty-disk tracking. The two paths must produce bit-identical
     /// results; this flag exists as the reference for equivalence tests
@@ -82,6 +87,7 @@ impl RunOptions {
             migration_inflight: 2,
             faults: None,
             telemetry: None,
+            cache: None,
             reference_full_resync: false,
         }
     }
@@ -136,6 +142,8 @@ pub struct RunReport {
     /// Events the driver processed (arrivals, wakes, ticks, samples,
     /// faults, retries) — the denominator for events/sec throughput.
     pub events_processed: u64,
+    /// What the controller DRAM cache did (`None` when it was disabled).
+    pub cache: Option<cache::CacheStats>,
     /// The serialized telemetry stream, when capture was enabled.
     pub telemetry: Option<telemetry::RunStream>,
 }
@@ -163,6 +171,9 @@ enum Event {
     DiskWake(usize, u64),
     Tick,
     Sample,
+    /// Periodic write-back destage of the controller DRAM cache (only
+    /// scheduled when the cache is enabled).
+    Flush,
     /// The next scripted fault is due.
     Fault,
     /// Re-submit a foreground request that failed transiently.
@@ -197,6 +208,14 @@ pub struct Simulation<'a, P: PowerPolicy> {
     /// Reusable split buffer for [`Self::route_volume_request`]; cleared
     /// per request, so routing allocates nothing once warm.
     piece_scratch: Vec<(ChunkId, u64, u32)>,
+    /// Controller DRAM cache; `None` when disabled (including capacity 0),
+    /// so the request path stays exactly the pre-cache code.
+    dram: Option<cache::DramCache>,
+    cache_stats: cache::CacheStats,
+    /// Reusable buffer for the dirty set drained by a flush batch.
+    flush_scratch: Vec<u32>,
+    /// Reusable buffer for dirty chunks evicted by cache insertions.
+    victim_scratch: Vec<u32>,
     injector: Option<FaultInjector>,
     outcome: FaultOutcome,
     /// Transient-retry attempts per foreground request id.
@@ -253,6 +272,11 @@ impl<'a, P: PowerPolicy> Simulation<'a, P> {
         // and the in-flight maps hold only queued work — capped so a huge
         // trace does not balloon the warm-up allocation.
         let inflight_hint = (trace.len() / 8).clamp(64, 4096);
+        let dram = opts
+            .cache
+            .clone()
+            .filter(cache::CacheConfig::is_enabled)
+            .map(cache::DramCache::new);
         Simulation {
             state: ArrayState {
                 config,
@@ -276,6 +300,10 @@ impl<'a, P: PowerPolicy> Simulation<'a, P> {
             last_sample_energy: 0.0,
             chunk_scratch: Vec::new(),
             piece_scratch: Vec::new(),
+            dram,
+            cache_stats: cache::CacheStats::default(),
+            flush_scratch: Vec::new(),
+            victim_scratch: Vec::new(),
             injector,
             outcome: FaultOutcome::default(),
             retries: IdMap::new(),
@@ -327,6 +355,10 @@ impl<'a, P: PowerPolicy> Simulation<'a, P> {
         }
         self.events
             .push(t0 + self.opts.sample_interval, Event::Sample);
+        if let Some(dram) = &self.dram {
+            let int = SimDuration::from_secs(dram.config().flush_interval_s);
+            self.events.push(t0 + int, Event::Flush);
+        }
         if let Some(t) = self.injector.as_ref().and_then(|i| i.next_event_time()) {
             self.events.push(t.max(t0), Event::Fault);
         }
@@ -353,6 +385,15 @@ impl<'a, P: PowerPolicy> Simulation<'a, P> {
                     self.take_sample(now);
                     self.events
                         .push(now + self.opts.sample_interval, Event::Sample);
+                }
+                Event::Flush => {
+                    self.flush_writeback(now, false);
+                    if let Some(dram) = &self.dram {
+                        let int = SimDuration::from_secs(dram.config().flush_interval_s);
+                        self.events.push(now + int, Event::Flush);
+                    }
+                    self.pump_migration(now);
+                    self.resync(now);
                 }
                 Event::Fault => self.handle_fault_due(now),
                 Event::Retry { disk, req } => self.handle_retry(now, disk, req),
@@ -391,6 +432,13 @@ impl<'a, P: PowerPolicy> Simulation<'a, P> {
             self.piece_scratch.push((chunk, off, take as u32));
             sector += take;
             left -= take;
+        }
+
+        // Controller DRAM layer: full read hits and writes are served
+        // here without touching a spindle; a partial read hit filters
+        // `piece_scratch` down to the missing pieces before routing.
+        if self.dram.is_some() && self.try_dram_absorb(now, req) {
+            return;
         }
 
         self.chunk_scratch.clear();
@@ -478,6 +526,213 @@ impl<'a, P: PowerPolicy> Simulation<'a, P> {
                         self.state.wake_marks.mark(p);
                     }
                 }
+            }
+        }
+    }
+
+    /// Serves what the DRAM cache can of `req`. Returns `true` when the
+    /// request is fully absorbed (read hit on every piece, or any write —
+    /// the write-back buffer absorbs all writes and destages them later).
+    /// On a partial read hit, `piece_scratch` is truncated to the missing
+    /// pieces and the caller continues on the spindle path.
+    fn try_dram_absorb(&mut self, now: SimTime, req: &VolumeRequest) -> bool {
+        let Some(dram) = self.dram.as_mut() else {
+            return false;
+        };
+        let hit_latency = dram.config().hit_latency_s;
+        self.victim_scratch.clear();
+        let absorbed = match req.kind {
+            VolumeIoKind::Write => {
+                for i in 0..self.piece_scratch.len() {
+                    let chunk = self.piece_scratch[i].0;
+                    // The chunk's on-disk copy is stale until the destage:
+                    // abort any in-flight migration of it, exactly as a
+                    // foreground write would.
+                    self.state.migrator.note_foreground_write(chunk);
+                    if let Some(victim) = dram.write(chunk.index() as u32) {
+                        self.victim_scratch.push(victim);
+                    }
+                }
+                self.cache_stats.write_absorbs += 1;
+                true
+            }
+            VolumeIoKind::Read => {
+                let mut kept = 0;
+                for i in 0..self.piece_scratch.len() {
+                    if !dram.lookup(self.piece_scratch[i].0.index() as u32) {
+                        self.piece_scratch[kept] = self.piece_scratch[i];
+                        kept += 1;
+                    }
+                }
+                if kept == 0 {
+                    self.cache_stats.read_hits += 1;
+                    true
+                } else {
+                    self.piece_scratch.truncate(kept);
+                    self.cache_stats.read_misses += 1;
+                    self.state
+                        .telemetry
+                        .emit_with(|| telemetry::Event::CacheMiss {
+                            time_s: now.as_secs(),
+                            chunks: kept as u32,
+                        });
+                    // Promote the missed pieces so re-references hit.
+                    for i in 0..kept {
+                        let chunk = self.piece_scratch[i].0;
+                        if let Some(victim) = dram.insert_clean(chunk.index() as u32) {
+                            self.victim_scratch.push(victim);
+                        }
+                    }
+                    false
+                }
+            }
+        };
+        if absorbed {
+            // A DRAM-served request completes in-line at hit latency: it
+            // counts as a completion in every response statistic, and the
+            // CacheHit event stands in for RequestServed in the stream.
+            self.state
+                .stats
+                .record_response(now, hit_latency, u64::from(req.sectors));
+            self.state
+                .telemetry
+                .emit_with(|| telemetry::Event::CacheHit {
+                    time_s: now.as_secs(),
+                    latency_us: hit_latency * 1e6,
+                    op: match req.kind {
+                        VolumeIoKind::Read => telemetry::CacheOp::Read,
+                        VolumeIoKind::Write => telemetry::CacheOp::Write,
+                    },
+                });
+        }
+        // Destage the dirty chunks that insertions squeezed out of their
+        // sets — these reach the disks now, outside any flush batch.
+        if !self.victim_scratch.is_empty() {
+            let victims = std::mem::take(&mut self.victim_scratch);
+            self.cache_stats.writebacks += victims.len() as u64;
+            for &v in &victims {
+                self.submit_deferred_write(now, ChunkId(v));
+            }
+            self.victim_scratch = victims;
+            self.victim_scratch.clear();
+        }
+        // Absorbing writes without bound would defer unbounded disk work
+        // past the horizon; a dirty cap forces an early flush.
+        let over_cap = self
+            .dram
+            .as_ref()
+            .is_some_and(|d| d.dirty_count() > d.config().max_dirty_chunks as usize);
+        if over_cap {
+            self.flush_writeback(now, true);
+        }
+        absorbed
+    }
+
+    /// Destages every dirty chunk in one batch: the periodic [`Event::Flush`]
+    /// path, plus forced flushes when the dirty cap is exceeded. The batch
+    /// is submitted in ascending chunk order so the event sequence is a
+    /// pure function of the dirty set.
+    fn flush_writeback(&mut self, now: SimTime, forced: bool) {
+        let Some(dram) = self.dram.as_mut() else {
+            return;
+        };
+        dram.drain_dirty(&mut self.flush_scratch);
+        if self.flush_scratch.is_empty() {
+            return;
+        }
+        self.cache_stats.flushes += 1;
+        if forced {
+            self.cache_stats.forced_flushes += 1;
+        }
+        self.cache_stats.flushed_chunks += self.flush_scratch.len() as u64;
+        let chunks = std::mem::take(&mut self.flush_scratch);
+        if self.state.telemetry.is_enabled() {
+            let mut touched = vec![false; self.state.config.disks];
+            for &c in &chunks {
+                touched[self.state.remap.placement(ChunkId(c)).disk.index()] = true;
+            }
+            self.state.telemetry.emit(telemetry::Event::FlushBatch {
+                time_s: now.as_secs(),
+                chunks: chunks.len() as u32,
+                disks: touched.iter().filter(|&&b| b).count() as u32,
+                forced,
+            });
+        }
+        for &c in &chunks {
+            self.submit_deferred_write(now, ChunkId(c));
+        }
+        self.flush_scratch = chunks;
+        self.flush_scratch.clear();
+    }
+
+    /// Submits one deferred chunk-sized write (flush destage or dirty
+    /// eviction) to the spindle layer. Deferred writes take the same
+    /// policy-visible path as foreground writes — the policy sees the
+    /// arrival and may reroute it, per-disk arrival statistics feed the
+    /// predictors, and a standby disk is woken — but, like parity writes,
+    /// they gate no volume response and skip the gather map.
+    fn submit_deferred_write(&mut self, now: SimTime, chunk: ChunkId) {
+        let cs = self.state.config.chunk_sectors;
+        let req = VolumeRequest {
+            time: now,
+            sector: chunk.index() as u64 * cs,
+            sectors: cs as u32,
+            kind: VolumeIoKind::Write,
+        };
+        self.chunk_scratch.clear();
+        self.chunk_scratch.push(chunk);
+        let chunks = std::mem::take(&mut self.chunk_scratch);
+        self.policy
+            .on_volume_arrival(now, &req, &chunks, &mut self.state);
+        self.chunk_scratch = chunks;
+
+        let place = self.state.remap.placement(chunk);
+        let (target_disk, phys) =
+            match self
+                .policy
+                .route(now, chunk, 0, IoKind::Write, &mut self.state)
+            {
+                Some((disk, base)) => (disk, base),
+                None => (place.disk, u64::from(place.slot) * cs),
+            };
+        let target = if self.state.disks[target_disk.index()].has_failed() {
+            match self.alive_partner(target_disk.index(), chunk) {
+                Some(p) => {
+                    self.outcome.degraded_redirects += 1;
+                    p
+                }
+                // Nowhere alive to destage to: the write is dropped, like
+                // any other foreground work stranded on a dead stripe.
+                None => return,
+            }
+        } else {
+            target_disk.index()
+        };
+        let id = self.alloc_id();
+        let sub = DiskRequest {
+            id,
+            sector: phys,
+            sectors: cs as u32,
+            kind: IoKind::Write,
+            class: RequestClass::Foreground,
+            issue_time: now,
+        };
+        self.state.disks[target].submit(now, sub);
+        self.state.wake_marks.mark(target);
+        self.state.migrator.note_foreground_write(chunk);
+        if self.state.config.redundancy == Redundancy::Raid5Like {
+            if let Some(p) = self.alive_partner(place.disk.index(), chunk) {
+                let pid = self.alloc_id();
+                let parity = DiskRequest {
+                    id: pid,
+                    sector: phys,
+                    sectors: cs as u32,
+                    kind: IoKind::Write,
+                    class: RequestClass::Foreground,
+                    issue_time: now,
+                };
+                self.state.disks[p].submit(now, parity);
+                self.state.wake_marks.mark(p);
             }
         }
     }
@@ -1015,6 +1270,18 @@ impl<'a, P: PowerPolicy> Simulation<'a, P> {
                 }
                 out
             };
+            if self.dram.is_some() {
+                let cs = self.cache_stats;
+                recorder.emit(telemetry::Event::CacheSummary {
+                    time_s: t,
+                    read_hits: cs.read_hits,
+                    read_misses: cs.read_misses,
+                    write_absorbs: cs.write_absorbs,
+                    writebacks: cs.writebacks,
+                    flushes: cs.flushes,
+                    flushed_chunks: cs.flushed_chunks,
+                });
+            }
             for (i, e) in per_disk_energy.iter().enumerate() {
                 recorder.emit(telemetry::Event::DiskSummary {
                     time_s: t,
@@ -1097,6 +1364,7 @@ impl<'a, P: PowerPolicy> Simulation<'a, P> {
             faults: self.outcome,
             horizon,
             events_processed: self.events_processed,
+            cache: self.dram.is_some().then_some(self.cache_stats),
             telemetry: recorder.into_stream(),
         };
         (report, policy)
@@ -1397,6 +1665,92 @@ mod tests {
             .count() as u64;
         assert!(report.completed >= expected.saturating_sub(5));
         assert!(report.horizon == SimTime::from_secs(60.0));
+    }
+
+    #[test]
+    fn dram_cache_serves_repeat_reads_and_destages_writes() {
+        // Ten reads of one chunk, then a write to it: the first read
+        // misses and promotes, the rest hit; the write is absorbed and a
+        // later flush destages it.
+        let mut reqs: Vec<workload::VolumeRequest> = (0..10)
+            .map(|i| workload::VolumeRequest {
+                time: SimTime::from_secs(1.0 + i as f64),
+                sector: 0,
+                sectors: 8,
+                kind: VolumeIoKind::Read,
+            })
+            .collect();
+        reqs.push(workload::VolumeRequest {
+            time: SimTime::from_secs(12.0),
+            sector: 0,
+            sectors: 8,
+            kind: VolumeIoKind::Write,
+        });
+        let trace = Trace::from_requests(reqs);
+        let mut opts = RunOptions::for_horizon(100.0);
+        opts.cache = Some(cache::CacheConfig::with_capacity(64));
+        let report = run_policy(small_config(), BasePolicy, &trace, opts);
+        let stats = report.cache.expect("cache enabled");
+        assert_eq!(report.completed, 11);
+        assert_eq!(report.incomplete, 0);
+        assert_eq!(stats.read_misses, 1, "only the cold read misses");
+        assert_eq!(stats.read_hits, 9);
+        assert_eq!(stats.write_absorbs, 1);
+        assert_eq!(stats.flushes, 1, "one periodic flush destages the write");
+        assert_eq!(stats.flushed_chunks, 1);
+        // Hits complete at DRAM latency, far under a disk access.
+        assert!(
+            report.response.mean() < 0.005,
+            "mean {} s",
+            report.response.mean()
+        );
+    }
+
+    #[test]
+    fn zero_capacity_cache_is_fully_disabled() {
+        let trace = small_trace(60.0, 20.0);
+        let plain = run_policy(
+            small_config(),
+            BasePolicy,
+            &trace,
+            RunOptions::for_horizon(120.0),
+        );
+        let mut opts = RunOptions::for_horizon(120.0);
+        opts.cache = Some(cache::CacheConfig::with_capacity(0));
+        let zero = run_policy(small_config(), BasePolicy, &trace, opts);
+        assert!(zero.cache.is_none(), "capacity 0 must report no cache");
+        assert_eq!(plain.completed, zero.completed);
+        assert_eq!(plain.energy.total_joules(), zero.energy.total_joules());
+        assert_eq!(plain.response.mean(), zero.response.mean());
+        assert_eq!(plain.events_processed, zero.events_processed);
+    }
+
+    #[test]
+    fn dirty_cap_forces_early_flush() {
+        // Writes to distinct chunks at a rate that crosses the dirty cap
+        // long before the (huge) periodic interval.
+        let reqs: Vec<workload::VolumeRequest> = (0..200)
+            .map(|i| workload::VolumeRequest {
+                time: SimTime::from_secs(0.1 * i as f64),
+                sector: (i % 500) * 2048,
+                sectors: 8,
+                kind: VolumeIoKind::Write,
+            })
+            .collect();
+        let trace = Trace::from_requests(reqs);
+        let mut cfg = cache::CacheConfig::with_capacity(1024);
+        cfg.flush_interval_s = 1e6;
+        cfg.max_dirty_chunks = 32;
+        let mut opts = RunOptions::for_horizon(120.0);
+        opts.cache = Some(cfg);
+        let report = run_policy(small_config(), BasePolicy, &trace, opts);
+        let stats = report.cache.expect("cache enabled");
+        assert!(
+            stats.forced_flushes >= 1,
+            "dirty cap must force a flush: {stats:?}"
+        );
+        assert!(stats.flushed_chunks > 0);
+        assert_eq!(report.completed, 200);
     }
 
     #[test]

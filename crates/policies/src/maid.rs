@@ -12,9 +12,9 @@
 //! array) data-free.
 
 use array::{ArrayState, ChunkId, DiskId, MigrationJob, PowerPolicy};
+use cache::TierDirectory;
 use diskmodel::{IoKind, SpinTarget};
 use simkit::{SimDuration, SimTime};
-use std::collections::HashMap;
 
 /// Tunables for [`MaidPolicy`].
 #[derive(Debug, Clone)]
@@ -38,75 +38,15 @@ impl Default for MaidConfig {
     }
 }
 
-/// An LRU cache of chunk copies across the cache disks.
-struct CacheDir {
-    /// chunk → (cache disk, slot)
-    entries: HashMap<ChunkId, (DiskId, u32)>,
-    /// LRU order: front = coldest. Simple vec-based LRU is fine at these
-    /// sizes (thousands of entries, touched per request).
-    lru: Vec<ChunkId>,
-    capacity: usize,
-    /// Free (disk, slot) pairs.
-    free: Vec<(DiskId, u32)>,
-}
-
-impl CacheDir {
-    fn new(cache_disks: &[DiskId], chunks_per_disk: u32) -> CacheDir {
-        let mut free = Vec::new();
-        // Reverse so pop() hands out disk-0-first, low slots first.
-        for &d in cache_disks.iter().rev() {
-            for s in (0..chunks_per_disk).rev() {
-                free.push((d, s));
-            }
-        }
-        CacheDir {
-            entries: HashMap::new(),
-            lru: Vec::new(),
-            capacity: cache_disks.len() * chunks_per_disk as usize,
-            free,
-        }
-    }
-
-    fn lookup(&mut self, chunk: ChunkId) -> Option<(DiskId, u32)> {
-        let hit = self.entries.get(&chunk).copied();
-        if hit.is_some() {
-            // Move to MRU position.
-            if let Some(pos) = self.lru.iter().position(|&c| c == chunk) {
-                let c = self.lru.remove(pos);
-                self.lru.push(c);
-            }
-        }
-        hit
-    }
-
-    /// Inserts `chunk`, evicting the LRU entry if full. Returns the slot
-    /// the copy must be written to.
-    fn insert(&mut self, chunk: ChunkId) -> (DiskId, u32) {
-        if let Some(&loc) = self.entries.get(&chunk) {
-            return loc;
-        }
-        let loc = if self.entries.len() < self.capacity {
-            self.free.pop().expect("capacity accounted")
-        } else {
-            let victim = self.lru.remove(0);
-            self.entries
-                .remove(&victim)
-                .expect("victim must be present")
-        };
-        self.entries.insert(chunk, loc);
-        self.lru.push(chunk);
-        loc
-    }
-
-    fn len(&self) -> usize {
-        self.entries.len()
-    }
-}
-
 /// The MAID baseline policy.
+///
+/// The cache-disk tier itself lives in [`cache::TierDirectory`] (shared
+/// with the controller-cache subsystem); this policy owns the routing: hits
+/// go to the tier disk, misses go home and promote a copy, writes go home
+/// and refresh any tier copy.
 pub struct MaidPolicy {
     cfg: MaidConfig,
-    cache: Option<CacheDir>,
+    cache: Option<TierDirectory>,
     cache_disk_ids: Vec<DiskId>,
     tpm_threshold_s: f64,
     hits: u64,
@@ -166,8 +106,9 @@ impl PowerPolicy for MaidPolicy {
             "configure stripe_width = disks - cache_disks so cache disks hold no data"
         );
         self.cache_disk_ids = (n - self.cfg.cache_disks..n).map(DiskId).collect();
-        self.cache = Some(CacheDir::new(
-            &self.cache_disk_ids,
+        let tier_ids: Vec<u32> = self.cache_disk_ids.iter().map(|d| d.0 as u32).collect();
+        self.cache = Some(TierDirectory::new(
+            &tier_ids,
             self.cfg.cache_chunks_per_disk,
         ));
         self.tpm_threshold_s = match self.cfg.tpm_threshold_s {
@@ -192,18 +133,19 @@ impl PowerPolicy for MaidPolicy {
     ) -> Option<(DiskId, u64)> {
         let cache = self.cache.as_mut()?;
         let cs = state.config.chunk_sectors;
+        let tier_chunk = chunk.0;
         match kind {
-            IoKind::Read => match cache.lookup(chunk) {
+            IoKind::Read => match cache.lookup(tier_chunk) {
                 Some((disk, slot)) => {
                     self.hits += 1;
-                    Some((disk, u64::from(slot) * cs))
+                    Some((DiskId(disk as usize), u64::from(slot) * cs))
                 }
                 None => {
                     self.misses += 1;
                     // Miss: serve from the data disk, promote a copy.
-                    let (disk, slot) = cache.insert(chunk);
+                    let (disk, slot) = cache.insert(tier_chunk);
                     state.migrator.enqueue([MigrationJob::RawWrite {
-                        disk,
+                        disk: DiskId(disk as usize),
                         sector: u64::from(slot) * cs,
                         sectors: cs as u32,
                     }]);
@@ -213,9 +155,9 @@ impl PowerPolicy for MaidPolicy {
             IoKind::Write => {
                 // Write-through: data disk gets the foreground write; any
                 // cache copy is refreshed in the background.
-                if let Some((disk, slot)) = cache.lookup(chunk) {
+                if let Some((disk, slot)) = cache.lookup(tier_chunk) {
                     state.migrator.enqueue([MigrationJob::RawWrite {
-                        disk,
+                        disk: DiskId(disk as usize),
                         sector: u64::from(slot) * cs,
                         sectors: cs as u32,
                     }]);
@@ -272,31 +214,6 @@ mod tests {
             cache_chunks_per_disk: 128,
             tpm_threshold_s: Some(60.0),
         })
-    }
-
-    #[test]
-    fn cache_dir_lru_eviction() {
-        let mut dir = CacheDir::new(&[DiskId(4), DiskId(5)], 2); // capacity 4
-        for c in 0..4u32 {
-            dir.insert(ChunkId(c));
-        }
-        assert_eq!(dir.len(), 4);
-        // Touch chunk 0 so it is MRU; inserting a 5th evicts chunk 1.
-        assert!(dir.lookup(ChunkId(0)).is_some());
-        dir.insert(ChunkId(10));
-        assert!(dir.lookup(ChunkId(1)).is_none(), "LRU entry evicted");
-        assert!(dir.lookup(ChunkId(0)).is_some(), "MRU entry survives");
-        assert_eq!(dir.len(), 4);
-    }
-
-    #[test]
-    fn cache_slots_unique() {
-        let mut dir = CacheDir::new(&[DiskId(4), DiskId(5)], 64);
-        let mut seen = std::collections::HashSet::new();
-        for c in 0..128u32 {
-            let loc = dir.insert(ChunkId(c));
-            assert!(seen.insert(loc), "slot reused while not evicted: {loc:?}");
-        }
     }
 
     #[test]

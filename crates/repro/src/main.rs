@@ -4,7 +4,7 @@
 //!
 //! ```text
 //! repro [--quick] [--seed N] [--out DIR] [--jobs N] <experiment...>
-//!   experiments: t1..t6 f1..f12 faults | tables | figures | all
+//!   experiments: t1..t6 f1..f12 faults cache | tables | figures | all
 //! repro audit <stream.jsonl>
 //! ```
 //!
@@ -23,6 +23,7 @@
 //! goal-violation refit, …) and exits non-zero on any failure.
 
 mod bench;
+mod cachesweep;
 mod common;
 mod faults;
 mod figures;
@@ -33,7 +34,7 @@ use common::Ctx;
 fn usage() -> ! {
     eprintln!(
         "usage: repro [--quick] [--seed N] [--out DIR] [--jobs N] [--horizon-h H] \
-         [--telemetry-out PATH] <t1..t6|f1..f12|faults|tables|figures|all>...\n\
+         [--telemetry-out PATH] <t1..t6|f1..f12|faults|cache|tables|figures|all>...\n\
          \x20      repro audit <stream.jsonl>\n\
          \x20      repro bench [--seed N] [--out DIR] [--iters N] [--reference]"
     );
@@ -188,6 +189,7 @@ fn run_one(ctx: &Ctx, name: &str) {
         "f11" => figures::f11(ctx),
         "f12" => figures::f12(ctx),
         "faults" => faults::faults(ctx),
+        "cache" => cachesweep::cachesweep(ctx),
         "tables" => {
             // One prefetch covers every standard-scenario run the tables
             // need, so the whole grid fans out across the pool at once.

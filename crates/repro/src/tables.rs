@@ -82,7 +82,7 @@ pub fn t2(ctx: &Ctx) {
             })
             .collect::<Vec<_>>(),
     );
-    let widths = [7, 10, 10, 8, 10, 11, 11, 10];
+    let widths = [7, 10, 10, 8, 10, 11, 11, 9, 10];
     println!(
         "{}",
         row(
@@ -94,6 +94,7 @@ pub fn t2(ctx: &Ctx) {
                 "size(KiB)",
                 "fp(MiB)",
                 "top10%shr",
+                "re-ref%",
                 "peak/mean"
             ]
             .map(String::from),
@@ -112,6 +113,7 @@ pub fn t2(ctx: &Ctx) {
             format!("{:.1}", s.mean_size_kib),
             format!("{}", s.footprint_mib),
             format!("{:.2}", s.top_decile_share),
+            format!("{:.1}", s.re_reference_share * 100.0),
             format!("{:.2}", s.peak_to_mean),
         ];
         println!("{}", row(&cells, &widths));
@@ -119,7 +121,7 @@ pub fn t2(ctx: &Ctx) {
     }
     ctx.write_csv(
         "t2_workloads.csv",
-        "trace,requests,rate,read_pct,size_kib,footprint_mib,top_decile_share,peak_to_mean",
+        "trace,requests,rate,read_pct,size_kib,footprint_mib,top_decile_share,re_reference_share,peak_to_mean",
         &rows,
     );
 }

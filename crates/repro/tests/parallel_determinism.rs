@@ -6,7 +6,9 @@
 //! the outputs. The chosen experiments cover both scheduling paths:
 //! `t3` exercises the single-flight run cache and the two-stage
 //! Base-before-goal prefetch, `f6` exercises ad-hoc pool batches with
-//! per-load trace generation.
+//! per-load trace generation, and `cache` exercises the controller-cache
+//! sweep grid (whose flush batches add a second event source that must
+//! not perturb determinism either).
 
 use std::path::{Path, PathBuf};
 use std::process::Command;
@@ -27,7 +29,7 @@ fn run_repro(tag: &str, jobs: u32) -> PathBuf {
             "--out",
         ])
         .arg(&out)
-        .args(["t3", "f6"])
+        .args(["t3", "f6", "cache"])
         .output()
         .expect("spawn repro binary");
     assert!(

@@ -1,0 +1,117 @@
+//! Property test: `IdMap` against a `std::collections::HashMap` oracle
+//! under delete/reinsert churn.
+//!
+//! The open-addressed table uses backward-shift deletion (no tombstones),
+//! and the delicate case is a removal whose probe chain wraps around the
+//! end of the table: shifting the chain must follow the wrap without
+//! stranding an entry past its probe position. A small key space over the
+//! minimum table capacity keeps the load pinned near the 7/8 growth cap,
+//! so every churn step exercises long, wrapping chains.
+
+use simkit::{DetRng, IdMap};
+use std::collections::HashMap;
+
+/// One churn campaign: random insert/remove/get against both maps, with a
+/// full-contents reconciliation sweep every `check_every` steps.
+fn churn(seed: u64, key_space: u64, steps: usize, check_every: usize) {
+    let mut rng = DetRng::new(seed, "idmap-oracle");
+    let mut map: IdMap<u64> = IdMap::new();
+    let mut oracle: HashMap<u64, u64> = HashMap::new();
+
+    for step in 0..steps {
+        let key = rng.below(key_space);
+        match rng.below(10) {
+            // Inserts win 5/10 so the table hovers near its load cap.
+            0..=4 => {
+                let value = rng.next_u64();
+                assert_eq!(
+                    map.insert(key, value),
+                    oracle.insert(key, value),
+                    "seed {seed} step {step}: insert({key}) disagreed"
+                );
+            }
+            5..=7 => {
+                assert_eq!(
+                    map.remove(key),
+                    oracle.remove(&key),
+                    "seed {seed} step {step}: remove({key}) disagreed"
+                );
+            }
+            8 => {
+                assert_eq!(
+                    map.get(key),
+                    oracle.get(&key),
+                    "seed {seed} step {step}: get({key}) disagreed"
+                );
+            }
+            _ => {
+                assert_eq!(
+                    map.contains_key(key),
+                    oracle.contains_key(&key),
+                    "seed {seed} step {step}: contains({key}) disagreed"
+                );
+            }
+        }
+        assert_eq!(map.len(), oracle.len(), "seed {seed} step {step}: len");
+
+        if step % check_every == check_every - 1 {
+            // Full reconciliation both ways: every oracle entry must be
+            // reachable through the probe chains (the property that
+            // backward-shift deletion can silently break), and the
+            // iterator must not surface ghosts.
+            for (&k, &v) in &oracle {
+                assert_eq!(
+                    map.get(k),
+                    Some(&v),
+                    "seed {seed} step {step}: key {k} unreachable after churn"
+                );
+            }
+            let mut seen: Vec<(u64, u64)> = map.iter().map(|(k, v)| (k, *v)).collect();
+            seen.sort_unstable();
+            let mut expect: Vec<(u64, u64)> = oracle.iter().map(|(&k, &v)| (k, v)).collect();
+            expect.sort_unstable();
+            assert_eq!(seen, expect, "seed {seed} step {step}: contents diverge");
+        }
+    }
+}
+
+#[test]
+fn tiny_table_wrapping_chains() {
+    // Key space 12 over the minimum 8-slot table: the map rides the 7/8
+    // load cap, so probe chains are long and routinely wrap the table
+    // end — the exact regime where backward-shift deletion goes wrong.
+    for seed in 0..8 {
+        churn(seed, 12, 6_000, 64);
+    }
+}
+
+#[test]
+fn medium_table_grow_and_churn() {
+    // A wider key space forces growth through several capacities while
+    // deletions keep punching holes in the chains.
+    for seed in 0..4 {
+        churn(1000 + seed, 600, 20_000, 512);
+    }
+}
+
+#[test]
+fn delete_reinsert_same_keys_cycles() {
+    // Deterministic worst-case cycle: fill, delete every other key,
+    // reinsert with new values, repeat. Verifies remove+insert round
+    // trips never lose or duplicate a key.
+    let mut map: IdMap<u64> = IdMap::new();
+    let mut oracle: HashMap<u64, u64> = HashMap::new();
+    for round in 0..200u64 {
+        for k in 0..14u64 {
+            let v = round * 100 + k;
+            assert_eq!(map.insert(k, v), oracle.insert(k, v), "round {round}");
+        }
+        for k in (0..14u64).filter(|k| (k + round) % 2 == 0) {
+            assert_eq!(map.remove(k), oracle.remove(&k), "round {round}");
+        }
+        assert_eq!(map.len(), oracle.len(), "round {round}");
+        for k in 0..14u64 {
+            assert_eq!(map.get(k), oracle.get(&k), "round {round} key {k}");
+        }
+    }
+}

@@ -1,0 +1,73 @@
+//! Regression lockdown: `SimTime::ordered_bits` must order exactly like
+//! `Ord` on the full admitted domain — including the edges where IEEE-754
+//! bit patterns are treacherous: the two zeros, subnormals, and values one
+//! ULP apart. The packed event-queue key depends on this agreement; a
+//! divergence would silently reorder same-instant events.
+
+use simkit::SimTime;
+
+/// The probe grid: every admitted edge case the constructor allows.
+/// (`-0.0` passes the `>= 0.0` check and must normalise to `+0.0`.)
+fn grid() -> Vec<SimTime> {
+    let mut secs: Vec<f64> = vec![
+        0.0,
+        -0.0,
+        f64::from_bits(1),       // smallest positive subnormal
+        f64::from_bits(2),       // its neighbour
+        f64::MIN_POSITIVE / 2.0, // mid-range subnormal
+        f64::MIN_POSITIVE,       // smallest normal
+        f64::EPSILON,
+        1e-12,
+        0.5,
+        1.0 - f64::EPSILON / 2.0, // 1.0's lower neighbour
+        1.0,
+        1.0 + f64::EPSILON, // 1.0's upper neighbour
+        2.0,
+        3600.0,
+        86_400.0,
+        1e300,
+        f64::MAX,
+    ];
+    // Adjacent bit patterns around a typical simulation timestamp.
+    let t = 1234.567_f64;
+    secs.extend([
+        f64::from_bits(t.to_bits() - 1),
+        t,
+        f64::from_bits(t.to_bits() + 1),
+    ]);
+    secs.into_iter().map(SimTime::from_secs).collect()
+}
+
+#[test]
+fn ordered_bits_agrees_with_ord_on_every_pair() {
+    let grid = grid();
+    for &a in &grid {
+        for &b in &grid {
+            assert_eq!(
+                a.ordered_bits().cmp(&b.ordered_bits()),
+                a.cmp(&b),
+                "bit order diverges from value order for {a:?} vs {b:?}"
+            );
+        }
+    }
+}
+
+#[test]
+fn ordered_bits_round_trips_exactly() {
+    for &t in &grid() {
+        let back = SimTime::from_ordered_bits(t.ordered_bits());
+        assert_eq!(back, t, "round-trip changed {t:?}");
+        // And the re-encoding is stable (the -0.0 normalisation is
+        // idempotent: once through, the bits are canonical).
+        assert_eq!(back.ordered_bits(), t.ordered_bits());
+    }
+}
+
+#[test]
+fn negative_zero_normalises_to_canonical_zero() {
+    let neg = SimTime::from_secs(-0.0);
+    let pos = SimTime::from_secs(0.0);
+    assert_eq!(neg.ordered_bits(), 0);
+    assert_eq!(neg.ordered_bits(), pos.ordered_bits());
+    assert_eq!(neg.cmp(&pos), std::cmp::Ordering::Equal);
+}

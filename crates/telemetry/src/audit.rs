@@ -171,6 +171,15 @@ struct EndTotals {
     dropped: u64,
 }
 
+/// DRAM-cache totals pulled from a `cache_summary` line.
+struct CacheTotals {
+    read_hits: u64,
+    read_misses: u64,
+    write_absorbs: u64,
+    flushes: u64,
+    flushed_chunks: u64,
+}
+
 /// Accumulated state while replaying one run segment.
 struct RunAcc {
     label: String,
@@ -203,6 +212,14 @@ struct RunAcc {
     disk_energy_j: [f64; 6],
     disk_transitions: u64,
     disk_summaries: u32,
+    /// Replayed `cache_hit` events, total and split by op.
+    cache_hits: u64,
+    cache_read_hits: u64,
+    cache_write_absorbs: u64,
+    cache_misses: u64,
+    flushes: u64,
+    flushed_chunks: u64,
+    cache_sum: Option<CacheTotals>,
     end: Option<EndTotals>,
 }
 
@@ -236,6 +253,13 @@ impl RunAcc {
             disk_energy_j: [0.0; 6],
             disk_transitions: 0,
             disk_summaries: 0,
+            cache_hits: 0,
+            cache_read_hits: 0,
+            cache_write_absorbs: 0,
+            cache_misses: 0,
+            flushes: 0,
+            flushed_chunks: 0,
+            cache_sum: None,
             end: None,
         })
     }
@@ -416,17 +440,23 @@ impl RunAcc {
                 ),
             });
 
-            // 7. Count consistency across independent tallies.
+            // 7. Count consistency across independent tallies. Completions
+            //    are served from disk *or* from the controller DRAM cache,
+            //    so both sides of the request path must add up.
             let mut count_ok = true;
             let mut count_detail = format!(
-                "served {}, transitions {}, moved {}",
-                self.served, self.speed_events, self.moved
+                "served {}, hits {}, transitions {}, moved {}",
+                self.served, self.cache_hits, self.speed_events, self.moved
             );
             let pairs: [(&str, u64, u64); 6] = [
-                ("served vs completed", self.served, end.completed),
                 (
-                    "served vs latency_hist",
-                    self.served,
+                    "served + hits vs completed",
+                    self.served + self.cache_hits,
+                    end.completed,
+                ),
+                (
+                    "served + hits vs latency_hist",
+                    self.served + self.cache_hits,
                     end.latency_hist_total,
                 ),
                 (
@@ -454,6 +484,57 @@ impl RunAcc {
                 passed: count_ok,
                 detail: count_detail,
             });
+
+            // 8. Cache accounting (only for runs that used the DRAM
+            //    cache): every completion was a hit or a disk serve, and
+            //    the replayed cache events reconcile with the
+            //    cache_summary totals.
+            let cache_active = self.cache_sum.is_some()
+                || self.cache_hits > 0
+                || self.cache_misses > 0
+                || self.flushes > 0;
+            if cache_active {
+                let (cache_ok, cache_detail) = match &self.cache_sum {
+                    None => (
+                        false,
+                        "cache events present but no cache_summary".to_string(),
+                    ),
+                    Some(sum) => {
+                        let triples: [(&str, u64, u64); 6] = [
+                            (
+                                "completed vs hits + disk-served",
+                                end.completed,
+                                self.cache_hits + self.served,
+                            ),
+                            ("read hits", sum.read_hits, self.cache_read_hits),
+                            ("read misses", sum.read_misses, self.cache_misses),
+                            ("write absorbs", sum.write_absorbs, self.cache_write_absorbs),
+                            ("flush batches", sum.flushes, self.flushes),
+                            ("flushed chunks", sum.flushed_chunks, self.flushed_chunks),
+                        ];
+                        match triples.iter().find(|(_, a, b)| a != b) {
+                            Some((what, a, b)) => (false, format!("{what}: {a} != {b}")),
+                            None => (
+                                true,
+                                format!(
+                                    "completed {} = {} hits + {} disk-served; \
+                                     {} flushes destaged {} chunks",
+                                    end.completed,
+                                    self.cache_hits,
+                                    self.served,
+                                    self.flushes,
+                                    self.flushed_chunks
+                                ),
+                            ),
+                        }
+                    }
+                };
+                checks.push(Check {
+                    name: "cache-accounting",
+                    passed: cache_ok,
+                    detail: cache_detail,
+                });
+            }
         }
 
         RunAudit {
@@ -570,6 +651,37 @@ pub fn audit_bytes(bytes: &[u8]) -> Result<AuditOutcome, AuditError> {
                     moved: u64_field(line, n, "moved")?,
                     remap_version: u64_field(line, n, "remap_version")?,
                     dropped: u64_field(line, n, "dropped")?,
+                });
+            }
+            "cache_hit" => {
+                // A DRAM-served request: counts toward completions and the
+                // violation refit, but not toward disk-served tallies.
+                let latency_us = f64_field(line, n, "latency_us")?;
+                run.cache_hits += 1;
+                match str_field(line, n, "op")? {
+                    "read" => run.cache_read_hits += 1,
+                    "write" => run.cache_write_absorbs += 1,
+                    other => {
+                        return Err(AuditError::Parse(n, format!("unknown cache op {other:?}")));
+                    }
+                }
+                let idx = (t / run.bucket_s).floor() as u64;
+                let b = run.buckets.entry(idx).or_insert((0, 0.0));
+                b.0 += 1;
+                b.1 += latency_us / 1e6;
+            }
+            "cache_miss" => run.cache_misses += 1,
+            "flush" => {
+                run.flushes += 1;
+                run.flushed_chunks += u64_field(line, n, "chunks")?;
+            }
+            "cache_summary" => {
+                run.cache_sum = Some(CacheTotals {
+                    read_hits: u64_field(line, n, "read_hits")?,
+                    read_misses: u64_field(line, n, "read_misses")?,
+                    write_absorbs: u64_field(line, n, "write_absorbs")?,
+                    flushes: u64_field(line, n, "flushes")?,
+                    flushed_chunks: u64_field(line, n, "flushed_chunks")?,
                 });
             }
             "epoch" | "boost" => {}
@@ -690,6 +802,95 @@ mod tests {
             .checks
             .iter()
             .find(|c| c.name == "stream-shape")
+            .unwrap();
+        assert!(!check.passed);
+    }
+
+    /// The minimal stream with one DRAM hit, one miss, a flush batch, and
+    /// the matching summary/trailer totals (2 completions = 1 hit + 1
+    /// disk-served).
+    fn cache_stream() -> String {
+        minimal_stream()
+            .replace(
+                "{\"ev\":\"served\",\"t\":10.0,\"latency_us\":5000.0,\"disk\":0,\"tier\":5}",
+                "{\"ev\":\"cache_miss\",\"t\":9.0,\"chunks\":1}\n\
+                 {\"ev\":\"served\",\"t\":10.0,\"latency_us\":5000.0,\"disk\":0,\"tier\":5}\n\
+                 {\"ev\":\"cache_hit\",\"t\":20.0,\"latency_us\":200.0,\"op\":\"read\"}\n\
+                 {\"ev\":\"flush\",\"t\":30.0,\"chunks\":3,\"disks\":2,\"forced\":false}",
+            )
+            .replace(
+                "{\"ev\":\"disk\",\"t\":100.0,\"disk\":0,",
+                "{\"ev\":\"cache_summary\",\"t\":100.0,\"read_hits\":1,\"read_misses\":1,\
+                 \"write_absorbs\":0,\"writebacks\":0,\"flushes\":1,\"flushed_chunks\":3}\n\
+                 {\"ev\":\"disk\",\"t\":100.0,\"disk\":0,",
+            )
+            .replace("\"completed\":1", "\"completed\":2")
+            .replace("\"latency_hist\":[0,0,1]", "\"latency_hist\":[1,0,1]")
+    }
+
+    #[test]
+    fn cache_stream_passes_cache_accounting() {
+        let out = audit_bytes(cache_stream().as_bytes()).expect("parse");
+        let run = &out.runs[0];
+        for c in &run.checks {
+            assert!(c.passed, "{} failed: {}", c.name, c.detail);
+        }
+        assert!(
+            run.checks.iter().any(|c| c.name == "cache-accounting"),
+            "cache runs must gain the cache-accounting check"
+        );
+    }
+
+    #[test]
+    fn cacheless_stream_has_no_cache_check() {
+        let out = audit_bytes(minimal_stream().as_bytes()).expect("parse");
+        assert!(out.runs[0]
+            .checks
+            .iter()
+            .all(|c| c.name != "cache-accounting"));
+    }
+
+    #[test]
+    fn hit_not_counted_as_completion_is_caught() {
+        // Trailer claims only the disk-served request completed: the
+        // served = hits + disk-served invariant must flag it.
+        let s = cache_stream().replace("\"completed\":2", "\"completed\":1");
+        let out = audit_bytes(s.as_bytes()).expect("parse");
+        let check = out.runs[0]
+            .checks
+            .iter()
+            .find(|c| c.name == "cache-accounting")
+            .unwrap();
+        assert!(!check.passed);
+        assert!(check.detail.contains("completed vs hits + disk-served"));
+    }
+
+    #[test]
+    fn flush_count_mismatch_is_caught() {
+        let s = cache_stream().replace("\"flushed_chunks\":3", "\"flushed_chunks\":4");
+        let out = audit_bytes(s.as_bytes()).expect("parse");
+        let check = out.runs[0]
+            .checks
+            .iter()
+            .find(|c| c.name == "cache-accounting")
+            .unwrap();
+        assert!(!check.passed, "summary/replay flush totals must reconcile");
+    }
+
+    #[test]
+    fn cache_events_without_summary_fail() {
+        let s = cache_stream().replace(
+            "{\"ev\":\"cache_summary\",\"t\":100.0,\"read_hits\":1,\"read_misses\":1,\
+             \"write_absorbs\":0,\"writebacks\":0,\"flushes\":1,\"flushed_chunks\":3}",
+            "{\"ev\":\"power\",\"t\":100.0,\"watts\":0.0}",
+        );
+        // The replaced power line breaks power integration too; only the
+        // cache check matters here.
+        let out = audit_bytes(s.as_bytes()).expect("parse");
+        let check = out.runs[0]
+            .checks
+            .iter()
+            .find(|c| c.name == "cache-accounting")
             .unwrap();
         assert!(!check.passed);
     }

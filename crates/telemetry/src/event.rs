@@ -77,6 +77,25 @@ impl BoostReason {
     }
 }
 
+/// Which side of the request path a DRAM cache event sits on.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CacheOp {
+    /// A read request (served or missed by the read cache).
+    Read,
+    /// A write request (absorbed by the write-back buffer).
+    Write,
+}
+
+impl CacheOp {
+    /// Stable serialization tag.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            CacheOp::Read => "read",
+            CacheOp::Write => "write",
+        }
+    }
+}
+
 /// Speed tier of a disk in an event: the level index, or [`STANDBY`] (-1)
 /// for spun-down.
 pub type Tier = i32;
@@ -229,6 +248,54 @@ pub enum Event {
         /// That disk's effective speed tier at completion.
         tier: Tier,
     },
+    /// A volume request served entirely by the controller DRAM cache
+    /// (read hit or absorbed write) — no disk traffic, no `served` event.
+    CacheHit {
+        /// Simulation time (the arrival instant; DRAM serves in-line).
+        time_s: f64,
+        /// Latency charged to the request, microseconds.
+        latency_us: f64,
+        /// Whether the request was a read hit or an absorbed write.
+        op: CacheOp,
+    },
+    /// A read request with at least one piece not resident in DRAM; the
+    /// missing pieces continue to the spindle path.
+    CacheMiss {
+        /// Simulation time (the arrival instant).
+        time_s: f64,
+        /// Pieces that missed and were submitted to disks.
+        chunks: u32,
+    },
+    /// A write-back flush batch: dirty chunks destaged to their home
+    /// disks (these are the writes that can wake a sleeping spindle).
+    FlushBatch {
+        /// Simulation time.
+        time_s: f64,
+        /// Dirty chunks destaged in this batch.
+        chunks: u32,
+        /// Distinct home disks the batch touched.
+        disks: u32,
+        /// True if the dirty cap forced the flush ahead of the timer.
+        forced: bool,
+    },
+    /// End-of-run DRAM cache accounting (only present when the cache is
+    /// enabled; emitted before the per-disk summaries).
+    CacheSummary {
+        /// Simulation time (the horizon).
+        time_s: f64,
+        /// Read requests served entirely from DRAM.
+        read_hits: u64,
+        /// Read requests with at least one miss.
+        read_misses: u64,
+        /// Write requests absorbed by the write-back buffer.
+        write_absorbs: u64,
+        /// Dirty chunks destaged by eviction pressure.
+        writebacks: u64,
+        /// Flush batches issued.
+        flushes: u64,
+        /// Dirty chunks destaged by flush batches.
+        flushed_chunks: u64,
+    },
     /// A periodic power sample (mean watts over the preceding interval).
     PowerSample {
         /// Simulation time.
@@ -298,6 +365,10 @@ impl Event {
             | Event::GuardBoost { time_s, .. }
             | Event::FaultInjected { time_s, .. }
             | Event::RequestServed { time_s, .. }
+            | Event::CacheHit { time_s, .. }
+            | Event::CacheMiss { time_s, .. }
+            | Event::FlushBatch { time_s, .. }
+            | Event::CacheSummary { time_s, .. }
             | Event::PowerSample { time_s, .. }
             | Event::DiskSummary { time_s, .. }
             | Event::RunSummary { time_s, .. } => *time_s,
@@ -419,6 +490,45 @@ impl Event {
                 w,
                 "{{\"ev\":\"served\",\"t\":{time_s:?},\"latency_us\":{latency_us:?},\
                  \"disk\":{disk},\"tier\":{tier}}}"
+            ),
+            Event::CacheHit {
+                time_s,
+                latency_us,
+                op,
+            } => writeln!(
+                w,
+                "{{\"ev\":\"cache_hit\",\"t\":{time_s:?},\"latency_us\":{latency_us:?},\
+                 \"op\":\"{}\"}}",
+                op.as_str()
+            ),
+            Event::CacheMiss { time_s, chunks } => writeln!(
+                w,
+                "{{\"ev\":\"cache_miss\",\"t\":{time_s:?},\"chunks\":{chunks}}}"
+            ),
+            Event::FlushBatch {
+                time_s,
+                chunks,
+                disks,
+                forced,
+            } => writeln!(
+                w,
+                "{{\"ev\":\"flush\",\"t\":{time_s:?},\"chunks\":{chunks},\"disks\":{disks},\
+                 \"forced\":{forced}}}"
+            ),
+            Event::CacheSummary {
+                time_s,
+                read_hits,
+                read_misses,
+                write_absorbs,
+                writebacks,
+                flushes,
+                flushed_chunks,
+            } => writeln!(
+                w,
+                "{{\"ev\":\"cache_summary\",\"t\":{time_s:?},\"read_hits\":{read_hits},\
+                 \"read_misses\":{read_misses},\"write_absorbs\":{write_absorbs},\
+                 \"writebacks\":{writebacks},\"flushes\":{flushes},\
+                 \"flushed_chunks\":{flushed_chunks}}}"
             ),
             Event::PowerSample { time_s, watts } => writeln!(
                 w,
@@ -560,6 +670,41 @@ mod tests {
         assert!(s.contains("\"idle_spin\":1.0"));
         assert!(s.contains("\"migration\":6.0"));
         assert!(s.contains("\"failed_at_s\":null"));
+    }
+
+    #[test]
+    fn cache_events_serialize_stable_kinds() {
+        let hit = line(&Event::CacheHit {
+            time_s: 1.5,
+            latency_us: 200.0,
+            op: CacheOp::Read,
+        });
+        assert!(hit.starts_with("{\"ev\":\"cache_hit\","));
+        assert!(hit.contains("\"op\":\"read\""));
+        let miss = line(&Event::CacheMiss {
+            time_s: 1.5,
+            chunks: 2,
+        });
+        assert!(miss.starts_with("{\"ev\":\"cache_miss\","));
+        let flush = line(&Event::FlushBatch {
+            time_s: 30.0,
+            chunks: 12,
+            disks: 4,
+            forced: false,
+        });
+        assert!(flush.starts_with("{\"ev\":\"flush\","));
+        assert!(flush.contains("\"forced\":false"));
+        let sum = line(&Event::CacheSummary {
+            time_s: 7200.0,
+            read_hits: 10,
+            read_misses: 4,
+            write_absorbs: 6,
+            writebacks: 1,
+            flushes: 3,
+            flushed_chunks: 5,
+        });
+        assert!(sum.starts_with("{\"ev\":\"cache_summary\","));
+        assert!(sum.ends_with("\"flushed_chunks\":5}\n"));
     }
 
     // A stream is strictly line-oriented: one object, one trailing newline.

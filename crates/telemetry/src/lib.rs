@@ -36,6 +36,6 @@ mod event;
 mod recorder;
 mod sink;
 
-pub use event::{BoostReason, Event, MoveKind, Tier, TransitionReason, STANDBY};
+pub use event::{BoostReason, CacheOp, Event, MoveKind, Tier, TransitionReason, STANDBY};
 pub use recorder::{Counters, Recorder, RunStream, TelemetryConfig};
 pub use sink::EventSink;

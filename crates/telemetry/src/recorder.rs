@@ -71,6 +71,13 @@ pub struct Counters {
     pub epochs: u64,
     /// `PowerSample` events.
     pub power_samples: u64,
+    /// `CacheHit` events (DRAM-served requests: read hits + absorbed
+    /// writes).
+    pub cache_hits: u64,
+    /// `CacheMiss` events.
+    pub cache_misses: u64,
+    /// `FlushBatch` events.
+    pub flushes: u64,
 }
 
 /// A serialized per-run stream plus the label it sorts under.
@@ -237,7 +244,18 @@ impl Inner {
             Event::FaultInjected { .. } => self.counters.faults += 1,
             Event::EpochPlanned { .. } => self.counters.epochs += 1,
             Event::PowerSample { .. } => self.counters.power_samples += 1,
-            Event::RunStart { .. } | Event::DiskSummary { .. } | Event::RunSummary { .. } => {}
+            Event::CacheHit { latency_us, .. } => {
+                // A DRAM-served request still counts in the latency
+                // histogram: the run_end hist covers every completion.
+                self.counters.cache_hits += 1;
+                self.latency_us.record(*latency_us);
+            }
+            Event::CacheMiss { .. } => self.counters.cache_misses += 1,
+            Event::FlushBatch { .. } => self.counters.flushes += 1,
+            Event::RunStart { .. }
+            | Event::DiskSummary { .. }
+            | Event::CacheSummary { .. }
+            | Event::RunSummary { .. } => {}
         }
         self.sink.push(ev);
     }

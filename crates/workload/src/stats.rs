@@ -20,6 +20,10 @@ pub struct TraceStats {
     /// Share of accesses landing on the hottest 10% of touched 1 MiB
     /// regions (skew headline).
     pub top_decile_share: f64,
+    /// Fraction of requests whose 1 MiB region was already touched
+    /// earlier in the trace — an upper bound on what any
+    /// region-granular cache could hit.
+    pub re_reference_share: f64,
     /// Peak-to-mean ratio of per-minute arrival counts (burstiness).
     pub peak_to_mean: f64,
 }
@@ -43,11 +47,18 @@ impl TraceStats {
             .count() as f64;
         let total_sectors: u64 = trace.requests.iter().map(|r| u64::from(r.sectors)).sum();
 
-        // Footprint + skew over 1 MiB regions (2048 sectors).
+        // Footprint + skew over 1 MiB regions (2048 sectors). A request
+        // whose region is already in the map is a re-reference: with an
+        // unbounded region-granular cache it would have been a hit.
         const REGION: u64 = 2048;
         let mut counts = std::collections::HashMap::new();
+        let mut re_referenced = 0u64;
         for r in &trace.requests {
-            *counts.entry(r.sector / REGION).or_insert(0u64) += 1;
+            let c = counts.entry(r.sector / REGION).or_insert(0u64);
+            if *c > 0 {
+                re_referenced += 1;
+            }
+            *c += 1;
         }
         let mut per_region: Vec<u64> = counts.values().copied().collect();
         per_region.sort_unstable_by(|a, b| b.cmp(a));
@@ -72,6 +83,7 @@ impl TraceStats {
             mean_size_kib: total_sectors as f64 * 512.0 / 1024.0 / n as f64,
             footprint_mib: per_region.len() as u64,
             top_decile_share: top as f64 / n as f64,
+            re_reference_share: re_referenced as f64 / n as f64,
             peak_to_mean: peak / mean_per_min,
         })
     }
@@ -111,6 +123,22 @@ mod tests {
         assert!((s.read_fraction - 0.5).abs() < 1e-12);
         assert!((s.mean_size_kib - 16.0).abs() < 1e-9); // (8 KiB + 24 KiB)/2
         assert_eq!(s.footprint_mib, 2);
+        assert_eq!(s.re_reference_share, 0.0, "two distinct regions");
+    }
+
+    #[test]
+    fn re_reference_counts_repeat_regions() {
+        // Three hits on region 0, one on region 1: requests 2, 3 are
+        // re-references -> share 0.5.
+        let mk = |t: f64, sector: u64| VolumeRequest {
+            time: SimTime::from_secs(t),
+            sector,
+            sectors: 8,
+            kind: VolumeIoKind::Read,
+        };
+        let tr = Trace::from_requests(vec![mk(0.0, 0), mk(1.0, 100), mk(2.0, 2000), mk(3.0, 4096)]);
+        let s = TraceStats::compute(&tr).unwrap();
+        assert!((s.re_reference_share - 0.5).abs() < 1e-12);
     }
 
     #[test]

@@ -1,0 +1,151 @@
+//! Differential lockdown: a *disabled* controller cache is not merely
+//! "similar to" the pre-cache simulator — it IS the pre-cache simulator.
+//!
+//! `RunOptions { cache: None }` and `cache: Some(capacity 0)` must produce
+//! bit-identical runs for every headline policy: the same report numerics,
+//! the same event count, and the same telemetry stream bytes. This is what
+//! lets the cache subsystem ride in the request path without invalidating
+//! a single pre-existing golden or experiment result.
+
+use array::{run_policy, ArrayConfig, BasePolicy, RunOptions, RunReport};
+use hibernator::{Hibernator, HibernatorConfig};
+use policies::{maid_array_config, DrpmPolicy, MaidConfig, MaidPolicy, PdcPolicy, TpmPolicy};
+use simkit::SimDuration;
+use telemetry::TelemetryConfig;
+use workload::{Trace, WorkloadSpec};
+
+const DURATION_S: f64 = 900.0;
+
+fn trace(seed: u64) -> Trace {
+    let mut spec = WorkloadSpec::oltp(DURATION_S, 25.0);
+    spec.extents = 1024;
+    spec.zipf_theta = 1.0;
+    spec.generate(seed)
+}
+
+fn config() -> ArrayConfig {
+    let mut c = ArrayConfig::default_for_volume(2 << 30);
+    c.disks = 6;
+    c
+}
+
+fn opts(label: &str, cache: Option<cache::CacheConfig>) -> RunOptions {
+    let mut o = RunOptions::for_horizon(DURATION_S);
+    o.series_bucket = SimDuration::from_secs(60.0);
+    o.sample_interval = SimDuration::from_secs(60.0);
+    o.cache = cache;
+    o.telemetry = Some(TelemetryConfig::new(label).with_goal(0.02, 90.0));
+    o
+}
+
+/// Runs `policy_ix` (0..6) under `o`; each index is one headline policy.
+fn run_ix(policy_ix: usize, o: RunOptions, trace: &Trace) -> RunReport {
+    match policy_ix {
+        0 => run_policy(config(), BasePolicy, trace, o),
+        1 => run_policy(config(), TpmPolicy::competitive(), trace, o),
+        2 => run_policy(config(), DrpmPolicy::default(), trace, o),
+        3 => run_policy(config(), PdcPolicy::default(), trace, o),
+        4 => run_policy(
+            maid_array_config(config(), 2),
+            MaidPolicy::new(MaidConfig {
+                cache_disks: 2,
+                cache_chunks_per_disk: 256,
+                tpm_threshold_s: Some(120.0),
+            }),
+            trace,
+            o,
+        ),
+        5 => {
+            let mut cfg = HibernatorConfig::for_goal(0.02);
+            cfg.epoch = SimDuration::from_secs(180.0);
+            cfg.heat_tau = SimDuration::from_secs(180.0);
+            run_policy(config(), Hibernator::new(cfg), trace, o)
+        }
+        _ => unreachable!(),
+    }
+}
+
+const POLICY_NAMES: [&str; 6] = ["Base", "TPM", "DRPM", "PDC", "MAID", "Hibernator"];
+
+#[test]
+fn zero_capacity_cache_is_bit_identical_to_no_cache() {
+    let trace = trace(7);
+    for (ix, name) in POLICY_NAMES.iter().enumerate() {
+        let mut off = run_ix(ix, opts(name, None), &trace);
+        let mut zero = run_ix(
+            ix,
+            opts(name, Some(cache::CacheConfig::with_capacity(0))),
+            &trace,
+        );
+
+        // A capacity-0 config normalizes to "no cache at all".
+        assert!(off.cache.is_none(), "{name}: cache-off report has stats");
+        assert!(zero.cache.is_none(), "{name}: capacity-0 report has stats");
+
+        // Report numerics, exact — these are f64s from the identical
+        // event sequence, so equality is the correct comparison.
+        assert_eq!(off.completed, zero.completed, "{name}: completed");
+        assert_eq!(off.incomplete, zero.incomplete, "{name}: incomplete");
+        assert_eq!(off.fg_sectors, zero.fg_sectors, "{name}: fg_sectors");
+        assert_eq!(off.transitions, zero.transitions, "{name}: transitions");
+        assert_eq!(
+            off.events_processed, zero.events_processed,
+            "{name}: events_processed"
+        );
+        assert_eq!(
+            off.energy.total_joules(),
+            zero.energy.total_joules(),
+            "{name}: energy"
+        );
+        assert_eq!(
+            off.response.mean(),
+            zero.response.mean(),
+            "{name}: mean response"
+        );
+        assert_eq!(
+            off.response.count(),
+            zero.response.count(),
+            "{name}: response count"
+        );
+        assert_eq!(
+            off.migration.raw_writes, zero.migration.raw_writes,
+            "{name}: raw writes"
+        );
+
+        // The telemetry streams must match byte for byte: same events, in
+        // the same order, with the same formatted floats.
+        let a = off.telemetry.take().expect("stream captured").bytes;
+        let b = zero.telemetry.take().expect("stream captured").bytes;
+        assert!(
+            a == b,
+            "{name}: telemetry streams diverge ({} vs {} bytes)",
+            a.len(),
+            b.len()
+        );
+    }
+}
+
+#[test]
+fn enabled_cache_changes_the_run_but_conserves_requests() {
+    // Sanity companion: a *real* cache must actually do something (else
+    // the differential above proves nothing), while still completing the
+    // same foreground work.
+    let trace = trace(7);
+    let off = run_ix(0, opts("Base", None), &trace);
+    let on = run_ix(
+        0,
+        opts("Base", Some(cache::CacheConfig::with_capacity(1024))),
+        &trace,
+    );
+    let stats = on.cache.expect("enabled cache reports stats");
+    assert!(stats.read_hits > 0, "hot OLTP set should hit");
+    assert_eq!(
+        off.completed + off.incomplete,
+        on.completed + on.incomplete,
+        "cache must not lose foreground requests"
+    );
+    assert!(
+        on.response.mean() < off.response.mean(),
+        "DRAM hits should cut mean response on an always-on array"
+    );
+}

@@ -6,6 +6,7 @@ use array::{run_policy, ArrayConfig, BasePolicy, RunOptions};
 use hibernator::{Hibernator, HibernatorConfig};
 use policies::{DrpmPolicy, TpmPolicy};
 use simkit::SimDuration;
+use telemetry::TelemetryConfig;
 use workload::WorkloadSpec;
 
 const DURATION_S: f64 = 2400.0;
@@ -86,5 +87,56 @@ fn orderings_hold_across_seeds() {
                 "seed {seed}: {name} lost work"
             );
         }
+    }
+}
+
+#[test]
+fn cache_behavior_holds_across_seeds() {
+    // The controller DRAM cache's properties must be seed-independent:
+    // on the hot OLTP set it always hits, it never loses foreground
+    // requests, and the telemetry it emits always reconciles — the
+    // energy ledger, the cache-accounting invariant, and every other
+    // audit check hold on all 20 universes.
+    for seed in 0..20u64 {
+        let (config, trace, mut opts) = scenario(seed);
+        opts.cache = Some(cache::CacheConfig::with_capacity(256));
+        opts.telemetry = Some(TelemetryConfig::new(format!("seed-{seed}")));
+        let bare = run_policy(
+            config.clone(),
+            TpmPolicy::competitive(),
+            &trace,
+            RunOptions::for_horizon(DURATION_S),
+        );
+        let mut cached = run_policy(config, TpmPolicy::competitive(), &trace, opts);
+
+        let stats = cached.cache.expect("cache enabled");
+        assert!(
+            stats.read_hits > 0,
+            "seed {seed}: hot OLTP set never hit ({stats:?})"
+        );
+        assert!(
+            stats.read_hit_rate() > 0.2,
+            "seed {seed}: hit rate collapsed ({:.3})",
+            stats.read_hit_rate()
+        );
+        assert_eq!(
+            cached.completed + cached.incomplete,
+            bare.completed + bare.incomplete,
+            "seed {seed}: cache lost foreground requests"
+        );
+
+        // The stream must survive the full replay audit: energy
+        // conservation and completed == hits + disk-served included.
+        let stream = cached.telemetry.take().expect("stream captured");
+        let outcome = telemetry::audit::audit_bytes(&stream.bytes).expect("well-formed stream");
+        assert!(
+            outcome.passed(),
+            "seed {seed}: audit failed: {:?}",
+            outcome
+                .runs
+                .iter()
+                .flat_map(|r| r.checks.iter().filter(|c| !c.passed))
+                .collect::<Vec<_>>()
+        );
     }
 }
