@@ -235,6 +235,16 @@ pub trait PowerPolicy {
     fn on_disk_failure(&mut self, now: SimTime, disk: usize, state: &mut ArrayState) {
         let _ = (now, disk, state);
     }
+
+    /// An externally imposed array power cap in watts (`None` lifts it),
+    /// granted by a coordination layer above the array — the fleet
+    /// power-budget arbiter. The cap is advisory-soft: a planner should
+    /// pick the best plan whose predicted power fits under it, but
+    /// reactive safety mechanisms (guard boosts, demand wakes) may still
+    /// exceed it transiently. Policies without a planner ignore it.
+    fn set_power_cap(&mut self, cap_w: Option<f64>) {
+        let _ = cap_w;
+    }
 }
 
 /// The trivial policy: all disks at full speed, forever. Both the

@@ -73,6 +73,14 @@ pub struct RunOptions {
     /// results; this flag exists as the reference for equivalence tests
     /// and for measuring the optimisation's effect.
     pub reference_full_resync: bool,
+    /// Volume sectors per tenant: when `Some(n)`, the volume is viewed as
+    /// consecutive `n`-sector tenant shards (tenant = sector / n) and the
+    /// driver keeps one response histogram per tenant in
+    /// [`RunReport::tenant_latency`]. `None` (the default) records
+    /// nothing per-tenant and leaves the run bit-identical to a driver
+    /// without tenant accounting — the histograms never influence event
+    /// order or timing either way.
+    pub tenant_sectors: Option<u64>,
 }
 
 impl RunOptions {
@@ -89,6 +97,7 @@ impl RunOptions {
             telemetry: None,
             cache: None,
             reference_full_resync: false,
+            tenant_sectors: None,
         }
     }
 
@@ -146,6 +155,9 @@ pub struct RunReport {
     pub cache: Option<cache::CacheStats>,
     /// The serialized telemetry stream, when capture was enabled.
     pub telemetry: Option<telemetry::RunStream>,
+    /// Per-tenant response histograms, indexed by tenant id — empty
+    /// unless [`RunOptions::tenant_sectors`] sharded the volume.
+    pub tenant_latency: Vec<LatencyHistogram>,
 }
 
 impl RunReport {
@@ -187,6 +199,8 @@ struct PendingVolume {
     remaining: u32,
     arrival: SimTime,
     sectors: u64,
+    /// Owning tenant (0 unless `RunOptions::tenant_sectors` is set).
+    tenant: u32,
 }
 
 /// The simulation driver. Construct with [`Simulation::new`], then call
@@ -225,6 +239,15 @@ pub struct Simulation<'a, P: PowerPolicy> {
     /// `outcome.rebuild_chunks` value at the last recorded backlog drain,
     /// so a later failure's rebuild wave updates the completion time.
     rebuilds_drained: u64,
+    /// Whether [`Self::start`] has run (header, policy init, event seeds).
+    started: bool,
+    /// Mean array power over the most recent sampling interval, watts —
+    /// the observation a fleet arbiter reads between stepping segments.
+    /// Reading this instead of re-integrating energy keeps the energy
+    /// accrual schedule (and its float rounding) untouched by observers.
+    last_power_w: f64,
+    /// Per-tenant response histograms (empty without `tenant_sectors`).
+    tenant_lat: Vec<LatencyHistogram>,
 }
 
 impl<'a, P: PowerPolicy> Simulation<'a, P> {
@@ -310,6 +333,9 @@ impl<'a, P: PowerPolicy> Simulation<'a, P> {
             last_hazard_check: SimTime::ZERO,
             events_processed: 0,
             rebuilds_drained: 0,
+            started: false,
+            last_power_w: 0.0,
+            tenant_lat: Vec::new(),
         }
     }
 
@@ -321,6 +347,21 @@ impl<'a, P: PowerPolicy> Simulation<'a, P> {
     /// Like [`Simulation::run`], but also hands the policy back so callers
     /// can inspect policy-internal state (hit ratios, boost counters, …).
     pub fn run_returning_policy(mut self) -> (RunReport, P) {
+        let horizon = self.opts.horizon;
+        self.start();
+        self.step_until(horizon);
+        self.finish()
+    }
+
+    /// Emits the stream header, runs the policy's `init`, and seeds the
+    /// event queue. Idempotent: [`Simulation::step_until`] calls it before
+    /// the first event, so explicit calls are only useful to drivers that
+    /// want setup separated from stepping.
+    pub fn start(&mut self) {
+        if self.started {
+            return;
+        }
+        self.started = true;
         let t0 = SimTime::ZERO;
         let header = self
             .state
@@ -362,45 +403,89 @@ impl<'a, P: PowerPolicy> Simulation<'a, P> {
         if let Some(t) = self.injector.as_ref().and_then(|i| i.next_event_time()) {
             self.events.push(t.max(t0), Event::Fault);
         }
+    }
 
-        while let Some((now, ev)) = self.events.pop() {
+    /// Processes every event due at or before `limit` (never beyond the
+    /// run horizon) and returns `true` while the run has more to do.
+    /// Beyond-`limit` events stay queued rather than being popped and
+    /// re-inserted, so stepping a run in segments — the fleet driver
+    /// pauses every array at each arbiter epoch — processes the exact
+    /// event sequence, with the exact FIFO tie-breaking, of an unpaused
+    /// [`Simulation::run`]. Call [`Simulation::finish`] once stepping is
+    /// done.
+    pub fn step_until(&mut self, limit: SimTime) -> bool {
+        self.start();
+        while let Some(t) = self.events.peek_time() {
+            if t > limit {
+                return true;
+            }
+            let (now, ev) = self.events.pop().expect("peeked event present");
             if now > self.opts.horizon {
-                break;
+                return false;
             }
             self.events_processed += 1;
-            match ev {
-                Event::Arrival(idx) => self.handle_arrival(now, idx),
-                Event::DiskWake(d, gen) => self.handle_disk_wake(now, d, gen),
-                Event::Tick => {
-                    self.policy.on_tick(now, &mut self.state);
-                    // The tick hook may mutate any spindle directly.
-                    self.state.wake_marks.mark_all();
-                    self.pump_migration(now);
-                    if let Some(int) = self.policy.tick_interval() {
-                        self.events.push(now + int, Event::Tick);
-                    }
-                    self.resync(now);
-                }
-                Event::Sample => {
-                    self.take_sample(now);
-                    self.events
-                        .push(now + self.opts.sample_interval, Event::Sample);
-                }
-                Event::Flush => {
-                    self.flush_writeback(now, false);
-                    if let Some(dram) = &self.dram {
-                        let int = SimDuration::from_secs(dram.config().flush_interval_s);
-                        self.events.push(now + int, Event::Flush);
-                    }
-                    self.pump_migration(now);
-                    self.resync(now);
-                }
-                Event::Fault => self.handle_fault_due(now),
-                Event::Retry { disk, req } => self.handle_retry(now, disk, req),
-            }
+            self.dispatch(now, ev);
         }
+        false
+    }
 
-        self.finish()
+    /// Handles one popped event — the body of the main loop.
+    fn dispatch(&mut self, now: SimTime, ev: Event) {
+        match ev {
+            Event::Arrival(idx) => self.handle_arrival(now, idx),
+            Event::DiskWake(d, gen) => self.handle_disk_wake(now, d, gen),
+            Event::Tick => {
+                self.policy.on_tick(now, &mut self.state);
+                // The tick hook may mutate any spindle directly.
+                self.state.wake_marks.mark_all();
+                self.pump_migration(now);
+                if let Some(int) = self.policy.tick_interval() {
+                    self.events.push(now + int, Event::Tick);
+                }
+                self.resync(now);
+            }
+            Event::Sample => {
+                self.take_sample(now);
+                self.events
+                    .push(now + self.opts.sample_interval, Event::Sample);
+            }
+            Event::Flush => {
+                self.flush_writeback(now, false);
+                if let Some(dram) = &self.dram {
+                    let int = SimDuration::from_secs(dram.config().flush_interval_s);
+                    self.events.push(now + int, Event::Flush);
+                }
+                self.pump_migration(now);
+                self.resync(now);
+            }
+            Event::Fault => self.handle_fault_due(now),
+            Event::Retry { disk, req } => self.handle_retry(now, disk, req),
+        }
+    }
+
+    /// Forwards an external power cap to the policy (see
+    /// [`PowerPolicy::set_power_cap`]). Callers stepping the run should
+    /// invoke this between segments, never mid-event.
+    pub fn set_power_cap(&mut self, cap_w: Option<f64>) {
+        self.policy.set_power_cap(cap_w);
+    }
+
+    /// Mean array power over the most recent completed sampling interval,
+    /// watts (0 before the first sample). This is the pre-computed
+    /// observation from [`Self::take_sample`] — reading it accrues no
+    /// energy, so observers cannot perturb the run's float stream.
+    pub fn observed_power_w(&self) -> f64 {
+        self.last_power_w
+    }
+
+    /// Volume requests completed so far.
+    pub fn completed(&self) -> u64 {
+        self.state.stats.fg_completed
+    }
+
+    /// Mean foreground response so far, seconds.
+    pub fn mean_response_s(&self) -> f64 {
+        self.state.stats.response.mean()
     }
 
     // ------------------------------------------------------------------
@@ -457,6 +542,7 @@ impl<'a, P: PowerPolicy> Simulation<'a, P> {
                 remaining: self.piece_scratch.len() as u32,
                 arrival: req.time,
                 sectors: u64::from(req.sectors),
+                tenant: self.tenant_of(req.sector),
             },
         );
 
@@ -594,6 +680,8 @@ impl<'a, P: PowerPolicy> Simulation<'a, P> {
             self.state
                 .stats
                 .record_response(now, hit_latency, u64::from(req.sectors));
+            let tenant = self.tenant_of(req.sector);
+            self.record_tenant(tenant, hit_latency);
             self.state
                 .telemetry
                 .emit_with(|| telemetry::Event::CacheHit {
@@ -838,6 +926,7 @@ impl<'a, P: PowerPolicy> Simulation<'a, P> {
                 let p = self.pending.remove(parent).expect("parent vanished");
                 let resp = now.saturating_since(p.arrival).as_secs();
                 self.state.stats.record_response(now, resp, p.sectors);
+                self.record_tenant(p.tenant, resp);
                 Some(resp)
             } else {
                 None
@@ -1059,6 +1148,7 @@ impl<'a, P: PowerPolicy> Simulation<'a, P> {
         let dt = self.opts.sample_interval.as_secs();
         let watts = (total - self.last_sample_energy) / dt;
         self.last_sample_energy = total;
+        self.last_power_w = watts;
         let counts = self.state.level_counts();
         self.state.stats.record_power_sample(now, watts, &counts);
         if self.state.telemetry.is_enabled() {
@@ -1101,6 +1191,32 @@ impl<'a, P: PowerPolicy> Simulation<'a, P> {
         self.next_id += 1;
         debug_assert!(id < (1 << 63), "foreground id overflow");
         id
+    }
+
+    /// The tenant owning `sector` under the run's tenant sharding (0 when
+    /// tenant accounting is off).
+    #[inline]
+    fn tenant_of(&self, sector: u64) -> u32 {
+        match self.opts.tenant_sectors {
+            Some(ts) if ts > 0 => (sector / ts) as u32,
+            _ => 0,
+        }
+    }
+
+    /// Books one completed response into its tenant's histogram. No-op
+    /// without tenant sharding; histograms grow on first touch so sparse
+    /// tenant ids cost only the slots up to the hottest one seen.
+    #[inline]
+    fn record_tenant(&mut self, tenant: u32, resp_s: f64) {
+        if self.opts.tenant_sectors.is_none() {
+            return;
+        }
+        let ix = tenant as usize;
+        if self.tenant_lat.len() <= ix {
+            self.tenant_lat
+                .resize_with(ix + 1, LatencyHistogram::new_latency);
+        }
+        self.tenant_lat[ix].record(resp_s);
     }
 
     /// Re-synchronises scheduled disk wakes.
@@ -1231,7 +1347,11 @@ impl<'a, P: PowerPolicy> Simulation<'a, P> {
         }
     }
 
-    fn finish(mut self) -> (RunReport, P) {
+    /// Accrues energy to the horizon, closes the telemetry stream, and
+    /// produces the report. The terminal half of
+    /// [`Simulation::run_returning_policy`]; drivers using
+    /// [`Simulation::step_until`] call it once stepping is done.
+    pub fn finish(mut self) -> (RunReport, P) {
         let horizon = self.opts.horizon;
         self.drain_instrument_logs();
         let per_disk_energy: Vec<EnergyLedger> = self
@@ -1366,6 +1486,7 @@ impl<'a, P: PowerPolicy> Simulation<'a, P> {
             events_processed: self.events_processed,
             cache: self.dram.is_some().then_some(self.cache_stats),
             telemetry: recorder.into_stream(),
+            tenant_latency: self.tenant_lat,
         };
         (report, policy)
     }
@@ -1405,6 +1526,10 @@ const _: () = {
     assert_send_sync::<Trace>();
     assert_send_sync::<RunOptions>();
     assert_send_sync::<ArrayConfig>();
+    // The fleet driver moves whole paused simulations into Pool workers
+    // (one segment per arbiter epoch), so the driver itself must be Send.
+    const fn assert_send<T: Send>() {}
+    assert_send::<Simulation<'static, crate::policy::BasePolicy>>();
 };
 
 #[cfg(test)]

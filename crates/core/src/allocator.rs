@@ -279,6 +279,155 @@ impl SpeedAllocator {
             feasible: true,
         }
     }
+
+    /// Finds the minimum-response assignment whose predicted power fits
+    /// under `cap_w` — the planning mode a fleet power grant imposes. The
+    /// usual objective is inverted: power becomes the constraint and
+    /// response the objective, so a capped array degrades latency no more
+    /// than the budget forces. `feasible` reports whether the chosen plan
+    /// also meets the response goal. When even the all-slowest layout
+    /// exceeds the cap, that layout is returned flagged infeasible — the
+    /// cap is soft, and the overdraw is the fleet accounting's problem.
+    #[allow(clippy::needless_range_loop)] // dp tables are indexed by design
+    pub fn allocate_capped(
+        &self,
+        input: &AllocationInput<'_>,
+        est: &ServiceEstimator,
+        cap_w: f64,
+    ) -> Allocation {
+        assert!(input.disks > 0, "no disks");
+        let levels = self.levels();
+        let n = input.disks;
+        let cum = cumulative_rates(input.chunk_rates, n);
+        let b = self.buckets;
+        let cap = cap_w.max(0.0);
+        if cap <= 0.0 {
+            return self.min_power_layout(input, est);
+        }
+
+        const INF: f64 = f64::INFINITY;
+        // dp over (disks used, power bucket): minimise the weighted
+        // response sum, tie-broken toward lower exact power. Same
+        // fastest-level-first tier filling as `allocate`.
+        let mut dpw = vec![vec![INF; b + 1]; n + 1];
+        let mut dpp = vec![vec![INF; b + 1]; n + 1];
+        let mut choice: Vec<Vec<Vec<(usize, usize, usize)>>> = Vec::new();
+        dpw[0][0] = 0.0;
+        dpp[0][0] = 0.0;
+
+        for level in (0..levels).rev() {
+            let mut nw = vec![vec![INF; b + 1]; n + 1];
+            let mut np = vec![vec![INF; b + 1]; n + 1];
+            let mut nchoice = vec![vec![(usize::MAX, 0, 0); b + 1]; n + 1];
+            let (es, _es2) = est.moments(SpeedLevel(level));
+            for used in 0..=n {
+                for bk in 0..=b {
+                    let cur_w = dpw[used][bk];
+                    if !cur_w.is_finite() {
+                        continue;
+                    }
+                    let cur_p = dpp[used][bk];
+                    let max_take = n - used;
+                    for take in 0..=max_take {
+                        if level == 0 && take != max_take {
+                            continue;
+                        }
+                        let (add_w, add_p) = if take == 0 {
+                            (0.0, 0.0)
+                        } else {
+                            let lam_tier = cum[used + take] - cum[used];
+                            let lam_disk = lam_tier / take as f64;
+                            let r = est.response(SpeedLevel(level), lam_disk);
+                            if !r.is_finite() {
+                                continue;
+                            }
+                            let rho = (lam_disk * es).min(1.0);
+                            (
+                                lam_tier * r,
+                                take as f64 * (self.idle_w[level] + rho * self.active_extra_w),
+                            )
+                        };
+                        // Conservative: round the consumed power budget up,
+                        // so a reconstructed plan always fits the cap.
+                        let spent = bk as f64 / b as f64 * cap + add_p;
+                        if spent > cap * (1.0 + 1e-9) {
+                            continue;
+                        }
+                        let nbk = ((spent / cap * b as f64).ceil() as usize).min(b);
+                        let w = cur_w + add_w;
+                        let p = cur_p + add_p;
+                        let slot_w = nw[used + take][nbk];
+                        if w < slot_w || (w == slot_w && p < np[used + take][nbk]) {
+                            nw[used + take][nbk] = w;
+                            np[used + take][nbk] = p;
+                            nchoice[used + take][nbk] = (used, bk, take);
+                        }
+                    }
+                }
+            }
+            dpw = nw;
+            dpp = np;
+            choice.push(nchoice);
+        }
+
+        let mut best: Option<(usize, f64, f64)> = None; // (bucket, weighted, power)
+        for bk in 0..=b {
+            let w = dpw[n][bk];
+            if !w.is_finite() {
+                continue;
+            }
+            let p = dpp[n][bk];
+            if best.is_none_or(|(_, bw, bp)| w < bw || (w == bw && p < bp)) {
+                best = Some((bk, w, p));
+            }
+        }
+        let Some((mut bk, _, _)) = best else {
+            return self.min_power_layout(input, est);
+        };
+
+        let mut per_level = vec![0usize; levels];
+        let mut used = n;
+        for (i, level) in (0..levels).rev().enumerate().rev() {
+            let (pu, pb, take) = choice[i][used][bk];
+            debug_assert_ne!(pu, usize::MAX, "broken DP chain");
+            per_level[level] = take;
+            used = pu;
+            bk = pb;
+        }
+        debug_assert_eq!(used, 0);
+
+        let mut out = Allocation {
+            per_level,
+            predicted_response_s: 0.0,
+            predicted_power_w: 0.0,
+            feasible: false,
+        };
+        if let Some((resp, pw)) = self.evaluate_unconstrained(input, est, &out.per_level) {
+            out.predicted_response_s = resp;
+            out.predicted_power_w = pw;
+            out.feasible = resp <= input.goal_s;
+        }
+        out
+    }
+
+    /// The all-slowest layout with its real (unconstrained) predictions —
+    /// the floor a power cap can push an array to. Always flagged
+    /// infeasible: callers reach here only when the cap is unmeetable.
+    fn min_power_layout(&self, input: &AllocationInput<'_>, est: &ServiceEstimator) -> Allocation {
+        let mut per_level = vec![0usize; self.levels()];
+        per_level[0] = input.disks;
+        let mut out = Allocation {
+            per_level,
+            predicted_response_s: 0.0,
+            predicted_power_w: 0.0,
+            feasible: false,
+        };
+        if let Some((resp, pw)) = self.evaluate_unconstrained(input, est, &out.per_level) {
+            out.predicted_response_s = resp;
+            out.predicted_power_w = pw;
+        }
+        out
+    }
 }
 
 /// Prefix sums of tier loads: `cum[i]` = total rate of the hottest
@@ -502,6 +651,107 @@ mod tests {
         let a = alloc.allocate(&input, &est);
         assert!(!a.feasible);
         assert_eq!(*a.per_level.last().unwrap(), 4);
+    }
+
+    #[test]
+    fn capped_allocation_respects_the_cap() {
+        let (alloc, est) = setup();
+        let r = rates(64, 150.0);
+        let input = AllocationInput {
+            chunk_rates: &r,
+            disks: 8,
+            goal_s: 0.020,
+        };
+        let free = alloc.allocate_capped(&input, &est, 1e9);
+        for cap in [free.predicted_power_w, 70.0, 55.0, 45.0] {
+            let a = alloc.allocate_capped(&input, &est, cap);
+            assert!(
+                a.predicted_power_w <= cap + 1e-9,
+                "cap {cap}: plan draws {} W ({:?})",
+                a.predicted_power_w,
+                a.per_level
+            );
+            assert_eq!(a.per_level.iter().sum::<usize>(), 8);
+        }
+    }
+
+    #[test]
+    fn tighter_cap_degrades_response_monotonically() {
+        let (alloc, est) = setup();
+        let r = rates(64, 150.0);
+        let input = AllocationInput {
+            chunk_rates: &r,
+            disks: 8,
+            goal_s: 0.020,
+        };
+        let mut prev = 0.0;
+        for cap in [120.0, 70.0, 55.0, 45.0] {
+            let a = alloc.allocate_capped(&input, &est, cap);
+            assert!(
+                a.predicted_response_s >= prev - 1e-12,
+                "cap {cap}: response improved from {prev} to {}",
+                a.predicted_response_s
+            );
+            prev = a.predicted_response_s;
+        }
+    }
+
+    #[test]
+    fn unmeetable_cap_returns_the_crawl_layout() {
+        let (alloc, est) = setup();
+        let r = rates(64, 10.0);
+        let input = AllocationInput {
+            chunk_rates: &r,
+            disks: 8,
+            goal_s: 0.050,
+        };
+        let a = alloc.allocate_capped(&input, &est, 0.5);
+        assert!(!a.feasible, "an unmeetable cap is never feasible");
+        assert_eq!(a.per_level[0], 8, "floor is all-slowest: {:?}", a.per_level);
+    }
+
+    #[test]
+    fn generous_cap_matches_the_unconstrained_best_response() {
+        let (alloc, est) = setup();
+        let r = rates(64, 150.0);
+        let input = AllocationInput {
+            chunk_rates: &r,
+            disks: 8,
+            goal_s: 0.020,
+        };
+        // With an effectively infinite cap the minimum-response plan is
+        // whatever the exhaustive search finds as best response.
+        let a = alloc.allocate_capped(&input, &est, 1e9);
+        let mut best = f64::INFINITY;
+        fn rec(
+            alloc: &SpeedAllocator,
+            input: &AllocationInput<'_>,
+            est: &ServiceEstimator,
+            level: usize,
+            left: usize,
+            cur: &mut Vec<usize>,
+            best: &mut f64,
+        ) {
+            if level == alloc.levels() {
+                if left == 0 {
+                    if let Some((r, _)) = alloc.evaluate_unconstrained(input, est, cur) {
+                        *best = best.min(r);
+                    }
+                }
+                return;
+            }
+            for take in 0..=left {
+                cur.push(take);
+                rec(alloc, input, est, level + 1, left - take, cur, best);
+                cur.pop();
+            }
+        }
+        rec(&alloc, &input, &est, 0, 8, &mut Vec::new(), &mut best);
+        assert!(
+            a.predicted_response_s <= best * 1.10 + 1e-9,
+            "capped {} vs exhaustive best {best}",
+            a.predicted_response_s
+        );
     }
 
     #[test]

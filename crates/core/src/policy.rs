@@ -180,6 +180,9 @@ pub struct Hibernator {
     model_error: Ewma,
     /// Correction floor/ceiling.
     correction: f64,
+    /// Externally granted power cap (fleet arbiter); `None` means
+    /// unconstrained and leaves planning bit-identical to a solo array.
+    power_cap: Option<f64>,
 }
 
 impl Hibernator {
@@ -208,6 +211,7 @@ impl Hibernator {
             standby_disks: std::collections::HashSet::new(),
             model_error: Ewma::new((cfg.epoch / 4.0).max(SimDuration::from_mins(10.0))),
             correction: 1.0,
+            power_cap: None,
             cfg,
         }
     }
@@ -274,7 +278,14 @@ impl Hibernator {
             disks: alive,
             goal_s: self.cfg.goal_s * self.cfg.plan_margin / self.correction,
         };
-        let new = alloc.allocate(&input, est);
+        let mut new = alloc.allocate(&input, est);
+        // Fleet power cap: only re-plan when the unconstrained optimum
+        // busts the cap, so a generous (or absent) cap changes nothing.
+        if let Some(cap) = self.power_cap {
+            if new.predicted_power_w > cap {
+                new = alloc.allocate_capped(&input, est, cap);
+            }
+        }
         if !new.feasible {
             self.stats.infeasible_epochs += 1;
         }
@@ -298,6 +309,15 @@ impl Hibernator {
             // A stale plan sized for a different (pre-failure) disk count
             // can't be compared or kept — adopt the fresh one outright.
             Some(cur) if cur.per_level.iter().sum::<usize>() != alive => new,
+            // A kept plan that busts an active power cap must go: the
+            // coarse-grain test never overrides the fleet grant.
+            Some(cur)
+                if self
+                    .power_cap
+                    .is_some_and(|cap| cur.predicted_power_w > cap) =>
+            {
+                new
+            }
             Some(cur) if cur.per_level == new.per_level => {
                 // Same speeds; refresh the stored predictions (they feed the
                 // calibration loop) and fall through to re-apply idempotently.
@@ -541,6 +561,10 @@ impl PowerPolicy for Hibernator {
 
     fn tick_interval(&self) -> Option<SimDuration> {
         Some(self.cfg.tick)
+    }
+
+    fn set_power_cap(&mut self, cap_w: Option<f64>) {
+        self.power_cap = cap_w;
     }
 
     fn on_volume_arrival(

@@ -1,0 +1,109 @@
+//! The datacenter power budget as a step function over simulated time.
+
+/// A piecewise-constant power budget: each step is `(from_s, watts)` and
+/// holds until the next step; `None` watts means unlimited. The arbiter
+/// samples it at fleet-epoch boundaries, so a step taking effect mid-epoch
+/// is seen at the next boundary.
+#[derive(Debug, Clone)]
+pub struct BudgetSchedule {
+    /// `(from_s, watts)` steps, ascending by `from_s`, first at 0.
+    steps: Vec<(f64, Option<f64>)>,
+}
+
+impl BudgetSchedule {
+    /// No budget at all: the arbiter never grants caps and the fleet
+    /// behaves exactly like independent arrays.
+    pub fn unlimited() -> BudgetSchedule {
+        BudgetSchedule {
+            steps: vec![(0.0, None)],
+        }
+    }
+
+    /// A constant budget of `watts` over the whole run.
+    ///
+    /// # Panics
+    /// Panics if `watts` is not finite and positive.
+    pub fn constant(watts: f64) -> BudgetSchedule {
+        assert!(watts.is_finite() && watts > 0.0, "bad budget {watts}");
+        BudgetSchedule {
+            steps: vec![(0.0, Some(watts))],
+        }
+    }
+
+    /// A budget from explicit `(from_s, watts)` steps (`None` = unlimited
+    /// during that span). Steps must start at 0 and ascend strictly.
+    ///
+    /// # Panics
+    /// Panics on an empty list, a first step not at 0, non-ascending
+    /// times, or a non-positive finite wattage.
+    pub fn steps(steps: Vec<(f64, Option<f64>)>) -> BudgetSchedule {
+        assert!(!steps.is_empty(), "budget needs at least one step");
+        assert_eq!(steps[0].0, 0.0, "first budget step must start at t=0");
+        for w in steps.windows(2) {
+            assert!(w[0].0 < w[1].0, "budget steps must ascend in time");
+        }
+        for &(t, w) in &steps {
+            if let Some(w) = w {
+                assert!(w.is_finite() && w > 0.0, "bad budget {w} at t={t}");
+            }
+        }
+        BudgetSchedule { steps }
+    }
+
+    /// The budget in force at time `t_s` (`None` = unlimited).
+    pub fn budget_at(&self, t_s: f64) -> Option<f64> {
+        let mut cur = self.steps[0].1;
+        for &(from, w) in &self.steps {
+            if from > t_s {
+                break;
+            }
+            cur = w;
+        }
+        cur
+    }
+
+    /// True when no step ever imposes a finite budget (the arbiter stays
+    /// fully inactive and a fleet of one is bit-identical to a solo run).
+    pub fn is_unlimited(&self) -> bool {
+        self.steps.iter().all(|&(_, w)| w.is_none())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constant_holds_everywhere() {
+        let b = BudgetSchedule::constant(250.0);
+        assert_eq!(b.budget_at(0.0), Some(250.0));
+        assert_eq!(b.budget_at(1e9), Some(250.0));
+        assert!(!b.is_unlimited());
+    }
+
+    #[test]
+    fn unlimited_never_caps() {
+        let b = BudgetSchedule::unlimited();
+        assert_eq!(b.budget_at(123.0), None);
+        assert!(b.is_unlimited());
+    }
+
+    #[test]
+    fn steps_switch_at_their_instant() {
+        let b = BudgetSchedule::steps(vec![
+            (0.0, None),
+            (100.0, Some(300.0)),
+            (200.0, Some(150.0)),
+        ]);
+        assert_eq!(b.budget_at(99.9), None);
+        assert_eq!(b.budget_at(100.0), Some(300.0));
+        assert_eq!(b.budget_at(250.0), Some(150.0));
+        assert!(!b.is_unlimited());
+    }
+
+    #[test]
+    #[should_panic(expected = "ascend")]
+    fn out_of_order_steps_panic() {
+        let _ = BudgetSchedule::steps(vec![(0.0, None), (50.0, Some(1.0)), (50.0, Some(2.0))]);
+    }
+}

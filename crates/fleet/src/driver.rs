@@ -1,0 +1,381 @@
+//! The fleet driver: shard, step, arbitrate, roll up.
+
+use crate::budget::BudgetSchedule;
+use crate::placement::{plan_placement, PlacementPlan};
+use array::{ArrayConfig, PowerPolicy, RunOptions, RunReport, Simulation};
+use parallel::Pool;
+use simkit::{LatencyHistogram, SimDuration, SimTime};
+use telemetry::audit::{audit_fleet_bytes, AuditError, RunAudit};
+use telemetry::{Event, RunStream};
+use workload::{tenants, Trace};
+
+/// Decorrelates per-array seeds without touching array 0's (so a fleet of
+/// one simulates the exact single-array run).
+const SEED_STRIDE: u64 = 0x9E37_79B9_7F4A_7C15;
+
+/// Everything that defines a fleet run besides the trace and policies.
+#[derive(Debug, Clone)]
+pub struct FleetSpec {
+    /// Number of arrays under management.
+    pub arrays: usize,
+    /// Tenant universe: the shared volume is viewed as `tenants` shards of
+    /// [`FleetSpec::tenant_sectors`] sectors each (plus a folded tail).
+    pub tenants: u32,
+    /// Volume sectors per tenant shard.
+    pub tenant_sectors: u64,
+    /// Per-array configuration; array `i` runs it with a decorrelated
+    /// seed (array 0's seed is untouched).
+    pub config: ArrayConfig,
+    /// Per-array run options; the driver derives each array's label
+    /// (`"{base}/a{i}"` when `arrays > 1`) and tenant sharding from it.
+    pub opts: RunOptions,
+    /// The datacenter power budget the arbiter enforces.
+    pub budget: BudgetSchedule,
+    /// Arbiter/placement cadence: caps are re-granted and tenants may
+    /// move at every multiple of this.
+    pub fleet_epoch: SimDuration,
+    /// Whether the placement map rebalances hot tenants at epoch
+    /// boundaries.
+    pub rebalance: bool,
+    /// Maximum tenant moves per epoch boundary.
+    pub max_moves_per_epoch: usize,
+}
+
+impl FleetSpec {
+    /// A spec with the common defaults: 10-minute fleet epochs,
+    /// rebalancing on (up to 4 moves per boundary), tenants sized so the
+    /// volume splits into `tenants` equal shards.
+    pub fn new(
+        arrays: usize,
+        tenants: u32,
+        config: ArrayConfig,
+        opts: RunOptions,
+        budget: BudgetSchedule,
+    ) -> FleetSpec {
+        assert!(arrays > 0, "need at least one array");
+        assert!(tenants > 0, "need at least one tenant");
+        let tenant_sectors = (config.volume_sectors() / u64::from(tenants)).max(1);
+        FleetSpec {
+            arrays,
+            tenants,
+            tenant_sectors,
+            config,
+            opts,
+            budget,
+            fleet_epoch: SimDuration::from_mins(10.0),
+            rebalance: true,
+            max_moves_per_epoch: 4,
+        }
+    }
+}
+
+/// One fleet-epoch boundary's arbiter decision, for reporting.
+#[derive(Debug, Clone)]
+pub struct EpochRecord {
+    /// Zero-based fleet epoch.
+    pub epoch: u32,
+    /// Boundary instant, seconds.
+    pub start_s: f64,
+    /// Budget in force (`None` = unlimited).
+    pub budget_w: Option<f64>,
+    /// Sum of observed per-array power at the boundary, watts.
+    pub demand_w: f64,
+    /// Granted per-array caps (empty when the budget was unlimited).
+    pub caps_w: Vec<f64>,
+    /// Tenant moves taking effect this epoch.
+    pub moves: u32,
+    /// True when observed fleet power still exceeded the budget at the
+    /// *end* of this epoch's segment (this is what accrues
+    /// [`FleetReport::cap_violation_s`]).
+    pub violated: bool,
+}
+
+/// The fleet-level rollup of one run.
+#[derive(Debug)]
+pub struct FleetReport {
+    /// Per-array run reports, in array order (each carries its own
+    /// telemetry stream when capture was enabled).
+    pub arrays: Vec<RunReport>,
+    /// Total energy across every array, joules.
+    pub fleet_energy_j: f64,
+    /// Integrated budget over the horizon, joules (`None` = unlimited).
+    pub budget_j: Option<f64>,
+    /// Seconds of simulated time spent with observed fleet power above
+    /// the budget (measured at segment ends).
+    pub cap_violation_s: f64,
+    /// Completed volume requests, fleet-wide.
+    pub completed: u64,
+    /// Requests still in flight at the horizon, fleet-wide.
+    pub incomplete: u64,
+    /// Requests in the shared input trace.
+    pub total_requests: u64,
+    /// Requests the placement map routed to arrays (conservation: must
+    /// equal [`FleetReport::total_requests`]).
+    pub routed_requests: u64,
+    /// Tenant moves performed.
+    pub tenant_moves: u64,
+    /// Per-tenant response histograms merged across arrays.
+    pub tenant_latency: Vec<LatencyHistogram>,
+    /// The arbiter's decision log, one record per fleet epoch.
+    pub epochs: Vec<EpochRecord>,
+    /// The placement rows used (`rows[epoch][tenant]` = array).
+    pub placement: PlacementPlan,
+    /// The serialized fleet event stream (tags `fleet_epoch`, `cap_grant`,
+    /// `tenant_move`, `fleet_end`) — separate from the per-array streams.
+    pub fleet_stream: RunStream,
+}
+
+impl FleetReport {
+    /// Replays the fleet stream through the fleet auditor.
+    pub fn audit(&self) -> Result<RunAudit, AuditError> {
+        audit_fleet_bytes(&self.fleet_stream.bytes)
+    }
+
+    /// A response-time quantile for one tenant, seconds (`None` if the
+    /// tenant completed nothing).
+    pub fn tenant_quantile(&self, tenant: usize, q: f64) -> Option<f64> {
+        self.tenant_latency.get(tenant)?.quantile(q)
+    }
+}
+
+/// Runs a fleet: shards the shared trace by the planned placement, steps
+/// every array in lockstep fleet epochs on `pool` (deterministic ordered
+/// merges — results are bit-identical at any worker count), lets the
+/// arbiter observe and re-grant power caps between segments, and rolls
+/// the per-array reports up into a [`FleetReport`].
+///
+/// `make_policy(i)` builds array `i`'s policy; policies are constructed
+/// serially in array order.
+pub fn run_fleet<P, F>(spec: &FleetSpec, trace: &Trace, pool: &Pool, make_policy: F) -> FleetReport
+where
+    P: PowerPolicy + Send,
+    F: Fn(usize) -> P,
+{
+    assert!(spec.arrays > 0, "need at least one array");
+    assert!(spec.tenants > 0, "need at least one tenant");
+    assert!(spec.tenant_sectors > 0, "tenant shards must be non-empty");
+    let horizon_s = spec.opts.horizon.as_secs();
+    let epoch_s = spec.fleet_epoch.as_secs();
+    assert!(epoch_s > 0.0, "fleet epoch must be positive");
+    let num_epochs = ((horizon_s / epoch_s).ceil() as usize).max(1);
+
+    // Plan placement ahead of simulation from the trace's heat alone.
+    let heat = tenants::tenant_heat(
+        trace,
+        spec.tenants,
+        spec.tenant_sectors,
+        epoch_s,
+        num_epochs,
+    );
+    let placement = plan_placement(&heat, spec.arrays, spec.rebalance, spec.max_moves_per_epoch);
+    let shards = tenants::shard_by_placement(
+        trace,
+        &placement.rows,
+        spec.tenant_sectors,
+        epoch_s,
+        spec.arrays,
+    );
+    let routed_requests: u64 = shards.iter().map(|s| s.len() as u64).sum();
+
+    // One simulation per array. Array 0 keeps the spec's seed and label
+    // verbatim, so a fleet of one is the exact single-array run.
+    let mut sims: Vec<Simulation<'_, P>> = (0..spec.arrays)
+        .map(|i| {
+            let mut config = spec.config.clone();
+            config.seed = config
+                .seed
+                .wrapping_add((i as u64).wrapping_mul(SEED_STRIDE));
+            let mut opts = spec.opts.clone();
+            opts.tenant_sectors = Some(spec.tenant_sectors);
+            if spec.arrays > 1 {
+                if let Some(t) = opts.telemetry.as_mut() {
+                    t.label = format!("{}/a{i}", t.label);
+                }
+            }
+            Simulation::new(config, make_policy(i), &shards[i], opts)
+        })
+        .collect();
+
+    let fleet_label = match &spec.opts.telemetry {
+        Some(t) => format!("{}/fleet", t.label),
+        None => "fleet".to_string(),
+    };
+    let mut fleet_bytes: Vec<u8> = Vec::new();
+    let emit = |ev: Event, bytes: &mut Vec<u8>| {
+        ev.write_jsonl(bytes).expect("write to Vec cannot fail");
+    };
+
+    let mut budget_j: Option<f64> = Some(0.0);
+    let mut cap_violation_s = 0.0;
+    let mut caps_active = false;
+    let mut epochs = Vec::with_capacity(num_epochs);
+    let mut move_ix = 0usize;
+
+    for k in 0..num_epochs {
+        let start_s = k as f64 * epoch_s;
+        let end_s = ((k + 1) as f64 * epoch_s).min(horizon_s);
+        let seg_len = end_s - start_s;
+        let budget_w = spec.budget.budget_at(start_s);
+        match budget_w {
+            Some(b) => {
+                if let Some(acc) = budget_j.as_mut() {
+                    *acc += b * seg_len;
+                }
+            }
+            None => budget_j = None,
+        }
+
+        // Observe trailing per-array power (last sample before the
+        // boundary) — never the energy integral, whose float accrual must
+        // stay untouched by observers.
+        let observed: Vec<f64> = sims.iter().map(Simulation::observed_power_w).collect();
+        let demand_w: f64 = observed.iter().sum();
+        emit(
+            Event::FleetEpoch {
+                time_s: start_s,
+                epoch: k as u32,
+                arrays: spec.arrays as u32,
+                budget_w,
+                demand_w,
+            },
+            &mut fleet_bytes,
+        );
+
+        // Grant caps proportional to observed demand (1 W smoothing keeps
+        // a sleeping array from being granted exactly zero).
+        let mut caps_w = Vec::new();
+        match budget_w {
+            Some(b) => {
+                let weight_total: f64 = demand_w + spec.arrays as f64;
+                for (i, sim) in sims.iter_mut().enumerate() {
+                    let cap = b * (observed[i] + 1.0) / weight_total;
+                    emit(
+                        Event::CapGrant {
+                            time_s: start_s,
+                            array: i as u32,
+                            cap_w: cap,
+                            observed_w: observed[i],
+                        },
+                        &mut fleet_bytes,
+                    );
+                    sim.set_power_cap(Some(cap));
+                    caps_w.push(cap);
+                }
+                caps_active = true;
+            }
+            None => {
+                // Lift stale caps — but never touch a fleet that was
+                // never capped (bit-identity with the solo run).
+                if caps_active {
+                    for sim in sims.iter_mut() {
+                        sim.set_power_cap(None);
+                    }
+                    caps_active = false;
+                }
+            }
+        }
+
+        // Tenant moves taking effect this epoch.
+        let mut moves = 0u32;
+        while move_ix < placement.moves.len() && placement.moves[move_ix].epoch == k {
+            let m = placement.moves[move_ix];
+            emit(
+                Event::TenantMove {
+                    time_s: start_s,
+                    tenant: m.tenant,
+                    from_array: m.from,
+                    to_array: m.to,
+                },
+                &mut fleet_bytes,
+            );
+            moves += 1;
+            move_ix += 1;
+        }
+
+        // Step every array through the segment, fanned out on the pool.
+        // `Pool::map` returns results in input order, so the merge (and
+        // everything downstream) is identical at any worker count.
+        let limit = SimTime::from_secs(end_s);
+        sims = pool.map(
+            sims.into_iter()
+                .map(|mut s| {
+                    move || {
+                        s.step_until(limit);
+                        s
+                    }
+                })
+                .collect(),
+        );
+
+        // Retrospective violation accounting: the trailing observation at
+        // the segment's end reflects power *during* it.
+        let post_demand: f64 = sims.iter().map(Simulation::observed_power_w).sum();
+        let violated = budget_w.is_some_and(|b| post_demand > b * (1.0 + 1e-9));
+        if violated {
+            cap_violation_s += seg_len;
+        }
+        epochs.push(EpochRecord {
+            epoch: k as u32,
+            start_s,
+            budget_w,
+            demand_w,
+            caps_w,
+            moves,
+            violated,
+        });
+    }
+
+    // Finish every array (accrue energy to the horizon, close streams) —
+    // still ordered, still parallel.
+    let finished: Vec<(RunReport, P)> =
+        pool.map(sims.into_iter().map(|s| move || s.finish()).collect());
+    let reports: Vec<RunReport> = finished.into_iter().map(|(r, _)| r).collect();
+
+    let fleet_energy_j: f64 = reports.iter().map(|r| r.energy.total_joules()).sum();
+    let completed: u64 = reports.iter().map(|r| r.completed).sum();
+    let incomplete: u64 = reports.iter().map(|r| r.incomplete).sum();
+    let mut tenant_latency: Vec<LatencyHistogram> = Vec::new();
+    for r in &reports {
+        if tenant_latency.len() < r.tenant_latency.len() {
+            tenant_latency.resize_with(r.tenant_latency.len(), LatencyHistogram::new_latency);
+        }
+        for (acc, h) in tenant_latency.iter_mut().zip(&r.tenant_latency) {
+            acc.merge(h);
+        }
+    }
+
+    let tenant_moves = placement.moves.len() as u64;
+    emit(
+        Event::FleetSummary {
+            time_s: horizon_s,
+            total_j: fleet_energy_j,
+            budget_j,
+            cap_violation_s,
+            completed,
+            incomplete,
+            total_requests: trace.len() as u64,
+            routed_requests,
+            tenant_moves,
+        },
+        &mut fleet_bytes,
+    );
+
+    FleetReport {
+        arrays: reports,
+        fleet_energy_j,
+        budget_j,
+        cap_violation_s,
+        completed,
+        incomplete,
+        total_requests: trace.len() as u64,
+        routed_requests,
+        tenant_moves,
+        tenant_latency,
+        epochs,
+        placement,
+        fleet_stream: RunStream {
+            label: fleet_label,
+            bytes: fleet_bytes,
+        },
+    }
+}

@@ -143,6 +143,119 @@ pub fn bench(seed: u64, out: &str, iters: usize, reference: bool) {
             o.name, o.mean_wall_s, o.iters, o.events_per_sec
         );
     }
+
+    fleet_quick(&ctx, seed, out, iters, reference);
+}
+
+/// Measured numbers for the fleet bench at one worker count.
+struct FleetOutcome {
+    jobs: usize,
+    mean_wall_s: f64,
+    min_wall_s: f64,
+    events_per_iter: u64,
+    events_per_sec: f64,
+}
+
+/// The **fleet_quick** scenario: a quick-scale 4-array / 8-tenant fleet
+/// under a 60 % power budget, timed serially (`--jobs 1`) and across the
+/// machine's cores. The fleet driver's per-segment fan-out is the one
+/// place the suite parallelizes *inside* a single run, so this is the
+/// scaling number the hot-path bench cannot show. Results land in
+/// `BENCH_fleet.json`; the per-iteration event counts must match across
+/// worker counts (determinism is asserted, not hoped for).
+fn fleet_quick(ctx: &Ctx, seed: u64, out: &str, iters: usize, reference: bool) {
+    use fleet::{run_fleet, BudgetSchedule, FleetSpec};
+    use hibernator::Hibernator;
+
+    const ARRAYS: usize = 4;
+    const TENANTS: u32 = 8;
+    const BUDGET_FRAC: f64 = 0.6;
+
+    let config = ctx.array_config(Workload::Oltp);
+    let trace = ctx.trace(Workload::Oltp);
+    let opts = bench_opts(ctx, reference);
+    let (_, goal) = calibrate(ctx, &config, &trace, &opts);
+
+    let nominal_w = crate::fleetcmd::nominal_fleet_w(&config, ARRAYS);
+    let mut spec = FleetSpec::new(
+        ARRAYS,
+        TENANTS,
+        config,
+        opts,
+        BudgetSchedule::constant(nominal_w * BUDGET_FRAC),
+    );
+    spec.fleet_epoch = simkit::SimDuration::from_secs(ctx.duration_s() / 12.0);
+
+    let jobs_hi = parallel::available_parallelism().clamp(2, ARRAYS);
+    let mut outcomes: Vec<FleetOutcome> = Vec::new();
+    // One expected event count across every iteration AND worker count:
+    // determinism is asserted, not hoped for.
+    let mut events = 0u64;
+    for jobs in [1usize, jobs_hi] {
+        let pool = parallel::Pool::new(jobs);
+        let mut walls = Vec::with_capacity(iters);
+        for i in 0..iters {
+            let started = Instant::now();
+            let report = run_fleet(&spec, &trace, &pool, |_| {
+                Hibernator::new(ctx.hibernator_config(goal))
+            });
+            let wall = started.elapsed().as_secs_f64();
+            let iter_events: u64 = report.arrays.iter().map(|r| r.events_processed).sum();
+            if i == 0 && outcomes.is_empty() {
+                events = iter_events;
+            } else {
+                assert_eq!(
+                    events, iter_events,
+                    "bench: nondeterministic fleet event count at {jobs} job(s)"
+                );
+            }
+            walls.push(wall);
+            println!(
+                "  [fleet_quick jobs={jobs} iter {n}/{iters}] {wall:.2} s, {iter_events} events",
+                n = i + 1,
+            );
+        }
+        let mean = walls.iter().sum::<f64>() / walls.len() as f64;
+        let min = walls.iter().cloned().fold(f64::INFINITY, f64::min);
+        outcomes.push(FleetOutcome {
+            jobs,
+            mean_wall_s: mean,
+            min_wall_s: min,
+            events_per_iter: events,
+            events_per_sec: events as f64 / mean,
+        });
+    }
+
+    let speedup = outcomes[0].mean_wall_s / outcomes[1].mean_wall_s;
+    let mut s = String::new();
+    let _ = writeln!(s, "{{");
+    let _ = writeln!(s, "  \"bench\": \"fleet_quick\",");
+    let _ = writeln!(s, "  \"seed\": {seed},");
+    let _ = writeln!(s, "  \"iters\": {iters},");
+    let _ = writeln!(s, "  \"reference_full_resync\": {reference},");
+    let _ = writeln!(s, "  \"arrays\": {ARRAYS},");
+    let _ = writeln!(s, "  \"tenants\": {TENANTS},");
+    let _ = writeln!(s, "  \"budget_frac\": {BUDGET_FRAC},");
+    let _ = writeln!(s, "  \"runs\": [");
+    for (i, o) in outcomes.iter().enumerate() {
+        let _ = writeln!(s, "    {{");
+        let _ = writeln!(s, "      \"jobs\": {},", o.jobs);
+        let _ = writeln!(s, "      \"mean_wall_s\": {:.4},", o.mean_wall_s);
+        let _ = writeln!(s, "      \"min_wall_s\": {:.4},", o.min_wall_s);
+        let _ = writeln!(s, "      \"events_per_iter\": {},", o.events_per_iter);
+        let _ = writeln!(s, "      \"events_per_sec\": {:.0}", o.events_per_sec);
+        let _ = writeln!(s, "    }}{}", if i + 1 < outcomes.len() { "," } else { "" });
+    }
+    let _ = writeln!(s, "  ],");
+    let _ = writeln!(s, "  \"speedup_parallel_vs_serial\": {speedup:.3}");
+    let _ = writeln!(s, "}}");
+    let path = std::path::Path::new(out).join("BENCH_fleet.json");
+    std::fs::write(&path, s).expect("write BENCH_fleet.json");
+    println!("  -> {}", path.display());
+    println!(
+        "bench fleet_quick: {:.2} s at 1 job, {:.2} s at {} job(s) ({speedup:.2}x)",
+        outcomes[0].mean_wall_s, outcomes[1].mean_wall_s, outcomes[1].jobs
+    );
 }
 
 /// Base run options for the bench (standard quick-scale settings plus the

@@ -5,6 +5,7 @@
 //! ```text
 //! repro [--quick] [--seed N] [--out DIR] [--jobs N] <experiment...>
 //!   experiments: t1..t6 f1..f12 faults cache | tables | figures | all
+//! repro fleet [--arrays N] [--tenants N] [--budget-frac F]
 //! repro audit <stream.jsonl>
 //! ```
 //!
@@ -21,12 +22,18 @@
 //! PATH` then replays such a stream through the cross-cutting invariant
 //! checks (energy conservation, dead-disk serving, migration concurrency,
 //! goal-violation refit, …) and exits non-zero on any failure.
+//!
+//! `repro fleet` simulates N Hibernator arrays under one datacenter power
+//! budget (see `fleetcmd`); its `fleet_stream.jsonl` output audits through
+//! the same `repro audit` command, which detects fleet streams by their
+//! first event tag.
 
 mod bench;
 mod cachesweep;
 mod common;
 mod faults;
 mod figures;
+mod fleetcmd;
 mod tables;
 
 use common::Ctx;
@@ -35,6 +42,7 @@ fn usage() -> ! {
     eprintln!(
         "usage: repro [--quick] [--seed N] [--out DIR] [--jobs N] [--horizon-h H] \
          [--telemetry-out PATH] <t1..t6|f1..f12|faults|cache|tables|figures|all>...\n\
+         \x20      repro fleet [--arrays N] [--tenants N] [--budget-frac F] [common flags]\n\
          \x20      repro audit <stream.jsonl>\n\
          \x20      repro bench [--seed N] [--out DIR] [--iters N] [--reference]"
     );
@@ -42,16 +50,27 @@ fn usage() -> ! {
 }
 
 /// Audits a telemetry stream file and exits: 0 if every invariant of every
-/// run held, 1 otherwise.
+/// run held, 1 otherwise. Fleet streams (first line tagged `fleet_*`, as
+/// written by `repro fleet`) route to the fleet auditor automatically.
 fn audit_stream(path: &str) -> ! {
     let bytes = std::fs::read(path).unwrap_or_else(|e| {
         eprintln!("audit: cannot read {path}: {e}");
         std::process::exit(2);
     });
-    let outcome = telemetry::audit::audit_bytes(&bytes).unwrap_or_else(|e| {
-        eprintln!("audit: malformed stream: {e}");
-        std::process::exit(1);
-    });
+    let first = bytes.split(|&b| b == b'\n').next().unwrap_or(&[]);
+    let is_fleet = std::str::from_utf8(first).is_ok_and(|line| line.contains("\"ev\":\"fleet_"));
+    let outcome = if is_fleet {
+        let run = telemetry::audit::audit_fleet_bytes(&bytes).unwrap_or_else(|e| {
+            eprintln!("audit: malformed fleet stream: {e}");
+            std::process::exit(1);
+        });
+        telemetry::audit::AuditOutcome { runs: vec![run] }
+    } else {
+        telemetry::audit::audit_bytes(&bytes).unwrap_or_else(|e| {
+            eprintln!("audit: malformed stream: {e}");
+            std::process::exit(1);
+        })
+    };
     if outcome.runs.is_empty() {
         eprintln!("audit: {path} holds no run streams");
         std::process::exit(1);
@@ -84,6 +103,9 @@ fn main() {
     let mut telemetry_out: Option<String> = None;
     let mut iters = 3usize;
     let mut reference = false;
+    let mut arrays = 4usize;
+    let mut tenants = 8u32;
+    let mut budget_frac = 0.6f64;
     let mut experiments: Vec<String> = Vec::new();
 
     let mut args = std::env::args().skip(1);
@@ -121,6 +143,27 @@ fn main() {
                     .unwrap_or_else(|| usage())
             }
             "--reference" => reference = true,
+            "--arrays" => {
+                arrays = args
+                    .next()
+                    .and_then(|s| s.parse().ok())
+                    .filter(|&n| n >= 1)
+                    .unwrap_or_else(|| usage())
+            }
+            "--tenants" => {
+                tenants = args
+                    .next()
+                    .and_then(|s| s.parse().ok())
+                    .filter(|&n| n >= 1)
+                    .unwrap_or_else(|| usage())
+            }
+            "--budget-frac" => {
+                budget_frac = args
+                    .next()
+                    .and_then(|s| s.parse().ok())
+                    .filter(|&f: &f64| f.is_finite())
+                    .unwrap_or_else(|| usage())
+            }
             "--help" | "-h" => usage(),
             e if !e.starts_with('-') => experiments.push(e.to_string()),
             _ => usage(),
@@ -137,6 +180,30 @@ fn main() {
             usage();
         }
         bench::bench(seed, &out, iters, reference);
+        return;
+    }
+    if experiments.first().map(String::as_str) == Some("fleet") {
+        if experiments.len() != 1 {
+            usage();
+        }
+        let mut ctx = Ctx::new(quick, seed, &out, jobs);
+        if let Some(h) = horizon_h {
+            ctx.set_horizon_hours(h);
+        }
+        if telemetry_out.is_some() {
+            ctx.set_telemetry(true);
+        }
+        println!(
+            "# Hibernator fleet — {arrays} array(s), seed {seed}, {:.1} h horizon, {jobs} job(s)",
+            ctx.duration_s() / 3600.0
+        );
+        let started = std::time::Instant::now();
+        fleetcmd::fleet(&ctx, arrays, tenants, budget_frac);
+        if let Some(path) = &telemetry_out {
+            ctx.write_telemetry(std::path::Path::new(path));
+        }
+        ctx.print_timings();
+        println!("\ndone in {:.1?} (wall clock)", started.elapsed());
         return;
     }
     if experiments.is_empty() {

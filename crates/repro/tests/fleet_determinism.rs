@@ -1,0 +1,102 @@
+//! Determinism under parallelism, fleet edition: `repro fleet` at
+//! `--jobs 1` and `--jobs 4` must produce byte-identical output — the
+//! CSVs *and* the fleet event stream.
+//!
+//! The fleet driver is the one place the suite parallelizes inside a
+//! single run (per-array segments fan out on the pool between arbiter
+//! rounds), so this locks that `Pool::map`'s ordered merge really does
+//! keep the worker count out of every observable byte. The emitted
+//! stream must also pass `repro audit`, which routes fleet streams to
+//! the fleet auditor automatically.
+
+use std::path::{Path, PathBuf};
+use std::process::Command;
+
+/// Runs `repro fleet` on a tiny horizon and returns its output dir.
+fn run_fleet_cmd(tag: &str, jobs: u32) -> PathBuf {
+    let out = std::env::temp_dir().join(format!("repro_fleet_det_{tag}_{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&out);
+    let status = Command::new(env!("CARGO_BIN_EXE_repro"))
+        .args([
+            "--quick",
+            "--horizon-h",
+            "0.1",
+            "--seed",
+            "11",
+            "--jobs",
+            &jobs.to_string(),
+            "--arrays",
+            "3",
+            "--tenants",
+            "6",
+            "--budget-frac",
+            "0.5",
+            "--out",
+        ])
+        .arg(&out)
+        .arg("fleet")
+        .output()
+        .expect("spawn repro binary");
+    assert!(
+        status.status.success(),
+        "repro fleet --jobs {jobs} failed:\n{}",
+        String::from_utf8_lossy(&status.stderr)
+    );
+    out
+}
+
+/// All output files under `dir`, sorted by name.
+fn outputs(dir: &Path) -> Vec<PathBuf> {
+    let mut v: Vec<PathBuf> = std::fs::read_dir(dir)
+        .expect("read results dir")
+        .map(|e| e.expect("dir entry").path())
+        .filter(|p| p.extension().is_some_and(|e| e == "csv" || e == "jsonl"))
+        .collect();
+    v.sort();
+    v
+}
+
+#[test]
+fn fleet_jobs_count_does_not_change_output_bytes() {
+    let serial = run_fleet_cmd("j1", 1);
+    let parallel = run_fleet_cmd("j4", 4);
+
+    let a = outputs(&serial);
+    let b = outputs(&parallel);
+    assert!(
+        a.iter()
+            .any(|p| p.file_name().is_some_and(|n| n == "fleet_stream.jsonl")),
+        "no fleet stream produced"
+    );
+    assert_eq!(
+        a.iter().map(|p| p.file_name().unwrap()).collect::<Vec<_>>(),
+        b.iter().map(|p| p.file_name().unwrap()).collect::<Vec<_>>(),
+        "different file sets"
+    );
+    for (pa, pb) in a.iter().zip(&b) {
+        let ba = std::fs::read(pa).expect("read output");
+        let bb = std::fs::read(pb).expect("read output");
+        assert!(
+            ba == bb,
+            "{} differs between --jobs 1 and --jobs 4",
+            pa.file_name().unwrap().to_string_lossy()
+        );
+        assert!(!ba.is_empty(), "{} is empty", pa.display());
+    }
+
+    // The stream must replay cleanly through the audit subcommand.
+    let audit = Command::new(env!("CARGO_BIN_EXE_repro"))
+        .arg("audit")
+        .arg(serial.join("fleet_stream.jsonl"))
+        .output()
+        .expect("spawn repro audit");
+    assert!(
+        audit.status.success(),
+        "repro audit rejected the fleet stream:\n{}\n{}",
+        String::from_utf8_lossy(&audit.stdout),
+        String::from_utf8_lossy(&audit.stderr)
+    );
+
+    let _ = std::fs::remove_dir_all(&serial);
+    let _ = std::fs::remove_dir_all(&parallel);
+}

@@ -131,6 +131,19 @@ fn str_field<'a>(line: &'a str, n: usize, key: &str) -> Result<&'a str, AuditErr
         .ok_or_else(|| AuditError::Parse(n, format!("bad/missing string field {key:?}")))
 }
 
+/// An `f64` field that may be JSON `null` (unlimited budgets serialize
+/// as `null`).
+fn opt_f64_field(line: &str, n: usize, key: &str) -> Result<Option<f64>, AuditError> {
+    match json_field(line, key) {
+        Some("null") => Ok(None),
+        Some(v) => v
+            .parse()
+            .map(Some)
+            .map_err(|_| AuditError::Parse(n, format!("bad f64 field {key:?}"))),
+        None => Err(AuditError::Parse(n, format!("missing field {key:?}"))),
+    }
+}
+
 fn u64_array(line: &str, n: usize, key: &str) -> Result<Vec<u64>, AuditError> {
     let raw = json_field(line, key)
         .and_then(|v| v.strip_prefix('['))
@@ -702,6 +715,202 @@ pub fn audit_bytes(bytes: &[u8]) -> Result<AuditOutcome, AuditError> {
     Ok(AuditOutcome { runs })
 }
 
+/// Audits a *fleet* stream: the arbiter/placement event log the fleet
+/// driver records alongside the per-array streams (tags `fleet_epoch`,
+/// `cap_grant`, `tenant_move`, `fleet_end`). Fleet events are rejected by
+/// [`audit_bytes`] — they never appear inside a per-array
+/// `run_start`…`run_end` segment — so the fleet stream gets its own
+/// replay with fleet-level invariants:
+///
+/// 1. **stream shape** — time-ordered, at least one `fleet_epoch`,
+///    exactly one `fleet_end`, and it is the last line;
+/// 2. **grant conservation** — at every boundary with a finite budget,
+///    the sum of granted caps stays within the budget;
+/// 3. **budget conservation** — under a finite budget, either total
+///    fleet energy fits inside the integrated budget or the overage was
+///    detected and reported as cap-violation time (never silent);
+/// 4. **request conservation** — the placement map routed every request
+///    of the shared trace, and completions never exceed what was routed;
+/// 5. **move accounting** — the trailer's move count matches the
+///    replayed `tenant_move` events.
+pub fn audit_fleet_bytes(bytes: &[u8]) -> Result<RunAudit, AuditError> {
+    let text = std::str::from_utf8(bytes)
+        .map_err(|e| AuditError::Parse(0, format!("stream is not UTF-8: {e}")))?;
+
+    struct Trailer {
+        total_j: f64,
+        budget_j: Option<f64>,
+        cap_violation_s: f64,
+        completed: u64,
+        incomplete: u64,
+        total_requests: u64,
+        routed_requests: u64,
+        tenant_moves: u64,
+    }
+
+    let mut events = 0usize;
+    let mut last_t = 0.0f64;
+    let mut order_violation: Option<String> = None;
+    let mut epochs = 0u64;
+    // The open boundary's finite budget and its running grant sum.
+    let mut open_budget: Option<f64> = None;
+    let mut grant_sum = 0.0f64;
+    let mut grant_violation: Option<String> = None;
+    let mut moves = 0u64;
+    let mut trailer: Option<Trailer> = None;
+    let mut after_trailer = false;
+
+    let close_epoch = |budget: &mut Option<f64>, sum: &mut f64, viol: &mut Option<String>| {
+        if let Some(b) = budget.take() {
+            if *sum > b * (1.0 + 1e-9) + 1e-6 && viol.is_none() {
+                *viol = Some(format!("granted {sum} W of budget {b} W"));
+            }
+        }
+        *sum = 0.0;
+    };
+
+    for (i, line) in text.lines().enumerate() {
+        let n = i + 1;
+        if line.trim().is_empty() {
+            continue;
+        }
+        if after_trailer {
+            return Err(AuditError::Parse(n, "events after fleet_end".to_string()));
+        }
+        events += 1;
+        let ev = str_field(line, n, "ev")?;
+        let t = f64_field(line, n, "t")?;
+        if t < last_t - 1e-9 && order_violation.is_none() {
+            order_violation = Some(format!(
+                "line {n}: t={t} after t={last_t} — stream not time-ordered"
+            ));
+        }
+        last_t = last_t.max(t);
+        match ev {
+            "fleet_epoch" => {
+                close_epoch(&mut open_budget, &mut grant_sum, &mut grant_violation);
+                epochs += 1;
+                open_budget = opt_f64_field(line, n, "budget_w")?;
+            }
+            "cap_grant" => {
+                grant_sum += f64_field(line, n, "cap_w")?;
+            }
+            "tenant_move" => moves += 1,
+            "fleet_end" => {
+                close_epoch(&mut open_budget, &mut grant_sum, &mut grant_violation);
+                trailer = Some(Trailer {
+                    total_j: f64_field(line, n, "total_j")?,
+                    budget_j: opt_f64_field(line, n, "budget_j")?,
+                    cap_violation_s: f64_field(line, n, "cap_violation_s")?,
+                    completed: u64_field(line, n, "completed")?,
+                    incomplete: u64_field(line, n, "incomplete")?,
+                    total_requests: u64_field(line, n, "total_requests")?,
+                    routed_requests: u64_field(line, n, "routed_requests")?,
+                    tenant_moves: u64_field(line, n, "tenant_moves")?,
+                });
+                after_trailer = true;
+            }
+            other => {
+                return Err(AuditError::Parse(
+                    n,
+                    format!("unknown fleet event kind {other:?}"),
+                ));
+            }
+        }
+    }
+
+    let mut checks = Vec::new();
+    let (shape_ok, shape_detail) = match (&trailer, &order_violation) {
+        (None, _) => (false, "missing fleet_end trailer".to_string()),
+        (Some(_), Some(v)) => (false, v.clone()),
+        (Some(_), None) if epochs == 0 => (false, "no fleet_epoch events".to_string()),
+        (Some(_), None) => (
+            true,
+            format!("{events} events over {epochs} fleet epochs, time-ordered"),
+        ),
+    };
+    checks.push(Check {
+        name: "fleet-stream-shape",
+        passed: shape_ok,
+        detail: shape_detail,
+    });
+
+    if let Some(end) = &trailer {
+        checks.push(match &grant_violation {
+            Some(v) => Check {
+                name: "grant-conservation",
+                passed: false,
+                detail: v.clone(),
+            },
+            None => Check {
+                name: "grant-conservation",
+                passed: true,
+                detail: format!("grants fit the budget at all {epochs} boundaries"),
+            },
+        });
+
+        let (budget_ok, budget_detail) = match end.budget_j {
+            None => (true, "unlimited budget".to_string()),
+            Some(bj) => {
+                let within = end.total_j <= bj * (1.0 + 1e-9) + 1e-6;
+                if within {
+                    (
+                        true,
+                        format!("fleet used {:.1} J of {:.1} J budget", end.total_j, bj),
+                    )
+                } else if end.cap_violation_s > 0.0 {
+                    (
+                        true,
+                        format!(
+                            "overspend {:.1} J > {:.1} J reported as {:.0} s of cap violation",
+                            end.total_j, bj, end.cap_violation_s
+                        ),
+                    )
+                } else {
+                    (
+                        false,
+                        format!(
+                            "fleet used {:.1} J of {:.1} J budget with no violation reported",
+                            end.total_j, bj
+                        ),
+                    )
+                }
+            }
+        };
+        checks.push(Check {
+            name: "budget-conservation",
+            passed: budget_ok,
+            detail: budget_detail,
+        });
+
+        let routed_ok = end.routed_requests == end.total_requests
+            && end.completed + end.incomplete <= end.routed_requests;
+        checks.push(Check {
+            name: "request-conservation",
+            passed: routed_ok,
+            detail: format!(
+                "routed {} of {} trace requests; {} completed + {} in flight",
+                end.routed_requests, end.total_requests, end.completed, end.incomplete
+            ),
+        });
+
+        checks.push(Check {
+            name: "move-accounting",
+            passed: moves == end.tenant_moves,
+            detail: format!(
+                "{} tenant_move events vs trailer {}",
+                moves, end.tenant_moves
+            ),
+        });
+    }
+
+    Ok(RunAudit {
+        label: "fleet".to_string(),
+        events,
+        checks,
+    })
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -907,5 +1116,118 @@ mod tests {
     fn garbage_is_a_parse_error() {
         assert!(audit_bytes(b"not json\n").is_err());
         assert!(audit_bytes(b"").is_err());
+    }
+
+    /// A two-epoch, two-array fleet stream whose grants, budget, and
+    /// request totals all reconcile.
+    fn fleet_stream() -> String {
+        [
+            "{\"ev\":\"fleet_epoch\",\"t\":0.0,\"epoch\":0,\"arrays\":2,\"budget_w\":100.0,\"demand_w\":0.0}",
+            "{\"ev\":\"cap_grant\",\"t\":0.0,\"array\":0,\"cap_w\":50.0,\"observed_w\":0.0}",
+            "{\"ev\":\"cap_grant\",\"t\":0.0,\"array\":1,\"cap_w\":50.0,\"observed_w\":0.0}",
+            "{\"ev\":\"fleet_epoch\",\"t\":60.0,\"epoch\":1,\"arrays\":2,\"budget_w\":100.0,\"demand_w\":80.0}",
+            "{\"ev\":\"cap_grant\",\"t\":60.0,\"array\":0,\"cap_w\":62.5,\"observed_w\":50.0}",
+            "{\"ev\":\"cap_grant\",\"t\":60.0,\"array\":1,\"cap_w\":37.5,\"observed_w\":30.0}",
+            "{\"ev\":\"tenant_move\",\"t\":60.0,\"tenant\":3,\"from\":0,\"to\":1}",
+            "{\"ev\":\"fleet_end\",\"t\":120.0,\"total_j\":9000.0,\"budget_j\":12000.0,\"cap_violation_s\":0.0,\"completed\":90,\"incomplete\":10,\"total_requests\":100,\"routed_requests\":100,\"tenant_moves\":1}",
+        ]
+        .map(|l| format!("{l}\n"))
+        .concat()
+    }
+
+    #[test]
+    fn consistent_fleet_stream_passes_all_checks() {
+        let run = audit_fleet_bytes(fleet_stream().as_bytes()).expect("parse");
+        for c in &run.checks {
+            assert!(c.passed, "{} failed: {}", c.name, c.detail);
+        }
+        assert!(run.passed());
+    }
+
+    #[test]
+    fn overspent_grants_are_caught() {
+        let s = fleet_stream().replace("\"cap_w\":62.5", "\"cap_w\":80.0");
+        let run = audit_fleet_bytes(s.as_bytes()).expect("parse");
+        let check = run
+            .checks
+            .iter()
+            .find(|c| c.name == "grant-conservation")
+            .unwrap();
+        assert!(!check.passed, "80 + 37.5 W exceeds the 100 W budget");
+    }
+
+    #[test]
+    fn silent_budget_overspend_is_caught() {
+        let s = fleet_stream().replace("\"total_j\":9000.0", "\"total_j\":13000.0");
+        let run = audit_fleet_bytes(s.as_bytes()).expect("parse");
+        let check = run
+            .checks
+            .iter()
+            .find(|c| c.name == "budget-conservation")
+            .unwrap();
+        assert!(!check.passed, "overspend with zero violation time");
+        // The same overspend *with* violation time reported is legal
+        // (caps are advisory-soft; the audit demands honesty, not magic).
+        let honest = s.replace("\"cap_violation_s\":0.0", "\"cap_violation_s\":60.0");
+        let run = audit_fleet_bytes(honest.as_bytes()).expect("parse");
+        assert!(run.passed(), "reported overspend passes");
+    }
+
+    #[test]
+    fn unlimited_budget_fleet_passes() {
+        let s = fleet_stream()
+            .replace("\"budget_w\":100.0", "\"budget_w\":null")
+            .replace("\"budget_j\":12000.0", "\"budget_j\":null");
+        let run = audit_fleet_bytes(s.as_bytes()).expect("parse");
+        assert!(run.passed());
+    }
+
+    #[test]
+    fn lost_requests_are_caught() {
+        let s = fleet_stream().replace("\"routed_requests\":100", "\"routed_requests\":99");
+        let run = audit_fleet_bytes(s.as_bytes()).expect("parse");
+        let check = run
+            .checks
+            .iter()
+            .find(|c| c.name == "request-conservation")
+            .unwrap();
+        assert!(!check.passed, "a dropped request must fail conservation");
+    }
+
+    #[test]
+    fn move_count_mismatch_is_caught() {
+        let s = fleet_stream().replace("\"tenant_moves\":1", "\"tenant_moves\":2");
+        let run = audit_fleet_bytes(s.as_bytes()).expect("parse");
+        let check = run
+            .checks
+            .iter()
+            .find(|c| c.name == "move-accounting")
+            .unwrap();
+        assert!(!check.passed);
+    }
+
+    #[test]
+    fn truncated_fleet_stream_fails_shape() {
+        let full = fleet_stream();
+        let cut = full.rsplit_once("{\"ev\":\"fleet_end\"").unwrap().0;
+        let run = audit_fleet_bytes(cut.as_bytes()).expect("parse");
+        let check = run
+            .checks
+            .iter()
+            .find(|c| c.name == "fleet-stream-shape")
+            .unwrap();
+        assert!(!check.passed, "missing trailer must fail");
+        // And trailing junk after the trailer is a parse error outright.
+        let extra = format!("{full}{}", fleet_stream().lines().next().unwrap());
+        assert!(audit_fleet_bytes(extra.as_bytes()).is_err());
+    }
+
+    #[test]
+    fn fleet_events_are_rejected_by_the_array_auditor() {
+        let s = minimal_stream().replace(
+            "{\"ev\":\"power\",\"t\":50.0,\"watts\":1.0}",
+            "{\"ev\":\"cap_grant\",\"t\":50.0,\"array\":0,\"cap_w\":50.0,\"observed_w\":0.0}",
+        );
+        assert!(audit_bytes(s.as_bytes()).is_err());
     }
 }

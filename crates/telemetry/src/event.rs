@@ -349,6 +349,67 @@ pub enum Event {
         /// Events the ring buffer had to drop (0 for a complete stream).
         dropped: u64,
     },
+    /// Fleet-stream header/boundary: the arbiter reviewed the fleet at a
+    /// fleet-epoch boundary (these live in a dedicated fleet stream, not
+    /// in any per-array stream).
+    FleetEpoch {
+        /// Simulation time (the epoch boundary).
+        time_s: f64,
+        /// Zero-based fleet epoch index.
+        epoch: u32,
+        /// Arrays under management.
+        arrays: u32,
+        /// The datacenter budget in force, watts (`None` = unlimited).
+        budget_w: Option<f64>,
+        /// Sum of observed per-array power at the boundary, watts.
+        demand_w: f64,
+    },
+    /// The arbiter granted one array its power cap for the next epoch.
+    CapGrant {
+        /// Simulation time (the epoch boundary).
+        time_s: f64,
+        /// Array index.
+        array: u32,
+        /// Granted cap, watts.
+        cap_w: f64,
+        /// The array's observed power at the boundary, watts.
+        observed_w: f64,
+    },
+    /// The placement planner moved a tenant between arrays at an epoch
+    /// boundary (takes effect for the next epoch's requests).
+    TenantMove {
+        /// Simulation time (the epoch boundary).
+        time_s: f64,
+        /// Tenant index.
+        tenant: u32,
+        /// Array the tenant left.
+        from_array: u32,
+        /// Array the tenant joined.
+        to_array: u32,
+    },
+    /// Fleet-stream trailer: whole-fleet totals the fleet auditor
+    /// reconciles against.
+    FleetSummary {
+        /// Simulation time (the horizon).
+        time_s: f64,
+        /// Total energy across every array, joules.
+        total_j: f64,
+        /// Integrated budget over the horizon, joules (`None` = unlimited).
+        budget_j: Option<f64>,
+        /// Simulated seconds during which observed fleet power exceeded
+        /// the budget at a boundary check.
+        cap_violation_s: f64,
+        /// Volume requests completed across the fleet.
+        completed: u64,
+        /// Requests still in flight at the horizon, fleet-wide.
+        incomplete: u64,
+        /// Requests in the shared input trace.
+        total_requests: u64,
+        /// Requests routed to arrays by the placement map.
+        routed_requests: u64,
+        /// Tenant moves performed over the run.
+        tenant_moves: u64,
+    },
 }
 
 impl Event {
@@ -371,7 +432,11 @@ impl Event {
             | Event::CacheSummary { time_s, .. }
             | Event::PowerSample { time_s, .. }
             | Event::DiskSummary { time_s, .. }
-            | Event::RunSummary { time_s, .. } => *time_s,
+            | Event::RunSummary { time_s, .. }
+            | Event::FleetEpoch { time_s, .. }
+            | Event::CapGrant { time_s, .. }
+            | Event::TenantMove { time_s, .. }
+            | Event::FleetSummary { time_s, .. } => *time_s,
         }
     }
 
@@ -590,7 +655,74 @@ impl Event {
                      \"remap_version\":{remap_version},\"dropped\":{dropped}}}"
                 )
             }
+            Event::FleetEpoch {
+                time_s,
+                epoch,
+                arrays,
+                budget_w,
+                demand_w,
+            } => {
+                write!(
+                    w,
+                    "{{\"ev\":\"fleet_epoch\",\"t\":{time_s:?},\"epoch\":{epoch},\
+                     \"arrays\":{arrays},\"budget_w\":"
+                )?;
+                write_opt_f64(w, *budget_w)?;
+                writeln!(w, ",\"demand_w\":{demand_w:?}}}")
+            }
+            Event::CapGrant {
+                time_s,
+                array,
+                cap_w,
+                observed_w,
+            } => writeln!(
+                w,
+                "{{\"ev\":\"cap_grant\",\"t\":{time_s:?},\"array\":{array},\
+                 \"cap_w\":{cap_w:?},\"observed_w\":{observed_w:?}}}"
+            ),
+            Event::TenantMove {
+                time_s,
+                tenant,
+                from_array,
+                to_array,
+            } => writeln!(
+                w,
+                "{{\"ev\":\"tenant_move\",\"t\":{time_s:?},\"tenant\":{tenant},\
+                 \"from\":{from_array},\"to\":{to_array}}}"
+            ),
+            Event::FleetSummary {
+                time_s,
+                total_j,
+                budget_j,
+                cap_violation_s,
+                completed,
+                incomplete,
+                total_requests,
+                routed_requests,
+                tenant_moves,
+            } => {
+                write!(
+                    w,
+                    "{{\"ev\":\"fleet_end\",\"t\":{time_s:?},\"total_j\":{total_j:?},\
+                     \"budget_j\":"
+                )?;
+                write_opt_f64(w, *budget_j)?;
+                writeln!(
+                    w,
+                    ",\"cap_violation_s\":{cap_violation_s:?},\"completed\":{completed},\
+                     \"incomplete\":{incomplete},\"total_requests\":{total_requests},\
+                     \"routed_requests\":{routed_requests},\"tenant_moves\":{tenant_moves}}}"
+                )
+            }
         }
+    }
+}
+
+/// Writes an optional float as its `{:?}` form or `null`.
+fn write_opt_f64<W: Write>(w: &mut W, x: Option<f64>) -> io::Result<()> {
+    match x {
+        Some(v) => write!(w, "{v:?}"),
+        None => write!(w, "null"),
     }
 }
 

@@ -255,7 +255,11 @@ impl Inner {
             Event::RunStart { .. }
             | Event::DiskSummary { .. }
             | Event::CacheSummary { .. }
-            | Event::RunSummary { .. } => {}
+            | Event::RunSummary { .. }
+            | Event::FleetEpoch { .. }
+            | Event::CapGrant { .. }
+            | Event::TenantMove { .. }
+            | Event::FleetSummary { .. } => {}
         }
         self.sink.push(ev);
     }

@@ -21,6 +21,7 @@ mod generator;
 mod popularity;
 mod request;
 mod stats;
+pub mod tenants;
 pub mod trace_io;
 
 pub use arrivals::{DiurnalProfile, Mmpp2, Poisson};

@@ -1,0 +1,175 @@
+//! Tenant sharding for fleet-level simulation.
+//!
+//! The fleet layer views the shared logical volume as consecutive
+//! fixed-size *tenant shards*: sector `s` belongs to tenant
+//! `s / tenant_sectors`. A placement map (one `tenant → array` row per
+//! fleet epoch) then splits a shared multi-tenant [`Trace`] into
+//! per-array traces, and a per-epoch heat matrix gives the placement
+//! planner its demand signal. Both are pure functions of the trace, so
+//! placement can be planned *ahead* of simulation — the fleet driver
+//! needs no feedback channel from the arrays to route requests, which
+//! keeps routing deterministic and jobs-invariant.
+
+use crate::{Trace, VolumeRequest};
+
+/// The tenant owning `sector` under `tenant_sectors`-sector shards,
+/// clamped to the `tenants` universe (the tail of an oversized volume
+/// folds into the last tenant).
+#[inline]
+pub fn tenant_of(sector: u64, tenant_sectors: u64, tenants: u32) -> u32 {
+    debug_assert!(tenant_sectors > 0 && tenants > 0);
+    ((sector / tenant_sectors) as u32).min(tenants - 1)
+}
+
+/// The fleet epoch containing time `t` (epoch `k` spans
+/// `[k·epoch_s, (k+1)·epoch_s)`).
+#[inline]
+pub fn epoch_of(t_s: f64, epoch_s: f64) -> usize {
+    debug_assert!(epoch_s > 0.0);
+    (t_s / epoch_s) as usize
+}
+
+/// Requests per tenant per fleet epoch: `heat[epoch][tenant]` counts the
+/// requests tenant `tenant` issues during fleet epoch `epoch`. The matrix
+/// spans `epochs` rows even where the trace is silent, so the placement
+/// planner always has a row per decision point.
+pub fn tenant_heat(
+    trace: &Trace,
+    tenants: u32,
+    tenant_sectors: u64,
+    epoch_s: f64,
+    epochs: usize,
+) -> Vec<Vec<u64>> {
+    assert!(tenants > 0, "at least one tenant");
+    assert!(tenant_sectors > 0, "tenant shards must be non-empty");
+    assert!(epoch_s > 0.0, "fleet epoch must be positive");
+    let mut heat = vec![vec![0u64; tenants as usize]; epochs.max(1)];
+    let last = heat.len() - 1;
+    for r in &trace.requests {
+        let e = epoch_of(r.time.as_secs(), epoch_s).min(last);
+        let t = tenant_of(r.sector, tenant_sectors, tenants);
+        heat[e][t as usize] += 1;
+    }
+    heat
+}
+
+/// Splits a shared trace into one per-array trace according to a
+/// placement map: request at time `t` with tenant `u` goes to array
+/// `placement[epoch_of(t)][u]`. One stable forward pass — each per-array
+/// trace preserves the shared trace's arrival order, so a single-array
+/// fleet receives exactly the original trace.
+///
+/// # Panics
+/// Panics if `placement` is empty, a row's length is not the tenant
+/// universe implied by its sibling rows, or a routed array index is out
+/// of range.
+pub fn shard_by_placement(
+    trace: &Trace,
+    placement: &[Vec<u32>],
+    tenant_sectors: u64,
+    epoch_s: f64,
+    arrays: usize,
+) -> Vec<Trace> {
+    assert!(!placement.is_empty(), "placement needs at least one epoch");
+    assert!(arrays > 0, "at least one array");
+    let tenants = placement[0].len() as u32;
+    assert!(tenants > 0, "placement rows must cover at least one tenant");
+    for row in placement {
+        assert_eq!(row.len(), tenants as usize, "ragged placement map");
+    }
+    let last = placement.len() - 1;
+    let mut out: Vec<Vec<VolumeRequest>> = vec![Vec::new(); arrays];
+    for r in &trace.requests {
+        let e = epoch_of(r.time.as_secs(), epoch_s).min(last);
+        let t = tenant_of(r.sector, tenant_sectors, tenants);
+        let a = placement[e][t as usize] as usize;
+        assert!(
+            a < arrays,
+            "placement routes tenant {t} to missing array {a}"
+        );
+        out[a].push(*r);
+    }
+    out.into_iter()
+        .map(|reqs| Trace { requests: reqs })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::VolumeIoKind;
+    use simkit::SimTime;
+
+    fn req(t: f64, sector: u64) -> VolumeRequest {
+        VolumeRequest {
+            time: SimTime::from_secs(t),
+            sector,
+            sectors: 8,
+            kind: VolumeIoKind::Read,
+        }
+    }
+
+    fn mixed_trace() -> Trace {
+        // Tenants of 100 sectors each; three tenants interleaved in time.
+        Trace::from_requests(vec![
+            req(0.0, 10),   // tenant 0, epoch 0
+            req(1.0, 110),  // tenant 1, epoch 0
+            req(2.0, 210),  // tenant 2, epoch 0
+            req(10.0, 15),  // tenant 0, epoch 1
+            req(11.0, 115), // tenant 1, epoch 1
+            req(19.0, 215), // tenant 2, epoch 1
+        ])
+    }
+
+    #[test]
+    fn tenant_of_clamps_to_universe() {
+        assert_eq!(tenant_of(0, 100, 3), 0);
+        assert_eq!(tenant_of(250, 100, 3), 2);
+        assert_eq!(tenant_of(9_999, 100, 3), 2, "overflow folds into last");
+    }
+
+    #[test]
+    fn heat_counts_per_epoch_per_tenant() {
+        let heat = tenant_heat(&mixed_trace(), 3, 100, 10.0, 2);
+        assert_eq!(heat, vec![vec![1, 1, 1], vec![1, 1, 1]]);
+    }
+
+    #[test]
+    fn heat_clamps_late_requests_into_last_row() {
+        let heat = tenant_heat(&mixed_trace(), 3, 100, 10.0, 1);
+        assert_eq!(heat, vec![vec![2, 2, 2]]);
+    }
+
+    #[test]
+    fn single_array_shard_is_the_identity() {
+        let tr = mixed_trace();
+        let placement = vec![vec![0, 0, 0]];
+        let shards = shard_by_placement(&tr, &placement, 100, 10.0, 1);
+        assert_eq!(shards.len(), 1);
+        assert_eq!(shards[0].requests, tr.requests);
+    }
+
+    #[test]
+    fn placement_routes_and_conserves_requests() {
+        let tr = mixed_trace();
+        // Epoch 0: t0→a0, t1→a1, t2→a0. Epoch 1: tenant 2 moves to a1.
+        let placement = vec![vec![0, 1, 0], vec![0, 1, 1]];
+        let shards = shard_by_placement(&tr, &placement, 100, 10.0, 2);
+        let total: usize = shards.iter().map(Trace::len).sum();
+        assert_eq!(total, tr.len(), "no request lost or duplicated");
+        assert_eq!(shards[0].requests.len(), 3); // t0 both epochs + t2 epoch 0
+        assert_eq!(shards[1].requests.len(), 3);
+        assert!(shards.iter().all(Trace::is_sorted));
+        // The move lands: tenant 2's epoch-1 request is on array 1.
+        assert!(shards[1].requests.iter().any(|r| r.sector == 215));
+        assert!(shards[0].requests.iter().any(|r| r.sector == 210));
+    }
+
+    #[test]
+    fn shard_preserves_relative_order_within_an_array() {
+        let tr = Trace::from_requests(vec![req(0.0, 10), req(0.0, 20), req(0.0, 30)]);
+        let shards = shard_by_placement(&tr, &[vec![0]], 1_000, 10.0, 1);
+        let sectors: Vec<u64> = shards[0].requests.iter().map(|r| r.sector).collect();
+        assert_eq!(sectors, vec![10, 20, 30], "equal-time order is stable");
+    }
+}

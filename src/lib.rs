@@ -9,15 +9,21 @@
 //! * [`workload`] — OLTP / file-server workload generation and trace I/O;
 //! * [`array`](mod@array) — the disk-array substrate and simulation driver;
 //! * [`policies`] — the baseline energy policies (TPM, DRPM, PDC, MAID…);
-//! * [`core`](mod@core_lib) — the Hibernator policy itself.
+//! * [`core`](mod@core_lib) — the Hibernator policy itself;
+//! * [`fleet`](mod@fleet) — N arrays under one datacenter power budget
+//!   (arbiter, tenant placement, fleet rollup/audit);
+//! * [`parallel`](mod@parallel) — the scoped worker pool the fleet and
+//!   experiment harness fan out on.
 //!
 //! Start with the `quickstart` example; `DESIGN.md` maps the paper onto
 //! the crates, and `EXPERIMENTS.md` records the reproduced evaluation.
 
 pub use array;
 pub use diskmodel;
+pub use fleet;
 /// The Hibernator core library (the `hibernator` crate).
 pub use hibernator as core_lib;
+pub use parallel;
 pub use policies;
 pub use simkit;
 pub use workload;
