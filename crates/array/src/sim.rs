@@ -31,6 +31,26 @@
 //! against a full scan after every resync, and
 //! [`RunOptions::reference_full_resync`] retains the full-scan path for
 //! equivalence testing.
+//!
+//! # Hot-path structure
+//!
+//! Three optimisations shape the inner loop, each locked to a reference
+//! implementation by differential tests:
+//!
+//! * The event queue runs on a radix-rung *ladder* backend
+//!   ([`simkit::QueueBackend::Ladder`]) instead of a binary heap.
+//! * Arrival admission is *batched*: when the next trace request would be
+//!   the very next pop anyway, [`Self::handle_arrival`] processes it
+//!   inline, reserving its `(time, seq)` queue key so ordering and event
+//!   counts match the queued path exactly.
+//! * In-flight request state (piece→volume gather, pending volumes) lives
+//!   in [`simkit::Slab`] arenas whose slot indices *are* the request ids,
+//!   so the per-request maps never hash and never grow past peak
+//!   concurrency.
+//!
+//! [`RunOptions::reference_heap_queue`] retains the heap backend and the
+//! unbatched admission path; `tests/queue_equivalence.rs` pins the two
+//! configurations to bit-identical output across every headline policy.
 
 use crate::migration::{MigrationJob, MigrationStats};
 use crate::policy::{ArrayState, PowerPolicy, WakeMarks};
@@ -41,7 +61,8 @@ use crate::MigrationEngine;
 use diskmodel::{Disk, DiskRequest, IoKind, RequestClass};
 use faults::{FaultInjector, FaultKind, FaultOutcome, FaultPlan, ReliabilityLedger};
 use simkit::{
-    EnergyLedger, EventQueue, IdMap, LatencyHistogram, Moments, SimDuration, SimTime, TimeSeries,
+    EnergyLedger, EventQueue, IdMap, LatencyHistogram, Moments, QueueBackend, SimDuration, SimTime,
+    Slab, TimeSeries,
 };
 use workload::{Trace, VolumeIoKind, VolumeRequest};
 
@@ -73,6 +94,12 @@ pub struct RunOptions {
     /// results; this flag exists as the reference for equivalence tests
     /// and for measuring the optimisation's effect.
     pub reference_full_resync: bool,
+    /// Use the reference `BinaryHeap` event-queue backend and per-event
+    /// request admission instead of the ladder queue with batched
+    /// admission. The two configurations must produce bit-identical
+    /// results; this flag exists as the reference for equivalence tests
+    /// and for measuring the optimisation's effect.
+    pub reference_heap_queue: bool,
     /// Volume sectors per tenant: when `Some(n)`, the volume is viewed as
     /// consecutive `n`-sector tenant shards (tenant = sector / n) and the
     /// driver keeps one response histogram per tenant in
@@ -97,6 +124,7 @@ impl RunOptions {
             telemetry: None,
             cache: None,
             reference_full_resync: false,
+            reference_heap_queue: false,
             tenant_sectors: None,
         }
     }
@@ -177,7 +205,7 @@ impl RunReport {
     }
 }
 
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone)]
 enum Event {
     Arrival(usize),
     DiskWake(usize, u64),
@@ -188,19 +216,37 @@ enum Event {
     Flush,
     /// The next scripted fault is due.
     Fault,
-    /// Re-submit a foreground request that failed transiently.
-    Retry {
-        disk: usize,
-        req: DiskRequest,
-    },
+    /// Re-submit a foreground request that failed transiently. Boxed:
+    /// retries only exist in fault runs, and the embedded `DiskRequest`
+    /// would otherwise dominate the size of every queue entry on the
+    /// hot path.
+    Retry(Box<RetryPayload>),
 }
 
+#[derive(Debug, Clone, Copy)]
+struct RetryPayload {
+    disk: usize,
+    req: DiskRequest,
+}
+
+/// `gather` value for pieces that gate no volume response (parity and
+/// deferred cache writes): they hold a request-id slot while in flight
+/// but point at no pending volume.
+const NO_PARENT: u32 = u32::MAX;
+
 struct PendingVolume {
+    /// Pieces of this volume not yet dead or completed — the slot's
+    /// reference count: only the last piece to die may free the slot.
     remaining: u32,
     arrival: SimTime,
     sectors: u64,
     /// Owning tenant (0 unless `RunOptions::tenant_sectors` is set).
     tenant: u32,
+    /// The volume was lost (a piece died with no surviving replica); its
+    /// response is never recorded, but the slot lives until the in-flight
+    /// sibling pieces drain so their completions never observe a recycled
+    /// slot.
+    lost: bool,
 }
 
 /// The simulation driver. Construct with [`Simulation::new`], then call
@@ -213,10 +259,16 @@ pub struct Simulation<'a, P: PowerPolicy> {
     events: EventQueue<Event>,
     scheduled: Vec<Option<SimTime>>,
     gens: Vec<u64>,
-    next_id: u64,
-    gather: IdMap<u64>,
-    pending: IdMap<PendingVolume>,
-    next_parent: u64,
+    /// Piece → pending-volume slot, keyed by the piece's request id —
+    /// which *is* its slab slot, so the map never hashes. `NO_PARENT`
+    /// marks parity/deferred pieces that gate nothing.
+    gather: Slab<u32>,
+    /// In-flight volumes, keyed by slab slot (the `gather` values).
+    pending: Slab<PendingVolume>,
+    /// Pending volumes neither completed nor lost — the report's
+    /// `incomplete` count. (`pending` itself also holds lost volumes
+    /// whose in-flight sibling pieces are still draining.)
+    live_parents: u64,
     last_sample_energy: f64,
     chunk_scratch: Vec<ChunkId>,
     /// Reusable split buffer for [`Self::route_volume_request`]; cleared
@@ -295,6 +347,11 @@ impl<'a, P: PowerPolicy> Simulation<'a, P> {
         // and the in-flight maps hold only queued work — capped so a huge
         // trace does not balloon the warm-up allocation.
         let inflight_hint = (trace.len() / 8).clamp(64, 4096);
+        let backend = if opts.reference_heap_queue {
+            QueueBackend::ReferenceHeap
+        } else {
+            QueueBackend::Ladder
+        };
         let dram = opts
             .cache
             .clone()
@@ -313,13 +370,12 @@ impl<'a, P: PowerPolicy> Simulation<'a, P> {
             policy,
             trace,
             opts,
-            events: EventQueue::with_capacity(trace.len().clamp(1024, 1 << 16)),
+            events: EventQueue::with_backend(backend, trace.len().clamp(1024, 1 << 16)),
             scheduled: vec![None; n],
             gens: vec![0; n],
-            next_id: 0,
-            gather: IdMap::with_capacity(inflight_hint),
-            pending: IdMap::with_capacity(inflight_hint),
-            next_parent: 0,
+            gather: Slab::with_capacity(inflight_hint),
+            pending: Slab::with_capacity(inflight_hint),
+            live_parents: 0,
             last_sample_energy: 0.0,
             chunk_scratch: Vec::new(),
             piece_scratch: Vec::new(),
@@ -424,15 +480,17 @@ impl<'a, P: PowerPolicy> Simulation<'a, P> {
                 return false;
             }
             self.events_processed += 1;
-            self.dispatch(now, ev);
+            self.dispatch(now, ev, limit);
         }
         false
     }
 
-    /// Handles one popped event — the body of the main loop.
-    fn dispatch(&mut self, now: SimTime, ev: Event) {
+    /// Handles one popped event — the body of the main loop. `limit` is
+    /// the stepping bound, forwarded so batched arrival admission never
+    /// runs past the segment the caller asked for.
+    fn dispatch(&mut self, now: SimTime, ev: Event, limit: SimTime) {
         match ev {
-            Event::Arrival(idx) => self.handle_arrival(now, idx),
+            Event::Arrival(idx) => self.handle_arrival(now, idx, limit),
             Event::DiskWake(d, gen) => self.handle_disk_wake(now, d, gen),
             Event::Tick => {
                 self.policy.on_tick(now, &mut self.state);
@@ -459,7 +517,7 @@ impl<'a, P: PowerPolicy> Simulation<'a, P> {
                 self.resync(now);
             }
             Event::Fault => self.handle_fault_due(now),
-            Event::Retry { disk, req } => self.handle_retry(now, disk, req),
+            Event::Retry(r) => self.handle_retry(now, r.disk, r.req),
         }
     }
 
@@ -490,18 +548,40 @@ impl<'a, P: PowerPolicy> Simulation<'a, P> {
 
     // ------------------------------------------------------------------
 
-    fn handle_arrival(&mut self, now: SimTime, idx: usize) {
-        // Schedule the next arrival first.
-        if idx + 1 < self.trace.len() {
-            let t = self.trace.requests[idx + 1].time;
-            if t <= self.opts.horizon {
-                self.events.push(t, Event::Arrival(idx + 1));
+    fn handle_arrival(&mut self, now: SimTime, idx: usize, limit: SimTime) {
+        let (mut now, mut idx) = (now, idx);
+        loop {
+            // Reserve the next arrival's queue position before routing —
+            // the exact point the unbatched path pushes it — so its packed
+            // (time, seq) key, and with it FIFO tie-breaking against the
+            // wakes resync schedules below, is bit-identical either way.
+            let mut next = None;
+            if idx + 1 < self.trace.len() {
+                let t = self.trace.requests[idx + 1].time;
+                if t <= self.opts.horizon {
+                    next = Some((t, self.events.reserve_key(t)));
+                }
+            }
+            let req = self.trace.requests[idx];
+            self.route_volume_request(now, &req);
+            self.pump_migration(now);
+            self.resync(now);
+            let Some((t, key)) = next else { return };
+            // Batched admission: when the reserved key would be the very
+            // next pop anyway — smaller than everything queued and due
+            // within the stepping limit — handle the arrival inline and
+            // skip the queue round-trip. `events_processed` counts it
+            // exactly as a pop would, so reports stay identical.
+            let pops_next = self.events.peek_key().is_none_or(|k| key < k);
+            if pops_next && t <= limit && !self.opts.reference_heap_queue {
+                self.events_processed += 1;
+                now = t;
+                idx += 1;
+            } else {
+                self.events.push_reserved(key, Event::Arrival(idx + 1));
+                return;
             }
         }
-        let req = self.trace.requests[idx];
-        self.route_volume_request(now, &req);
-        self.pump_migration(now);
-        self.resync(now);
     }
 
     /// Splits `req` at chunk boundaries and submits the per-disk pieces.
@@ -534,17 +614,14 @@ impl<'a, P: PowerPolicy> Simulation<'a, P> {
             .on_volume_arrival(now, req, &chunks, &mut self.state);
         self.chunk_scratch = chunks;
 
-        let parent = self.next_parent;
-        self.next_parent += 1;
-        self.pending.insert(
-            parent,
-            PendingVolume {
-                remaining: self.piece_scratch.len() as u32,
-                arrival: req.time,
-                sectors: u64::from(req.sectors),
-                tenant: self.tenant_of(req.sector),
-            },
-        );
+        let parent = self.pending.insert(PendingVolume {
+            remaining: self.piece_scratch.len() as u32,
+            arrival: req.time,
+            sectors: u64::from(req.sectors),
+            tenant: self.tenant_of(req.sector),
+            lost: false,
+        });
+        self.live_parents += 1;
 
         let kind = match req.kind {
             VolumeIoKind::Read => IoKind::Read,
@@ -571,14 +648,16 @@ impl<'a, P: PowerPolicy> Simulation<'a, P> {
                     }
                     None => {
                         self.lose_parent(parent);
+                        // This piece was never submitted: release its claim
+                        // on the slot so the drain count stays honest.
+                        self.release_piece(parent);
                         continue;
                     }
                 }
             } else {
                 target_disk.index()
             };
-            let id = self.alloc_id();
-            self.gather.insert(id, parent);
+            let id = u64::from(self.gather.insert(parent));
             let sub = DiskRequest {
                 id,
                 sector: phys,
@@ -596,7 +675,10 @@ impl<'a, P: PowerPolicy> Simulation<'a, P> {
                     // Parity partner: deterministic, never the data disk,
                     // skipping over dead disks.
                     if let Some(p) = self.alive_partner(place.disk.index(), chunk) {
-                        let pid = self.alloc_id();
+                        // Gathered under NO_PARENT: parity does not gate
+                        // response (write-back parity), but it does consume
+                        // disk time and energy.
+                        let pid = u64::from(self.gather.insert(NO_PARENT));
                         let parity = DiskRequest {
                             id: pid,
                             sector: phys,
@@ -605,9 +687,6 @@ impl<'a, P: PowerPolicy> Simulation<'a, P> {
                             class: RequestClass::Foreground,
                             issue_time: now,
                         };
-                        // Not in the gather map: parity does not gate
-                        // response (write-back parity), but it does consume
-                        // disk time and energy.
                         self.state.disks[p].submit(now, parity);
                         self.state.wake_marks.mark(p);
                     }
@@ -796,7 +875,7 @@ impl<'a, P: PowerPolicy> Simulation<'a, P> {
         } else {
             target_disk.index()
         };
-        let id = self.alloc_id();
+        let id = u64::from(self.gather.insert(NO_PARENT));
         let sub = DiskRequest {
             id,
             sector: phys,
@@ -810,7 +889,7 @@ impl<'a, P: PowerPolicy> Simulation<'a, P> {
         self.state.migrator.note_foreground_write(chunk);
         if self.state.config.redundancy == Redundancy::Raid5Like {
             if let Some(p) = self.alive_partner(place.disk.index(), chunk) {
-                let pid = self.alloc_id();
+                let pid = u64::from(self.gather.insert(NO_PARENT));
                 let parity = DiskRequest {
                     id: pid,
                     sector: phys,
@@ -840,11 +919,29 @@ impl<'a, P: PowerPolicy> Simulation<'a, P> {
     }
 
     /// Abandons volume `parent`: its response can never be recorded.
-    /// Completions of sibling pieces already in flight find the parent gone
-    /// and are ignored. Counted once per volume.
-    fn lose_parent(&mut self, parent: u64) {
-        if self.pending.remove(parent).is_some() {
-            self.outcome.lost_requests += 1;
+    /// Counted once per volume. The slot itself is freed only when the
+    /// last in-flight sibling piece dies (see [`Self::release_piece`] and
+    /// the drain in [`Self::complete_foreground`]), so a completion racing
+    /// the loss can never observe a recycled slot.
+    fn lose_parent(&mut self, parent: u32) {
+        if let Some(p) = self.pending.get_mut(parent) {
+            if !p.lost {
+                p.lost = true;
+                self.live_parents -= 1;
+                self.outcome.lost_requests += 1;
+            }
+        }
+    }
+
+    /// Releases one piece's claim on `parent` without completing it — the
+    /// piece died (dropped on a dead stripe, exhausted its retries, or was
+    /// never submitted at all). The last claim frees the slot.
+    fn release_piece(&mut self, parent: u32) {
+        if let Some(p) = self.pending.get_mut(parent) {
+            p.remaining -= 1;
+            if p.remaining == 0 {
+                self.pending.remove(parent);
+            }
         }
     }
 
@@ -881,16 +978,19 @@ impl<'a, P: PowerPolicy> Simulation<'a, P> {
                                 self.outcome.retries += 1;
                                 self.events.push(
                                     now + SimDuration::from_secs(delay),
-                                    Event::Retry {
+                                    Event::Retry(Box::new(RetryPayload {
                                         disk: comp.disk,
                                         req: comp.request,
-                                    },
+                                    })),
                                 );
                             } else {
                                 // Retries exhausted: the piece is lost.
                                 self.retries.remove(comp.request.id);
-                                if let Some(parent) = self.gather.remove(comp.request.id) {
-                                    self.lose_parent(parent);
+                                if let Some(parent) = self.gather.remove(comp.request.id as u32) {
+                                    if parent != NO_PARENT {
+                                        self.lose_parent(parent);
+                                        self.release_piece(parent);
+                                    }
                                 }
                             }
                             retried = true;
@@ -913,25 +1013,40 @@ impl<'a, P: PowerPolicy> Simulation<'a, P> {
     /// telemetry, and the policy's completion hook.
     fn complete_foreground(&mut self, now: SimTime, comp: &diskmodel::Completion) {
         self.state.stats.service.record(comp.service_s);
-        let volume_response = self.gather.remove(comp.request.id).and_then(|parent| {
-            // A parent may already be gone: the volume was lost
-            // (disk failure with no surviving replica, or an
-            // exhausted retry on a sibling piece).
-            let done = {
-                let p = self.pending.get_mut(parent)?;
-                p.remaining -= 1;
-                p.remaining == 0
-            };
-            if done {
-                let p = self.pending.remove(parent).expect("parent vanished");
+        let volume_response = self
+            .gather
+            .remove(comp.request.id as u32)
+            .and_then(|parent| {
+                // Parity and deferred cache writes consume disk time but
+                // gate no volume response.
+                if parent == NO_PARENT {
+                    return None;
+                }
+                let done = {
+                    let p = self
+                        .pending
+                        .get_mut(parent)
+                        .expect("parent slot lives until its last piece dies");
+                    p.remaining -= 1;
+                    p.remaining == 0
+                };
+                if !done {
+                    return None;
+                }
+                let p = self.pending.remove(parent).expect("checked live above");
+                // A lost volume (disk failure with no surviving replica, or
+                // an exhausted retry on a sibling piece) still drains its
+                // in-flight pieces; only the drain frees the slot, and no
+                // response is ever recorded for it.
+                if p.lost {
+                    return None;
+                }
+                self.live_parents -= 1;
                 let resp = now.saturating_since(p.arrival).as_secs();
                 self.state.stats.record_response(now, resp, p.sectors);
                 self.record_tenant(p.tenant, resp);
                 Some(resp)
-            } else {
-                None
-            }
-        });
+            });
         if let Some(resp) = volume_response {
             if self.state.telemetry.is_enabled() {
                 let disk = &self.state.disks[comp.disk];
@@ -1038,8 +1153,16 @@ impl<'a, P: PowerPolicy> Simulation<'a, P> {
             if req.class != RequestClass::Foreground {
                 continue; // migration pieces were handled by the engine
             }
-            if !self.gather.contains_key(req.id) {
-                continue; // parity write: consumed load only, nothing gates on it
+            let Some(&parent) = self.gather.get(req.id as u32) else {
+                continue;
+            };
+            if parent == NO_PARENT {
+                // Parity or deferred write: consumed load only, nothing
+                // gates on it — free its slot and drop it. (Stale retry
+                // attempts die with the id: slots recycle.)
+                self.gather.remove(req.id as u32);
+                self.retries.remove(req.id);
+                continue;
             }
             let slot = (req.sector / cs) as u32;
             let partner = self
@@ -1053,8 +1176,10 @@ impl<'a, P: PowerPolicy> Simulation<'a, P> {
                     self.state.disks[p].submit(now, req);
                 }
                 None => {
-                    let parent = self.gather.remove(req.id).expect("checked above");
+                    self.gather.remove(req.id as u32);
+                    self.retries.remove(req.id);
                     self.lose_parent(parent);
+                    self.release_piece(parent);
                 }
             }
         }
@@ -1131,8 +1256,11 @@ impl<'a, P: PowerPolicy> Simulation<'a, P> {
                 }
                 None => {
                     self.retries.remove(req.id);
-                    if let Some(parent) = self.gather.remove(req.id) {
-                        self.lose_parent(parent);
+                    if let Some(parent) = self.gather.remove(req.id as u32) {
+                        if parent != NO_PARENT {
+                            self.lose_parent(parent);
+                            self.release_piece(parent);
+                        }
                     }
                 }
             }
@@ -1184,13 +1312,6 @@ impl<'a, P: PowerPolicy> Simulation<'a, P> {
             self.pump_migration(now);
             self.resync(now);
         }
-    }
-
-    fn alloc_id(&mut self) -> u64 {
-        let id = self.next_id;
-        self.next_id += 1;
-        debug_assert!(id < (1 << 63), "foreground id overflow");
-        id
     }
 
     /// The tenant owning `sector` under the run's tenant sharding (0 when
@@ -1449,7 +1570,7 @@ impl<'a, P: PowerPolicy> Simulation<'a, P> {
                 total_j: energy.total_joules(),
                 energy_j: components(&energy),
                 completed: self.state.stats.fg_completed,
-                incomplete: self.pending.len() as u64,
+                incomplete: self.live_parents,
                 transitions,
                 mean_response_s: self.state.stats.response.mean(),
                 violation,
@@ -1476,7 +1597,7 @@ impl<'a, P: PowerPolicy> Simulation<'a, P> {
             power_series: stats.power_series,
             level_series: stats.level_series,
             completed: stats.fg_completed,
-            incomplete: self.pending.len() as u64,
+            incomplete: self.live_parents,
             fg_sectors: stats.fg_sectors,
             migration: self.state.migrator.stats(),
             transitions,

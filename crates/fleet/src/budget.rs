@@ -34,18 +34,23 @@ impl BudgetSchedule {
     /// during that span). Steps must start at 0 and ascend strictly.
     ///
     /// # Panics
-    /// Panics on an empty list, a first step not at 0, non-ascending
-    /// times, or a non-positive finite wattage.
+    /// Panics on an empty list, a first step not at 0, a non-finite step
+    /// time, non-ascending times, or a non-positive finite wattage.
     pub fn steps(steps: Vec<(f64, Option<f64>)>) -> BudgetSchedule {
         assert!(!steps.is_empty(), "budget needs at least one step");
         assert_eq!(steps[0].0, 0.0, "first budget step must start at t=0");
-        for w in steps.windows(2) {
-            assert!(w[0].0 < w[1].0, "budget steps must ascend in time");
-        }
+        // Times first: a NaN would otherwise fail the ascend comparison
+        // with a misleading "must ascend" message, and an infinity would
+        // slip through it entirely (the step could then never take effect,
+        // or `budget_at` would misreport the final span).
         for &(t, w) in &steps {
+            assert!(t.is_finite(), "budget step time {t} must be finite");
             if let Some(w) = w {
                 assert!(w.is_finite() && w > 0.0, "bad budget {w} at t={t}");
             }
+        }
+        for w in steps.windows(2) {
+            assert!(w[0].0 < w[1].0, "budget steps must ascend in time");
         }
         BudgetSchedule { steps }
     }
@@ -105,5 +110,20 @@ mod tests {
     #[should_panic(expected = "ascend")]
     fn out_of_order_steps_panic() {
         let _ = BudgetSchedule::steps(vec![(0.0, None), (50.0, Some(1.0)), (50.0, Some(2.0))]);
+    }
+
+    #[test]
+    #[should_panic(expected = "must be finite")]
+    fn nan_step_time_panics_with_the_right_message() {
+        // Regression: NaN used to trip the "ascend" assert instead,
+        // pointing the caller at ordering rather than the bad time.
+        let _ = BudgetSchedule::steps(vec![(0.0, None), (f64::NAN, Some(100.0))]);
+    }
+
+    #[test]
+    #[should_panic(expected = "must be finite")]
+    fn infinite_step_time_panics() {
+        // Regression: +inf used to be silently accepted (it ascends).
+        let _ = BudgetSchedule::steps(vec![(0.0, None), (f64::INFINITY, Some(100.0))]);
     }
 }

@@ -85,19 +85,24 @@ pub fn plan_placement(
                 if hot == cold || (load[hot] as f64) <= IMBALANCE * mean {
                     break;
                 }
-                // Hottest tenant currently on the hot array.
+                // Heaviest tenant on the hot array whose move strictly
+                // shrinks the hot side (otherwise the same tenant would
+                // slosh back and forth). Considering only tenants that fit
+                // matters: the hottest tenant alone may be too heavy to
+                // move — a "whale" — while a lighter one still shrinks
+                // the max, so the whale must not stall the whole epoch.
                 let mut best: Option<(u64, usize)> = None;
                 for (t, &a) in row.iter().enumerate() {
-                    if a as usize == hot && h[t] > 0 && best.is_none_or(|(bh, _)| h[t] > bh) {
+                    if a as usize == hot
+                        && h[t] > 0
+                        && load[cold] + h[t] < load[hot]
+                        && best.is_none_or(|(bh, _)| h[t] > bh)
+                    {
                         best = Some((h[t], t));
                     }
                 }
+                // No movable tenant can improve the max: settle the epoch.
                 let Some((th, t)) = best else { break };
-                // Only move when it strictly shrinks the hot side —
-                // otherwise the same tenant would slosh back and forth.
-                if load[cold] + th >= load[hot] {
-                    break;
-                }
                 row[t] = cold as u32;
                 load[hot] -= th;
                 load[cold] += th;
@@ -153,17 +158,27 @@ mod tests {
         let heat = vec![vec![90, 1, 40], vec![90, 1, 40]];
         let plan = plan_placement(&heat, 2, true, 8);
         assert_eq!(plan.rows[0], vec![0, 1, 0]);
-        // Epoch 1 moves tenant 0 (the hottest) off array 0.
+        // Epoch 1 moves tenant 0 (the hottest) off array 0 (130 vs 1),
+        // then tenant 1 back the other way: 40/91 → 41/90 still strictly
+        // shrinks the max, and only then does the greedy settle.
         assert_eq!(
             plan.moves,
-            vec![TenantMove {
-                epoch: 1,
-                tenant: 0,
-                from: 0,
-                to: 1,
-            }]
+            vec![
+                TenantMove {
+                    epoch: 1,
+                    tenant: 0,
+                    from: 0,
+                    to: 1,
+                },
+                TenantMove {
+                    epoch: 1,
+                    tenant: 1,
+                    from: 1,
+                    to: 0,
+                },
+            ]
         );
-        assert_eq!(plan.rows[1], vec![1, 1, 0]);
+        assert_eq!(plan.rows[1], vec![1, 0, 0]);
     }
 
     #[test]
@@ -186,6 +201,43 @@ mod tests {
         let heat = vec![vec![100, 1, 100, 1], vec![100, 1, 100, 1]];
         skew = plan_placement(&heat, 2, true, 1);
         assert!(skew.moves.len() <= 1, "one move per epoch at budget 1");
+    }
+
+    #[test]
+    fn whale_does_not_stall_movable_minnows() {
+        // Regression: round-robin over 2 arrays puts the evens (whale +
+        // minnows, load 1180) on array 0 and the odds (load 400) on
+        // array 1. The hottest tenant — the 1000-heat whale — cannot
+        // move: 400 + 1000 ≥ 1180 would just swap the imbalance. But
+        // each 60-heat minnow strictly shrinks the max. The old planner
+        // broke out as soon as the whale failed the fit check and moved
+        // nothing; the fix sheds the minnows instead.
+        let heat = vec![
+            vec![1000, 100, 60, 100, 60, 100, 60, 100],
+            vec![1000, 100, 60, 100, 60, 100, 60, 100],
+        ];
+        let plan = plan_placement(&heat, 2, true, 8);
+        assert_eq!(plan.rows[0], vec![0, 1, 0, 1, 0, 1, 0, 1]);
+        assert!(
+            !plan.moves.is_empty(),
+            "minnows must move even though the whale cannot"
+        );
+        assert!(
+            plan.moves.iter().all(|m| m.tenant != 0),
+            "the whale itself must stay put: {:?}",
+            plan.moves
+        );
+        // The minnows all leave the whale's array and the epoch-1 max
+        // load drops strictly below the starting 1180.
+        let h = &heat[0];
+        let mut load = [0u64; 2];
+        for (t, &a) in plan.rows[1].iter().enumerate() {
+            load[a as usize] += h[t];
+        }
+        assert!(
+            load[0].max(load[1]) < 1180,
+            "rebalance must shrink the max: {load:?}"
+        );
     }
 
     #[test]

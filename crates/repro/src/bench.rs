@@ -13,10 +13,14 @@
 //!   point of the F6 load sweep, where per-event costs dominate).
 //!
 //! Results land in `BENCH_hotpath.json` together with the recorded
-//! pre-optimization baseline, so the speedup trajectory is tracked in one
-//! file. `--reference` re-runs every simulation with the full-scan wake
-//! resync ([`array::RunOptions::reference_full_resync`]) for an
-//! apples-to-apples check of the incremental-resync win alone.
+//! pre-optimization baselines, so the speedup trajectory is tracked in one
+//! file. `--reference` re-runs every simulation in full reference mode —
+//! the full-scan wake resync ([`array::RunOptions::reference_full_resync`])
+//! *and* the `BinaryHeap` event queue with per-event admission
+//! ([`array::RunOptions::reference_heap_queue`]) — for an apples-to-apples
+//! measure of the combined hot-path wins. `--check-floor` exits nonzero if
+//! quick_t3 throughput falls below [`QUICK_T3_FLOOR_EVENTS_PER_SEC`]; CI
+//! runs it as a smoke test against gross regressions.
 
 use crate::common::{Ctx, PolicyKind, Workload};
 use array::{Redundancy, RunOptions, RunReport};
@@ -29,6 +33,19 @@ use std::time::Instant;
 /// at the commit preceding the hot-path overhaul (full wall clock
 /// including trace generation and CSV formatting was 13.7 s).
 const BASELINE_QUICK_T3_RUN_SUM_S: f64 = 13.36;
+
+/// The quick-t3 run-sum at the commit preceding the ladder-queue /
+/// batched-admission PR (heap queue, per-event admission, incremental
+/// resync already in), measured the same way on the recorded baseline
+/// machine.
+const PRE_LADDER_QUICK_T3_RUN_SUM_S: f64 = 8.38;
+
+/// CI floor for quick_t3 throughput. Deliberately far below what any
+/// recorded machine measures (the baseline box does several million
+/// events/s) so shared-runner noise never trips it, while an algorithmic
+/// regression — a queue gone quadratic, admission batching disabled —
+/// still does.
+const QUICK_T3_FLOOR_EVENTS_PER_SEC: f64 = 600_000.0;
 
 /// One benchmark scenario: a named list of (label, thunk-describable) runs.
 struct Scenario {
@@ -58,7 +75,7 @@ struct Outcome {
 }
 
 /// Entry point for `repro bench`.
-pub fn bench(seed: u64, out: &str, iters: usize, reference: bool) {
+pub fn bench(seed: u64, out: &str, iters: usize, reference: bool, check_floor: bool) {
     assert!(iters >= 1, "bench: need at least one iteration");
     // Quick scale, one job: the baseline was measured single-threaded, and
     // serial timing keeps iteration-to-iteration noise low.
@@ -66,7 +83,7 @@ pub fn bench(seed: u64, out: &str, iters: usize, reference: bool) {
     println!(
         "# hot-path bench — quick scale, seed {seed}, {iters} iteration(s){}",
         if reference {
-            ", reference full-scan resync"
+            ", reference mode (full-scan resync + heap queue)"
         } else {
             ""
         }
@@ -132,8 +149,10 @@ pub fn bench(seed: u64, out: &str, iters: usize, reference: bool) {
     for o in &outcomes {
         let speedup = if o.name == "quick_t3" {
             format!(
-                " ({:.2}x vs pre-PR baseline {BASELINE_QUICK_T3_RUN_SUM_S} s)",
-                BASELINE_QUICK_T3_RUN_SUM_S / o.mean_wall_s
+                " ({:.2}x vs pre-overhaul {BASELINE_QUICK_T3_RUN_SUM_S} s, \
+                 {:.2}x vs pre-ladder {PRE_LADDER_QUICK_T3_RUN_SUM_S} s)",
+                BASELINE_QUICK_T3_RUN_SUM_S / o.mean_wall_s,
+                PRE_LADDER_QUICK_T3_RUN_SUM_S / o.mean_wall_s
             )
         } else {
             String::new()
@@ -145,6 +164,24 @@ pub fn bench(seed: u64, out: &str, iters: usize, reference: bool) {
     }
 
     fleet_quick(&ctx, seed, out, iters, reference);
+
+    if check_floor {
+        let q = outcomes
+            .iter()
+            .find(|o| o.name == "quick_t3")
+            .expect("quick_t3 scenario always runs");
+        if q.events_per_sec < QUICK_T3_FLOOR_EVENTS_PER_SEC {
+            eprintln!(
+                "bench: quick_t3 at {:.0} events/s is below the floor of {:.0}",
+                q.events_per_sec, QUICK_T3_FLOOR_EVENTS_PER_SEC
+            );
+            std::process::exit(1);
+        }
+        println!(
+            "bench: quick_t3 floor check passed ({:.0} >= {:.0} events/s)",
+            q.events_per_sec, QUICK_T3_FLOOR_EVENTS_PER_SEC
+        );
+    }
 }
 
 /// Measured numbers for the fleet bench at one worker count.
@@ -233,6 +270,7 @@ fn fleet_quick(ctx: &Ctx, seed: u64, out: &str, iters: usize, reference: bool) {
     let _ = writeln!(s, "  \"seed\": {seed},");
     let _ = writeln!(s, "  \"iters\": {iters},");
     let _ = writeln!(s, "  \"reference_full_resync\": {reference},");
+    let _ = writeln!(s, "  \"reference_heap_queue\": {reference},");
     let _ = writeln!(s, "  \"arrays\": {ARRAYS},");
     let _ = writeln!(s, "  \"tenants\": {TENANTS},");
     let _ = writeln!(s, "  \"budget_frac\": {BUDGET_FRAC},");
@@ -259,11 +297,14 @@ fn fleet_quick(ctx: &Ctx, seed: u64, out: &str, iters: usize, reference: bool) {
 }
 
 /// Base run options for the bench (standard quick-scale settings plus the
-/// reference-resync toggle; telemetry stays off — it is benchmarked by its
-/// own lockdown suite).
+/// reference toggles; telemetry stays off — it is benchmarked by its own
+/// lockdown suite). Reference mode turns on both the full-scan wake
+/// resync and the `BinaryHeap` queue with per-event admission, i.e. the
+/// hot path as it was before either overhaul.
 fn bench_opts(ctx: &Ctx, reference: bool) -> RunOptions {
     let mut o = ctx.run_options();
     o.reference_full_resync = reference;
+    o.reference_heap_queue = reference;
     o
 }
 
@@ -384,6 +425,11 @@ fn render_json(outcomes: &[Outcome], seed: u64, iters: usize, reference: bool) -
     let _ = writeln!(s, "  \"seed\": {seed},");
     let _ = writeln!(s, "  \"iters\": {iters},");
     let _ = writeln!(s, "  \"reference_full_resync\": {reference},");
+    let _ = writeln!(s, "  \"reference_heap_queue\": {reference},");
+    let _ = writeln!(
+        s,
+        "  \"quick_t3_floor_events_per_sec\": {QUICK_T3_FLOOR_EVENTS_PER_SEC},"
+    );
     let _ = writeln!(s, "  \"baseline\": {{");
     let _ = writeln!(
         s,
@@ -397,6 +443,16 @@ fn render_json(outcomes: &[Outcome], seed: u64, iters: usize, reference: bool) -
     let _ = writeln!(
         s,
         "    \"note\": \"run_sum_s is the sum of the 14 per-run timings (trace generation and CSV formatting excluded), matching what this bench times; wall_total_s is the full command\""
+    );
+    let _ = writeln!(s, "  }},");
+    let _ = writeln!(s, "  \"baseline_pre_ladder\": {{");
+    let _ = writeln!(
+        s,
+        "    \"label\": \"pre-ladder-queue (heap queue, per-event admission, incremental resync)\","
+    );
+    let _ = writeln!(
+        s,
+        "    \"quick_t3_run_sum_s\": {PRE_LADDER_QUICK_T3_RUN_SUM_S}"
     );
     let _ = writeln!(s, "  }},");
     let _ = writeln!(s, "  \"scenarios\": [");
@@ -418,8 +474,13 @@ fn render_json(outcomes: &[Outcome], seed: u64, iters: usize, reference: bool) -
         if o.name == "quick_t3" {
             let _ = writeln!(
                 s,
-                "      \"speedup_vs_baseline\": {:.3}",
+                "      \"speedup_vs_baseline\": {:.3},",
                 BASELINE_QUICK_T3_RUN_SUM_S / o.mean_wall_s
+            );
+            let _ = writeln!(
+                s,
+                "      \"speedup_vs_pre_ladder\": {:.3}",
+                PRE_LADDER_QUICK_T3_RUN_SUM_S / o.mean_wall_s
             );
         }
         let _ = writeln!(s, "    }}{}", if i + 1 < outcomes.len() { "," } else { "" });

@@ -44,7 +44,8 @@ fn usage() -> ! {
          [--telemetry-out PATH] <t1..t6|f1..f12|faults|cache|tables|figures|all>...\n\
          \x20      repro fleet [--arrays N] [--tenants N] [--budget-frac F] [common flags]\n\
          \x20      repro audit <stream.jsonl>\n\
-         \x20      repro bench [--seed N] [--out DIR] [--iters N] [--reference]"
+         \x20      repro bench [--seed N] [--out DIR] [--iters N] [--reference] \
+         [--check-floor]"
     );
     std::process::exit(2);
 }
@@ -103,6 +104,7 @@ fn main() {
     let mut telemetry_out: Option<String> = None;
     let mut iters = 3usize;
     let mut reference = false;
+    let mut check_floor = false;
     let mut arrays = 4usize;
     let mut tenants = 8u32;
     let mut budget_frac = 0.6f64;
@@ -143,6 +145,7 @@ fn main() {
                     .unwrap_or_else(|| usage())
             }
             "--reference" => reference = true,
+            "--check-floor" => check_floor = true,
             "--arrays" => {
                 arrays = args
                     .next()
@@ -179,7 +182,7 @@ fn main() {
         if experiments.len() != 1 {
             usage();
         }
-        bench::bench(seed, &out, iters, reference);
+        bench::bench(seed, &out, iters, reference, check_floor);
         return;
     }
     if experiments.first().map(String::as_str) == Some("fleet") {

@@ -9,6 +9,8 @@
 //!   tie-breaking so simulations replay bit-identically.
 //! * **Id maps** — [`IdMap`], a one-multiply open-addressed map for the
 //!   sequential ids the simulator assigns on its hot path.
+//! * **Slabs** — [`Slab`], a free-list arena whose slot indices double as
+//!   the ids of in-flight records, killing per-request allocation.
 //! * **Randomness** — [`DetRng`], labelled deterministic random streams
 //!   derived from one experiment seed.
 //! * **Statistics** — [`Moments`], [`LatencyHistogram`], [`FixedHistogram`],
@@ -25,16 +27,19 @@
 mod energy;
 mod events;
 mod idmap;
+mod ladder;
 mod rng;
 mod series;
+mod slab;
 mod stats;
 mod time;
 
 pub use energy::{EnergyComponent, EnergyLedger};
-pub use events::EventQueue;
+pub use events::{EventQueue, QueueBackend};
 pub use idmap::IdMap;
 pub use rng::DetRng;
 pub use series::{SeriesBucket, TimeSeries};
+pub use slab::Slab;
 pub use stats::{
     DecayingRate, Ewma, FixedHistogram, LatencyHistogram, Moments, SlidingWindow, TimeWeighted,
 };

@@ -1,0 +1,241 @@
+//! Property: the ladder event queue with batched arrival admission and
+//! slab-backed in-flight state is observationally identical to the
+//! reference `BinaryHeap` queue with per-event admission. Running the
+//! same scenario with [`RunOptions::reference_heap_queue`] on and off
+//! must produce bit-identical [`RunReport`] numerics, byte-identical
+//! telemetry streams, and byte-identical fleet streams.
+//!
+//! Why this must hold: the packed `(time, seq)` keys are unique, so the
+//! two queue backends pop identical streams for identical push
+//! sequences; batched admission reserves the next arrival's key at the
+//! exact code point the unbatched path pushes it and only handles the
+//! arrival inline when that key would be the very next pop anyway; and
+//! slab slot indices never influence ordering (disk queues are FIFO and
+//! telemetry carries no request ids). The scenarios below stress every
+//! piece of that argument: all six headline policies, same-instant
+//! event bursts, the DRAM cache's inline completions, fault storms with
+//! retries and slot reuse after disk failure, and fleet-segmented
+//! stepping with finite budgets.
+
+use array::{run_policy, ArrayConfig, Redundancy, RunOptions, RunReport};
+use faults::{FaultConfig, FaultEvent, FaultKind, FaultPlan, FaultSchedule};
+use fleet::{run_fleet, BudgetSchedule, FleetSpec};
+use hibernator::{Hibernator, HibernatorConfig};
+use parallel::Pool;
+use policies::{maid_array_config, DrpmPolicy, MaidConfig, MaidPolicy, PdcPolicy, TpmPolicy};
+use simkit::{SimDuration, SimTime};
+use telemetry::TelemetryConfig;
+use workload::{Trace, WorkloadSpec};
+
+const DURATION_S: f64 = 900.0;
+
+fn trace(seed: u64) -> Trace {
+    let mut spec = WorkloadSpec::oltp(DURATION_S, 25.0);
+    spec.extents = 1024;
+    spec.zipf_theta = 1.0;
+    spec.generate(seed)
+}
+
+fn config() -> ArrayConfig {
+    let mut c = ArrayConfig::default_for_volume(2 << 30);
+    c.disks = 6;
+    c
+}
+
+fn opts(label: &str) -> RunOptions {
+    let mut o = RunOptions::for_horizon(DURATION_S);
+    o.telemetry = Some(TelemetryConfig::new(label).with_goal(0.02, 90.0));
+    o
+}
+
+fn hibernator() -> Hibernator {
+    let mut cfg = HibernatorConfig::for_goal(0.02);
+    cfg.epoch = SimDuration::from_secs(180.0);
+    cfg.heat_tau = SimDuration::from_secs(180.0);
+    Hibernator::new(cfg)
+}
+
+fn maid() -> MaidPolicy {
+    MaidPolicy::new(MaidConfig {
+        cache_disks: 2,
+        cache_chunks_per_disk: 256,
+        tpm_threshold_s: Some(120.0),
+    })
+}
+
+/// Everything numeric a run reports, bit-exact.
+fn fingerprint(r: &RunReport) -> Vec<u64> {
+    vec![
+        r.completed,
+        r.incomplete,
+        r.events_processed,
+        r.transitions,
+        r.energy.total_joules().to_bits(),
+        r.response.mean().to_bits(),
+        r.response.raw_second_moment().to_bits(),
+        r.service.mean().to_bits(),
+        r.fg_sectors,
+        r.migration.committed,
+        r.migration.aborted,
+        r.migration.rebuilt,
+        r.migration.raw_writes,
+        r.faults.lost_requests,
+        r.faults.degraded_redirects,
+        r.faults.rebuild_chunks,
+        r.faults.retries,
+        r.faults.transient_errors,
+    ]
+}
+
+/// Runs the same scenario on both queue configurations — ladder with
+/// batched admission vs the reference heap with per-event admission —
+/// and asserts reports and telemetry streams agree exactly.
+fn assert_equivalent<P: array::PowerPolicy + Send>(
+    label: &str,
+    config: ArrayConfig,
+    trace: &Trace,
+    opts: RunOptions,
+    mk_policy: impl Fn() -> P,
+) {
+    let mut ladder_opts = opts.clone();
+    ladder_opts.reference_heap_queue = false;
+    let mut heap_opts = opts;
+    heap_opts.reference_heap_queue = true;
+
+    let mut ladder = run_policy(config.clone(), mk_policy(), trace, ladder_opts);
+    let mut heap = run_policy(config, mk_policy(), trace, heap_opts);
+
+    assert_eq!(
+        fingerprint(&ladder),
+        fingerprint(&heap),
+        "{label}: ladder queue diverged from reference heap"
+    );
+    for (t, (a, b)) in ladder
+        .tenant_latency
+        .iter()
+        .zip(&heap.tenant_latency)
+        .enumerate()
+    {
+        assert_eq!(a.count(), b.count(), "{label}: tenant {t} count");
+        assert_eq!(a.quantile(0.5), b.quantile(0.5), "{label}: tenant {t} p50");
+    }
+    let ls = ladder.telemetry.take().expect("ladder stream");
+    let hs = heap.telemetry.take().expect("heap stream");
+    assert_eq!(
+        ls.bytes, hs.bytes,
+        "{label}: telemetry streams differ between queue backends"
+    );
+}
+
+#[test]
+fn headline_policies_match_reference_queue() {
+    let trace = trace(7);
+    let cfg = config();
+    assert_equivalent("Base", cfg.clone(), &trace, opts("Base"), || {
+        array::BasePolicy
+    });
+    assert_equivalent(
+        "TPM",
+        cfg.clone(),
+        &trace,
+        opts("TPM"),
+        TpmPolicy::competitive,
+    );
+    assert_equivalent(
+        "DRPM",
+        cfg.clone(),
+        &trace,
+        opts("DRPM"),
+        DrpmPolicy::default,
+    );
+    assert_equivalent("PDC", cfg.clone(), &trace, opts("PDC"), PdcPolicy::default);
+    assert_equivalent(
+        "MAID",
+        maid_array_config(cfg.clone(), 2),
+        &trace,
+        opts("MAID"),
+        maid,
+    );
+    assert_equivalent("Hibernator", cfg, &trace, opts("Hibernator"), hibernator);
+}
+
+#[test]
+fn faulted_cached_tenant_run_matches_reference_queue() {
+    // The hard scenario for slab slot reuse: RAID-5 parity ids, a fault
+    // storm with transient retries and a whole-disk failure (stranded
+    // pieces, lost volumes, rebuild traffic), a DRAM cache absorbing and
+    // destaging writes, and per-tenant accounting — on both a managed and
+    // an unmanaged policy.
+    let at = |f: f64| SimTime::from_secs(DURATION_S * f);
+    let plan = FaultPlan {
+        schedule: FaultSchedule::new(vec![
+            FaultEvent {
+                time: at(0.2),
+                disk: 1,
+                kind: FaultKind::TransientBurst {
+                    error_prob: 0.25,
+                    duration_s: DURATION_S * 0.1,
+                },
+            },
+            FaultEvent {
+                time: at(0.4),
+                disk: 2,
+                kind: FaultKind::DiskFailure,
+            },
+            FaultEvent {
+                time: at(0.6),
+                disk: 4,
+                kind: FaultKind::TransientBurst {
+                    error_prob: 0.15,
+                    duration_s: DURATION_S * 0.05,
+                },
+            },
+        ]),
+        config: FaultConfig::default(),
+    };
+    let trace = trace(19);
+    let mut cfg = config();
+    cfg.redundancy = Redundancy::Raid5Like;
+    let mut o = opts("fault-cache");
+    o.faults = Some(plan);
+    o.cache = Some(cache::CacheConfig::with_capacity(256));
+    o.tenant_sectors = Some(cfg.volume_sectors() / 8);
+    assert_equivalent("fault-cache-tpm", cfg.clone(), &trace, o.clone(), || {
+        TpmPolicy::with_threshold(120.0)
+    });
+    assert_equivalent("fault-cache-hib", cfg, &trace, o, hibernator);
+}
+
+#[test]
+fn fleet_run_matches_reference_queue() {
+    // Fleet-segmented stepping: arrays pause at every arbiter epoch, so
+    // batched admission must respect the segment limit exactly. Finite
+    // budget and rebalancing keep the arbiter and placement layers active.
+    let trace = trace(23);
+    let run = |reference: bool| {
+        let mut o = RunOptions::for_horizon(DURATION_S);
+        o.telemetry = Some(TelemetryConfig::new("fleet").with_goal(0.02, 90.0));
+        o.reference_heap_queue = reference;
+        let mut spec = FleetSpec::new(3, 8, config(), o, BudgetSchedule::constant(160.0));
+        spec.fleet_epoch = SimDuration::from_secs(150.0);
+        run_fleet(&spec, &trace, &Pool::new(2), |_| hibernator())
+    };
+    let mut ladder = run(false);
+    let mut heap = run(true);
+
+    assert_eq!(
+        ladder.fleet_stream.bytes, heap.fleet_stream.bytes,
+        "fleet streams differ between queue backends"
+    );
+    assert_eq!(ladder.arrays.len(), heap.arrays.len());
+    for (i, (a, b)) in ladder.arrays.iter_mut().zip(&mut heap.arrays).enumerate() {
+        assert_eq!(
+            fingerprint(a),
+            fingerprint(b),
+            "fleet array {i} diverged between queue backends"
+        );
+        let ls = a.telemetry.take().expect("ladder stream");
+        let hs = b.telemetry.take().expect("heap stream");
+        assert_eq!(ls.bytes, hs.bytes, "fleet array {i} telemetry differs");
+    }
+}
