@@ -34,6 +34,6 @@ pub use migration::{
 };
 pub use policy::{ArrayState, BasePolicy, PowerPolicy, WakeMarks};
 pub use remap::{Placement, RemapTable};
-pub use sim::{run_policy, RunOptions, RunReport, Simulation};
+pub use sim::{run_policy, run_policy_streamed, RunOptions, RunReport, Simulation};
 pub use stats::ArrayStats;
 pub use types::{ArrayConfig, ChunkId, DiskId, Redundancy};

@@ -64,7 +64,7 @@ use simkit::{
     EnergyLedger, EventQueue, IdMap, LatencyHistogram, Moments, QueueBackend, SimDuration, SimTime,
     Slab, TimeSeries,
 };
-use workload::{Trace, VolumeIoKind, VolumeRequest};
+use workload::{Trace, TraceSource, VolumeIoKind, VolumeRequest};
 
 /// Tunables of a single simulation run.
 #[derive(Debug, Clone)]
@@ -207,7 +207,10 @@ impl RunReport {
 
 #[derive(Debug, Clone)]
 enum Event {
-    Arrival(usize),
+    /// The request the feed holds ready is due. The payload lives in
+    /// [`Feed`], not the event: the queue never needs to know whether
+    /// requests come from a materialised slice or a streaming source.
+    Arrival,
     DiskWake(usize, u64),
     Tick,
     Sample,
@@ -249,12 +252,119 @@ struct PendingVolume {
     lost: bool,
 }
 
-/// The simulation driver. Construct with [`Simulation::new`], then call
-/// [`Simulation::run`].
+/// Where arrivals come from: a borrowed materialised trace (the
+/// reference path — random access, validated up front) or a pulled
+/// [`TraceSource`] holding exactly one request ready (validated pull by
+/// pull). Both deliver the identical request sequence to
+/// [`Simulation::handle_arrival`]; `tests/stream_equivalence.rs` pins
+/// the two paths to bit-identical output.
+enum Feed<'a> {
+    Slice {
+        trace: &'a Trace,
+        pos: usize,
+    },
+    Stream {
+        source: Box<dyn TraceSource + 'a>,
+        /// The next undelivered request — the *only* buffered state, so
+        /// trace memory stays O(1) however long the horizon.
+        ready: Option<VolumeRequest>,
+        /// Time of the last delivered request, for the monotonicity check
+        /// the slice path gets for free from `Trace::from_requests`.
+        last: SimTime,
+        /// Volume bound, enforced per pull (the slice path asserts the
+        /// whole trace once in [`Simulation::new`]).
+        volume_sectors: u64,
+    },
+}
+
+/// Pulls one request from a source, enforcing the [`TraceSource`]
+/// contract (nondecreasing times) and the volume bound.
+fn pull_validated(
+    source: &mut dyn TraceSource,
+    last: &mut SimTime,
+    volume_sectors: u64,
+) -> Option<VolumeRequest> {
+    source.next_request().inspect(|r| {
+        assert!(
+            r.time >= *last,
+            "trace source emitted non-monotone time {:?} after {:?}",
+            r.time,
+            *last
+        );
+        assert!(
+            r.sector + u64::from(r.sectors) <= volume_sectors,
+            "trace source touches sector {} beyond volume of {} sectors",
+            r.sector + u64::from(r.sectors),
+            volume_sectors
+        );
+        *last = r.time;
+    })
+}
+
+impl<'a> Feed<'a> {
+    /// A streaming feed with its first request pulled and validated.
+    fn stream(mut source: Box<dyn TraceSource + 'a>, volume_sectors: u64) -> Feed<'a> {
+        let mut last = SimTime::ZERO;
+        let ready = pull_validated(&mut *source, &mut last, volume_sectors);
+        Feed::Stream {
+            source,
+            ready,
+            last,
+            volume_sectors,
+        }
+    }
+
+    /// Time of the next undelivered request, if any.
+    fn peek_time(&self) -> Option<SimTime> {
+        match self {
+            Feed::Slice { trace, pos } => trace.requests.get(*pos).map(|r| r.time),
+            Feed::Stream { ready, .. } => ready.as_ref().map(|r| r.time),
+        }
+    }
+
+    /// Delivers the next request and readies the one after it.
+    fn next_request(&mut self) -> Option<VolumeRequest> {
+        match self {
+            Feed::Slice { trace, pos } => {
+                let r = trace.requests.get(*pos).copied();
+                if r.is_some() {
+                    *pos += 1;
+                }
+                r
+            }
+            Feed::Stream {
+                source,
+                ready,
+                last,
+                volume_sectors,
+            } => {
+                let out = ready.take();
+                if out.is_some() {
+                    *ready = pull_validated(&mut **source, last, *volume_sectors);
+                }
+                out
+            }
+        }
+    }
+
+    /// Requests currently buffered inside the simulation (the streamed
+    /// path's bounded-memory guarantee: at most one). The slice path
+    /// reports the not-yet-delivered remainder of the borrowed trace.
+    fn resident(&self) -> usize {
+        match self {
+            Feed::Slice { trace, pos } => trace.len() - pos,
+            Feed::Stream { ready, .. } => usize::from(ready.is_some()),
+        }
+    }
+}
+
+/// The simulation driver. Construct with [`Simulation::new`] (borrowed
+/// materialised trace) or [`Simulation::from_source`] (streaming), then
+/// call [`Simulation::run`].
 pub struct Simulation<'a, P: PowerPolicy> {
     state: ArrayState,
     policy: P,
-    trace: &'a Trace,
+    feed: Feed<'a>,
     opts: RunOptions,
     events: EventQueue<Event>,
     scheduled: Vec<Option<SimTime>>,
@@ -317,6 +427,44 @@ impl<'a, P: PowerPolicy> Simulation<'a, P> {
             trace.max_sector(),
             config.volume_sectors()
         );
+        let hint = trace.len();
+        Self::build(config, policy, Feed::Slice { trace, pos: 0 }, opts, hint)
+    }
+
+    /// Builds a simulation fed by a streaming [`TraceSource`] instead of a
+    /// borrowed materialised trace: at most one request is buffered at a
+    /// time, so trace memory is O(1) regardless of horizon. Each pulled
+    /// request is validated against the volume bound and for monotone
+    /// time as it arrives (the slice path checks the whole trace up
+    /// front). Given a source yielding the same requests, the run is
+    /// bit-identical to [`Simulation::new`] — `tests/stream_equivalence.rs`
+    /// pins this.
+    ///
+    /// # Panics
+    /// Panics if the config is invalid; later, pulling panics if the
+    /// source emits a request beyond the volume or out of time order.
+    pub fn from_source(
+        config: ArrayConfig,
+        policy: P,
+        source: impl TraceSource + 'a,
+        opts: RunOptions,
+    ) -> Self {
+        config.validate().expect("invalid array config");
+        let hint = source.len_hint().unwrap_or(0);
+        let feed = Feed::stream(Box::new(source), config.volume_sectors());
+        Self::build(config, policy, feed, opts, hint)
+    }
+
+    /// Shared constructor body. `trace_hint` is the expected request
+    /// count, used only to pre-size allocations (capacity never affects
+    /// behaviour — the event queue and slabs key on insertion order).
+    fn build(
+        config: ArrayConfig,
+        policy: P,
+        feed: Feed<'a>,
+        opts: RunOptions,
+        trace_hint: usize,
+    ) -> Self {
         let mut disks: Vec<Disk> = (0..config.disks)
             .map(|i| {
                 Disk::new(
@@ -346,7 +494,7 @@ impl<'a, P: PowerPolicy> Simulation<'a, P> {
         // per-disk wakes (including superseded ones awaiting their pop),
         // and the in-flight maps hold only queued work — capped so a huge
         // trace does not balloon the warm-up allocation.
-        let inflight_hint = (trace.len() / 8).clamp(64, 4096);
+        let inflight_hint = (trace_hint / 8).clamp(64, 4096);
         let backend = if opts.reference_heap_queue {
             QueueBackend::ReferenceHeap
         } else {
@@ -368,9 +516,9 @@ impl<'a, P: PowerPolicy> Simulation<'a, P> {
                 wake_marks: WakeMarks::new(n),
             },
             policy,
-            trace,
+            feed,
             opts,
-            events: EventQueue::with_backend(backend, trace.len().clamp(1024, 1 << 16)),
+            events: EventQueue::with_backend(backend, trace_hint.clamp(1024, 1 << 16)),
             scheduled: vec![None; n],
             gens: vec![0; n],
             gather: Slab::with_capacity(inflight_hint),
@@ -443,9 +591,8 @@ impl<'a, P: PowerPolicy> Simulation<'a, P> {
         self.state.wake_marks.mark_all();
         self.resync(t0);
 
-        if !self.trace.is_empty() {
-            self.events
-                .push(self.trace.requests[0].time, Event::Arrival(0));
+        if let Some(t) = self.feed.peek_time() {
+            self.events.push(t, Event::Arrival);
         }
         if let Some(int) = self.policy.tick_interval() {
             self.events.push(t0 + int, Event::Tick);
@@ -490,7 +637,7 @@ impl<'a, P: PowerPolicy> Simulation<'a, P> {
     /// runs past the segment the caller asked for.
     fn dispatch(&mut self, now: SimTime, ev: Event, limit: SimTime) {
         match ev {
-            Event::Arrival(idx) => self.handle_arrival(now, idx, limit),
+            Event::Arrival => self.handle_arrival(now, limit),
             Event::DiskWake(d, gen) => self.handle_disk_wake(now, d, gen),
             Event::Tick => {
                 self.policy.on_tick(now, &mut self.state);
@@ -541,6 +688,15 @@ impl<'a, P: PowerPolicy> Simulation<'a, P> {
         self.state.stats.fg_completed
     }
 
+    /// Trace requests currently resident inside the simulation: the
+    /// not-yet-delivered remainder of a borrowed trace
+    /// ([`Simulation::new`]), or at most **one** buffered request for a
+    /// streaming feed ([`Simulation::from_source`]) — the bounded-memory
+    /// guarantee `tests/stream_equivalence.rs` asserts on a week-long run.
+    pub fn feed_resident(&self) -> usize {
+        self.feed.resident()
+    }
+
     /// Mean foreground response so far, seconds.
     pub fn mean_response_s(&self) -> f64 {
         self.state.stats.response.mean()
@@ -548,21 +704,23 @@ impl<'a, P: PowerPolicy> Simulation<'a, P> {
 
     // ------------------------------------------------------------------
 
-    fn handle_arrival(&mut self, now: SimTime, idx: usize, limit: SimTime) {
-        let (mut now, mut idx) = (now, idx);
+    fn handle_arrival(&mut self, now: SimTime, limit: SimTime) {
+        let mut now = now;
         loop {
+            let req = self
+                .feed
+                .next_request()
+                .expect("Arrival event with no request ready");
             // Reserve the next arrival's queue position before routing —
             // the exact point the unbatched path pushes it — so its packed
             // (time, seq) key, and with it FIFO tie-breaking against the
             // wakes resync schedules below, is bit-identical either way.
             let mut next = None;
-            if idx + 1 < self.trace.len() {
-                let t = self.trace.requests[idx + 1].time;
+            if let Some(t) = self.feed.peek_time() {
                 if t <= self.opts.horizon {
                     next = Some((t, self.events.reserve_key(t)));
                 }
             }
-            let req = self.trace.requests[idx];
             self.route_volume_request(now, &req);
             self.pump_migration(now);
             self.resync(now);
@@ -576,9 +734,8 @@ impl<'a, P: PowerPolicy> Simulation<'a, P> {
             if pops_next && t <= limit && !self.opts.reference_heap_queue {
                 self.events_processed += 1;
                 now = t;
-                idx += 1;
             } else {
-                self.events.push_reserved(key, Event::Arrival(idx + 1));
+                self.events.push_reserved(key, Event::Arrival);
                 return;
             }
         }
@@ -1633,6 +1790,36 @@ pub fn run_policy<P: PowerPolicy + Send>(
     opts: RunOptions,
 ) -> RunReport {
     Simulation::new(config, policy, trace, opts).run()
+}
+
+/// Like [`run_policy`], but fed by a streaming [`TraceSource`]: trace
+/// memory stays O(1) however long the horizon. Bit-identical to
+/// [`run_policy`] over a source yielding the same requests.
+///
+/// # Examples
+/// ```
+/// use array::{run_policy, run_policy_streamed, ArrayConfig, BasePolicy, RunOptions};
+/// use workload::WorkloadSpec;
+///
+/// let spec = WorkloadSpec::oltp(30.0, 10.0);
+/// let config = ArrayConfig::default_for_volume(16 << 30);
+/// let streamed = run_policy_streamed(
+///     config.clone(),
+///     BasePolicy,
+///     spec.stream(1),
+///     RunOptions::for_horizon(60.0),
+/// );
+/// let trace = spec.generate(1);
+/// let batch = run_policy(config, BasePolicy, &trace, RunOptions::for_horizon(60.0));
+/// assert_eq!(streamed.completed, batch.completed);
+/// ```
+pub fn run_policy_streamed<P: PowerPolicy + Send>(
+    config: ArrayConfig,
+    policy: P,
+    source: impl TraceSource,
+    opts: RunOptions,
+) -> RunReport {
+    Simulation::from_source(config, policy, source, opts).run()
 }
 
 // The parallel experiment harness farms runs out to worker threads and

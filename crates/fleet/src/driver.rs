@@ -168,14 +168,17 @@ where
         num_epochs,
     );
     let placement = plan_placement(&heat, spec.arrays, spec.rebalance, spec.max_moves_per_epoch);
-    let shards = tenants::shard_by_placement(
+    // One routing pass for conservation accounting and allocation hints;
+    // the arrays then *stream* their shards from the shared trace in
+    // place (see [`tenants::ShardStream`]) — nothing is cloned per array.
+    let counts = tenants::shard_counts(
         trace,
         &placement.rows,
         spec.tenant_sectors,
         epoch_s,
         spec.arrays,
     );
-    let routed_requests: u64 = shards.iter().map(|s| s.len() as u64).sum();
+    let routed_requests: u64 = counts.iter().sum();
 
     // One simulation per array. Array 0 keeps the spec's seed and label
     // verbatim, so a fleet of one is the exact single-array run.
@@ -192,7 +195,15 @@ where
                     t.label = format!("{}/a{i}", t.label);
                 }
             }
-            Simulation::new(config, make_policy(i), &shards[i], opts)
+            let shard = tenants::ShardStream::new(
+                trace,
+                &placement.rows,
+                i as u32,
+                spec.tenant_sectors,
+                epoch_s,
+            )
+            .with_len_hint(counts[i] as usize);
+            Simulation::from_source(config, make_policy(i), shard, opts)
         })
         .collect();
 

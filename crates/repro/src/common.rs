@@ -24,7 +24,7 @@
 //! and all output formatting happens serially from ordered results,
 //! reports — and therefore CSVs — are bit-identical at any `--jobs` value.
 
-use array::{run_policy, ArrayConfig, Redundancy, RunOptions, RunReport};
+use array::{run_policy, run_policy_streamed, ArrayConfig, Redundancy, RunOptions, RunReport};
 use diskmodel::{DiskSpec, SpeedLevel};
 use hibernator::{Hibernator, HibernatorConfig, MigrationMode};
 use parallel::{OnceMap, Pool};
@@ -35,7 +35,7 @@ use simkit::{SimDuration, TimeSeries};
 use std::collections::HashMap;
 use std::fmt::Write as _;
 use std::sync::{Arc, Mutex};
-use workload::{Trace, WorkloadSpec};
+use workload::{Trace, TraceSource, WorkloadSpec};
 
 /// Which workload a run uses.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -504,6 +504,67 @@ impl Ctx {
             }
             PolicyKind::FixedSlow => {
                 run_policy(config, FixedSpeed::new(SpeedLevel(0)), trace, opts)
+            }
+        }
+    }
+
+    /// Streaming twin of [`Ctx::run_kind`]: the same policy dispatch fed
+    /// from a [`TraceSource`] instead of a materialised trace. The two
+    /// paths are bit-identical for equal request sequences (locked down
+    /// by `tests/stream_equivalence.rs`); this one never allocates the
+    /// trace, so the scenario sweep's superposed/rewritten streams run at
+    /// O(1) trace memory.
+    pub fn run_kind_streamed(
+        &self,
+        p: PolicyKind,
+        config: ArrayConfig,
+        source: impl TraceSource,
+        opts: RunOptions,
+        goal_s: f64,
+    ) -> RunReport {
+        match p {
+            PolicyKind::Base => run_policy_streamed(config, array::BasePolicy, source, opts),
+            PolicyKind::Tpm => run_policy_streamed(config, TpmPolicy::competitive(), source, opts),
+            PolicyKind::Drpm => run_policy_streamed(config, DrpmPolicy::default(), source, opts),
+            PolicyKind::Pdc => run_policy_streamed(config, PdcPolicy::default(), source, opts),
+            PolicyKind::Maid => {
+                let cache_disks = (config.disks / 8).max(1) + 1; // 16 disks -> 3
+                let cfg = maid_array_config(config, cache_disks);
+                run_policy_streamed(
+                    cfg,
+                    MaidPolicy::new(MaidConfig {
+                        cache_disks,
+                        cache_chunks_per_disk: 2048,
+                        tpm_threshold_s: None,
+                    }),
+                    source,
+                    opts,
+                )
+            }
+            PolicyKind::Hibernator => {
+                let cfg = self.hibernator_config(goal_s);
+                run_policy_streamed(config, Hibernator::new(cfg), source, opts)
+            }
+            PolicyKind::HibernatorNoMig => {
+                let cfg = self.hibernator_config(goal_s);
+                run_policy_streamed(
+                    config,
+                    Hibernator::new(cfg).without_migration(),
+                    source,
+                    opts,
+                )
+            }
+            PolicyKind::HibernatorRandMig => {
+                let mut cfg = self.hibernator_config(goal_s);
+                cfg.migration_mode = MigrationMode::Random;
+                run_policy_streamed(config, Hibernator::new(cfg), source, opts)
+            }
+            PolicyKind::HibernatorNoGuard => {
+                let cfg = self.hibernator_config(goal_s);
+                run_policy_streamed(config, Hibernator::new(cfg).without_guard(), source, opts)
+            }
+            PolicyKind::FixedSlow => {
+                run_policy_streamed(config, FixedSpeed::new(SpeedLevel(0)), source, opts)
             }
         }
     }

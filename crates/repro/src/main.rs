@@ -4,9 +4,10 @@
 //!
 //! ```text
 //! repro [--quick] [--seed N] [--out DIR] [--jobs N] <experiment...>
-//!   experiments: t1..t6 f1..f12 faults cache | tables | figures | all
+//!   experiments: t1..t6 f1..f12 faults cache scenarios | tables | figures | all
 //! repro fleet [--arrays N] [--tenants N] [--budget-frac F]
 //! repro audit <stream.jsonl>
+//! repro ingest <msr_trace.csv>
 //! ```
 //!
 //! `--quick` runs 2-hour traces instead of 24-hour ones (for smoke tests);
@@ -27,6 +28,12 @@
 //! budget (see `fleetcmd`); its `fleet_stream.jsonl` output audits through
 //! the same `repro audit` command, which detects fleet streams by their
 //! first event tag.
+//!
+//! `repro scenarios` sweeps the adversarial workload suite (flash crowd,
+//! popularity flip, write flood, scan poison) across the headline
+//! policies, streaming every trace (see `scenarios`). `repro ingest PATH`
+//! parses an MSR-Cambridge block-trace CSV and prints its vitals, exiting
+//! non-zero (with the offending line number) on malformed input.
 
 mod bench;
 mod cachesweep;
@@ -34,6 +41,7 @@ mod common;
 mod faults;
 mod figures;
 mod fleetcmd;
+mod scenarios;
 mod tables;
 
 use common::Ctx;
@@ -41,9 +49,10 @@ use common::Ctx;
 fn usage() -> ! {
     eprintln!(
         "usage: repro [--quick] [--seed N] [--out DIR] [--jobs N] [--horizon-h H] \
-         [--telemetry-out PATH] <t1..t6|f1..f12|faults|cache|tables|figures|all>...\n\
+         [--telemetry-out PATH] <t1..t6|f1..f12|faults|cache|scenarios|tables|figures|all>...\n\
          \x20      repro fleet [--arrays N] [--tenants N] [--budget-frac F] [common flags]\n\
          \x20      repro audit <stream.jsonl>\n\
+         \x20      repro ingest <msr_trace.csv>\n\
          \x20      repro bench [--seed N] [--out DIR] [--iters N] [--reference] \
          [--check-floor]"
     );
@@ -93,6 +102,43 @@ fn audit_stream(path: &str) -> ! {
     }
     eprintln!("audit: invariant violations found");
     std::process::exit(1);
+}
+
+/// Streams an MSR-Cambridge block-trace CSV once, printing its vitals,
+/// and exits: 0 on a clean parse, 1 (naming the offending line) on a
+/// malformed one. Runs in O(1) memory regardless of trace size.
+fn ingest_msr(path: &str) -> ! {
+    let file = std::fs::File::open(path).unwrap_or_else(|e| {
+        eprintln!("ingest: cannot open {path}: {e}");
+        std::process::exit(2);
+    });
+    let (mut records, mut reads, mut sectors, mut last_s, mut max_end) =
+        (0u64, 0u64, 0u64, 0.0f64, 0u64);
+    for r in workload::trace_io::MsrReader::new(file) {
+        let r = r.unwrap_or_else(|e| {
+            eprintln!("ingest: {path}: {e}");
+            std::process::exit(1);
+        });
+        records += 1;
+        if r.kind == workload::VolumeIoKind::Read {
+            reads += 1;
+        }
+        sectors += u64::from(r.sectors);
+        last_s = last_s.max(r.time.as_secs());
+        max_end = max_end.max(r.sector + u64::from(r.sectors));
+    }
+    if records == 0 {
+        eprintln!("ingest: {path} holds no records");
+        std::process::exit(1);
+    }
+    println!("ingest: {path}");
+    println!(
+        "  records   {records} ({reads} reads, {} writes)",
+        records - reads
+    );
+    println!("  span      {last_s:.3} s");
+    println!("  volume    {max_end} sectors touched-end, {sectors} sectors transferred");
+    std::process::exit(0);
 }
 
 fn main() {
@@ -178,6 +224,12 @@ fn main() {
             _ => usage(),
         }
     }
+    if experiments.first().map(String::as_str) == Some("ingest") {
+        match experiments.as_slice() {
+            [_, path] => ingest_msr(path),
+            _ => usage(),
+        }
+    }
     if experiments.first().map(String::as_str) == Some("bench") {
         if experiments.len() != 1 {
             usage();
@@ -260,6 +312,7 @@ fn run_one(ctx: &Ctx, name: &str) {
         "f12" => figures::f12(ctx),
         "faults" => faults::faults(ctx),
         "cache" => cachesweep::cachesweep(ctx),
+        "scenarios" => scenarios::scenarios(ctx),
         "tables" => {
             // One prefetch covers every standard-scenario run the tables
             // need, so the whole grid fans out across the pool at once.

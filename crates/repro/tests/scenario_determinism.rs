@@ -1,0 +1,96 @@
+//! Determinism under parallelism, scenario edition: `repro scenarios` at
+//! `--jobs 1` and `--jobs 4` must produce byte-identical output — the
+//! sweep CSV *and* the telemetry stream — and the stream must replay
+//! cleanly through `repro audit`. The sweep is the one experiment whose
+//! runs are fed by streaming sources (scenario combinators over
+//! `SpecStream`), so this locks that lazy generation is exactly as
+//! jobs-invariant as the materialised path it replaced.
+
+use std::path::{Path, PathBuf};
+use std::process::Command;
+
+/// Runs `repro scenarios` on a tiny horizon and returns its output dir.
+fn run_scenarios_cmd(tag: &str, jobs: u32) -> PathBuf {
+    let out = std::env::temp_dir().join(format!("repro_scen_det_{tag}_{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&out);
+    let stream = out.join("scenario_stream.jsonl");
+    let status = Command::new(env!("CARGO_BIN_EXE_repro"))
+        .args([
+            "--quick",
+            "--horizon-h",
+            "0.02",
+            "--seed",
+            "11",
+            "--jobs",
+            &jobs.to_string(),
+            "--telemetry-out",
+        ])
+        .arg(&stream)
+        .arg("--out")
+        .arg(&out)
+        .arg("scenarios")
+        .output()
+        .expect("spawn repro binary");
+    assert!(
+        status.status.success(),
+        "repro scenarios --jobs {jobs} failed:\n{}",
+        String::from_utf8_lossy(&status.stderr)
+    );
+    out
+}
+
+/// All output files under `dir`, sorted by name.
+fn outputs(dir: &Path) -> Vec<PathBuf> {
+    let mut v: Vec<PathBuf> = std::fs::read_dir(dir)
+        .expect("read results dir")
+        .map(|e| e.expect("dir entry").path())
+        .filter(|p| p.extension().is_some_and(|e| e == "csv" || e == "jsonl"))
+        .collect();
+    v.sort();
+    v
+}
+
+#[test]
+fn scenario_sweep_jobs_count_does_not_change_output_bytes() {
+    let serial = run_scenarios_cmd("j1", 1);
+    let parallel = run_scenarios_cmd("j4", 4);
+
+    let a = outputs(&serial);
+    let b = outputs(&parallel);
+    assert!(
+        a.iter()
+            .any(|p| p.file_name().is_some_and(|n| n == "scenario_sweep.csv")),
+        "no sweep CSV produced"
+    );
+    assert_eq!(
+        a.iter().map(|p| p.file_name().unwrap()).collect::<Vec<_>>(),
+        b.iter().map(|p| p.file_name().unwrap()).collect::<Vec<_>>(),
+        "different file sets"
+    );
+    for (pa, pb) in a.iter().zip(&b) {
+        let ba = std::fs::read(pa).expect("read output");
+        let bb = std::fs::read(pb).expect("read output");
+        assert!(
+            ba == bb,
+            "{} differs between --jobs 1 and --jobs 4",
+            pa.file_name().unwrap().to_string_lossy()
+        );
+        assert!(!ba.is_empty(), "{} is empty", pa.display());
+    }
+
+    // The stream must replay cleanly through the audit subcommand.
+    let audit = Command::new(env!("CARGO_BIN_EXE_repro"))
+        .arg("audit")
+        .arg(serial.join("scenario_stream.jsonl"))
+        .output()
+        .expect("spawn repro audit");
+    assert!(
+        audit.status.success(),
+        "repro audit rejected the scenario stream:\n{}\n{}",
+        String::from_utf8_lossy(&audit.stdout),
+        String::from_utf8_lossy(&audit.stderr)
+    );
+
+    let _ = std::fs::remove_dir_all(&serial);
+    let _ = std::fs::remove_dir_all(&parallel);
+}

@@ -34,6 +34,13 @@ fn fnv1a(label: &str) -> u64 {
 
 /// A deterministic, labelled random stream.
 ///
+/// Cloning snapshots the stream state: the clone and the original then
+/// produce the *same* draws. That is deliberate — streaming generators use
+/// a clone to replay a draw sequence they have already accounted for (see
+/// `workload`'s two-pass trick) — but it means two clones must never both
+/// feed "independent" consumers; derive a labelled child with
+/// [`DetRng::split`] for that.
+///
 /// # Examples
 /// ```
 /// use simkit::DetRng;
@@ -45,6 +52,7 @@ fn fnv1a(label: &str) -> u64 {
 /// let mut c = DetRng::new(42, "popularity");
 /// assert_ne!(DetRng::new(42, "arrivals").next_u64(), c.next_u64());
 /// ```
+#[derive(Clone)]
 pub struct DetRng {
     s: [u64; 4],
 }
@@ -279,5 +287,15 @@ mod tests {
     #[should_panic(expected = "bad rate")]
     fn exponential_rejects_zero_rate() {
         DetRng::new(1, "e").exponential(0.0);
+    }
+
+    #[test]
+    fn clone_snapshots_the_stream() {
+        let mut a = DetRng::new(17, "snap");
+        let _ = a.next_u64(); // advance off the seed state
+        let mut b = a.clone();
+        let ahead: Vec<u64> = (0..8).map(|_| a.next_u64()).collect();
+        let replay: Vec<u64> = (0..8).map(|_| b.next_u64()).collect();
+        assert_eq!(ahead, replay, "a clone must replay the same draws");
     }
 }

@@ -16,7 +16,63 @@
 use crate::arrivals::{DiurnalProfile, Mmpp2, Poisson};
 use crate::popularity::{SequentialRuns, ZipfExtents};
 use crate::request::{Trace, VolumeIoKind, VolumeRequest};
+use crate::stream::SpecStream;
 use simkit::{DetRng, SimTime};
+use std::fmt;
+
+/// A structurally invalid [`WorkloadSpec`], caught by
+/// [`WorkloadSpec::validate`] before any generation happens — NaN rates
+/// or out-of-range probabilities would otherwise poison every downstream
+/// draw silently.
+#[derive(Debug, Clone, PartialEq)]
+pub enum WorkloadSpecError {
+    /// `duration_s` is not a finite, non-negative number.
+    BadDuration(f64),
+    /// An arrival-model parameter is unusable; the string names it.
+    BadArrivals(String),
+    /// A probability field is outside `[0, 1]` (or NaN); `(field, value)`.
+    BadFraction(&'static str, f64),
+    /// The size mix has no choices at all.
+    EmptySizeMix,
+    /// A size-mix entry has a zero-sector size or a non-finite/negative
+    /// weight; `(sectors, weight)`.
+    BadSizeChoice(u32, f64),
+    /// The size-mix weights sum to zero, so nothing can be sampled.
+    ZeroSizeMixWeight,
+    /// `extents` or `extent_sectors` is zero.
+    EmptyFootprint,
+    /// `zipf_theta` is negative or not finite.
+    BadTheta(f64),
+    /// The diurnal profile has a negative/non-finite hour or is
+    /// identically zero; the string says which.
+    BadDiurnal(String),
+}
+
+impl fmt::Display for WorkloadSpecError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            WorkloadSpecError::BadDuration(d) => write!(f, "bad duration {d}"),
+            WorkloadSpecError::BadArrivals(msg) => write!(f, "bad arrivals: {msg}"),
+            WorkloadSpecError::BadFraction(field, v) => {
+                write!(f, "bad {field} {v} (want a probability in [0, 1])")
+            }
+            WorkloadSpecError::EmptySizeMix => write!(f, "empty size mix"),
+            WorkloadSpecError::BadSizeChoice(s, w) => {
+                write!(f, "bad size-mix choice ({s} sectors, weight {w})")
+            }
+            WorkloadSpecError::ZeroSizeMixWeight => {
+                write!(f, "size-mix weights sum to zero")
+            }
+            WorkloadSpecError::EmptyFootprint => {
+                write!(f, "zero extents or extent_sectors")
+            }
+            WorkloadSpecError::BadTheta(t) => write!(f, "bad zipf_theta {t}"),
+            WorkloadSpecError::BadDiurnal(msg) => write!(f, "bad diurnal profile: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for WorkloadSpecError {}
 
 /// Shape of the arrival process.
 #[derive(Debug, Clone, Copy)]
@@ -196,17 +252,111 @@ impl WorkloadSpec {
         }
     }
 
-    /// Generates the trace for this spec deterministically from `seed`.
+    /// Checks the spec for structural problems — NaN or negative rates,
+    /// probabilities outside `[0, 1]`, an empty size mix, a zero footprint,
+    /// an all-zero diurnal profile — and reports the first one found.
+    /// [`WorkloadSpec::generate`] and [`WorkloadSpec::stream`] call this up
+    /// front, so a bad spec fails loudly instead of generating garbage.
+    pub fn validate(&self) -> Result<(), WorkloadSpecError> {
+        if !self.duration_s.is_finite() || self.duration_s < 0.0 {
+            return Err(WorkloadSpecError::BadDuration(self.duration_s));
+        }
+        match self.arrivals {
+            ArrivalModel::Poisson { rate } => {
+                if !rate.is_finite() || rate <= 0.0 {
+                    return Err(WorkloadSpecError::BadArrivals(format!(
+                        "Poisson rate {rate}"
+                    )));
+                }
+            }
+            ArrivalModel::Mmpp {
+                rate_quiet,
+                rate_burst,
+                mean_quiet_s,
+                mean_burst_s,
+            } => {
+                for (name, v) in [
+                    ("rate_quiet", rate_quiet),
+                    ("rate_burst", rate_burst),
+                    ("mean_quiet_s", mean_quiet_s),
+                    ("mean_burst_s", mean_burst_s),
+                ] {
+                    if !v.is_finite() || v <= 0.0 {
+                        return Err(WorkloadSpecError::BadArrivals(format!("MMPP {name} {v}")));
+                    }
+                }
+                if rate_burst <= rate_quiet {
+                    return Err(WorkloadSpecError::BadArrivals(format!(
+                        "MMPP burst rate {rate_burst} must exceed quiet rate {rate_quiet}"
+                    )));
+                }
+            }
+        }
+        for (field, v) in [
+            ("read_fraction", self.read_fraction),
+            ("sequential_fraction", self.sequential_fraction),
+        ] {
+            if !v.is_finite() || !(0.0..=1.0).contains(&v) {
+                return Err(WorkloadSpecError::BadFraction(field, v));
+            }
+        }
+        if self.sizes.choices.is_empty() {
+            return Err(WorkloadSpecError::EmptySizeMix);
+        }
+        for &(s, w) in &self.sizes.choices {
+            if s == 0 || !w.is_finite() || w < 0.0 {
+                return Err(WorkloadSpecError::BadSizeChoice(s, w));
+            }
+        }
+        if self.sizes.choices.iter().map(|(_, w)| w).sum::<f64>() <= 0.0 {
+            return Err(WorkloadSpecError::ZeroSizeMixWeight);
+        }
+        if self.extents == 0 || self.extent_sectors == 0 {
+            return Err(WorkloadSpecError::EmptyFootprint);
+        }
+        if !self.zipf_theta.is_finite() || self.zipf_theta < 0.0 {
+            return Err(WorkloadSpecError::BadTheta(self.zipf_theta));
+        }
+        if let Some(hourly) = &self.diurnal {
+            for (h, m) in hourly.iter().enumerate() {
+                if !m.is_finite() || *m < 0.0 {
+                    return Err(WorkloadSpecError::BadDiurnal(format!(
+                        "hour {h} multiplier {m}"
+                    )));
+                }
+            }
+            if hourly.iter().all(|&m| m == 0.0) {
+                return Err(WorkloadSpecError::BadDiurnal("identically zero".into()));
+            }
+        }
+        Ok(())
+    }
+
+    /// A streaming source yielding exactly the requests
+    /// [`WorkloadSpec::generate`] would materialise, in the same order with
+    /// the same bits, in O(1) memory per request (the popularity tables are
+    /// the only O(extents) state). See [`SpecStream`].
     ///
     /// # Panics
-    /// Panics if the spec is internally inconsistent (zero extents, empty
-    /// size mix, probabilities out of range).
+    /// Panics if the spec fails [`WorkloadSpec::validate`].
+    pub fn stream(&self, seed: u64) -> SpecStream {
+        SpecStream::new(self, seed)
+    }
+
+    /// Generates the trace for this spec deterministically from `seed`.
+    ///
+    /// This is the materialised reference path;
+    /// [`WorkloadSpec::stream`] yields the identical request sequence
+    /// without holding it in memory, and `tests/stream_equivalence.rs`
+    /// pins the two together.
+    ///
+    /// # Panics
+    /// Panics if the spec fails [`WorkloadSpec::validate`] (zero extents,
+    /// empty size mix, NaN rates, probabilities out of range, …).
     pub fn generate(&self, seed: u64) -> Trace {
-        assert!((0.0..=1.0).contains(&self.read_fraction), "bad read frac");
-        assert!(
-            (0.0..=1.0).contains(&self.sequential_fraction),
-            "bad seq frac"
-        );
+        if let Err(e) = self.validate() {
+            panic!("invalid workload spec {:?}: {e}", self.name);
+        }
         let mut root = DetRng::new(seed, &format!("workload-{}", self.name));
         let mut arr_rng = root.split("arrivals");
         let mut pop_rng = root.split("popularity");
@@ -266,7 +416,7 @@ impl WorkloadSpec {
     }
 }
 
-fn to_hourly(p: DiurnalProfile) -> [f64; 24] {
+pub(crate) fn to_hourly(p: DiurnalProfile) -> [f64; 24] {
     let mut h = [0.0; 24];
     for (i, v) in h.iter_mut().enumerate() {
         *v = p.multiplier(i as f64 * 3600.0);
@@ -394,6 +544,149 @@ mod tests {
             (realized - predicted).abs() / predicted < 0.25,
             "realized {realized} predicted {predicted}"
         );
+    }
+
+    #[test]
+    fn validate_accepts_both_presets() {
+        assert_eq!(WorkloadSpec::oltp(60.0, 10.0).validate(), Ok(()));
+        assert_eq!(WorkloadSpec::cello_like(60.0, 10.0).validate(), Ok(()));
+    }
+
+    #[test]
+    fn validate_rejects_bad_rates() {
+        let mut spec = WorkloadSpec::oltp(60.0, 10.0);
+        spec.arrivals = ArrivalModel::Poisson { rate: f64::NAN };
+        assert!(matches!(
+            spec.validate(),
+            Err(WorkloadSpecError::BadArrivals(_))
+        ));
+        spec.arrivals = ArrivalModel::Poisson { rate: -5.0 };
+        assert!(matches!(
+            spec.validate(),
+            Err(WorkloadSpecError::BadArrivals(_))
+        ));
+        spec.arrivals = ArrivalModel::Mmpp {
+            rate_quiet: 10.0,
+            rate_burst: 5.0, // inverted
+            mean_quiet_s: 60.0,
+            mean_burst_s: 10.0,
+        };
+        assert!(matches!(
+            spec.validate(),
+            Err(WorkloadSpecError::BadArrivals(_))
+        ));
+        spec.arrivals = ArrivalModel::Mmpp {
+            rate_quiet: 10.0,
+            rate_burst: 40.0,
+            mean_quiet_s: f64::INFINITY,
+            mean_burst_s: 10.0,
+        };
+        assert!(matches!(
+            spec.validate(),
+            Err(WorkloadSpecError::BadArrivals(_))
+        ));
+    }
+
+    #[test]
+    fn validate_rejects_out_of_range_fractions() {
+        let mut spec = WorkloadSpec::oltp(60.0, 10.0);
+        spec.read_fraction = 1.5;
+        assert_eq!(
+            spec.validate(),
+            Err(WorkloadSpecError::BadFraction("read_fraction", 1.5))
+        );
+        spec.read_fraction = f64::NAN;
+        assert!(matches!(
+            spec.validate(),
+            Err(WorkloadSpecError::BadFraction("read_fraction", _))
+        ));
+        spec.read_fraction = 0.5;
+        spec.sequential_fraction = -0.1;
+        assert_eq!(
+            spec.validate(),
+            Err(WorkloadSpecError::BadFraction("sequential_fraction", -0.1))
+        );
+    }
+
+    #[test]
+    fn validate_rejects_degenerate_size_mix() {
+        let mut spec = WorkloadSpec::oltp(60.0, 10.0);
+        spec.sizes = SizeMix { choices: vec![] };
+        assert_eq!(spec.validate(), Err(WorkloadSpecError::EmptySizeMix));
+        spec.sizes = SizeMix {
+            choices: vec![(0, 1.0)],
+        };
+        assert_eq!(
+            spec.validate(),
+            Err(WorkloadSpecError::BadSizeChoice(0, 1.0))
+        );
+        spec.sizes = SizeMix {
+            choices: vec![(16, f64::NAN)],
+        };
+        assert!(matches!(
+            spec.validate(),
+            Err(WorkloadSpecError::BadSizeChoice(16, _))
+        ));
+        spec.sizes = SizeMix {
+            choices: vec![(16, 0.0), (64, 0.0)],
+        };
+        assert_eq!(spec.validate(), Err(WorkloadSpecError::ZeroSizeMixWeight));
+    }
+
+    #[test]
+    fn validate_rejects_bad_footprint_theta_duration_diurnal() {
+        let mut spec = WorkloadSpec::oltp(60.0, 10.0);
+        spec.extents = 0;
+        assert_eq!(spec.validate(), Err(WorkloadSpecError::EmptyFootprint));
+        spec.extents = 16;
+        spec.extent_sectors = 0;
+        assert_eq!(spec.validate(), Err(WorkloadSpecError::EmptyFootprint));
+        spec.extent_sectors = 2048;
+        spec.zipf_theta = -1.0;
+        assert_eq!(spec.validate(), Err(WorkloadSpecError::BadTheta(-1.0)));
+        spec.zipf_theta = 0.9;
+        spec.duration_s = f64::NAN;
+        assert!(matches!(
+            spec.validate(),
+            Err(WorkloadSpecError::BadDuration(_))
+        ));
+        spec.duration_s = 60.0;
+        spec.diurnal = Some([0.0; 24]);
+        assert!(matches!(
+            spec.validate(),
+            Err(WorkloadSpecError::BadDiurnal(_))
+        ));
+        let mut h = [1.0; 24];
+        h[3] = -0.5;
+        spec.diurnal = Some(h);
+        assert!(matches!(
+            spec.validate(),
+            Err(WorkloadSpecError::BadDiurnal(_))
+        ));
+    }
+
+    #[test]
+    fn error_display_names_the_problem() {
+        let mut spec = WorkloadSpec::oltp(60.0, 10.0);
+        spec.read_fraction = 2.0;
+        let msg = spec.validate().unwrap_err().to_string();
+        assert!(msg.contains("read_fraction"), "{msg}");
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid workload spec")]
+    fn generate_panics_on_nan_rate() {
+        let mut spec = WorkloadSpec::oltp(60.0, 10.0);
+        spec.arrivals = ArrivalModel::Poisson { rate: f64::NAN };
+        let _ = spec.generate(1);
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid workload spec")]
+    fn stream_panics_on_empty_size_mix() {
+        let mut spec = WorkloadSpec::oltp(60.0, 10.0);
+        spec.sizes = SizeMix { choices: vec![] };
+        let _ = spec.stream(1);
     }
 
     #[test]

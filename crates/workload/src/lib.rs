@@ -9,6 +9,11 @@
 //! * [`WorkloadSpec`] — complete synthetic workload descriptions, with the
 //!   `oltp` and `cello_like` presets the experiments use (substitutes for
 //!   the paper's non-redistributable production traces; see DESIGN.md);
+//! * [`TraceSource`] — pull-based streaming requests: [`SpecStream`]
+//!   regenerates a spec lazily (bit-identical to [`WorkloadSpec::generate`]
+//!   at O(1) trace memory), [`TraceCursor`] streams a materialised trace;
+//! * [`Scenario`] — adversarial modifiers over a base spec (flash crowds,
+//!   popularity flips, write floods, scan poison);
 //! * [`TraceStats`] — the workload-characteristics table.
 //!
 //! Everything is deterministic given a spec and a seed.
@@ -20,12 +25,16 @@ mod arrivals;
 mod generator;
 mod popularity;
 mod request;
+mod scenario;
 mod stats;
+mod stream;
 pub mod tenants;
 pub mod trace_io;
 
 pub use arrivals::{DiurnalProfile, Mmpp2, Poisson};
-pub use generator::{ArrivalModel, SizeMix, WorkloadSpec};
+pub use generator::{ArrivalModel, SizeMix, WorkloadSpec, WorkloadSpecError};
 pub use popularity::{SequentialRuns, ZipfExtents};
 pub use request::{Trace, VolumeIoKind, VolumeRequest};
+pub use scenario::Scenario;
 pub use stats::TraceStats;
+pub use stream::{collect_trace, Counted, SpecStream, TraceCursor, TraceSource};

@@ -1,0 +1,538 @@
+//! Adversarial scenario combinators.
+//!
+//! A [`Scenario`] is a deterministic modifier over a base [`WorkloadSpec`]:
+//! it takes the spec's streaming request source and wraps or superposes it
+//! to produce the access patterns that break energy policies tuned on
+//! stationary skew — the cases the online-workload literature warns about:
+//!
+//! * [`Scenario::FlashCrowd`] — a surge of extra arrivals inside a window,
+//!   defeating slow-reacting speed planners;
+//! * [`Scenario::PopularityFlip`] — the hot extents go cold and the cold
+//!   go hot mid-run, invalidating temperature-driven data placement;
+//! * [`Scenario::WriteFlood`] — a window of never-re-referenced writes
+//!   that defeats the write-back DRAM cache's coalescing;
+//! * [`Scenario::ScanPoison`] — periodic large sequential scans that sweep
+//!   the volume and poison LRU-style caches.
+//!
+//! Every combinator is a [`TraceSource`]: deterministic given
+//! `(scenario, spec, seed)`, monotone in time, and O(1) memory. The
+//! `repro scenarios` sweep runs each against the six headline policies.
+
+use crate::generator::{ArrivalModel, WorkloadSpec};
+use crate::request::{Trace, VolumeIoKind, VolumeRequest};
+use crate::stream::{collect_trace, TraceSource};
+use simkit::SimTime;
+
+/// A deterministic adversarial modifier over a base workload.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Scenario {
+    /// Extra Poisson arrivals at `(multiplier − 1) ×` the base mean rate
+    /// inside `[start_s, start_s + duration_s)` — a flash crowd on top of
+    /// the unchanged base stream.
+    FlashCrowd {
+        /// Window start (seconds).
+        start_s: f64,
+        /// Window length (seconds).
+        duration_s: f64,
+        /// Total load multiplier inside the window; must exceed 1.
+        multiplier: f64,
+    },
+    /// From `at_s` onward, extent `e` is remapped to `extents − 1 − e`
+    /// (offset within the extent preserved): the popularity ranking
+    /// inverts instantly while rates and sizes stay untouched.
+    PopularityFlip {
+        /// Flip time (seconds).
+        at_s: f64,
+    },
+    /// Inside the window every request becomes a write to a cold,
+    /// never-re-referenced address (an extent-strided walk), defeating
+    /// write-back caching.
+    WriteFlood {
+        /// Window start (seconds).
+        start_s: f64,
+        /// Window length (seconds).
+        duration_s: f64,
+    },
+    /// Every `interval_s` inside the window, a large sequential read scan
+    /// sweeps the volume — classic LRU cache poison.
+    ScanPoison {
+        /// Window start (seconds).
+        start_s: f64,
+        /// Window length (seconds).
+        duration_s: f64,
+        /// Seconds between scan requests; must be positive and finite.
+        interval_s: f64,
+        /// Size of each scan request in sectors.
+        scan_sectors: u32,
+    },
+}
+
+impl Scenario {
+    /// Stable short name, used for sweep labels and CSV rows.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Scenario::FlashCrowd { .. } => "flash_crowd",
+            Scenario::PopularityFlip { .. } => "pop_flip",
+            Scenario::WriteFlood { .. } => "write_flood",
+            Scenario::ScanPoison { .. } => "scan_poison",
+        }
+    }
+
+    /// The standard adversarial suite for a run of `duration_s`, window
+    /// positions scaled to the horizon (used by `repro scenarios`).
+    pub fn standard_suite(duration_s: f64) -> Vec<Scenario> {
+        vec![
+            Scenario::FlashCrowd {
+                start_s: duration_s * 0.3,
+                duration_s: duration_s * 0.2,
+                multiplier: 4.0,
+            },
+            Scenario::PopularityFlip {
+                at_s: duration_s * 0.5,
+            },
+            Scenario::WriteFlood {
+                start_s: duration_s * 0.4,
+                duration_s: duration_s * 0.2,
+            },
+            Scenario::ScanPoison {
+                start_s: duration_s * 0.3,
+                duration_s: duration_s * 0.5,
+                interval_s: 2.0,
+                scan_sectors: 2_048,
+            },
+        ]
+    }
+
+    /// The scenario's streaming source over `spec`: the base spec's
+    /// [`WorkloadSpec::stream`] wrapped or superposed by the modifier.
+    ///
+    /// # Panics
+    /// Panics if the spec fails [`WorkloadSpec::validate`] or a scenario
+    /// parameter is degenerate (non-finite window, `multiplier <= 1`,
+    /// non-positive scan interval, scan larger than the footprint).
+    pub fn apply(&self, spec: &WorkloadSpec, seed: u64) -> Box<dyn TraceSource> {
+        match *self {
+            Scenario::FlashCrowd {
+                start_s,
+                duration_s,
+                multiplier,
+            } => {
+                assert!(
+                    start_s.is_finite() && start_s >= 0.0 && duration_s.is_finite(),
+                    "flash crowd: bad window [{start_s}, +{duration_s})"
+                );
+                assert!(
+                    multiplier.is_finite() && multiplier > 1.0,
+                    "flash crowd: multiplier {multiplier} must exceed 1"
+                );
+                // The surge is its own Poisson spec over just the window,
+                // shifted into place. Its name (hence RNG label) differs
+                // from the base, so the two streams are independent.
+                let window = duration_s.min((spec.duration_s - start_s).max(0.0));
+                let mut surge = spec.clone();
+                surge.name = format!("{}-flash", spec.name);
+                surge.duration_s = window;
+                surge.arrivals = ArrivalModel::Poisson {
+                    rate: spec.mean_rate() * (multiplier - 1.0),
+                };
+                surge.diurnal = None;
+                Box::new(Superpose::new(
+                    spec.stream(seed),
+                    Shifted {
+                        inner: surge.stream(seed),
+                        offset_s: start_s,
+                    },
+                ))
+            }
+            Scenario::PopularityFlip { at_s } => {
+                assert!(
+                    at_s.is_finite() && at_s >= 0.0,
+                    "popularity flip: bad time {at_s}"
+                );
+                Box::new(FlipPopularity {
+                    inner: spec.stream(seed),
+                    at: SimTime::from_secs(at_s),
+                    extents: spec.extents,
+                    extent_sectors: spec.extent_sectors,
+                    footprint: spec.footprint_sectors(),
+                })
+            }
+            Scenario::WriteFlood {
+                start_s,
+                duration_s,
+            } => {
+                assert!(
+                    start_s.is_finite() && start_s >= 0.0 && duration_s.is_finite(),
+                    "write flood: bad window [{start_s}, +{duration_s})"
+                );
+                Box::new(FloodWrites {
+                    inner: spec.stream(seed),
+                    start: SimTime::from_secs(start_s),
+                    end: SimTime::from_secs(start_s + duration_s.max(0.0)),
+                    stride: spec.extent_sectors,
+                    footprint: spec.footprint_sectors(),
+                    count: 0,
+                })
+            }
+            Scenario::ScanPoison {
+                start_s,
+                duration_s,
+                interval_s,
+                scan_sectors,
+            } => {
+                assert!(
+                    start_s.is_finite() && start_s >= 0.0 && duration_s.is_finite(),
+                    "scan poison: bad window [{start_s}, +{duration_s})"
+                );
+                assert!(
+                    interval_s.is_finite() && interval_s > 0.0,
+                    "scan poison: bad interval {interval_s}"
+                );
+                let footprint = spec.footprint_sectors();
+                assert!(
+                    scan_sectors > 0 && u64::from(scan_sectors) <= footprint,
+                    "scan poison: scan of {scan_sectors} sectors does not fit \
+                     footprint {footprint}"
+                );
+                let end_s = (start_s + duration_s.max(0.0)).min(spec.duration_s);
+                Box::new(Superpose::new(
+                    spec.stream(seed),
+                    ScanStream {
+                        next_s: start_s,
+                        end_s,
+                        interval_s,
+                        scan_sectors,
+                        footprint,
+                        k: 0,
+                    },
+                ))
+            }
+        }
+    }
+
+    /// Materialises the scenario's trace (for callers that still want a
+    /// [`Trace`], e.g. golden tests).
+    pub fn trace(&self, spec: &WorkloadSpec, seed: u64) -> Trace {
+        collect_trace(self.apply(spec, seed))
+    }
+}
+
+/// Time-ordered merge of two sources; ties go to `a` (the base stream).
+struct Superpose<A, B> {
+    a: A,
+    b: B,
+    next_a: Option<VolumeRequest>,
+    next_b: Option<VolumeRequest>,
+}
+
+impl<A: TraceSource, B: TraceSource> Superpose<A, B> {
+    fn new(mut a: A, mut b: B) -> Self {
+        let next_a = a.next_request();
+        let next_b = b.next_request();
+        Superpose {
+            a,
+            b,
+            next_a,
+            next_b,
+        }
+    }
+}
+
+impl<A: TraceSource, B: TraceSource> TraceSource for Superpose<A, B> {
+    fn next_request(&mut self) -> Option<VolumeRequest> {
+        let take_a = match (&self.next_a, &self.next_b) {
+            (Some(ra), Some(rb)) => ra.time <= rb.time,
+            (Some(_), None) => true,
+            (None, Some(_)) => false,
+            (None, None) => return None,
+        };
+        if take_a {
+            std::mem::replace(&mut self.next_a, self.a.next_request())
+        } else {
+            std::mem::replace(&mut self.next_b, self.b.next_request())
+        }
+    }
+
+    fn len_hint(&self) -> Option<usize> {
+        // Buffered heads are already pulled out of the inner hints, so
+        // sums would undercount; hints are allocation-only anyway.
+        None
+    }
+}
+
+/// Shifts every request of an inner source later by a fixed offset.
+struct Shifted<S> {
+    inner: S,
+    offset_s: f64,
+}
+
+impl<S: TraceSource> TraceSource for Shifted<S> {
+    fn next_request(&mut self) -> Option<VolumeRequest> {
+        self.inner.next_request().map(|mut r| {
+            r.time = SimTime::from_secs(r.time.as_secs() + self.offset_s);
+            r
+        })
+    }
+
+    fn len_hint(&self) -> Option<usize> {
+        self.inner.len_hint()
+    }
+}
+
+/// Mirrors the extent index from `at` onward (offset preserved); keeps
+/// the original address if the mirrored request would not fit.
+struct FlipPopularity<S> {
+    inner: S,
+    at: SimTime,
+    extents: u32,
+    extent_sectors: u64,
+    footprint: u64,
+}
+
+impl<S: TraceSource> TraceSource for FlipPopularity<S> {
+    fn next_request(&mut self) -> Option<VolumeRequest> {
+        self.inner.next_request().map(|mut r| {
+            if r.time >= self.at {
+                let extent = r.sector / self.extent_sectors;
+                if extent < u64::from(self.extents) {
+                    let mirrored = u64::from(self.extents) - 1 - extent;
+                    let flipped = mirrored * self.extent_sectors + r.sector % self.extent_sectors;
+                    if flipped + u64::from(r.sectors) <= self.footprint {
+                        r.sector = flipped;
+                    }
+                }
+            }
+            r
+        })
+    }
+
+    fn len_hint(&self) -> Option<usize> {
+        self.inner.len_hint()
+    }
+}
+
+/// Turns every request in the window into a write against a cold,
+/// extent-strided walk of the footprint — addresses that are never
+/// re-referenced soon, so the write-back cache cannot coalesce them.
+struct FloodWrites<S> {
+    inner: S,
+    start: SimTime,
+    end: SimTime,
+    stride: u64,
+    footprint: u64,
+    count: u64,
+}
+
+impl<S: TraceSource> TraceSource for FloodWrites<S> {
+    fn next_request(&mut self) -> Option<VolumeRequest> {
+        self.inner.next_request().map(|mut r| {
+            if r.time >= self.start && r.time < self.end {
+                let mut sector = (self.count.wrapping_mul(self.stride)) % self.footprint;
+                if sector + u64::from(r.sectors) > self.footprint {
+                    sector = 0;
+                }
+                self.count += 1;
+                r.sector = sector;
+                r.kind = VolumeIoKind::Write;
+            }
+            r
+        })
+    }
+
+    fn len_hint(&self) -> Option<usize> {
+        self.inner.len_hint()
+    }
+}
+
+/// Deterministic fixed-interval sequential read scans sweeping the volume.
+struct ScanStream {
+    next_s: f64,
+    end_s: f64,
+    interval_s: f64,
+    scan_sectors: u32,
+    footprint: u64,
+    k: u64,
+}
+
+impl TraceSource for ScanStream {
+    fn next_request(&mut self) -> Option<VolumeRequest> {
+        if self.next_s >= self.end_s {
+            return None;
+        }
+        let t = self.next_s;
+        let mut sector = (self.k.wrapping_mul(u64::from(self.scan_sectors))) % self.footprint;
+        if sector + u64::from(self.scan_sectors) > self.footprint {
+            sector = 0;
+        }
+        self.k += 1;
+        self.next_s = t + self.interval_s;
+        Some(VolumeRequest {
+            time: SimTime::from_secs(t),
+            sector,
+            sectors: self.scan_sectors,
+            kind: VolumeIoKind::Read,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn base() -> WorkloadSpec {
+        WorkloadSpec::oltp(300.0, 30.0)
+    }
+
+    fn monotone(t: &Trace) -> bool {
+        t.is_sorted()
+    }
+
+    #[test]
+    fn scenarios_are_deterministic_and_monotone() {
+        let spec = base();
+        for sc in Scenario::standard_suite(spec.duration_s) {
+            let a = sc.trace(&spec, 7);
+            let b = sc.trace(&spec, 7);
+            assert_eq!(a.requests, b.requests, "{} not deterministic", sc.name());
+            assert!(monotone(&a), "{} emits out-of-order times", sc.name());
+            assert!(
+                a.max_sector() <= spec.footprint_sectors(),
+                "{} escapes the footprint",
+                sc.name()
+            );
+        }
+    }
+
+    #[test]
+    fn flash_crowd_raises_rate_only_in_window() {
+        let spec = base();
+        let sc = Scenario::FlashCrowd {
+            start_s: 100.0,
+            duration_s: 50.0,
+            multiplier: 4.0,
+        };
+        let plain = spec.generate(3);
+        let crowd = sc.trace(&spec, 3);
+        let count = |t: &Trace, lo: f64, hi: f64| {
+            t.requests
+                .iter()
+                .filter(|r| r.time.as_secs() >= lo && r.time.as_secs() < hi)
+                .count() as f64
+        };
+        // Outside the window the base stream is untouched.
+        assert_eq!(count(&crowd, 0.0, 100.0), count(&plain, 0.0, 100.0));
+        assert_eq!(count(&crowd, 150.0, 300.0), count(&plain, 150.0, 300.0));
+        // Inside, roughly multiplier× the load.
+        let in_window = count(&crowd, 100.0, 150.0) / count(&plain, 100.0, 150.0);
+        assert!((3.0..5.0).contains(&in_window), "window ratio {in_window}");
+    }
+
+    #[test]
+    fn popularity_flip_mirrors_extents_after_cut() {
+        let spec = base();
+        let sc = Scenario::PopularityFlip { at_s: 150.0 };
+        let plain = spec.generate(5);
+        let flipped = sc.trace(&spec, 5);
+        assert_eq!(plain.len(), flipped.len());
+        let es = spec.extent_sectors;
+        let last = u64::from(spec.extents) - 1;
+        let mut mirrored = 0u32;
+        for (p, f) in plain.requests.iter().zip(&flipped.requests) {
+            assert_eq!(p.time, f.time);
+            assert_eq!(p.kind, f.kind);
+            if p.time.as_secs() < 150.0 {
+                assert_eq!(p.sector, f.sector, "pre-flip requests must be untouched");
+            } else if f.sector != p.sector {
+                assert_eq!(f.sector / es, last - p.sector / es);
+                assert_eq!(f.sector % es, p.sector % es);
+                mirrored += 1;
+            }
+        }
+        assert!(mirrored > 100, "flip barely mirrored anything: {mirrored}");
+    }
+
+    #[test]
+    fn write_flood_forces_cold_writes_in_window() {
+        let spec = base();
+        let sc = Scenario::WriteFlood {
+            start_s: 100.0,
+            duration_s: 100.0,
+        };
+        let t = sc.trace(&spec, 9);
+        let in_window: Vec<_> = t
+            .requests
+            .iter()
+            .filter(|r| (100.0..200.0).contains(&r.time.as_secs()))
+            .collect();
+        assert!(in_window.len() > 1000);
+        assert!(in_window.iter().all(|r| r.kind == VolumeIoKind::Write));
+        // The strided walk never repeats an address within an extent cycle.
+        let uniq: std::collections::HashSet<u64> = in_window.iter().map(|r| r.sector).collect();
+        assert!(
+            uniq.len() as f64 > in_window.len() as f64 * 0.9,
+            "flood addresses should be cold: {} unique of {}",
+            uniq.len(),
+            in_window.len()
+        );
+    }
+
+    #[test]
+    fn scan_poison_injects_periodic_scans() {
+        let spec = base();
+        let sc = Scenario::ScanPoison {
+            start_s: 50.0,
+            duration_s: 200.0,
+            interval_s: 2.0,
+            scan_sectors: 2_048,
+        };
+        let t = sc.trace(&spec, 4);
+        let scans: Vec<_> = t
+            .requests
+            .iter()
+            .filter(|r| r.sectors == 2_048 && r.kind == VolumeIoKind::Read)
+            .collect();
+        assert_eq!(scans.len(), 100, "200 s window at one scan per 2 s");
+        assert!(scans
+            .windows(2)
+            .all(|w| (w[1].time.as_secs() - w[0].time.as_secs() - 2.0).abs() < 1e-9));
+        assert!(scans
+            .iter()
+            .all(|r| r.sector + u64::from(r.sectors) <= spec.footprint_sectors()));
+    }
+
+    #[test]
+    fn scenario_base_stream_is_untouched_outside_modifiers() {
+        // WriteFlood with an empty window is the identity.
+        let spec = base();
+        let sc = Scenario::WriteFlood {
+            start_s: 400.0, // beyond the horizon
+            duration_s: 10.0,
+        };
+        assert_eq!(sc.trace(&spec, 6).requests, spec.generate(6).requests);
+    }
+
+    #[test]
+    #[should_panic(expected = "multiplier")]
+    fn flash_crowd_rejects_unit_multiplier() {
+        let spec = base();
+        let _ = Scenario::FlashCrowd {
+            start_s: 0.0,
+            duration_s: 10.0,
+            multiplier: 1.0,
+        }
+        .apply(&spec, 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "bad interval")]
+    fn scan_poison_rejects_zero_interval() {
+        let spec = base();
+        let _ = Scenario::ScanPoison {
+            start_s: 0.0,
+            duration_s: 10.0,
+            interval_s: 0.0,
+            scan_sectors: 64,
+        }
+        .apply(&spec, 1);
+    }
+}

@@ -10,6 +10,7 @@
 //! needs no feedback channel from the arrays to route requests, which
 //! keeps routing deterministic and jobs-invariant.
 
+use crate::stream::TraceSource;
 use crate::{Trace, VolumeRequest};
 
 /// The tenant owning `sector` under `tenant_sectors`-sector shards,
@@ -94,9 +95,126 @@ pub fn shard_by_placement(
         .collect()
 }
 
+/// Requests the placement map routes to each array — the allocation
+/// hints (and conservation check) a streaming fleet needs, in one pass
+/// with no per-array materialisation.
+///
+/// # Panics
+/// Panics on the same degenerate placements as [`shard_by_placement`],
+/// including a routed array index out of range.
+pub fn shard_counts(
+    trace: &Trace,
+    placement: &[Vec<u32>],
+    tenant_sectors: u64,
+    epoch_s: f64,
+    arrays: usize,
+) -> Vec<u64> {
+    assert!(!placement.is_empty(), "placement needs at least one epoch");
+    assert!(arrays > 0, "at least one array");
+    let tenants = placement[0].len() as u32;
+    assert!(tenants > 0, "placement rows must cover at least one tenant");
+    for row in placement {
+        assert_eq!(row.len(), tenants as usize, "ragged placement map");
+    }
+    let last = placement.len() - 1;
+    let mut counts = vec![0u64; arrays];
+    for r in &trace.requests {
+        let e = epoch_of(r.time.as_secs(), epoch_s).min(last);
+        let t = tenant_of(r.sector, tenant_sectors, tenants);
+        let a = placement[e][t as usize] as usize;
+        assert!(
+            a < arrays,
+            "placement routes tenant {t} to missing array {a}"
+        );
+        counts[a] += 1;
+    }
+    counts
+}
+
+/// A [`TraceSource`] yielding exactly the requests the placement map
+/// routes to one array — the same subsequence, in the same order, as
+/// [`shard_by_placement`]'s materialised shard for that array, but
+/// walking the shared trace in place. N arrays each hold one of these
+/// over one shared trace: the fleet no longer clones the trace per
+/// array.
+#[derive(Debug, Clone)]
+pub struct ShardStream<'a> {
+    trace: &'a Trace,
+    placement: &'a [Vec<u32>],
+    array: u32,
+    tenant_sectors: u64,
+    epoch_s: f64,
+    tenants: u32,
+    pos: usize,
+    hint: Option<usize>,
+}
+
+impl<'a> ShardStream<'a> {
+    /// A stream of `trace`'s requests routed to `array` under
+    /// `placement`.
+    ///
+    /// # Panics
+    /// Panics if the placement map is empty or ragged, or
+    /// `tenant_sectors`/`epoch_s` is degenerate.
+    pub fn new(
+        trace: &'a Trace,
+        placement: &'a [Vec<u32>],
+        array: u32,
+        tenant_sectors: u64,
+        epoch_s: f64,
+    ) -> ShardStream<'a> {
+        assert!(!placement.is_empty(), "placement needs at least one epoch");
+        let tenants = placement[0].len() as u32;
+        assert!(tenants > 0, "placement rows must cover at least one tenant");
+        for row in placement {
+            assert_eq!(row.len(), tenants as usize, "ragged placement map");
+        }
+        assert!(tenant_sectors > 0, "tenant shards must be non-empty");
+        assert!(epoch_s > 0.0, "fleet epoch must be positive");
+        ShardStream {
+            trace,
+            placement,
+            array,
+            tenant_sectors,
+            epoch_s,
+            tenants,
+            pos: 0,
+            hint: None,
+        }
+    }
+
+    /// Attaches an exact request count (from [`shard_counts`]) so
+    /// consumers pre-size their allocations as the materialised path
+    /// did.
+    pub fn with_len_hint(mut self, hint: usize) -> ShardStream<'a> {
+        self.hint = Some(hint);
+        self
+    }
+}
+
+impl TraceSource for ShardStream<'_> {
+    fn next_request(&mut self) -> Option<VolumeRequest> {
+        let last = self.placement.len() - 1;
+        while let Some(r) = self.trace.requests.get(self.pos) {
+            self.pos += 1;
+            let e = epoch_of(r.time.as_secs(), self.epoch_s).min(last);
+            let t = tenant_of(r.sector, self.tenant_sectors, self.tenants);
+            if self.placement[e][t as usize] == self.array {
+                return Some(*r);
+            }
+        }
+        None
+    }
+
+    fn len_hint(&self) -> Option<usize> {
+        self.hint
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::stream::collect_trace;
     use crate::VolumeIoKind;
     use simkit::SimTime;
 
@@ -163,6 +281,32 @@ mod tests {
         // The move lands: tenant 2's epoch-1 request is on array 1.
         assert!(shards[1].requests.iter().any(|r| r.sector == 215));
         assert!(shards[0].requests.iter().any(|r| r.sector == 210));
+    }
+
+    #[test]
+    fn shard_stream_matches_materialised_shards() {
+        let tr = mixed_trace();
+        let placement = vec![vec![0, 1, 0], vec![0, 1, 1]];
+        let shards = shard_by_placement(&tr, &placement, 100, 10.0, 2);
+        let counts = shard_counts(&tr, &placement, 100, 10.0, 2);
+        for (a, shard) in shards.iter().enumerate() {
+            let stream = ShardStream::new(&tr, &placement, a as u32, 100, 10.0)
+                .with_len_hint(counts[a] as usize);
+            assert_eq!(stream.len_hint(), Some(shard.len()));
+            assert_eq!(
+                collect_trace(stream).requests,
+                shard.requests,
+                "array {a} stream diverges from its materialised shard"
+            );
+        }
+        assert_eq!(counts.iter().sum::<u64>(), tr.len() as u64);
+    }
+
+    #[test]
+    #[should_panic(expected = "missing array")]
+    fn shard_counts_rejects_out_of_range_routing() {
+        let tr = mixed_trace();
+        let _ = shard_counts(&tr, &[vec![0, 5, 0]], 100, 10.0, 2);
     }
 
     #[test]

@@ -1,0 +1,68 @@
+//! Golden-file lockdown of the MSR-Cambridge trace ingest: the committed
+//! fixture must parse to exactly these requests, forever. Any change to
+//! tick conversion, sector arithmetic, or sorting shows up here first.
+
+use workload::trace_io::{read_msr_csv, MsrReader};
+use workload::VolumeIoKind;
+
+const FIXTURE: &str = include_str!("fixtures/msr_sample.csv");
+
+#[test]
+fn fixture_parses_to_golden_values() {
+    let trace = read_msr_csv(FIXTURE.as_bytes()).unwrap();
+    assert_eq!(trace.len(), 10);
+    assert!(trace.is_sorted(), "collect must sort the capture");
+
+    // (time_s, sector, sectors, kind) for every record, in sorted order.
+    // The fixture's 8th line is time-stamped *before* its 7th — the sort
+    // interleaves them (1.3 s before 1.5 s).
+    let golden: &[(f64, u64, u32, VolumeIoKind)] = &[
+        (0.0, 40_960, 8, VolumeIoKind::Read),
+        (2.5, 8_192, 16, VolumeIoKind::Write),
+        (5.0, 0, 1, VolumeIoKind::Read),
+        (7.5, 65_536, 128, VolumeIoKind::Write),
+        (10.0, 2_048, 8, VolumeIoKind::Read),
+        (12.0, 1_024, 2, VolumeIoKind::Read),
+        (13.0, 512, 1, VolumeIoKind::Read),
+        (15.0, 4_096, 6, VolumeIoKind::Write),
+        (20.0, 16_384, 32, VolumeIoKind::Write),
+        (25.0, 32_768, 8, VolumeIoKind::Read),
+    ];
+    for (i, (r, g)) in trace.requests.iter().zip(golden).enumerate() {
+        assert_eq!(r.time.as_secs(), g.0, "record {i} time");
+        assert_eq!(r.sector, g.1, "record {i} sector");
+        assert_eq!(r.sectors, g.2, "record {i} length");
+        assert_eq!(r.kind, g.3, "record {i} kind");
+    }
+}
+
+#[test]
+fn fixture_streams_one_record_per_pull() {
+    // The streaming reader yields records in *file* order (the fixture's
+    // out-of-order line stays out of order until collected).
+    let records: Vec<_> = MsrReader::new(FIXTURE.as_bytes())
+        .collect::<Result<Vec<_>, _>>()
+        .unwrap();
+    assert_eq!(records.len(), 10);
+    assert_eq!(records[6].time.as_secs(), 15.0);
+    assert_eq!(records[7].time.as_secs(), 13.0, "file order preserved");
+    let reads = records
+        .iter()
+        .filter(|r| r.kind == VolumeIoKind::Read)
+        .count();
+    assert_eq!(reads, 6);
+}
+
+#[test]
+fn fixture_survives_native_roundtrip() {
+    // Ingested traces persist through the native formats bit-exactly.
+    let trace = read_msr_csv(FIXTURE.as_bytes()).unwrap();
+    let mut csv = Vec::new();
+    workload::trace_io::write_csv(&trace, &mut csv).unwrap();
+    assert_eq!(
+        workload::trace_io::read_csv(csv.as_slice())
+            .unwrap()
+            .requests,
+        trace.requests
+    );
+}

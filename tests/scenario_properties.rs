@@ -1,0 +1,88 @@
+//! Property: every adversarial scenario combinator produces runs that
+//! pass the full cross-cutting telemetry audit — energy conservation,
+//! dead-disk serving, migration concurrency, goal-violation refit — over
+//! a 20-seed sweep. The scenarios exist to stress policies into their
+//! corner cases (surges, inverted skew, cold write floods, cache-poison
+//! scans); this sweep pins that none of those corners can push the
+//! simulator itself off its invariants, at any seed.
+
+use array::{run_policy_streamed, ArrayConfig, RunOptions};
+use hibernator::{Hibernator, HibernatorConfig};
+use simkit::SimDuration;
+use telemetry::TelemetryConfig;
+use workload::{Scenario, WorkloadSpec};
+
+const DURATION_S: f64 = 600.0;
+const SEEDS: u64 = 20;
+
+fn spec() -> WorkloadSpec {
+    let mut spec = WorkloadSpec::oltp(DURATION_S, 10.0);
+    spec.extents = 512;
+    spec
+}
+
+fn config() -> ArrayConfig {
+    let mut c = ArrayConfig::default_for_volume(2 << 30);
+    c.disks = 6;
+    c
+}
+
+fn hibernator() -> Hibernator {
+    let mut cfg = HibernatorConfig::for_goal(0.02);
+    cfg.epoch = SimDuration::from_secs(120.0);
+    cfg.heat_tau = SimDuration::from_secs(120.0);
+    Hibernator::new(cfg)
+}
+
+/// Runs `scenario` under Hibernator (the policy exercising the most
+/// invariants: migration, refit, multi-speed transitions) at every seed
+/// and audits each run's telemetry stream.
+fn audit_sweep(scenario: Scenario) {
+    let spec = spec();
+    for seed in 0..SEEDS {
+        let label = format!("{}/s{seed:02}", scenario.name());
+        let mut opts = RunOptions::for_horizon(DURATION_S);
+        opts.telemetry = Some(TelemetryConfig::new(&label).with_goal(0.02, 60.0));
+        let mut report =
+            run_policy_streamed(config(), hibernator(), scenario.apply(&spec, seed), opts);
+        let stream = report.telemetry.take().expect("telemetry stream");
+        let outcome = telemetry::audit::audit_bytes(&stream.bytes)
+            .unwrap_or_else(|e| panic!("{label}: malformed stream: {e}"));
+        assert!(!outcome.runs.is_empty(), "{label}: no run in stream");
+        for run in &outcome.runs {
+            for check in &run.checks {
+                assert!(
+                    check.passed,
+                    "{label}: audit check {} failed — {}",
+                    check.name, check.detail
+                );
+            }
+        }
+    }
+}
+
+/// The four standard scenarios, each as its own test so the sweeps run
+/// on separate test threads.
+fn standard(i: usize) -> Scenario {
+    Scenario::standard_suite(DURATION_S)[i]
+}
+
+#[test]
+fn flash_crowd_passes_audit_across_seeds() {
+    audit_sweep(standard(0));
+}
+
+#[test]
+fn popularity_flip_passes_audit_across_seeds() {
+    audit_sweep(standard(1));
+}
+
+#[test]
+fn write_flood_passes_audit_across_seeds() {
+    audit_sweep(standard(2));
+}
+
+#[test]
+fn scan_poison_passes_audit_across_seeds() {
+    audit_sweep(standard(3));
+}

@@ -1,0 +1,254 @@
+//! Property: the streaming workload engine is observationally identical
+//! to the materialised one. Feeding a simulation from
+//! [`WorkloadSpec::stream`] (a lazy [`workload::TraceSource`]) must
+//! produce bit-identical [`RunReport`] numerics and byte-identical
+//! telemetry streams to feeding it the materialised
+//! [`WorkloadSpec::generate`] trace — across all six headline policies,
+//! both arrival models, and a whole fleet run — while buffering at most
+//! one request, so week-long horizons run in O(1) trace memory.
+//!
+//! Why this must hold: `SpecStream` replays the batch generator's RNG
+//! draw order exactly (including the two-pass arrivals-clone trick for
+//! diurnal thinning), so the request sequences are equal; and the sim's
+//! `Feed` abstraction pulls one request ahead at the exact code point
+//! the sliced path reads the next trace element, so event-queue keys —
+//! and therefore FIFO tie-breaking — are unchanged.
+
+use array::{run_policy, run_policy_streamed, ArrayConfig, RunOptions, RunReport, Simulation};
+use fleet::{run_fleet, BudgetSchedule, FleetSpec};
+use hibernator::{Hibernator, HibernatorConfig};
+use parallel::Pool;
+use policies::{maid_array_config, DrpmPolicy, MaidConfig, MaidPolicy, PdcPolicy, TpmPolicy};
+use simkit::{SimDuration, SimTime};
+use std::sync::atomic::Ordering;
+use telemetry::TelemetryConfig;
+use workload::{collect_trace, Counted, WorkloadSpec};
+
+const DURATION_S: f64 = 900.0;
+
+fn spec() -> WorkloadSpec {
+    let mut spec = WorkloadSpec::oltp(DURATION_S, 25.0);
+    spec.extents = 1024;
+    spec.zipf_theta = 1.0;
+    spec
+}
+
+fn config() -> ArrayConfig {
+    let mut c = ArrayConfig::default_for_volume(2 << 30);
+    c.disks = 6;
+    c
+}
+
+/// A 6-disk config sized to a spec's footprint (for specs whose default
+/// extents exceed the 2 GiB test volume).
+fn config_for(spec: &WorkloadSpec) -> ArrayConfig {
+    let mut c = ArrayConfig::default_for_volume(spec.footprint_sectors() * 512);
+    c.disks = 6;
+    c
+}
+
+fn opts(label: &str) -> RunOptions {
+    let mut o = RunOptions::for_horizon(DURATION_S);
+    o.telemetry = Some(TelemetryConfig::new(label).with_goal(0.02, 90.0));
+    o
+}
+
+fn hibernator() -> Hibernator {
+    let mut cfg = HibernatorConfig::for_goal(0.02);
+    cfg.epoch = SimDuration::from_secs(180.0);
+    cfg.heat_tau = SimDuration::from_secs(180.0);
+    Hibernator::new(cfg)
+}
+
+/// Everything numeric a run reports, bit-exact.
+fn fingerprint(r: &RunReport) -> Vec<u64> {
+    vec![
+        r.completed,
+        r.incomplete,
+        r.events_processed,
+        r.transitions,
+        r.energy.total_joules().to_bits(),
+        r.response.mean().to_bits(),
+        r.response.raw_second_moment().to_bits(),
+        r.service.mean().to_bits(),
+        r.fg_sectors,
+        r.migration.committed,
+        r.migration.aborted,
+        r.migration.rebuilt,
+        r.migration.raw_writes,
+        r.faults.lost_requests,
+        r.faults.degraded_redirects,
+        r.faults.rebuild_chunks,
+        r.faults.retries,
+        r.faults.transient_errors,
+    ]
+}
+
+/// Runs the same (spec, seed, policy) both ways — materialised trace vs
+/// streaming source — and asserts reports and telemetry agree exactly.
+fn assert_stream_equivalent<P: array::PowerPolicy + Send>(
+    label: &str,
+    spec: &WorkloadSpec,
+    seed: u64,
+    config: ArrayConfig,
+    opts: RunOptions,
+    mk_policy: impl Fn() -> P,
+) {
+    let trace = spec.generate(seed);
+    let mut materialised = run_policy(config.clone(), mk_policy(), &trace, opts.clone());
+    let mut streamed = run_policy_streamed(config, mk_policy(), spec.stream(seed), opts);
+
+    assert_eq!(
+        fingerprint(&streamed),
+        fingerprint(&materialised),
+        "{label}: streamed run diverged from materialised run"
+    );
+    let ss = streamed.telemetry.take().expect("streamed stream");
+    let ms = materialised.telemetry.take().expect("materialised stream");
+    assert_eq!(
+        ss.bytes, ms.bytes,
+        "{label}: telemetry differs between streamed and materialised feeds"
+    );
+}
+
+#[test]
+fn headline_policies_match_materialised_runs() {
+    let spec = spec();
+    let cfg = config();
+    assert_stream_equivalent("Base", &spec, 7, cfg.clone(), opts("Base"), || {
+        array::BasePolicy
+    });
+    assert_stream_equivalent(
+        "TPM",
+        &spec,
+        7,
+        cfg.clone(),
+        opts("TPM"),
+        TpmPolicy::competitive,
+    );
+    assert_stream_equivalent(
+        "DRPM",
+        &spec,
+        7,
+        cfg.clone(),
+        opts("DRPM"),
+        DrpmPolicy::default,
+    );
+    assert_stream_equivalent(
+        "PDC",
+        &spec,
+        7,
+        cfg.clone(),
+        opts("PDC"),
+        PdcPolicy::default,
+    );
+    assert_stream_equivalent(
+        "MAID",
+        &spec,
+        7,
+        maid_array_config(cfg.clone(), 2),
+        opts("MAID"),
+        || {
+            MaidPolicy::new(MaidConfig {
+                cache_disks: 2,
+                cache_chunks_per_disk: 256,
+                tpm_threshold_s: Some(120.0),
+            })
+        },
+    );
+    assert_stream_equivalent("Hibernator", &spec, 7, cfg, opts("Hibernator"), hibernator);
+}
+
+#[test]
+fn diurnal_mmpp_workload_matches_materialised_run() {
+    // The hard generator path for the streaming engine: MMPP arrivals
+    // plus diurnal thinning, whose batch draw order forces the two-pass
+    // arrivals-RNG clone trick.
+    let spec = WorkloadSpec::cello_like(3600.0, 20.0);
+    let cfg = config_for(&spec);
+    let mut o = RunOptions::for_horizon(3600.0);
+    o.telemetry = Some(TelemetryConfig::new("cello-stream").with_goal(0.02, 360.0));
+    assert_stream_equivalent("Cello/Hibernator", &spec, 13, cfg, o, hibernator);
+}
+
+#[test]
+fn fleet_run_matches_materialised_trace() {
+    // The fleet driver feeds its arrays through per-array `ShardStream`s
+    // over one shared trace. A shared trace collected from the streaming
+    // engine must reproduce the materialised-trace fleet run exactly:
+    // fleet stream bytes, per-array reports, per-array telemetry.
+    let spec = spec();
+    let from_generate = spec.generate(23);
+    let from_stream = collect_trace(spec.stream(23));
+    assert_eq!(
+        from_generate.requests, from_stream.requests,
+        "stream-collected trace differs from generate()"
+    );
+
+    let run = |trace: &workload::Trace| {
+        let mut o = RunOptions::for_horizon(DURATION_S);
+        o.telemetry = Some(TelemetryConfig::new("fleet").with_goal(0.02, 90.0));
+        let mut spec = FleetSpec::new(3, 8, config(), o, BudgetSchedule::constant(160.0));
+        spec.fleet_epoch = SimDuration::from_secs(150.0);
+        run_fleet(&spec, trace, &Pool::new(2), |_| hibernator())
+    };
+    let mut a = run(&from_generate);
+    let mut b = run(&from_stream);
+
+    assert_eq!(
+        a.fleet_stream.bytes, b.fleet_stream.bytes,
+        "fleet streams differ between trace sources"
+    );
+    assert_eq!(a.arrays.len(), b.arrays.len());
+    for (i, (ra, rb)) in a.arrays.iter_mut().zip(&mut b.arrays).enumerate() {
+        assert_eq!(
+            fingerprint(ra),
+            fingerprint(rb),
+            "fleet array {i} diverged between trace sources"
+        );
+        let sa = ra.telemetry.take().expect("stream a");
+        let sb = rb.telemetry.take().expect("stream b");
+        assert_eq!(sa.bytes, sb.bytes, "fleet array {i} telemetry differs");
+    }
+}
+
+#[test]
+fn week_long_horizon_runs_in_bounded_trace_memory() {
+    // A week of requests streams through while the simulation holds at
+    // most one request of trace state — the whole point of the
+    // streaming engine. The counter proves the volume actually flowed;
+    // `feed_resident` (checked at every stepping pause) proves it was
+    // never buffered.
+    let horizon_s = 7.0 * 24.0 * 3600.0;
+    let spec = WorkloadSpec::oltp(horizon_s, 1.0);
+    let cfg = config_for(&spec);
+    let (source, pulled) = Counted::new(spec.stream(42));
+    let mut sim = Simulation::from_source(
+        cfg,
+        array::BasePolicy,
+        source,
+        RunOptions::for_horizon(horizon_s),
+    );
+    sim.start();
+    let mut t = 0.0;
+    while t < horizon_s {
+        t += 6.0 * 3600.0;
+        sim.step_until(SimTime::from_secs(t));
+        assert!(
+            sim.feed_resident() <= 1,
+            "streamed feed buffered {} requests",
+            sim.feed_resident()
+        );
+    }
+    let (report, _) = sim.finish();
+    let pulled = pulled.load(Ordering::Relaxed);
+    assert!(
+        pulled > 500_000,
+        "week at 1 req/s should stream ~600k requests, saw {pulled}"
+    );
+    assert_eq!(
+        report.completed + report.incomplete,
+        pulled,
+        "every pulled request must be admitted exactly once"
+    );
+}
