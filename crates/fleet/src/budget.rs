@@ -74,6 +74,38 @@ impl BudgetSchedule {
     }
 }
 
+/// Splits a finite budget `b` into per-array caps proportional to each
+/// array's observed draw plus 1 W of smoothing (so a sleeping array is
+/// never granted exactly zero), writing them into `caps` (cleared first;
+/// allocation-free once it has capacity).
+///
+/// The raw proportional shares are `b * (observed[i] + 1) / (Σobserved +
+/// n)` — mathematically they sum to `b`, but each share rounds
+/// independently, and at 256 arrays the accumulated rounding can push the
+/// floating-point *sum* of grants above the budget (the fleet auditor's
+/// grant-conservation check compares exactly that sum). So each grant is
+/// clamped against the running remainder: `Σ caps`, evaluated as the
+/// sequential f64 sum in array order, never exceeds `b`.
+pub fn proportional_caps(b: f64, observed: &[f64], caps: &mut Vec<f64>) {
+    debug_assert!(b.is_finite() && b > 0.0, "bad budget {b}");
+    caps.clear();
+    let demand: f64 = observed.iter().sum();
+    let weight_total = demand + observed.len() as f64;
+    let mut granted = 0.0f64;
+    for &o in observed {
+        let mut cap = (b * (o + 1.0) / weight_total).min(b - granted).max(0.0);
+        // `granted + (b - granted)` can still round up past `b`; walk the
+        // grant down by ulps until the sequential sum fits (each step is
+        // one `next_down`, and `granted + 0 <= b` holds inductively, so
+        // this terminates in a couple of iterations at most).
+        while granted + cap > b {
+            cap = cap.next_down().max(0.0);
+        }
+        caps.push(cap);
+        granted += cap;
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -125,5 +157,99 @@ mod tests {
     fn infinite_step_time_panics() {
         // Regression: +inf used to be silently accepted (it ascends).
         let _ = BudgetSchedule::steps(vec![(0.0, None), (f64::INFINITY, Some(100.0))]);
+    }
+
+    /// Deterministic splitmix-style generator for the property sweep.
+    fn mix(x: &mut u64) -> u64 {
+        *x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = *x;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    #[test]
+    fn proportional_caps_never_oversubscribe_the_budget() {
+        // Property sweep over the fleet sizes the scaling bench runs:
+        // whatever the draw profile, the *sequential f64 sum* of grants
+        // (exactly what the auditor recomputes) must never exceed the
+        // budget, and no grant may be negative. Adversarial draw values
+        // — tiny, huge, mixed magnitudes — maximize rounding pressure.
+        let mut rng = 0xF1EE7u64;
+        for arrays in [1usize, 7, 64, 256] {
+            for case in 0..200 {
+                let b = match case % 4 {
+                    0 => 1e-3,
+                    1 => 250.0,
+                    2 => 1e6,
+                    _ => 100.0 + (mix(&mut rng) % 100_000) as f64 / 7.0,
+                };
+                let observed: Vec<f64> = (0..arrays)
+                    .map(|_| {
+                        let r = mix(&mut rng);
+                        match r % 5 {
+                            0 => 0.0,
+                            1 => (r >> 40) as f64 * 1e-9,
+                            2 => (r % 1000) as f64,
+                            3 => (r % 7) as f64 * 1e7,
+                            _ => (r % 313) as f64 + 0.3333333,
+                        }
+                    })
+                    .collect();
+                let mut caps = Vec::new();
+                proportional_caps(b, &observed, &mut caps);
+                assert_eq!(caps.len(), arrays);
+                let mut sum = 0.0f64;
+                for (i, &c) in caps.iter().enumerate() {
+                    assert!(c >= 0.0, "negative cap {c} at array {i}");
+                    assert!(c <= b, "cap {c} alone exceeds budget {b}");
+                    sum += c;
+                }
+                assert!(
+                    sum <= b,
+                    "grants oversubscribe: {sum} > {b} at {arrays} arrays (case {case})"
+                );
+                // The clamp must not starve the fleet either: everything
+                // the raw shares wanted (≈ b) is still granted up to
+                // rounding — within a relative 1e-9 of the budget.
+                assert!(
+                    sum >= b * (1.0 - 1e-9),
+                    "clamp starved the fleet: {sum} of {b}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn proportional_caps_match_the_raw_formula_when_rounding_is_benign() {
+        // The clamp is a last-ulp guard, not a reallocation: in a typical
+        // case every grant equals the textbook share exactly.
+        let observed = vec![50.0, 30.0, 0.0, 20.0];
+        let mut caps = Vec::new();
+        proportional_caps(104.0, &observed, &mut caps);
+        let total = 100.0 + 4.0;
+        for (i, &o) in observed.iter().enumerate() {
+            let raw = 104.0 * (o + 1.0) / total;
+            assert!(
+                (caps[i] - raw).abs() <= raw * 1e-12 + 1e-12,
+                "cap {} vs raw {raw}",
+                caps[i]
+            );
+        }
+    }
+
+    #[test]
+    fn single_array_cap_is_clamped_to_the_budget() {
+        // arrays = 1: the raw share is b*(o+1)/(o+1), which can round one
+        // ulp above b for adversarial observations; the clamp pins it.
+        let mut rng = 7u64;
+        for _ in 0..1000 {
+            let o = (mix(&mut rng) % 10_000) as f64 / 3.0;
+            let b = 100.0 + (mix(&mut rng) % 1000) as f64 / 7.0;
+            let mut caps = Vec::new();
+            proportional_caps(b, &[o], &mut caps);
+            assert!(caps[0] <= b);
+            assert!(caps[0] >= b * (1.0 - 1e-9));
+        }
     }
 }

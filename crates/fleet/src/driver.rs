@@ -1,7 +1,20 @@
 //! The fleet driver: shard, step, arbitrate, roll up.
+//!
+//! Arrays are stepped by **persistent workers** ([`parallel::lockstep`]):
+//! each worker owns a contiguous block of array simulations for the whole
+//! run and serves one segment command per fleet epoch, so the lockstep
+//! barrier costs two mailbox hops per worker per epoch — no thread
+//! spawn/join, no simulation teardown, no trace re-materialization. All
+//! cross-thread fleet state (per-tenant heat, per-array draw, the live
+//! owner table) lives in a [`ShardMap`], written contention-free by the
+//! workers and drained deterministically by the controller at epoch
+//! boundaries. The steady path of an epoch allocates nothing: command and
+//! grant buffers ping-pong between controller and workers, and every
+//! controller-side vector is preallocated from the epoch count.
 
-use crate::budget::BudgetSchedule;
+use crate::budget::{proportional_caps, BudgetSchedule};
 use crate::placement::{plan_placement, PlacementPlan};
+use crate::shardmap::ShardMap;
 use array::{ArrayConfig, PowerPolicy, RunOptions, RunReport, Simulation};
 use parallel::Pool;
 use simkit::{LatencyHistogram, SimDuration, SimTime};
@@ -67,10 +80,20 @@ impl FleetSpec {
             max_moves_per_epoch: 4,
         }
     }
+
+    /// The tenant-id universe the sims can actually produce: the spec's
+    /// `tenants` plus any folded-tail ids past the last full shard
+    /// (`sector / tenant_sectors` is unclamped on the recording side).
+    fn tenant_universe(&self) -> u32 {
+        let top = (self.config.volume_sectors().saturating_sub(1)) / self.tenant_sectors;
+        (top as u32 + 1).max(self.tenants)
+    }
 }
 
-/// One fleet-epoch boundary's arbiter decision, for reporting.
-#[derive(Debug, Clone)]
+/// One fleet-epoch boundary's arbiter decision, for reporting. Caps are
+/// held flat in the report ([`FleetReport::epoch_caps`]), so records stay
+/// `Copy` and recording an epoch allocates nothing.
+#[derive(Debug, Clone, Copy)]
 pub struct EpochRecord {
     /// Zero-based fleet epoch.
     pub epoch: u32,
@@ -80,14 +103,20 @@ pub struct EpochRecord {
     pub budget_w: Option<f64>,
     /// Sum of observed per-array power at the boundary, watts.
     pub demand_w: f64,
-    /// Granted per-array caps (empty when the budget was unlimited).
-    pub caps_w: Vec<f64>,
     /// Tenant moves taking effect this epoch.
     pub moves: u32,
     /// True when observed fleet power still exceeded the budget at the
     /// *end* of this epoch's segment (this is what accrues
     /// [`FleetReport::cap_violation_s`]).
     pub violated: bool,
+    /// Volume requests the fleet completed during this epoch's segment
+    /// (drained from the shard map's heat counters; epoch sums add up to
+    /// [`FleetReport::completed`] exactly).
+    pub completed: u64,
+    /// Whether caps were granted at this boundary.
+    granted: bool,
+    /// Start of this epoch's grant slice in the report's flat cap store.
+    caps_start: usize,
 }
 
 /// The fleet-level rollup of one run.
@@ -123,6 +152,9 @@ pub struct FleetReport {
     /// The serialized fleet event stream (tags `fleet_epoch`, `cap_grant`,
     /// `tenant_move`, `fleet_end`) — separate from the per-array streams.
     pub fleet_stream: RunStream,
+    /// Every granted cap, flat in (epoch, array) order; sliced per epoch
+    /// by [`FleetReport::epoch_caps`].
+    granted_caps: Vec<f64>,
 }
 
 impl FleetReport {
@@ -136,13 +168,69 @@ impl FleetReport {
     pub fn tenant_quantile(&self, tenant: usize, q: f64) -> Option<f64> {
         self.tenant_latency.get(tenant)?.quantile(q)
     }
+
+    /// The caps granted at epoch `epoch`'s boundary, one per array in
+    /// array order — empty when the budget was unlimited there.
+    pub fn epoch_caps(&self, epoch: usize) -> &[f64] {
+        let e = &self.epochs[epoch];
+        if e.granted {
+            &self.granted_caps[e.caps_start..e.caps_start + self.arrays.len()]
+        } else {
+            &[]
+        }
+    }
+}
+
+/// What a segment command tells the workers to do about power caps.
+#[derive(Clone, Copy)]
+enum CapMode {
+    /// Leave every policy's cap as it is (unlimited budget, nothing
+    /// granted before — the solo-bit-identity path never touches caps).
+    Keep,
+    /// Clear a previously granted cap on every array.
+    Lift,
+    /// Apply the per-array caps carried by the command.
+    Grant,
+}
+
+/// One lockstep command: step every owned array to `limit`, after
+/// applying `mode` (with `caps` holding this worker's grant slice when
+/// granting). The cap buffer rides back in the response, so the pair
+/// ping-pongs between controller and worker without reallocation.
+struct SegCmd {
+    limit: SimTime,
+    mode: CapMode,
+    caps: Vec<f64>,
+}
+
+/// A worker's reply: the recycled cap buffer. Draw, heat, and completion
+/// data travel through the [`ShardMap`] instead.
+struct SegRsp {
+    caps: Vec<f64>,
+}
+
+/// One worker's persistent state: a contiguous block of arrays plus the
+/// snapshot scratch used to turn per-tenant completion counts into
+/// per-epoch deltas.
+struct Block<'a, P: PowerPolicy> {
+    /// Global index of `sims[0]`.
+    first: usize,
+    sims: Vec<Simulation<'a, P>>,
+    /// Per-sim previous tenant-completion snapshot.
+    prev: Vec<Vec<u64>>,
+    /// Snapshot scratch, reused across sims and epochs.
+    cur: Vec<u64>,
 }
 
 /// Runs a fleet: shards the shared trace by the planned placement, steps
-/// every array in lockstep fleet epochs on `pool` (deterministic ordered
-/// merges — results are bit-identical at any worker count), lets the
-/// arbiter observe and re-grant power caps between segments, and rolls
-/// the per-array reports up into a [`FleetReport`].
+/// every array in lockstep fleet epochs on a persistent worker team
+/// (`pool` only supplies the worker count), lets the arbiter observe and
+/// re-grant power caps between segments, and rolls the per-array reports
+/// up into a [`FleetReport`].
+///
+/// Workers publish draw and heat into a [`ShardMap`] with commutative
+/// atomic writes and the controller drains it in fixed shard order, so
+/// results are bit-identical at any worker count.
 ///
 /// `make_policy(i)` builds array `i`'s policy; policies are constructed
 /// serially in array order.
@@ -182,7 +270,7 @@ where
 
     // One simulation per array. Array 0 keeps the spec's seed and label
     // verbatim, so a fleet of one is the exact single-array run.
-    let mut sims: Vec<Simulation<'_, P>> = (0..spec.arrays)
+    let sims: Vec<Simulation<'_, P>> = (0..spec.arrays)
         .map(|i| {
             let mut config = spec.config.clone();
             config.seed = config
@@ -207,140 +295,241 @@ where
         })
         .collect();
 
+    // The shared fleet state: per-tenant heat, per-array draw, the live
+    // owner table. Workers write contention-free; the controller drains
+    // in fixed shard order at epoch boundaries.
+    let shard = ShardMap::new(spec.tenant_universe(), spec.arrays);
+    shard.seed_owners(&placement.rows[0]);
+
+    // Partition arrays into contiguous per-worker blocks.
+    let workers = pool.workers().min(spec.arrays);
+    let mut blocks: Vec<Block<'_, P>> = Vec::with_capacity(workers);
+    let mut ranges: Vec<(usize, usize)> = Vec::with_capacity(workers);
+    {
+        let base = spec.arrays / workers;
+        let rem = spec.arrays % workers;
+        let mut sims = sims.into_iter();
+        let mut first = 0usize;
+        for w in 0..workers {
+            let len = base + usize::from(w < rem);
+            blocks.push(Block {
+                first,
+                sims: sims.by_ref().take(len).collect(),
+                prev: (0..len).map(|_| Vec::new()).collect(),
+                cur: Vec::new(),
+            });
+            ranges.push((first, len));
+            first += len;
+        }
+    }
+
     let fleet_label = match &spec.opts.telemetry {
         Some(t) => format!("{}/fleet", t.label),
         None => "fleet".to_string(),
     };
-    let mut fleet_bytes: Vec<u8> = Vec::new();
+    // Preallocate the stream generously enough that steady-state epochs
+    // never grow it (~160 bytes covers the widest event line).
+    let grant_lines = if spec.budget.is_unlimited() {
+        0
+    } else {
+        num_epochs * spec.arrays
+    };
+    let mut fleet_bytes: Vec<u8> =
+        Vec::with_capacity(160 * (2 * num_epochs + grant_lines + placement.moves.len() + 2));
     let emit = |ev: Event, bytes: &mut Vec<u8>| {
         ev.write_jsonl(bytes).expect("write to Vec cannot fail");
     };
 
+    // Controller-side per-run scratch, all preallocated: nothing in the
+    // epoch loop allocates (locked by `tests/fleet_alloc.rs`).
     let mut budget_j: Option<f64> = Some(0.0);
     let mut cap_violation_s = 0.0;
     let mut caps_active = false;
-    let mut epochs = Vec::with_capacity(num_epochs);
+    let mut epochs: Vec<EpochRecord> = Vec::with_capacity(num_epochs);
     let mut move_ix = 0usize;
+    let mut observed: Vec<f64> = Vec::with_capacity(spec.arrays);
+    let mut grant_buf: Vec<f64> = Vec::with_capacity(spec.arrays);
+    let mut granted_caps: Vec<f64> = Vec::with_capacity(grant_lines);
+    let mut heat_scratch: Vec<u64> = Vec::with_capacity(spec.tenant_universe() as usize);
+    let mut lane_caps: Vec<Vec<f64>> = ranges
+        .iter()
+        .map(|&(_, len)| Vec::with_capacity(len))
+        .collect();
 
-    for k in 0..num_epochs {
-        let start_s = k as f64 * epoch_s;
-        let end_s = ((k + 1) as f64 * epoch_s).min(horizon_s);
-        let seg_len = end_s - start_s;
-        let budget_w = spec.budget.budget_at(start_s);
-        match budget_w {
-            Some(b) => {
-                if let Some(acc) = budget_j.as_mut() {
-                    *acc += b * seg_len;
+    // Per-epoch worker body: apply the cap action, step to the limit,
+    // then publish draw and per-tenant completion deltas into the map.
+    let serve = |_w: usize, block: &mut Block<'_, P>, cmd: SegCmd| {
+        let SegCmd { limit, mode, caps } = cmd;
+        for (i, sim) in block.sims.iter_mut().enumerate() {
+            match mode {
+                CapMode::Grant => sim.set_power_cap(Some(caps[i])),
+                CapMode::Lift => sim.set_power_cap(None),
+                CapMode::Keep => {}
+            }
+            sim.step_until(limit);
+            shard.record_draw(block.first + i, sim.observed_power_w());
+            sim.tenant_completed_into(&mut block.cur);
+            let prev = &mut block.prev[i];
+            for (t, &c) in block.cur.iter().enumerate() {
+                let p = prev.get(t).copied().unwrap_or(0);
+                if c > p {
+                    shard.record_heat(t as u32, c - p);
                 }
             }
-            None => budget_j = None,
+            prev.clear();
+            prev.extend_from_slice(&block.cur);
         }
+        SegRsp { caps }
+    };
+    // Hang-up finalizer: finish every owned sim on the worker's thread,
+    // so report construction parallelizes like the stepping did.
+    let finish = |_w: usize, block: Block<'_, P>| -> Vec<(RunReport, P)> {
+        block.sims.into_iter().map(Simulation::finish).collect()
+    };
 
-        // Observe trailing per-array power (last sample before the
-        // boundary) — never the energy integral, whose float accrual must
-        // stay untouched by observers.
-        let observed: Vec<f64> = sims.iter().map(Simulation::observed_power_w).collect();
-        let demand_w: f64 = observed.iter().sum();
-        emit(
-            Event::FleetEpoch {
-                time_s: start_s,
-                epoch: k as u32,
-                arrays: spec.arrays as u32,
-                budget_w,
-                demand_w,
-            },
-            &mut fleet_bytes,
-        );
-
-        // Grant caps proportional to observed demand (1 W smoothing keeps
-        // a sleeping array from being granted exactly zero).
-        let mut caps_w = Vec::new();
-        match budget_w {
-            Some(b) => {
-                let weight_total: f64 = demand_w + spec.arrays as f64;
-                for (i, sim) in sims.iter_mut().enumerate() {
-                    let cap = b * (observed[i] + 1.0) / weight_total;
-                    emit(
-                        Event::CapGrant {
-                            time_s: start_s,
-                            array: i as u32,
-                            cap_w: cap,
-                            observed_w: observed[i],
-                        },
-                        &mut fleet_bytes,
-                    );
-                    sim.set_power_cap(Some(cap));
-                    caps_w.push(cap);
-                }
-                caps_active = true;
-            }
-            None => {
-                // Lift stale caps — but never touch a fleet that was
-                // never capped (bit-identity with the solo run).
-                if caps_active {
-                    for sim in sims.iter_mut() {
-                        sim.set_power_cap(None);
+    let ((), finished) = parallel::lockstep(blocks, serve, finish, |team| {
+        for k in 0..num_epochs {
+            let start_s = k as f64 * epoch_s;
+            let end_s = ((k + 1) as f64 * epoch_s).min(horizon_s);
+            let seg_len = end_s - start_s;
+            let budget_w = spec.budget.budget_at(start_s);
+            match budget_w {
+                Some(b) => {
+                    if let Some(acc) = budget_j.as_mut() {
+                        *acc += b * seg_len;
                     }
-                    caps_active = false;
                 }
+                None => budget_j = None,
             }
-        }
 
-        // Tenant moves taking effect this epoch.
-        let mut moves = 0u32;
-        while move_ix < placement.moves.len() && placement.moves[move_ix].epoch == k {
-            let m = placement.moves[move_ix];
+            // Observe trailing per-array power (each array's last sample,
+            // published to its draw cell at the end of the previous
+            // segment — zero before the first) in ascending array order,
+            // so the demand sum is bit-identical at any worker count.
+            observed.clear();
+            for i in 0..spec.arrays {
+                observed.push(shard.draw(i));
+            }
+            let demand_w: f64 = observed.iter().sum();
             emit(
-                Event::TenantMove {
+                Event::FleetEpoch {
                     time_s: start_s,
-                    tenant: m.tenant,
-                    from_array: m.from,
-                    to_array: m.to,
+                    epoch: k as u32,
+                    arrays: spec.arrays as u32,
+                    budget_w,
+                    demand_w,
                 },
                 &mut fleet_bytes,
             );
-            moves += 1;
-            move_ix += 1;
-        }
 
-        // Step every array through the segment, fanned out on the pool.
-        // `Pool::map` returns results in input order, so the merge (and
-        // everything downstream) is identical at any worker count.
-        let limit = SimTime::from_secs(end_s);
-        sims = pool.map(
-            sims.into_iter()
-                .map(|mut s| {
-                    move || {
-                        s.step_until(limit);
-                        s
+            // Grant caps proportional to observed demand (1 W smoothing
+            // keeps a sleeping array from being granted exactly zero; the
+            // running clamp keeps the grant sum inside the budget).
+            let granted = budget_w.is_some();
+            let caps_start = granted_caps.len();
+            let mode = match budget_w {
+                Some(b) => {
+                    proportional_caps(b, &observed, &mut grant_buf);
+                    for (i, &cap) in grant_buf.iter().enumerate() {
+                        emit(
+                            Event::CapGrant {
+                                time_s: start_s,
+                                array: i as u32,
+                                cap_w: cap,
+                                observed_w: observed[i],
+                            },
+                            &mut fleet_bytes,
+                        );
                     }
-                })
-                .collect(),
-        );
+                    granted_caps.extend_from_slice(&grant_buf);
+                    caps_active = true;
+                    CapMode::Grant
+                }
+                None => {
+                    // Lift stale caps — but never touch a fleet that was
+                    // never capped (bit-identity with the solo run).
+                    if caps_active {
+                        caps_active = false;
+                        CapMode::Lift
+                    } else {
+                        CapMode::Keep
+                    }
+                }
+            };
 
-        // Retrospective violation accounting: the trailing observation at
-        // the segment's end reflects power *during* it.
-        let post_demand: f64 = sims.iter().map(Simulation::observed_power_w).sum();
-        let violated = budget_w.is_some_and(|b| post_demand > b * (1.0 + 1e-9));
-        if violated {
-            cap_violation_s += seg_len;
+            // Tenant moves taking effect this epoch.
+            let move_start = move_ix;
+            let mut moves = 0u32;
+            while move_ix < placement.moves.len() && placement.moves[move_ix].epoch == k {
+                let m = placement.moves[move_ix];
+                emit(
+                    Event::TenantMove {
+                        time_s: start_s,
+                        tenant: m.tenant,
+                        from_array: m.from,
+                        to_array: m.to,
+                    },
+                    &mut fleet_bytes,
+                );
+                moves += 1;
+                move_ix += 1;
+            }
+            shard.apply_moves(&placement.moves[move_start..move_ix]);
+            debug_assert!(
+                {
+                    let row = &placement.rows[k.min(placement.rows.len() - 1)];
+                    row.iter()
+                        .enumerate()
+                        .all(|(t, &a)| shard.owner(t as u32) == a)
+                },
+                "owner table diverged from the placement plan at epoch {k}"
+            );
+
+            // Dispatch the segment to every worker, then collect. The
+            // grant buffers ping-pong: sliced out of `grant_buf` here,
+            // returned by the worker in its response.
+            let limit = SimTime::from_secs(end_s);
+            for (w, &(start, len)) in ranges.iter().enumerate() {
+                let mut caps = std::mem::take(&mut lane_caps[w]);
+                if matches!(mode, CapMode::Grant) {
+                    caps.clear();
+                    caps.extend_from_slice(&grant_buf[start..start + len]);
+                }
+                team.send(w, SegCmd { limit, mode, caps });
+            }
+            for (w, lane) in lane_caps.iter_mut().enumerate() {
+                *lane = team.recv(w).caps;
+            }
+
+            // Retrospective violation accounting: the trailing observation
+            // at the segment's end reflects power *during* it.
+            let mut post_demand = 0.0f64;
+            for i in 0..spec.arrays {
+                post_demand += shard.draw(i);
+            }
+            let violated = budget_w.is_some_and(|b| post_demand > b * (1.0 + 1e-9));
+            if violated {
+                cap_violation_s += seg_len;
+            }
+            let completed = shard.drain_heat_into(&mut heat_scratch);
+            epochs.push(EpochRecord {
+                epoch: k as u32,
+                start_s,
+                budget_w,
+                demand_w,
+                moves,
+                violated,
+                completed,
+                granted,
+                caps_start,
+            });
         }
-        epochs.push(EpochRecord {
-            epoch: k as u32,
-            start_s,
-            budget_w,
-            demand_w,
-            caps_w,
-            moves,
-            violated,
-        });
-    }
-
-    // Finish every array (accrue energy to the horizon, close streams) —
-    // still ordered, still parallel.
-    let finished: Vec<(RunReport, P)> =
-        pool.map(sims.into_iter().map(|s| move || s.finish()).collect());
-    let reports: Vec<RunReport> = finished.into_iter().map(|(r, _)| r).collect();
+    });
+    let reports: Vec<RunReport> = finished
+        .into_iter()
+        .flatten()
+        .map(|(report, _)| report)
+        .collect();
 
     let fleet_energy_j: f64 = reports.iter().map(|r| r.energy.total_joules()).sum();
     let completed: u64 = reports.iter().map(|r| r.completed).sum();
@@ -388,5 +577,6 @@ where
             label: fleet_label,
             bytes: fleet_bytes,
         },
+        granted_caps,
     }
 }

@@ -17,14 +17,23 @@
 //!   execution order.
 //! * The **arbiter** inside [`run_fleet`] — between stepping segments it
 //!   reads each array's trailing power observation, grants proportional
-//!   per-array caps summing to the budget, and feeds them to each
-//!   policy's planner via `PowerPolicy::set_power_cap`.
+//!   per-array caps never exceeding the budget ([`proportional_caps`]),
+//!   and feeds them to each policy's planner via
+//!   `PowerPolicy::set_power_cap`.
+//! * The [`ShardMap`] — power-of-two-sharded, cache-line-padded fleet
+//!   state (per-tenant heat, per-array draw, the live owner table) that
+//!   the array workers update contention-free with commutative atomic
+//!   writes and the arbiter drains in fixed shard order.
 //!
-//! Arrays advance in lockstep fleet epochs via `Simulation::step_until`,
-//! fanned out on [`parallel::Pool`] with ordered merges: results are
-//! bit-identical at any worker count. A fleet of one array with an
-//! unlimited budget is bit-identical to the plain single-array run —
-//! telemetry bytes included — locked by `tests/fleet_equivalence.rs`.
+//! Arrays advance in lockstep fleet epochs via `Simulation::step_until`
+//! on a **persistent worker team** ([`parallel::lockstep`]): each worker
+//! owns its block of arrays for the whole run, commands and responses
+//! ride depth-1 mailboxes, and the steady path of an epoch allocates
+//! nothing. Because every cross-worker write commutes and every read is
+//! drained in fixed order, results are bit-identical at any worker
+//! count. A fleet of one array with an unlimited budget is bit-identical
+//! to the plain single-array run — telemetry bytes included — locked by
+//! `tests/fleet_equivalence.rs`.
 //!
 //! The rollup is a [`FleetReport`]: fleet energy vs integrated budget,
 //! cap-violation time, per-tenant latency percentiles, request
@@ -38,10 +47,12 @@
 mod budget;
 mod driver;
 mod placement;
+mod shardmap;
 
-pub use budget::BudgetSchedule;
+pub use budget::{proportional_caps, BudgetSchedule};
 pub use driver::{run_fleet, EpochRecord, FleetReport, FleetSpec};
 pub use placement::{plan_placement, PlacementPlan, TenantMove};
+pub use shardmap::ShardMap;
 
 #[cfg(test)]
 mod tests {
@@ -121,7 +132,7 @@ mod tests {
         );
         assert!(report.budget_j.is_none());
         assert_eq!(report.cap_violation_s, 0.0);
-        assert!(report.epochs.iter().all(|e| e.caps_w.is_empty()));
+        assert!((0..report.epochs.len()).all(|k| report.epoch_caps(k).is_empty()));
     }
 
     #[test]

@@ -1,0 +1,463 @@
+//! Contention-free sharded fleet state: tenant heat, tenant ownership,
+//! and per-array draw observations.
+//!
+//! With hundreds of arrays stepped by persistent workers, every worker
+//! wants to publish per-tenant completion heat and per-array power draw
+//! each segment, and the controller wants to read it all back at epoch
+//! boundaries. One mutex-guarded map would serialize exactly the part of
+//! the run that is supposed to scale, so the map is sharded instead:
+//!
+//! * tenants hash to `shards` power-of-two shards by their **low bits**
+//!   (`shard = t & mask`, `slot = t >> bits`), so consecutive tenant ids
+//!   — which round-robin placement puts on *different* arrays — land in
+//!   different shards and concurrent writers spread out;
+//! * each shard's counters live in a contiguous span of one flat slab,
+//!   with at least a cache line of dead slots between spans, so two
+//!   workers hammering different shards never false-share a line;
+//! * heat counters are plain `AtomicU64` adds (commutative, so the final
+//!   value is schedule-independent); draw cells are one cache-line-padded
+//!   `AtomicU64` (f64 bits) per array with a single writer each.
+//!
+//! Draining is deterministic by construction: [`ShardMap::drain_heat`]
+//! walks shards in ascending shard index (slots ascending within each),
+//! so the emitted order is a pure function of the tenant universe — never
+//! of worker scheduling. Together with commutative adds this is what
+//! keeps fleet output byte-identical at any `--jobs` value.
+//!
+//! Memory ordering: all operations are `Relaxed`. The driver only reads
+//! across threads at epoch boundaries, after the per-worker mailbox
+//! rendezvous ([`parallel::lockstep`]) has already established the
+//! happens-before edge; the atomics only need to make the concurrent
+//! *adds* themselves sound.
+
+use crate::placement::TenantMove;
+use std::sync::atomic::{AtomicU32, AtomicU64, Ordering};
+
+/// Target cache-line separation between shard spans, in bytes. 128 covers
+/// the common 64 B line plus adjacent-line prefetchers.
+const LINE_BYTES: usize = 128;
+
+/// A per-array draw observation cell, padded to its own cache line(s)
+/// (the `#[repr(align)]` makes every element of a slice start a new
+/// line, so neighbouring arrays' single writers never share one).
+#[repr(align(128))]
+struct DrawCell(AtomicU64);
+
+/// The sharded map. Created once per fleet run, written by workers,
+/// drained by the controller at epoch boundaries.
+pub struct ShardMap {
+    /// log2(number of shards).
+    bits: u32,
+    /// `shards - 1`, for the low-bits slice.
+    mask: u32,
+    /// Tenant slots actually used per shard (`ceil(tenants / shards)`).
+    slots: u32,
+    /// Allocated slots per shard in `heat` (≥ `slots + 16`, multiple of
+    /// 16 u64s = one 128 B line, so spans stay a line apart even though
+    /// the slab's base is only 8-byte aligned).
+    heat_stride: usize,
+    /// Flat heat slab: shard `s`'s counters at `s * heat_stride ..`.
+    heat: Box<[AtomicU64]>,
+    /// Allocated slots per shard in `owners` (u32 slots; ≥ `slots + 32`,
+    /// multiple of 32).
+    owner_stride: usize,
+    /// Flat owner slab, same sharding as `heat`.
+    owners: Box<[AtomicU32]>,
+    /// One padded draw cell per array (f64 bits; single writer each).
+    draws: Box<[DrawCell]>,
+    /// Tenant universe size.
+    tenants: u32,
+}
+
+impl ShardMap {
+    /// A map for `tenants` tenants across `arrays` arrays. The shard
+    /// count is the tenant count's power-of-two ceiling clamped to
+    /// [64, 1024] — small fleets still spread hot neighbours out, huge
+    /// tenant universes stop growing the shard directory at 1024.
+    pub fn new(tenants: u32, arrays: usize) -> ShardMap {
+        assert!(tenants > 0, "need at least one tenant");
+        assert!(arrays > 0, "need at least one array");
+        let shards = tenants.next_power_of_two().clamp(64, 1024);
+        let bits = shards.trailing_zeros();
+        let slots = tenants.div_ceil(shards);
+        let line_u64 = LINE_BYTES / 8;
+        let line_u32 = LINE_BYTES / 4;
+        let heat_stride = (slots as usize + line_u64).next_multiple_of(line_u64);
+        let owner_stride = (slots as usize + line_u32).next_multiple_of(line_u32);
+        let heat = (0..shards as usize * heat_stride)
+            .map(|_| AtomicU64::new(0))
+            .collect();
+        let owners = (0..shards as usize * owner_stride)
+            .map(|_| AtomicU32::new(0))
+            .collect();
+        let draws = (0..arrays).map(|_| DrawCell(AtomicU64::new(0))).collect();
+        ShardMap {
+            bits,
+            mask: shards - 1,
+            slots,
+            heat_stride,
+            heat,
+            owner_stride,
+            owners,
+            draws,
+            tenants,
+        }
+    }
+
+    /// Number of shards (a power of two in [64, 1024]).
+    pub fn shards(&self) -> usize {
+        self.mask as usize + 1
+    }
+
+    /// Number of arrays (draw cells).
+    pub fn arrays(&self) -> usize {
+        self.draws.len()
+    }
+
+    /// Tenant universe size.
+    pub fn tenants(&self) -> u32 {
+        self.tenants
+    }
+
+    /// `(shard, slot)` of a tenant.
+    #[inline]
+    fn place(&self, tenant: u32) -> (usize, usize) {
+        debug_assert!(tenant < self.tenants, "tenant {tenant} out of range");
+        (
+            (tenant & self.mask) as usize,
+            (tenant >> self.bits) as usize,
+        )
+    }
+
+    /// Adds `n` completions to a tenant's heat counter. Safe from any
+    /// number of workers concurrently; adds commute, so the drained total
+    /// is schedule-independent.
+    #[inline]
+    pub fn record_heat(&self, tenant: u32, n: u64) {
+        let (shard, slot) = self.place(tenant);
+        self.heat[shard * self.heat_stride + slot].fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Publishes array `array`'s trailing power observation, watts. Each
+    /// array has exactly one writer (the worker that owns it).
+    #[inline]
+    pub fn record_draw(&self, array: usize, watts: f64) {
+        self.draws[array]
+            .0
+            .store(watts.to_bits(), Ordering::Relaxed);
+    }
+
+    /// Array `array`'s last published draw, watts (0.0 before the first
+    /// segment).
+    #[inline]
+    pub fn draw(&self, array: usize) -> f64 {
+        f64::from_bits(self.draws[array].0.load(Ordering::Relaxed))
+    }
+
+    /// The array currently serving a tenant.
+    #[inline]
+    pub fn owner(&self, tenant: u32) -> u32 {
+        let (shard, slot) = self.place(tenant);
+        self.owners[shard * self.owner_stride + slot].load(Ordering::Relaxed)
+    }
+
+    /// Points a tenant at a new serving array.
+    #[inline]
+    pub fn set_owner(&self, tenant: u32, array: u32) {
+        let (shard, slot) = self.place(tenant);
+        self.owners[shard * self.owner_stride + slot].store(array, Ordering::Relaxed);
+    }
+
+    /// Seeds the owner table from a placement row (`row[tenant]` = array).
+    /// Tenants at or past the row's end — the volume's folded tail, which
+    /// request routing clamps onto the last placement tenant — take the
+    /// row's last entry.
+    ///
+    /// # Panics
+    /// Panics if the row is empty or longer than the tenant universe.
+    pub fn seed_owners(&self, row: &[u32]) {
+        assert!(!row.is_empty(), "placement row is empty");
+        assert!(row.len() <= self.tenants as usize, "placement row too long");
+        let last = *row.last().expect("non-empty row");
+        for t in 0..self.tenants {
+            self.set_owner(t, row.get(t as usize).copied().unwrap_or(last));
+        }
+    }
+
+    /// Applies a batch of planned tenant moves to the owner table,
+    /// checking each move's `from` side against the current owner.
+    pub fn apply_moves(&self, moves: &[TenantMove]) {
+        for m in moves {
+            debug_assert_eq!(
+                self.owner(m.tenant),
+                m.from,
+                "move of tenant {} departs from the wrong array",
+                m.tenant
+            );
+            self.set_owner(m.tenant, m.to);
+        }
+    }
+
+    /// Drains every heat counter to zero in **deterministic order** —
+    /// ascending shard index, slots ascending within a shard — calling
+    /// `f(tenant, heat)` for every tenant in the universe (including
+    /// zero-heat ones, so the call sequence is a constant of the map).
+    pub fn drain_heat(&self, mut f: impl FnMut(u32, u64)) {
+        for shard in 0..self.shards() {
+            let base = shard * self.heat_stride;
+            for slot in 0..self.slots as usize {
+                let tenant = ((slot as u32) << self.bits) | shard as u32;
+                if tenant < self.tenants {
+                    let h = self.heat[base + slot].swap(0, Ordering::Relaxed);
+                    f(tenant, h);
+                }
+            }
+        }
+    }
+
+    /// Drains heat into a dense per-tenant vector (resized to the tenant
+    /// universe, previous contents overwritten) and returns the total.
+    /// Allocation-free once `out` has reached capacity.
+    pub fn drain_heat_into(&self, out: &mut Vec<u64>) -> u64 {
+        out.clear();
+        out.resize(self.tenants as usize, 0);
+        let mut total = 0u64;
+        self.drain_heat(|t, h| {
+            out[t as usize] = h;
+            total += h;
+        });
+        total
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use parallel::Pool;
+    use std::collections::BTreeMap;
+
+    #[test]
+    fn shard_count_is_clamped_power_of_two() {
+        assert_eq!(ShardMap::new(1, 1).shards(), 64);
+        assert_eq!(ShardMap::new(8, 4).shards(), 64);
+        assert_eq!(ShardMap::new(100, 4).shards(), 128);
+        assert_eq!(ShardMap::new(512, 4).shards(), 512);
+        assert_eq!(ShardMap::new(100_000, 4).shards(), 1024);
+    }
+
+    #[test]
+    fn every_tenant_has_a_unique_slot() {
+        for tenants in [1u32, 7, 64, 65, 100, 1000, 5000] {
+            let m = ShardMap::new(tenants, 2);
+            let mut seen = std::collections::BTreeSet::new();
+            for t in 0..tenants {
+                let (shard, slot) = m.place(t);
+                assert!(slot < m.slots as usize, "slot {slot} of {}", m.slots);
+                assert!(seen.insert((shard, slot)), "collision at tenant {t}");
+            }
+        }
+    }
+
+    #[test]
+    fn spans_leave_a_cache_line_between_shards() {
+        for tenants in [1u32, 64, 1000, 5000] {
+            let m = ShardMap::new(tenants, 2);
+            assert!(
+                (m.heat_stride - m.slots as usize) * 8 >= LINE_BYTES,
+                "heat spans touch: stride {} slots {}",
+                m.heat_stride,
+                m.slots
+            );
+            assert!(
+                (m.owner_stride - m.slots as usize) * 4 >= LINE_BYTES,
+                "owner spans touch: stride {} slots {}",
+                m.owner_stride,
+                m.slots
+            );
+            assert_eq!(m.heat_stride * 8 % LINE_BYTES, 0);
+            assert_eq!(m.owner_stride * 4 % LINE_BYTES, 0);
+        }
+    }
+
+    #[test]
+    fn draw_cells_are_line_padded_single_slots() {
+        assert_eq!(std::mem::size_of::<DrawCell>(), LINE_BYTES);
+        let m = ShardMap::new(4, 3);
+        m.record_draw(1, 42.5);
+        assert_eq!(m.draw(0), 0.0);
+        assert_eq!(m.draw(1), 42.5);
+        assert_eq!(m.draw(2), 0.0);
+    }
+
+    #[test]
+    fn drain_order_is_ascending_shard_then_slot() {
+        // 100 tenants over 128 shards: tenants 0..100 map to shards
+        // t % 128 == t, slot 0. Drain order must be ascending shard
+        // index regardless of the order heat was recorded in.
+        let m = ShardMap::new(100, 1);
+        for t in (0..100u32).rev() {
+            m.record_heat(t, u64::from(t) + 1);
+        }
+        let mut order = Vec::new();
+        m.drain_heat(|t, h| order.push((t, h)));
+        assert_eq!(order.len(), 100);
+        let expected: Vec<(u32, u64)> = (0..100u32).map(|t| (t, u64::from(t) + 1)).collect();
+        assert_eq!(order, expected, "drain must walk shards in order");
+        // And with multiple slots per shard: 200 tenants over 64 shards
+        // (clamp keeps 256 → no; 200.next_power_of_two() = 256) — use a
+        // universe big enough to wrap: 3000 tenants, 1024 shards.
+        let m = ShardMap::new(3000, 1);
+        let mut order = Vec::new();
+        m.drain_heat(|t, _| order.push(t));
+        assert_eq!(order.len(), 3000);
+        let mut expected: Vec<u32> = (0..3000).collect();
+        expected.sort_by_key(|&t| (t & m.mask, t >> m.bits));
+        assert_eq!(order, expected);
+    }
+
+    #[test]
+    fn drain_resets_counters() {
+        let m = ShardMap::new(16, 1);
+        m.record_heat(3, 7);
+        let mut out = Vec::new();
+        assert_eq!(m.drain_heat_into(&mut out), 7);
+        assert_eq!(out[3], 7);
+        assert_eq!(m.drain_heat_into(&mut out), 0);
+        assert!(out.iter().all(|&h| h == 0));
+    }
+
+    /// A deterministic splitmix-style step, for generating churn without
+    /// any external RNG.
+    fn mix(x: &mut u64) -> u64 {
+        *x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = *x;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    #[test]
+    fn concurrent_churn_matches_single_locked_reference() {
+        // Oracle: J workers each run a deterministic op sequence against
+        // the sharded map; the same sequences applied to a single-locked
+        // BTreeMap must produce the same final heat *and* the same drain
+        // sequence. Owner writes are partitioned (worker j owns tenants
+        // with t % J == j) so the reference's final owner is well-defined;
+        // heat adds overlap freely because addition commutes.
+        const TENANTS: u32 = 777;
+        const JOBS: usize = 4;
+        const OPS: usize = 20_000;
+        let map = ShardMap::new(TENANTS, JOBS);
+        map.seed_owners(&vec![0u32; TENANTS as usize]);
+        let pool = Pool::new(JOBS);
+        pool.map(
+            (0..JOBS)
+                .map(|j| {
+                    let map = &map;
+                    move || {
+                        let mut rng = j as u64 + 1;
+                        for _ in 0..OPS {
+                            let r = mix(&mut rng);
+                            let t = (r % u64::from(TENANTS)) as u32;
+                            if r >> 32 & 1 == 0 {
+                                map.record_heat(t, 1 + (r >> 40));
+                            } else {
+                                let own = t - t % JOBS as u32 + j as u32;
+                                if own < TENANTS {
+                                    map.set_owner(own, (r >> 33) as u32 % 8);
+                                }
+                            }
+                        }
+                    }
+                })
+                .collect::<Vec<_>>(),
+        );
+
+        // Reference: one BTreeMap, the same op sequences replayed
+        // serially (any interleaving gives this same final state).
+        let mut heat_ref: BTreeMap<u32, u64> = BTreeMap::new();
+        let mut owner_ref: BTreeMap<u32, u32> = (0..TENANTS).map(|t| (t, 0)).collect();
+        for j in 0..JOBS {
+            let mut rng = j as u64 + 1;
+            for _ in 0..OPS {
+                let r = mix(&mut rng);
+                let t = (r % u64::from(TENANTS)) as u32;
+                if r >> 32 & 1 == 0 {
+                    *heat_ref.entry(t).or_insert(0) += 1 + (r >> 40);
+                } else {
+                    let own = t - t % JOBS as u32 + j as u32;
+                    if own < TENANTS {
+                        owner_ref.insert(own, (r >> 33) as u32 % 8);
+                    }
+                }
+            }
+        }
+
+        // Same drain sequence: ascending (shard, slot), which we compute
+        // for the reference from the map's own placement function (the
+        // *order* contract) and its BTreeMap totals (the *value* oracle).
+        let mut drained = Vec::new();
+        map.drain_heat(|t, h| drained.push((t, h)));
+        let mut expected: Vec<(u32, u64)> = (0..TENANTS)
+            .map(|t| (t, heat_ref.get(&t).copied().unwrap_or(0)))
+            .collect();
+        expected.sort_by_key(|&(t, _)| (t & map.mask, t >> map.bits));
+        assert_eq!(drained, expected);
+        for t in 0..TENANTS {
+            assert_eq!(map.owner(t), owner_ref[&t], "owner of tenant {t}");
+        }
+    }
+
+    #[test]
+    fn pool_interleaving_smoke_preserves_totals() {
+        // Loom-free smoke: many pool workers hammering heat + draws; the
+        // drained total must equal the exact number of adds, and each
+        // draw cell must hold one of the values its single writer wrote.
+        const TENANTS: u32 = 97;
+        const JOBS: usize = 8;
+        const ADDS: u64 = 5_000;
+        let map = ShardMap::new(TENANTS, JOBS);
+        let pool = Pool::new(JOBS);
+        pool.map(
+            (0..JOBS)
+                .map(|j| {
+                    let map = &map;
+                    move || {
+                        for i in 0..ADDS {
+                            map.record_heat(((j as u64 * 31 + i) % u64::from(TENANTS)) as u32, 1);
+                            map.record_draw(j, i as f64);
+                        }
+                    }
+                })
+                .collect::<Vec<_>>(),
+        );
+        let mut out = Vec::new();
+        assert_eq!(map.drain_heat_into(&mut out), JOBS as u64 * ADDS);
+        for j in 0..JOBS {
+            assert_eq!(map.draw(j), (ADDS - 1) as f64, "last write of lane {j}");
+        }
+    }
+
+    #[test]
+    fn moves_update_owners_with_from_checked() {
+        let m = ShardMap::new(8, 2);
+        m.seed_owners(&[0, 1, 0, 1, 0, 1, 0, 1]);
+        m.apply_moves(&[
+            TenantMove {
+                epoch: 1,
+                tenant: 2,
+                from: 0,
+                to: 1,
+            },
+            TenantMove {
+                epoch: 1,
+                tenant: 3,
+                from: 1,
+                to: 0,
+            },
+        ]);
+        assert_eq!(m.owner(2), 1);
+        assert_eq!(m.owner(3), 0);
+        assert_eq!(m.owner(0), 0);
+    }
+}

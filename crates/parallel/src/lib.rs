@@ -14,6 +14,11 @@
 //!   a key computes it while concurrent requesters for the same key block
 //!   and then share the same `Arc`'d value. Two experiments that need the
 //!   same (policy, workload) run therefore trigger exactly one simulation.
+//! * [`lockstep`] / [`Team`] — a persistent worker team for drivers that
+//!   re-dispatch the same stateful work many times (the fleet driver steps
+//!   every array once per fleet epoch): one long-lived scoped worker per
+//!   state, commands and responses over depth-1 rendezvous mailboxes, no
+//!   spawn/join or allocation on the steady path.
 //!
 //! Neither primitive imposes any scheduling-order semantics on the work
 //! itself: jobs must be independent (or synchronise through their own
@@ -22,6 +27,8 @@
 
 mod pool;
 mod singleflight;
+mod team;
 
 pub use pool::{available_parallelism, Pool};
 pub use singleflight::OnceMap;
+pub use team::{lockstep, Team};

@@ -135,33 +135,36 @@ pub fn fleet(ctx: &Ctx, arrays: usize, tenants: u32, budget_frac: f64) {
     let epoch_rows: Vec<String> = report
         .epochs
         .iter()
-        .map(|e| {
-            let cap_min = e.caps_w.iter().cloned().fold(f64::INFINITY, f64::min);
-            let cap_max = e.caps_w.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+        .enumerate()
+        .map(|(k, e)| {
+            let caps = report.epoch_caps(k);
+            let cap_min = caps.iter().cloned().fold(f64::INFINITY, f64::min);
+            let cap_max = caps.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
             format!(
-                "{},{:.0},{},{:.3},{},{},{},{}",
+                "{},{:.0},{},{:.3},{},{},{},{},{}",
                 e.epoch,
                 e.start_s,
                 fmt_opt(e.budget_w, 3),
                 e.demand_w,
-                if e.caps_w.is_empty() {
+                if caps.is_empty() {
                     String::new()
                 } else {
                     format!("{cap_min:.3}")
                 },
-                if e.caps_w.is_empty() {
+                if caps.is_empty() {
                     String::new()
                 } else {
                     format!("{cap_max:.3}")
                 },
                 e.moves,
+                e.completed,
                 u8::from(e.violated),
             )
         })
         .collect();
     ctx.write_csv(
         "fleet_epochs.csv",
-        "epoch,start_s,budget_w,demand_w,cap_min_w,cap_max_w,moves,violated",
+        "epoch,start_s,budget_w,demand_w,cap_min_w,cap_max_w,moves,completed,violated",
         &epoch_rows,
     );
 

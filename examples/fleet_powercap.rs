@@ -92,12 +92,13 @@ fn main() {
     let report = run_fleet(&spec, &trace, &pool, |_| Hibernator::new(hib_cfg.clone()));
 
     println!("epoch  start   budget_w  demand_w   cap range (W)   moves  over?");
-    for e in &report.epochs {
-        let caps = if e.caps_w.is_empty() {
+    for (k, e) in report.epochs.iter().enumerate() {
+        let caps_w = report.epoch_caps(k);
+        let caps = if caps_w.is_empty() {
             "      —      ".to_string()
         } else {
-            let lo = e.caps_w.iter().cloned().fold(f64::INFINITY, f64::min);
-            let hi = e.caps_w.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+            let lo = caps_w.iter().cloned().fold(f64::INFINITY, f64::min);
+            let hi = caps_w.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
             format!("{lo:6.1}–{hi:6.1}")
         };
         println!(

@@ -1,0 +1,112 @@
+//! Allocation lockdown for the fleet driver's steady path.
+//!
+//! The persistent-worker driver preallocates every controller-side buffer
+//! from the epoch count and ping-pongs command/grant buffers with the
+//! workers, so the *epoch loop itself* performs zero heap allocations:
+//! doubling the number of fleet epochs over the same horizon must not add
+//! allocations beyond the planning phase's per-epoch rows (the heat
+//! matrix and placement plan each keep one row per epoch, built before
+//! the loop starts) plus amortized simulator-internal growth.
+//!
+//! The probe holds everything else fixed: same trace, same horizon, Base
+//! policy (whose `set_power_cap` is a no-op, so per-epoch cap grants
+//! exercise the whole arbiter path without perturbing the simulations),
+//! rebalancing off (constant placement rows — routing is identical at
+//! any epoch cadence). The only difference between the two runs is how
+//! many times the arbiter loop executes.
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use array::{ArrayConfig, BasePolicy, RunOptions};
+use fleet::{run_fleet, BudgetSchedule, FleetSpec};
+use parallel::Pool;
+use workload::{Trace, WorkloadSpec};
+
+/// [`System`] with a global allocation counter.
+struct Counting;
+
+static ALLOCS: AtomicU64 = AtomicU64::new(0);
+
+unsafe impl GlobalAlloc for Counting {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.alloc(layout) }
+    }
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        unsafe { System.dealloc(ptr, layout) }
+    }
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.realloc(ptr, layout, new_size) }
+    }
+}
+
+#[global_allocator]
+static COUNTER: Counting = Counting;
+
+const HORIZON_S: f64 = 600.0;
+const ARRAYS: usize = 3;
+
+fn trace() -> Trace {
+    let mut spec = WorkloadSpec::oltp(HORIZON_S, 20.0);
+    spec.extents = 1024;
+    spec.generate(42)
+}
+
+fn spec(epoch_s: f64) -> FleetSpec {
+    let mut c = ArrayConfig::default_for_volume(2 << 30);
+    c.disks = 6;
+    let mut s = FleetSpec::new(
+        ARRAYS,
+        8,
+        c,
+        RunOptions::for_horizon(HORIZON_S),
+        BudgetSchedule::constant(300.0),
+    );
+    s.fleet_epoch = simkit::SimDuration::from_secs(epoch_s);
+    s.rebalance = false;
+    s
+}
+
+/// Allocations performed by one fleet run at the given epoch cadence.
+fn allocs_for(epoch_s: f64, pool: &Pool) -> u64 {
+    let tr = trace();
+    let s = spec(epoch_s);
+    let before = ALLOCS.load(Ordering::Relaxed);
+    let report = run_fleet(&s, &tr, pool, |_| BasePolicy);
+    let after = ALLOCS.load(Ordering::Relaxed);
+    assert!(report.completed > 0, "probe run did no work");
+    after - before
+}
+
+#[test]
+fn epoch_loop_does_not_allocate_per_epoch() {
+    let pool = Pool::new(2);
+    // Warm-up: lazy one-time initialization (thread-local buffers, trace
+    // single-flight state) must not be billed to either measured run.
+    let _ = allocs_for(150.0, &pool);
+
+    let base = allocs_for(150.0, &pool); // 4 epochs
+    let doubled = allocs_for(75.0, &pool); // 8 epochs
+    let extra_epochs = 4u64;
+    let marginal = doubled.saturating_sub(base);
+    let per_epoch = marginal as f64 / extra_epochs as f64;
+    println!(
+        "allocs: {base} @ 4 epochs, {doubled} @ 8 epochs, \
+         marginal {marginal} ({per_epoch:.1}/epoch)"
+    );
+
+    // Planning keeps one heat row and one placement row per epoch, and
+    // each serialized grant/epoch event may land one amortized growth
+    // realloc; everything inside the loop itself is preallocated. A
+    // budget of 8 allocations per marginal epoch is far below the old
+    // per-epoch `Pool::map` round-trip (job boxing, result vectors, and
+    // fresh observation/cap vectors every epoch) while leaving room for
+    // allocator noise.
+    assert!(
+        per_epoch <= 8.0,
+        "steady-state fleet epochs allocate too much: {per_epoch:.1}/epoch \
+         ({marginal} allocations across {extra_epochs} extra epochs)"
+    );
+}

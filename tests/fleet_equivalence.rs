@@ -207,9 +207,70 @@ fn unlimited_fleet_of_one_reports_no_fleet_activity() {
     );
     assert_eq!(report.cap_violation_s, 0.0);
     assert_eq!(report.tenant_moves, 0, "one array: nowhere to move");
-    assert!(report.epochs.iter().all(|e| e.caps_w.is_empty()));
+    assert!((0..report.epochs.len()).all(|k| report.epoch_caps(k).is_empty()));
     let audit = report.audit().expect("fleet stream parses");
     assert!(audit.passed(), "degenerate fleet passes the fleet audit");
+}
+
+#[test]
+fn worker_partition_does_not_change_results() {
+    // The persistent-worker driver partitions arrays into contiguous
+    // per-worker blocks; 5 arrays across 1, 3, and 8 workers exercises
+    // the serial case, an uneven split (2+2+1), and more workers than
+    // arrays. Every observable — stream bytes, rollup numerics, and the
+    // full arbiter decision log including per-epoch caps and completion
+    // counts — must be bit-identical across all three.
+    let tr = trace(11);
+    let mut spec = FleetSpec::new(
+        5,
+        TENANTS,
+        config(),
+        RunOptions::for_horizon(DURATION_S),
+        BudgetSchedule::constant(300.0),
+    );
+    spec.fleet_epoch = SimDuration::from_secs(150.0);
+
+    let reports: Vec<_> = [1usize, 3, 8]
+        .iter()
+        .map(|&jobs| run_fleet(&spec, &tr, &Pool::new(jobs), |_| hibernator()))
+        .collect();
+    let a = &reports[0];
+    for (r, jobs) in reports.iter().zip([1, 3, 8]) {
+        // Epoch completion counts are drained from the shard map and
+        // must tile the fleet total exactly — no segment double-counted
+        // or dropped.
+        let per_epoch: u64 = r.epochs.iter().map(|e| e.completed).sum();
+        assert_eq!(
+            per_epoch, r.completed,
+            "jobs {jobs}: epoch completions don't tile the total"
+        );
+
+        assert_eq!(a.completed, r.completed, "jobs {jobs}: completed");
+        assert_eq!(a.fleet_energy_j, r.fleet_energy_j, "jobs {jobs}: energy");
+        assert_eq!(
+            a.cap_violation_s, r.cap_violation_s,
+            "jobs {jobs}: violation time"
+        );
+        assert_eq!(a.epochs.len(), r.epochs.len(), "jobs {jobs}: epoch count");
+        for (k, (ea, er)) in a.epochs.iter().zip(&r.epochs).enumerate() {
+            assert_eq!(ea.demand_w, er.demand_w, "jobs {jobs}: epoch {k} demand");
+            assert_eq!(
+                ea.completed, er.completed,
+                "jobs {jobs}: epoch {k} completed"
+            );
+            assert_eq!(ea.moves, er.moves, "jobs {jobs}: epoch {k} moves");
+            assert_eq!(ea.violated, er.violated, "jobs {jobs}: epoch {k} violated");
+            assert_eq!(
+                a.epoch_caps(k),
+                r.epoch_caps(k),
+                "jobs {jobs}: epoch {k} caps"
+            );
+        }
+        assert!(
+            a.fleet_stream.bytes == r.fleet_stream.bytes,
+            "jobs {jobs}: fleet stream bytes diverge"
+        );
+    }
 }
 
 #[test]
@@ -252,6 +313,11 @@ fn fleet_audit_holds_across_twenty_seeds() {
         assert_eq!(
             report.routed_requests, report.total_requests,
             "seed {seed}: placement lost requests"
+        );
+        let per_epoch: u64 = report.epochs.iter().map(|e| e.completed).sum();
+        assert_eq!(
+            per_epoch, report.completed,
+            "seed {seed}: epoch completions don't tile the fleet total"
         );
     }
 }
