@@ -399,6 +399,16 @@ impl MigrationEngine {
         out
     }
 
+    /// True if `chunk` participates in any in-flight job. Migration
+    /// policies use this to avoid re-planning a chunk whose previous move
+    /// has started but not yet committed (an epoch shorter than the
+    /// migration latency would otherwise re-propose the chunk every round,
+    /// and each duplicate would be dropped at start — see
+    /// [`MigrationEngine::pump`]).
+    pub fn chunk_in_flight(&self, chunk: ChunkId) -> bool {
+        self.chunk_busy(chunk)
+    }
+
     /// True if `chunk` participates in any in-flight job. Two concurrent
     /// jobs over one chunk would race on its placement, so overlapping jobs
     /// are dropped at start (the planner re-plans next epoch anyway).

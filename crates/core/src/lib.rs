@@ -27,12 +27,17 @@
 
 mod allocator;
 mod guard;
+pub mod migpolicy;
 mod planner;
 mod policy;
 mod predictor;
 
 pub use allocator::{Allocation, AllocationInput, SpeedAllocator};
 pub use guard::{GuardAction, GuardConfig, PerfGuard};
+pub use migpolicy::{
+    plan_migrations_filtered, AnalyticPolicy, GraceTracker, MigrationConfig, MigrationPolicy,
+    PlanOutcome, PolicyDecisionInfo, PolicyObservation, SpeedObservation, SpeedPlan,
+};
 pub use planner::{match_disks, plan_epoch, plan_migrations, EpochPlan};
 pub use policy::{Hibernator, HibernatorConfig, HibernatorStats, MigrationMode};
 pub use predictor::{mg1_response, ServiceEstimator, RHO_SATURATION};

@@ -19,6 +19,7 @@
 
 use crate::allocator::{Allocation, AllocationInput, SpeedAllocator};
 use crate::guard::{GuardAction, GuardConfig, PerfGuard};
+use crate::migpolicy::{AnalyticPolicy, MigrationPolicy, PolicyObservation, SpeedObservation};
 use crate::planner::{match_disks, plan_migrations};
 use crate::predictor::ServiceEstimator;
 use array::{ArrayState, ChunkId, HeatMap, PowerPolicy};
@@ -183,6 +184,19 @@ pub struct Hibernator {
     /// Externally granted power cap (fleet arbiter); `None` means
     /// unconstrained and leaves planning bit-identical to a solo array.
     power_cap: Option<f64>,
+    /// The pluggable data-movement brain (see [`crate::migpolicy`]).
+    /// Always `Some` between calls; taken out during `run_epoch` so the
+    /// policy can borrow the host's read-only state. The default
+    /// ([`AnalyticPolicy::legacy`]) is bit-identical to the pre-trait
+    /// planner.
+    mig_policy: Option<Box<dyn MigrationPolicy>>,
+    /// Bypass the trait and call [`plan_migrations`] directly — the
+    /// reference arm of the equivalence lockdown tests.
+    reference_planner: bool,
+    /// True while the adopted plan parks the bottom tier in standby at the
+    /// migration policy's request (as opposed to the `allow_standby`
+    /// config extension, which tracks its own eligibility per epoch).
+    current_sleep: bool,
 }
 
 impl Hibernator {
@@ -212,8 +226,32 @@ impl Hibernator {
             model_error: Ewma::new((cfg.epoch / 4.0).max(SimDuration::from_mins(10.0))),
             correction: 1.0,
             power_cap: None,
+            mig_policy: Some(Box::new(AnalyticPolicy::legacy())),
+            reference_planner: false,
+            current_sleep: false,
             cfg,
         }
+    }
+
+    /// Creates the policy with a custom migration policy (LFU, bandit,
+    /// SleepScale, or a filtered analytic planner).
+    pub fn with_policy(cfg: HibernatorConfig, policy: Box<dyn MigrationPolicy>) -> Hibernator {
+        let mut h = Hibernator::new(cfg);
+        h.mig_policy = Some(policy);
+        h
+    }
+
+    /// Bypasses the [`MigrationPolicy`] trait entirely and calls the
+    /// original planner directly — the reference arm of the equivalence
+    /// lockdown tests proving the trait extraction changed nothing.
+    pub fn with_reference_planner(mut self) -> Self {
+        self.reference_planner = true;
+        self
+    }
+
+    /// The active migration policy's name.
+    pub fn migration_policy_name(&self) -> &'static str {
+        self.mig_policy.as_ref().expect("policy present").name()
     }
 
     /// Disables the performance guard (for the F8 ablation).
@@ -253,9 +291,11 @@ impl Hibernator {
     }
 
     fn run_epoch(&mut self, now: SimTime, state: &mut ArrayState) {
-        // Detach the scratch so its borrow does not pin `self` across the
-        // `&mut self` calls below; restored on every exit path.
+        // Detach the scratch (and the migration policy) so their borrows
+        // do not pin `self` across the `&mut self` calls below; restored
+        // on every exit path.
         let mut rank_scratch = std::mem::take(&mut self.rank_scratch);
+        let mut policy = self.mig_policy.take().expect("policy present");
         let heat = self.heat.as_ref().expect("init ran");
         let est = self.estimator.as_ref().expect("init ran");
         let alloc = self.allocator.as_ref().expect("init ran");
@@ -271,6 +311,7 @@ impl Hibernator {
         let alive = state.alive_disks();
         if alive == 0 {
             self.rank_scratch = rank_scratch;
+            self.mig_policy = Some(policy);
             return;
         }
         let input = AllocationInput {
@@ -278,14 +319,38 @@ impl Hibernator {
             disks: alive,
             goal_s: self.cfg.goal_s * self.cfg.plan_margin / self.correction,
         };
-        let mut new = alloc.allocate(&input, est);
-        // Fleet power cap: only re-plan when the unconstrained optimum
-        // busts the cap, so a generous (or absent) cap changes nothing.
-        if let Some(cap) = self.power_cap {
-            if new.predicted_power_w > cap {
-                new = alloc.allocate_capped(&input, est, cap);
+        // The migration policy gets first refusal on the speed decision
+        // (the SleepScale joint optimizer takes it); `None` defers to the
+        // analytic allocator, bit-identically to the pre-trait code.
+        let speed_plan = if self.reference_planner {
+            None
+        } else {
+            policy.plan_speeds(&SpeedObservation {
+                now,
+                input: &input,
+                allocator: alloc,
+                estimator: est,
+                power_cap: self.power_cap,
+                state,
+                epoch_s: self.cfg.epoch.as_secs(),
+            })
+        };
+        let plan_sleep = speed_plan.as_ref().is_some_and(|p| p.sleep_bottom);
+        let new = match speed_plan {
+            Some(p) => p.alloc,
+            None => {
+                let mut new = alloc.allocate(&input, est);
+                // Fleet power cap: only re-plan when the unconstrained
+                // optimum busts the cap, so a generous (or absent) cap
+                // changes nothing.
+                if let Some(cap) = self.power_cap {
+                    if new.predicted_power_w > cap {
+                        new = alloc.allocate_capped(&input, est, cap);
+                    }
+                }
+                new
             }
-        }
+        };
         if !new.feasible {
             self.stats.infeasible_epochs += 1;
         }
@@ -346,11 +411,29 @@ impl Hibernator {
             _ => new,
         };
 
+        // A kept plan keeps its sleep decision too; a fresh plan adopts
+        // the policy's.
+        let kept = self.stats.skipped_by_coarse_grain > skipped_before;
+        let adopted_sleep = if kept { self.current_sleep } else { plan_sleep };
+
         // 4. Apply speeds (and the optional standby extension). All the
         // requests below are no-ops for disks already in the desired state,
         // so re-applying an unchanged allocation costs nothing.
         let targets = match_disks(state, &adopted.per_level);
-        let standby = self.standby_set(state, &adopted, &rates);
+        let standby = if adopted_sleep {
+            // Policy-directed sleep: every bottom-tier disk of the adopted
+            // plan parks in standby instead of crawling at level 0.
+            let mut out = std::collections::HashSet::new();
+            for (i, &l) in targets.iter().enumerate() {
+                if l == SpeedLevel(0) && !state.disks[i].has_failed() {
+                    out.insert(i);
+                }
+            }
+            out
+        } else {
+            self.standby_set(state, &adopted, &rates)
+        };
+        self.current_sleep = adopted_sleep;
         self.standby_disks = standby.clone();
         let mut changed = false;
         for (i, &l) in targets.iter().enumerate() {
@@ -388,7 +471,7 @@ impl Hibernator {
         // transient: ramp backlog drain plus the migration wave (×1.5
         // because foreground interleaving stretches it), capped so the
         // guard always gets the tail of each epoch.
-        self.apply_migrations(now, state, ranking, &adopted);
+        self.apply_migrations(now, state, ranking, &rates, &adopted, policy.as_mut());
         if changed || !state.migrator.is_quiescent() {
             let drain = 1.5 * self.migration_drain_estimate_s(state, &adopted.per_level);
             if drain > 0.0 {
@@ -409,8 +492,31 @@ impl Hibernator {
                 skipped: self.stats.skipped_by_coarse_grain > skipped_before,
                 changed,
             });
+        // Policies with active filters report their round accounting; the
+        // legacy analytic path returns `None`, keeping default streams
+        // byte-identical to the pre-trait code.
+        if let Some(info) = policy.decision() {
+            let sleepers = if adopted_sleep {
+                standby.len() as u32
+            } else {
+                0
+            };
+            state
+                .telemetry
+                .emit_with(|| telemetry::Event::PolicyDecision {
+                    time_s: now.as_secs(),
+                    policy: info.policy,
+                    moves: info.moves,
+                    deferred_grace: info.deferred_grace,
+                    deferred_inflight: info.deferred_inflight,
+                    skipped_threshold: info.skipped_threshold,
+                    grace_s: info.grace_s,
+                    sleepers: info.sleepers.max(sleepers),
+                });
+        }
         self.current = Some(adopted);
         self.rank_scratch = rank_scratch;
+        self.mig_policy = Some(policy);
     }
 
     /// The disks (by index) that may stop spinning this epoch: bottom-tier
@@ -487,9 +593,10 @@ impl Hibernator {
         now: SimTime,
         state: &mut ArrayState,
         ranking: &[ChunkId],
+        rates: &[f64],
         alloc: &Allocation,
+        policy: &mut dyn MigrationPolicy,
     ) {
-        let _ = now;
         let order: Vec<ChunkId> = match self.cfg.migration_mode {
             MigrationMode::None => return,
             MigrationMode::Temperature => ranking.to_vec(),
@@ -500,7 +607,19 @@ impl Hibernator {
             }
         };
         let targets = match_disks(state, &alloc.per_level);
-        let jobs = plan_migrations(state, &order, &targets, self.cfg.migration_budget);
+        let jobs = if self.reference_planner {
+            plan_migrations(state, &order, &targets, self.cfg.migration_budget)
+        } else {
+            policy.propose(&PolicyObservation {
+                now,
+                state,
+                ranking: &order,
+                rates,
+                disk_levels: &targets,
+                budget: self.cfg.migration_budget,
+                goal_s: self.cfg.goal_s,
+            })
+        };
         state.migrator.clear_pending();
         state.migrator.enqueue(jobs);
     }
@@ -579,6 +698,11 @@ impl PowerPolicy for Hibernator {
                 heat.touch(now, c, 1.0);
             }
         }
+        if let Some(p) = self.mig_policy.as_mut() {
+            for &c in chunks {
+                p.observe_access(now, c);
+            }
+        }
     }
 
     fn on_completion(
@@ -641,6 +765,7 @@ impl PowerPolicy for Hibernator {
             }
         }
         self.standby_disks.clear();
+        self.current_sleep = false;
         // Replace the (now stale) plan with all-survivors-fast, and
         // schedule a fresh epoch decision once things settle.
         let levels = state.config.spec.num_levels();
@@ -674,6 +799,7 @@ impl PowerPolicy for Hibernator {
                     }
                     state.migrator.set_paused(true);
                     state.migrator.clear_pending();
+                    self.current_sleep = false;
                     // Remember that we are now flat-out.
                     let levels = state.config.spec.num_levels();
                     let mut v = vec![0; levels];
@@ -723,7 +849,7 @@ impl PowerPolicy for Hibernator {
         // Standby extension: a sleep-eligible disk woken by a stray request
         // goes back to sleep once it has idled past break-even (a per-disk
         // TPM layer restricted to the designated cold set).
-        if self.cfg.allow_standby && !self.standby_disks.is_empty() {
+        if (self.cfg.allow_standby || self.current_sleep) && !self.standby_disks.is_empty() {
             let breakeven = state.disks[0]
                 .power_model()
                 .breakeven_standby_s(SpeedLevel(0));

@@ -14,6 +14,16 @@
 //! * [`MaidPolicy`] — cache disks shield data disks, which run TPM
 //!   (Colarelli & Grunwald, SC 2002).
 //!
+//! Alongside the baselines live the pluggable **migration policies** for
+//! the Hibernator host (implementations of
+//! [`hibernator::MigrationPolicy`], see `DESIGN.md` §17):
+//!
+//! * [`LfuPolicy`] — LFU promote/demote on decayed access counters;
+//! * [`BanditPolicy`] — an ε-greedy/UCB learner that classifies each
+//!   chunk's tier online from observed rewards;
+//! * [`SleepScalePolicy`] — a SleepScale-style joint optimizer co-selecting
+//!   disk speed *and* sleep state per epoch (Liu et al., ISCA 2014).
+//!
 //! The `Base` reference (all disks full speed) lives in
 //! [`array::BasePolicy`]; the paper's own policy lives in the `hibernator`
 //! crate.
@@ -21,14 +31,20 @@
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
 
+mod bandit;
 mod drpm;
 mod fixed;
+mod lfu;
 mod maid;
 mod pdc;
+mod sleepscale;
 mod tpm;
 
+pub use bandit::{BanditConfig, BanditPolicy};
 pub use drpm::{DrpmConfig, DrpmPolicy};
 pub use fixed::FixedSpeed;
+pub use lfu::LfuPolicy;
 pub use maid::{maid_array_config, MaidConfig, MaidPolicy};
 pub use pdc::{PdcConfig, PdcPolicy};
+pub use sleepscale::SleepScalePolicy;
 pub use tpm::TpmPolicy;

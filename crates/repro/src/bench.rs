@@ -514,7 +514,7 @@ fn calibrate(
     (base, goal)
 }
 
-/// The 14-run quick T3 grid (HEADLINE + FixedSlow, both workloads).
+/// The 16-run quick T3 grid (HEADLINE + FixedSlow, both workloads).
 fn quick_t3(ctx: &Ctx, reference: bool) -> Scenario {
     let mut runs = Vec::new();
     for w in [Workload::Oltp, Workload::Cello] {

@@ -29,7 +29,8 @@ use diskmodel::{DiskSpec, SpeedLevel};
 use hibernator::{Hibernator, HibernatorConfig, MigrationMode};
 use parallel::{OnceMap, Pool};
 use policies::{
-    maid_array_config, DrpmPolicy, FixedSpeed, MaidConfig, MaidPolicy, PdcPolicy, TpmPolicy,
+    maid_array_config, BanditPolicy, DrpmPolicy, FixedSpeed, LfuPolicy, MaidConfig, MaidPolicy,
+    PdcPolicy, SleepScalePolicy, TpmPolicy,
 };
 use simkit::{SimDuration, TimeSeries};
 use std::collections::HashMap;
@@ -77,19 +78,35 @@ pub enum PolicyKind {
     HibernatorRandMig,
     /// Hibernator without the performance guard (ablation).
     HibernatorNoGuard,
+    /// Hibernator with the LFU promote/demote migration policy.
+    HibernatorLfu,
+    /// Hibernator with the ε-greedy/UCB bandit tier classifier.
+    HibernatorBandit,
+    /// Hibernator with the SleepScale-style joint speed+sleep optimizer.
+    SleepScale,
     /// Everything pinned at the slowest level (bound).
     FixedSlow,
 }
 
 impl PolicyKind {
-    /// The six policies of the headline comparison.
-    pub const HEADLINE: [PolicyKind; 6] = [
+    /// The seven policies of the headline comparison.
+    pub const HEADLINE: [PolicyKind; 7] = [
         PolicyKind::Base,
         PolicyKind::Tpm,
         PolicyKind::Drpm,
         PolicyKind::Pdc,
         PolicyKind::Maid,
         PolicyKind::Hibernator,
+        PolicyKind::SleepScale,
+    ];
+
+    /// The four Hibernator-hosted migration policies the adaptation-race
+    /// experiment (`repro adapt`) ranks against each other.
+    pub const ADAPTIVE: [PolicyKind; 4] = [
+        PolicyKind::Hibernator,
+        PolicyKind::HibernatorLfu,
+        PolicyKind::HibernatorBandit,
+        PolicyKind::SleepScale,
     ];
 
     /// Short label for tables.
@@ -104,6 +121,9 @@ impl PolicyKind {
             PolicyKind::HibernatorNoMig => "Hib(no-mig)",
             PolicyKind::HibernatorRandMig => "Hib(rand-mig)",
             PolicyKind::HibernatorNoGuard => "Hib(no-guard)",
+            PolicyKind::HibernatorLfu => "Hib-LFU",
+            PolicyKind::HibernatorBandit => "Hib-Bandit",
+            PolicyKind::SleepScale => "SleepScale",
             PolicyKind::FixedSlow => "Fixed(slow)",
         }
     }
@@ -502,6 +522,33 @@ impl Ctx {
                 let cfg = self.hibernator_config(goal_s);
                 run_policy(config, Hibernator::new(cfg).without_guard(), trace, opts)
             }
+            PolicyKind::HibernatorLfu => {
+                let cfg = self.hibernator_config(goal_s);
+                run_policy(
+                    config,
+                    Hibernator::with_policy(cfg, Box::new(LfuPolicy::new())),
+                    trace,
+                    opts,
+                )
+            }
+            PolicyKind::HibernatorBandit => {
+                let cfg = self.hibernator_config(goal_s);
+                run_policy(
+                    config,
+                    Hibernator::with_policy(cfg, Box::new(BanditPolicy::new())),
+                    trace,
+                    opts,
+                )
+            }
+            PolicyKind::SleepScale => {
+                let cfg = self.hibernator_config(goal_s);
+                run_policy(
+                    config,
+                    Hibernator::with_policy(cfg, Box::new(SleepScalePolicy::new())),
+                    trace,
+                    opts,
+                )
+            }
             PolicyKind::FixedSlow => {
                 run_policy(config, FixedSpeed::new(SpeedLevel(0)), trace, opts)
             }
@@ -562,6 +609,33 @@ impl Ctx {
             PolicyKind::HibernatorNoGuard => {
                 let cfg = self.hibernator_config(goal_s);
                 run_policy_streamed(config, Hibernator::new(cfg).without_guard(), source, opts)
+            }
+            PolicyKind::HibernatorLfu => {
+                let cfg = self.hibernator_config(goal_s);
+                run_policy_streamed(
+                    config,
+                    Hibernator::with_policy(cfg, Box::new(LfuPolicy::new())),
+                    source,
+                    opts,
+                )
+            }
+            PolicyKind::HibernatorBandit => {
+                let cfg = self.hibernator_config(goal_s);
+                run_policy_streamed(
+                    config,
+                    Hibernator::with_policy(cfg, Box::new(BanditPolicy::new())),
+                    source,
+                    opts,
+                )
+            }
+            PolicyKind::SleepScale => {
+                let cfg = self.hibernator_config(goal_s);
+                run_policy_streamed(
+                    config,
+                    Hibernator::with_policy(cfg, Box::new(SleepScalePolicy::new())),
+                    source,
+                    opts,
+                )
             }
             PolicyKind::FixedSlow => {
                 run_policy_streamed(config, FixedSpeed::new(SpeedLevel(0)), source, opts)

@@ -4,7 +4,7 @@
 //!
 //! ```text
 //! repro [--quick] [--seed N] [--out DIR] [--jobs N] <experiment...>
-//!   experiments: t1..t6 f1..f12 faults cache scenarios | tables | figures | all
+//!   experiments: t1..t6 f1..f12 faults cache scenarios adapt | tables | figures | all
 //! repro fleet [--arrays N] [--tenants N] [--budget-frac F]
 //! repro audit <stream.jsonl>
 //! repro ingest <msr_trace.csv>
@@ -31,10 +31,14 @@
 //!
 //! `repro scenarios` sweeps the adversarial workload suite (flash crowd,
 //! popularity flip, write flood, scan poison) across the headline
-//! policies, streaming every trace (see `scenarios`). `repro ingest PATH`
-//! parses an MSR-Cambridge block-trace CSV and prints its vitals, exiting
-//! non-zero (with the offending line number) on malformed input.
+//! policies, streaming every trace (see `scenarios`). `repro adapt` races
+//! the four adaptive migration policies through a mid-run popularity flip
+//! and ranks them by time-to-readapt and energy (see `adapt`). `repro
+//! ingest PATH` parses an MSR-Cambridge block-trace CSV and prints its
+//! vitals, exiting non-zero (with the offending line number) on malformed
+//! input.
 
+mod adapt;
 mod bench;
 mod cachesweep;
 mod common;
@@ -49,7 +53,7 @@ use common::Ctx;
 fn usage() -> ! {
     eprintln!(
         "usage: repro [--quick] [--seed N] [--out DIR] [--jobs N] [--horizon-h H] \
-         [--telemetry-out PATH] <t1..t6|f1..f12|faults|cache|scenarios|tables|figures|all>...\n\
+         [--telemetry-out PATH] <t1..t6|f1..f12|faults|cache|scenarios|adapt|tables|figures|all>...\n\
          \x20      repro fleet [--arrays N] [--tenants N] [--budget-frac F] [common flags]\n\
          \x20      repro audit <stream.jsonl>\n\
          \x20      repro ingest <msr_trace.csv>\n\
@@ -313,6 +317,7 @@ fn run_one(ctx: &Ctx, name: &str) {
         "faults" => faults::faults(ctx),
         "cache" => cachesweep::cachesweep(ctx),
         "scenarios" => scenarios::scenarios(ctx),
+        "adapt" => adapt::adapt(ctx),
         "tables" => {
             // One prefetch covers every standard-scenario run the tables
             // need, so the whole grid fans out across the pool at once.

@@ -1,0 +1,77 @@
+//! Jobs-invariance lockdown for the adaptation race.
+//!
+//! Runs `repro adapt` on a short horizon at `--jobs 1` and `--jobs 2`
+//! and byte-compares the resulting `adapt_race.csv`: the race's finish
+//! order and every reported number must be independent of how the runs
+//! were scheduled across workers. Also sanity-checks the CSV shape (all
+//! four adaptive contenders present, readapt and energy parse).
+
+use std::path::PathBuf;
+use std::process::Command;
+
+/// Runs `repro adapt` with the given jobs count, returns the CSV bytes.
+fn run_adapt(tag: &str, jobs: u32) -> Vec<u8> {
+    let tmp = std::env::temp_dir().join(format!("repro_adapt_{tag}_{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&tmp);
+    std::fs::create_dir_all(&tmp).expect("create tmp dir");
+    let out = Command::new(env!("CARGO_BIN_EXE_repro"))
+        .args(["--quick", "--horizon-h", "0.05", "--seed", "7"])
+        .args(["--jobs", &jobs.to_string()])
+        .arg("--out")
+        .arg(&tmp)
+        .arg("adapt")
+        .output()
+        .expect("spawn repro binary");
+    assert!(
+        out.status.success(),
+        "repro adapt --jobs {jobs} failed:\n{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let csv = std::fs::read(PathBuf::from(&tmp).join("adapt_race.csv")).expect("read csv");
+    let _ = std::fs::remove_dir_all(&tmp);
+    csv
+}
+
+#[test]
+fn adapt_csv_is_jobs_invariant_and_well_formed() {
+    let serial = run_adapt("j1", 1);
+    let parallel = run_adapt("j2", 2);
+    assert!(
+        serial == parallel,
+        "adapt_race.csv differs between --jobs 1 and --jobs 2:\n{}\nvs\n{}",
+        String::from_utf8_lossy(&serial),
+        String::from_utf8_lossy(&parallel)
+    );
+
+    let text = String::from_utf8(serial).expect("utf-8 csv");
+    let mut lines = text.lines();
+    assert_eq!(
+        lines.next(),
+        Some("policy,goal_ms,energy_kj,mean_ms,readapt_s,postflip_viol_pct,completed,incomplete")
+    );
+    let rows: Vec<&str> = lines.collect();
+    assert_eq!(rows.len(), 4, "one row per adaptive contender");
+    for name in ["Hibernator", "Hib-LFU", "Hib-Bandit", "SleepScale"] {
+        assert!(
+            rows.iter().any(|r| r.starts_with(&format!("{name},"))),
+            "missing contender {name} in:\n{text}"
+        );
+    }
+    let mut prev: Option<(f64, f64)> = None;
+    for r in &rows {
+        let f: Vec<&str> = r.split(',').collect();
+        assert_eq!(f.len(), 8, "malformed row {r}");
+        let energy: f64 = f[2].parse().expect("energy parses");
+        let readapt: f64 = f[4].parse().expect("readapt parses");
+        assert!(energy > 0.0 && readapt >= 0.0, "insane row {r}");
+        // Rows come out in finish order: readapt ascending, energy
+        // breaking ties.
+        if let Some((pr, pe)) = prev {
+            assert!(
+                readapt > pr || (readapt == pr && energy >= pe),
+                "rows not ranked by (readapt, energy): {r} after ({pr}, {pe})"
+            );
+        }
+        prev = Some((readapt, energy));
+    }
+}

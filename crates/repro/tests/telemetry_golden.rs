@@ -83,5 +83,5 @@ fn stream_matches_golden_at_any_jobs_count() {
     // The checked-in stream must itself satisfy every audit invariant.
     let outcome = telemetry::audit::audit_bytes(&serial).expect("parsable stream");
     assert!(outcome.passed(), "golden stream fails audit");
-    assert_eq!(outcome.runs.len(), 14, "t3 covers 7 policies x 2 workloads");
+    assert_eq!(outcome.runs.len(), 16, "t3 covers 8 policies x 2 workloads");
 }

@@ -233,6 +233,14 @@ struct RunAcc {
     flushes: u64,
     flushed_chunks: u64,
     cache_sum: Option<CacheTotals>,
+    /// Replayed `policy` (migration-policy decision) events.
+    policy_events: u64,
+    /// Grace period (seconds) announced by the latest `policy` event.
+    policy_grace_s: f64,
+    /// chunk -> (commit time, grace in force at commit) for remap-changing
+    /// `mig_moved` events; feeds the migration-grace check.
+    chunk_commits: BTreeMap<u64, (f64, f64)>,
+    grace_violation: Option<String>,
     end: Option<EndTotals>,
 }
 
@@ -273,6 +281,10 @@ impl RunAcc {
             flushes: 0,
             flushed_chunks: 0,
             cache_sum: None,
+            policy_events: 0,
+            policy_grace_s: 0.0,
+            chunk_commits: BTreeMap::new(),
+            grace_violation: None,
             end: None,
         })
     }
@@ -548,6 +560,30 @@ impl RunAcc {
                     detail: cache_detail,
                 });
             }
+
+            // 9. Migration grace (only for runs driven by a migration
+            //    policy that emits `policy` events): no chunk started a
+            //    new move inside the announced grace window of its last
+            //    commit. Legacy streams have no policy events and skip
+            //    this check entirely, like cache-accounting.
+            if self.policy_events > 0 {
+                checks.push(match &self.grace_violation {
+                    Some(v) => Check {
+                        name: "migration-grace",
+                        passed: false,
+                        detail: v.clone(),
+                    },
+                    None => Check {
+                        name: "migration-grace",
+                        passed: true,
+                        detail: format!(
+                            "{} policy rounds, {} chunk commits tracked",
+                            self.policy_events,
+                            self.chunk_commits.len()
+                        ),
+                    },
+                });
+            }
         }
 
         RunAudit {
@@ -616,6 +652,22 @@ pub fn audit_bytes(bytes: &[u8]) -> Result<AuditOutcome, AuditError> {
                     run.mig_shape_violation = Some(format!("line {n}: job {job} started twice"));
                 }
                 run.max_active = run.max_active.max(run.active_jobs.len());
+                // Migration-grace: once a policy has announced a grace
+                // period, no chunk may start a new move inside the grace
+                // window of its last commit. Suspended after a disk failure
+                // (rebuild re-copies are legitimate immediate moves).
+                if run.policy_events > 0 && run.dead.is_empty() && run.grace_violation.is_none() {
+                    let chunk = u64_field(line, n, "chunk")?;
+                    if let Some(&(committed, grace)) = run.chunk_commits.get(&chunk) {
+                        if t < committed + grace - 1e-9 {
+                            run.grace_violation = Some(format!(
+                                "line {n}: chunk {chunk} re-moved at t={t} only {:.1}s after \
+                                 its commit at t={committed} (grace {grace}s)",
+                                t - committed
+                            ));
+                        }
+                    }
+                }
             }
             "mig_moved" => {
                 let job = u64_field(line, n, "job")?;
@@ -623,6 +675,8 @@ pub fn audit_bytes(bytes: &[u8]) -> Result<AuditOutcome, AuditError> {
                 run.moved += 1;
                 if str_field(line, n, "kind")? != "raw" {
                     run.moved_remap += 1;
+                    let chunk = u64_field(line, n, "chunk")?;
+                    run.chunk_commits.insert(chunk, (t, run.policy_grace_s));
                 }
             }
             "mig_abort" => {
@@ -696,6 +750,10 @@ pub fn audit_bytes(bytes: &[u8]) -> Result<AuditOutcome, AuditError> {
                     flushes: u64_field(line, n, "flushes")?,
                     flushed_chunks: u64_field(line, n, "flushed_chunks")?,
                 });
+            }
+            "policy" => {
+                run.policy_events += 1;
+                run.policy_grace_s = f64_field(line, n, "grace_s")?;
             }
             "epoch" | "boost" => {}
             other => {
@@ -982,6 +1040,53 @@ mod tests {
             .find(|c| c.name == "violation-refit")
             .unwrap();
         assert!(!check.passed);
+    }
+
+    #[test]
+    fn legacy_streams_skip_the_grace_check() {
+        let out = audit_bytes(minimal_stream().as_bytes()).expect("parse");
+        assert!(
+            !out.runs[0]
+                .checks
+                .iter()
+                .any(|c| c.name == "migration-grace"),
+            "no policy events -> no migration-grace check"
+        );
+    }
+
+    #[test]
+    fn grace_window_restart_is_caught() {
+        let extra = "{\"ev\":\"policy\",\"t\":15.0,\"policy\":\"lfu\",\"moves\":1,\"deferred_grace\":0,\"deferred_inflight\":0,\"skipped_threshold\":0,\"grace_s\":100.0,\"sleepers\":0}\n\
+                     {\"ev\":\"mig_start\",\"t\":20.0,\"job\":1,\"chunk\":7,\"src\":0,\"dst\":1}\n\
+                     {\"ev\":\"mig_moved\",\"t\":30.0,\"job\":1,\"chunk\":7,\"src\":0,\"dst\":1,\"bytes\":1048576,\"kind\":\"relocate\"}\n\
+                     {\"ev\":\"mig_start\",\"t\":50.0,\"job\":2,\"chunk\":7,\"src\":1,\"dst\":0}\n\
+                     {\"ev\":\"power\",\"t\":50.0,\"watts\":1.0}";
+        let s = minimal_stream().replace("{\"ev\":\"power\",\"t\":50.0,\"watts\":1.0}", extra);
+        let out = audit_bytes(s.as_bytes()).expect("parse");
+        let check = out.runs[0]
+            .checks
+            .iter()
+            .find(|c| c.name == "migration-grace")
+            .unwrap();
+        assert!(!check.passed, "re-move at t=50 inside grace must fail");
+        assert!(check.detail.contains("chunk 7"), "{}", check.detail);
+    }
+
+    #[test]
+    fn grace_respected_restart_passes() {
+        let extra = "{\"ev\":\"policy\",\"t\":15.0,\"policy\":\"lfu\",\"moves\":1,\"deferred_grace\":0,\"deferred_inflight\":0,\"skipped_threshold\":0,\"grace_s\":60.0,\"sleepers\":0}\n\
+                     {\"ev\":\"mig_start\",\"t\":20.0,\"job\":1,\"chunk\":7,\"src\":0,\"dst\":1}\n\
+                     {\"ev\":\"mig_moved\",\"t\":30.0,\"job\":1,\"chunk\":7,\"src\":0,\"dst\":1,\"bytes\":1048576,\"kind\":\"relocate\"}\n\
+                     {\"ev\":\"power\",\"t\":50.0,\"watts\":1.0}\n\
+                     {\"ev\":\"mig_start\",\"t\":95.0,\"job\":2,\"chunk\":7,\"src\":1,\"dst\":0}";
+        let s = minimal_stream().replace("{\"ev\":\"power\",\"t\":50.0,\"watts\":1.0}", extra);
+        let out = audit_bytes(s.as_bytes()).expect("parse");
+        let check = out.runs[0]
+            .checks
+            .iter()
+            .find(|c| c.name == "migration-grace")
+            .unwrap();
+        assert!(check.passed, "{}", check.detail);
     }
 
     #[test]

@@ -155,6 +155,28 @@ pub enum Event {
         /// True if the layout actually changed.
         changed: bool,
     },
+    /// A migration policy finished a planning round (emitted only by
+    /// policies with filters active — the legacy analytic path stays
+    /// silent so pre-trait streams keep their exact bytes).
+    PolicyDecision {
+        /// Simulation time.
+        time_s: f64,
+        /// Stable policy name (e.g. `"lfu"`).
+        policy: &'static str,
+        /// Migration jobs proposed this round.
+        moves: u32,
+        /// Moves withheld because the chunk was inside its grace period.
+        deferred_grace: u32,
+        /// Moves withheld because the chunk's previous move is mid-copy.
+        deferred_inflight: u32,
+        /// Moves withheld by the promote/demote hysteresis.
+        skipped_threshold: u32,
+        /// The grace period in force, seconds. Auditable: no chunk may
+        /// start a new move within this window of its last commit.
+        grace_s: f64,
+        /// Disks the policy put to sleep this epoch.
+        sleepers: u32,
+    },
     /// A disk began a speed transition (or an instant level commit).
     SpeedTransition {
         /// Simulation time.
@@ -418,6 +440,7 @@ impl Event {
         match self {
             Event::RunStart { time_s, .. }
             | Event::EpochPlanned { time_s, .. }
+            | Event::PolicyDecision { time_s, .. }
             | Event::SpeedTransition { time_s, .. }
             | Event::MigrationStarted { time_s, .. }
             | Event::MigrationMoved { time_s, .. }
@@ -487,6 +510,22 @@ impl Event {
                      \"skipped\":{skipped},\"changed\":{changed}}}"
                 )
             }
+            Event::PolicyDecision {
+                time_s,
+                policy,
+                moves,
+                deferred_grace,
+                deferred_inflight,
+                skipped_threshold,
+                grace_s,
+                sleepers,
+            } => writeln!(
+                w,
+                "{{\"ev\":\"policy\",\"t\":{time_s:?},\"policy\":\"{policy}\",\"moves\":{moves},\
+                 \"deferred_grace\":{deferred_grace},\"deferred_inflight\":{deferred_inflight},\
+                 \"skipped_threshold\":{skipped_threshold},\"grace_s\":{grace_s:?},\
+                 \"sleepers\":{sleepers}}}"
+            ),
             Event::SpeedTransition {
                 time_s,
                 disk,
@@ -857,6 +896,16 @@ mod tests {
                 time_s: 2.0,
                 entered: true,
                 reason: BoostReason::Latency,
+            },
+            Event::PolicyDecision {
+                time_s: 2.5,
+                policy: "lfu",
+                moves: 7,
+                deferred_grace: 2,
+                deferred_inflight: 1,
+                skipped_threshold: 3,
+                grace_s: 300.0,
+                sleepers: 0,
             },
             Event::MigrationMoved {
                 time_s: 3.0,

@@ -253,6 +253,7 @@ impl Inner {
             Event::CacheMiss { .. } => self.counters.cache_misses += 1,
             Event::FlushBatch { .. } => self.counters.flushes += 1,
             Event::RunStart { .. }
+            | Event::PolicyDecision { .. }
             | Event::DiskSummary { .. }
             | Event::CacheSummary { .. }
             | Event::RunSummary { .. }

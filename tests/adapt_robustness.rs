@@ -1,0 +1,157 @@
+//! The adaptation race must be a property of the policies, not of one
+//! random universe: across 20 seeds, each adaptive migration policy
+//! (rotating analytic / LFU / bandit / SleepScale) survives a mid-run
+//! popularity flip with its telemetry audit clean, a sane re-adaptation
+//! time, no lost requests, and bit-identical repeat runs.
+
+use array::{run_policy_streamed, ArrayConfig, BasePolicy, RunOptions, RunReport};
+use hibernator::{AnalyticPolicy, Hibernator, HibernatorConfig, MigrationConfig, MigrationPolicy};
+use policies::{BanditPolicy, LfuPolicy, SleepScalePolicy};
+use simkit::SimDuration;
+use telemetry::TelemetryConfig;
+use workload::{Scenario, WorkloadSpec};
+
+const DURATION_S: f64 = 2400.0;
+const FLIP_S: f64 = DURATION_S * 0.5;
+
+fn spec() -> WorkloadSpec {
+    let mut spec = WorkloadSpec::oltp(DURATION_S, 30.0);
+    spec.extents = 2048;
+    spec.zipf_theta = 1.0;
+    spec
+}
+
+fn config(seed: u64) -> ArrayConfig {
+    let mut config = ArrayConfig::default_for_volume(2 << 30);
+    config.disks = 8;
+    config.seed = seed;
+    config
+}
+
+fn contender(idx: u64) -> (&'static str, Box<dyn MigrationPolicy>) {
+    match idx {
+        0 => (
+            "analytic",
+            Box::new(AnalyticPolicy::with_config(MigrationConfig::adaptive())),
+        ),
+        1 => ("lfu", Box::new(LfuPolicy::new())),
+        2 => ("bandit", Box::new(BanditPolicy::new())),
+        _ => ("sleepscale", Box::new(SleepScalePolicy::new())),
+    }
+}
+
+fn hib(goal_s: f64, idx: u64) -> Hibernator {
+    let mut cfg = HibernatorConfig::for_goal(goal_s);
+    cfg.epoch = SimDuration::from_secs(300.0);
+    cfg.heat_tau = SimDuration::from_secs(300.0);
+    cfg.guard_window = SimDuration::from_secs(60.0);
+    cfg.guard_hysteresis = SimDuration::from_secs(120.0);
+    Hibernator::with_policy(cfg, contender(idx).1)
+}
+
+fn flipped_run(seed: u64, idx: u64, goal_s: f64, telemetry: bool) -> RunReport {
+    let sc = Scenario::PopularityFlip { at_s: FLIP_S };
+    let mut opts = RunOptions::for_horizon(DURATION_S);
+    if telemetry {
+        opts.telemetry = Some(TelemetryConfig::new(format!("adapt-{seed}")));
+    }
+    run_policy_streamed(
+        config(seed),
+        hib(goal_s, idx),
+        sc.apply(&spec(), seed),
+        opts,
+    )
+}
+
+#[test]
+fn popularity_flip_is_survived_across_seeds() {
+    for seed in 0..20u64 {
+        let idx = seed % 4;
+        let name = contender(idx).0;
+        let sc = Scenario::PopularityFlip { at_s: FLIP_S };
+        let base = run_policy_streamed(
+            config(seed),
+            BasePolicy,
+            sc.apply(&spec(), seed),
+            RunOptions::for_horizon(DURATION_S),
+        );
+        let goal = base.response.mean() * 1.6;
+        let mut run = flipped_run(seed, idx, goal, true);
+
+        // No lost work.
+        assert_eq!(
+            run.completed + run.incomplete,
+            base.completed + base.incomplete,
+            "seed {seed} ({name}): lost requests"
+        );
+        assert!(
+            run.incomplete <= 5,
+            "seed {seed} ({name}): {} incomplete",
+            run.incomplete
+        );
+
+        // Re-adaptation is sane: the last goal-violating response bucket
+        // ends within the run, and the post-flip tail (the final 20% of
+        // the horizon) has recovered to within 3x goal on median.
+        let w = run.response_series.bucket_width().as_secs();
+        let mut tail: Vec<f64> = Vec::new();
+        for i in 0..run.response_series.len() {
+            let start = i as f64 * w;
+            if let Some(m) = run.response_series.bucket(i).and_then(|b| b.mean()) {
+                assert!(m.is_finite() && m >= 0.0, "seed {seed}: insane bucket {m}");
+                if start >= DURATION_S * 0.8 {
+                    tail.push(m);
+                }
+            }
+        }
+        assert!(
+            !tail.is_empty(),
+            "seed {seed} ({name}): empty post-flip tail"
+        );
+        tail.sort_by(|a, b| a.total_cmp(b));
+        let median = tail[tail.len() / 2];
+        assert!(
+            median < goal * 3.0,
+            "seed {seed} ({name}): tail median {median} never re-adapted (goal {goal})"
+        );
+
+        // The stream survives the replay audit (energy ledger, migration
+        // concurrency, migration-grace, …).
+        let stream = run.telemetry.take().expect("stream captured");
+        let outcome = telemetry::audit::audit_bytes(&stream.bytes).expect("well-formed stream");
+        assert!(
+            outcome.passed(),
+            "seed {seed} ({name}): audit failed: {:?}",
+            outcome
+                .runs
+                .iter()
+                .flat_map(|r| r.checks.iter().filter(|c| !c.passed))
+                .collect::<Vec<_>>()
+        );
+    }
+}
+
+#[test]
+fn repeat_runs_are_bit_identical() {
+    for seed in [3u64, 10, 13] {
+        let idx = seed % 4;
+        let name = contender(idx).0;
+        let a = flipped_run(seed, idx, 0.05, false);
+        let b = flipped_run(seed, idx, 0.05, false);
+        assert_eq!(
+            a.energy.total_joules(),
+            b.energy.total_joules(),
+            "seed {seed} ({name}): energy not reproducible"
+        );
+        assert_eq!(
+            a.response.mean(),
+            b.response.mean(),
+            "seed {seed} ({name}): response not reproducible"
+        );
+        assert_eq!(
+            a.response_series.mean_points(),
+            b.response_series.mean_points(),
+            "seed {seed} ({name}): series not reproducible"
+        );
+    }
+}

@@ -1,0 +1,119 @@
+//! Equivalence lockdown for the migration-policy trait extraction.
+//!
+//! [`Hibernator::with_reference_planner`] bypasses the
+//! [`hibernator::MigrationPolicy`] trait and calls the original
+//! `plan_migrations` / allocator code directly; the default host routes
+//! through [`hibernator::AnalyticPolicy::legacy`]. Across every
+//! Hibernator variant of the headline comparison — default, no-guard,
+//! no-migration, random-migration, standby-enabled — the two arms must be
+//! *bit-identical*: same energy, same response distribution, same
+//! completion counts, and byte-for-byte the same telemetry stream.
+//!
+//! If this test fails, the trait refactor changed behavior; the repro
+//! telemetry golden will usually fail with it.
+
+use array::{run_policy, ArrayConfig, RunOptions, RunReport};
+use hibernator::{Hibernator, HibernatorConfig, MigrationMode};
+use simkit::SimDuration;
+use telemetry::TelemetryConfig;
+use workload::WorkloadSpec;
+
+const DURATION_S: f64 = 1800.0;
+
+fn cfg(goal_s: f64) -> HibernatorConfig {
+    let mut cfg = HibernatorConfig::for_goal(goal_s);
+    cfg.epoch = SimDuration::from_secs(300.0);
+    cfg.heat_tau = SimDuration::from_secs(300.0);
+    cfg.guard_window = SimDuration::from_secs(60.0);
+    cfg.guard_hysteresis = SimDuration::from_secs(120.0);
+    cfg
+}
+
+type VariantBuilder = fn(HibernatorConfig) -> Hibernator;
+
+/// The Hibernator variants of the headline comparison, as (name, builder).
+fn variants() -> Vec<(&'static str, VariantBuilder)> {
+    vec![
+        ("default", Hibernator::new),
+        ("no-guard", |c| Hibernator::new(c).without_guard()),
+        ("no-migration", |c| Hibernator::new(c).without_migration()),
+        ("random-migration", |c| {
+            let mut c = c;
+            c.migration_mode = MigrationMode::Random;
+            Hibernator::new(c)
+        }),
+        ("standby", |c| {
+            let mut c = c;
+            c.allow_standby = true;
+            Hibernator::new(c)
+        }),
+    ]
+}
+
+fn run(variant: fn(HibernatorConfig) -> Hibernator, reference: bool, label: &str) -> RunReport {
+    let mut spec = WorkloadSpec::oltp(DURATION_S, 30.0);
+    spec.extents = 2048;
+    spec.zipf_theta = 1.0;
+    let trace = spec.generate(23);
+    let mut config = ArrayConfig::default_for_volume(2 << 30);
+    config.disks = 8;
+    config.seed = 23;
+    let mut opts = RunOptions::for_horizon(DURATION_S);
+    opts.telemetry = Some(TelemetryConfig::new(label.to_string()));
+    let policy = if reference {
+        variant(cfg(0.05)).with_reference_planner()
+    } else {
+        variant(cfg(0.05))
+    };
+    run_policy(config, policy, &trace, opts)
+}
+
+#[test]
+fn trait_hosted_planner_is_bit_identical_to_the_reference() {
+    for (name, variant) in variants() {
+        let mut traited = run(variant, false, &format!("equiv-{name}"));
+        let mut reference = run(variant, true, &format!("equiv-{name}"));
+
+        assert_eq!(
+            traited.energy.total_joules(),
+            reference.energy.total_joules(),
+            "{name}: energy diverged"
+        );
+        assert_eq!(
+            traited.response.mean(),
+            reference.response.mean(),
+            "{name}: mean response diverged"
+        );
+        assert_eq!(
+            (traited.completed, traited.incomplete),
+            (reference.completed, reference.incomplete),
+            "{name}: completion counts diverged"
+        );
+        assert_eq!(
+            traited.response_series.mean_points(),
+            reference.response_series.mean_points(),
+            "{name}: response series diverged"
+        );
+
+        let t = traited.telemetry.take().expect("stream captured").bytes;
+        let r = reference.telemetry.take().expect("stream captured").bytes;
+        if t != r {
+            let ts = String::from_utf8_lossy(&t);
+            let rs = String::from_utf8_lossy(&r);
+            for (i, (a, b)) in ts.lines().zip(rs.lines()).enumerate() {
+                assert_eq!(a, b, "{name}: first telemetry divergence at line {}", i + 1);
+            }
+            panic!(
+                "{name}: stream lengths diverged: {} vs {} lines",
+                ts.lines().count(),
+                rs.lines().count()
+            );
+        }
+        // The legacy analytic path must stay silent in telemetry: no
+        // policy events, so legacy streams keep their pre-trait bytes.
+        assert!(
+            !String::from_utf8_lossy(&t).contains("\"ev\":\"policy\""),
+            "{name}: the legacy path must not emit PolicyDecision events"
+        );
+    }
+}

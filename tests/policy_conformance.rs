@@ -1,0 +1,304 @@
+//! The policy-conformance battery (see DESIGN.md §17).
+//!
+//! Every registered [`MigrationPolicy`] — the filtered analytic planner,
+//! LFU, the bandit classifier, and the SleepScale joint optimizer — must
+//! honor the shared [`MigrationConfig`] contract regardless of how it
+//! ranks chunks internally:
+//!
+//! * a chunk whose move committed is never re-proposed inside `grace`;
+//! * the host's per-round budget caps the proposal;
+//! * dead disks never receive chunks;
+//! * identical observation histories yield identical proposals;
+//! * a full simulated run emits `policy` telemetry and survives the
+//!   replay audit, including the migration-grace invariant.
+//!
+//! New policies join the battery by adding a factory to [`registry`].
+
+use array::{
+    run_policy, ArrayConfig, ArrayState, ArrayStats, ChunkId, MigrationEngine, MigrationJob,
+    RemapTable, RunOptions,
+};
+use diskmodel::{Disk, SpeedLevel};
+use hibernator::{
+    AnalyticPolicy, Hibernator, HibernatorConfig, MigrationConfig, MigrationPolicy,
+    PolicyObservation,
+};
+use policies::{BanditPolicy, LfuPolicy, SleepScalePolicy};
+use simkit::{SimDuration, SimTime};
+use telemetry::TelemetryConfig;
+use workload::WorkloadSpec;
+
+type PolicyFactory = fn() -> Box<dyn MigrationPolicy>;
+
+/// Every registered migration policy, by factory (each test needs fresh
+/// instances).
+fn registry() -> Vec<(&'static str, PolicyFactory)> {
+    vec![
+        ("analytic", || {
+            Box::new(AnalyticPolicy::with_config(MigrationConfig::adaptive()))
+        }),
+        ("lfu", || Box::new(LfuPolicy::new())),
+        ("bandit", || Box::new(BanditPolicy::new())),
+        ("sleepscale", || Box::new(SleepScalePolicy::new())),
+    ]
+}
+
+fn mk_state(disks: usize, chunks: u32) -> ArrayState {
+    let mut config = ArrayConfig::default_for_volume(1 << 30);
+    config.disks = disks;
+    config.volume_chunks = chunks;
+    let remap = RemapTable::striped(&config);
+    let ds = (0..disks)
+        .map(|i| Disk::new(i, &config.spec, 1, config.spec.top_level()))
+        .collect();
+    let stats = ArrayStats::new(config.spec.num_levels(), SimDuration::from_secs(60.0));
+    ArrayState {
+        config,
+        disks: ds,
+        remap,
+        migrator: MigrationEngine::new(2),
+        stats,
+        telemetry: telemetry::Recorder::disabled(),
+        wake_marks: array::WakeMarks::new(disks),
+    }
+}
+
+/// Two fast disks, two slow disks.
+fn split_levels() -> Vec<SpeedLevel> {
+    vec![SpeedLevel(5), SpeedLevel(5), SpeedLevel(0), SpeedLevel(0)]
+}
+
+/// Heat-ordered ranking + aligned rates: `hot` chunks first at high rate.
+fn ranked(chunks: u32, hot: &[u32]) -> (Vec<ChunkId>, Vec<f64>) {
+    let mut ranking: Vec<ChunkId> = hot.iter().copied().map(ChunkId).collect();
+    for c in 0..chunks {
+        if !hot.contains(&c) {
+            ranking.push(ChunkId(c));
+        }
+    }
+    let rates: Vec<f64> = (0..chunks as usize)
+        .map(|i| if i < hot.len() { 10.0 } else { 0.1 })
+        .collect();
+    (ranking, rates)
+}
+
+/// Feeds each chunk `weight(c)` accesses so count-based policies (LFU)
+/// and reward-based ones (bandit) have matching internal statistics.
+fn warm(policy: &mut dyn MigrationPolicy, now: SimTime, chunks: u32, hot: &[u32]) {
+    for c in 0..chunks {
+        let n = if hot.contains(&c) { 8 } else { 1 };
+        for _ in 0..n {
+            policy.observe_access(now, ChunkId(c));
+        }
+    }
+}
+
+fn observe<'a>(
+    now: SimTime,
+    state: &'a ArrayState,
+    ranking: &'a [ChunkId],
+    rates: &'a [f64],
+    levels: &'a [SpeedLevel],
+    budget: usize,
+) -> PolicyObservation<'a> {
+    PolicyObservation {
+        now,
+        state,
+        ranking,
+        rates,
+        disk_levels: levels,
+        budget,
+        goal_s: 0.05,
+    }
+}
+
+#[test]
+fn committed_chunks_are_never_reproposed_within_grace() {
+    for (name, mk) in registry() {
+        let mut p = mk();
+        assert!(
+            p.config().grace.as_secs() > 0.0,
+            "{name}: battery requires a real grace period"
+        );
+        let mut state = mk_state(4, 16);
+        let levels = split_levels();
+        // Chunks striped onto the slow disks are hot: the policy should
+        // want them on the fast tier.
+        let hot: Vec<u32> = (0..16).filter(|c| c % 4 >= 2).collect();
+        let (ranking, rates) = ranked(16, &hot);
+
+        // Round until the policy proposes something (the bandit needs a
+        // few reward rounds before it moves anyone), then commit a couple
+        // of its proposals by hand.
+        let mut committed = Vec::new();
+        let mut when = SimTime::ZERO;
+        for round in 0..10u32 {
+            when = SimTime::from_secs(f64::from(round) * 10.0);
+            warm(p.as_mut(), when, 16, &hot);
+            let jobs = p.propose(&observe(when, &state, &ranking, &rates, &levels, 100));
+            for j in &jobs {
+                if committed.len() == 2 {
+                    break;
+                }
+                if let MigrationJob::Relocate { chunk, dst } = *j {
+                    if let Some(slot) = state.remap.reserve_slot(dst) {
+                        state.remap.relocate(chunk, dst, slot);
+                        committed.push(chunk);
+                    }
+                }
+            }
+            if !committed.is_empty() {
+                break;
+            }
+        }
+        assert!(!committed.is_empty(), "{name}: no proposals to commit");
+
+        // Invert the world: the committed chunks go stone cold, so every
+        // policy now wants them back on the slow tier — but they are
+        // inside their grace period.
+        let cold: Vec<u32> = (0..16).filter(|c| !hot.contains(c)).collect();
+        let (ranking2, rates2) = ranked(16, &cold);
+        let later = when + SimDuration::from_secs(60.0);
+        warm(p.as_mut(), later, 16, &cold);
+        let jobs2 = p.propose(&observe(later, &state, &ranking2, &rates2, &levels, 100));
+        for j in &jobs2 {
+            if let MigrationJob::Relocate { chunk, .. } = j {
+                assert!(
+                    !committed.contains(chunk),
+                    "{name}: re-proposed {chunk:?} {0:.0} s after its commit (grace {1:.0} s)",
+                    60.0,
+                    p.config().grace.as_secs()
+                );
+            }
+        }
+        if name == "analytic" {
+            let d = p.decision().expect("non-vacuous analytic reports");
+            assert!(
+                d.deferred_grace > 0,
+                "analytic: the inverted ranking must have tried to demote \
+                 a committed chunk ({d:?})"
+            );
+        }
+    }
+}
+
+#[test]
+fn host_budget_caps_every_proposal() {
+    for (name, mk) in registry() {
+        let mut p = mk();
+        let state = mk_state(4, 32);
+        let levels = split_levels();
+        let hot: Vec<u32> = (0..32).filter(|c| c % 4 >= 2).collect();
+        let (ranking, rates) = ranked(32, &hot);
+        warm(p.as_mut(), SimTime::ZERO, 32, &hot);
+        for budget in [0usize, 1, 3] {
+            let jobs = p.propose(&observe(
+                SimTime::from_secs(1.0),
+                &state,
+                &ranking,
+                &rates,
+                &levels,
+                budget,
+            ));
+            assert!(
+                jobs.len() <= budget,
+                "{name}: {} jobs over budget {budget}",
+                jobs.len()
+            );
+        }
+    }
+}
+
+#[test]
+fn dead_disks_never_receive_chunks() {
+    for (name, mk) in registry() {
+        let mut p = mk();
+        let mut state = mk_state(4, 16);
+        let _ = state.disks[0].fail(SimTime::ZERO);
+        let mut remap = std::mem::replace(&mut state.remap, RemapTable::striped(&state.config));
+        let _ = state
+            .migrator
+            .note_disk_failed(SimTime::ZERO, array::DiskId(0), &mut remap);
+        state.remap = remap;
+        let levels = split_levels();
+        let hot: Vec<u32> = (0..16).filter(|c| c % 4 >= 2).collect();
+        let (ranking, rates) = ranked(16, &hot);
+        warm(p.as_mut(), SimTime::ZERO, 16, &hot);
+        let jobs = p.propose(&observe(
+            SimTime::ZERO,
+            &state,
+            &ranking,
+            &rates,
+            &levels,
+            100,
+        ));
+        for j in &jobs {
+            if let MigrationJob::Relocate { dst, .. } = j {
+                assert_ne!(dst.index(), 0, "{name}: targeted the dead disk");
+            }
+        }
+    }
+}
+
+#[test]
+fn identical_histories_yield_identical_proposals() {
+    for (name, mk) in registry() {
+        let (mut a, mut b) = (mk(), mk());
+        let state = mk_state(4, 24);
+        let levels = split_levels();
+        let hot: Vec<u32> = (0..24).filter(|c| c % 4 >= 2).collect();
+        let (ranking, rates) = ranked(24, &hot);
+        for round in 0..5u32 {
+            let now = SimTime::from_secs(f64::from(round) * 120.0);
+            warm(a.as_mut(), now, 24, &hot);
+            warm(b.as_mut(), now, 24, &hot);
+            let ja = a.propose(&observe(now, &state, &ranking, &rates, &levels, 50));
+            let jb = b.propose(&observe(now, &state, &ranking, &rates, &levels, 50));
+            assert_eq!(ja, jb, "{name}: round {round} diverged");
+        }
+    }
+}
+
+#[test]
+fn full_runs_emit_policy_events_and_pass_the_audit() {
+    let duration_s = 1800.0;
+    let mut spec = WorkloadSpec::oltp(duration_s, 30.0);
+    spec.extents = 2048;
+    spec.zipf_theta = 1.0;
+    let trace = spec.generate(17);
+    for (name, mk) in registry() {
+        let mut config = ArrayConfig::default_for_volume(2 << 30);
+        config.disks = 8;
+        config.seed = 17;
+        let mut cfg = HibernatorConfig::for_goal(0.05);
+        cfg.epoch = SimDuration::from_secs(300.0);
+        cfg.heat_tau = SimDuration::from_secs(300.0);
+        let mut opts = RunOptions::for_horizon(duration_s);
+        opts.telemetry = Some(TelemetryConfig::new(format!("conformance-{name}")));
+        let mut report = run_policy(config, Hibernator::with_policy(cfg, mk()), &trace, opts);
+
+        let stream = report.telemetry.take().expect("stream captured");
+        let text = String::from_utf8_lossy(&stream.bytes).into_owned();
+        assert!(
+            text.contains("\"ev\":\"policy\""),
+            "{name}: no PolicyDecision events in the stream"
+        );
+        let outcome = telemetry::audit::audit_bytes(&stream.bytes).expect("well-formed stream");
+        assert!(
+            outcome.passed(),
+            "{name}: audit failed: {:?}",
+            outcome
+                .runs
+                .iter()
+                .flat_map(|r| r.checks.iter().filter(|c| !c.passed))
+                .collect::<Vec<_>>()
+        );
+        assert!(
+            outcome.runs.iter().all(|r| r
+                .checks
+                .iter()
+                .any(|c| c.name == "migration-grace" && c.passed)),
+            "{name}: the migration-grace check must have run"
+        );
+    }
+}
